@@ -1,0 +1,99 @@
+#ifndef TELEKIT_BENCH_BENCH_UTIL_H_
+#define TELEKIT_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/model_zoo.h"
+#include "synth/task_data.h"
+
+namespace telekit {
+namespace bench {
+
+/// Paper-reported reference rows (ICDE 2023, Tables IV / VI / VIII),
+/// used to print measured-vs-paper comparisons. Indexed by ModelKind.
+struct PaperReference {
+  /// Table IV: MR, Hits@1, Hits@3, Hits@5 (RCA).
+  static std::map<core::ModelKind, std::vector<double>> RcaTable() {
+    using MK = core::ModelKind;
+    return {{MK::kRandom, {2.47, 54.88, 75.00, 88.67}},
+            {MK::kMacBert, {2.16, 59.64, 82.68, 90.85}},
+            {MK::kTeleBert, {2.09, 62.65, 83.52, 92.46}},
+            {MK::kKTeleBertStl, {2.06, 63.66, 83.21, 91.87}},
+            {MK::kKTeleBertStlNoAnEnc, {2.13, 60.72, 82.96, 90.80}},
+            {MK::kKTeleBertPmtl, {2.03, 65.96, 84.98, 92.63}},
+            {MK::kKTeleBertImtl, {2.02, 64.78, 85.65, 91.13}}};
+  }
+
+  /// Table VI: Accuracy, Precision, Recall, F1 (EAP).
+  static std::map<core::ModelKind, std::vector<double>> EapTable() {
+    using MK = core::ModelKind;
+    return {{MK::kWordEmbedding, {64.9, 66.4, 96.8, 78.7}},
+            {MK::kMacBert, {64.3, 65.9, 96.1, 78.2}},
+            {MK::kTeleBert, {70.4, 71.4, 95.1, 81.5}},
+            {MK::kKTeleBertStl, {77.3, 76.6, 96.6, 85.4}},
+            {MK::kKTeleBertStlNoAnEnc, {76.0, 76.1, 95.1, 84.5}},
+            {MK::kKTeleBertPmtl, {68.5, 68.8, 99.1, 81.3}}};
+  }
+
+  /// Table VIII: MRR, Hits@1, Hits@3, Hits@10 (FCT).
+  static std::map<core::ModelKind, std::vector<double>> FctTable() {
+    using MK = core::ModelKind;
+    return {{MK::kRandom, {58.2, 56.2, 56.2, 62.5}},
+            {MK::kMacBert, {65.9, 62.5, 65.6, 68.8}},
+            {MK::kTeleBert, {69.0, 65.6, 71.9, 71.9}},
+            {MK::kKTeleBertStl, {73.6, 71.9, 71.9, 78.1}},
+            {MK::kKTeleBertStlNoAnEnc, {67.5, 65.6, 65.6, 71.9}},
+            {MK::kKTeleBertPmtl, {87.3, 84.4, 87.5, 93.8}},
+            {MK::kKTeleBertImtl, {94.8, 93.8, 93.8, 100.0}}};
+  }
+};
+
+/// The shared benchmark configuration: one world, one tokenizer, one cache
+/// (first binary trains, later binaries restore). Scale is chosen so the
+/// whole harness runs on a single CPU core in minutes.
+inline core::ZooConfig BenchZooConfig() {
+  core::ZooConfig config;
+  config.seed = 20230401;
+  config.world.num_alarm_types = 64;
+  config.world.num_kpi_types = 32;
+  config.corpus.num_tele_sentences = 6000;
+  config.corpus.num_general_sentences = 6000;
+  config.num_episodes = 80;
+  config.pretrain.steps = 900;
+  config.pretrain.batch_size = 16;
+  config.pretrain.simcse_weight = 0.3f;  // fight [CLS] anisotropy
+  config.retrain.total_steps = 600;
+  config.retrain.batch_size = 8;
+  config.retrain.ke_loss_weight = 1.0f;
+  config.max_ke_triples = 400;
+  return config;
+}
+
+/// FCT dataset scale shared by the stats and results benches.
+inline synth::FctDataConfig BenchFctConfig() {
+  synth::FctDataConfig config;
+  config.num_chains = 300;
+  config.valid_fraction = 0.15;
+  config.test_fraction = 0.15;
+  return config;
+}
+
+/// Appends a "<name> (paper)" reference row when the reference table has
+/// one for this kind.
+inline void AddPaperRow(TablePrinter& table, core::ModelKind kind,
+                        const std::map<core::ModelKind, std::vector<double>>&
+                            reference,
+                        int precision = 2) {
+  auto it = reference.find(kind);
+  if (it == reference.end()) return;
+  table.AddRow(core::ModelKindName(kind) + " (paper)", it->second, precision);
+}
+
+}  // namespace bench
+}  // namespace telekit
+
+#endif  // TELEKIT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,147 @@
+// Component micro-benchmarks (google-benchmark): tensor kernels, tokenizer
+// throughput, ANEnc / transformer / GCN forward passes. These are the
+// building blocks whose cost dominates the table benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/anenc.h"
+#include "core/transformer.h"
+#include "graph/gcn.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace telekit {
+namespace {
+
+using tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    Tensor a = Tensor::Randn({n, n}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn({n, n}, rng, 1.0f, true);
+    tensor::Sum(tensor::MatMul(a, b)).Backward();
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(32)->Arg(64);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::Randn({64, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Softmax(x));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::Randn({64, 64}, rng);
+  Tensor g = Tensor::Ones({64});
+  Tensor b = Tensor::Zeros({64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::LayerNorm(x, g, b));
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+text::Tokenizer& BenchTokenizer() {
+  static text::Tokenizer* const kTokenizer = [] {
+    auto* tok = new text::Tokenizer(
+        text::TokenizerOptions{.max_len = 24, .min_word_count = 1});
+    std::vector<std::string> corpus;
+    for (int i = 0; i < 50; ++i) {
+      corpus.push_back(
+          "the alarm triggers abnormal registration failures on the gateway");
+      corpus.push_back("session establishment times out after congestion");
+    }
+    tok->BuildVocab(corpus);
+    return tok;
+  }();
+  return *kTokenizer;
+}
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  const std::string sentence =
+      "the alarm triggers abnormal registration failures on the gateway";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BenchTokenizer().EncodeSentence(sentence));
+  }
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void BM_PromptEncode(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BenchTokenizer().Encode(
+        text::PromptBuilder()
+            .Alarm("registration failures")
+            .Attribute("severity", "major")
+            .Kpi("session establishment", 0.6f)
+            .Build()));
+  }
+}
+BENCHMARK(BM_PromptEncode);
+
+void BM_AnEncForward(benchmark::State& state) {
+  Rng rng(5);
+  core::AnEncConfig config;
+  config.d_model = 64;
+  core::AnEnc anenc(config, rng);
+  Tensor tag = Tensor::Randn({1, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anenc.Forward(tag, 0.5f));
+  }
+}
+BENCHMARK(BM_AnEncForward);
+
+void BM_TransformerForward(benchmark::State& state) {
+  Rng rng(6);
+  core::EncoderConfig config;
+  config.vocab_size = 1000;
+  config.d_model = 64;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  config.ffn_dim = 128;
+  config.max_len = 24;
+  core::TransformerEncoder encoder(config, rng);
+  std::vector<int> ids(20);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = 14 + static_cast<int>(i) % 500;
+  }
+  Rng eval(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Forward(ids, 20, eval, false));
+  }
+}
+BENCHMARK(BM_TransformerForward);
+
+void BM_GcnForward(benchmark::State& state) {
+  Rng rng(7);
+  graph::Graph g{.num_nodes = 11, .edges = {}};
+  for (int i = 1; i < 11; ++i) g.edges.emplace_back(i - 1, i);
+  Tensor adjacency = graph::NormalizedAdjacency(g);
+  graph::GcnStack stack({64, 64, 32}, rng);
+  Tensor features = Tensor::Randn({11, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.Forward(adjacency, features));
+  }
+}
+BENCHMARK(BM_GcnForward);
+
+}  // namespace
+}  // namespace telekit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+#ifndef TELEKIT_COMMON_CHECK_H_
+#define TELEKIT_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace telekit {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the TELEKIT_CHECK* macros below; never instantiate directly.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace telekit
+
+/// Aborts with a message when `cond` is false; extra context can be
+/// streamed: TELEKIT_CHECK(n > 0) << "n=" << n;
+/// For programmer errors / broken invariants only; recoverable errors
+/// return telekit::Status.
+#define TELEKIT_CHECK(cond)                                       \
+  while (!(cond))                                                 \
+  ::telekit::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define TELEKIT_CHECK_OP(a, b, op)                                \
+  while (!((a)op(b)))                                             \
+  ::telekit::internal_check::CheckFailureStream(#a " " #op " " #b, __FILE__, \
+                                                __LINE__)
+
+#define TELEKIT_CHECK_EQ(a, b) TELEKIT_CHECK_OP(a, b, ==)
+#define TELEKIT_CHECK_NE(a, b) TELEKIT_CHECK_OP(a, b, !=)
+#define TELEKIT_CHECK_LT(a, b) TELEKIT_CHECK_OP(a, b, <)
+#define TELEKIT_CHECK_LE(a, b) TELEKIT_CHECK_OP(a, b, <=)
+#define TELEKIT_CHECK_GT(a, b) TELEKIT_CHECK_OP(a, b, >)
+#define TELEKIT_CHECK_GE(a, b) TELEKIT_CHECK_OP(a, b, >=)
+
+#endif  // TELEKIT_COMMON_CHECK_H_

@@ -1,0 +1,116 @@
+#ifndef TELEKIT_COMMON_STATUS_H_
+#define TELEKIT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace telekit {
+
+/// Error codes for recoverable failures. Programmer errors (broken
+/// invariants) abort via TELEKIT_CHECK instead of returning a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+};
+
+/// Lightweight result type in the RocksDB/Abseil idiom: functions that can
+/// fail in ways the caller should handle return Status (or StatusOr<T>)
+/// rather than throwing. Exceptions are not used in this codebase.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, mirroring absl::*Error.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" form for logs and test output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Callers must test
+/// ok() before dereferencing; dereferencing an error aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status, so `return value;` and
+  /// `return Status::...;` both work at function boundaries.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    TELEKIT_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TELEKIT_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    TELEKIT_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    TELEKIT_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller.
+#define TELEKIT_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::telekit::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace telekit
+
+#endif  // TELEKIT_COMMON_STATUS_H_

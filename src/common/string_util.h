@@ -1,0 +1,42 @@
+#ifndef TELEKIT_COMMON_STRING_UTIL_H_
+#define TELEKIT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace telekit {
+
+/// Splits `text` on `delimiter`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char delimiter);
+
+/// Splits `text` on `delimiter`, keeping empty pieces.
+std::vector<std::string> SplitStringKeepEmpty(std::string_view text,
+                                              char delimiter);
+
+/// Joins `pieces` with `separator`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view separator);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True if `needle` occurs anywhere in `haystack`.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string StripWhitespace(std::string_view text);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace telekit
+
+#endif  // TELEKIT_COMMON_STRING_UTIL_H_

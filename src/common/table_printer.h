@@ -1,0 +1,38 @@
+#ifndef TELEKIT_COMMON_TABLE_PRINTER_H_
+#define TELEKIT_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace telekit {
+
+/// Renders aligned ASCII tables for the benchmark harness, matching the
+/// row/column layout of the tables in the paper's evaluation section.
+class TablePrinter {
+ public:
+  /// Creates a table with the given title (printed above the header).
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; the cell count must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to `precision` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Writes the table to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace telekit
+
+#endif  // TELEKIT_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,144 @@
+#ifndef TELEKIT_CORE_ANENC_H_
+#define TELEKIT_CORE_ANENC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/transformer.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace core {
+
+/// ANEnc hyperparameters (Sec. IV-B, Fig. 5).
+struct AnEncConfig {
+  int d_model = 64;
+  /// Number of field-aware meta embeddings N per layer; must divide d.
+  int num_meta = 4;
+  /// Stacked ANEnc layers L.
+  int num_layers = 2;
+  /// LoRA rank r of the low-rank residual in Eq. 4.
+  int lora_rank = 4;
+  /// LoRA scaling alpha (>= 1 per the paper).
+  float lora_alpha = 1.0f;
+  int ffn_dim = 128;
+};
+
+/// Adaptive numeric encoder (ANEnc): maps a (tag-name embedding t, scalar
+/// value v) pair to a d-dimensional numeric embedding through L layers of
+/// attention-based numeric projection (Eq. 1-2), value lifting (Eq. 3) and
+/// an FFN sublayer with a LoRA low-rank residual (Eq. 4). Being attention
+/// over meta embeddings rather than per-field embeddings, it adapts to
+/// unseen tag names — the property the paper needs for ever-growing KPI
+/// catalogues.
+class AnEnc {
+ public:
+  AnEnc(const AnEncConfig& config, Rng& rng);
+
+  /// Encodes one numeric value. `tag_embedding` is the tag name's pooled
+  /// embedding-layer output [1, d] (constant across layers); `value` is the
+  /// min-max normalized scalar. Returns h^L as [1, d].
+  tensor::Tensor Forward(const tensor::Tensor& tag_embedding,
+                         float value) const;
+
+  /// Attention weights of the first layer for a given tag (diagnostics:
+  /// which meta domains a field routes to). Returns N weights.
+  std::vector<float> MetaAttention(const tensor::Tensor& tag_embedding) const;
+
+  /// Orthogonal regularization sum_i ||I - Wv_i^T Wv_i||_F^2 over all
+  /// value-transformation matrices of all layers (Eq. 8, unweighted).
+  tensor::Tensor OrthogonalPenalty() const;
+
+  NamedParams Parameters() const;
+  const AnEncConfig& config() const { return config_; }
+
+ private:
+  struct Layer {
+    tensor::Tensor meta;     // E: [N, d/N]
+    tensor::Tensor query;    // Wq: [d, d/N]
+    std::vector<tensor::Tensor> value_transforms;  // Wv_i: [d, d] x N
+    LinearLayer ffn_in;
+    LinearLayer ffn_out;
+    tensor::Tensor lora_down;  // [d, r]
+    tensor::Tensor lora_up;    // [r, d]
+    LayerNormParams norm;
+
+    Layer(const AnEncConfig& config, Rng& rng);
+    tensor::Tensor Forward(const tensor::Tensor& tag_embedding,
+                           const tensor::Tensor& x, float lora_alpha,
+                           int num_meta) const;
+    NamedParams Parameters() const;
+  };
+
+  tensor::Tensor LiftValue(float value) const;  // Eq. 3, l = 1 case
+
+  AnEncConfig config_;
+  tensor::Tensor value_fc_;  // W_fc: [1, d]
+  std::vector<Layer> layers_;
+};
+
+/// Numeric decoder NDec (Eq. 5): regresses the original normalized value
+/// from the final transformer hidden state at the [NUM] position, closing
+/// the autoencoder loop.
+class NumericDecoder {
+ public:
+  NumericDecoder(int d_model, Rng& rng);
+
+  /// [1, d] -> scalar prediction tensor [1].
+  tensor::Tensor Forward(const tensor::Tensor& hidden) const;
+
+  NamedParams Parameters() const;
+
+ private:
+  LinearLayer hidden_;
+  LinearLayer out_;
+};
+
+/// Tag classifier TGC (Eq. 6): predicts the tag name from the ANEnc output
+/// so the numeric embedding retains field identity. Optional at run time
+/// (new unseen tags have no label).
+class TagClassifier {
+ public:
+  TagClassifier(int d_model, int num_tags, Rng& rng);
+
+  /// [1, d] -> logits [1, num_tags].
+  tensor::Tensor Forward(const tensor::Tensor& h) const;
+
+  int num_tags() const { return classifier_.out_dim(); }
+  NamedParams Parameters() const;
+
+ private:
+  LinearLayer classifier_;
+};
+
+/// Automatically weighted multi-task loss (Kendall et al.; the L_num
+/// fusion in Sec. IV-B4): L = 0.5 * sum_i L_i / mu_i^2 + sum_i log(1 +
+/// mu_i^2) with learnable noise parameters mu_i.
+class AutoWeightedLoss {
+ public:
+  explicit AutoWeightedLoss(int num_tasks);
+
+  /// Combines per-task losses (each a scalar tensor). Missing tasks may be
+  /// passed as undefined tensors and are skipped.
+  tensor::Tensor Combine(const std::vector<tensor::Tensor>& losses) const;
+
+  /// Current noise parameter values.
+  std::vector<float> Weights() const;
+
+  NamedParams Parameters() const;
+
+ private:
+  std::vector<tensor::Tensor> mu_;
+};
+
+/// In-batch numerical contrastive loss (Eq. 7): for each sample the
+/// positive is the batch element with the closest value; similarities are
+/// cosine, temperature tau.
+tensor::Tensor NumericContrastiveLoss(
+    const std::vector<tensor::Tensor>& embeddings,
+    const std::vector<float>& values, float tau);
+
+}  // namespace core
+}  // namespace telekit
+
+#endif  // TELEKIT_CORE_ANENC_H_

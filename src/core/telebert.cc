@@ -1,0 +1,225 @@
+#include "core/telebert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace telekit {
+namespace core {
+
+using tensor::Tensor;
+
+TeleBert::TeleBert(const EncoderConfig& config, Rng& rng) {
+  encoder_ = std::make_unique<TransformerEncoder>(config, rng);
+  // ELECTRA generator: narrower and shallower than the discriminator.
+  EncoderConfig gen_config = config;
+  gen_config.d_model = std::max(16, config.d_model / 2);
+  gen_config.num_heads = std::max(2, config.num_heads / 2);
+  gen_config.num_layers = 1;
+  gen_config.ffn_dim = std::max(32, config.ffn_dim / 2);
+  generator_ = std::make_unique<TransformerEncoder>(gen_config, rng);
+  mlm_head_ =
+      std::make_unique<LinearLayer>(gen_config.d_model, config.vocab_size,
+                                    rng);
+  rtd_head_ = std::make_unique<LinearLayer>(config.d_model, 1, rng);
+  encoder_mlm_head_ =
+      std::make_unique<LinearLayer>(config.d_model, config.vocab_size, rng);
+}
+
+Tensor TeleBert::GeneratorMlmLoss(const text::MaskedExample& masked,
+                                  int length, std::vector<int>* corrupted_ids,
+                                  Rng& rng) const {
+  Tensor hidden = generator_->Forward(masked.ids, length, rng,
+                                      /*training=*/true);
+  // Gather the masked positions only — the vocab projection dominates MLM
+  // cost, so restricting it to supervised rows is a large saving.
+  std::vector<int> positions;
+  std::vector<int> labels;
+  for (int i = 0; i < length; ++i) {
+    if (masked.labels[static_cast<size_t>(i)] >= 0) {
+      positions.push_back(i);
+      labels.push_back(masked.labels[static_cast<size_t>(i)]);
+    }
+  }
+  *corrupted_ids = masked.ids;
+  if (positions.empty()) return Tensor();
+  Tensor logits = mlm_head_->Forward(tensor::GatherRows(hidden, positions));
+  // Sample replacements from the generator distribution (ELECTRA).
+  const int vocab = logits.dim(1);
+  for (size_t row = 0; row < positions.size(); ++row) {
+    // Softmax sampling over the row.
+    std::vector<double> probs(static_cast<size_t>(vocab));
+    float max_logit = -1e30f;
+    for (int c = 0; c < vocab; ++c) {
+      max_logit = std::max(max_logit,
+                           logits.at(static_cast<int>(row), c));
+    }
+    double denom = 0.0;
+    for (int c = 0; c < vocab; ++c) {
+      probs[static_cast<size_t>(c)] =
+          std::exp(static_cast<double>(logits.at(static_cast<int>(row), c) -
+                                       max_logit));
+      denom += probs[static_cast<size_t>(c)];
+    }
+    for (double& p : probs) p /= denom;
+    (*corrupted_ids)[static_cast<size_t>(positions[row])] =
+        static_cast<int>(rng.Categorical(probs));
+  }
+  return tensor::CrossEntropyWithLogits(logits, labels);
+}
+
+std::vector<PretrainStats> TeleBert::Pretrain(
+    const std::vector<text::EncodedInput>& corpus, const text::Vocab& vocab,
+    const PretrainOptions& options, Rng& rng) {
+  TELEKIT_CHECK(!corpus.empty());
+  tensor::Adam optimizer(options.learning_rate);
+  optimizer.AddParameters(TensorsOf(Parameters()));
+
+  std::vector<PretrainStats> history;
+  history.reserve(static_cast<size_t>(options.steps));
+  for (int step = 0; step < options.steps; ++step) {
+    optimizer.ZeroGrad();
+    std::vector<Tensor> losses;
+    std::vector<Tensor> cls_a, cls_b;  // SimCSE views
+    double mlm_total = 0, rtd_total = 0;
+    int mlm_count = 0;
+    const bool do_simcse = options.simcse_weight > 0.0f;
+    for (int b = 0; b < options.batch_size; ++b) {
+      const text::EncodedInput& example =
+          corpus[static_cast<size_t>(rng.UniformInt(corpus.size()))];
+      text::MaskedExample masked =
+          text::ApplyMasking(example, vocab, options.masking, rng);
+      if (options.objective == PretrainObjective::kMlmOnly) {
+        // Plain MLM on the main encoder (ablation of the ELECTRA choice).
+        Tensor hidden = encoder_->Forward(masked.ids, example.length, rng,
+                                          /*training=*/true);
+        std::vector<int> positions, labels;
+        for (int i = 0; i < example.length; ++i) {
+          if (masked.labels[static_cast<size_t>(i)] >= 0) {
+            positions.push_back(i);
+            labels.push_back(masked.labels[static_cast<size_t>(i)]);
+          }
+        }
+        if (!positions.empty()) {
+          Tensor logits = encoder_mlm_head_->Forward(
+              tensor::GatherRows(hidden, positions));
+          Tensor mlm = tensor::CrossEntropyWithLogits(logits, labels);
+          losses.push_back(mlm);
+          mlm_total += mlm.item();
+          ++mlm_count;
+        }
+        if (do_simcse) {
+          cls_a.push_back(EncodeCls(example, rng, /*training=*/true));
+          cls_b.push_back(EncodeCls(example, rng, /*training=*/true));
+        }
+        continue;
+      }
+      // Generator MLM + replacement sampling.
+      std::vector<int> corrupted;
+      Tensor mlm = GeneratorMlmLoss(masked, example.length, &corrupted, rng);
+      if (mlm.defined()) {
+        losses.push_back(mlm);
+        mlm_total += mlm.item();
+        ++mlm_count;
+      }
+      // Discriminator replaced-token detection over the corrupted input.
+      Tensor hidden = encoder_->Forward(corrupted, example.length, rng,
+                                        /*training=*/true);
+      Tensor rtd_logits =
+          tensor::Reshape(rtd_head_->Forward(hidden), {example.length});
+      std::vector<float> replaced(static_cast<size_t>(example.length), 0.0f);
+      for (int i = 0; i < example.length; ++i) {
+        replaced[static_cast<size_t>(i)] =
+            corrupted[static_cast<size_t>(i)] !=
+                    example.ids[static_cast<size_t>(i)]
+                ? 1.0f
+                : 0.0f;
+      }
+      Tensor rtd = tensor::MulScalar(
+          tensor::BceWithLogits(rtd_logits, replaced), options.rtd_weight);
+      losses.push_back(rtd);
+      rtd_total += rtd.item() / std::max(options.rtd_weight, 1e-6f);
+      // SimCSE: two dropout views of the clean input.
+      if (do_simcse) {
+        cls_a.push_back(EncodeCls(example, rng, /*training=*/true));
+        cls_b.push_back(EncodeCls(example, rng, /*training=*/true));
+      }
+    }
+    PretrainStats stats;
+    stats.mlm_loss =
+        mlm_count > 0 ? static_cast<float>(mlm_total / mlm_count) : 0.0f;
+    stats.rtd_loss = static_cast<float>(rtd_total / options.batch_size);
+    if (do_simcse && cls_a.size() >= 2) {
+      // InfoNCE: view b of sample i is the positive for view a of i.
+      Tensor a = tensor::L2NormalizeRows(tensor::ConcatRows(cls_a));
+      Tensor b = tensor::L2NormalizeRows(tensor::ConcatRows(cls_b));
+      Tensor sims = tensor::MulScalar(
+          tensor::MatMul(a, tensor::Transpose(b)),
+          1.0f / options.simcse_temperature);
+      std::vector<int> diagonal(cls_a.size());
+      for (size_t i = 0; i < cls_a.size(); ++i) {
+        diagonal[i] = static_cast<int>(i);
+      }
+      Tensor simcse = tensor::CrossEntropyWithLogits(sims, diagonal);
+      stats.simcse_loss = simcse.item();
+      losses.push_back(tensor::MulScalar(simcse, options.simcse_weight));
+    }
+    // Average over the batch and step.
+    Tensor total = tensor::MulScalar(
+        [&losses] {
+          Tensor sum = losses.front();
+          for (size_t i = 1; i < losses.size(); ++i) {
+            sum = tensor::Add(sum, losses[i]);
+          }
+          return sum;
+        }(),
+        1.0f / static_cast<float>(options.batch_size));
+    stats.total_loss = total.item();
+    total.Backward();
+    optimizer.ClipGradNorm(options.clip_norm);
+    optimizer.Step();
+    history.push_back(stats);
+  }
+  return history;
+}
+
+Tensor TeleBert::Hidden(const text::EncodedInput& input, Rng& rng,
+                        bool training) const {
+  return encoder_->Forward(input.ids, input.length, rng, training);
+}
+
+Tensor TeleBert::EncodeCls(const text::EncodedInput& input, Rng& rng,
+                           bool training) const {
+  return tensor::SliceRows(Hidden(input, rng, training), 0, 1);
+}
+
+std::vector<float> TeleBert::ServiceVector(
+    const text::EncodedInput& input) const {
+  Rng rng(0);  // unused in eval mode (no dropout)
+  return EncodeCls(input, rng, /*training=*/false).data();
+}
+
+NamedParams TeleBert::Parameters() const {
+  NamedParams out;
+  AppendWithPrefix("encoder", encoder_->Parameters(), &out);
+  AppendWithPrefix("generator", generator_->Parameters(), &out);
+  AppendWithPrefix("mlm_head", mlm_head_->Parameters(), &out);
+  AppendWithPrefix("rtd_head", rtd_head_->Parameters(), &out);
+  AppendWithPrefix("encoder_mlm_head", encoder_mlm_head_->Parameters(), &out);
+  return out;
+}
+
+tensor::TensorMap TeleBert::Checkpoint() const {
+  return ToTensorMap(Parameters());
+}
+
+Status TeleBert::Restore(const tensor::TensorMap& checkpoint) {
+  tensor::TensorMap current = ToTensorMap(Parameters());
+  return tensor::RestoreInto(checkpoint, current);
+}
+
+}  // namespace core
+}  // namespace telekit

@@ -1,0 +1,219 @@
+#include "core/transformer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace telekit {
+namespace core {
+
+using tensor::Tensor;
+
+void AppendWithPrefix(const std::string& prefix, const NamedParams& params,
+                      NamedParams* out) {
+  for (const auto& [name, t] : params) {
+    out->emplace_back(prefix + "." + name, t);
+  }
+}
+
+tensor::TensorMap ToTensorMap(const NamedParams& params) {
+  tensor::TensorMap map;
+  for (const auto& [name, t] : params) {
+    TELEKIT_CHECK(map.emplace(name, t).second)
+        << "duplicate parameter name " << name;
+  }
+  return map;
+}
+
+std::vector<Tensor> TensorsOf(const NamedParams& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const auto& [name, t] : params) out.push_back(t);
+  return out;
+}
+
+// --- LinearLayer -------------------------------------------------------------
+
+LinearLayer::LinearLayer(int in_dim, int out_dim, Rng& rng)
+    : weight_(Tensor::GlorotUniform(in_dim, out_dim, rng, true)),
+      bias_(Tensor::Zeros({out_dim}, true)) {}
+
+Tensor LinearLayer::Forward(const Tensor& x) const {
+  return tensor::Add(tensor::MatMul(x, weight_), bias_);
+}
+
+NamedParams LinearLayer::Parameters() const {
+  return {{"weight", weight_}, {"bias", bias_}};
+}
+
+// --- LayerNormParams ---------------------------------------------------------
+
+LayerNormParams::LayerNormParams(int dim)
+    : gain_(Tensor::Ones({dim}, true)), bias_(Tensor::Zeros({dim}, true)) {}
+
+Tensor LayerNormParams::Forward(const Tensor& x) const {
+  return tensor::LayerNorm(x, gain_, bias_);
+}
+
+NamedParams LayerNormParams::Parameters() const {
+  return {{"gain", gain_}, {"bias", bias_}};
+}
+
+// --- MultiHeadSelfAttention -----------------------------------------------------
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int num_heads,
+                                               Rng& rng)
+    : num_heads_(num_heads),
+      head_dim_(d_model / num_heads),
+      query_(d_model, d_model, rng),
+      key_(d_model, d_model, rng),
+      value_(d_model, d_model, rng),
+      output_(d_model, d_model, rng) {
+  TELEKIT_CHECK_EQ(head_dim_ * num_heads, d_model)
+      << "d_model must be divisible by num_heads";
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  const Tensor q = query_.Forward(x);
+  const Tensor k = key_.Forward(x);
+  const Tensor v = value_.Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> heads;
+  heads.reserve(static_cast<size_t>(num_heads_));
+  for (int h = 0; h < num_heads_; ++h) {
+    const int start = h * head_dim_;
+    const Tensor qh = tensor::SliceCols(q, start, head_dim_);
+    const Tensor kh = tensor::SliceCols(k, start, head_dim_);
+    const Tensor vh = tensor::SliceCols(v, start, head_dim_);
+    Tensor scores =
+        tensor::MulScalar(tensor::MatMul(qh, tensor::Transpose(kh)), scale);
+    heads.push_back(tensor::MatMul(tensor::Softmax(scores), vh));
+  }
+  return output_.Forward(tensor::ConcatCols(heads));
+}
+
+NamedParams MultiHeadSelfAttention::Parameters() const {
+  NamedParams out;
+  AppendWithPrefix("q", query_.Parameters(), &out);
+  AppendWithPrefix("k", key_.Parameters(), &out);
+  AppendWithPrefix("v", value_.Parameters(), &out);
+  AppendWithPrefix("o", output_.Parameters(), &out);
+  return out;
+}
+
+// --- TransformerLayer --------------------------------------------------------------
+
+TransformerLayer::TransformerLayer(int d_model, int num_heads, int ffn_dim,
+                                   Rng& rng)
+    : attention_(d_model, num_heads, rng),
+      norm1_(d_model),
+      ffn_in_(d_model, ffn_dim, rng),
+      ffn_out_(ffn_dim, d_model, rng),
+      norm2_(d_model) {}
+
+Tensor TransformerLayer::Forward(const Tensor& x, float dropout, Rng& rng,
+                                 bool training) const {
+  Tensor attended =
+      tensor::Dropout(attention_.Forward(x), dropout, rng, training);
+  Tensor h = norm1_.Forward(tensor::Add(x, attended));
+  Tensor ffn = ffn_out_.Forward(tensor::Gelu(ffn_in_.Forward(h)));
+  ffn = tensor::Dropout(ffn, dropout, rng, training);
+  return norm2_.Forward(tensor::Add(h, ffn));
+}
+
+NamedParams TransformerLayer::Parameters() const {
+  NamedParams out;
+  AppendWithPrefix("attn", attention_.Parameters(), &out);
+  AppendWithPrefix("norm1", norm1_.Parameters(), &out);
+  AppendWithPrefix("ffn_in", ffn_in_.Parameters(), &out);
+  AppendWithPrefix("ffn_out", ffn_out_.Parameters(), &out);
+  AppendWithPrefix("norm2", norm2_.Parameters(), &out);
+  return out;
+}
+
+// --- TransformerEncoder ----------------------------------------------------------------
+
+TransformerEncoder::TransformerEncoder(const EncoderConfig& config, Rng& rng)
+    : config_(config),
+      token_table_(Tensor::Randn({config.vocab_size, config.d_model}, rng,
+                                 0.02f, true)),
+      position_table_(Tensor::Randn({config.max_len, config.d_model}, rng,
+                                    0.02f, true)),
+      embed_norm_(config.d_model) {
+  TELEKIT_CHECK_GT(config.vocab_size, 0) << "set vocab_size from tokenizer";
+  layers_.reserve(static_cast<size_t>(config.num_layers));
+  for (int i = 0; i < config.num_layers; ++i) {
+    layers_.emplace_back(config.d_model, config.num_heads, config.ffn_dim,
+                         rng);
+  }
+}
+
+Tensor TransformerEncoder::Embed(
+    const std::vector<int>& ids, int length,
+    const std::vector<std::pair<int, Tensor>>& overrides, Rng& rng,
+    bool training) const {
+  TELEKIT_CHECK_GT(length, 0);
+  TELEKIT_CHECK_LE(length, static_cast<int>(ids.size()));
+  TELEKIT_CHECK_LE(length, config_.max_len);
+  std::vector<int> prefix(ids.begin(), ids.begin() + length);
+  Tensor token_rows = tensor::EmbeddingLookup(token_table_, prefix);
+  if (!overrides.empty()) {
+    // Rebuild row-by-row with overridden positions substituted.
+    std::vector<Tensor> rows;
+    rows.reserve(static_cast<size_t>(length));
+    for (int i = 0; i < length; ++i) {
+      const Tensor* replacement = nullptr;
+      for (const auto& [pos, t] : overrides) {
+        if (pos == i) {
+          replacement = &t;
+          break;
+        }
+      }
+      rows.push_back(replacement != nullptr
+                         ? *replacement
+                         : tensor::SliceRows(token_rows, i, 1));
+    }
+    token_rows = tensor::ConcatRows(rows);
+  }
+  Tensor positions = tensor::SliceRows(position_table_, 0, length);
+  Tensor embedded = embed_norm_.Forward(tensor::Add(token_rows, positions));
+  return tensor::Dropout(embedded, config_.dropout, rng, training);
+}
+
+Tensor TransformerEncoder::Encode(const Tensor& embedded, Rng& rng,
+                                  bool training) const {
+  Tensor h = embedded;
+  for (const TransformerLayer& layer : layers_) {
+    h = layer.Forward(h, config_.dropout, rng, training);
+  }
+  return h;
+}
+
+Tensor TransformerEncoder::Forward(const std::vector<int>& ids, int length,
+                                   Rng& rng, bool training) const {
+  return Encode(Embed(ids, length, {}, rng, training), rng, training);
+}
+
+Tensor TransformerEncoder::MeanTokenEmbedding(
+    const std::vector<int>& ids) const {
+  TELEKIT_CHECK(!ids.empty());
+  return tensor::Reshape(
+      tensor::MeanRows(tensor::EmbeddingLookup(token_table_, ids)),
+      {1, config_.d_model});
+}
+
+NamedParams TransformerEncoder::Parameters() const {
+  NamedParams out;
+  out.emplace_back("token_table", token_table_);
+  out.emplace_back("position_table", position_table_);
+  AppendWithPrefix("embed_norm", embed_norm_.Parameters(), &out);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    AppendWithPrefix("layer" + std::to_string(i), layers_[i].Parameters(),
+                     &out);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace telekit

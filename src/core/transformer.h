@@ -1,0 +1,147 @@
+#ifndef TELEKIT_CORE_TRANSFORMER_H_
+#define TELEKIT_CORE_TRANSFORMER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace core {
+
+/// Named parameter list used for optimizer registration and checkpointing.
+using NamedParams = std::vector<std::pair<std::string, tensor::Tensor>>;
+
+/// Appends `params` of a submodule under `prefix + "."`.
+void AppendWithPrefix(const std::string& prefix, const NamedParams& params,
+                      NamedParams* out);
+
+/// Converts a named parameter list to a TensorMap (for checkpoints).
+tensor::TensorMap ToTensorMap(const NamedParams& params);
+
+/// Flattens the tensors of a named parameter list.
+std::vector<tensor::Tensor> TensorsOf(const NamedParams& params);
+
+/// Fully connected layer y = x W + b.
+class LinearLayer {
+ public:
+  LinearLayer(int in_dim, int out_dim, Rng& rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+  NamedParams Parameters() const;
+
+  int in_dim() const { return weight_.dim(0); }
+  int out_dim() const { return weight_.dim(1); }
+
+ private:
+  tensor::Tensor weight_;
+  tensor::Tensor bias_;
+};
+
+/// Learnable layer-norm gain/bias pair.
+class LayerNormParams {
+ public:
+  explicit LayerNormParams(int dim);
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+  NamedParams Parameters() const;
+
+ private:
+  tensor::Tensor gain_;
+  tensor::Tensor bias_;
+};
+
+/// Multi-head self-attention over a single (unpadded) sequence [S, d].
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention(int d_model, int num_heads, Rng& rng);
+
+  /// [S, d] -> [S, d].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+  NamedParams Parameters() const;
+
+ private:
+  int num_heads_;
+  int head_dim_;
+  LinearLayer query_;
+  LinearLayer key_;
+  LinearLayer value_;
+  LinearLayer output_;
+};
+
+/// Post-LN transformer encoder layer (attention + GELU FFN).
+class TransformerLayer {
+ public:
+  TransformerLayer(int d_model, int num_heads, int ffn_dim, Rng& rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x, float dropout, Rng& rng,
+                         bool training) const;
+  NamedParams Parameters() const;
+
+ private:
+  MultiHeadSelfAttention attention_;
+  LayerNormParams norm1_;
+  LinearLayer ffn_in_;
+  LinearLayer ffn_out_;
+  LayerNormParams norm2_;
+};
+
+/// Encoder hyperparameters (shared by TeleBERT / KTeleBERT / the MacBERT
+/// surrogate; only the pre-training corpus differs between them).
+struct EncoderConfig {
+  int vocab_size = 0;  // set from the tokenizer
+  int d_model = 64;
+  int num_heads = 4;
+  int num_layers = 2;
+  int ffn_dim = 128;
+  int max_len = 32;
+  float dropout = 0.1f;
+};
+
+/// BERT-style transformer encoder: token + position embeddings with
+/// embedding layer-norm, then a stack of TransformerLayers. Sequences are
+/// processed unpadded (one at a time) — padding positions are simply
+/// dropped, which removes the need for attention masks.
+class TransformerEncoder {
+ public:
+  TransformerEncoder(const EncoderConfig& config, Rng& rng);
+
+  /// Embedding-layer output (token + position, layer-normed) for the first
+  /// `length` ids: [length, d]. `overrides` replaces rows at the given
+  /// positions with externally computed embeddings (the ANEnc hook);
+  /// each override tensor is [1, d].
+  tensor::Tensor Embed(
+      const std::vector<int>& ids, int length,
+      const std::vector<std::pair<int, tensor::Tensor>>& overrides, Rng& rng,
+      bool training) const;
+
+  /// Runs the layer stack over embedded input: [length, d] -> [length, d].
+  tensor::Tensor Encode(const tensor::Tensor& embedded, Rng& rng,
+                        bool training) const;
+
+  /// Convenience: Embed + Encode without overrides.
+  tensor::Tensor Forward(const std::vector<int>& ids, int length, Rng& rng,
+                         bool training) const;
+
+  /// Raw (pre-layer-norm) embedding rows for a token id list, mean-pooled:
+  /// [d]. Used for the ANEnc tag-name embedding t (Sec. IV-B).
+  tensor::Tensor MeanTokenEmbedding(const std::vector<int>& ids) const;
+
+  NamedParams Parameters() const;
+  const EncoderConfig& config() const { return config_; }
+  const tensor::Tensor& token_table() const { return token_table_; }
+
+ private:
+  EncoderConfig config_;
+  tensor::Tensor token_table_;     // [V, d]
+  tensor::Tensor position_table_;  // [max_len, d]
+  LayerNormParams embed_norm_;
+  std::vector<TransformerLayer> layers_;
+};
+
+}  // namespace core
+}  // namespace telekit
+
+#endif  // TELEKIT_CORE_TRANSFORMER_H_

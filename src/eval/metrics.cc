@@ -1,0 +1,219 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace telekit {
+namespace eval {
+
+double RankingAccumulator::MeanRank() const {
+  TELEKIT_CHECK(!ranks_.empty());
+  return std::accumulate(ranks_.begin(), ranks_.end(), 0.0) /
+         static_cast<double>(ranks_.size());
+}
+
+double RankingAccumulator::MeanReciprocalRank() const {
+  TELEKIT_CHECK(!ranks_.empty());
+  double total = 0;
+  for (double r : ranks_) total += 1.0 / r;
+  return total / static_cast<double>(ranks_.size());
+}
+
+double RankingAccumulator::HitsAt(int n, bool percent) const {
+  TELEKIT_CHECK(!ranks_.empty());
+  int hits = 0;
+  for (double r : ranks_) hits += r <= static_cast<double>(n) + 1e-9;
+  const double fraction =
+      static_cast<double>(hits) / static_cast<double>(ranks_.size());
+  return percent ? 100.0 * fraction : fraction;
+}
+
+void BinaryConfusion::Add(bool predicted_positive, bool actually_positive) {
+  if (predicted_positive && actually_positive) {
+    ++tp_;
+  } else if (predicted_positive && !actually_positive) {
+    ++fp_;
+  } else if (!predicted_positive && actually_positive) {
+    ++fn_;
+  } else {
+    ++tn_;
+  }
+}
+
+double BinaryConfusion::Accuracy() const {
+  TELEKIT_CHECK_GT(total(), 0);
+  return 100.0 * (tp_ + tn_) / static_cast<double>(total());
+}
+
+double BinaryConfusion::Precision() const {
+  if (tp_ + fp_ == 0) return 0.0;
+  return 100.0 * tp_ / static_cast<double>(tp_ + fp_);
+}
+
+double BinaryConfusion::Recall() const {
+  if (tp_ + fn_ == 0) return 0.0;
+  return 100.0 * tp_ / static_cast<double>(tp_ + fn_);
+}
+
+double BinaryConfusion::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+std::vector<std::vector<size_t>> KFoldIndices(size_t n, int k, Rng& rng) {
+  TELEKIT_CHECK_GE(k, 2);
+  TELEKIT_CHECK_GE(n, static_cast<size_t>(k));
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  std::vector<std::vector<size_t>> folds(static_cast<size_t>(k));
+  for (size_t i = 0; i < n; ++i) {
+    folds[i % static_cast<size_t>(k)].push_back(order[i]);
+  }
+  return folds;
+}
+
+KFoldSplit MakeSplit(const std::vector<std::vector<size_t>>& folds,
+                     int test_fold) {
+  const int k = static_cast<int>(folds.size());
+  TELEKIT_CHECK(test_fold >= 0 && test_fold < k);
+  const int valid_fold = (test_fold + 1) % k;
+  KFoldSplit split;
+  split.test = folds[static_cast<size_t>(test_fold)];
+  split.valid = folds[static_cast<size_t>(valid_fold)];
+  for (int f = 0; f < k; ++f) {
+    if (f == test_fold || f == valid_fold) continue;
+    split.train.insert(split.train.end(), folds[static_cast<size_t>(f)].begin(),
+                       folds[static_cast<size_t>(f)].end());
+  }
+  return split;
+}
+
+std::vector<std::pair<double, double>> PcaProject2d(
+    const std::vector<std::vector<float>>& points) {
+  TELEKIT_CHECK_GE(points.size(), 2u);
+  const size_t d = points[0].size();
+  // Center.
+  std::vector<double> mean(d, 0.0);
+  for (const auto& p : points) {
+    TELEKIT_CHECK_EQ(p.size(), d);
+    for (size_t j = 0; j < d; ++j) mean[j] += p[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(points.size());
+  std::vector<std::vector<double>> centered(points.size(),
+                                            std::vector<double>(d));
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) centered[i][j] = points[i][j] - mean[j];
+  }
+  // Power iteration on the covariance (implicitly, via X^T X v).
+  auto multiply_cov = [&](const std::vector<double>& v) {
+    std::vector<double> out(d, 0.0);
+    for (const auto& row : centered) {
+      double dot = 0;
+      for (size_t j = 0; j < d; ++j) dot += row[j] * v[j];
+      for (size_t j = 0; j < d; ++j) out[j] += dot * row[j];
+    }
+    return out;
+  };
+  auto normalize = [](std::vector<double>& v) {
+    double norm = 0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (double& x : v) x /= norm;
+    }
+    return norm;
+  };
+  std::vector<std::vector<double>> components;
+  for (int c = 0; c < 2; ++c) {
+    std::vector<double> v(d);
+    for (size_t j = 0; j < d; ++j) {
+      v[j] = std::sin(static_cast<double>(j + 1) * (c + 1) * 0.7) + 0.01;
+    }
+    normalize(v);
+    for (int iter = 0; iter < 60; ++iter) {
+      std::vector<double> next = multiply_cov(v);
+      // Deflate previously found components.
+      for (const auto& prev : components) {
+        double dot = 0;
+        for (size_t j = 0; j < d; ++j) dot += next[j] * prev[j];
+        for (size_t j = 0; j < d; ++j) next[j] -= dot * prev[j];
+      }
+      if (normalize(next) < 1e-12) break;
+      v = next;
+    }
+    components.push_back(v);
+  }
+  std::vector<std::pair<double, double>> projected;
+  projected.reserve(points.size());
+  for (const auto& row : centered) {
+    double x = 0, y = 0;
+    for (size_t j = 0; j < d; ++j) {
+      x += row[j] * components[0][j];
+      y += row[j] * components[1][j];
+    }
+    projected.emplace_back(x, y);
+  }
+  return projected;
+}
+
+namespace {
+
+std::vector<double> RanksOf(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                                2.0 +
+                            1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  TELEKIT_CHECK_EQ(a.size(), b.size());
+  TELEKIT_CHECK_GE(a.size(), 3u);
+  const std::vector<double> ra = RanksOf(a);
+  const std::vector<double> rb = RanksOf(b);
+  const double n = static_cast<double>(a.size());
+  double mean = (n + 1.0) / 2.0;
+  double cov = 0, var_a = 0, var_b = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (ra[i] - mean) * (rb[i] - mean);
+    var_a += (ra[i] - mean) * (ra[i] - mean);
+    var_b += (rb[i] - mean) * (rb[i] - mean);
+  }
+  if (var_a < 1e-12 || var_b < 1e-12) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  TELEKIT_CHECK_EQ(a.size(), b.size());
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace eval
+}  // namespace telekit

@@ -1,0 +1,80 @@
+#ifndef TELEKIT_EVAL_METRICS_H_
+#define TELEKIT_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace telekit {
+namespace eval {
+
+/// Accumulates ranks (1-based, possibly fractional for ties) and reports
+/// the ranking metrics used by Tables IV and VIII.
+class RankingAccumulator {
+ public:
+  void AddRank(double rank) {
+    TELEKIT_CHECK_GE(rank, 1.0);
+    ranks_.push_back(rank);
+  }
+
+  int count() const { return static_cast<int>(ranks_.size()); }
+  /// Mean rank (MR, lower is better).
+  double MeanRank() const;
+  /// Mean reciprocal rank (MRR, higher is better).
+  double MeanReciprocalRank() const;
+  /// Fraction of ranks <= n (Hits@N), in percent when `percent`.
+  double HitsAt(int n, bool percent = true) const;
+
+ private:
+  std::vector<double> ranks_;
+};
+
+/// Binary-classification confusion counts and the derived metrics of
+/// Table VI (values in percent).
+class BinaryConfusion {
+ public:
+  void Add(bool predicted_positive, bool actually_positive);
+
+  int total() const { return tp_ + fp_ + tn_ + fn_; }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+
+ private:
+  int tp_ = 0, fp_ = 0, tn_ = 0, fn_ = 0;
+};
+
+/// Random k-fold assignment: returns k disjoint index sets covering [0, n).
+std::vector<std::vector<size_t>> KFoldIndices(size_t n, int k, Rng& rng);
+
+/// The paper's CV scheme (Sec. V-B3): fold `test_fold` is the test set,
+/// the next fold is validation, the rest train.
+struct KFoldSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> valid;
+  std::vector<size_t> test;
+};
+KFoldSplit MakeSplit(const std::vector<std::vector<size_t>>& folds,
+                     int test_fold);
+
+/// Projects points onto their top two principal components (used to render
+/// Fig. 10's numeric-embedding visualization as coordinates).
+std::vector<std::pair<double, double>> PcaProject2d(
+    const std::vector<std::vector<float>>& points);
+
+/// Spearman rank correlation between two equally sized samples. Used to
+/// quantify Fig. 10: with L_nc the distance-from-anchor ordering of numeric
+/// embeddings should correlate with the value ordering.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Cosine similarity between two vectors.
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+}  // namespace eval
+}  // namespace telekit
+
+#endif  // TELEKIT_EVAL_METRICS_H_

@@ -1,0 +1,79 @@
+#include "graph/gcn.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace telekit {
+namespace graph {
+
+using tensor::Tensor;
+
+Tensor NormalizedAdjacency(const Graph& graph) {
+  const int n = graph.num_nodes;
+  TELEKIT_CHECK_GT(n, 0);
+  // A + I with parallel edges collapsed.
+  std::vector<float> adj(static_cast<size_t>(n) * n, 0.0f);
+  for (int i = 0; i < n; ++i) adj[static_cast<size_t>(i) * n + i] = 1.0f;
+  for (const auto& [u, v] : graph.edges) {
+    TELEKIT_CHECK(u >= 0 && u < n && v >= 0 && v < n)
+        << "edge (" << u << ", " << v << ") out of range";
+    adj[static_cast<size_t>(u) * n + v] = 1.0f;
+    adj[static_cast<size_t>(v) * n + u] = 1.0f;
+  }
+  // Degree of A + I, then symmetric normalization.
+  std::vector<float> inv_sqrt_degree(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    float degree = 0.0f;
+    for (int j = 0; j < n; ++j) degree += adj[static_cast<size_t>(i) * n + j];
+    inv_sqrt_degree[static_cast<size_t>(i)] = 1.0f / std::sqrt(degree);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      adj[static_cast<size_t>(i) * n + j] *=
+          inv_sqrt_degree[static_cast<size_t>(i)] *
+          inv_sqrt_degree[static_cast<size_t>(j)];
+    }
+  }
+  return Tensor::FromData({n, n}, std::move(adj));
+}
+
+GcnLayer::GcnLayer(int in_dim, int out_dim, Rng& rng)
+    : weight_(Tensor::GlorotUniform(in_dim, out_dim, rng,
+                                    /*requires_grad=*/true)) {}
+
+Tensor GcnLayer::Forward(const Tensor& a_norm, const Tensor& h,
+                         bool apply_relu) const {
+  TELEKIT_CHECK_EQ(h.dim(1), in_dim());
+  TELEKIT_CHECK_EQ(a_norm.dim(0), h.dim(0));
+  Tensor out = tensor::MatMul(tensor::MatMul(a_norm, h), weight_);
+  return apply_relu ? tensor::Relu(out) : out;
+}
+
+GcnStack::GcnStack(const std::vector<int>& dims, Rng& rng) {
+  TELEKIT_CHECK_GE(dims.size(), 2u) << "need input and output dims";
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Tensor GcnStack::Forward(const Tensor& a_norm, const Tensor& features) const {
+  Tensor h = features;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    h = layers_[i].Forward(a_norm, h, /*apply_relu=*/!last);
+  }
+  return h;
+}
+
+std::vector<Tensor> GcnStack::Parameters() const {
+  std::vector<Tensor> params;
+  for (const GcnLayer& layer : layers_) {
+    for (const Tensor& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace graph
+}  // namespace telekit

@@ -1,0 +1,68 @@
+#ifndef TELEKIT_GRAPH_GCN_H_
+#define TELEKIT_GRAPH_GCN_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace graph {
+
+/// An undirected graph over nodes 0..num_nodes-1. Parallel edges are
+/// allowed (they are collapsed when building the adjacency matrix).
+struct Graph {
+  int num_nodes = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// Dense symmetric-normalized adjacency with self-loops,
+/// D^{-1/2} (A + I) D^{-1/2} (Kipf & Welling; Eq. 14 of the paper).
+/// The result does not require grad (it is a constant of the graph).
+tensor::Tensor NormalizedAdjacency(const Graph& graph);
+
+/// One graph-convolution layer: H' = act(A_norm H W).
+class GcnLayer {
+ public:
+  /// Glorot-initialized weight [in_dim, out_dim].
+  GcnLayer(int in_dim, int out_dim, Rng& rng);
+
+  /// Forward pass. `a_norm` is the normalized adjacency [n, n]; `h` is the
+  /// node-feature matrix [n, in_dim]. Applies ReLU when `apply_relu`.
+  tensor::Tensor Forward(const tensor::Tensor& a_norm,
+                         const tensor::Tensor& h, bool apply_relu) const;
+
+  /// Trainable parameters of this layer.
+  std::vector<tensor::Tensor> Parameters() const { return {weight_}; }
+
+  int in_dim() const { return weight_.dim(0); }
+  int out_dim() const { return weight_.dim(1); }
+
+ private:
+  tensor::Tensor weight_;
+};
+
+/// A stack of GCN layers with ReLU between layers and a linear last layer
+/// (the RCA configuration: input -> 1024 -> 512).
+class GcnStack {
+ public:
+  /// `dims` = {input, hidden..., output}; at least two entries.
+  GcnStack(const std::vector<int>& dims, Rng& rng);
+
+  /// Node representations after all layers: [n, dims.back()].
+  tensor::Tensor Forward(const tensor::Tensor& a_norm,
+                         const tensor::Tensor& features) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<GcnLayer> layers_;
+};
+
+}  // namespace graph
+}  // namespace telekit
+
+#endif  // TELEKIT_GRAPH_GCN_H_

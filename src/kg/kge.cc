@@ -1,0 +1,206 @@
+#include "kg/kge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace telekit {
+namespace kg {
+
+Triple NegativeSampler::Corrupt(const Triple& triple, bool corrupt_tail,
+                                Rng& rng) const {
+  const int n = store_.num_entities();
+  TELEKIT_CHECK_GT(n, 1) << "cannot corrupt with a single entity";
+  Triple corrupted = triple;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const EntityId candidate = static_cast<EntityId>(rng.UniformInt(n));
+    if (corrupt_tail) {
+      corrupted.tail = candidate;
+    } else {
+      corrupted.head = candidate;
+    }
+    const bool unchanged = corrupt_tail ? candidate == triple.tail
+                                        : candidate == triple.head;
+    if (!unchanged &&
+        !store_.HasTriple(corrupted.head, corrupted.relation,
+                          corrupted.tail)) {
+      return corrupted;
+    }
+  }
+  // Dense graphs may exhaust attempts; the last candidate is still a valid
+  // (if occasionally false-negative) corruption.
+  return corrupted;
+}
+
+TranslationalKge::TranslationalKge(int num_entities, int num_relations,
+                                   const KgeOptions& options, Rng& rng)
+    : options_(options),
+      num_entities_(num_entities),
+      num_relations_(num_relations) {
+  TELEKIT_CHECK_GT(num_entities, 0);
+  TELEKIT_CHECK_GT(num_relations, 0);
+  TELEKIT_CHECK_GT(options.dim, 0);
+  auto init = [&](int rows) {
+    std::vector<std::vector<float>> m(static_cast<size_t>(rows));
+    for (auto& row : m) {
+      row.resize(static_cast<size_t>(options_.dim));
+      for (float& v : row) {
+        v = static_cast<float>(rng.Uniform(-options_.init_scale,
+                                           options_.init_scale));
+      }
+    }
+    return m;
+  };
+  entities_ = init(num_entities);
+  relations_ = init(num_relations);
+  if (options_.normalize_entities) NormalizeEntityRows();
+}
+
+void TranslationalKge::InitializeEntities(
+    const std::vector<std::vector<float>>& vectors) {
+  TELEKIT_CHECK_EQ(static_cast<int>(vectors.size()), num_entities_);
+  for (int e = 0; e < num_entities_; ++e) {
+    TELEKIT_CHECK_EQ(static_cast<int>(vectors[static_cast<size_t>(e)].size()),
+                     options_.dim)
+        << "entity vector dim mismatch";
+    entities_[static_cast<size_t>(e)] = vectors[static_cast<size_t>(e)];
+  }
+  if (options_.normalize_entities) NormalizeEntityRows();
+}
+
+float TranslationalKge::Distance(EntityId h, RelationId r, EntityId t) const {
+  const auto& eh = entities_[static_cast<size_t>(h)];
+  const auto& er = relations_[static_cast<size_t>(r)];
+  const auto& et = entities_[static_cast<size_t>(t)];
+  float sq = 0.0f;
+  for (int i = 0; i < options_.dim; ++i) {
+    const float d = eh[static_cast<size_t>(i)] + er[static_cast<size_t>(i)] -
+                    et[static_cast<size_t>(i)];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+float TranslationalKge::Score(EntityId h, RelationId r, EntityId t) const {
+  TELEKIT_CHECK(h >= 0 && h < num_entities_);
+  TELEKIT_CHECK(r >= 0 && r < num_relations_);
+  TELEKIT_CHECK(t >= 0 && t < num_entities_);
+  return -Distance(h, r, t);
+}
+
+float TranslationalKge::UpdatePair(const Quadruple& pos, const Triple& neg) {
+  // Margin scaled by confidence: s^alpha * M (Eq. 24). alpha = 0 -> TransE.
+  const float margin =
+      std::pow(std::max(pos.confidence, 1e-6f), options_.confidence_alpha) *
+      options_.margin;
+  const float d_pos = Distance(pos.head, pos.relation, pos.tail);
+  const float d_neg = Distance(neg.head, neg.relation, neg.tail);
+  const float loss = d_pos - d_neg + margin;
+  if (loss <= 0.0f) return 0.0f;
+
+  // Gradient of ||h + r - t||_2 w.r.t. h is (h+r-t)/d (and -that for t).
+  const float lr = options_.learning_rate;
+  auto apply = [&](EntityId h, RelationId r, EntityId t, float sign,
+                   float dist) {
+    if (dist < 1e-9f) return;
+    auto& eh = entities_[static_cast<size_t>(h)];
+    auto& er = relations_[static_cast<size_t>(r)];
+    auto& et = entities_[static_cast<size_t>(t)];
+    const float scale = sign * lr / dist;
+    for (int i = 0; i < options_.dim; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      const float diff = eh[si] + er[si] - et[si];
+      eh[si] -= scale * diff;
+      er[si] -= scale * diff;
+      et[si] += scale * diff;
+    }
+  };
+  // Descend on d_pos, ascend on d_neg.
+  apply(pos.head, pos.relation, pos.tail, +1.0f, d_pos);
+  apply(neg.head, neg.relation, neg.tail, -1.0f, d_neg);
+  return loss;
+}
+
+float TranslationalKge::TrainEpoch(const std::vector<Quadruple>& facts,
+                                   const NegativeSampler& sampler, Rng& rng) {
+  TELEKIT_CHECK(!facts.empty());
+  std::vector<size_t> order(facts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  double total = 0.0;
+  int64_t count = 0;
+  for (size_t idx : order) {
+    const Quadruple& pos = facts[idx];
+    const Triple pos_triple{pos.head, pos.relation, pos.tail};
+    for (int k = 0; k < options_.negatives; ++k) {
+      const Triple neg = sampler.Corrupt(pos_triple, rng.Bernoulli(0.5), rng);
+      total += UpdatePair(pos, neg);
+      ++count;
+    }
+  }
+  if (options_.normalize_entities) NormalizeEntityRows();
+  return static_cast<float>(total / static_cast<double>(count));
+}
+
+float TranslationalKge::Fit(const std::vector<Quadruple>& facts,
+                            const NegativeSampler& sampler, Rng& rng) {
+  float last = 0.0f;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    last = TrainEpoch(facts, sampler, rng);
+  }
+  return last;
+}
+
+std::vector<float> TranslationalKge::ScoreTails(
+    EntityId h, RelationId r, const std::vector<EntityId>& candidates) const {
+  std::vector<float> scores;
+  scores.reserve(candidates.size());
+  for (EntityId t : candidates) scores.push_back(Score(h, r, t));
+  return scores;
+}
+
+double TranslationalKge::RankOfTail(
+    EntityId h, RelationId r, EntityId target,
+    const std::vector<EntityId>& candidates) const {
+  const float target_score = Score(h, r, target);
+  int better = 0;
+  int ties = 0;
+  for (EntityId t : candidates) {
+    if (t == target) continue;
+    const float s = Score(h, r, t);
+    if (s > target_score) {
+      ++better;
+    } else if (s == target_score) {
+      ++ties;
+    }
+  }
+  // Average over tie permutations.
+  return 1.0 + better + ties / 2.0;
+}
+
+const std::vector<float>& TranslationalKge::entity_embedding(
+    EntityId e) const {
+  TELEKIT_CHECK(e >= 0 && e < num_entities_);
+  return entities_[static_cast<size_t>(e)];
+}
+
+const std::vector<float>& TranslationalKge::relation_embedding(
+    RelationId r) const {
+  TELEKIT_CHECK(r >= 0 && r < num_relations_);
+  return relations_[static_cast<size_t>(r)];
+}
+
+void TranslationalKge::NormalizeEntityRows() {
+  for (auto& row : entities_) {
+    float sq = 0.0f;
+    for (float v : row) sq += v * v;
+    const float norm = std::sqrt(sq);
+    if (norm > 1e-9f) {
+      for (float& v : row) v /= norm;
+    }
+  }
+}
+
+}  // namespace kg
+}  // namespace telekit

@@ -1,0 +1,103 @@
+#ifndef TELEKIT_KG_KGE_H_
+#define TELEKIT_KG_KGE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/store.h"
+
+namespace telekit {
+namespace kg {
+
+/// Corrupts triples for negative sampling: fixes the head and resamples the
+/// tail (or vice versa), rejecting corruptions that are true triples in the
+/// store (the paper's policy in Sec. IV-D).
+class NegativeSampler {
+ public:
+  explicit NegativeSampler(const TripleStore& store) : store_(store) {}
+
+  /// Returns a corrupted copy of `triple`. `corrupt_tail` selects which
+  /// side to resample; alternate or randomize it at the call site.
+  Triple Corrupt(const Triple& triple, bool corrupt_tail, Rng& rng) const;
+
+ private:
+  const TripleStore& store_;
+};
+
+/// Configuration for translational KG embedding training.
+struct KgeOptions {
+  int dim = 32;
+  float learning_rate = 0.05f;
+  float margin = 1.0f;
+  int epochs = 100;
+  /// Negatives per positive per epoch.
+  int negatives = 4;
+  /// GTransE confidence exponent alpha (Eq. 24). The margin for a fact with
+  /// confidence s becomes s^alpha * margin; alpha = 0 recovers plain TransE
+  /// (confidence-independent margin).
+  float confidence_alpha = 1.0f;
+  /// Embedding initialization scale.
+  float init_scale = 0.1f;
+  /// L2-normalize entity embeddings after each epoch (TransE convention).
+  bool normalize_entities = true;
+};
+
+/// Translational knowledge-graph embedding: TransE (Bordes et al., Eq. 11)
+/// with the GTransE uncertain-KG margin generalization (Kertkeidkachorn et
+/// al., Eq. 24) used by the fault-chain-tracing task. Training is manual
+/// SGD over margin-ranking loss (no autograd; the embeddings are plain
+/// float matrices for speed).
+class TranslationalKge {
+ public:
+  /// Random initialization for `num_entities` x `num_relations`.
+  TranslationalKge(int num_entities, int num_relations,
+                   const KgeOptions& options, Rng& rng);
+
+  /// Overwrites entity embeddings with external vectors (row e = entity e),
+  /// e.g. KTeleBERT service embeddings (Eq. 23). Dimensions must match
+  /// options().dim.
+  void InitializeEntities(const std::vector<std::vector<float>>& vectors);
+
+  /// Negative score -||h + r - t||_2: higher is more plausible.
+  float Score(EntityId h, RelationId r, EntityId t) const;
+
+  /// One SGD epoch over the quadruples; returns mean margin-ranking loss.
+  float TrainEpoch(const std::vector<Quadruple>& facts,
+                   const NegativeSampler& sampler, Rng& rng);
+
+  /// Runs options().epochs epochs; returns the last epoch's mean loss.
+  float Fit(const std::vector<Quadruple>& facts, const NegativeSampler& sampler,
+            Rng& rng);
+
+  /// Scores (h, r, t) for every candidate tail; descending score order is
+  /// the ranking used for link prediction.
+  std::vector<float> ScoreTails(EntityId h, RelationId r,
+                                const std::vector<EntityId>& candidates) const;
+
+  /// Rank (1-based) of `target` among `candidates` for query (h, r, ?),
+  /// with optimistic/pessimistic tie handling averaged.
+  double RankOfTail(EntityId h, RelationId r, EntityId target,
+                    const std::vector<EntityId>& candidates) const;
+
+  const KgeOptions& options() const { return options_; }
+  const std::vector<float>& entity_embedding(EntityId e) const;
+  const std::vector<float>& relation_embedding(RelationId r) const;
+
+ private:
+  float Distance(EntityId h, RelationId r, EntityId t) const;
+  /// Applies the margin-loss gradient for one (positive, negative) pair.
+  /// Returns the pair's hinge loss.
+  float UpdatePair(const Quadruple& pos, const Triple& neg);
+  void NormalizeEntityRows();
+
+  KgeOptions options_;
+  int num_entities_;
+  int num_relations_;
+  std::vector<std::vector<float>> entities_;
+  std::vector<std::vector<float>> relations_;
+};
+
+}  // namespace kg
+}  // namespace telekit
+
+#endif  // TELEKIT_KG_KGE_H_

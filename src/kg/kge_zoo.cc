@@ -1,0 +1,418 @@
+#include "kg/kge_zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace telekit {
+namespace kg {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+std::vector<std::vector<float>> RandomMatrix(int rows, int cols, float scale,
+                                             Rng& rng) {
+  std::vector<std::vector<float>> m(static_cast<size_t>(rows));
+  for (auto& row : m) {
+    row.resize(static_cast<size_t>(cols));
+    for (float& v : row) v = static_cast<float>(rng.Uniform(-scale, scale));
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string KgeModelKindName(KgeModelKind kind) {
+  switch (kind) {
+    case KgeModelKind::kTransE:
+      return "TransE";
+    case KgeModelKind::kTransH:
+      return "TransH";
+    case KgeModelKind::kRotatE:
+      return "RotatE";
+    case KgeModelKind::kDistMult:
+      return "DistMult";
+  }
+  return "?";
+}
+
+float KgeModel::MarginFor(const Quadruple& fact) const {
+  return std::pow(std::max(fact.confidence, 1e-6f),
+                  options_.confidence_alpha) *
+         options_.margin;
+}
+
+float KgeModel::TrainEpoch(const std::vector<Quadruple>& facts,
+                           const NegativeSampler& sampler, Rng& rng) {
+  TELEKIT_CHECK(!facts.empty());
+  std::vector<size_t> order(facts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  double total = 0.0;
+  int64_t count = 0;
+  for (size_t idx : order) {
+    const Quadruple& pos = facts[idx];
+    const Triple pos_triple{pos.head, pos.relation, pos.tail};
+    for (int k = 0; k < options_.negatives; ++k) {
+      const Triple neg = sampler.Corrupt(pos_triple, rng.Bernoulli(0.5), rng);
+      total += UpdatePair(pos, neg);
+      ++count;
+    }
+  }
+  EndEpoch();
+  return static_cast<float>(total / static_cast<double>(count));
+}
+
+float KgeModel::Fit(const std::vector<Quadruple>& facts,
+                    const NegativeSampler& sampler, Rng& rng) {
+  float last = 0.0f;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    last = TrainEpoch(facts, sampler, rng);
+  }
+  return last;
+}
+
+double KgeModel::RankOfTail(EntityId h, RelationId r, EntityId target,
+                            const std::vector<EntityId>& candidates) const {
+  const float target_score = Score(h, r, target);
+  int better = 0;
+  int ties = 0;
+  for (EntityId t : candidates) {
+    if (t == target) continue;
+    const float s = Score(h, r, t);
+    if (s > target_score) {
+      ++better;
+    } else if (s == target_score) {
+      ++ties;
+    }
+  }
+  return 1.0 + better + ties / 2.0;
+}
+
+namespace {
+
+/// TransE under the KgeModel interface: the same pair update as
+/// TranslationalKge (which remains the primary implementation used by the
+/// FCT task), provided here so the scorer ablation compares like-for-like.
+class TransEModel : public KgeModel {
+ public:
+  TransEModel(int num_entities, int num_relations, const KgeOptions& options,
+              Rng& rng)
+      : KgeModel(options),
+        entities_(RandomMatrix(num_entities, options.dim,
+                               options.init_scale, rng)),
+        relations_(RandomMatrix(num_relations, options.dim,
+                                options.init_scale, rng)) {}
+
+  float Score(EntityId h, RelationId r, EntityId t) const override {
+    return -Distance(h, r, t);
+  }
+
+  float UpdatePair(const Quadruple& pos, const Triple& neg) override {
+    const float margin = MarginFor(pos);
+    const float d_pos = Distance(pos.head, pos.relation, pos.tail);
+    const float d_neg = Distance(neg.head, neg.relation, neg.tail);
+    const float loss = d_pos - d_neg + margin;
+    if (loss <= 0.0f) return 0.0f;
+    Apply(pos.head, pos.relation, pos.tail, +1.0f, d_pos);
+    Apply(neg.head, neg.relation, neg.tail, -1.0f, d_neg);
+    return loss;
+  }
+
+ private:
+  float Distance(EntityId h, RelationId r, EntityId t) const {
+    const auto& eh = entities_[static_cast<size_t>(h)];
+    const auto& er = relations_[static_cast<size_t>(r)];
+    const auto& et = entities_[static_cast<size_t>(t)];
+    float sq = 0;
+    for (int i = 0; i < options_.dim; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      const float d = eh[si] + er[si] - et[si];
+      sq += d * d;
+    }
+    return std::sqrt(sq);
+  }
+
+  void Apply(EntityId h, RelationId r, EntityId t, float sign, float dist) {
+    if (dist < 1e-9f) return;
+    auto& eh = entities_[static_cast<size_t>(h)];
+    auto& er = relations_[static_cast<size_t>(r)];
+    auto& et = entities_[static_cast<size_t>(t)];
+    const float scale = sign * options_.learning_rate / dist;
+    for (int i = 0; i < options_.dim; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      const float d = eh[si] + er[si] - et[si];
+      eh[si] -= scale * d;
+      er[si] -= scale * d;
+      et[si] += scale * d;
+    }
+  }
+
+  std::vector<std::vector<float>> entities_;
+  std::vector<std::vector<float>> relations_;
+};
+
+}  // namespace
+
+std::unique_ptr<KgeModel> MakeKgeModel(KgeModelKind kind, int num_entities,
+                                       int num_relations,
+                                       const KgeOptions& options, Rng& rng) {
+  switch (kind) {
+    case KgeModelKind::kTransE:
+      return std::make_unique<TransEModel>(num_entities, num_relations,
+                                           options, rng);
+    case KgeModelKind::kTransH:
+      return std::make_unique<TransH>(num_entities, num_relations, options,
+                                      rng);
+    case KgeModelKind::kRotatE:
+      return std::make_unique<RotatE>(num_entities, num_relations, options,
+                                      rng);
+    case KgeModelKind::kDistMult:
+      return std::make_unique<DistMult>(num_entities, num_relations, options,
+                                        rng);
+  }
+  TELEKIT_CHECK(false) << "unknown KGE model kind";
+  return nullptr;
+}
+
+// --- TransH -------------------------------------------------------------------
+
+TransH::TransH(int num_entities, int num_relations, const KgeOptions& options,
+               Rng& rng)
+    : KgeModel(options),
+      entities_(RandomMatrix(num_entities, options.dim, options.init_scale,
+                             rng)),
+      translations_(RandomMatrix(num_relations, options.dim,
+                                 options.init_scale, rng)),
+      normals_(RandomMatrix(num_relations, options.dim, 1.0f, rng)) {
+  NormalizeNormals();
+}
+
+void TransH::NormalizeNormals() {
+  for (auto& w : normals_) {
+    float sq = 0;
+    for (float v : w) sq += v * v;
+    const float norm = std::sqrt(sq);
+    if (norm > 1e-9f) {
+      for (float& v : w) v /= norm;
+    }
+  }
+}
+
+float TransH::Distance(EntityId h, RelationId r, EntityId t,
+                       std::vector<float>* delta) const {
+  const auto& eh = entities_[static_cast<size_t>(h)];
+  const auto& et = entities_[static_cast<size_t>(t)];
+  const auto& dr = translations_[static_cast<size_t>(r)];
+  const auto& w = normals_[static_cast<size_t>(r)];
+  float wh = 0, wt = 0;
+  for (int i = 0; i < options_.dim; ++i) {
+    wh += w[static_cast<size_t>(i)] * eh[static_cast<size_t>(i)];
+    wt += w[static_cast<size_t>(i)] * et[static_cast<size_t>(i)];
+  }
+  float sq = 0;
+  std::vector<float> local;
+  std::vector<float>& d = delta != nullptr ? *delta : local;
+  d.resize(static_cast<size_t>(options_.dim));
+  for (int i = 0; i < options_.dim; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    const float h_perp = eh[si] - wh * w[si];
+    const float t_perp = et[si] - wt * w[si];
+    d[si] = h_perp + dr[si] - t_perp;
+    sq += d[si] * d[si];
+  }
+  return std::sqrt(sq);
+}
+
+float TransH::Score(EntityId h, RelationId r, EntityId t) const {
+  return -Distance(h, r, t);
+}
+
+void TransH::ApplyGradient(EntityId h, RelationId r, EntityId t, float sign,
+                           float dist) {
+  if (dist < 1e-9f) return;
+  std::vector<float> delta;
+  Distance(h, r, t, &delta);
+  auto& eh = entities_[static_cast<size_t>(h)];
+  auto& et = entities_[static_cast<size_t>(t)];
+  auto& dr = translations_[static_cast<size_t>(r)];
+  auto& w = normals_[static_cast<size_t>(r)];
+  const float lr = options_.learning_rate;
+  const float scale = sign * lr / dist;
+  // delta' = delta / dist; gradients:
+  //   d/dh   = (I - w w^T) delta'
+  //   d/dt   = -(I - w w^T) delta'
+  //   d/ddr  = delta'
+  //   d/dw   = -(delta'.w)(h - t) - (w.(h - t)) delta'
+  float delta_dot_w = 0, w_dot_hmt = 0;
+  for (int i = 0; i < options_.dim; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    delta_dot_w += delta[si] * w[si];
+    w_dot_hmt += w[si] * (eh[si] - et[si]);
+  }
+  for (int i = 0; i < options_.dim; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    const float projected = delta[si] - delta_dot_w * w[si];
+    eh[si] -= scale * projected;
+    et[si] += scale * projected;
+    dr[si] -= scale * delta[si];
+    const float grad_w =
+        -(delta_dot_w * (eh[si] - et[si]) + w_dot_hmt * delta[si]);
+    w[si] -= scale * grad_w;
+  }
+}
+
+float TransH::UpdatePair(const Quadruple& pos, const Triple& neg) {
+  const float margin = MarginFor(pos);
+  const float d_pos = Distance(pos.head, pos.relation, pos.tail);
+  const float d_neg = Distance(neg.head, neg.relation, neg.tail);
+  const float loss = d_pos - d_neg + margin;
+  if (loss <= 0.0f) return 0.0f;
+  ApplyGradient(pos.head, pos.relation, pos.tail, +1.0f, d_pos);
+  ApplyGradient(neg.head, neg.relation, neg.tail, -1.0f, d_neg);
+  return loss;
+}
+
+void TransH::EndEpoch() { NormalizeNormals(); }
+
+// --- RotatE --------------------------------------------------------------------
+
+RotatE::RotatE(int num_entities, int num_relations, const KgeOptions& options,
+               Rng& rng)
+    : KgeModel(options), half_dim_(options.dim / 2) {
+  TELEKIT_CHECK_EQ(options.dim % 2, 0) << "RotatE needs an even dim";
+  entities_ = RandomMatrix(num_entities, options.dim, options.init_scale,
+                           rng);
+  phases_.resize(static_cast<size_t>(num_relations));
+  for (auto& row : phases_) {
+    row.resize(static_cast<size_t>(half_dim_));
+    for (float& v : row) v = static_cast<float>(rng.Uniform(-kPi, kPi));
+  }
+}
+
+float RotatE::Distance(EntityId h, RelationId r, EntityId t) const {
+  const auto& eh = entities_[static_cast<size_t>(h)];
+  const auto& et = entities_[static_cast<size_t>(t)];
+  const auto& theta = phases_[static_cast<size_t>(r)];
+  float sq = 0;
+  for (int k = 0; k < half_dim_; ++k) {
+    const size_t re = static_cast<size_t>(2 * k);
+    const size_t im = re + 1;
+    const float c = std::cos(theta[static_cast<size_t>(k)]);
+    const float s = std::sin(theta[static_cast<size_t>(k)]);
+    const float rot_re = eh[re] * c - eh[im] * s;
+    const float rot_im = eh[re] * s + eh[im] * c;
+    const float dre = rot_re - et[re];
+    const float dim_ = rot_im - et[im];
+    sq += dre * dre + dim_ * dim_;
+  }
+  return std::sqrt(sq);
+}
+
+float RotatE::Score(EntityId h, RelationId r, EntityId t) const {
+  return -Distance(h, r, t);
+}
+
+void RotatE::ApplyGradient(EntityId h, RelationId r, EntityId t, float sign,
+                           float dist) {
+  if (dist < 1e-9f) return;
+  auto& eh = entities_[static_cast<size_t>(h)];
+  auto& et = entities_[static_cast<size_t>(t)];
+  auto& theta = phases_[static_cast<size_t>(r)];
+  const float scale = sign * options_.learning_rate / dist;
+  for (int k = 0; k < half_dim_; ++k) {
+    const size_t re = static_cast<size_t>(2 * k);
+    const size_t im = re + 1;
+    const float c = std::cos(theta[static_cast<size_t>(k)]);
+    const float s = std::sin(theta[static_cast<size_t>(k)]);
+    const float rot_re = eh[re] * c - eh[im] * s;
+    const float rot_im = eh[re] * s + eh[im] * c;
+    const float dre = rot_re - et[re];
+    const float dim_ = rot_im - et[im];
+    // d(dist^2)/2 partials; chain through the rotation for h.
+    // d/d(eh_re) = dre * c + dim_ * s ; d/d(eh_im) = -dre * s + dim_ * c
+    const float gh_re = dre * c + dim_ * s;
+    const float gh_im = -dre * s + dim_ * c;
+    // d/d(theta): rotation derivative = i * (h r), i.e. (-rot_im, rot_re).
+    const float gtheta = dre * (-rot_im) + dim_ * rot_re;
+    eh[re] -= scale * gh_re;
+    eh[im] -= scale * gh_im;
+    et[re] += scale * dre;
+    et[im] += scale * dim_;
+    theta[static_cast<size_t>(k)] -= scale * gtheta;
+  }
+}
+
+float RotatE::UpdatePair(const Quadruple& pos, const Triple& neg) {
+  const float margin = MarginFor(pos);
+  const float d_pos = Distance(pos.head, pos.relation, pos.tail);
+  const float d_neg = Distance(neg.head, neg.relation, neg.tail);
+  const float loss = d_pos - d_neg + margin;
+  if (loss <= 0.0f) return 0.0f;
+  ApplyGradient(pos.head, pos.relation, pos.tail, +1.0f, d_pos);
+  ApplyGradient(neg.head, neg.relation, neg.tail, -1.0f, d_neg);
+  return loss;
+}
+
+// --- DistMult ------------------------------------------------------------------
+
+DistMult::DistMult(int num_entities, int num_relations,
+                   const KgeOptions& options, Rng& rng)
+    : KgeModel(options),
+      entities_(RandomMatrix(num_entities, options.dim, options.init_scale,
+                             rng)),
+      relations_(RandomMatrix(num_relations, options.dim, options.init_scale,
+                              rng)) {}
+
+float DistMult::Score(EntityId h, RelationId r, EntityId t) const {
+  const auto& eh = entities_[static_cast<size_t>(h)];
+  const auto& er = relations_[static_cast<size_t>(r)];
+  const auto& et = entities_[static_cast<size_t>(t)];
+  float score = 0;
+  for (int i = 0; i < options_.dim; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    score += eh[si] * er[si] * et[si];
+  }
+  return score;
+}
+
+void DistMult::ApplyLogisticGradient(const Triple& triple, float label_sign,
+                                     float weight) {
+  auto& eh = entities_[static_cast<size_t>(triple.head)];
+  auto& er = relations_[static_cast<size_t>(triple.relation)];
+  auto& et = entities_[static_cast<size_t>(triple.tail)];
+  const float s = Score(triple.head, triple.relation, triple.tail);
+  // L = softplus(-y s); dL/ds = -y sigmoid(-y s).
+  const float sig = 1.0f / (1.0f + std::exp(label_sign * s));
+  const float coeff =
+      -label_sign * sig * weight * options_.learning_rate;
+  for (int i = 0; i < options_.dim; ++i) {
+    const size_t si = static_cast<size_t>(i);
+    const float gh = er[si] * et[si];
+    const float gr = eh[si] * et[si];
+    const float gt = eh[si] * er[si];
+    eh[si] -= coeff * gh;
+    er[si] -= coeff * gr;
+    et[si] -= coeff * gt;
+  }
+}
+
+float DistMult::UpdatePair(const Quadruple& pos, const Triple& neg) {
+  const Triple pos_triple{pos.head, pos.relation, pos.tail};
+  const float s_pos = Score(pos.head, pos.relation, pos.tail);
+  const float s_neg = Score(neg.head, neg.relation, neg.tail);
+  // Confidence weights the positive term (uncertain facts push less).
+  const float pos_weight = std::pow(std::max(pos.confidence, 1e-6f),
+                                    options_.confidence_alpha);
+  ApplyLogisticGradient(pos_triple, +1.0f, pos_weight);
+  ApplyLogisticGradient(neg, -1.0f, 1.0f);
+  const float loss_pos =
+      std::log1p(std::exp(-std::min(s_pos, 30.0f))) * pos_weight;
+  const float loss_neg = std::log1p(std::exp(std::min(s_neg, 30.0f)));
+  return loss_pos + loss_neg;
+}
+
+}  // namespace kg
+}  // namespace telekit

@@ -1,0 +1,132 @@
+#ifndef TELEKIT_KG_KGE_ZOO_H_
+#define TELEKIT_KG_KGE_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/kge.h"
+#include "kg/store.h"
+
+namespace telekit {
+namespace kg {
+
+/// The KGE scorers provided by the paper's NeuralKG substrate (Sec. V-D
+/// uses a translation-based model; the library also ships TransH, RotatE,
+/// DistMult — reproduced here for the FCT scorer ablation).
+enum class KgeModelKind { kTransE, kTransH, kRotatE, kDistMult };
+
+/// Display name of a scorer.
+std::string KgeModelKindName(KgeModelKind kind);
+
+/// Common interface over knowledge-graph embedding models: margin- or
+/// logistic-trained, manually differentiated (no autograd), confidence-
+/// aware via the GTransE margin scaling where applicable.
+class KgeModel {
+ public:
+  virtual ~KgeModel() = default;
+
+  KgeModel(const KgeModel&) = delete;
+  KgeModel& operator=(const KgeModel&) = delete;
+
+  /// Plausibility score; higher is more plausible.
+  virtual float Score(EntityId h, RelationId r, EntityId t) const = 0;
+
+  /// One SGD update on a (positive, negative) pair; returns the pair loss.
+  virtual float UpdatePair(const Quadruple& pos, const Triple& neg) = 0;
+
+  /// Hook after each epoch (e.g. renormalization).
+  virtual void EndEpoch() {}
+
+  /// One epoch over the facts; returns the mean pair loss.
+  float TrainEpoch(const std::vector<Quadruple>& facts,
+                   const NegativeSampler& sampler, Rng& rng);
+
+  /// options().epochs epochs; returns the final epoch's mean loss.
+  float Fit(const std::vector<Quadruple>& facts,
+            const NegativeSampler& sampler, Rng& rng);
+
+  /// Rank (1-based, ties averaged) of `target` among `candidates`.
+  double RankOfTail(EntityId h, RelationId r, EntityId target,
+                    const std::vector<EntityId>& candidates) const;
+
+  const KgeOptions& options() const { return options_; }
+
+ protected:
+  explicit KgeModel(const KgeOptions& options) : options_(options) {}
+
+  /// GTransE-scaled margin for a fact (Eq. 24).
+  float MarginFor(const Quadruple& fact) const;
+
+  KgeOptions options_;
+};
+
+/// Factory. `dim` must be even for RotatE (complex pairs).
+std::unique_ptr<KgeModel> MakeKgeModel(KgeModelKind kind, int num_entities,
+                                       int num_relations,
+                                       const KgeOptions& options, Rng& rng);
+
+/// TransH (Wang et al. 2014): entities are projected onto a per-relation
+/// hyperplane before translation; handles 1-N / N-1 relations better than
+/// TransE.
+class TransH : public KgeModel {
+ public:
+  TransH(int num_entities, int num_relations, const KgeOptions& options,
+         Rng& rng);
+  float Score(EntityId h, RelationId r, EntityId t) const override;
+  float UpdatePair(const Quadruple& pos, const Triple& neg) override;
+  void EndEpoch() override;
+
+ private:
+  float Distance(EntityId h, RelationId r, EntityId t,
+                 std::vector<float>* delta = nullptr) const;
+  void ApplyGradient(EntityId h, RelationId r, EntityId t, float sign,
+                     float dist);
+  void NormalizeNormals();
+
+  std::vector<std::vector<float>> entities_;
+  std::vector<std::vector<float>> translations_;  // d_r
+  std::vector<std::vector<float>> normals_;       // w_r (unit)
+};
+
+/// RotatE (Sun et al. 2019): relations are rotations in the complex plane;
+/// entities are complex vectors of dim/2 coordinates.
+class RotatE : public KgeModel {
+ public:
+  RotatE(int num_entities, int num_relations, const KgeOptions& options,
+         Rng& rng);
+  float Score(EntityId h, RelationId r, EntityId t) const override;
+  float UpdatePair(const Quadruple& pos, const Triple& neg) override;
+
+ private:
+  float Distance(EntityId h, RelationId r, EntityId t) const;
+  void ApplyGradient(EntityId h, RelationId r, EntityId t, float sign,
+                     float dist);
+
+  int half_dim_;
+  std::vector<std::vector<float>> entities_;  // interleaved re/im
+  std::vector<std::vector<float>> phases_;    // theta per complex coord
+};
+
+/// DistMult (Yang et al. 2015): bilinear diagonal scorer, trained with
+/// logistic loss on positive/negative pairs.
+class DistMult : public KgeModel {
+ public:
+  DistMult(int num_entities, int num_relations, const KgeOptions& options,
+           Rng& rng);
+  float Score(EntityId h, RelationId r, EntityId t) const override;
+  float UpdatePair(const Quadruple& pos, const Triple& neg) override;
+
+ private:
+  void ApplyLogisticGradient(const Triple& triple, float label_sign,
+                             float weight);
+
+  std::vector<std::vector<float>> entities_;
+  std::vector<std::vector<float>> relations_;
+};
+
+}  // namespace kg
+}  // namespace telekit
+
+#endif  // TELEKIT_KG_KGE_ZOO_H_

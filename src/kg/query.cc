@@ -1,0 +1,231 @@
+#include "kg/query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <optional>
+
+#include "common/string_util.h"
+
+namespace telekit {
+namespace kg {
+
+namespace {
+
+bool IsVariable(const std::string& token) {
+  return !token.empty() && token[0] == '?';
+}
+
+// Splits the query into tokens; single-quoted runs become one token.
+StatusOr<std::vector<std::string>> Lex(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool quoted = false;
+  for (char c : text) {
+    if (quoted) {
+      if (c == '\'') {
+        tokens.push_back(current);
+        current.clear();
+        quoted = false;
+      } else {
+        current += c;
+      }
+      continue;
+    }
+    if (c == '\'') {
+      quoted = true;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else if (c == '{' || c == '}' || c == '.') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      tokens.emplace_back(1, c);
+    } else {
+      current += c;
+    }
+  }
+  if (quoted) return Status::InvalidArgument("unterminated quote");
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+bool KeywordEquals(const std::string& token, const char* keyword) {
+  return ToLower(token) == keyword;
+}
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseQuery(const std::string& text) {
+  auto tokens_or = Lex(text);
+  TELEKIT_RETURN_IF_ERROR(tokens_or.status());
+  const std::vector<std::string>& tokens = *tokens_or;
+  size_t pos = 0;
+  auto next = [&]() -> const std::string* {
+    return pos < tokens.size() ? &tokens[pos++] : nullptr;
+  };
+
+  const std::string* token = next();
+  if (token == nullptr || !KeywordEquals(*token, "select")) {
+    return Status::InvalidArgument("query must start with SELECT");
+  }
+  ParsedQuery query;
+  while ((token = next()) != nullptr && !KeywordEquals(*token, "where")) {
+    if (!IsVariable(*token)) {
+      return Status::InvalidArgument("SELECT expects variables, got: " +
+                                     *token);
+    }
+    query.select.push_back(*token);
+  }
+  if (token == nullptr) return Status::InvalidArgument("missing WHERE");
+  if (query.select.empty()) {
+    return Status::InvalidArgument("SELECT needs at least one variable");
+  }
+  token = next();
+  if (token == nullptr || *token != "{") {
+    return Status::InvalidArgument("WHERE must open with '{'");
+  }
+
+  while (true) {
+    const std::string* subject = next();
+    if (subject == nullptr) {
+      return Status::InvalidArgument("WHERE not closed with '}'");
+    }
+    if (*subject == "}") break;
+    const std::string* predicate = next();
+    const std::string* object = next();
+    if (predicate == nullptr || object == nullptr || *predicate == "}" ||
+        *object == "}") {
+      return Status::InvalidArgument("incomplete pattern");
+    }
+    query.where.push_back({*subject, *predicate, *object});
+    const std::string* separator = next();
+    if (separator == nullptr) {
+      return Status::InvalidArgument("WHERE not closed with '}'");
+    }
+    if (*separator == "}") break;
+    if (*separator != ".") {
+      return Status::InvalidArgument("patterns must be separated by '.'");
+    }
+  }
+  if (query.where.empty()) {
+    return Status::InvalidArgument("WHERE needs at least one pattern");
+  }
+  // Every selected variable must be bindable.
+  for (const std::string& var : query.select) {
+    bool appears = false;
+    for (const QueryPattern& p : query.where) {
+      appears |= p.subject == var || p.object == var;
+    }
+    if (!appears) {
+      return Status::InvalidArgument("selected variable never bound: " + var);
+    }
+  }
+  return query;
+}
+
+StatusOr<std::vector<Binding>> QueryEngine::Execute(
+    const ParsedQuery& query) const {
+  // Pre-resolve concrete surfaces.
+  struct ResolvedPattern {
+    std::optional<EntityId> subject;  // nullopt = variable
+    std::string subject_var;
+    RelationId relation = 0;
+    std::optional<EntityId> object;
+    std::string object_var;
+  };
+  std::vector<ResolvedPattern> patterns;
+  for (const QueryPattern& p : query.where) {
+    if (IsVariable(p.predicate)) {
+      return Status::InvalidArgument("variable predicates are unsupported: " +
+                                     p.predicate);
+    }
+    ResolvedPattern resolved;
+    auto relation = store_.FindRelation(p.predicate);
+    TELEKIT_RETURN_IF_ERROR(relation.status());
+    resolved.relation = *relation;
+    if (IsVariable(p.subject)) {
+      resolved.subject_var = p.subject;
+    } else {
+      auto entity = store_.FindEntity(p.subject);
+      TELEKIT_RETURN_IF_ERROR(entity.status());
+      resolved.subject = *entity;
+    }
+    if (IsVariable(p.object)) {
+      resolved.object_var = p.object;
+    } else {
+      auto entity = store_.FindEntity(p.object);
+      TELEKIT_RETURN_IF_ERROR(entity.status());
+      resolved.object = *entity;
+    }
+    patterns.push_back(std::move(resolved));
+  }
+
+  std::vector<Binding> results;
+  Binding binding;
+  // Backtracking join over patterns in order.
+  std::function<void(size_t)> match = [&](size_t index) {
+    if (index == patterns.size()) {
+      Binding row;
+      for (const std::string& var : query.select) {
+        auto it = binding.find(var);
+        TELEKIT_CHECK(it != binding.end());
+        row.emplace(var, it->second);
+      }
+      // Distinct rows only.
+      if (std::find(results.begin(), results.end(), row) == results.end()) {
+        results.push_back(std::move(row));
+      }
+      return;
+    }
+    const ResolvedPattern& p = patterns[index];
+    // Effective subject/object constraints given current bindings.
+    std::optional<EntityId> subject = p.subject;
+    if (!subject && binding.count(p.subject_var)) {
+      subject = binding[p.subject_var];
+    }
+    std::optional<EntityId> object = p.object;
+    if (!object && binding.count(p.object_var)) {
+      object = binding[p.object_var];
+    }
+    for (const Triple& t : store_.Match(subject, p.relation, object)) {
+      std::vector<std::string> newly_bound;
+      bool consistent = true;
+      auto bind = [&](const std::string& var, EntityId value) {
+        if (var.empty()) return;
+        auto it = binding.find(var);
+        if (it == binding.end()) {
+          binding.emplace(var, value);
+          newly_bound.push_back(var);
+        } else if (it->second != value) {
+          consistent = false;
+        }
+      };
+      if (!subject) bind(p.subject_var, t.head);
+      if (!object) bind(p.object_var, t.tail);
+      // Same variable on both sides of one pattern must self-agree.
+      if (consistent && p.subject_var == p.object_var &&
+          !p.subject_var.empty() && t.head != t.tail) {
+        consistent = false;
+      }
+      if (consistent) match(index + 1);
+      for (const std::string& var : newly_bound) binding.erase(var);
+    }
+  };
+  match(0);
+  return results;
+}
+
+StatusOr<std::vector<Binding>> QueryEngine::Execute(
+    const std::string& text) const {
+  auto parsed = ParseQuery(text);
+  TELEKIT_RETURN_IF_ERROR(parsed.status());
+  return Execute(*parsed);
+}
+
+}  // namespace kg
+}  // namespace telekit

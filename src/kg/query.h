@@ -1,0 +1,66 @@
+#ifndef TELEKIT_KG_QUERY_H_
+#define TELEKIT_KG_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/store.h"
+
+namespace telekit {
+namespace kg {
+
+/// One basic graph pattern of a query: subject / predicate / object.
+/// Subject and object are either variables ("?x") or entity surfaces;
+/// the predicate must be a concrete relation surface.
+struct QueryPattern {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+/// A parsed SELECT query.
+struct ParsedQuery {
+  std::vector<std::string> select;  // variable names incl. '?'
+  std::vector<QueryPattern> where;
+};
+
+/// A result row: variable name -> bound entity id.
+using Binding = std::map<std::string, EntityId>;
+
+/// Parses a SPARQL-like query of the form
+///
+///   SELECT ?x ?y WHERE { ?x trigger ?y . ?y instanceOf KPI }
+///
+/// Multi-word surfaces are single-quoted:
+///
+///   SELECT ?k WHERE { 'SMF session establishment times out' affects ?k }
+///
+/// Keywords are case-insensitive; patterns are separated by '.'.
+/// This is the query surface the paper describes experts using against
+/// the Tele-KG (Sec. I), reproduced at a scale fit for the task benches.
+StatusOr<ParsedQuery> ParseQuery(const std::string& text);
+
+/// Executes parsed queries against a TripleStore by backtracking join over
+/// the basic graph patterns (patterns are evaluated in the order given).
+class QueryEngine {
+ public:
+  explicit QueryEngine(const TripleStore& store) : store_(store) {}
+
+  /// Runs a parsed query; result rows contain exactly the selected
+  /// variables. Fails if a selected variable never appears in WHERE, if a
+  /// surface is unknown, or if a predicate is a variable.
+  StatusOr<std::vector<Binding>> Execute(const ParsedQuery& query) const;
+
+  /// Parses then executes.
+  StatusOr<std::vector<Binding>> Execute(const std::string& text) const;
+
+ private:
+  const TripleStore& store_;
+};
+
+}  // namespace kg
+}  // namespace telekit
+
+#endif  // TELEKIT_KG_QUERY_H_

@@ -1,0 +1,169 @@
+#include "kg/store.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace telekit {
+namespace kg {
+
+EntityId TripleStore::AddEntity(const std::string& surface) {
+  TELEKIT_CHECK(!surface.empty());
+  auto it = entity_ids_.find(surface);
+  if (it != entity_ids_.end()) return it->second;
+  const EntityId id = num_entities();
+  entity_surfaces_.push_back(surface);
+  entity_ids_.emplace(surface, id);
+  return id;
+}
+
+RelationId TripleStore::AddRelation(const std::string& surface) {
+  TELEKIT_CHECK(!surface.empty());
+  auto it = relation_ids_.find(surface);
+  if (it != relation_ids_.end()) return it->second;
+  const RelationId id = num_relations();
+  relation_surfaces_.push_back(surface);
+  relation_ids_.emplace(surface, id);
+  return id;
+}
+
+StatusOr<EntityId> TripleStore::FindEntity(const std::string& surface) const {
+  auto it = entity_ids_.find(surface);
+  if (it == entity_ids_.end()) {
+    return Status::NotFound("entity: " + surface);
+  }
+  return it->second;
+}
+
+StatusOr<RelationId> TripleStore::FindRelation(
+    const std::string& surface) const {
+  auto it = relation_ids_.find(surface);
+  if (it == relation_ids_.end()) {
+    return Status::NotFound("relation: " + surface);
+  }
+  return it->second;
+}
+
+const std::string& TripleStore::EntitySurface(EntityId id) const {
+  TELEKIT_CHECK(id >= 0 && id < num_entities()) << "entity id " << id;
+  return entity_surfaces_[static_cast<size_t>(id)];
+}
+
+const std::string& TripleStore::RelationSurface(RelationId id) const {
+  TELEKIT_CHECK(id >= 0 && id < num_relations()) << "relation id " << id;
+  return relation_surfaces_[static_cast<size_t>(id)];
+}
+
+void TripleStore::AddTriple(EntityId head, RelationId relation,
+                            EntityId tail) {
+  TELEKIT_CHECK(head >= 0 && head < num_entities());
+  TELEKIT_CHECK(relation >= 0 && relation < num_relations());
+  TELEKIT_CHECK(tail >= 0 && tail < num_entities());
+  if (triple_keys_.insert(TripleKey(head, relation, tail)).second) {
+    triples_.push_back({head, relation, tail});
+  }
+}
+
+void TripleStore::AddQuadruple(EntityId head, RelationId relation,
+                               EntityId tail, float confidence) {
+  TELEKIT_CHECK(confidence >= 0.0f && confidence <= 1.0f);
+  AddTriple(head, relation, tail);
+  quadruples_.push_back({head, relation, tail, confidence});
+}
+
+void TripleStore::AddNumericAttribute(EntityId entity,
+                                      const std::string& attribute,
+                                      float value) {
+  TELEKIT_CHECK(entity >= 0 && entity < num_entities());
+  numeric_attributes_.push_back({entity, attribute, value});
+}
+
+void TripleStore::AddStringAttribute(EntityId entity,
+                                     const std::string& attribute,
+                                     const std::string& value) {
+  TELEKIT_CHECK(entity >= 0 && entity < num_entities());
+  string_attributes_.push_back({entity, attribute, value});
+}
+
+bool TripleStore::HasTriple(EntityId head, RelationId relation,
+                            EntityId tail) const {
+  return triple_keys_.count(TripleKey(head, relation, tail)) > 0;
+}
+
+std::vector<EntityId> TripleStore::Objects(EntityId head,
+                                           RelationId relation) const {
+  std::vector<EntityId> out;
+  for (const Triple& t : triples_) {
+    if (t.head == head && t.relation == relation) out.push_back(t.tail);
+  }
+  return out;
+}
+
+std::vector<EntityId> TripleStore::Subjects(RelationId relation,
+                                            EntityId tail) const {
+  std::vector<EntityId> out;
+  for (const Triple& t : triples_) {
+    if (t.tail == tail && t.relation == relation) out.push_back(t.head);
+  }
+  return out;
+}
+
+std::vector<EntityId> TripleStore::TransitiveObjects(
+    EntityId start, RelationId relation) const {
+  std::vector<EntityId> out;
+  std::unordered_set<EntityId> visited = {start};
+  std::deque<EntityId> frontier = {start};
+  while (!frontier.empty()) {
+    const EntityId current = frontier.front();
+    frontier.pop_front();
+    for (EntityId next : Objects(current, relation)) {
+      if (visited.insert(next).second) {
+        out.push_back(next);
+        frontier.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+
+bool TripleStore::Reaches(EntityId entity, EntityId ancestor,
+                          RelationId relation) const {
+  const auto ancestors = TransitiveObjects(entity, relation);
+  return std::find(ancestors.begin(), ancestors.end(), ancestor) !=
+         ancestors.end();
+}
+
+std::vector<Triple> TripleStore::Match(std::optional<EntityId> head,
+                                       std::optional<RelationId> relation,
+                                       std::optional<EntityId> tail) const {
+  std::vector<Triple> out;
+  for (const Triple& t : triples_) {
+    if (head && t.head != *head) continue;
+    if (relation && t.relation != *relation) continue;
+    if (tail && t.tail != *tail) continue;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<NumericAttribute> TripleStore::NumericAttributesOf(
+    EntityId entity) const {
+  std::vector<NumericAttribute> out;
+  for (const NumericAttribute& a : numeric_attributes_) {
+    if (a.entity == entity) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<StringAttribute> TripleStore::StringAttributesOf(
+    EntityId entity) const {
+  std::vector<StringAttribute> out;
+  for (const StringAttribute& a : string_attributes_) {
+    if (a.entity == entity) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace kg
+}  // namespace telekit

@@ -1,0 +1,152 @@
+#ifndef TELEKIT_KG_STORE_H_
+#define TELEKIT_KG_STORE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace telekit {
+namespace kg {
+
+using EntityId = int;
+using RelationId = int;
+
+/// A relational fact (h, r, t).
+struct Triple {
+  EntityId head = 0;
+  RelationId relation = 0;
+  EntityId tail = 0;
+
+  friend bool operator==(const Triple& a, const Triple& b) = default;
+};
+
+/// A probabilistic fact (h, r, t, s) with confidence s in [0, 1]
+/// (Sec. V-D of the paper: facts from experts and automatic algorithms).
+struct Quadruple {
+  EntityId head = 0;
+  RelationId relation = 0;
+  EntityId tail = 0;
+  float confidence = 1.0f;
+};
+
+/// A numeric attribute triple (entity, attribute, value), e.g.
+/// ("ALM-100072", "occurrence count", 17).
+struct NumericAttribute {
+  EntityId entity = 0;
+  std::string attribute;
+  float value = 0.0f;
+};
+
+/// A literal attribute triple (entity, attribute, "string value").
+struct StringAttribute {
+  EntityId entity = 0;
+  std::string attribute;
+  std::string value;
+};
+
+/// In-memory store for the Tele-KG: entity/relation registries (deduped by
+/// surface form), relational triples, probabilistic quadruples, and
+/// attribute triples, with the index structures needed for negative
+/// sampling, schema traversal and pattern queries.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  // --- Registries -----------------------------------------------------------
+
+  /// Adds (or finds) an entity by surface form; returns its id.
+  EntityId AddEntity(const std::string& surface);
+  /// Adds (or finds) a relation by surface form; returns its id.
+  RelationId AddRelation(const std::string& surface);
+
+  /// Entity id for a surface, or NotFound.
+  StatusOr<EntityId> FindEntity(const std::string& surface) const;
+  /// Relation id for a surface, or NotFound.
+  StatusOr<RelationId> FindRelation(const std::string& surface) const;
+
+  const std::string& EntitySurface(EntityId id) const;
+  const std::string& RelationSurface(RelationId id) const;
+
+  int num_entities() const { return static_cast<int>(entity_surfaces_.size()); }
+  int num_relations() const {
+    return static_cast<int>(relation_surfaces_.size());
+  }
+
+  // --- Facts -----------------------------------------------------------------
+
+  /// Adds a relational triple (idempotent).
+  void AddTriple(EntityId head, RelationId relation, EntityId tail);
+  /// Adds a probabilistic quadruple.
+  void AddQuadruple(EntityId head, RelationId relation, EntityId tail,
+                    float confidence);
+  void AddNumericAttribute(EntityId entity, const std::string& attribute,
+                           float value);
+  void AddStringAttribute(EntityId entity, const std::string& attribute,
+                          const std::string& value);
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  const std::vector<Quadruple>& quadruples() const { return quadruples_; }
+  const std::vector<NumericAttribute>& numeric_attributes() const {
+    return numeric_attributes_;
+  }
+  const std::vector<StringAttribute>& string_attributes() const {
+    return string_attributes_;
+  }
+
+  /// True if the exact triple is stored (used for filtered ranking and for
+  /// rejecting false negatives during sampling).
+  bool HasTriple(EntityId head, RelationId relation, EntityId tail) const;
+
+  // --- Queries ------------------------------------------------------------------
+
+  /// All t with (head, relation, t) in the store.
+  std::vector<EntityId> Objects(EntityId head, RelationId relation) const;
+  /// All h with (h, relation, tail) in the store.
+  std::vector<EntityId> Subjects(RelationId relation, EntityId tail) const;
+
+  /// Transitive closure of Objects over one relation (e.g. all
+  /// superclasses through "subclassOf" chains). `start` is excluded.
+  std::vector<EntityId> TransitiveObjects(EntityId start,
+                                          RelationId relation) const;
+
+  /// True if `entity` reaches `ancestor` via `relation` edges
+  /// (schema check: IsSubclassOf).
+  bool Reaches(EntityId entity, EntityId ancestor, RelationId relation) const;
+
+  /// Mini-SPARQL pattern match: any combination of bound/unbound slots.
+  std::vector<Triple> Match(std::optional<EntityId> head,
+                            std::optional<RelationId> relation,
+                            std::optional<EntityId> tail) const;
+
+  /// Numeric attributes of one entity.
+  std::vector<NumericAttribute> NumericAttributesOf(EntityId entity) const;
+  /// String attributes of one entity.
+  std::vector<StringAttribute> StringAttributesOf(EntityId entity) const;
+
+ private:
+  static uint64_t TripleKey(EntityId h, RelationId r, EntityId t) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(h)) << 40) ^
+           (static_cast<uint64_t>(static_cast<uint32_t>(r)) << 20) ^
+           static_cast<uint64_t>(static_cast<uint32_t>(t));
+  }
+
+  std::vector<std::string> entity_surfaces_;
+  std::vector<std::string> relation_surfaces_;
+  std::unordered_map<std::string, EntityId> entity_ids_;
+  std::unordered_map<std::string, RelationId> relation_ids_;
+
+  std::vector<Triple> triples_;
+  std::vector<Quadruple> quadruples_;
+  std::vector<NumericAttribute> numeric_attributes_;
+  std::vector<StringAttribute> string_attributes_;
+  std::unordered_set<uint64_t> triple_keys_;
+};
+
+}  // namespace kg
+}  // namespace telekit
+
+#endif  // TELEKIT_KG_STORE_H_

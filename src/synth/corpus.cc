@@ -1,0 +1,181 @@
+#include "synth/corpus.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace telekit {
+namespace synth {
+
+namespace {
+
+const char* const kDescriptionTemplates[] = {
+    "alarm %s indicates that the %s %s",
+    "the %s raised %s when the %s was active",
+    "event %s means the %s on this element %s",
+};
+
+// Non-causal filler; deliberately avoids causal keywords.
+const char* const kFillerTemplates[] = {
+    "the %s provides %s for the core network",
+    "engineers monitor the %s during %s on every shift",
+    "the %s handles %s with redundant links",
+    "routine inspection of the %s covers %s and related interfaces",
+};
+
+// General-domain lexicon (disjoint topics) for the MacBERT surrogate.
+const char* const kGeneralSubjects[] = {
+    "the harbor crane",  "a delivery van",  "the morning forecast",
+    "the sourdough loaf", "a midfield pass", "the garden sprinkler",
+    "the museum exhibit", "a mountain trail"};
+const char* const kGeneralVerbs[] = {
+    "arrives near", "improves during", "slows down before", "brightens after",
+    "rests beside",  "moves across"};
+const char* const kGeneralObjects[] = {
+    "the riverside market", "a quiet afternoon",  "the winter festival",
+    "the city library",     "a long rehearsal",   "the coastal road",
+    "the evening train",    "a crowded stadium"};
+
+}  // namespace
+
+const std::vector<std::string>& CorpusGenerator::CausalKeywords() {
+  static const std::vector<std::string>* const kKeywords =
+      new std::vector<std::string>{"leads to",     "triggers",  "causes",
+                                   "results in",   "affects",   "due to",
+                                   "consequently", "because of"};
+  return *kKeywords;
+}
+
+std::string CorpusGenerator::TeleSentence(Rng& rng) const {
+  const auto& alarms = world_.alarms();
+  const auto& kpis = world_.kpis();
+  const auto& services = world_.services();
+  const auto& ne_types = world_.ne_types();
+  const double roll = rng.Uniform();
+  if (roll < 0.35) {
+    // Alarm / event description.
+    const AlarmType& alarm =
+        alarms[static_cast<size_t>(rng.UniformInt(alarms.size()))];
+    const char* tmpl = kDescriptionTemplates[rng.UniformInt(3)];
+    // Split the name into its NE prefix and remainder for variety.
+    return StringPrintf(tmpl, alarm.code.c_str(),
+                        services[static_cast<size_t>(alarm.service)].c_str(),
+                        alarm.name.c_str());
+  }
+  if (roll < 0.55) {
+    // KPI / product doc sentence.
+    const KpiType& kpi =
+        kpis[static_cast<size_t>(rng.UniformInt(kpis.size()))];
+    return StringPrintf("the %s should remain stable while %s runs normally",
+                        kpi.name.c_str(),
+                        services[static_cast<size_t>(kpi.service)].c_str());
+  }
+  // Filler over domain nouns.
+  const char* tmpl = kFillerTemplates[rng.UniformInt(4)];
+  const NeType& ne =
+      ne_types[static_cast<size_t>(rng.UniformInt(ne_types.size()))];
+  return StringPrintf(tmpl, ne.name.c_str(),
+                      services[static_cast<size_t>(
+                                   rng.UniformInt(services.size()))]
+                          .c_str());
+}
+
+std::string CorpusGenerator::CausalSentence(Rng& rng) const {
+  const auto& alarms = world_.alarms();
+  const auto& kpis = world_.kpis();
+  const auto& keywords = CausalKeywords();
+  const std::string& keyword =
+      keywords[static_cast<size_t>(rng.UniformInt(keywords.size()))];
+
+  // Collect the true causal edges; with small probability emit noise
+  // (a made-up pair), modelling imperfect documentation.
+  const auto& edges = world_.causal_edges();
+  const bool noisy = rng.Bernoulli(config_.causal_noise);
+  if (!noisy && !edges.empty()) {
+    const CausalEdge& edge =
+        edges[static_cast<size_t>(rng.UniformInt(edges.size()))];
+    const AlarmType& src = alarms[static_cast<size_t>(edge.src_alarm)];
+    if (edge.kind == CausalEdge::Kind::kAlarmTriggersAlarm) {
+      const AlarmType& dst = alarms[static_cast<size_t>(edge.dst)];
+      return StringPrintf("%s always %s %s on the downstream element",
+                          src.name.c_str(), keyword.c_str(),
+                          dst.name.c_str());
+    }
+    const KpiType& kpi = kpis[static_cast<size_t>(edge.dst)];
+    const char* direction = kpi.increases_on_fault ? "increases abnormally"
+                                                   : "decreases suddenly";
+    return StringPrintf("%s %s a state where the %s %s", src.name.c_str(),
+                        keyword.c_str(), kpi.name.c_str(), direction);
+  }
+  // Noise: random (possibly untrue) pair.
+  const AlarmType& a =
+      alarms[static_cast<size_t>(rng.UniformInt(alarms.size()))];
+  const AlarmType& b =
+      alarms[static_cast<size_t>(rng.UniformInt(alarms.size()))];
+  return StringPrintf("%s occasionally %s %s in rare scenarios",
+                      a.name.c_str(), keyword.c_str(), b.name.c_str());
+}
+
+std::vector<std::string> CorpusGenerator::GenerateTeleCorpus(Rng& rng) const {
+  std::vector<std::string> corpus;
+  corpus.reserve(static_cast<size_t>(config_.num_tele_sentences));
+  for (int i = 0; i < config_.num_tele_sentences; ++i) {
+    // ~30% causal sentences so extraction yields a sizeable causal corpus.
+    if (rng.Bernoulli(0.3)) {
+      corpus.push_back(CausalSentence(rng));
+    } else {
+      corpus.push_back(TeleSentence(rng));
+    }
+  }
+  return corpus;
+}
+
+std::vector<std::string> CorpusGenerator::GenerateGeneralCorpus(
+    Rng& rng) const {
+  std::vector<std::string> corpus;
+  corpus.reserve(static_cast<size_t>(config_.num_general_sentences));
+  for (int i = 0; i < config_.num_general_sentences; ++i) {
+    const char* subject = kGeneralSubjects[rng.UniformInt(8)];
+    const char* verb = kGeneralVerbs[rng.UniformInt(6)];
+    const char* object = kGeneralObjects[rng.UniformInt(8)];
+    corpus.push_back(StringPrintf("%s %s %s", subject, verb, object));
+  }
+  return corpus;
+}
+
+std::string CorpusGenerator::StripIds(const std::string& sentence) {
+  std::vector<std::string> kept;
+  for (const std::string& word :
+       text::Tokenizer::SplitWords(sentence)) {
+    if (StartsWith(word, "ALM-") || StartsWith(word, "KPI-")) continue;
+    kept.push_back(word);
+  }
+  return JoinStrings(kept, " ");
+}
+
+std::vector<std::string> CorpusGenerator::ExtractCausalSentences(
+    const std::vector<std::string>& corpus, int min_words) {
+  std::vector<std::string> causal;
+  for (const std::string& sentence : corpus) {
+    bool has_keyword = false;
+    for (const std::string& keyword : CausalKeywords()) {
+      if (Contains(sentence, keyword)) {
+        has_keyword = true;
+        break;
+      }
+    }
+    if (!has_keyword) continue;
+    const std::string stripped = StripIds(sentence);
+    if (static_cast<int>(text::Tokenizer::SplitWords(stripped).size()) <
+        min_words) {
+      continue;
+    }
+    causal.push_back(stripped);
+  }
+  return causal;
+}
+
+}  // namespace synth
+}  // namespace telekit

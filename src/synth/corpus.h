@@ -1,0 +1,65 @@
+#ifndef TELEKIT_SYNTH_CORPUS_H_
+#define TELEKIT_SYNTH_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/world.h"
+
+namespace telekit {
+namespace synth {
+
+/// Corpus generation sizes (the paper's 20M-sentence Tele-Corpus, scaled).
+struct CorpusConfig {
+  int num_tele_sentences = 6000;
+  int num_general_sentences = 6000;
+  /// Minimum words for a causal sentence to survive extraction (the
+  /// paper's heuristic rule constraints, Sec. IV-A1).
+  int min_causal_words = 6;
+  /// Fraction of causal statements that are noise (assert a causal link
+  /// that is NOT in the world's ground-truth DAG).
+  double causal_noise = 0.05;
+};
+
+/// Emits natural-language corpora over a WorldModel: the tele corpus whose
+/// sentences describe the world's alarms, KPIs and (crucially) its causal
+/// DAG, and a vocabulary-disjoint general corpus used to pre-train the
+/// MacBERT-surrogate baseline.
+class CorpusGenerator {
+ public:
+  CorpusGenerator(const WorldModel& world, const CorpusConfig& config)
+      : world_(world), config_(config) {}
+
+  /// Tele-domain sentences: alarm/product descriptions, maintenance cases,
+  /// and causal sentences grounded in the causal DAG.
+  std::vector<std::string> GenerateTeleCorpus(Rng& rng) const;
+
+  /// General-domain sentences from a disjoint topic lexicon (weather,
+  /// logistics, cooking); same grammar shapes, different vocabulary.
+  std::vector<std::string> GenerateGeneralCorpus(Rng& rng) const;
+
+  /// The causal keyword list used both for generation and extraction.
+  static const std::vector<std::string>& CausalKeywords();
+
+  /// Removes identifier tokens like "ALM-100072" / "KPI-192948013"
+  /// (Sec. IV-A1: IDs are stripped before re-training).
+  static std::string StripIds(const std::string& sentence);
+
+  /// The paper's causal-sentence extraction: keep sentences containing a
+  /// causal keyword and at least `min_words` words, with IDs stripped.
+  static std::vector<std::string> ExtractCausalSentences(
+      const std::vector<std::string>& corpus, int min_words);
+
+ private:
+  std::string TeleSentence(Rng& rng) const;
+  std::string CausalSentence(Rng& rng) const;
+
+  const WorldModel& world_;
+  CorpusConfig config_;
+};
+
+}  // namespace synth
+}  // namespace telekit
+
+#endif  // TELEKIT_SYNTH_CORPUS_H_

@@ -1,0 +1,136 @@
+#include "synth/kg_gen.h"
+
+#include <unordered_map>
+
+namespace telekit {
+namespace synth {
+
+std::string KgGenerator::AlarmEntitySurface(const AlarmType& alarm) {
+  return alarm.name;
+}
+
+std::string KgGenerator::KpiEntitySurface(const KpiType& kpi) {
+  return kpi.name;
+}
+
+kg::TripleStore KgGenerator::Generate(
+    const WorldModel& world, const std::vector<Episode>& episodes) const {
+  kg::TripleStore store;
+
+  // --- Schema level (top-down tele-schema, Sec. II-A3) ---------------------
+  const kg::EntityId event_class = store.AddEntity(TeleSchema::kEvent);
+  const kg::EntityId resource_class = store.AddEntity(TeleSchema::kResource);
+  const kg::EntityId alarm_class = store.AddEntity(TeleSchema::kAlarmClass);
+  const kg::EntityId kpi_class = store.AddEntity(TeleSchema::kKpiClass);
+  const kg::EntityId ne_class = store.AddEntity(TeleSchema::kNeClass);
+  const kg::EntityId service_class =
+      store.AddEntity(TeleSchema::kServiceClass);
+
+  const kg::RelationId subclass_of =
+      store.AddRelation(TeleSchema::kSubclassOf);
+  const kg::RelationId instance_of =
+      store.AddRelation(TeleSchema::kInstanceOf);
+  const kg::RelationId trigger = store.AddRelation(TeleSchema::kTrigger);
+  const kg::RelationId affects = store.AddRelation(TeleSchema::kAffects);
+  const kg::RelationId connected_to =
+      store.AddRelation(TeleSchema::kConnectedTo);
+  const kg::RelationId provide = store.AddRelation(TeleSchema::kProvide);
+  const kg::RelationId concerns = store.AddRelation(TeleSchema::kConcerns);
+  const kg::RelationId deployed_as =
+      store.AddRelation(TeleSchema::kDeployedAs);
+
+  store.AddTriple(alarm_class, subclass_of, event_class);
+  store.AddTriple(kpi_class, subclass_of, event_class);
+  store.AddTriple(ne_class, subclass_of, resource_class);
+  store.AddTriple(service_class, subclass_of, resource_class);
+
+  // NE-type classes under NetworkElement.
+  std::vector<kg::EntityId> ne_type_entities;
+  for (const NeType& t : world.ne_types()) {
+    const kg::EntityId e = store.AddEntity(t.name);
+    store.AddTriple(e, subclass_of, ne_class);
+    ne_type_entities.push_back(e);
+  }
+  // Services under Service.
+  std::vector<kg::EntityId> service_entities;
+  for (const std::string& s : world.services()) {
+    const kg::EntityId e = store.AddEntity(s);
+    store.AddTriple(e, subclass_of, service_class);
+    service_entities.push_back(e);
+  }
+
+  // --- Instance level ---------------------------------------------------------
+  std::vector<kg::EntityId> alarm_entities;
+  for (const AlarmType& alarm : world.alarms()) {
+    const kg::EntityId e = store.AddEntity(AlarmEntitySurface(alarm));
+    store.AddTriple(e, instance_of, alarm_class);
+    store.AddTriple(
+        e, concerns,
+        service_entities[static_cast<size_t>(alarm.service)]);
+    store.AddStringAttribute(e, "severity", alarm.severity);
+    store.AddStringAttribute(e, "code", alarm.code);
+    alarm_entities.push_back(e);
+  }
+  std::vector<kg::EntityId> kpi_entities;
+  for (const KpiType& kpi : world.kpis()) {
+    const kg::EntityId e = store.AddEntity(KpiEntitySurface(kpi));
+    store.AddTriple(e, instance_of, kpi_class);
+    store.AddTriple(e, concerns,
+                    service_entities[static_cast<size_t>(kpi.service)]);
+    store.AddNumericAttribute(e, "baseline level", kpi.baseline);
+    store.AddNumericAttribute(e, "excursion scale", kpi.scale);
+    kpi_entities.push_back(e);
+  }
+  std::vector<kg::EntityId> element_entities;
+  for (const NetworkElement& element : world.elements()) {
+    const kg::EntityId e = store.AddEntity(element.name);
+    store.AddTriple(e, instance_of,
+                    ne_type_entities[static_cast<size_t>(element.type)]);
+    store.AddTriple(ne_type_entities[static_cast<size_t>(element.type)],
+                    deployed_as, e);
+    element_entities.push_back(e);
+  }
+  for (const auto& [u, v] : world.topology()) {
+    store.AddTriple(element_entities[static_cast<size_t>(u)], connected_to,
+                    element_entities[static_cast<size_t>(v)]);
+    store.AddTriple(element_entities[static_cast<size_t>(v)], connected_to,
+                    element_entities[static_cast<size_t>(u)]);
+  }
+  // NE types provide services (derived from alarm home types).
+  for (const AlarmType& alarm : world.alarms()) {
+    store.AddTriple(
+        ne_type_entities[static_cast<size_t>(alarm.home_ne_type)], provide,
+        service_entities[static_cast<size_t>(alarm.service)]);
+  }
+
+  // Causal DAG as expert triples (with confidences).
+  for (const CausalEdge& edge : world.causal_edges()) {
+    const kg::EntityId src =
+        alarm_entities[static_cast<size_t>(edge.src_alarm)];
+    if (edge.kind == CausalEdge::Kind::kAlarmTriggersAlarm) {
+      store.AddQuadruple(src, trigger,
+                         alarm_entities[static_cast<size_t>(edge.dst)],
+                         edge.confidence);
+    } else {
+      store.AddQuadruple(src, affects,
+                         kpi_entities[static_cast<size_t>(edge.dst)],
+                         edge.confidence);
+    }
+  }
+
+  // Observed occurrence counts from the episodes (numeric attributes).
+  std::unordered_map<int, float> alarm_counts;
+  for (const Episode& episode : episodes) {
+    for (const AlarmEvent& event : episode.events) {
+      alarm_counts[event.alarm_type] += 1.0f;
+    }
+  }
+  for (const auto& [alarm, count] : alarm_counts) {
+    store.AddNumericAttribute(alarm_entities[static_cast<size_t>(alarm)],
+                              "occurrence count", count);
+  }
+  return store;
+}
+
+}  // namespace synth
+}  // namespace telekit

@@ -1,0 +1,57 @@
+#ifndef TELEKIT_SYNTH_KG_GEN_H_
+#define TELEKIT_SYNTH_KG_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/store.h"
+#include "synth/log.h"
+#include "synth/world.h"
+
+namespace telekit {
+namespace synth {
+
+/// Names of the schema entities and relations emitted by KgGenerator, so
+/// that consumers can look them up without string literals scattering.
+struct TeleSchema {
+  static constexpr const char* kEvent = "Event";
+  static constexpr const char* kResource = "Resource";
+  static constexpr const char* kAlarmClass = "Alarm";
+  static constexpr const char* kKpiClass = "KPI";
+  static constexpr const char* kNeClass = "NetworkElement";
+  static constexpr const char* kServiceClass = "Service";
+
+  static constexpr const char* kSubclassOf = "subclassOf";
+  static constexpr const char* kInstanceOf = "instanceOf";
+  static constexpr const char* kTrigger = "trigger";
+  static constexpr const char* kAffects = "affects";
+  static constexpr const char* kConnectedTo = "connectedTo";
+  static constexpr const char* kProvide = "provide";
+  static constexpr const char* kConcerns = "concerns";
+  static constexpr const char* kDeployedAs = "deployedAs";
+};
+
+/// Builds the Tele-KG (Fig. 2 of the paper) from the world model: the
+/// hierarchical tele-schema (Event/Resource roots with subclassOf chains),
+/// instance-level entities for alarms / KPIs / network elements, relational
+/// triples mirroring the causal DAG and the topology, and attribute triples
+/// (severity strings, numeric baselines, observed occurrence counts from
+/// the episodes).
+class KgGenerator {
+ public:
+  /// `episodes` supply the observed-count numeric attributes; may be empty.
+  kg::TripleStore Generate(const WorldModel& world,
+                           const std::vector<Episode>& episodes) const;
+
+  /// Surface form under which an alarm type is registered as an entity
+  /// (its natural-language name — so task names map to entities by
+  /// surface, Sec. V-A3).
+  static std::string AlarmEntitySurface(const AlarmType& alarm);
+  /// Surface form of a KPI entity.
+  static std::string KpiEntitySurface(const KpiType& kpi);
+};
+
+}  // namespace synth
+}  // namespace telekit
+
+#endif  // TELEKIT_SYNTH_KG_GEN_H_

@@ -1,0 +1,171 @@
+#include "synth/log.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace telekit {
+namespace synth {
+
+float LogGenerator::NormalValue(int kpi_type, Rng& rng) const {
+  const KpiType& kpi = world_.kpis()[static_cast<size_t>(kpi_type)];
+  return kpi.baseline *
+         static_cast<float>(1.0 + rng.Normal(0.0, config_.baseline_noise));
+}
+
+float LogGenerator::AnomalousValue(int kpi_type, Rng& rng) const {
+  const KpiType& kpi = world_.kpis()[static_cast<size_t>(kpi_type)];
+  const float excursion =
+      kpi.scale * static_cast<float>(rng.Uniform(0.7, 1.3));
+  return kpi.increases_on_fault ? kpi.baseline + excursion
+                                : std::max(0.0f, kpi.baseline - excursion);
+}
+
+int LogGenerator::PlaceEvent(int alarm_type, int near_element,
+                             const std::vector<int>* subnet, Rng& rng) const {
+  const int home_type =
+      world_.alarms()[static_cast<size_t>(alarm_type)].home_ne_type;
+  // Candidates: topology neighbors of the parent event's element (fault
+  // propagation is local), preferring the alarm's home NE type; fall back
+  // to the parent element itself.
+  std::vector<int> neighbors = world_.TopologyNeighbors(near_element);
+  if (subnet != nullptr) {
+    std::erase_if(neighbors, [subnet](int e) {
+      return std::find(subnet->begin(), subnet->end(), e) == subnet->end();
+    });
+  }
+  if (neighbors.empty()) return near_element;
+  std::vector<double> weights;
+  weights.reserve(neighbors.size());
+  for (int e : neighbors) {
+    weights.push_back(
+        world_.elements()[static_cast<size_t>(e)].type == home_type ? 5.0
+                                                                    : 1.0);
+  }
+  return neighbors[rng.Categorical(weights)];
+}
+
+Episode LogGenerator::Simulate(Rng& rng) const {
+  const std::vector<int> roots = world_.RootAlarms();
+  TELEKIT_CHECK(!roots.empty()) << "world has no root alarms";
+  const int root =
+      roots[static_cast<size_t>(rng.UniformInt(roots.size()))];
+  return SimulateOnSubnet(root, /*subnet=*/{}, rng);
+}
+
+Episode LogGenerator::SimulateOnSubnet(int root_alarm,
+                                       const std::vector<int>& subnet,
+                                       Rng& rng) const {
+  Episode episode;
+  episode.root_alarm = root_alarm;
+  const std::vector<int>* subnet_ptr = subnet.empty() ? nullptr : &subnet;
+
+  // Root element: prefer elements of the alarm's home type (inside the
+  // subnet when one is given).
+  const int home_type =
+      world_.alarms()[static_cast<size_t>(root_alarm)].home_ne_type;
+  std::vector<int> candidates =
+      subnet.empty()
+          ? world_.ElementsOfType(home_type)
+          : subnet;
+  if (candidates.empty()) {
+    for (const NetworkElement& e : world_.elements()) {
+      candidates.push_back(e.id);
+    }
+  }
+  if (!subnet.empty()) {
+    // Within a subnet prefer home-typed elements but accept any.
+    std::vector<double> weights;
+    for (int e : candidates) {
+      weights.push_back(
+          world_.elements()[static_cast<size_t>(e)].type == home_type ? 5.0
+                                                                      : 1.0);
+    }
+    episode.root_element = candidates[rng.Categorical(weights)];
+  } else {
+    episode.root_element =
+        candidates[static_cast<size_t>(rng.UniformInt(candidates.size()))];
+  }
+
+  // Breadth-first propagation along trigger edges.
+  episode.events.push_back({root_alarm, episode.root_element, 0.0});
+  std::deque<size_t> frontier = {0};
+  std::vector<bool> alarm_seen(world_.alarms().size(), false);
+  alarm_seen[static_cast<size_t>(root_alarm)] = true;
+  while (!frontier.empty()) {
+    const size_t parent_index = frontier.front();
+    const AlarmEvent parent = episode.events[parent_index];
+    frontier.pop_front();
+    for (const auto& [child, confidence] :
+         world_.TriggeredAlarms(parent.alarm_type)) {
+      if (alarm_seen[static_cast<size_t>(child)]) continue;
+      if (!rng.Bernoulli(confidence)) continue;
+      alarm_seen[static_cast<size_t>(child)] = true;
+      AlarmEvent event;
+      event.alarm_type = child;
+      event.element = PlaceEvent(child, parent.element, subnet_ptr, rng);
+      event.time =
+          parent.time + config_.hop_delay * rng.Uniform(0.5, 1.5);
+      event.parent_index = static_cast<int>(parent_index);
+      episode.events.push_back(event);
+      frontier.push_back(episode.events.size() - 1);
+    }
+  }
+
+  // KPI impact of every active alarm, on the alarm's element.
+  for (const AlarmEvent& event : episode.events) {
+    for (const auto& [kpi, confidence] :
+         world_.AffectedKpis(event.alarm_type)) {
+      if (!rng.Bernoulli(confidence)) continue;
+      KpiReading reading;
+      reading.kpi_type = kpi;
+      reading.element = event.element;
+      reading.time = event.time + rng.Uniform(0.0, 0.5);
+      reading.value = AnomalousValue(kpi, rng);
+      reading.anomalous = true;
+      episode.readings.push_back(reading);
+    }
+  }
+  // Normal context readings from unaffected KPIs.
+  for (int i = 0; i < config_.normal_readings_per_episode; ++i) {
+    KpiReading reading;
+    reading.kpi_type =
+        static_cast<int>(rng.UniformInt(world_.kpis().size()));
+    reading.element =
+        static_cast<int>(rng.UniformInt(world_.elements().size()));
+    reading.time = rng.Uniform(0.0, 10.0);
+    reading.value = NormalValue(reading.kpi_type, rng);
+    reading.anomalous = false;
+    episode.readings.push_back(reading);
+  }
+  return episode;
+}
+
+std::vector<Episode> LogGenerator::SimulateMany(int n, Rng& rng) const {
+  std::vector<Episode> episodes;
+  episodes.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) episodes.push_back(Simulate(rng));
+  return episodes;
+}
+
+std::vector<KpiReading> LogGenerator::NormalReadings(int count,
+                                                     Rng& rng) const {
+  std::vector<KpiReading> readings;
+  readings.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    KpiReading reading;
+    reading.kpi_type =
+        static_cast<int>(rng.UniformInt(world_.kpis().size()));
+    reading.element =
+        static_cast<int>(rng.UniformInt(world_.elements().size()));
+    reading.time = rng.Uniform(0.0, 100.0);
+    reading.value = NormalValue(reading.kpi_type, rng);
+    reading.anomalous = false;
+    readings.push_back(reading);
+  }
+  return readings;
+}
+
+}  // namespace synth
+}  // namespace telekit

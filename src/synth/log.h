@@ -1,0 +1,93 @@
+#ifndef TELEKIT_SYNTH_LOG_H_
+#define TELEKIT_SYNTH_LOG_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/world.h"
+
+namespace telekit {
+namespace synth {
+
+/// A single alarm occurrence in the machine log.
+struct AlarmEvent {
+  int alarm_type = 0;
+  int element = 0;
+  double time = 0.0;
+  /// Index (into Episode::events) of the event whose trigger edge raised
+  /// this one; -1 for the root. Forms the propagation tree.
+  int parent_index = -1;
+};
+
+/// A single KPI reading in the machine log.
+struct KpiReading {
+  int kpi_type = 0;
+  int element = 0;
+  double time = 0.0;
+  float value = 0.0f;
+  /// True when the reading is a fault excursion (ground truth; used only
+  /// for evaluation, never shown to models).
+  bool anomalous = false;
+};
+
+/// One fault episode = one MDAF-package equivalent: a root alarm, the
+/// alarms it propagated to along the causal DAG, and the KPI readings
+/// (anomalous + normal context) collected in the window.
+struct Episode {
+  int root_alarm = 0;
+  int root_element = 0;
+  std::vector<AlarmEvent> events;     // propagation order; events[0] is root
+  std::vector<KpiReading> readings;
+};
+
+/// Log-simulation parameters.
+struct LogConfig {
+  /// Relative noise on normal KPI readings.
+  double baseline_noise = 0.04;
+  /// Normal (non-anomalous) context readings per episode.
+  int normal_readings_per_episode = 12;
+  /// Mean propagation delay between trigger hops.
+  double hop_delay = 1.0;
+};
+
+/// Simulates machine log data from the world's causal DAG: fault episodes
+/// whose alarms follow trigger edges (Bernoulli per edge confidence) and
+/// whose KPI values co-move with the alarms that affect them — the
+/// correlation structure ANEnc is designed to encode (Sec. IV-B).
+class LogGenerator {
+ public:
+  LogGenerator(const WorldModel& world, const LogConfig& config)
+      : world_(world), config_(config) {}
+
+  /// One fault episode from a random root alarm.
+  Episode Simulate(Rng& rng) const;
+
+  /// One fault episode from the given root alarm, restricted to the given
+  /// subnet elements (used by the RCA state generator). `subnet` must be
+  /// non-empty; events are placed on subnet elements only.
+  Episode SimulateOnSubnet(int root_alarm, const std::vector<int>& subnet,
+                           Rng& rng) const;
+
+  /// `n` independent episodes.
+  std::vector<Episode> SimulateMany(int n, Rng& rng) const;
+
+  /// Normal background KPI stream (no faults), `count` readings.
+  std::vector<KpiReading> NormalReadings(int count, Rng& rng) const;
+
+  /// A normal (baseline + noise) value for one KPI type.
+  float NormalValue(int kpi_type, Rng& rng) const;
+  /// A fault-excursion value for one KPI type.
+  float AnomalousValue(int kpi_type, Rng& rng) const;
+
+ private:
+  int PlaceEvent(int alarm_type, int near_element,
+                 const std::vector<int>* subnet, Rng& rng) const;
+
+  const WorldModel& world_;
+  LogConfig config_;
+};
+
+}  // namespace synth
+}  // namespace telekit
+
+#endif  // TELEKIT_SYNTH_LOG_H_

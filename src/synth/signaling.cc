@@ -1,0 +1,105 @@
+#include "synth/signaling.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace telekit {
+namespace synth {
+
+namespace {
+
+const char* const kRequestKinds[] = {"request", "update", "notify"};
+const char* const kAnswerKinds[] = {"accept", "answer", "complete"};
+
+}  // namespace
+
+std::vector<SignalingRecord> SignalingFlowGenerator::Simulate(
+    const std::vector<int>* fault_elements, Rng& rng) const {
+  std::vector<SignalingRecord> records;
+  const int service = static_cast<int>(
+      rng.UniformInt(static_cast<int64_t>(world_.services().size())));
+  const std::string& procedure =
+      world_.services()[static_cast<size_t>(service)];
+  int current = static_cast<int>(
+      rng.UniformInt(static_cast<int64_t>(world_.elements().size())));
+  double time = rng.Uniform(0.0, 100.0);
+  const int hops = 1 + static_cast<int>(rng.UniformInt(config_.max_hops));
+  for (int hop = 0; hop < hops; ++hop) {
+    const std::vector<int> neighbors = world_.TopologyNeighbors(current);
+    if (neighbors.empty()) break;
+    const int next =
+        neighbors[static_cast<size_t>(rng.UniformInt(neighbors.size()))];
+    const bool src_faulty =
+        fault_elements != nullptr &&
+        (std::find(fault_elements->begin(), fault_elements->end(), current) !=
+             fault_elements->end() ||
+         std::find(fault_elements->begin(), fault_elements->end(), next) !=
+             fault_elements->end());
+    const double reject_rate =
+        src_faulty ? config_.fault_reject_rate : config_.base_reject_rate;
+    // Request hop.
+    SignalingRecord request;
+    request.service = service;
+    request.message = procedure + " " + kRequestKinds[rng.UniformInt(3)];
+    request.src_element = current;
+    request.dst_element = next;
+    request.time = time;
+    request.success = true;
+    records.push_back(request);
+    time += rng.Uniform(0.01, 0.1);
+    // Answer hop: reject aborts the procedure.
+    SignalingRecord answer;
+    answer.service = service;
+    answer.src_element = next;
+    answer.dst_element = current;
+    answer.time = time;
+    answer.success = !rng.Bernoulli(reject_rate);
+    answer.message = procedure + " " +
+                     (answer.success ? kAnswerKinds[rng.UniformInt(3)]
+                                     : "reject");
+    records.push_back(answer);
+    if (!answer.success) break;
+    current = next;
+    time += rng.Uniform(0.01, 0.1);
+  }
+  return records;
+}
+
+std::vector<SignalingRecord> SignalingFlowGenerator::SimulateProcedure(
+    Rng& rng) const {
+  return Simulate(nullptr, rng);
+}
+
+std::vector<SignalingRecord> SignalingFlowGenerator::SimulateDuringEpisode(
+    const Episode& episode, Rng& rng) const {
+  std::vector<int> fault_elements;
+  for (const AlarmEvent& event : episode.events) {
+    fault_elements.push_back(event.element);
+  }
+  return Simulate(&fault_elements, rng);
+}
+
+std::vector<SignalingRecord> SignalingFlowGenerator::SimulateMany(
+    int runs, Rng& rng) const {
+  std::vector<SignalingRecord> records;
+  for (int i = 0; i < runs; ++i) {
+    auto run = SimulateProcedure(rng);
+    records.insert(records.end(), run.begin(), run.end());
+  }
+  return records;
+}
+
+text::PromptSequence SignalingFlowGenerator::ToPrompt(
+    const SignalingRecord& record) const {
+  const NetworkElement& src =
+      world_.elements()[static_cast<size_t>(record.src_element)];
+  return text::PromptBuilder()
+      .Document("signaling " + record.message)
+      .Location(src.name)
+      .Attribute("result", record.success ? "accepted" : "rejected")
+      .Build();
+}
+
+}  // namespace synth
+}  // namespace telekit

@@ -1,0 +1,76 @@
+#ifndef TELEKIT_SYNTH_SIGNALING_H_
+#define TELEKIT_SYNTH_SIGNALING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/log.h"
+#include "synth/world.h"
+#include "text/prompt.h"
+
+namespace telekit {
+namespace synth {
+
+/// One signaling message exchanged between two network elements as part of
+/// a procedure run (e.g. "PDU Session Establishment Request" on N11).
+struct SignalingRecord {
+  int service = 0;       // procedure (world service id)
+  std::string message;   // message name, e.g. "session establishment request"
+  int src_element = 0;
+  int dst_element = 0;
+  double time = 0.0;
+  bool success = true;   // false = reject / timeout
+};
+
+/// Signaling-flow generation parameters.
+struct SignalingConfig {
+  /// Messages per generated procedure run (request/answer hops).
+  int max_hops = 4;
+  /// Baseline reject probability on a healthy network.
+  double base_reject_rate = 0.03;
+  /// Reject probability on elements currently carrying a fault episode.
+  double fault_reject_rate = 0.6;
+};
+
+/// Generates signaling flows over the world topology. The paper explicitly
+/// defers signaling-flow and configuration data to future work (Sec. IV-B);
+/// TeleKit implements the data source as an extension: procedure runs walk
+/// topology edges, and runs touching elements involved in a fault episode
+/// see elevated reject rates — giving the flows the same causal grounding
+/// as alarms and KPIs.
+class SignalingFlowGenerator {
+ public:
+  SignalingFlowGenerator(const WorldModel& world,
+                         const SignalingConfig& config)
+      : world_(world), config_(config) {}
+
+  /// One healthy procedure run (no episode context).
+  std::vector<SignalingRecord> SimulateProcedure(Rng& rng) const;
+
+  /// A procedure run while `episode` is active: hops through elements that
+  /// carry an alarm of the episode reject with fault_reject_rate.
+  std::vector<SignalingRecord> SimulateDuringEpisode(const Episode& episode,
+                                                     Rng& rng) const;
+
+  /// `runs` healthy procedure runs concatenated.
+  std::vector<SignalingRecord> SimulateMany(int runs, Rng& rng) const;
+
+  /// Wraps one record in the prompt templates (an extension of Fig. 3
+  /// built from the existing special tokens — no new vocabulary):
+  /// "[DOC] signaling <procedure> <message> [LOC] <src> [ATTR] result |
+  ///  <accepted|rejected>".
+  text::PromptSequence ToPrompt(const SignalingRecord& record) const;
+
+ private:
+  std::vector<SignalingRecord> Simulate(const std::vector<int>* fault_elements,
+                                        Rng& rng) const;
+
+  const WorldModel& world_;
+  SignalingConfig config_;
+};
+
+}  // namespace synth
+}  // namespace telekit
+
+#endif  // TELEKIT_SYNTH_SIGNALING_H_

@@ -1,0 +1,326 @@
+#include "synth/task_data.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace telekit {
+namespace synth {
+
+// ===== RCA =====================================================================
+
+double RcaDataset::AverageNodes() const {
+  if (graphs.empty()) return 0.0;
+  double total = 0;
+  for (const RcaStateGraph& g : graphs) total += g.topology.num_nodes;
+  return total / static_cast<double>(graphs.size());
+}
+
+double RcaDataset::AverageEdges() const {
+  if (graphs.empty()) return 0.0;
+  double total = 0;
+  for (const RcaStateGraph& g : graphs) total += g.topology.edges.size();
+  return total / static_cast<double>(graphs.size());
+}
+
+std::vector<int> RcaDataGen::SampleSubnet(int target_size, Rng& rng) const {
+  const int n = static_cast<int>(world_.elements().size());
+  target_size = std::min(target_size, n);
+  std::vector<int> subnet;
+  std::unordered_set<int> in_subnet;
+  std::deque<int> frontier;
+  const int start = static_cast<int>(rng.UniformInt(n));
+  subnet.push_back(start);
+  in_subnet.insert(start);
+  frontier.push_back(start);
+  while (static_cast<int>(subnet.size()) < target_size && !frontier.empty()) {
+    const int current = frontier.front();
+    frontier.pop_front();
+    std::vector<int> neighbors = world_.TopologyNeighbors(current);
+    rng.Shuffle(neighbors);
+    for (int next : neighbors) {
+      if (static_cast<int>(subnet.size()) >= target_size) break;
+      if (in_subnet.insert(next).second) {
+        subnet.push_back(next);
+        frontier.push_back(next);
+      }
+    }
+  }
+  return subnet;
+}
+
+RcaDataset RcaDataGen::Generate(const RcaDataConfig& config, Rng& rng) const {
+  RcaDataset dataset;
+  const int num_alarms = static_cast<int>(world_.alarms().size());
+  const int num_kpis = static_cast<int>(world_.kpis().size());
+  dataset.num_features = num_alarms + num_kpis;
+  for (const AlarmType& alarm : world_.alarms()) {
+    dataset.feature_surfaces.push_back(alarm.name);
+  }
+  for (const KpiType& kpi : world_.kpis()) {
+    dataset.feature_surfaces.push_back(
+        kpi.name + (kpi.increases_on_fault ? " increases abnormally"
+                                           : " decreases abnormally"));
+  }
+
+  const std::vector<int> roots = world_.RootAlarms();
+  TELEKIT_CHECK(!roots.empty());
+  for (int g = 0; g < config.num_graphs; ++g) {
+    const int target =
+        config.min_nodes +
+        static_cast<int>(rng.UniformInt(config.max_nodes - config.min_nodes +
+                                        1));
+    std::vector<int> subnet = SampleSubnet(target, rng);
+    const int n = static_cast<int>(subnet.size());
+
+    // Fault episode confined to the subnet.
+    const int root_alarm =
+        roots[static_cast<size_t>(rng.UniformInt(roots.size()))];
+    const Episode episode = logs_.SimulateOnSubnet(root_alarm, subnet, rng);
+
+    RcaStateGraph state;
+    state.elements = subnet;
+    std::unordered_map<int, int> local;  // world element -> node id
+    for (int i = 0; i < n; ++i) local[subnet[static_cast<size_t>(i)]] = i;
+    state.topology.num_nodes = n;
+    for (const auto& [u, v] : world_.topology()) {
+      auto iu = local.find(u);
+      auto iv = local.find(v);
+      if (iu != local.end() && iv != local.end()) {
+        state.topology.edges.emplace_back(iu->second, iv->second);
+      }
+    }
+    state.features.assign(
+        static_cast<size_t>(n),
+        std::vector<float>(static_cast<size_t>(dataset.num_features), 0.0f));
+    for (const AlarmEvent& event : episode.events) {
+      auto it = local.find(event.element);
+      if (it == local.end()) continue;
+      state.features[static_cast<size_t>(it->second)]
+                    [static_cast<size_t>(event.alarm_type)] += 1.0f;
+    }
+    for (const KpiReading& reading : episode.readings) {
+      if (!reading.anomalous) continue;
+      auto it = local.find(reading.element);
+      if (it == local.end()) continue;
+      state.features[static_cast<size_t>(it->second)]
+                    [static_cast<size_t>(num_alarms + reading.kpi_type)] +=
+          1.0f;
+    }
+    // Spurious events: symptoms of unrelated minor issues.
+    const int noise = static_cast<int>(rng.UniformInt(
+        static_cast<int64_t>(2.0 * config.noise_events) + 1));
+    for (int k = 0; k < noise; ++k) {
+      const int node = static_cast<int>(rng.UniformInt(n));
+      const int feature =
+          static_cast<int>(rng.UniformInt(dataset.num_features));
+      state.features[static_cast<size_t>(node)][static_cast<size_t>(feature)]
+          += 1.0f;
+    }
+    state.root_node = local.at(episode.root_element);
+    dataset.graphs.push_back(std::move(state));
+  }
+  return dataset;
+}
+
+// ===== EAP ======================================================================
+
+int EapDataset::NumPositive() const {
+  int count = 0;
+  for (const EapPairSample& p : pairs) count += p.positive;
+  return count;
+}
+
+EapDataset EapDataGen::Generate(const EapDataConfig& config, Rng& rng) const {
+  EapDataset dataset;
+  for (const AlarmType& alarm : world_.alarms()) {
+    dataset.event_surfaces.push_back(alarm.name);
+  }
+  dataset.topology.num_nodes = static_cast<int>(world_.elements().size());
+  dataset.topology.edges = world_.topology();
+  dataset.num_packages = config.num_packages;
+
+  // Mine direct trigger observations from the episodes.
+  std::unordered_set<int> events_used;
+  std::vector<EapPairSample> positives;
+  std::unordered_set<int64_t> positive_keys;
+  const int num_alarms = static_cast<int>(world_.alarms().size());
+  auto key = [num_alarms](int a, int b) {
+    return static_cast<int64_t>(a) * num_alarms + b;
+  };
+  for (int p = 0; p < config.num_packages; ++p) {
+    const Episode episode = logs_.Simulate(rng);
+    // Observed trigger instances are the propagation-tree edges.
+    for (const AlarmEvent& b : episode.events) {
+      if (b.parent_index < 0) continue;
+      const AlarmEvent& a =
+          episode.events[static_cast<size_t>(b.parent_index)];
+      EapPairSample sample;
+      sample.event_a = a.alarm_type;
+      sample.event_b = b.alarm_type;
+      sample.element_a = a.element;
+      sample.element_b = b.element;
+      sample.time_a = a.time;
+      sample.time_b = b.time;
+      sample.positive = true;
+      positives.push_back(sample);
+      positive_keys.insert(key(a.alarm_type, b.alarm_type));
+      events_used.insert(a.alarm_type);
+      events_used.insert(b.alarm_type);
+    }
+  }
+  dataset.num_events_used = static_cast<int>(events_used.size());
+
+  // One negative per positive: replace one side with a random event such
+  // that the corrupted pair is not a known positive (Sec. V-C3).
+  std::vector<EapPairSample> negatives;
+  for (const EapPairSample& pos : positives) {
+    EapPairSample neg = pos;
+    neg.positive = false;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const int replacement = static_cast<int>(rng.UniformInt(num_alarms));
+      if (rng.Bernoulli(0.5)) {
+        neg.event_a = replacement;
+        neg.event_b = pos.event_b;
+      } else {
+        neg.event_a = pos.event_a;
+        neg.event_b = replacement;
+      }
+      if (positive_keys.count(key(neg.event_a, neg.event_b)) == 0 &&
+          neg.event_a != neg.event_b) {
+        break;
+      }
+    }
+    // Perturb the times slightly: negatives lack the systematic
+    // parent-before-child delay only in event identity, not timestamps.
+    negatives.push_back(neg);
+  }
+  dataset.pairs = std::move(positives);
+  dataset.pairs.insert(dataset.pairs.end(), negatives.begin(),
+                       negatives.end());
+  rng.Shuffle(dataset.pairs);
+  return dataset;
+}
+
+// ===== FCT ========================================================================
+
+FctDataset FctDataGen::Generate(const FctDataConfig& config, Rng& rng) const {
+  FctDataset dataset;
+  kg::TripleStore& store = dataset.store;
+
+  struct Hop {
+    kg::EntityId head;
+    kg::RelationId relation;
+    kg::EntityId tail;
+    float confidence;
+  };
+  auto node_entity = [&](int alarm_type, int element) {
+    const AlarmType& alarm =
+        world_.alarms()[static_cast<size_t>(alarm_type)];
+    const NetworkElement& ne =
+        world_.elements()[static_cast<size_t>(element)];
+    const kg::EntityId id =
+        store.AddEntity(alarm.name + " at " + ne.name);
+    return id;
+  };
+  auto hop_relation = [&](int element_a, int element_b) {
+    const auto& types = world_.ne_types();
+    const std::string& ta =
+        types[static_cast<size_t>(
+                  world_.elements()[static_cast<size_t>(element_a)].type)]
+            .name;
+    const std::string& tb =
+        types[static_cast<size_t>(
+                  world_.elements()[static_cast<size_t>(element_b)].type)]
+            .name;
+    return store.AddRelation("trigger from " + ta + " to " + tb);
+  };
+
+  // Instantiate chains as root-to-leaf paths of the propagation tree: each
+  // hop is a genuine trigger edge of the episode.
+  std::vector<std::vector<Hop>> chains;
+  int guard = 0;
+  while (static_cast<int>(chains.size()) < config.num_chains &&
+         guard < config.num_chains * 20) {
+    ++guard;
+    const Episode episode = logs_.Simulate(rng);
+    if (episode.events.size() < 2) continue;
+    // Leaves of the propagation tree.
+    std::vector<bool> has_child(episode.events.size(), false);
+    for (const AlarmEvent& event : episode.events) {
+      if (event.parent_index >= 0) {
+        has_child[static_cast<size_t>(event.parent_index)] = true;
+      }
+    }
+    for (size_t leaf = 0; leaf < episode.events.size(); ++leaf) {
+      if (has_child[leaf] || episode.events[leaf].parent_index < 0) continue;
+      if (static_cast<int>(chains.size()) >= config.num_chains) break;
+      // Walk leaf -> root, then reverse into root -> leaf hops.
+      std::vector<size_t> path;
+      for (int at = static_cast<int>(leaf); at >= 0;
+           at = episode.events[static_cast<size_t>(at)].parent_index) {
+        path.push_back(static_cast<size_t>(at));
+      }
+      std::reverse(path.begin(), path.end());
+      std::vector<Hop> chain;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        const AlarmEvent& a = episode.events[path[i]];
+        const AlarmEvent& b = episode.events[path[i + 1]];
+        float confidence = 1.0f;
+        for (const auto& [child, conf] :
+             world_.TriggeredAlarms(a.alarm_type)) {
+          if (child == b.alarm_type) {
+            confidence = conf;
+            break;
+          }
+        }
+        Hop hop;
+        hop.head = node_entity(a.alarm_type, a.element);
+        hop.relation = hop_relation(a.element, b.element);
+        hop.tail = node_entity(b.alarm_type, b.element);
+        hop.confidence = confidence;
+        chain.push_back(hop);
+      }
+      if (!chain.empty()) chains.push_back(std::move(chain));
+    }
+  }
+
+  // Split: held-out chains contribute their masked FIRST hop to
+  // valid/test; everything else trains.
+  rng.Shuffle(chains);
+  const int num_valid = std::max(
+      1, static_cast<int>(config.valid_fraction *
+                          static_cast<double>(chains.size())));
+  const int num_test = std::max(
+      1, static_cast<int>(config.test_fraction *
+                          static_cast<double>(chains.size())));
+  for (size_t c = 0; c < chains.size(); ++c) {
+    const bool is_test = c < static_cast<size_t>(num_test);
+    const bool is_valid =
+        !is_test && c < static_cast<size_t>(num_test + num_valid);
+    for (size_t h = 0; h < chains[c].size(); ++h) {
+      const Hop& hop = chains[c][h];
+      const kg::Quadruple quad{hop.head, hop.relation, hop.tail,
+                               hop.confidence};
+      if (h == 0 && is_test) {
+        dataset.test.push_back(quad);
+      } else if (h == 0 && is_valid) {
+        dataset.valid.push_back(quad);
+      } else {
+        dataset.train.push_back(quad);
+        store.AddQuadruple(hop.head, hop.relation, hop.tail, hop.confidence);
+      }
+    }
+  }
+  for (int e = 0; e < store.num_entities(); ++e) {
+    dataset.node_surfaces.push_back(store.EntitySurface(e));
+  }
+  return dataset;
+}
+
+}  // namespace synth
+}  // namespace telekit

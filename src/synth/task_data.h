@@ -1,0 +1,155 @@
+#ifndef TELEKIT_SYNTH_TASK_DATA_H_
+#define TELEKIT_SYNTH_TASK_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/gcn.h"
+#include "kg/store.h"
+#include "synth/log.h"
+#include "synth/world.h"
+
+namespace telekit {
+namespace synth {
+
+// ===== Root-cause analysis (Table III / IV) ==================================
+
+/// One labelled state of the telecommunication system: a subnet graph, a
+/// node-feature matrix of abnormal-event counts, and the root-cause node.
+struct RcaStateGraph {
+  /// World element ids of the subnet nodes (node i <-> elements[i]).
+  std::vector<int> elements;
+  /// Induced topology over local node ids 0..n-1.
+  graph::Graph topology;
+  /// [n][num_features] abnormal-event counts (x_ij = event j happened
+  /// x_ij times on node i; Sec. V-B1).
+  std::vector<std::vector<float>> features;
+  /// Local node id of the labelled root cause.
+  int root_node = 0;
+};
+
+struct RcaDataConfig {
+  int num_graphs = 127;  // Table III
+  int min_nodes = 8;
+  int max_nodes = 14;
+  /// Mean spurious (non-causal) events sprinkled per graph.
+  double noise_events = 3.0;
+};
+
+/// The full RCA dataset plus the feature-id -> surface mapping used for
+/// service-embedding node initialization.
+struct RcaDataset {
+  int num_features = 0;
+  /// Natural-language surface of each abnormal-event feature (alarm names
+  /// followed by KPI-anomaly descriptions).
+  std::vector<std::string> feature_surfaces;
+  std::vector<RcaStateGraph> graphs;
+
+  double AverageNodes() const;
+  double AverageEdges() const;
+};
+
+/// Generates RCA states by sampling subnets and simulating fault episodes
+/// restricted to them.
+class RcaDataGen {
+ public:
+  RcaDataGen(const WorldModel& world, const LogGenerator& logs)
+      : world_(world), logs_(logs) {}
+
+  RcaDataset Generate(const RcaDataConfig& config, Rng& rng) const;
+
+ private:
+  std::vector<int> SampleSubnet(int target_size, Rng& rng) const;
+
+  const WorldModel& world_;
+  const LogGenerator& logs_;
+};
+
+// ===== Event association prediction (Table V / VI) ============================
+
+/// One labelled event pair: two events with the elements they occurred on
+/// and their occurrence times (from the MDAF-package log data).
+struct EapPairSample {
+  int event_a = 0;  // alarm type id
+  int event_b = 0;
+  int element_a = 0;  // world element id
+  int element_b = 0;
+  double time_a = 0.0;
+  double time_b = 0.0;
+  bool positive = false;
+};
+
+struct EapDataConfig {
+  /// Number of fault episodes mined for trigger observations
+  /// (the paper's 104 MDAF packages).
+  int num_packages = 104;
+};
+
+struct EapDataset {
+  /// Surface of each event (indexed by alarm type id).
+  std::vector<std::string> event_surfaces;
+  /// Full NE topology (the paper's 31 network elements).
+  graph::Graph topology;
+  /// Balanced positive/negative pairs.
+  std::vector<EapPairSample> pairs;
+  /// Distinct events observed in at least one pair.
+  int num_events_used = 0;
+  int num_packages = 0;
+
+  int NumPositive() const;
+};
+
+/// Mines trigger observations from simulated episodes and generates
+/// matched negatives by event replacement (Sec. V-C3).
+class EapDataGen {
+ public:
+  EapDataGen(const WorldModel& world, const LogGenerator& logs)
+      : world_(world), logs_(logs) {}
+
+  EapDataset Generate(const EapDataConfig& config, Rng& rng) const;
+
+ private:
+  const WorldModel& world_;
+  const LogGenerator& logs_;
+};
+
+// ===== Fault chain tracing (Table VII / VIII) ==================================
+
+struct FctDataConfig {
+  /// Number of fault chains to instantiate.
+  int num_chains = 70;
+  /// Fraction of chains whose masked first hop goes to valid / test.
+  double valid_fraction = 0.11;
+  double test_fraction = 0.11;
+};
+
+/// The FCT dataset: an uncertain KG of alarm instances whose quadruples are
+/// split into train / valid / test, where valid/test facts are the masked
+/// first hops of held-out chains (Sec. V-D4).
+struct FctDataset {
+  kg::TripleStore store;
+  std::vector<kg::Quadruple> train;
+  std::vector<kg::Quadruple> valid;
+  std::vector<kg::Quadruple> test;
+  /// node_surfaces[e] = descriptive text of entity e (for KTeleBERT init).
+  std::vector<std::string> node_surfaces;
+};
+
+/// Instantiates fault propagation chains on the topology and converts them
+/// into probabilistic quadruples with NE-type-pair relations.
+class FctDataGen {
+ public:
+  FctDataGen(const WorldModel& world, const LogGenerator& logs)
+      : world_(world), logs_(logs) {}
+
+  FctDataset Generate(const FctDataConfig& config, Rng& rng) const;
+
+ private:
+  const WorldModel& world_;
+  const LogGenerator& logs_;
+};
+
+}  // namespace synth
+}  // namespace telekit
+
+#endif  // TELEKIT_SYNTH_TASK_DATA_H_

@@ -1,0 +1,283 @@
+#include "synth/world.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace telekit {
+namespace synth {
+
+namespace {
+
+// Core NE taxonomy of a 4G/5G packet core + RAN.
+const char* const kNeTypeNames[] = {"AMF", "SMF",  "UPF", "PCF", "UDM",
+                                    "MME", "SGW",  "PGW", "HSS", "NRF",
+                                    "gNodeB", "eNodeB"};
+
+const char* const kServices[] = {
+    "session establishment", "initial registration",  "handover preparation",
+    "paging procedure",      "bearer setup",          "subscriber authentication",
+    "data forwarding",       "policy control",        "charging collection",
+    "roaming signaling",     "slice selection",       "mobility management",
+    "dns resolution",        "heartbeat detection"};
+
+const char* const kProblemClauses[] = {
+    "is unreachable",       "fails abnormally",   "times out",
+    "is interrupted",       "loses heartbeat",    "rejects requests",
+    "is congested",         "degrades severely",  "drops packets",
+    "reports checksum errors"};
+
+const char* const kSeverities[] = {"critical", "major", "minor", "warning"};
+
+const char* const kKpiPatterns[] = {
+    "number of %s requests", "success rate of %s", "average delay of %s",
+    "failure count of %s", "peak throughput of %s"};
+
+}  // namespace
+
+WorldModel::WorldModel(const WorldConfig& config) : config_(config) {
+  TELEKIT_CHECK_GE(config.num_network_elements, 2);
+  TELEKIT_CHECK_GE(config.num_alarm_types, 4);
+  TELEKIT_CHECK_GE(config.num_kpi_types, 2);
+  Rng rng(config.seed);
+  BuildTaxonomy(rng);
+  BuildTopology(rng);
+  BuildAlarms(rng);
+  BuildKpis(rng);
+  BuildCausalDag(rng);
+}
+
+void WorldModel::BuildTaxonomy(Rng& rng) {
+  (void)rng;
+  int id = 0;
+  for (const char* name : kNeTypeNames) {
+    ne_types_.push_back({id++, name});
+  }
+  for (const char* service : kServices) services_.emplace_back(service);
+  for (const char* clause : kProblemClauses) {
+    problem_clauses_.emplace_back(clause);
+  }
+}
+
+void WorldModel::BuildTopology(Rng& rng) {
+  const int n = config_.num_network_elements;
+  elements_.reserve(static_cast<size_t>(n));
+  std::vector<int> per_type_counter(ne_types_.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    const int type = static_cast<int>(rng.UniformInt(
+        static_cast<int64_t>(ne_types_.size())));
+    const int ordinal = ++per_type_counter[static_cast<size_t>(type)];
+    elements_.push_back(
+        {i, type,
+         StringPrintf("%s-%02d", ne_types_[static_cast<size_t>(type)]
+                                     .name.c_str(),
+                      ordinal)});
+  }
+  // Random spanning tree keeps the network connected...
+  for (int i = 1; i < n; ++i) {
+    const int parent = static_cast<int>(rng.UniformInt(i));
+    topology_.emplace_back(parent, i);
+  }
+  // ...plus extra cross links for realistic meshing.
+  const int extra = static_cast<int>(config_.topology_extra_edges_per_node *
+                                     static_cast<double>(n));
+  std::unordered_set<int64_t> seen;
+  for (const auto& [u, v] : topology_) {
+    seen.insert(static_cast<int64_t>(std::min(u, v)) * n + std::max(u, v));
+  }
+  int added = 0;
+  int attempts = 0;
+  while (added < extra && attempts < extra * 20) {
+    ++attempts;
+    const int u = static_cast<int>(rng.UniformInt(n));
+    const int v = static_cast<int>(rng.UniformInt(n));
+    if (u == v) continue;
+    const int64_t key =
+        static_cast<int64_t>(std::min(u, v)) * n + std::max(u, v);
+    if (!seen.insert(key).second) continue;
+    topology_.emplace_back(u, v);
+    ++added;
+  }
+}
+
+void WorldModel::BuildAlarms(Rng& rng) {
+  alarms_.reserve(static_cast<size_t>(config_.num_alarm_types));
+  for (int i = 0; i < config_.num_alarm_types; ++i) {
+    AlarmType alarm;
+    alarm.id = i;
+    alarm.code = StringPrintf("ALM-%06d", 100000 + i * 7);
+    alarm.home_ne_type = static_cast<int>(
+        rng.UniformInt(static_cast<int64_t>(ne_types_.size())));
+    // Alarm ids are the topological order of the causal DAG; aligning the
+    // service level with the id makes faults propagate up the service
+    // hierarchy (infrastructure -> user-facing) while keeping acyclicity.
+    const int target_level =
+        i * config_.num_service_levels / config_.num_alarm_types;
+    std::vector<double> weights;
+    weights.reserve(services_.size());
+    for (size_t s = 0; s < services_.size(); ++s) {
+      weights.push_back(
+          ServiceLevel(static_cast<int>(s)) == target_level ? 8.0 : 1.0);
+    }
+    alarm.service = static_cast<int>(rng.Categorical(weights));
+    const std::string& clause = problem_clauses_[static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(problem_clauses_.size())))];
+    alarm.name = ne_types_[static_cast<size_t>(alarm.home_ne_type)].name +
+                 " " + services_[static_cast<size_t>(alarm.service)] + " " +
+                 clause;
+    alarm.severity = kSeverities[rng.UniformInt(4)];
+    alarms_.push_back(std::move(alarm));
+  }
+}
+
+void WorldModel::BuildKpis(Rng& rng) {
+  kpis_.reserve(static_cast<size_t>(config_.num_kpi_types));
+  for (int i = 0; i < config_.num_kpi_types; ++i) {
+    KpiType kpi;
+    kpi.id = i;
+    kpi.code = StringPrintf("KPI-%09d", 192948000 + i * 13);
+    kpi.service = static_cast<int>(
+        rng.UniformInt(static_cast<int64_t>(services_.size())));
+    const char* pattern =
+        kKpiPatterns[rng.UniformInt(static_cast<int64_t>(
+            sizeof(kKpiPatterns) / sizeof(kKpiPatterns[0])))];
+    kpi.name = StringPrintf(
+        pattern, services_[static_cast<size_t>(kpi.service)].c_str());
+    kpi.baseline = static_cast<float>(rng.Uniform(50.0, 500.0));
+    kpi.scale = static_cast<float>(rng.Uniform(0.3, 0.9)) * kpi.baseline;
+    kpi.increases_on_fault = rng.Bernoulli(0.5);
+    kpis_.push_back(std::move(kpi));
+  }
+}
+
+int WorldModel::ServiceLevel(int service) const {
+  TELEKIT_CHECK(service >= 0 &&
+                service < static_cast<int>(services_.size()));
+  return service * config_.num_service_levels /
+         static_cast<int>(services_.size());
+}
+
+int WorldModel::AlarmLevel(int alarm) const {
+  TELEKIT_CHECK(alarm >= 0 && alarm < static_cast<int>(alarms_.size()));
+  return ServiceLevel(alarms_[static_cast<size_t>(alarm)].service);
+}
+
+void WorldModel::BuildCausalDag(Rng& rng) {
+  // Alarms are topologically ordered by id: edges only go i -> j with i < j,
+  // guaranteeing an acyclic trigger structure. Edge density follows the
+  // service hierarchy: same-service chains and one-level-upward
+  // cross-service propagation dominate.
+  for (int i = 0; i < config_.num_alarm_types; ++i) {
+    for (int j = i + 1; j < config_.num_alarm_types; ++j) {
+      const bool same_service = alarms_[static_cast<size_t>(i)].service ==
+                                alarms_[static_cast<size_t>(j)].service;
+      const bool upward = AlarmLevel(j) == AlarmLevel(i) + 1;
+      double p = config_.trigger_density /
+                 config_.cross_service_trigger_scale;
+      if (same_service) {
+        p = config_.trigger_density;
+      } else if (upward) {
+        p = config_.trigger_density * config_.upward_trigger_scale;
+      }
+      if (rng.Bernoulli(p)) {
+        causal_edges_.push_back(
+            {CausalEdge::Kind::kAlarmTriggersAlarm, i, j,
+             static_cast<float>(rng.Uniform(0.55, 1.0))});
+      }
+    }
+    // Each alarm perturbs 1..max KPIs, preferring its own service.
+    const int num_kpis =
+        1 + static_cast<int>(rng.UniformInt(config_.max_affected_kpis));
+    for (int k = 0; k < num_kpis; ++k) {
+      std::vector<double> weights;
+      weights.reserve(kpis_.size());
+      for (const KpiType& kpi : kpis_) {
+        weights.push_back(
+            kpi.service == alarms_[static_cast<size_t>(i)].service ? 6.0
+                                                                   : 1.0);
+      }
+      const int kpi = static_cast<int>(rng.Categorical(weights));
+      causal_edges_.push_back({CausalEdge::Kind::kAlarmAffectsKpi, i, kpi,
+                               static_cast<float>(rng.Uniform(0.7, 1.0))});
+    }
+  }
+}
+
+std::vector<std::pair<int, float>> WorldModel::TriggeredAlarms(
+    int alarm) const {
+  std::vector<std::pair<int, float>> out;
+  for (const CausalEdge& e : causal_edges_) {
+    if (e.kind == CausalEdge::Kind::kAlarmTriggersAlarm &&
+        e.src_alarm == alarm) {
+      out.emplace_back(e.dst, e.confidence);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, float>> WorldModel::AffectedKpis(int alarm) const {
+  std::vector<std::pair<int, float>> out;
+  for (const CausalEdge& e : causal_edges_) {
+    if (e.kind == CausalEdge::Kind::kAlarmAffectsKpi && e.src_alarm == alarm) {
+      out.emplace_back(e.dst, e.confidence);
+    }
+  }
+  return out;
+}
+
+std::vector<int> WorldModel::RootAlarms() const {
+  std::vector<bool> has_parent(alarms_.size(), false);
+  for (const CausalEdge& e : causal_edges_) {
+    if (e.kind == CausalEdge::Kind::kAlarmTriggersAlarm) {
+      has_parent[static_cast<size_t>(e.dst)] = true;
+    }
+  }
+  std::vector<int> roots;
+  for (size_t i = 0; i < alarms_.size(); ++i) {
+    if (!has_parent[i]) roots.push_back(static_cast<int>(i));
+  }
+  return roots;
+}
+
+bool WorldModel::TriggersTransitively(int src_alarm, int dst_alarm) const {
+  std::unordered_set<int> visited = {src_alarm};
+  std::deque<int> frontier = {src_alarm};
+  while (!frontier.empty()) {
+    const int current = frontier.front();
+    frontier.pop_front();
+    for (const auto& [next, conf] : TriggeredAlarms(current)) {
+      if (next == dst_alarm) return true;
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::vector<int> WorldModel::ElementsOfType(int ne_type) const {
+  std::vector<int> out;
+  for (const NetworkElement& e : elements_) {
+    if (e.type == ne_type) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<int> WorldModel::TopologyNeighbors(int element) const {
+  std::vector<int> out;
+  for (const auto& [u, v] : topology_) {
+    if (u == element) out.push_back(v);
+    if (v == element) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<std::string> WorldModel::DomainPhrases() const {
+  std::vector<std::string> phrases = services_;
+  for (const std::string& clause : problem_clauses_) phrases.push_back(clause);
+  return phrases;
+}
+
+}  // namespace synth
+}  // namespace telekit

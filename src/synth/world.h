@@ -1,0 +1,158 @@
+#ifndef TELEKIT_SYNTH_WORLD_H_
+#define TELEKIT_SYNTH_WORLD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace telekit {
+namespace synth {
+
+/// Configuration of the synthetic telecom world. Defaults are laptop-scale;
+/// the statistics tables of the paper (Tables III/V/VII) are matched by the
+/// task-data generators built on top of this world.
+struct WorldConfig {
+  uint64_t seed = 42;
+  /// Number of network elements (the EAP evaluation uses 31).
+  int num_network_elements = 31;
+  /// Alarm types in the catalogue.
+  int num_alarm_types = 48;
+  /// KPI types in the catalogue.
+  int num_kpi_types = 28;
+  /// Average extra topology edges per element beyond the spanning tree.
+  double topology_extra_edges_per_node = 2.0;
+  /// Probability that an alarm pair (i, j>i) with a shared service gains a
+  /// trigger edge.
+  double trigger_density = 0.45;
+  /// Cross-service trigger probability = trigger_density / this scale.
+  double cross_service_trigger_scale = 30.0;
+  /// Number of service layers in the causal hierarchy. Faults propagate
+  /// from low layers (infrastructure services) to high layers (user-facing
+  /// services); root-cause alarms concentrate in low layers. This is the
+  /// transferable structure that text-derived embeddings can exploit.
+  int num_service_levels = 3;
+  /// Scale applied to trigger_density for upward cross-service edges
+  /// (level l -> level l+1). Kept small in absolute terms: each alarm has
+  /// many one-level-up candidates, so the expected upward out-degree is
+  /// roughly trigger_density * this * (#alarms per level).
+  double upward_trigger_scale = 0.12;
+  /// KPIs affected per alarm (1..max).
+  int max_affected_kpis = 3;
+};
+
+/// A network-element type (e.g. "SMF"), part of the tele-schema hierarchy.
+struct NeType {
+  int id = 0;
+  std::string name;
+};
+
+/// A concrete network element instance, e.g. "SMF-03".
+struct NetworkElement {
+  int id = 0;
+  int type = 0;
+  std::string name;
+};
+
+/// An alarm type from the catalogue, e.g.
+/// "ALM-100072 | SMF session establishment times out".
+struct AlarmType {
+  int id = 0;
+  std::string code;      // "ALM-100072"
+  std::string name;      // human-readable surface
+  std::string severity;  // critical / major / minor / warning
+  int home_ne_type = 0;  // NE type that raises it
+  int service = 0;       // service it concerns
+};
+
+/// A KPI type, e.g. "success rate of session establishment".
+struct KpiType {
+  int id = 0;
+  std::string code;  // "KPI-1929480378"-style identifier
+  std::string name;
+  float baseline = 0.0f;  // normal operating level
+  float scale = 1.0f;     // magnitude of fault excursions
+  bool increases_on_fault = true;
+  int service = 0;
+};
+
+/// A causal edge of the hidden ground-truth DAG: alarm -> alarm (trigger)
+/// or alarm -> KPI (numeric impact).
+struct CausalEdge {
+  enum class Kind { kAlarmTriggersAlarm, kAlarmAffectsKpi };
+  Kind kind = Kind::kAlarmTriggersAlarm;
+  int src_alarm = 0;
+  int dst = 0;  // alarm id or kpi id depending on kind
+  float confidence = 1.0f;
+};
+
+/// The hidden ground truth everything else is generated from: NE taxonomy
+/// and topology, alarm/KPI catalogues with compositional natural-language
+/// names, service vocabulary, and the causal DAG connecting alarms to
+/// downstream alarms and KPIs. All generators (corpus, logs, KG, task
+/// datasets) read from one WorldModel instance, which is what makes the
+/// text, the knowledge graph and the task labels mutually consistent — the
+/// property the paper's pre-training gains rest on.
+class WorldModel {
+ public:
+  explicit WorldModel(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+
+  const std::vector<NeType>& ne_types() const { return ne_types_; }
+  const std::vector<NetworkElement>& elements() const { return elements_; }
+  /// Undirected topology edges between elements.
+  const std::vector<std::pair<int, int>>& topology() const {
+    return topology_;
+  }
+  const std::vector<AlarmType>& alarms() const { return alarms_; }
+  const std::vector<KpiType>& kpis() const { return kpis_; }
+  const std::vector<std::string>& services() const { return services_; }
+  const std::vector<CausalEdge>& causal_edges() const { return causal_edges_; }
+
+  /// Downstream alarms triggered by `alarm` (with confidences).
+  std::vector<std::pair<int, float>> TriggeredAlarms(int alarm) const;
+  /// KPIs numerically affected by `alarm` (with confidences).
+  std::vector<std::pair<int, float>> AffectedKpis(int alarm) const;
+  /// Alarms with no upstream trigger (fault-episode roots).
+  std::vector<int> RootAlarms() const;
+  /// True if some trigger chain leads from `src` to `dst`.
+  bool TriggersTransitively(int src_alarm, int dst_alarm) const;
+
+  /// Causal-hierarchy level of a service (0 = infrastructure layer).
+  int ServiceLevel(int service) const;
+  /// Level of the service an alarm concerns.
+  int AlarmLevel(int alarm) const;
+
+  /// Elements of a given NE type.
+  std::vector<int> ElementsOfType(int ne_type) const;
+  /// Neighbor element ids in the topology (excluding self).
+  std::vector<int> TopologyNeighbors(int element) const;
+
+  /// Multi-word domain phrases (services, problem clauses) for the WWM
+  /// segmentation lexicon.
+  std::vector<std::string> DomainPhrases() const;
+
+ private:
+  void BuildTaxonomy(Rng& rng);
+  void BuildTopology(Rng& rng);
+  void BuildAlarms(Rng& rng);
+  void BuildKpis(Rng& rng);
+  void BuildCausalDag(Rng& rng);
+
+  WorldConfig config_;
+  std::vector<NeType> ne_types_;
+  std::vector<NetworkElement> elements_;
+  std::vector<std::pair<int, int>> topology_;
+  std::vector<AlarmType> alarms_;
+  std::vector<KpiType> kpis_;
+  std::vector<std::string> services_;
+  std::vector<std::string> problem_clauses_;
+  std::vector<CausalEdge> causal_edges_;
+};
+
+}  // namespace synth
+}  // namespace telekit
+
+#endif  // TELEKIT_SYNTH_WORLD_H_

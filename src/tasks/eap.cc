@@ -1,0 +1,141 @@
+#include "tasks/eap.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace telekit {
+namespace tasks {
+
+using tensor::Tensor;
+
+EapModel::EapModel(int event_dim, const synth::EapDataset& dataset,
+                   const EapOptions& options, Rng& rng) {
+  const int n = dataset.topology.num_nodes;
+  neighbors_.assign(static_cast<size_t>(n), {});
+  for (int i = 0; i < n; ++i) {
+    neighbors_[static_cast<size_t>(i)].push_back(i);  // self included
+  }
+  for (const auto& [u, v] : dataset.topology.edges) {
+    neighbors_[static_cast<size_t>(u)].push_back(v);
+    neighbors_[static_cast<size_t>(v)].push_back(u);
+  }
+  node_table_ = Tensor::Randn({n, options.node_embed_dim}, rng, 0.1f, true);
+  time_w_ = Tensor::Randn({1, 2}, rng, 0.5f, true);
+  const int concat = 2 * event_dim + 2 * options.node_embed_dim + 2;
+  out_w_ = Tensor::GlorotUniform(concat, 2, rng, true);
+  out_b_ = Tensor::Zeros({2}, true);
+}
+
+Tensor EapModel::TopologyEmbedding(int element) const {
+  TELEKIT_CHECK(element >= 0 &&
+                element < static_cast<int>(neighbors_.size()));
+  return tensor::MeanRows(
+      tensor::GatherRows(node_table_,
+                         neighbors_[static_cast<size_t>(element)]));
+}
+
+Tensor EapModel::PairLogits(
+    const EapPairInput& pair,
+    const std::vector<std::vector<float>>& event_embeddings) const {
+  const std::vector<float>& ea =
+      event_embeddings[static_cast<size_t>(pair.event_a)];
+  const std::vector<float>& eb =
+      event_embeddings[static_cast<size_t>(pair.event_b)];
+  Tensor e_a = Tensor::FromData({static_cast<int>(ea.size())}, ea);
+  Tensor e_b = Tensor::FromData({static_cast<int>(eb.size())}, eb);
+  Tensor n_a = TopologyEmbedding(pair.element_a);
+  Tensor n_b = TopologyEmbedding(pair.element_b);
+  // d_ij = W1 (t_i - t_j) (Eq. 19).
+  Tensor delta = Tensor::FromData({1, 1}, {pair.time_delta});
+  Tensor d_ij = tensor::Reshape(tensor::MatMul(delta, time_w_), {2});
+  Tensor concat = tensor::ConcatVec({e_a, e_b, n_a, n_b, d_ij});
+  Tensor logits = tensor::Add(
+      tensor::MatMul(tensor::Reshape(concat, {1, concat.dim(0)}), out_w_),
+      out_b_);
+  return logits;  // [1, 2]
+}
+
+Tensor EapModel::PairLogits(
+    const synth::EapPairSample& sample,
+    const std::vector<std::vector<float>>& event_embeddings) const {
+  EapPairInput input;
+  input.event_a = sample.event_a;
+  input.event_b = sample.event_b;
+  input.element_a = sample.element_a;
+  input.element_b = sample.element_b;
+  input.time_delta = static_cast<float>(sample.time_a - sample.time_b);
+  return PairLogits(input, event_embeddings);
+}
+
+bool EapModel::Predict(
+    const synth::EapPairSample& sample,
+    const std::vector<std::vector<float>>& event_embeddings) const {
+  Tensor logits = PairLogits(sample, event_embeddings);
+  return logits.at(0, 1) > logits.at(0, 0);
+}
+
+std::vector<Tensor> EapModel::Parameters() const {
+  return {node_table_, time_w_, out_w_, out_b_};
+}
+
+EapResult RunEapCrossValidation(
+    const synth::EapDataset& dataset,
+    const std::vector<std::vector<float>>& event_embeddings,
+    const EapOptions& options, Rng& rng) {
+  TELEKIT_CHECK(!dataset.pairs.empty());
+  TELEKIT_CHECK_EQ(event_embeddings.size(), dataset.event_surfaces.size());
+  const int event_dim = static_cast<int>(event_embeddings[0].size());
+  auto folds = eval::KFoldIndices(dataset.pairs.size(), options.k_folds, rng);
+
+  eval::BinaryConfusion confusion;
+  for (int fold = 0; fold < options.k_folds; ++fold) {
+    eval::KFoldSplit split = eval::MakeSplit(folds, fold);
+    // The paper's EAP protocol uses a plain train/test split per fold;
+    // merge the validation fold into training.
+    std::vector<size_t> train = split.train;
+    train.insert(train.end(), split.valid.begin(), split.valid.end());
+
+    EapModel model(event_dim, dataset, options, rng);
+    tensor::Adam optimizer(options.learning_rate);
+    optimizer.AddParameters(model.Parameters());
+
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+      rng.Shuffle(train);
+      for (size_t start = 0; start < train.size();
+           start += static_cast<size_t>(options.batch_size)) {
+        const size_t end = std::min(
+            train.size(), start + static_cast<size_t>(options.batch_size));
+        optimizer.ZeroGrad();
+        std::vector<Tensor> rows;
+        std::vector<int> labels;
+        for (size_t i = start; i < end; ++i) {
+          const synth::EapPairSample& sample = dataset.pairs[train[i]];
+          rows.push_back(model.PairLogits(sample, event_embeddings));
+          labels.push_back(sample.positive ? 1 : 0);
+        }
+        Tensor logits = tensor::ConcatRows(rows);
+        tensor::CrossEntropyWithLogits(logits, labels).Backward();
+        optimizer.ClipGradNorm(5.0f);
+        optimizer.Step();
+      }
+    }
+    for (size_t idx : split.test) {
+      const synth::EapPairSample& sample = dataset.pairs[idx];
+      confusion.Add(model.Predict(sample, event_embeddings), sample.positive);
+    }
+  }
+
+  EapResult result;
+  result.accuracy = confusion.Accuracy();
+  result.precision = confusion.Precision();
+  result.recall = confusion.Recall();
+  result.f1 = confusion.F1();
+  return result;
+}
+
+}  // namespace tasks
+}  // namespace telekit

@@ -1,0 +1,88 @@
+#ifndef TELEKIT_TASKS_EAP_H_
+#define TELEKIT_TASKS_EAP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/transformer.h"
+#include "synth/task_data.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace tasks {
+
+/// Event-association-prediction hyperparameters (Sec. V-C3: Adam, lr 0.01,
+/// batch 32, 5-fold CV).
+struct EapOptions {
+  /// Kept small: the learnable element table memorizes instance noise when
+  /// it is wide (elements repeat across observations of the same pair).
+  int node_embed_dim = 4;
+  int epochs = 25;
+  float learning_rate = 0.01f;
+  int batch_size = 32;
+  int k_folds = 5;
+};
+
+/// Internal pair view used by PairLogits (decoupled from the dataset
+/// struct so tests can exercise arbitrary pairs).
+struct EapPairInput {
+  int event_a = 0;
+  int event_b = 0;
+  int element_a = 0;
+  int element_b = 0;
+  float time_delta = 0.0f;
+};
+
+/// The pair classifier of Fig. 8: event-name embeddings (Eq. 12) +
+/// one-hop-aggregated topology embeddings (Eq. 18) + a time-difference
+/// feature (Eq. 19) concatenated into a softmax pair scorer (Eq. 20-21).
+class EapModel {
+ public:
+  EapModel(int event_dim, const synth::EapDataset& dataset,
+           const EapOptions& options, Rng& rng);
+
+  /// Pair logits [1, 2] (index 1 = "trigger relationship exists").
+  tensor::Tensor PairLogits(
+      const EapPairInput& pair,
+      const std::vector<std::vector<float>>& event_embeddings) const;
+
+  /// Convenience over a dataset sample.
+  tensor::Tensor PairLogits(
+      const synth::EapPairSample& sample,
+      const std::vector<std::vector<float>>& event_embeddings) const;
+
+  /// True if the model predicts a trigger relationship.
+  bool Predict(const synth::EapPairSample& sample,
+               const std::vector<std::vector<float>>& event_embeddings) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+ private:
+  /// One-hop mean aggregation of learnable element embeddings (Eq. 18).
+  tensor::Tensor TopologyEmbedding(int element) const;
+
+  std::vector<std::vector<int>> neighbors_;  // incl. self
+  tensor::Tensor node_table_;                // [num_elements, node_dim]
+  tensor::Tensor time_w_;                    // W1: [1, 2]
+  tensor::Tensor out_w_;                     // W2: [concat_dim, 2]
+  tensor::Tensor out_b_;                     // [2]
+};
+
+/// Aggregate metrics of Table VI (percent).
+struct EapResult {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// 5-fold cross-validated evaluation given precomputed event embeddings.
+EapResult RunEapCrossValidation(
+    const synth::EapDataset& dataset,
+    const std::vector<std::vector<float>>& event_embeddings,
+    const EapOptions& options, Rng& rng);
+
+}  // namespace tasks
+}  // namespace telekit
+
+#endif  // TELEKIT_TASKS_EAP_H_

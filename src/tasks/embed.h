@@ -1,0 +1,65 @@
+#ifndef TELEKIT_TASKS_EMBED_H_
+#define TELEKIT_TASKS_EMBED_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/service.h"
+
+namespace telekit {
+namespace tasks {
+
+/// Per-dimension standardization of an embedding matrix (BERT-whitening
+/// style). Frozen [CLS] spaces of small pre-trained encoders are strongly
+/// anisotropic — all vectors share a large common component — which starves
+/// the downstream linear/GCN models of discriminative signal. Centering and
+/// scaling each dimension across the catalogue removes the common component
+/// while preserving the learned relative geometry. Isotropic baselines
+/// (random embeddings) are unaffected.
+inline void WhitenEmbeddings(std::vector<std::vector<float>>& embeddings) {
+  if (embeddings.size() < 2) return;
+  const size_t d = embeddings[0].size();
+  std::vector<double> mean(d, 0.0);
+  for (const auto& v : embeddings) {
+    for (size_t j = 0; j < d; ++j) mean[j] += v[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(embeddings.size());
+  std::vector<double> stddev(d, 0.0);
+  for (const auto& v : embeddings) {
+    for (size_t j = 0; j < d; ++j) {
+      const double c = v[j] - mean[j];
+      stddev[j] += c * c;
+    }
+  }
+  for (double& s : stddev) {
+    s = std::sqrt(s / static_cast<double>(embeddings.size())) + 1e-6;
+  }
+  for (auto& v : embeddings) {
+    for (size_t j = 0; j < d; ++j) {
+      v[j] = static_cast<float>((v[j] - mean[j]) / stddev[j]);
+    }
+  }
+}
+
+/// Encodes every surface with the service encoder (Eq. 12 applied to a
+/// whole catalogue); row i is the embedding of surfaces[i]. Whitening is
+/// applied by default (see WhitenEmbeddings).
+inline std::vector<std::vector<float>> EmbedSurfaces(
+    const core::ServiceEncoder& service,
+    const std::vector<std::string>& surfaces,
+    core::ServiceMode mode = core::ServiceMode::kEntityNoAttr,
+    bool whiten = true) {
+  std::vector<std::vector<float>> embeddings;
+  embeddings.reserve(surfaces.size());
+  for (const std::string& surface : surfaces) {
+    embeddings.push_back(service.Encode(surface, mode));
+  }
+  if (whiten) WhitenEmbeddings(embeddings);
+  return embeddings;
+}
+
+}  // namespace tasks
+}  // namespace telekit
+
+#endif  // TELEKIT_TASKS_EMBED_H_

@@ -1,0 +1,70 @@
+#include "tasks/fct.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+
+namespace telekit {
+namespace tasks {
+
+std::vector<kg::EntityId> FilterCandidates(const synth::FctDataset& dataset) {
+  std::unordered_set<kg::EntityId> active;
+  for (const kg::Triple& t : dataset.store.triples()) {
+    active.insert(t.head);
+    active.insert(t.tail);
+  }
+  // Held-out facts' endpoints stay candidates too (they exist in the
+  // network even if their first hop was masked).
+  for (const auto* split : {&dataset.valid, &dataset.test}) {
+    for (const kg::Quadruple& q : *split) {
+      active.insert(q.head);
+      active.insert(q.tail);
+    }
+  }
+  std::vector<kg::EntityId> candidates(active.begin(), active.end());
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+FctResult RunFct(const synth::FctDataset& dataset,
+                 const std::vector<std::vector<float>>* node_embeddings,
+                 const FctOptions& options, Rng& rng) {
+  TELEKIT_CHECK(!dataset.train.empty());
+  TELEKIT_CHECK(!dataset.test.empty());
+
+  kg::TranslationalKge kge(dataset.store.num_entities(),
+                           dataset.store.num_relations(), options.kge, rng);
+  if (node_embeddings != nullptr) {
+    kge.InitializeEntities(*node_embeddings);
+  }
+  kg::NegativeSampler sampler(dataset.store);
+  kge.Fit(dataset.train, sampler, rng);
+
+  const std::vector<kg::EntityId> candidates = FilterCandidates(dataset);
+  eval::RankingAccumulator accumulator;
+  for (const kg::Quadruple& q : dataset.test) {
+    // Filtered setting: drop candidates that are known-true tails for
+    // (head, relation) from the training store, except the target.
+    std::vector<kg::EntityId> filtered;
+    filtered.reserve(candidates.size());
+    for (kg::EntityId c : candidates) {
+      if (c != q.tail && dataset.store.HasTriple(q.head, q.relation, c)) {
+        continue;
+      }
+      filtered.push_back(c);
+    }
+    accumulator.AddRank(kge.RankOfTail(q.head, q.relation, q.tail, filtered));
+  }
+
+  FctResult result;
+  result.mrr = 100.0 * accumulator.MeanReciprocalRank();
+  result.hits1 = accumulator.HitsAt(1);
+  result.hits3 = accumulator.HitsAt(3);
+  result.hits10 = accumulator.HitsAt(10);
+  return result;
+}
+
+}  // namespace tasks
+}  // namespace telekit

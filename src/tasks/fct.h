@@ -1,0 +1,52 @@
+#ifndef TELEKIT_TASKS_FCT_H_
+#define TELEKIT_TASKS_FCT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/kge.h"
+#include "synth/task_data.h"
+
+namespace telekit {
+namespace tasks {
+
+/// Fault-chain-tracing hyperparameters (Sec. V-D; the paper's NeuralKG
+/// setup with batch 1024 / 1000 negatives / dim 2000, scaled).
+struct FctOptions {
+  /// Few enough epochs that the entity initialization (Eq. 23) matters —
+  /// the regime the paper evaluates.
+  kg::KgeOptions kge{.dim = 64,
+                     .learning_rate = 0.03f,
+                     .margin = 2.0f,
+                     .epochs = 30,
+                     .negatives = 6,
+                     .confidence_alpha = 1.0f};
+};
+
+/// Aggregate metrics of Table VIII (percent).
+struct FctResult {
+  double mrr = 0.0;
+  double hits1 = 0.0;
+  double hits3 = 0.0;
+  double hits10 = 0.0;
+};
+
+/// "Rules Lightning" (Eq. 22): the candidate set for link prediction is
+/// restricted to alarm-instance entities that participate in at least one
+/// stored (training) fact — isolated entities are filtered out as
+/// irrelevant.
+std::vector<kg::EntityId> FilterCandidates(const synth::FctDataset& dataset);
+
+/// Trains GTransE on the training quadruples — entity embeddings either
+/// random or initialized from service vectors (Eq. 23) — and evaluates
+/// masked-first-hop link prediction on the test split, ranking tails in the
+/// filtered setting (known training tails other than the target are
+/// excluded).
+FctResult RunFct(const synth::FctDataset& dataset,
+                 const std::vector<std::vector<float>>* node_embeddings,
+                 const FctOptions& options, Rng& rng);
+
+}  // namespace tasks
+}  // namespace telekit
+
+#endif  // TELEKIT_TASKS_FCT_H_

@@ -1,0 +1,171 @@
+#include "tasks/rca.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace telekit {
+namespace tasks {
+
+using tensor::Tensor;
+
+RcaModel::RcaModel(int embed_dim, const RcaOptions& options, Rng& rng)
+    : gcn_({embed_dim, options.gcn_hidden, options.gcn_out}, rng),
+      mlp_w1_(Tensor::GlorotUniform(options.gcn_out, options.mlp_hidden, rng,
+                                    true)),
+      mlp_b1_(Tensor::Zeros({options.mlp_hidden}, true)),
+      mlp_w2_(Tensor::GlorotUniform(options.mlp_hidden, 1, rng, true)),
+      mlp_b2_(Tensor::Zeros({1}, true)) {}
+
+Tensor RcaModel::NodeInit(
+    const synth::RcaStateGraph& state,
+    const std::vector<std::vector<float>>& event_embeddings) {
+  TELEKIT_CHECK(!event_embeddings.empty());
+  const int d = static_cast<int>(event_embeddings[0].size());
+  const int n = state.topology.num_nodes;
+  std::vector<float> features(static_cast<size_t>(n) * d, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<float>& counts = state.features[static_cast<size_t>(i)];
+    float total = 0.0f;
+    for (float c : counts) total += c;
+    if (total <= 0.0f) continue;
+    for (size_t f = 0; f < counts.size(); ++f) {
+      if (counts[f] == 0.0f) continue;
+      const std::vector<float>& e = event_embeddings[f];
+      for (int j = 0; j < d; ++j) {
+        features[static_cast<size_t>(i) * d + j] +=
+            counts[f] * e[static_cast<size_t>(j)] / total;
+      }
+    }
+  }
+  return Tensor::FromData({n, d}, std::move(features));
+}
+
+Tensor RcaModel::Scores(const synth::RcaStateGraph& state,
+                        const Tensor& node_features) const {
+  Tensor adjacency = graph::NormalizedAdjacency(state.topology);
+  Tensor h = gcn_.Forward(adjacency, node_features);
+  Tensor hidden = tensor::Relu(
+      tensor::Add(tensor::MatMul(h, mlp_w1_), mlp_b1_));
+  Tensor scores = tensor::Add(tensor::MatMul(hidden, mlp_w2_), mlp_b2_);
+  return tensor::Reshape(scores, {state.topology.num_nodes});
+}
+
+double RcaModel::RankOfRoot(
+    const synth::RcaStateGraph& state,
+    const std::vector<std::vector<float>>& event_embeddings) const {
+  Tensor scores = Scores(state, NodeInit(state, event_embeddings));
+  const float root_score = scores.at(static_cast<int64_t>(state.root_node));
+  int better = 0, ties = 0;
+  for (int i = 0; i < state.topology.num_nodes; ++i) {
+    if (i == state.root_node) continue;
+    const float s = scores.at(static_cast<int64_t>(i));
+    if (s > root_score) {
+      ++better;
+    } else if (s == root_score) {
+      ++ties;
+    }
+  }
+  return 1.0 + better + ties / 2.0;
+}
+
+std::vector<Tensor> RcaModel::Parameters() const {
+  std::vector<Tensor> params = gcn_.Parameters();
+  params.push_back(mlp_w1_);
+  params.push_back(mlp_b1_);
+  params.push_back(mlp_w2_);
+  params.push_back(mlp_b2_);
+  return params;
+}
+
+namespace {
+
+// Mean rank of roots over the index subset.
+double MeanRankOn(const RcaModel& model, const synth::RcaDataset& dataset,
+                  const std::vector<std::vector<float>>& embeddings,
+                  const std::vector<size_t>& indices) {
+  double total = 0;
+  for (size_t idx : indices) {
+    total += model.RankOfRoot(dataset.graphs[idx], embeddings);
+  }
+  return total / static_cast<double>(indices.size());
+}
+
+}  // namespace
+
+RcaResult RunRcaCrossValidation(
+    const synth::RcaDataset& dataset,
+    const std::vector<std::vector<float>>& event_embeddings,
+    const RcaOptions& options, Rng& rng) {
+  TELEKIT_CHECK_EQ(event_embeddings.size(),
+                   static_cast<size_t>(dataset.num_features));
+  const int embed_dim = static_cast<int>(event_embeddings[0].size());
+  auto folds =
+      eval::KFoldIndices(dataset.graphs.size(), options.k_folds, rng);
+
+  eval::RankingAccumulator accumulator;
+  for (int fold = 0; fold < options.k_folds; ++fold) {
+    eval::KFoldSplit split = eval::MakeSplit(folds, fold);
+    RcaModel model(embed_dim, options, rng);
+    tensor::Adam optimizer(options.learning_rate);
+    optimizer.AddParameters(model.Parameters());
+
+    // Track the test ranks at the epoch with the best validation MR.
+    double best_valid = 1e18;
+    std::vector<double> best_test_ranks;
+    auto snapshot_test = [&]() {
+      std::vector<double> ranks;
+      for (size_t idx : split.test) {
+        ranks.push_back(model.RankOfRoot(dataset.graphs[idx],
+                                         event_embeddings));
+      }
+      return ranks;
+    };
+
+    for (int epoch = 1; epoch <= options.epochs; ++epoch) {
+      optimizer.ZeroGrad();
+      std::vector<Tensor> losses;
+      for (size_t idx : split.train) {
+        const synth::RcaStateGraph& state = dataset.graphs[idx];
+        Tensor scores =
+            model.Scores(state, RcaModel::NodeInit(state, event_embeddings));
+        std::vector<float> labels(
+            static_cast<size_t>(state.topology.num_nodes), -1.0f);
+        labels[static_cast<size_t>(state.root_node)] = 1.0f;
+        losses.push_back(tensor::LogisticLoss(scores, labels));
+      }
+      Tensor total = losses.front();
+      for (size_t i = 1; i < losses.size(); ++i) {
+        total = tensor::Add(total, losses[i]);
+      }
+      total = tensor::MulScalar(total,
+                                1.0f / static_cast<float>(losses.size()));
+      total.Backward();
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+
+      if (epoch % options.eval_every == 0 || epoch == options.epochs) {
+        const double valid_mr =
+            MeanRankOn(model, dataset, event_embeddings, split.valid);
+        if (valid_mr < best_valid) {
+          best_valid = valid_mr;
+          best_test_ranks = snapshot_test();
+        }
+      }
+    }
+    for (double rank : best_test_ranks) accumulator.AddRank(rank);
+  }
+
+  RcaResult result;
+  result.mean_rank = accumulator.MeanRank();
+  result.hits1 = accumulator.HitsAt(1);
+  result.hits3 = accumulator.HitsAt(3);
+  result.hits5 = accumulator.HitsAt(5);
+  return result;
+}
+
+}  // namespace tasks
+}  // namespace telekit

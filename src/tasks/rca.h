@@ -1,0 +1,78 @@
+#ifndef TELEKIT_TASKS_RCA_H_
+#define TELEKIT_TASKS_RCA_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/gcn.h"
+#include "synth/task_data.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace tasks {
+
+/// Root-cause-analysis hyperparameters (Sec. V-B; layer widths scaled from
+/// the paper's 1024/512/128 to the reproduction's embedding size).
+struct RcaOptions {
+  int gcn_hidden = 64;
+  int gcn_out = 32;
+  int mlp_hidden = 16;
+  int epochs = 60;
+  float learning_rate = 0.01f;
+  int k_folds = 5;
+  /// Evaluate on the validation fold every this many epochs and report the
+  /// test metrics at the best validation point (model selection).
+  int eval_every = 5;
+};
+
+/// GCN + MLP node-ranking model (Fig. 7): node features are initialized
+/// from abnormal-event service embeddings (Eq. 12-13), refined by a 2-layer
+/// GCN (Eq. 14), and scored by a 2-layer MLP (Eq. 15), trained with the
+/// logistic loss of Eq. 16.
+class RcaModel {
+ public:
+  RcaModel(int embed_dim, const RcaOptions& options, Rng& rng);
+
+  /// Node initialization (Eq. 13): H_j = x_j E / sum(x_j), zero for nodes
+  /// without events. `event_embeddings` is the [num_features x d] matrix E
+  /// produced by the service encoder.
+  static tensor::Tensor NodeInit(
+      const synth::RcaStateGraph& state,
+      const std::vector<std::vector<float>>& event_embeddings);
+
+  /// Node scores s = f(G): [n].
+  tensor::Tensor Scores(const synth::RcaStateGraph& state,
+                        const tensor::Tensor& node_features) const;
+
+  /// Rank (1-based, ties averaged) of the labelled root under the current
+  /// parameters.
+  double RankOfRoot(const synth::RcaStateGraph& state,
+                    const std::vector<std::vector<float>>& event_embeddings)
+      const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+ private:
+  graph::GcnStack gcn_;
+  tensor::Tensor mlp_w1_, mlp_b1_, mlp_w2_, mlp_b2_;
+};
+
+/// Aggregate metrics of Table IV.
+struct RcaResult {
+  double mean_rank = 0.0;
+  double hits1 = 0.0;
+  double hits3 = 0.0;
+  double hits5 = 0.0;
+};
+
+/// Full 5-fold cross-validated evaluation (Sec. V-B3) given precomputed
+/// abnormal-event embeddings; returns fold-averaged metrics.
+RcaResult RunRcaCrossValidation(
+    const synth::RcaDataset& dataset,
+    const std::vector<std::vector<float>>& event_embeddings,
+    const RcaOptions& options, Rng& rng);
+
+}  // namespace tasks
+}  // namespace telekit
+
+#endif  // TELEKIT_TASKS_RCA_H_

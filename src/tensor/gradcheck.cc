@@ -1,0 +1,63 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace telekit {
+namespace tensor {
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    const std::vector<Tensor>& inputs, float epsilon, float tolerance) {
+  GradCheckResult result;
+  for (const Tensor& in : inputs) {
+    TELEKIT_CHECK(in.requires_grad()) << "gradcheck input needs grad";
+  }
+
+  // Analytic gradients.
+  std::vector<Tensor> leaves = inputs;
+  for (Tensor& leaf : leaves) leaf.ZeroGrad();
+  Tensor loss = fn(leaves);
+  TELEKIT_CHECK_EQ(loss.size(), 1) << "gradcheck fn must return a scalar";
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  for (Tensor& leaf : leaves) {
+    auto* node = leaf.node();
+    node->EnsureGrad();
+    analytic.push_back(node->grad);
+  }
+
+  // Central finite differences, one coordinate at a time.
+  result.passed = true;
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    Tensor& leaf = leaves[li];
+    for (size_t i = 0; i < leaf.mutable_data().size(); ++i) {
+      const float original = leaf.mutable_data()[i];
+      leaf.mutable_data()[i] = original + epsilon;
+      const float up = fn(leaves).item();
+      leaf.mutable_data()[i] = original - epsilon;
+      const float down = fn(leaves).item();
+      leaf.mutable_data()[i] = original;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float abs_err = std::fabs(numeric - analytic[li][i]);
+      const float denom =
+          std::max(std::fabs(numeric) + std::fabs(analytic[li][i]), 1e-8f);
+      const float rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (std::min(abs_err, rel_err) > tolerance) {
+        result.passed = false;
+        if (result.detail.empty()) {
+          result.detail = StringPrintf(
+              "input %zu coord %zu: analytic=%.6f numeric=%.6f", li, i,
+              analytic[li][i], numeric);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tensor
+}  // namespace telekit

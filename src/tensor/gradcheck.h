@@ -1,0 +1,34 @@
+#ifndef TELEKIT_TENSOR_GRADCHECK_H_
+#define TELEKIT_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace tensor {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool passed = false;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  std::string detail;  // where the worst mismatch occurred
+};
+
+/// Verifies the analytic gradients of `fn` (a scalar-valued function of the
+/// given leaf inputs) against central finite differences. Each input must
+/// have requires_grad(). `fn` is called repeatedly and must be deterministic
+/// (re-seed any Rng inside). Tolerance is on the hybrid error
+/// min(abs_err, rel_err) per coordinate.
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    const std::vector<Tensor>& inputs, float epsilon = 1e-3f,
+    float tolerance = 2e-2f);
+
+}  // namespace tensor
+}  // namespace telekit
+
+#endif  // TELEKIT_TENSOR_GRADCHECK_H_

@@ -1,0 +1,902 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace telekit {
+namespace tensor {
+
+namespace {
+
+using internal::Node;
+using NodePtr = std::shared_ptr<Node>;
+
+NodePtr NewNode(const Shape& shape, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->shape = shape;
+  node->value.assign(static_cast<size_t>(ShapeSize(shape)), 0.0f);
+  node->requires_grad = requires_grad;
+  return node;
+}
+
+bool AnyGrad(const Tensor& a) { return a.requires_grad(); }
+bool AnyGrad(const Tensor& a, const Tensor& b) {
+  return a.requires_grad() || b.requires_grad();
+}
+
+// C[m,n] += A[m,k] * B[k,n]
+void MmAcc(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,k] += A[m,n] * B[k,n]^T  (i.e. C = A * B^T)
+void MmAccNT(const float* a, const float* b, float* c, int m, int n, int k) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * n;
+    float* crow = c + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<size_t>(p) * n;
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      crow[p] += acc;
+    }
+  }
+}
+
+// C[k,n] += A[m,k]^T * B[m,n]
+void MmAccTN(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    const float* brow = b + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Broadcasting classification for binary elementwise ops.
+enum class Broadcast { kSame, kRow, kScalar };
+
+Broadcast ClassifyBroadcast(const Tensor& a, const Tensor& b) {
+  if (b.size() == 1) return Broadcast::kScalar;
+  if (a.shape() == b.shape()) return Broadcast::kSame;
+  if (a.rank() == 2 && b.rank() == 1 && b.dim(0) == a.dim(1)) {
+    return Broadcast::kRow;
+  }
+  TELEKIT_CHECK(false) << "incompatible shapes " << ShapeToString(a.shape())
+                       << " vs " << ShapeToString(b.shape());
+  return Broadcast::kSame;
+}
+
+// Maps a flat index of `a` to the corresponding flat index of `b`.
+size_t BIndex(Broadcast bc, size_t a_index, int a_cols) {
+  switch (bc) {
+    case Broadcast::kSame:
+      return a_index;
+    case Broadcast::kRow:
+      return a_index % static_cast<size_t>(a_cols);
+    case Broadcast::kScalar:
+      return 0;
+  }
+  return 0;
+}
+
+// Generic binary elementwise op with broadcasting. fwd(x, y) computes the
+// value; dfa/dfb give d(out)/dx and d(out)/dy as functions of (x, y).
+template <typename Fwd, typename Dfa, typename Dfb>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa, Dfb dfb) {
+  const Broadcast bc = ClassifyBroadcast(a, b);
+  const int a_cols = a.rank() == 2 ? a.dim(1) : static_cast<int>(a.size());
+  NodePtr out = NewNode(a.shape(), AnyGrad(a, b));
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  for (size_t i = 0; i < av.size(); ++i) {
+    out->value[i] = fwd(av[i], bv[BIndex(bc, i, a_cols)]);
+  }
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr(), b.node_ptr()};
+    out->backward = [an = a.node_ptr(), bn = b.node_ptr(), bc, a_cols, dfa,
+                     dfb](Node* self) {
+      if (an->requires_grad) an->EnsureGrad();
+      if (bn->requires_grad) bn->EnsureGrad();
+      for (size_t i = 0; i < self->grad.size(); ++i) {
+        const size_t bi = BIndex(bc, i, a_cols);
+        const float g = self->grad[i];
+        if (g == 0.0f) continue;
+        const float x = an->value[i];
+        const float y = bn->value[bi];
+        if (an->requires_grad) an->grad[i] += g * dfa(x, y);
+        if (bn->requires_grad) bn->grad[bi] += g * dfb(x, y);
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+// Generic unary elementwise op. df(x, y) is d(out)/dx given input x and
+// output y (so activations can reuse the forward value).
+template <typename Fwd, typename Df>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Df df) {
+  NodePtr out = NewNode(a.shape(), AnyGrad(a));
+  const auto& av = a.data();
+  for (size_t i = 0; i < av.size(); ++i) out->value[i] = fwd(av[i]);
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), df](Node* self) {
+      an->EnsureGrad();
+      for (size_t i = 0; i < self->grad.size(); ++i) {
+        an->grad[i] += self->grad[i] * df(an->value[i], self->value[i]);
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+}  // namespace
+
+// --- Linear algebra ----------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TELEKIT_CHECK_EQ(a.rank(), 2);
+  TELEKIT_CHECK_EQ(b.rank(), 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  TELEKIT_CHECK_EQ(k, b.dim(0))
+      << "MatMul " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  NodePtr out = NewNode({m, n}, AnyGrad(a, b));
+  MmAcc(a.data().data(), b.data().data(), out->value.data(), m, k, n);
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr(), b.node_ptr()};
+    out->backward = [an = a.node_ptr(), bn = b.node_ptr(), m, k,
+                     n](Node* self) {
+      if (an->requires_grad) {
+        an->EnsureGrad();
+        // dA += dC * B^T : [m,n] x [k,n]^T -> [m,k]
+        MmAccNT(self->grad.data(), bn->value.data(), an->grad.data(), m, n, k);
+      }
+      if (bn->requires_grad) {
+        bn->EnsureGrad();
+        // dB += A^T * dC : [m,k]^T x [m,n] -> [k,n]
+        MmAccTN(an->value.data(), self->grad.data(), bn->grad.data(), m, k, n);
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor Transpose(const Tensor& a) {
+  TELEKIT_CHECK_EQ(a.rank(), 2);
+  const int m = a.dim(0), n = a.dim(1);
+  NodePtr out = NewNode({n, m}, AnyGrad(a));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out->value[static_cast<size_t>(j) * m + i] =
+          a.data()[static_cast<size_t>(i) * n + j];
+    }
+  }
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), m, n](Node* self) {
+      an->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          an->grad[static_cast<size_t>(i) * n + j] +=
+              self->grad[static_cast<size_t>(j) * m + i];
+        }
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  TELEKIT_CHECK_EQ(ShapeSize(shape), a.size());
+  NodePtr out = NewNode(shape, AnyGrad(a));
+  out->value = a.data();
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr()](Node* self) {
+      an->EnsureGrad();
+      for (size_t i = 0; i < self->grad.size(); ++i) {
+        an->grad[i] += self->grad[i];
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+// --- Structural -------------------------------------------------------------
+
+namespace {
+
+// Shared implementation for row-wise concatenation. Rank-1 inputs count as
+// single rows.
+Tensor ConcatRowsImpl(const std::vector<Tensor>& parts) {
+  TELEKIT_CHECK(!parts.empty());
+  int cols = parts[0].rank() == 2 ? parts[0].dim(1)
+                                  : static_cast<int>(parts[0].size());
+  int rows = 0;
+  bool grad = false;
+  for (const Tensor& p : parts) {
+    const int pc = p.rank() == 2 ? p.dim(1) : static_cast<int>(p.size());
+    TELEKIT_CHECK_EQ(pc, cols);
+    rows += p.rank() == 2 ? p.dim(0) : 1;
+    grad = grad || p.requires_grad();
+  }
+  NodePtr out = NewNode({rows, cols}, grad);
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data().begin(), p.data().end(), out->value.begin() + offset);
+    offset += p.data().size();
+  }
+  if (grad) {
+    std::vector<NodePtr> parents;
+    for (const Tensor& p : parts) parents.push_back(p.node_ptr());
+    out->parents = parents;
+    out->backward = [parents](Node* self) {
+      size_t off = 0;
+      for (const NodePtr& p : parents) {
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          for (size_t i = 0; i < p->value.size(); ++i) {
+            p->grad[i] += self->grad[off + i];
+          }
+        }
+        off += p->value.size();
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+}  // namespace
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  return ConcatRowsImpl(parts);
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  TELEKIT_CHECK(!parts.empty());
+  const int rows = parts[0].dim(0);
+  int cols = 0;
+  bool grad = false;
+  for (const Tensor& p : parts) {
+    TELEKIT_CHECK_EQ(p.rank(), 2);
+    TELEKIT_CHECK_EQ(p.dim(0), rows);
+    cols += p.dim(1);
+    grad = grad || p.requires_grad();
+  }
+  NodePtr out = NewNode({rows, cols}, grad);
+  int col_offset = 0;
+  for (const Tensor& p : parts) {
+    const int pc = p.dim(1);
+    for (int i = 0; i < rows; ++i) {
+      std::copy(p.data().begin() + static_cast<size_t>(i) * pc,
+                p.data().begin() + static_cast<size_t>(i + 1) * pc,
+                out->value.begin() + static_cast<size_t>(i) * cols +
+                    col_offset);
+    }
+    col_offset += pc;
+  }
+  if (grad) {
+    std::vector<NodePtr> parents;
+    std::vector<int> widths;
+    for (const Tensor& p : parts) {
+      parents.push_back(p.node_ptr());
+      widths.push_back(p.dim(1));
+    }
+    out->parents = parents;
+    out->backward = [parents, widths, rows, cols](Node* self) {
+      int off = 0;
+      for (size_t pi = 0; pi < parents.size(); ++pi) {
+        const NodePtr& p = parents[pi];
+        const int pc = widths[pi];
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          for (int i = 0; i < rows; ++i) {
+            for (int j = 0; j < pc; ++j) {
+              p->grad[static_cast<size_t>(i) * pc + j] +=
+                  self->grad[static_cast<size_t>(i) * cols + off + j];
+            }
+          }
+        }
+        off += pc;
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor ConcatVec(const std::vector<Tensor>& parts) {
+  TELEKIT_CHECK(!parts.empty());
+  int total = 0;
+  bool grad = false;
+  for (const Tensor& p : parts) {
+    TELEKIT_CHECK_EQ(p.rank(), 1);
+    total += p.dim(0);
+    grad = grad || p.requires_grad();
+  }
+  NodePtr out = NewNode({total}, grad);
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data().begin(), p.data().end(), out->value.begin() + offset);
+    offset += p.data().size();
+  }
+  if (grad) {
+    std::vector<NodePtr> parents;
+    for (const Tensor& p : parts) parents.push_back(p.node_ptr());
+    out->parents = parents;
+    out->backward = [parents](Node* self) {
+      size_t off = 0;
+      for (const NodePtr& p : parents) {
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          for (size_t i = 0; i < p->value.size(); ++i) {
+            p->grad[i] += self->grad[off + i];
+          }
+        }
+        off += p->value.size();
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor SliceRows(const Tensor& a, int start, int len) {
+  TELEKIT_CHECK_EQ(a.rank(), 2);
+  TELEKIT_CHECK(start >= 0 && len > 0 && start + len <= a.dim(0));
+  const int n = a.dim(1);
+  NodePtr out = NewNode({len, n}, AnyGrad(a));
+  std::copy(a.data().begin() + static_cast<size_t>(start) * n,
+            a.data().begin() + static_cast<size_t>(start + len) * n,
+            out->value.begin());
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), start, n](Node* self) {
+      an->EnsureGrad();
+      const size_t base = static_cast<size_t>(start) * n;
+      for (size_t i = 0; i < self->grad.size(); ++i) {
+        an->grad[base + i] += self->grad[i];
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  TELEKIT_CHECK_EQ(a.rank(), 2);
+  TELEKIT_CHECK(start >= 0 && len > 0 && start + len <= a.dim(1));
+  const int m = a.dim(0), n = a.dim(1);
+  NodePtr out = NewNode({m, len}, AnyGrad(a));
+  for (int i = 0; i < m; ++i) {
+    std::copy(a.data().begin() + static_cast<size_t>(i) * n + start,
+              a.data().begin() + static_cast<size_t>(i) * n + start + len,
+              out->value.begin() + static_cast<size_t>(i) * len);
+  }
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), start, m, n, len](Node* self) {
+      an->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < len; ++j) {
+          an->grad[static_cast<size_t>(i) * n + start + j] +=
+              self->grad[static_cast<size_t>(i) * len + j];
+        }
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
+  TELEKIT_CHECK_EQ(a.rank(), 2);
+  const int n = a.dim(1);
+  const int m = static_cast<int>(indices.size());
+  TELEKIT_CHECK_GT(m, 0);
+  for (int idx : indices) TELEKIT_CHECK(idx >= 0 && idx < a.dim(0));
+  NodePtr out = NewNode({m, n}, AnyGrad(a));
+  for (int i = 0; i < m; ++i) {
+    std::copy(a.data().begin() + static_cast<size_t>(indices[i]) * n,
+              a.data().begin() + static_cast<size_t>(indices[i] + 1) * n,
+              out->value.begin() + static_cast<size_t>(i) * n);
+  }
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), indices, n](Node* self) {
+      an->EnsureGrad();
+      for (size_t i = 0; i < indices.size(); ++i) {
+        const size_t src = i * n;
+        const size_t dst = static_cast<size_t>(indices[i]) * n;
+        for (int j = 0; j < n; ++j) an->grad[dst + j] += self->grad[src + j];
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor Row(const Tensor& a, int row) {
+  return Reshape(SliceRows(a, row, 1), {a.dim(1)});
+}
+
+// --- Elementwise arithmetic ---------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor AddScalar(const Tensor& a, float c) {
+  return UnaryOp(
+      a, [c](float x) { return x + c; }, [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float c) {
+  return UnaryOp(
+      a, [c](float x) { return x * c; }, [c](float, float) { return c; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+// --- Elementwise functions -----------------------------------------------------
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation: 0.5 x (1 + tanh(c (x + 0.044715 x^3))).
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return UnaryOp(
+      a,
+      [](float x) {
+        const float inner = kC * (x + 0.044715f * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        const float inner = kC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(inner);
+        const float dinner = kC * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+      });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor LogSigmoid(const Tensor& a) {
+  // log sigmoid(x) = -log(1 + exp(-x)) = min(x,0) - log1p(exp(-|x|))
+  return UnaryOp(
+      a,
+      [](float x) {
+        return std::min(x, 0.0f) - std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float x, float) { return 1.0f / (1.0f + std::exp(x)); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        TELEKIT_CHECK_GT(x, 0.0f) << "Log of non-positive value";
+        return std::log(x);
+      },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        TELEKIT_CHECK_GE(x, 0.0f) << "Sqrt of negative value";
+        return std::sqrt(x);
+      },
+      [](float, float y) { return 0.5f / std::max(y, 1e-12f); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+// --- Reductions ------------------------------------------------------------------
+
+Tensor Sum(const Tensor& a) {
+  NodePtr out = NewNode({1}, AnyGrad(a));
+  float acc = 0.0f;
+  for (float v : a.data()) acc += v;
+  out->value[0] = acc;
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr()](Node* self) {
+      an->EnsureGrad();
+      const float g = self->grad[0];
+      for (float& gv : an->grad) gv += g;
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor Mean(const Tensor& a) {
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.size()));
+}
+
+Tensor MeanRows(const Tensor& a) {
+  TELEKIT_CHECK_EQ(a.rank(), 2);
+  const int m = a.dim(0), n = a.dim(1);
+  NodePtr out = NewNode({n}, AnyGrad(a));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out->value[j] += a.data()[static_cast<size_t>(i) * n + j];
+    }
+  }
+  const float inv_m = 1.0f / static_cast<float>(m);
+  for (int j = 0; j < n; ++j) out->value[j] *= inv_m;
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), m, n, inv_m](Node* self) {
+      an->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          an->grad[static_cast<size_t>(i) * n + j] += self->grad[j] * inv_m;
+        }
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor SumCols(const Tensor& a) {
+  TELEKIT_CHECK_EQ(a.rank(), 2);
+  const int m = a.dim(0), n = a.dim(1);
+  NodePtr out = NewNode({m}, AnyGrad(a));
+  for (int i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    for (int j = 0; j < n; ++j) acc += a.data()[static_cast<size_t>(i) * n + j];
+    out->value[i] = acc;
+  }
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), m, n](Node* self) {
+      an->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        const float g = self->grad[i];
+        for (int j = 0; j < n; ++j) {
+          an->grad[static_cast<size_t>(i) * n + j] += g;
+        }
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+// --- Neural-net primitives ----------------------------------------------------------
+
+Tensor Softmax(const Tensor& a) {
+  const int m = a.rank() == 2 ? a.dim(0) : 1;
+  const int n = a.rank() == 2 ? a.dim(1) : a.dim(0);
+  NodePtr out = NewNode(a.shape(), AnyGrad(a));
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.data().data() + static_cast<size_t>(i) * n;
+    float* orow = out->value.data() + static_cast<size_t>(i) * n;
+    float max_v = row[0];
+    for (int j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - max_v);
+      denom += orow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), m, n](Node* self) {
+      an->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        const float* y = self->value.data() + static_cast<size_t>(i) * n;
+        const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
+        float* dx = an->grad.data() + static_cast<size_t>(i) * n;
+        float dot = 0.0f;
+        for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+        for (int j = 0; j < n; ++j) dx[j] += y[j] * (dy[j] - dot);
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                 float eps) {
+  const int m = a.rank() == 2 ? a.dim(0) : 1;
+  const int n = a.rank() == 2 ? a.dim(1) : a.dim(0);
+  TELEKIT_CHECK_EQ(gain.rank(), 1);
+  TELEKIT_CHECK_EQ(gain.dim(0), n);
+  TELEKIT_CHECK_EQ(bias.rank(), 1);
+  TELEKIT_CHECK_EQ(bias.dim(0), n);
+  const bool grad = a.requires_grad() || gain.requires_grad() ||
+                    bias.requires_grad();
+  NodePtr out = NewNode(a.shape(), grad);
+  // Cache normalized activations and per-row inverse stddev for backward.
+  auto xhat = std::make_shared<std::vector<float>>(a.data().size());
+  auto inv_std = std::make_shared<std::vector<float>>(m);
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.data().data() + static_cast<size_t>(i) * n;
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) mean += row[j];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) var += (row[j] - mean) * (row[j] - mean);
+    var /= static_cast<float>(n);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[i] = istd;
+    for (int j = 0; j < n; ++j) {
+      const float xh = (row[j] - mean) * istd;
+      (*xhat)[static_cast<size_t>(i) * n + j] = xh;
+      out->value[static_cast<size_t>(i) * n + j] =
+          xh * gain.data()[j] + bias.data()[j];
+    }
+  }
+  if (grad) {
+    out->parents = {a.node_ptr(), gain.node_ptr(), bias.node_ptr()};
+    out->backward = [an = a.node_ptr(), gn = gain.node_ptr(),
+                     bn = bias.node_ptr(), xhat, inv_std, m, n](Node* self) {
+      if (gn->requires_grad) gn->EnsureGrad();
+      if (bn->requires_grad) bn->EnsureGrad();
+      if (an->requires_grad) an->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
+        const float* xh = xhat->data() + static_cast<size_t>(i) * n;
+        if (gn->requires_grad || bn->requires_grad) {
+          for (int j = 0; j < n; ++j) {
+            if (gn->requires_grad) gn->grad[j] += dy[j] * xh[j];
+            if (bn->requires_grad) bn->grad[j] += dy[j];
+          }
+        }
+        if (an->requires_grad) {
+          // dxhat = dy * gain; dx = istd * (dxhat - mean(dxhat)
+          //                                 - xhat * mean(dxhat * xhat))
+          float mean_dxhat = 0.0f;
+          float mean_dxhat_xhat = 0.0f;
+          for (int j = 0; j < n; ++j) {
+            const float dxh = dy[j] * gn->value[j];
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += dxh * xh[j];
+          }
+          mean_dxhat /= static_cast<float>(n);
+          mean_dxhat_xhat /= static_cast<float>(n);
+          float* dx = an->grad.data() + static_cast<size_t>(i) * n;
+          const float istd = (*inv_std)[i];
+          for (int j = 0; j < n; ++j) {
+            const float dxh = dy[j] * gn->value[j];
+            dx[j] += istd * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat);
+          }
+        }
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
+  TELEKIT_CHECK(p >= 0.0f && p < 1.0f);
+  if (!training || p == 0.0f) return a;
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(a.data().size());
+  for (float& mv : *mask) mv = rng.Bernoulli(p) ? 0.0f : scale;
+  NodePtr out = NewNode(a.shape(), AnyGrad(a));
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    out->value[i] = a.data()[i] * (*mask)[i];
+  }
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), mask](Node* self) {
+      an->EnsureGrad();
+      for (size_t i = 0; i < self->grad.size(); ++i) {
+        an->grad[i] += self->grad[i] * (*mask)[i];
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
+  return GatherRows(table, ids);
+}
+
+Tensor L2NormalizeRows(const Tensor& a, float eps) {
+  const int m = a.rank() == 2 ? a.dim(0) : 1;
+  const int n = a.rank() == 2 ? a.dim(1) : a.dim(0);
+  NodePtr out = NewNode(a.shape(), AnyGrad(a));
+  auto inv_norm = std::make_shared<std::vector<float>>(m);
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.data().data() + static_cast<size_t>(i) * n;
+    float sq = 0.0f;
+    for (int j = 0; j < n; ++j) sq += row[j] * row[j];
+    const float inv = 1.0f / (std::sqrt(sq) + eps);
+    (*inv_norm)[i] = inv;
+    for (int j = 0; j < n; ++j) {
+      out->value[static_cast<size_t>(i) * n + j] = row[j] * inv;
+    }
+  }
+  if (out->requires_grad) {
+    out->parents = {a.node_ptr()};
+    out->backward = [an = a.node_ptr(), inv_norm, m, n](Node* self) {
+      an->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        const float* y = self->value.data() + static_cast<size_t>(i) * n;
+        const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
+        float* dx = an->grad.data() + static_cast<size_t>(i) * n;
+        float dot = 0.0f;
+        for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+        const float inv = (*inv_norm)[i];
+        for (int j = 0; j < n; ++j) dx[j] += inv * (dy[j] - y[j] * dot);
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+// --- Losses --------------------------------------------------------------------------
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& labels) {
+  TELEKIT_CHECK_EQ(logits.rank(), 2);
+  const int m = logits.dim(0), c = logits.dim(1);
+  TELEKIT_CHECK_EQ(static_cast<int>(labels.size()), m);
+  int valid = 0;
+  for (int label : labels) {
+    TELEKIT_CHECK(label >= -1 && label < c);
+    if (label >= 0) ++valid;
+  }
+  TELEKIT_CHECK_GT(valid, 0) << "no valid labels";
+  NodePtr out = NewNode({1}, AnyGrad(logits));
+  // Cache the softmax for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(logits.data().size());
+  double loss = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const float* row = logits.data().data() + static_cast<size_t>(i) * c;
+    float* prow = probs->data() + static_cast<size_t>(i) * c;
+    float max_v = row[0];
+    for (int j = 1; j < c; ++j) max_v = std::max(max_v, row[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      prow[j] = std::exp(row[j] - max_v);
+      denom += prow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int j = 0; j < c; ++j) prow[j] *= inv;
+    if (labels[i] >= 0) {
+      loss -= std::log(std::max(prow[labels[i]], 1e-12f));
+    }
+  }
+  out->value[0] = static_cast<float>(loss / valid);
+  if (out->requires_grad) {
+    out->parents = {logits.node_ptr()};
+    out->backward = [ln = logits.node_ptr(), probs, labels, m, c,
+                     valid](Node* self) {
+      ln->EnsureGrad();
+      const float g = self->grad[0] / static_cast<float>(valid);
+      for (int i = 0; i < m; ++i) {
+        if (labels[i] < 0) continue;
+        const float* prow = probs->data() + static_cast<size_t>(i) * c;
+        float* drow = ln->grad.data() + static_cast<size_t>(i) * c;
+        for (int j = 0; j < c; ++j) {
+          drow[j] += g * (prow[j] - (j == labels[i] ? 1.0f : 0.0f));
+        }
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
+  const int m = static_cast<int>(logits.size());
+  TELEKIT_CHECK_EQ(static_cast<int>(labels.size()), m);
+  NodePtr out = NewNode({1}, AnyGrad(logits));
+  double loss = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const float z = logits.data()[i];
+    const float y = labels[i];
+    // max(z,0) - z*y + log(1 + exp(-|z|)), numerically stable.
+    loss += std::max(z, 0.0f) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  }
+  out->value[0] = static_cast<float>(loss / m);
+  if (out->requires_grad) {
+    out->parents = {logits.node_ptr()};
+    out->backward = [ln = logits.node_ptr(), labels, m](Node* self) {
+      ln->EnsureGrad();
+      const float g = self->grad[0] / static_cast<float>(m);
+      for (int i = 0; i < m; ++i) {
+        const float z = ln->value[i];
+        const float sig = 1.0f / (1.0f + std::exp(-z));
+        ln->grad[i] += g * (sig - labels[i]);
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor LogisticLoss(const Tensor& scores, const std::vector<float>& labels) {
+  const int m = static_cast<int>(scores.size());
+  TELEKIT_CHECK_EQ(static_cast<int>(labels.size()), m);
+  for (float y : labels) TELEKIT_CHECK(y == 1.0f || y == -1.0f);
+  NodePtr out = NewNode({1}, AnyGrad(scores));
+  double loss = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const float margin = -labels[i] * scores.data()[i];
+    // log(1 + exp(margin)) computed stably.
+    loss += std::max(margin, 0.0f) + std::log1p(std::exp(-std::fabs(margin)));
+  }
+  out->value[0] = static_cast<float>(loss / m);
+  if (out->requires_grad) {
+    out->parents = {scores.node_ptr()};
+    out->backward = [sn = scores.node_ptr(), labels, m](Node* self) {
+      sn->EnsureGrad();
+      const float g = self->grad[0] / static_cast<float>(m);
+      for (int i = 0; i < m; ++i) {
+        const float margin = -labels[i] * sn->value[i];
+        const float sig = 1.0f / (1.0f + std::exp(-margin));
+        sn->grad[i] += g * (-labels[i]) * sig;
+      }
+    };
+  }
+  return Tensor::FromNode(out);
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  TELEKIT_CHECK(pred.shape() == target.shape());
+  return Mean(Square(Sub(pred, target)));
+}
+
+}  // namespace tensor
+}  // namespace telekit

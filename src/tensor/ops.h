@@ -1,0 +1,136 @@
+#ifndef TELEKIT_TENSOR_OPS_H_
+#define TELEKIT_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace tensor {
+
+// All operations are differentiable: if any input has requires_grad(), the
+// result records a backward closure on the tape. Shapes follow the comments;
+// rank-1 tensors are treated as row vectors where noted.
+
+// --- Linear algebra ---------------------------------------------------------
+
+/// Matrix product: [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose of a matrix: [m, n] -> [n, m].
+Tensor Transpose(const Tensor& a);
+
+/// Same data, new shape (sizes must match).
+Tensor Reshape(const Tensor& a, const Shape& shape);
+
+// --- Structural -------------------------------------------------------------
+
+/// Concatenates matrices along rows: [m1, n] + [m2, n] -> [m1+m2, n].
+/// Rank-1 inputs are treated as [1, n] rows.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Concatenates along columns: [m, n1] + [m, n2] -> [m, n1+n2].
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Concatenates rank-1 vectors: [n1] + [n2] -> [n1+n2].
+Tensor ConcatVec(const std::vector<Tensor>& parts);
+
+/// Rows [start, start+len) of a matrix.
+Tensor SliceRows(const Tensor& a, int start, int len);
+
+/// Columns [start, start+len) of a matrix.
+Tensor SliceCols(const Tensor& a, int start, int len);
+
+/// Selects rows by index (duplicates allowed); backward scatter-adds.
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices);
+
+/// A single row of a matrix as a rank-1 vector [n].
+Tensor Row(const Tensor& a, int row);
+
+// --- Elementwise arithmetic --------------------------------------------------
+
+/// Elementwise a + b. Shapes must match, or b may be rank-1 [n] broadcast
+/// over the rows of a [m, n], or b may be a scalar [1].
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Elementwise a - b (same broadcasting as Add).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise a * b (same broadcasting as Add).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Elementwise a / b (same broadcasting as Add). b must be nonzero.
+Tensor Div(const Tensor& a, const Tensor& b);
+/// a + c for a constant c.
+Tensor AddScalar(const Tensor& a, float c);
+/// a * c for a constant c.
+Tensor MulScalar(const Tensor& a, float c);
+/// -a.
+Tensor Neg(const Tensor& a);
+
+// --- Elementwise functions ----------------------------------------------------
+
+Tensor Relu(const Tensor& a);
+/// GELU, tanh approximation (as in BERT).
+Tensor Gelu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+/// Numerically stable log(sigmoid(a)).
+Tensor LogSigmoid(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; inputs must be positive.
+Tensor Log(const Tensor& a);
+/// Elementwise square root; inputs must be non-negative.
+Tensor Sqrt(const Tensor& a);
+/// Elementwise square.
+Tensor Square(const Tensor& a);
+
+// --- Reductions ----------------------------------------------------------------
+
+/// Sum of all elements -> scalar [1].
+Tensor Sum(const Tensor& a);
+/// Mean of all elements -> scalar [1].
+Tensor Mean(const Tensor& a);
+/// Column means over rows: [m, n] -> [n]. (Mean pooling over tokens.)
+Tensor MeanRows(const Tensor& a);
+/// Per-row sums: [m, n] -> [m].
+Tensor SumCols(const Tensor& a);
+
+// --- Neural-net primitives --------------------------------------------------------
+
+/// Row-wise softmax over the last dimension of [m, n] (or over a [n] vector).
+Tensor Softmax(const Tensor& a);
+
+/// Layer normalization over the last dimension with learnable gain/bias [n].
+Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                 float eps = 1e-5f);
+
+/// Inverted dropout: keeps each unit with prob. 1-p and rescales by 1/(1-p).
+/// Identity when `training` is false or p == 0.
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training);
+
+/// Embedding lookup: table [V, d], ids in [0, V) -> [len(ids), d].
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids);
+
+/// Rescales each row to unit L2 norm (eps guards zero rows).
+Tensor L2NormalizeRows(const Tensor& a, float eps = 1e-8f);
+
+// --- Losses -----------------------------------------------------------------------
+
+/// Mean token cross-entropy over logits [m, C] with integer labels;
+/// label -1 means "ignore this row".
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& labels);
+
+/// Mean binary cross-entropy over logits [m] (or [m,1]) with labels in {0,1}.
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels);
+
+/// Mean of log(1 + exp(-y_i * s_i)) for labels y in {-1, +1}
+/// (the RCA logistic loss, Eq. 16 of the paper).
+Tensor LogisticLoss(const Tensor& scores, const std::vector<float>& labels);
+
+/// Mean squared error between two same-shaped tensors.
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+
+}  // namespace tensor
+}  // namespace telekit
+
+#endif  // TELEKIT_TENSOR_OPS_H_

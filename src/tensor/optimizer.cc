@@ -1,0 +1,89 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace telekit {
+namespace tensor {
+
+void Optimizer::AddParameter(const Tensor& param) {
+  TELEKIT_CHECK(param.requires_grad()) << "optimizer parameter needs grad";
+  params_.push_back(param);
+  OnParameterAdded(param);
+}
+
+void Optimizer::AddParameters(const std::vector<Tensor>& params) {
+  for (const Tensor& p : params) AddParameter(p);
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total_sq = 0.0;
+  for (const Tensor& p : params_) {
+    for (float g : p.grad()) total_sq += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params_) {
+      auto* node = p.node();
+      for (float& g : node->grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+int64_t Optimizer::num_weights() const {
+  int64_t total = 0;
+  for (const Tensor& p : params_) total += p.size();
+  return total;
+}
+
+void Sgd::Step() {
+  for (Tensor& p : params_) {
+    auto* node = p.node();
+    if (node->grad.empty()) continue;
+    for (size_t i = 0; i < node->value.size(); ++i) {
+      float g = node->grad[i];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * node->value[i];
+      node->value[i] -= lr_ * g;
+    }
+  }
+}
+
+void Adam::OnParameterAdded(const Tensor& param) {
+  m_.emplace_back(param.size(), 0.0f);
+  v_.emplace_back(param.size(), 0.0f);
+}
+
+void Adam::Step() {
+  ++step_;
+  const float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto* node = params_[pi].node();
+    if (node->grad.empty()) continue;
+    std::vector<float>& m = m_[pi];
+    std::vector<float>& v = v_[pi];
+    for (size_t i = 0; i < node->value.size(); ++i) {
+      float g = node->grad[i];
+      if (options_.weight_decay != 0.0f && !options_.decoupled_weight_decay) {
+        g += options_.weight_decay * node->value[i];
+      }
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      float update = options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+      if (options_.weight_decay != 0.0f && options_.decoupled_weight_decay) {
+        update += options_.lr * options_.weight_decay * node->value[i];
+      }
+      node->value[i] -= update;
+    }
+  }
+}
+
+}  // namespace tensor
+}  // namespace telekit

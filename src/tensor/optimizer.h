@@ -1,0 +1,105 @@
+#ifndef TELEKIT_TENSOR_OPTIMIZER_H_
+#define TELEKIT_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace tensor {
+
+/// First-order optimizers over a fixed set of parameter tensors. Parameters
+/// are registered once; Step() applies one update from the gradients
+/// accumulated since the last ZeroGrad().
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Registers a parameter (must have requires_grad()).
+  void AddParameter(const Tensor& param);
+  /// Registers many parameters.
+  void AddParameters(const std::vector<Tensor>& params);
+
+  /// Applies one update step from accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Globally rescales gradients so that their L2 norm is at most
+  /// `max_norm` (gradient clipping). Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  /// Number of registered parameters.
+  size_t num_parameters() const { return params_.size(); }
+
+  /// Total number of scalar weights managed.
+  int64_t num_weights() const;
+
+ protected:
+  Optimizer() = default;
+
+  /// Hook for subclasses to size their per-parameter state.
+  virtual void OnParameterAdded(const Tensor& param) = 0;
+
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float weight_decay = 0.0f)
+      : lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  void OnParameterAdded(const Tensor&) override {}
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam / AdamW. With `decoupled_weight_decay` true this is AdamW (decay
+/// applied directly to weights); false applies L2 into the gradient.
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+    bool decoupled_weight_decay = true;
+  };
+
+  explicit Adam(const Options& options) : options_(options) {}
+  explicit Adam(float lr) : options_{.lr = lr} {}
+
+  void Step() override;
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  int64_t step_count() const { return step_; }
+
+ protected:
+  void OnParameterAdded(const Tensor& param) override;
+
+ private:
+  Options options_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;  // first moments, per parameter
+  std::vector<std::vector<float>> v_;  // second moments, per parameter
+};
+
+}  // namespace tensor
+}  // namespace telekit
+
+#endif  // TELEKIT_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,100 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace telekit {
+namespace tensor {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x544B5431;  // "TKT1"
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveTensorMap(const TensorMap& tensors, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  WriteU32(out, kMagic);
+  WriteU32(out, static_cast<uint32_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    WriteU32(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteU32(out, static_cast<uint32_t>(t.shape().size()));
+    for (int d : t.shape()) WriteU32(out, static_cast<uint32_t>(d));
+    out.write(reinterpret_cast<const char*>(t.data().data()),
+              static_cast<std::streamsize>(t.data().size() * sizeof(float)));
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<TensorMap> LoadTensorMap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  uint32_t magic = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  uint32_t count = 0;
+  if (!ReadU32(in, &count)) return Status::InvalidArgument("truncated header");
+  TensorMap out;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(in, &name_len) || name_len > 4096) {
+      return Status::InvalidArgument("bad name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!ReadU32(in, &rank) || rank > 2) {
+      return Status::InvalidArgument("bad rank for " + name);
+    }
+    Shape shape;
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint32_t dim = 0;
+      if (!ReadU32(in, &dim) || dim == 0) {
+        return Status::InvalidArgument("bad dim for " + name);
+      }
+      shape.push_back(static_cast<int>(dim));
+    }
+    std::vector<float> data(static_cast<size_t>(ShapeSize(shape)));
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in.good()) return Status::InvalidArgument("truncated data: " + name);
+    out.emplace(name, Tensor::FromData(shape, std::move(data)));
+  }
+  return out;
+}
+
+Status RestoreInto(const TensorMap& source, TensorMap& target) {
+  for (auto& [name, t] : target) {
+    auto it = source.find(name);
+    if (it == source.end()) {
+      return Status::NotFound("missing tensor in checkpoint: " + name);
+    }
+    if (it->second.shape() != t.shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + name + ": checkpoint " +
+          ShapeToString(it->second.shape()) + " vs model " +
+          ShapeToString(t.shape()));
+    }
+    t.mutable_data() = it->second.data();
+  }
+  return Status::Ok();
+}
+
+}  // namespace tensor
+}  // namespace telekit

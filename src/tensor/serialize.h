@@ -1,0 +1,33 @@
+#ifndef TELEKIT_TENSOR_SERIALIZE_H_
+#define TELEKIT_TENSOR_SERIALIZE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace tensor {
+
+/// Named weight collection used for checkpointing models to disk. The file
+/// format is a simple versioned binary blob (magic, count, then per-tensor
+/// name / shape / float32 data); it exists so that benchmark binaries can
+/// reuse pre-trained weights instead of re-training in every process.
+using TensorMap = std::map<std::string, Tensor>;
+
+/// Writes `tensors` to `path`. Overwrites any existing file.
+Status SaveTensorMap(const TensorMap& tensors, const std::string& path);
+
+/// Reads a tensor map from `path`. Loaded tensors have requires_grad=false.
+StatusOr<TensorMap> LoadTensorMap(const std::string& path);
+
+/// Copies values from `source` into same-named, same-shaped tensors of
+/// `target` (e.g. a freshly constructed model). Fails if any target name is
+/// missing from source or shapes disagree.
+Status RestoreInto(const TensorMap& source, TensorMap& target);
+
+}  // namespace tensor
+}  // namespace telekit
+
+#endif  // TELEKIT_TENSOR_SERIALIZE_H_

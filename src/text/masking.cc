@@ -1,0 +1,73 @@
+#include "text/masking.h"
+
+#include <algorithm>
+
+namespace telekit {
+namespace text {
+
+namespace {
+
+int TotalTokens(const std::vector<std::pair<int, int>>& spans) {
+  int total = 0;
+  for (const auto& [start, len] : spans) total += len;
+  return total;
+}
+
+}  // namespace
+
+MaskedExample ApplyMasking(const EncodedInput& input, const Vocab& vocab,
+                           const MaskingOptions& options, Rng& rng) {
+  return ApplyMasking(input, vocab.size(), options, rng);
+}
+
+MaskedExample ApplyMasking(const EncodedInput& input, int vocab_size,
+                           const MaskingOptions& options, Rng& rng) {
+  TELEKIT_CHECK(options.mask_rate > 0.0f && options.mask_rate < 1.0f);
+  MaskedExample out;
+  out.ids = input.ids;
+  out.labels.assign(input.ids.size(), -1);
+
+  // Candidate units: whole words, or the individual tokens inside them.
+  std::vector<std::pair<int, int>> units;
+  if (options.strategy == MaskingStrategy::kWholeWord) {
+    units = input.word_spans;
+  } else {
+    for (const auto& [start, len] : input.word_spans) {
+      for (int k = 0; k < len; ++k) units.emplace_back(start + k, 1);
+    }
+  }
+  if (units.empty()) return out;
+
+  // Select units until the token-level mask budget is reached. At least one
+  // unit is always masked so every example carries signal.
+  int budget = std::max(
+      1, static_cast<int>(options.mask_rate *
+                          static_cast<float>(TotalTokens(input.word_spans))));
+  std::vector<size_t> order(units.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+
+  const int num_regular = vocab_size - SpecialTokens::kFirstRegular;
+  for (size_t oi = 0; oi < order.size() && budget > 0; ++oi) {
+    const auto& [start, len] = units[order[oi]];
+    budget -= len;
+    for (int k = 0; k < len; ++k) {
+      const int pos = start + k;
+      out.labels[static_cast<size_t>(pos)] = input.ids[static_cast<size_t>(pos)];
+      ++out.num_masked;
+      const double roll = rng.Uniform();
+      if (roll < options.mask_token_prob) {
+        out.ids[static_cast<size_t>(pos)] = SpecialTokens::kMask;
+      } else if (roll < options.mask_token_prob + options.random_token_prob &&
+                 num_regular > 0) {
+        out.ids[static_cast<size_t>(pos)] =
+            SpecialTokens::kFirstRegular +
+            static_cast<int>(rng.UniformInt(num_regular));
+      }  // else: keep original token
+    }
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace telekit

@@ -1,0 +1,57 @@
+#ifndef TELEKIT_TEXT_MASKING_H_
+#define TELEKIT_TEXT_MASKING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace telekit {
+namespace text {
+
+/// Mask-selection granularity (Sec. IV-C of the paper).
+enum class MaskingStrategy {
+  /// Independent per-token masking (vanilla BERT).
+  kToken,
+  /// Whole-word masking: all pieces of a selected word/phrase are masked
+  /// together (MacBERT-style WWM with the tele phrase lexicon).
+  kWholeWord,
+};
+
+/// Masking configuration. The paper pre-trains at 15% and re-trains at 40%
+/// following Wettig et al.; corruption follows the BERT 80/10/10 split.
+struct MaskingOptions {
+  float mask_rate = 0.15f;
+  MaskingStrategy strategy = MaskingStrategy::kWholeWord;
+  float mask_token_prob = 0.8f;    // replace with [MASK]
+  float random_token_prob = 0.1f;  // replace with a random regular token
+  // remaining probability: keep the original token
+};
+
+/// A masked training example: corrupted ids plus per-position labels
+/// (original id at masked positions, -1 elsewhere).
+struct MaskedExample {
+  std::vector<int> ids;
+  std::vector<int> labels;
+  /// Number of masked (supervised) positions.
+  int num_masked = 0;
+};
+
+/// Applies masking to an encoded input. Only positions inside
+/// `input.word_spans` are candidates — prompt special tokens, [NUM] slots,
+/// [CLS]/[SEP]/[PAD] are never masked (Sec. IV-C). Calling this fresh at
+/// every training step yields RoBERTa-style dynamic masking; caching one
+/// result per example reproduces static masking.
+MaskedExample ApplyMasking(const EncodedInput& input, const Vocab& vocab,
+                           const MaskingOptions& options, Rng& rng);
+
+/// Same, but taking only the vocabulary size (random replacement tokens are
+/// drawn from [SpecialTokens::kFirstRegular, vocab_size)).
+MaskedExample ApplyMasking(const EncodedInput& input, int vocab_size,
+                           const MaskingOptions& options, Rng& rng);
+
+}  // namespace text
+}  // namespace telekit
+
+#endif  // TELEKIT_TEXT_MASKING_H_

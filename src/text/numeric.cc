@@ -1,0 +1,38 @@
+#include "text/numeric.h"
+
+#include <algorithm>
+
+namespace telekit {
+namespace text {
+
+void MinMaxNormalizer::Observe(const std::string& tag, float value) {
+  auto [it, inserted] = ranges_.try_emplace(tag, Range{value, value});
+  if (!inserted) {
+    it->second.min = std::min(it->second.min, value);
+    it->second.max = std::max(it->second.max, value);
+  }
+}
+
+float MinMaxNormalizer::Normalize(const std::string& tag, float value) const {
+  auto it = ranges_.find(tag);
+  if (it == ranges_.end()) return 0.5f;  // unseen tag: uninformative midpoint
+  const Range& r = it->second;
+  if (r.max <= r.min) return 0.5f;  // constant field
+  const float normalized = (value - r.min) / (r.max - r.min);
+  return std::clamp(normalized, 0.0f, 1.0f);
+}
+
+float MinMaxNormalizer::Denormalize(const std::string& tag,
+                                    float normalized) const {
+  auto it = ranges_.find(tag);
+  if (it == ranges_.end()) return normalized;
+  const Range& r = it->second;
+  return r.min + normalized * (r.max - r.min);
+}
+
+bool MinMaxNormalizer::HasTag(const std::string& tag) const {
+  return ranges_.find(tag) != ranges_.end();
+}
+
+}  // namespace text
+}  // namespace telekit

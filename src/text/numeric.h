@@ -1,0 +1,43 @@
+#ifndef TELEKIT_TEXT_NUMERIC_H_
+#define TELEKIT_TEXT_NUMERIC_H_
+
+#include <string>
+#include <unordered_map>
+
+namespace telekit {
+namespace text {
+
+/// Per-tag min-max normalization for numeric machine data (Sec. IV-B of the
+/// paper: "all numerical values across the same tag name should be
+/// normalized via Min-max normalization"). Fit on training data with
+/// Observe(), then Normalize() maps values into [0, 1] (clamped); tags never
+/// observed map to 0.5, supporting the paper's newly-unseen-tag setting.
+class MinMaxNormalizer {
+ public:
+  /// Records one observation of `value` under `tag`.
+  void Observe(const std::string& tag, float value);
+
+  /// Normalizes `value` for `tag` into [0, 1].
+  float Normalize(const std::string& tag, float value) const;
+
+  /// Inverse transform back to the raw value range of `tag`.
+  float Denormalize(const std::string& tag, float normalized) const;
+
+  /// True if the tag has been observed at least once.
+  bool HasTag(const std::string& tag) const;
+
+  /// Number of distinct observed tags.
+  int num_tags() const { return static_cast<int>(ranges_.size()); }
+
+ private:
+  struct Range {
+    float min = 0.0f;
+    float max = 0.0f;
+  };
+  std::unordered_map<std::string, Range> ranges_;
+};
+
+}  // namespace text
+}  // namespace telekit
+
+#endif  // TELEKIT_TEXT_NUMERIC_H_

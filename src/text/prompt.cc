@@ -1,0 +1,107 @@
+#include "text/prompt.h"
+
+#include "common/string_util.h"
+
+namespace telekit {
+namespace text {
+
+PromptBuilder& PromptBuilder::AddSpecial(int id) {
+  PromptElement e;
+  e.kind = PromptElement::Kind::kSpecial;
+  e.special_id = id;
+  elements_.push_back(std::move(e));
+  return *this;
+}
+
+PromptBuilder& PromptBuilder::AddText(const std::string& body) {
+  PromptElement e;
+  e.kind = PromptElement::Kind::kText;
+  e.text = body;
+  elements_.push_back(std::move(e));
+  return *this;
+}
+
+PromptBuilder& PromptBuilder::Alarm(const std::string& name) {
+  AddSpecial(SpecialTokens::kAlm);
+  return AddText(name);
+}
+
+PromptBuilder& PromptBuilder::Kpi(const std::string& name,
+                                  float normalized_value) {
+  AddSpecial(SpecialTokens::kKpi);
+  AddText(name);
+  AddSpecial(SpecialTokens::kBar);
+  PromptElement e;
+  e.kind = PromptElement::Kind::kNumeric;
+  e.tag = name;
+  e.value = normalized_value;
+  elements_.push_back(std::move(e));
+  return *this;
+}
+
+PromptBuilder& PromptBuilder::Entity(const std::string& name) {
+  AddSpecial(SpecialTokens::kEnt);
+  return AddText(name);
+}
+
+PromptBuilder& PromptBuilder::Relation(const std::string& name) {
+  AddSpecial(SpecialTokens::kRel);
+  return AddText(name);
+}
+
+PromptBuilder& PromptBuilder::Location(const std::string& name) {
+  AddSpecial(SpecialTokens::kLoc);
+  return AddText(name);
+}
+
+PromptBuilder& PromptBuilder::Document(const std::string& body) {
+  AddSpecial(SpecialTokens::kDoc);
+  return AddText(body);
+}
+
+PromptBuilder& PromptBuilder::Attribute(const std::string& key,
+                                        const std::string& value) {
+  AddSpecial(SpecialTokens::kAttr);
+  AddText(key);
+  AddSpecial(SpecialTokens::kBar);
+  return AddText(value);
+}
+
+PromptBuilder& PromptBuilder::NumericAttribute(const std::string& key,
+                                               float normalized_value) {
+  AddSpecial(SpecialTokens::kAttr);
+  AddText(key);
+  AddSpecial(SpecialTokens::kBar);
+  PromptElement e;
+  e.kind = PromptElement::Kind::kNumeric;
+  e.tag = key;
+  e.value = normalized_value;
+  elements_.push_back(std::move(e));
+  return *this;
+}
+
+PromptBuilder& PromptBuilder::Text(const std::string& body) {
+  return AddText(body);
+}
+
+std::string PromptToString(const PromptSequence& prompt, const Vocab& vocab) {
+  std::vector<std::string> pieces;
+  for (const PromptElement& e : prompt) {
+    switch (e.kind) {
+      case PromptElement::Kind::kSpecial:
+        pieces.push_back(vocab.Token(e.special_id));
+        break;
+      case PromptElement::Kind::kText:
+        pieces.push_back(e.text);
+        break;
+      case PromptElement::Kind::kNumeric:
+        pieces.push_back(StringPrintf("[NUM:%s=%.3f]", e.tag.c_str(),
+                                      e.value));
+        break;
+    }
+  }
+  return JoinStrings(pieces, " ");
+}
+
+}  // namespace text
+}  // namespace telekit

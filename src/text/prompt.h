@@ -1,0 +1,80 @@
+#ifndef TELEKIT_TEXT_PROMPT_H_
+#define TELEKIT_TEXT_PROMPT_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace telekit {
+namespace text {
+
+/// One element of a prompt-wrapped input (Fig. 3 of the paper): either a
+/// special prompt token, a run of plain words, or a numeric-value slot.
+struct PromptElement {
+  enum class Kind { kSpecial, kText, kNumeric };
+
+  Kind kind = Kind::kText;
+  /// For kSpecial: one of the SpecialTokens ids ([ALM], [ATTR], ...).
+  int special_id = SpecialTokens::kUnk;
+  /// For kText: free text (tokenized by the Tokenizer).
+  std::string text;
+  /// For kNumeric: the field/tag name this value belongs to, and the value
+  /// (already min-max normalized per tag; see MinMaxNormalizer).
+  std::string tag;
+  float value = 0.0f;
+};
+
+/// Ordered prompt elements; produced by PromptBuilder, consumed by
+/// Tokenizer::Encode.
+using PromptSequence = std::vector<PromptElement>;
+
+/// Fluent construction of the paper's prompt templates, e.g.
+///   PromptBuilder().Alarm("NF destination service unreachable")
+///                  .Attribute("severity", "major")
+///                  .NumericAttribute("occurrence count", 0.7f)
+///                  .Build();
+/// produces "[ALM] ... [ATTR] severity | major [ATTR] occurrence count |
+/// [NUM]" with the numeric slot carrying (tag="occurrence count", 0.7).
+class PromptBuilder {
+ public:
+  PromptBuilder() = default;
+
+  /// "[ALM] <name>" — an alarm event.
+  PromptBuilder& Alarm(const std::string& name);
+  /// "[KPI] <name> | [NUM]" — a KPI reading with its normalized value.
+  PromptBuilder& Kpi(const std::string& name, float normalized_value);
+  /// "[ENT] <name>" — a KG entity surface.
+  PromptBuilder& Entity(const std::string& name);
+  /// "[REL] <name>" — a KG relation surface.
+  PromptBuilder& Relation(const std::string& name);
+  /// "[LOC] <name>" — a network location / element.
+  PromptBuilder& Location(const std::string& name);
+  /// "[DOC] <text>" — free document text.
+  PromptBuilder& Document(const std::string& body);
+  /// "[ATTR] <key> | <value>" — a categorical attribute.
+  PromptBuilder& Attribute(const std::string& key, const std::string& value);
+  /// "[ATTR] <key> | [NUM]" — a numeric attribute.
+  PromptBuilder& NumericAttribute(const std::string& key,
+                                  float normalized_value);
+  /// Plain text without a leading prompt token.
+  PromptBuilder& Text(const std::string& body);
+
+  /// Finishes and returns the sequence.
+  PromptSequence Build() { return std::move(elements_); }
+
+ private:
+  PromptBuilder& AddSpecial(int id);
+  PromptBuilder& AddText(const std::string& body);
+
+  PromptSequence elements_;
+};
+
+/// Renders a prompt sequence back to a human-readable string (for logs,
+/// debugging, and the corpus serialization of KG triples in Sec. IV-A1).
+std::string PromptToString(const PromptSequence& prompt, const Vocab& vocab);
+
+}  // namespace text
+}  // namespace telekit
+
+#endif  // TELEKIT_TEXT_PROMPT_H_

@@ -1,0 +1,309 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace telekit {
+namespace text {
+
+namespace {
+
+bool IsStrippablePunct(char c) {
+  switch (c) {
+    case '.':
+    case ',':
+    case ':':
+    case ';':
+    case '!':
+    case '?':
+    case '(':
+    case ')':
+    case '"':
+    case '\'':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(const TokenizerOptions& options) : options_(options) {
+  TELEKIT_CHECK_GE(options_.max_len, 4) << "max_len too small";
+}
+
+std::vector<std::string> Tokenizer::SplitWords(const std::string& text) {
+  std::vector<std::string> words;
+  for (const std::string& raw : SplitString(text, ' ')) {
+    size_t begin = 0, end = raw.size();
+    while (begin < end && IsStrippablePunct(raw[begin])) ++begin;
+    while (end > begin && IsStrippablePunct(raw[end - 1])) --end;
+    if (end > begin) words.push_back(raw.substr(begin, end - begin));
+  }
+  return words;
+}
+
+void Tokenizer::BuildVocab(const std::vector<std::string>& sentences,
+                           const BpeOptions& bpe_options) {
+  std::unordered_map<std::string, int64_t> counts;
+  for (const std::string& sentence : sentences) {
+    for (const std::string& word : SplitWords(sentence)) ++counts[word];
+  }
+  // Deterministic insertion order: by frequency desc, then lexicographic.
+  std::vector<std::pair<std::string, int64_t>> sorted(counts.begin(),
+                                                      counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (const auto& [word, count] : sorted) {
+    if (count >= options_.min_word_count) vocab_.AddToken(word);
+  }
+  // Sub-word fallback: learn BPE, then make every single character and
+  // merge symbol addressable so rare words never fully degrade to [UNK].
+  bpe_ = BpeLearner(bpe_options);
+  bpe_.Fit(sentences);
+  for (const auto& [word, count] : sorted) {
+    for (char c : word) {
+      const std::string s(1, c);
+      if (!vocab_.Contains(s)) vocab_.AddToken(s);
+    }
+  }
+  for (const auto& [left, right] : bpe_.merges()) {
+    const std::string merged = left + right;
+    if (!vocab_.Contains(merged)) vocab_.AddToken(merged);
+  }
+  vocab_built_ = true;
+}
+
+void Tokenizer::AddDomainPhrases(const std::vector<std::string>& phrases) {
+  for (const std::string& phrase : phrases) {
+    std::vector<std::string> words = SplitWords(phrase);
+    if (words.size() >= 2) phrases_.push_back(std::move(words));
+  }
+  // Longest phrases first so greedy matching prefers the longest span.
+  std::sort(phrases_.begin(), phrases_.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+}
+
+std::vector<std::string> Tokenizer::AddSpecialTeleTokens(int max_tokens) {
+  TELEKIT_CHECK(vocab_built_) << "BuildVocab first";
+  std::vector<std::string> added;
+  for (const std::string& token : bpe_.ExtractTeleTokens(vocab_)) {
+    if (static_cast<int>(added.size()) >= max_tokens) break;
+    vocab_.AddToken(token);
+    added.push_back(token);
+  }
+  return added;
+}
+
+std::vector<int> Tokenizer::WordToIds(const std::string& word) const {
+  TELEKIT_CHECK(vocab_built_) << "BuildVocab first";
+  if (vocab_.Contains(word)) return {vocab_.Id(word)};
+  std::vector<int> ids;
+  for (const std::string& piece : bpe_.Segment(word)) {
+    ids.push_back(vocab_.Id(piece));  // maps to [UNK] if piece unknown
+  }
+  return ids;
+}
+
+EncodedInput Tokenizer::EncodeSentence(const std::string& sentence) const {
+  PromptElement e;
+  e.kind = PromptElement::Kind::kText;
+  e.text = sentence;
+  return Encode({e});
+}
+
+EncodedInput Tokenizer::Encode(const PromptSequence& prompt) const {
+  TELEKIT_CHECK(vocab_built_) << "BuildVocab first";
+  EncodedInput out;
+  out.ids.push_back(SpecialTokens::kCls);
+
+  auto emit_words = [&](const std::vector<std::string>& words) {
+    size_t i = 0;
+    while (i < words.size()) {
+      // Longest-match domain phrase starting at position i: all its word
+      // pieces form one maskable whole-word span.
+      size_t phrase_len = 0;
+      for (const auto& phrase : phrases_) {
+        if (phrase.size() <= phrase_len || i + phrase.size() > words.size()) {
+          continue;
+        }
+        bool match = true;
+        for (size_t k = 0; k < phrase.size(); ++k) {
+          if (words[i + k] != phrase[k]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) phrase_len = phrase.size();
+      }
+      const size_t group = std::max<size_t>(phrase_len, 1);
+      const int span_start = static_cast<int>(out.ids.size());
+      for (size_t k = 0; k < group; ++k) {
+        for (int id : WordToIds(words[i + k])) out.ids.push_back(id);
+      }
+      const int span_len = static_cast<int>(out.ids.size()) - span_start;
+      if (span_len > 0) out.word_spans.emplace_back(span_start, span_len);
+      i += group;
+    }
+  };
+
+  for (const PromptElement& e : prompt) {
+    switch (e.kind) {
+      case PromptElement::Kind::kSpecial:
+        out.ids.push_back(e.special_id);
+        break;
+      case PromptElement::Kind::kText:
+        emit_words(SplitWords(e.text));
+        break;
+      case PromptElement::Kind::kNumeric: {
+        NumericSlot slot;
+        slot.position = static_cast<int>(out.ids.size());
+        slot.tag = e.tag;
+        for (const std::string& w : SplitWords(e.tag)) {
+          for (int id : WordToIds(w)) slot.tag_ids.push_back(id);
+        }
+        if (slot.tag_ids.empty()) slot.tag_ids.push_back(SpecialTokens::kUnk);
+        slot.value = e.value;
+        out.numeric_slots.push_back(std::move(slot));
+        out.ids.push_back(SpecialTokens::kNum);
+        break;
+      }
+    }
+  }
+
+  // Truncate to max_len - 1, then close with [SEP].
+  const int body_limit = options_.max_len - 1;
+  if (static_cast<int>(out.ids.size()) > body_limit) {
+    out.ids.resize(static_cast<size_t>(body_limit));
+  }
+  out.ids.push_back(SpecialTokens::kSep);
+  out.length = static_cast<int>(out.ids.size());
+
+  // Drop spans/slots that no longer fit entirely before [SEP].
+  const int last_body = out.length - 1;
+  std::erase_if(out.word_spans, [last_body](const std::pair<int, int>& span) {
+    return span.first + span.second > last_body;
+  });
+  std::erase_if(out.numeric_slots, [last_body](const NumericSlot& slot) {
+    return slot.position >= last_body;
+  });
+
+  out.ids.resize(static_cast<size_t>(options_.max_len), SpecialTokens::kPad);
+  return out;
+}
+
+namespace {
+
+constexpr char kTokenizerMagic[] = "TELEKIT_TOKENIZER_V1";
+
+}  // namespace
+
+Status Tokenizer::Save(const std::string& path) const {
+  if (!vocab_built_) {
+    return Status::FailedPrecondition("tokenizer not built");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  out << kTokenizerMagic << "\n";
+  out << "options " << options_.max_len << " " << options_.min_word_count
+      << "\n";
+  const BpeOptions& bpe_options = bpe_.options();
+  out << "bpe_options " << bpe_options.num_merges << " "
+      << bpe_options.min_token_len << " " << bpe_options.max_token_len << " "
+      << bpe_options.min_frequency << "\n";
+  const auto regular = vocab_.RegularTokens();
+  out << "vocab " << regular.size() << "\n";
+  for (const std::string& token : regular) out << token << "\n";
+  out << "merges " << bpe_.merges().size() << "\n";
+  for (const auto& [left, right] : bpe_.merges()) {
+    out << left << " " << right << "\n";
+  }
+  out << "symbol_freqs " << bpe_.symbol_freqs().size() << "\n";
+  for (const auto& [symbol, freq] : bpe_.symbol_freqs()) {
+    out << symbol << " " << freq << "\n";
+  }
+  out << "phrases " << phrases_.size() << "\n";
+  for (const auto& phrase : phrases_) {
+    out << JoinStrings(phrase, " ") << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Tokenizer> Tokenizer::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kTokenizerMagic) {
+    return Status::InvalidArgument("bad tokenizer magic in " + path);
+  }
+  auto fail = [&](const std::string& what) {
+    return Status::InvalidArgument("tokenizer load: " + what);
+  };
+  std::string keyword;
+  TokenizerOptions options;
+  if (!(in >> keyword >> options.max_len >> options.min_word_count) ||
+      keyword != "options") {
+    return fail("options header");
+  }
+  BpeOptions bpe_options;
+  if (!(in >> keyword >> bpe_options.num_merges >> bpe_options.min_token_len
+           >> bpe_options.max_token_len >> bpe_options.min_frequency) ||
+      keyword != "bpe_options") {
+    return fail("bpe_options header");
+  }
+  size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != "vocab") {
+    return fail("vocab header");
+  }
+  std::getline(in, line);  // consume the rest of the header line
+  Tokenizer tokenizer(options);
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line) || line.empty()) return fail("vocab entry");
+    tokenizer.vocab_.AddToken(line);
+  }
+  if (!(in >> keyword >> count) || keyword != "merges") {
+    return fail("merges header");
+  }
+  std::vector<std::pair<std::string, std::string>> merges;
+  for (size_t i = 0; i < count; ++i) {
+    std::string left, right;
+    if (!(in >> left >> right)) return fail("merge entry");
+    merges.emplace_back(left, right);
+  }
+  if (!(in >> keyword >> count) || keyword != "symbol_freqs") {
+    return fail("symbol_freqs header");
+  }
+  std::vector<std::pair<std::string, int64_t>> symbol_freqs;
+  for (size_t i = 0; i < count; ++i) {
+    std::string symbol;
+    int64_t freq = 0;
+    if (!(in >> symbol >> freq)) return fail("symbol_freq entry");
+    symbol_freqs.emplace_back(symbol, freq);
+  }
+  tokenizer.bpe_ = BpeLearner(bpe_options, std::move(merges),
+                              std::move(symbol_freqs));
+  if (!(in >> keyword >> count) || keyword != "phrases") {
+    return fail("phrases header");
+  }
+  std::getline(in, line);
+  std::vector<std::string> phrases;
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) return fail("phrase entry");
+    phrases.push_back(line);
+  }
+  tokenizer.AddDomainPhrases(phrases);
+  tokenizer.vocab_built_ = true;
+  return tokenizer;
+}
+}  // namespace text
+}  // namespace telekit

@@ -1,0 +1,111 @@
+#ifndef TELEKIT_TEXT_TOKENIZER_H_
+#define TELEKIT_TEXT_TOKENIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/bpe.h"
+#include "text/prompt.h"
+#include "text/vocab.h"
+
+namespace telekit {
+namespace text {
+
+/// A numeric-value slot inside an encoded sequence: the [NUM] token at
+/// `position` stands for `value` in the field named by `tag` (whose token
+/// ids feed the ANEnc tag-name embedding, Sec. IV-B).
+struct NumericSlot {
+  int position = 0;
+  std::string tag;
+  std::vector<int> tag_ids;
+  float value = 0.0f;
+};
+
+/// Result of tokenization: ids (with [CLS]/[SEP], truncated/padded to
+/// max_len), whole-word spans eligible for masking, and numeric slots.
+struct EncodedInput {
+  std::vector<int> ids;
+  /// (start, length) token spans forming maskable "whole words". Special
+  /// prompt tokens and numeric slots are never inside a span (Sec. IV-C).
+  std::vector<std::pair<int, int>> word_spans;
+  std::vector<NumericSlot> numeric_slots;
+  /// Number of real (non-[PAD]) tokens.
+  int length = 0;
+};
+
+/// Tokenizer configuration.
+struct TokenizerOptions {
+  /// Maximum sequence length including [CLS]/[SEP]; longer inputs truncate,
+  /// shorter pad with [PAD].
+  int max_len = 32;
+  /// Words seen at least this often enter the vocabulary as whole tokens.
+  int min_word_count = 2;
+};
+
+/// Word-level tokenizer with BPE sub-word fallback and whole-word /
+/// domain-phrase span tracking (the paper's WWM segmentation collection).
+///
+/// Construction pipeline:
+///   Tokenizer tok(options);
+///   tok.BuildVocab(corpus);              // word vocabulary + BPE merges
+///   tok.AddDomainPhrases(phrases);       // multi-word WWM units
+///   tok.AddSpecialTeleTokens(n);         // promote BPE tele tokens
+/// then Encode*() as needed.
+class Tokenizer {
+ public:
+  explicit Tokenizer(const TokenizerOptions& options = TokenizerOptions());
+
+  /// Builds the vocabulary from a corpus: frequent words become whole
+  /// tokens, BPE merges are learned for sub-word fallback of rare/unseen
+  /// words.
+  void BuildVocab(const std::vector<std::string>& sentences,
+                  const BpeOptions& bpe_options = BpeOptions());
+
+  /// Registers multi-word domain phrases (e.g. "network congestion points")
+  /// treated as single whole words for masking purposes.
+  void AddDomainPhrases(const std::vector<std::string>& phrases);
+
+  /// Promotes up to `max_tokens` learned BPE tele tokens (Sec. IV-A3) into
+  /// the vocabulary as whole tokens; returns those added.
+  std::vector<std::string> AddSpecialTeleTokens(int max_tokens);
+
+  /// Splits raw text into word strings (whitespace + punctuation rules).
+  static std::vector<std::string> SplitWords(const std::string& text);
+
+  /// Encodes a plain sentence: [CLS] w1 ... wn [SEP], padded to max_len.
+  EncodedInput EncodeSentence(const std::string& sentence) const;
+
+  /// Encodes a prompt-wrapped input (Fig. 3 templates).
+  EncodedInput Encode(const PromptSequence& prompt) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  Vocab& mutable_vocab() { return vocab_; }
+  const TokenizerOptions& options() const { return options_; }
+  const BpeLearner& bpe() const { return bpe_; }
+
+  /// Token ids of a single word (whole token, BPE pieces, or [UNK]).
+  std::vector<int> WordToIds(const std::string& word) const;
+
+  /// Persists the fitted tokenizer (options, vocabulary, BPE merges,
+  /// domain phrases) to a text file, so inference processes can encode
+  /// inputs identically without the training corpus.
+  Status Save(const std::string& path) const;
+
+  /// Restores a tokenizer saved with Save().
+  static StatusOr<Tokenizer> Load(const std::string& path);
+
+ private:
+  TokenizerOptions options_;
+  Vocab vocab_;
+  BpeLearner bpe_;
+  bool vocab_built_ = false;
+  /// Phrase lexicon, keyed by first word for fast longest-match lookup.
+  std::vector<std::vector<std::string>> phrases_;
+};
+
+}  // namespace text
+}  // namespace telekit
+
+#endif  // TELEKIT_TEXT_TOKENIZER_H_

@@ -1,0 +1,50 @@
+#include "text/vocab.h"
+
+#include "common/check.h"
+
+namespace telekit {
+namespace text {
+
+Vocab::Vocab() {
+  static const char* kSpecialSurfaces[] = {
+      "[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[ALM]", "[KPI]",
+      "[ENT]", "[REL]", "[ATTR]", "[LOC]", "[DOC]", "[NUM]", "|"};
+  for (const char* surface : kSpecialSurfaces) {
+    const int id = static_cast<int>(tokens_.size());
+    tokens_.emplace_back(surface);
+    ids_.emplace(surface, id);
+  }
+  TELEKIT_CHECK_EQ(size(), SpecialTokens::kFirstRegular);
+}
+
+int Vocab::AddToken(const std::string& token) {
+  TELEKIT_CHECK(!token.empty());
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+int Vocab::Id(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? SpecialTokens::kUnk : it->second;
+}
+
+bool Vocab::Contains(std::string_view token) const {
+  return ids_.find(std::string(token)) != ids_.end();
+}
+
+const std::string& Vocab::Token(int id) const {
+  TELEKIT_CHECK(id >= 0 && id < size()) << "token id " << id;
+  return tokens_[static_cast<size_t>(id)];
+}
+
+std::vector<std::string> Vocab::RegularTokens() const {
+  return std::vector<std::string>(
+      tokens_.begin() + SpecialTokens::kFirstRegular, tokens_.end());
+}
+
+}  // namespace text
+}  // namespace telekit

@@ -1,0 +1,72 @@
+#ifndef TELEKIT_TEXT_VOCAB_H_
+#define TELEKIT_TEXT_VOCAB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace telekit {
+namespace text {
+
+/// Fixed special-token ids shared by every TeleKit model. The prompt tokens
+/// mirror Fig. 3 of the paper: they tag the category of the immediately
+/// following content so that text, triples, and machine log data share one
+/// input modality.
+struct SpecialTokens {
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+  static constexpr int kCls = 2;
+  static constexpr int kSep = 3;
+  static constexpr int kMask = 4;
+  // Prompt tokens (Fig. 3).
+  static constexpr int kAlm = 5;   // alarm
+  static constexpr int kKpi = 6;   // key performance indicator
+  static constexpr int kEnt = 7;   // entity
+  static constexpr int kRel = 8;   // relation
+  static constexpr int kAttr = 9;  // attribute
+  static constexpr int kLoc = 10;  // location
+  static constexpr int kDoc = 11;  // document
+  static constexpr int kNum = 12;  // numeric-value slot
+  static constexpr int kBar = 13;  // "|" name/value separator
+  static constexpr int kFirstRegular = 14;
+};
+
+/// Token <-> id bidirectional map. Ids 0..13 are reserved for the special
+/// tokens above; regular tokens start at SpecialTokens::kFirstRegular.
+class Vocab {
+ public:
+  /// Constructs a vocabulary containing only the special tokens.
+  Vocab();
+
+  /// Adds a token if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  /// Id of `token`, or kUnk if unknown.
+  int Id(std::string_view token) const;
+
+  /// True if `token` is present.
+  bool Contains(std::string_view token) const;
+
+  /// Surface form of `id` (CHECK-fails on out-of-range).
+  const std::string& Token(int id) const;
+
+  /// Total number of tokens including specials.
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /// True for ids below kFirstRegular (prompt/control tokens). These are
+  /// excluded from mask-reconstruction candidates (Sec. IV-C).
+  static bool IsSpecial(int id) { return id < SpecialTokens::kFirstRegular; }
+
+  /// All regular (non-special) tokens in id order.
+  std::vector<std::string> RegularTokens() const;
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace text
+}  // namespace telekit
+
+#endif  // TELEKIT_TEXT_VOCAB_H_

@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "core/anenc.h"
+#include "core/transformer.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace telekit {
+namespace core {
+namespace {
+
+using tensor::Tensor;
+
+EncoderConfig SmallConfig() {
+  EncoderConfig config;
+  config.vocab_size = 50;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.ffn_dim = 32;
+  config.max_len = 12;
+  config.dropout = 0.0f;
+  return config;
+}
+
+// --- LinearLayer / LayerNormParams -----------------------------------------------
+
+TEST(LinearLayerTest, ShapeAndBias) {
+  Rng rng(1);
+  LinearLayer layer(3, 5, rng);
+  Tensor x = Tensor::Zeros({2, 3});
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 5}));
+  // Zero input -> bias (zero-initialized).
+  for (float v : y.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(LinearLayerTest, ParametersNamed) {
+  Rng rng(2);
+  LinearLayer layer(2, 2, rng);
+  auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].first, "weight");
+  EXPECT_EQ(params[1].first, "bias");
+}
+
+TEST(NamedParamsTest, PrefixingAndMapConversion) {
+  Rng rng(3);
+  LinearLayer layer(2, 2, rng);
+  NamedParams out;
+  AppendWithPrefix("block", layer.Parameters(), &out);
+  EXPECT_EQ(out[0].first, "block.weight");
+  auto map = ToTensorMap(out);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.count("block.bias"));
+  EXPECT_EQ(TensorsOf(out).size(), 2u);
+}
+
+// --- MultiHeadSelfAttention --------------------------------------------------------
+
+TEST(AttentionTest, OutputShapePreserved) {
+  Rng rng(4);
+  MultiHeadSelfAttention attn(16, 4, rng);
+  Tensor x = Tensor::Randn({5, 16}, rng);
+  Tensor y = attn.Forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{5, 16}));
+}
+
+TEST(AttentionTest, GradientsReachAllProjections) {
+  Rng rng(5);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  Tensor x = Tensor::Randn({4, 8}, rng, 1.0f, true);
+  tensor::Sum(tensor::Square(attn.Forward(x))).Backward();
+  for (const auto& [name, p] : attn.Parameters()) {
+    ASSERT_FALSE(p.grad().empty()) << name;
+    float total = 0;
+    for (float g : p.grad()) total += std::fabs(g);
+    EXPECT_GT(total, 0.0f) << name;
+  }
+}
+
+TEST(AttentionTest, PositionMixing) {
+  // Token 0's output must depend on token 2's content.
+  Rng rng(6);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  Tensor a = Tensor::Randn({3, 8}, rng);
+  Tensor b = a.Detach();
+  b.mutable_data()[2 * 8 + 3] += 2.0f;  // perturb token 2
+  Tensor ya = attn.Forward(a);
+  Tensor yb = attn.Forward(b);
+  float diff = 0;
+  for (int j = 0; j < 8; ++j) diff += std::fabs(ya.at(0, j) - yb.at(0, j));
+  EXPECT_GT(diff, 1e-5f);
+}
+
+// --- TransformerEncoder ---------------------------------------------------------------
+
+TEST(EncoderTest, ForwardShapeTrimsPadding) {
+  Rng rng(7);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  std::vector<int> ids = {2, 20, 21, 3, 0, 0, 0, 0};  // 4 real + pads
+  Tensor h = encoder.Forward(ids, 4, rng, false);
+  EXPECT_EQ(h.shape(), (tensor::Shape{4, 16}));
+}
+
+TEST(EncoderTest, DeterministicInEvalMode) {
+  Rng rng(8);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  std::vector<int> ids = {2, 15, 16, 17, 3};
+  Rng r1(1), r2(2);
+  Tensor a = encoder.Forward(ids, 5, r1, false);
+  Tensor b = encoder.Forward(ids, 5, r2, false);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(EncoderTest, PositionSensitive) {
+  Rng rng(9);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  Rng eval(0);
+  Tensor a = encoder.Forward({2, 20, 21, 3}, 4, eval, false);
+  Tensor b = encoder.Forward({2, 21, 20, 3}, 4, eval, false);
+  // Swapping tokens changes the [CLS] representation.
+  float diff = 0;
+  for (int j = 0; j < 16; ++j) diff += std::fabs(a.at(0, j) - b.at(0, j));
+  EXPECT_GT(diff, 1e-5f);
+}
+
+TEST(EncoderTest, EmbedOverridesReplaceRows) {
+  Rng rng(10);
+  EncoderConfig config = SmallConfig();
+  TransformerEncoder encoder(config, rng);
+  std::vector<int> ids = {2, 20, 12, 3};
+  Rng eval(0);
+  Tensor replacement = Tensor::Full({1, 16}, 3.0f);
+  Tensor with = encoder.Embed(ids, 4, {{2, replacement}}, eval, false);
+  Tensor without = encoder.Embed(ids, 4, {}, eval, false);
+  // Row 2 differs, row 1 does not.
+  float diff2 = 0, diff1 = 0;
+  for (int j = 0; j < 16; ++j) {
+    diff2 += std::fabs(with.at(2, j) - without.at(2, j));
+    diff1 += std::fabs(with.at(1, j) - without.at(1, j));
+  }
+  EXPECT_GT(diff2, 1e-4f);
+  EXPECT_LT(diff1, 1e-6f);
+}
+
+TEST(EncoderTest, OverrideGradientFlowsToExternalTensor) {
+  Rng rng(11);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  Tensor external = Tensor::Randn({1, 16}, rng, 1.0f, true);
+  Rng eval(0);
+  Tensor embedded = encoder.Embed({2, 20, 12, 3}, 4, {{2, external}}, eval,
+                                  false);
+  Tensor h = encoder.Encode(embedded, eval, false);
+  tensor::Sum(tensor::Square(h)).Backward();
+  ASSERT_FALSE(external.grad().empty());
+  float total = 0;
+  for (float g : external.grad()) total += std::fabs(g);
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(EncoderTest, MeanTokenEmbeddingShape) {
+  Rng rng(12);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  Tensor t = encoder.MeanTokenEmbedding({20, 21, 22});
+  EXPECT_EQ(t.shape(), (tensor::Shape{1, 16}));
+}
+
+TEST(EncoderTest, ParameterCountConsistent) {
+  Rng rng(13);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  auto params = encoder.Parameters();
+  std::set<std::string> names;
+  for (const auto& [name, t] : params) names.insert(name);
+  EXPECT_EQ(names.size(), params.size()) << "duplicate parameter names";
+  // token, position, embed norm (2), per layer: attn 8 + norms 4 + ffn 4.
+  EXPECT_EQ(params.size(), 2u + 2u + 2u * 16u);
+}
+
+// --- AnEnc ----------------------------------------------------------------------------
+
+AnEncConfig SmallAnEnc() {
+  AnEncConfig config;
+  config.d_model = 16;
+  config.num_meta = 4;
+  config.num_layers = 2;
+  config.lora_rank = 2;
+  config.ffn_dim = 32;
+  return config;
+}
+
+TEST(AnEncTest, OutputShape) {
+  Rng rng(14);
+  AnEnc anenc(SmallAnEnc(), rng);
+  Tensor tag = Tensor::Randn({1, 16}, rng);
+  Tensor h = anenc.Forward(tag, 0.7f);
+  EXPECT_EQ(h.shape(), (tensor::Shape{1, 16}));
+}
+
+TEST(AnEncTest, ValueSensitivity) {
+  Rng rng(15);
+  AnEnc anenc(SmallAnEnc(), rng);
+  Tensor tag = Tensor::Randn({1, 16}, rng);
+  Tensor h1 = anenc.Forward(tag, 0.1f);
+  Tensor h2 = anenc.Forward(tag, 0.9f);
+  float diff = 0;
+  for (int j = 0; j < 16; ++j) diff += std::fabs(h1.at(0, j) - h2.at(0, j));
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(AnEncTest, TagSensitivity) {
+  Rng rng(16);
+  AnEnc anenc(SmallAnEnc(), rng);
+  Tensor tag1 = Tensor::Randn({1, 16}, rng);
+  Tensor tag2 = Tensor::Randn({1, 16}, rng);
+  Tensor h1 = anenc.Forward(tag1, 0.5f);
+  Tensor h2 = anenc.Forward(tag2, 0.5f);
+  float diff = 0;
+  for (int j = 0; j < 16; ++j) diff += std::fabs(h1.at(0, j) - h2.at(0, j));
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(AnEncTest, MetaAttentionIsDistribution) {
+  Rng rng(17);
+  AnEnc anenc(SmallAnEnc(), rng);
+  Tensor tag = Tensor::Randn({1, 16}, rng);
+  auto attn = anenc.MetaAttention(tag);
+  ASSERT_EQ(attn.size(), 4u);
+  float total = 0;
+  for (float a : attn) {
+    EXPECT_GE(a, 0.0f);
+    total += a;
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST(AnEncTest, OrthogonalPenaltySmallAtInit) {
+  // Wv matrices start near identity, so the penalty starts near zero and
+  // is strictly positive.
+  Rng rng(18);
+  AnEnc anenc(SmallAnEnc(), rng);
+  const float penalty = anenc.OrthogonalPenalty().item();
+  EXPECT_GT(penalty, 0.0f);
+  EXPECT_LT(penalty, 1.0f);
+}
+
+TEST(AnEncTest, GradientsFlowToAllParameters) {
+  Rng rng(19);
+  AnEnc anenc(SmallAnEnc(), rng);
+  Tensor tag = Tensor::Randn({1, 16}, rng);
+  tensor::Sum(tensor::Square(anenc.Forward(tag, 0.4f))).Backward();
+  int with_grad = 0;
+  for (const auto& [name, p] : anenc.Parameters()) {
+    if (!p.grad().empty()) {
+      float total = 0;
+      for (float g : p.grad()) total += std::fabs(g);
+      // lora_up starts at zero, so lora_down's gradient is zero at init;
+      // count parameters that did receive signal.
+      with_grad += total > 0.0f;
+    }
+  }
+  EXPECT_GT(with_grad, 10);
+}
+
+TEST(AnEncTest, TrainableToTargetEmbedding) {
+  // Sanity: ANEnc can be optimized to map a value to a target vector.
+  Rng rng(20);
+  AnEnc anenc(SmallAnEnc(), rng);
+  Tensor tag = Tensor::Randn({1, 16}, rng);
+  Tensor target = Tensor::Randn({1, 16}, rng);
+  tensor::Adam opt(0.01f);
+  opt.AddParameters(TensorsOf(anenc.Parameters()));
+  float first = 0, last = 0;
+  for (int step = 0; step < 150; ++step) {
+    opt.ZeroGrad();
+    Tensor loss = tensor::MseLoss(anenc.Forward(tag, 0.3f), target);
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(AnEncTest, AdaptsToUnseenTagNames) {
+  // The paper's motivating property (Sec. IV-B): because ANEnc routes
+  // through attention over meta embeddings instead of per-field weights,
+  // value structure learned on known tags transfers to tags never seen in
+  // training. Train value-ordering on three tags, then check that a fresh
+  // tag's embeddings still order by value.
+  Rng rng(50);
+  AnEnc anenc(SmallAnEnc(), rng);
+  std::vector<Tensor> train_tags;
+  for (int t = 0; t < 3; ++t) {
+    train_tags.push_back(Tensor::Randn({1, 16}, rng));
+  }
+  tensor::Adam opt(0.01f);
+  opt.AddParameters(TensorsOf(anenc.Parameters()));
+  Rng train_rng(51);
+  for (int step = 0; step < 120; ++step) {
+    opt.ZeroGrad();
+    std::vector<Tensor> embeddings;
+    std::vector<float> values;
+    for (int b = 0; b < 6; ++b) {
+      const float v = static_cast<float>(train_rng.Uniform());
+      const Tensor& tag =
+          train_tags[static_cast<size_t>(train_rng.UniformInt(3))];
+      embeddings.push_back(anenc.Forward(tag, v));
+      values.push_back(v);
+    }
+    NumericContrastiveLoss(embeddings, values, 0.1f).Backward();
+    opt.Step();
+  }
+  // Unseen tag: value-neighbors should be closer than value-extremes.
+  Tensor unseen = Tensor::Randn({1, 16}, rng);
+  auto distance = [&](float a, float b) {
+    Tensor ha = anenc.Forward(unseen, a);
+    Tensor hb = anenc.Forward(unseen, b);
+    double sq = 0;
+    for (int j = 0; j < 16; ++j) {
+      const double d = ha.at(0, j) - hb.at(0, j);
+      sq += d * d;
+    }
+    return std::sqrt(sq);
+  };
+  EXPECT_LT(distance(0.4f, 0.5f), distance(0.1f, 0.9f));
+}
+
+// --- NumericDecoder / TagClassifier -----------------------------------------------------
+
+TEST(NumericDecoderTest, ScalarOutput) {
+  Rng rng(21);
+  NumericDecoder ndec(16, rng);
+  Tensor h = Tensor::Randn({1, 16}, rng);
+  Tensor v = ndec.Forward(h);
+  EXPECT_EQ(v.shape(), (tensor::Shape{1}));
+}
+
+TEST(TagClassifierTest, LogitShape) {
+  Rng rng(22);
+  TagClassifier tgc(16, 7, rng);
+  Tensor h = Tensor::Randn({1, 16}, rng);
+  EXPECT_EQ(tgc.Forward(h).shape(), (tensor::Shape{1, 7}));
+  EXPECT_EQ(tgc.num_tags(), 7);
+}
+
+// --- AutoWeightedLoss ---------------------------------------------------------------------
+
+TEST(AutoWeightedLossTest, CombinesAndSkipsUndefined) {
+  AutoWeightedLoss auto_loss(3);
+  Tensor l1 = Tensor::Scalar(2.0f, true);
+  Tensor l3 = Tensor::Scalar(1.0f, true);
+  Tensor combined = auto_loss.Combine({l1, Tensor(), l3});
+  // mu = 1: each term = 0.5 * L / (1 + eps) + log(2).
+  const float expected = 0.5f * 2.0f / 1.0001f + std::log(2.0f) +
+                         0.5f * 1.0f / 1.0001f + std::log(2.0f);
+  EXPECT_NEAR(combined.item(), expected, 1e-3f);
+}
+
+TEST(AutoWeightedLossTest, LearnsToDownweightNoisyTask) {
+  // Task 0 has large persistent loss, task 1 small: mu_0 should grow
+  // beyond mu_1 so the noisy task is downweighted.
+  AutoWeightedLoss auto_loss(2);
+  tensor::Adam opt(0.05f);
+  opt.AddParameters(TensorsOf(auto_loss.Parameters()));
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    Tensor noisy = Tensor::Scalar(5.0f);
+    Tensor clean = Tensor::Scalar(0.1f);
+    auto_loss.Combine({noisy, clean}).Backward();
+    opt.Step();
+  }
+  auto weights = auto_loss.Weights();
+  EXPECT_GT(std::fabs(weights[0]), std::fabs(weights[1]));
+}
+
+// --- NumericContrastiveLoss ------------------------------------------------------------------
+
+TEST(NumericContrastiveTest, PrefersValueNeighbors) {
+  // Embeddings already arranged so that value-neighbors are similar ->
+  // loss should be lower than for shuffled embeddings.
+  Rng rng(23);
+  std::vector<float> values = {0.1f, 0.15f, 0.8f, 0.85f};
+  std::vector<Tensor> aligned = {
+      Tensor::FromData({1, 4}, {1, 0, 0, 0}),
+      Tensor::FromData({1, 4}, {0.9f, 0.1f, 0, 0}),
+      Tensor::FromData({1, 4}, {0, 0, 1, 0}),
+      Tensor::FromData({1, 4}, {0, 0, 0.9f, 0.1f})};
+  std::vector<Tensor> misaligned = {
+      Tensor::FromData({1, 4}, {1, 0, 0, 0}),
+      Tensor::FromData({1, 4}, {0, 0, 1, 0}),
+      Tensor::FromData({1, 4}, {0.9f, 0.1f, 0, 0}),
+      Tensor::FromData({1, 4}, {0, 0, 0.9f, 0.1f})};
+  const float good = NumericContrastiveLoss(aligned, values, 0.1f).item();
+  const float bad = NumericContrastiveLoss(misaligned, values, 0.1f).item();
+  EXPECT_LT(good, bad);
+}
+
+TEST(NumericContrastiveTest, GradCheck) {
+  std::vector<float> values = {0.2f, 0.5f, 0.9f};
+  auto fn = [&](const std::vector<Tensor>& in) {
+    std::vector<Tensor> rows;
+    for (int i = 0; i < 3; ++i) rows.push_back(tensor::SliceRows(in[0], i, 1));
+    return NumericContrastiveLoss(rows, values, 0.5f);
+  };
+  Rng rng(24);
+  std::vector<Tensor> leaves = {Tensor::Randn({3, 5}, rng, 1.0f, true)};
+  auto result = tensor::CheckGradients(fn, leaves);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace telekit

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace telekit {
+namespace eval {
+namespace {
+
+TEST(RankingTest, MeanRankAndMrr) {
+  RankingAccumulator acc;
+  acc.AddRank(1);
+  acc.AddRank(2);
+  acc.AddRank(4);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_NEAR(acc.MeanRank(), 7.0 / 3.0, 1e-9);
+  EXPECT_NEAR(acc.MeanReciprocalRank(), (1.0 + 0.5 + 0.25) / 3.0, 1e-9);
+}
+
+TEST(RankingTest, HitsAtThresholds) {
+  RankingAccumulator acc;
+  for (double r : {1.0, 1.0, 3.0, 5.0, 10.0}) acc.AddRank(r);
+  EXPECT_NEAR(acc.HitsAt(1), 40.0, 1e-9);
+  EXPECT_NEAR(acc.HitsAt(3), 60.0, 1e-9);
+  EXPECT_NEAR(acc.HitsAt(5), 80.0, 1e-9);
+  EXPECT_NEAR(acc.HitsAt(10), 100.0, 1e-9);
+  EXPECT_NEAR(acc.HitsAt(3, /*percent=*/false), 0.6, 1e-9);
+}
+
+TEST(RankingTest, FractionalTieRanksCount) {
+  RankingAccumulator acc;
+  acc.AddRank(1.5);  // tie between rank 1 and 2
+  EXPECT_NEAR(acc.HitsAt(1), 0.0, 1e-9);
+  EXPECT_NEAR(acc.HitsAt(2), 100.0, 1e-9);
+}
+
+TEST(ConfusionTest, PerfectClassifier) {
+  BinaryConfusion c;
+  c.Add(true, true);
+  c.Add(false, false);
+  EXPECT_NEAR(c.Accuracy(), 100.0, 1e-9);
+  EXPECT_NEAR(c.Precision(), 100.0, 1e-9);
+  EXPECT_NEAR(c.Recall(), 100.0, 1e-9);
+  EXPECT_NEAR(c.F1(), 100.0, 1e-9);
+}
+
+TEST(ConfusionTest, KnownMix) {
+  BinaryConfusion c;
+  // 3 TP, 1 FP, 2 TN, 2 FN.
+  for (int i = 0; i < 3; ++i) c.Add(true, true);
+  c.Add(true, false);
+  for (int i = 0; i < 2; ++i) c.Add(false, false);
+  for (int i = 0; i < 2; ++i) c.Add(false, true);
+  EXPECT_NEAR(c.Accuracy(), 100.0 * 5 / 8, 1e-9);
+  EXPECT_NEAR(c.Precision(), 75.0, 1e-9);
+  EXPECT_NEAR(c.Recall(), 60.0, 1e-9);
+  EXPECT_NEAR(c.F1(), 2 * 75.0 * 60.0 / 135.0, 1e-9);
+}
+
+TEST(ConfusionTest, DegenerateNoPositivePredictions) {
+  BinaryConfusion c;
+  c.Add(false, true);
+  c.Add(false, false);
+  EXPECT_EQ(c.Precision(), 0.0);
+  EXPECT_EQ(c.F1(), 0.0);
+}
+
+TEST(KFoldTest, PartitionCoversAllDisjointly) {
+  Rng rng(1);
+  auto folds = KFoldIndices(23, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> all;
+  for (const auto& fold : folds) {
+    for (size_t i : fold) EXPECT_TRUE(all.insert(i).second);
+    // Balanced within one element.
+    EXPECT_GE(fold.size(), 4u);
+    EXPECT_LE(fold.size(), 5u);
+  }
+  EXPECT_EQ(all.size(), 23u);
+}
+
+TEST(KFoldTest, SplitSchemeMatchesPaper) {
+  Rng rng(2);
+  auto folds = KFoldIndices(25, 5, rng);
+  KFoldSplit split = MakeSplit(folds, 2);
+  EXPECT_EQ(split.test, folds[2]);
+  EXPECT_EQ(split.valid, folds[3]);
+  EXPECT_EQ(split.train.size(), 15u);
+  // Wrap-around when test is the last fold.
+  KFoldSplit wrap = MakeSplit(folds, 4);
+  EXPECT_EQ(wrap.valid, folds[0]);
+}
+
+TEST(PcaTest, RecoversDominantAxis) {
+  // Points along the x-axis in 4-D with small noise: the first component
+  // must capture the x spread.
+  Rng rng(3);
+  std::vector<std::vector<float>> points;
+  for (int i = 0; i < 50; ++i) {
+    const float x = static_cast<float>(i) / 10.0f;
+    points.push_back({x, static_cast<float>(rng.Normal(0, 0.01)),
+                      static_cast<float>(rng.Normal(0, 0.01)), 0.0f});
+  }
+  auto projected = PcaProject2d(points);
+  ASSERT_EQ(projected.size(), 50u);
+  // First coordinates should be monotone (up to sign) in i.
+  std::vector<double> first;
+  for (const auto& [x, y] : projected) first.push_back(x);
+  std::vector<double> index(50);
+  for (int i = 0; i < 50; ++i) index[static_cast<size_t>(i)] = i;
+  EXPECT_GT(std::fabs(SpearmanCorrelation(first, index)), 0.99);
+}
+
+TEST(SpearmanTest, PerfectMonotone) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-9);
+  std::vector<double> c = {50, 40, 30, 20, 10};
+  EXPECT_NEAR(SpearmanCorrelation(a, c), -1.0, 1e-9);
+}
+
+TEST(SpearmanTest, TiesHandled) {
+  std::vector<double> a = {1, 2, 2, 3};
+  std::vector<double> b = {1, 2, 2, 3};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-9);
+}
+
+TEST(SpearmanTest, IndependentNearZero) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.Uniform());
+    b.push_back(rng.Uniform());
+  }
+  EXPECT_LT(std::fabs(SpearmanCorrelation(a, b)), 0.12);
+}
+
+TEST(CosineTest, KnownValues) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {2, 2}), 1.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-9);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace telekit

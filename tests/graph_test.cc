@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/gcn.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace telekit {
+namespace graph {
+namespace {
+
+using tensor::Tensor;
+
+TEST(AdjacencyTest, SelfLoopOnlyIsIdentity) {
+  Graph g{.num_nodes = 3, .edges = {}};
+  Tensor a = NormalizedAdjacency(g);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(a.at(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(AdjacencyTest, SymmetricAndNormalized) {
+  Graph g{.num_nodes = 3, .edges = {{0, 1}, {1, 2}}};
+  Tensor a = NormalizedAdjacency(g);
+  // Symmetry.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(a.at(i, j), a.at(j, i));
+  }
+  // Node 1 has degree 3 (two edges + self-loop); nodes 0,2 degree 2.
+  EXPECT_NEAR(a.at(0, 0), 1.0f / 2.0f, 1e-6f);
+  EXPECT_NEAR(a.at(1, 1), 1.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(a.at(0, 1), 1.0f / std::sqrt(6.0f), 1e-6f);
+  EXPECT_FLOAT_EQ(a.at(0, 2), 0.0f);  // not adjacent
+}
+
+TEST(AdjacencyTest, ParallelEdgesCollapse) {
+  Graph g{.num_nodes = 2, .edges = {{0, 1}, {0, 1}, {1, 0}}};
+  Tensor a = NormalizedAdjacency(g);
+  // Same as a single edge: degree 2 each.
+  EXPECT_NEAR(a.at(0, 1), 0.5f, 1e-6f);
+}
+
+TEST(AdjacencyTest, RowSumOneForRegularGraph) {
+  // In a k-regular graph all degrees equal, rows sum to 1.
+  Graph g{.num_nodes = 4, .edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}}};
+  Tensor a = NormalizedAdjacency(g);
+  for (int i = 0; i < 4; ++i) {
+    float row = 0;
+    for (int j = 0; j < 4; ++j) row += a.at(i, j);
+    EXPECT_NEAR(row, 1.0f, 1e-5f);
+  }
+}
+
+TEST(GcnLayerTest, OutputShapeAndRelu) {
+  Rng rng(1);
+  Graph g{.num_nodes = 3, .edges = {{0, 1}, {1, 2}}};
+  Tensor a = NormalizedAdjacency(g);
+  Tensor h = Tensor::Randn({3, 4}, rng);
+  GcnLayer layer(4, 5, rng);
+  Tensor out = layer.Forward(a, h, /*apply_relu=*/true);
+  EXPECT_EQ(out.shape(), (tensor::Shape{3, 5}));
+  for (float v : out.data()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(GcnLayerTest, MessagePassingMixesNeighbors) {
+  // With identity weights, a node's output depends on its neighbors.
+  Rng rng(2);
+  Graph connected{.num_nodes = 2, .edges = {{0, 1}}};
+  Graph disconnected{.num_nodes = 2, .edges = {}};
+  Tensor h = Tensor::FromData({2, 2}, {1, 0, 0, 1});
+  GcnLayer layer(2, 2, rng);
+  Tensor out_connected =
+      layer.Forward(NormalizedAdjacency(connected), h, false);
+  Tensor out_disconnected =
+      layer.Forward(NormalizedAdjacency(disconnected), h, false);
+  // Connectivity must change node 0's representation.
+  bool differs = false;
+  for (int j = 0; j < 2; ++j) {
+    differs |= std::fabs(out_connected.at(0, j) -
+                         out_disconnected.at(0, j)) > 1e-6f;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GcnStackTest, DimsChainAndParams) {
+  Rng rng(3);
+  GcnStack stack({8, 16, 4}, rng);
+  EXPECT_EQ(stack.num_layers(), 2);
+  EXPECT_EQ(stack.Parameters().size(), 2u);
+  Graph g{.num_nodes = 5, .edges = {{0, 1}, {2, 3}, {3, 4}}};
+  Tensor a = NormalizedAdjacency(g);
+  Tensor h = Tensor::Randn({5, 8}, rng);
+  Tensor out = stack.Forward(a, h);
+  EXPECT_EQ(out.shape(), (tensor::Shape{5, 4}));
+}
+
+TEST(GcnStackTest, GradientsFlowToAllLayers) {
+  Rng rng(4);
+  GcnStack stack({3, 6, 2}, rng);
+  Graph g{.num_nodes = 4, .edges = {{0, 1}, {1, 2}, {2, 3}}};
+  Tensor a = NormalizedAdjacency(g);
+  Tensor h = Tensor::Randn({4, 3}, rng);
+  Tensor loss = tensor::Sum(tensor::Square(stack.Forward(a, h)));
+  loss.Backward();
+  for (const Tensor& p : stack.Parameters()) {
+    ASSERT_FALSE(p.grad().empty());
+    float total = 0;
+    for (float gv : p.grad()) total += std::fabs(gv);
+    EXPECT_GT(total, 0.0f);
+  }
+}
+
+TEST(GcnStackTest, GradCheckThroughStack) {
+  Rng rng(5);
+  Graph g{.num_nodes = 3, .edges = {{0, 1}, {1, 2}}};
+  Tensor a = NormalizedAdjacency(g);
+  auto fn = [&](const std::vector<Tensor>& in) {
+    Tensor h1 = tensor::Relu(tensor::MatMul(tensor::MatMul(a, in[0]), in[1]));
+    Tensor h2 = tensor::MatMul(tensor::MatMul(a, h1), in[2]);
+    return tensor::Sum(tensor::Square(h2));
+  };
+  Rng leaf_rng(6);
+  std::vector<Tensor> leaves = {
+      Tensor::Randn({3, 4}, leaf_rng, 1.0f, true),
+      Tensor::Randn({4, 5}, leaf_rng, 1.0f, true),
+      Tensor::Randn({5, 2}, leaf_rng, 1.0f, true)};
+  auto result = tensor::CheckGradients(fn, leaves);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(GcnStackTest, LearnsToSeparateTwoClusters) {
+  // Two disconnected triangles; train a 2-layer GCN + logistic scores to
+  // give cluster A positive and cluster B negative scores.
+  Rng rng(7);
+  Graph g{.num_nodes = 6,
+          .edges = {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}};
+  Tensor a = NormalizedAdjacency(g);
+  Tensor features = Tensor::FromData(
+      {6, 2}, {1, 0, 0.9f, 0.1f, 1, 0.2f, 0, 1, 0.1f, 0.9f, 0.2f, 1});
+  GcnStack stack({2, 8, 1}, rng);
+  tensor::Adam opt(0.05f);
+  opt.AddParameters(stack.Parameters());
+  std::vector<float> labels = {1, 1, 1, -1, -1, -1};
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    Tensor scores = tensor::Reshape(stack.Forward(a, features), {6});
+    tensor::LogisticLoss(scores, labels).Backward();
+    opt.Step();
+  }
+  Tensor scores = tensor::Reshape(stack.Forward(a, features), {6});
+  for (int i = 0; i < 3; ++i) EXPECT_GT(scores.at(static_cast<int64_t>(i)), 0.0f);
+  for (int i = 3; i < 6; ++i) EXPECT_LT(scores.at(static_cast<int64_t>(i)), 0.0f);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace telekit

@@ -1,0 +1,157 @@
+// End-to-end integration: synthetic world -> corpora -> tokenizer ->
+// TeleBERT pre-training -> KTeleBERT re-training -> service vectors ->
+// downstream task models. Uses a deliberately tiny configuration; asserts
+// the pipeline's *mechanics* (shapes, flow, trainability), not benchmark
+// quality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model_zoo.h"
+#include "eval/metrics.h"
+#include "synth/task_data.h"
+#include "tasks/eap.h"
+#include "tasks/embed.h"
+#include "tasks/fct.h"
+#include "tasks/rca.h"
+
+namespace telekit {
+namespace {
+
+core::ZooConfig IntegrationConfig() {
+  core::ZooConfig config;
+  config.seed = 4242;
+  config.world.num_alarm_types = 20;
+  config.world.num_kpi_types = 10;
+  config.world.num_network_elements = 14;
+  config.corpus.num_tele_sentences = 600;
+  config.corpus.num_general_sentences = 600;
+  config.num_episodes = 15;
+  config.max_machine_logs = 100;
+  config.max_triple_sentences = 60;
+  config.max_ke_triples = 50;
+  config.encoder.d_model = 32;
+  config.encoder.num_layers = 1;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_dim = 64;
+  config.pretrain.steps = 25;
+  config.pretrain.batch_size = 6;
+  config.retrain.total_steps = 25;
+  config.retrain.batch_size = 4;
+  config.anenc.num_layers = 1;
+  config.anenc.ffn_dim = 32;
+  config.cache_dir = "";
+  return config;
+}
+
+core::ModelZoo& Zoo() {
+  static core::ModelZoo* const kZoo = [] {
+    auto* zoo = new core::ModelZoo(IntegrationConfig());
+    zoo->Build();
+    return zoo;
+  }();
+  return *kZoo;
+}
+
+TEST(IntegrationTest, RcaPipelineRuns) {
+  core::ModelZoo& zoo = Zoo();
+  synth::RcaDataGen gen(zoo.world(), zoo.log_generator());
+  Rng rng(1);
+  synth::RcaDataset dataset =
+      gen.Generate(synth::RcaDataConfig{.num_graphs = 25}, rng);
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kKTeleBertStl);
+  auto embeddings = tasks::EmbedSurfaces(service, dataset.feature_surfaces);
+  ASSERT_EQ(embeddings.size(), dataset.feature_surfaces.size());
+  tasks::RcaOptions options;
+  options.epochs = 10;
+  Rng cv_rng(2);
+  tasks::RcaResult result =
+      tasks::RunRcaCrossValidation(dataset, embeddings, options, cv_rng);
+  EXPECT_GE(result.mean_rank, 1.0);
+  EXPECT_GE(result.hits5, result.hits1);
+  EXPECT_LE(result.hits5, 100.0);
+}
+
+TEST(IntegrationTest, EapPipelineRuns) {
+  core::ModelZoo& zoo = Zoo();
+  synth::EapDataGen gen(zoo.world(), zoo.log_generator());
+  Rng rng(3);
+  synth::EapDataset dataset =
+      gen.Generate(synth::EapDataConfig{.num_packages = 25}, rng);
+  ASSERT_GT(dataset.pairs.size(), 10u);
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  auto embeddings = tasks::EmbedSurfaces(service, dataset.event_surfaces);
+  tasks::EapOptions options;
+  options.epochs = 5;
+  Rng cv_rng(4);
+  tasks::EapResult result =
+      tasks::RunEapCrossValidation(dataset, embeddings, options, cv_rng);
+  EXPECT_GT(result.accuracy, 0.0);
+  EXPECT_LE(result.accuracy, 100.0);
+}
+
+TEST(IntegrationTest, FctPipelineRunsWithServiceInit) {
+  core::ModelZoo& zoo = Zoo();
+  synth::FctDataGen gen(zoo.world(), zoo.log_generator());
+  Rng rng(5);
+  synth::FctDataset dataset =
+      gen.Generate(synth::FctDataConfig{.num_chains = 60}, rng);
+  ASSERT_FALSE(dataset.test.empty());
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kKTeleBertPmtl);
+  auto embeddings = tasks::EmbedSurfaces(
+      service, dataset.node_surfaces, core::ServiceMode::kOnlyName,
+      /*whiten=*/false);
+  ASSERT_EQ(static_cast<int>(embeddings[0].size()), 32);
+  tasks::FctOptions options;
+  options.kge.dim = 32;
+  options.kge.epochs = 20;
+  Rng fct_rng(6);
+  tasks::FctResult result =
+      tasks::RunFct(dataset, &embeddings, options, fct_rng);
+  EXPECT_GE(result.mrr, 0.0);
+  EXPECT_LE(result.hits10, 100.0);
+}
+
+TEST(IntegrationTest, NumericSlotsSurviveEndToEnd) {
+  // A machine-log prompt flows: generator value -> normalizer -> [NUM]
+  // slot -> ANEnc -> transformer -> service vector.
+  core::ModelZoo& zoo = Zoo();
+  const auto& kpi = zoo.world().kpis()[0];
+  const float raw = kpi.baseline * 1.5f;
+  const float normalized = zoo.normalizer().Normalize(kpi.name, raw);
+  text::EncodedInput input = zoo.tokenizer().Encode(
+      text::PromptBuilder().Kpi(kpi.name, normalized).Build());
+  ASSERT_EQ(input.numeric_slots.size(), 1u);
+  const auto& model = zoo.ktelebert(core::ModelKind::kKTeleBertStl);
+  auto v1 = model.ServiceVector(input);
+  // A different raw value must change the representation.
+  text::EncodedInput input2 = zoo.tokenizer().Encode(
+      text::PromptBuilder()
+          .Kpi(kpi.name, zoo.normalizer().Normalize(kpi.name, kpi.baseline))
+          .Build());
+  auto v2 = model.ServiceVector(input2);
+  EXPECT_NE(v1, v2);
+}
+
+TEST(IntegrationTest, KgAndCorpusShareSurfaces) {
+  // The KG entity surfaces must tokenize through the same vocabulary the
+  // corpus built — no entity should collapse entirely to [UNK].
+  core::ModelZoo& zoo = Zoo();
+  int unk_only = 0;
+  for (int e = 0; e < zoo.store().num_entities(); ++e) {
+    const auto ids =
+        zoo.tokenizer().EncodeSentence(zoo.store().EntitySurface(e)).ids;
+    bool all_unk = true;
+    for (int id : ids) {
+      if (id >= text::SpecialTokens::kFirstRegular) all_unk = false;
+    }
+    unk_only += all_unk;
+  }
+  EXPECT_EQ(unk_only, 0);
+}
+
+}  // namespace
+}  // namespace telekit

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "kg/kge.h"
+#include "kg/store.h"
+
+namespace telekit {
+namespace kg {
+namespace {
+
+// --- TripleStore -----------------------------------------------------------------
+
+TEST(TripleStoreTest, EntityDedupBySurface) {
+  TripleStore store;
+  const EntityId a = store.AddEntity("ALM-1");
+  const EntityId b = store.AddEntity("ALM-1");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.num_entities(), 1);
+  EXPECT_EQ(store.EntitySurface(a), "ALM-1");
+}
+
+TEST(TripleStoreTest, FindEntityStatus) {
+  TripleStore store;
+  store.AddEntity("x");
+  EXPECT_TRUE(store.FindEntity("x").ok());
+  auto missing = store.FindEntity("y");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TripleStoreTest, TripleDedup) {
+  TripleStore store;
+  const EntityId a = store.AddEntity("a");
+  const EntityId b = store.AddEntity("b");
+  const RelationId r = store.AddRelation("trigger");
+  store.AddTriple(a, r, b);
+  store.AddTriple(a, r, b);
+  EXPECT_EQ(store.triples().size(), 1u);
+  EXPECT_TRUE(store.HasTriple(a, r, b));
+  EXPECT_FALSE(store.HasTriple(b, r, a));
+}
+
+TEST(TripleStoreTest, ObjectsAndSubjects) {
+  TripleStore store;
+  const EntityId a = store.AddEntity("a");
+  const EntityId b = store.AddEntity("b");
+  const EntityId c = store.AddEntity("c");
+  const RelationId r = store.AddRelation("r");
+  store.AddTriple(a, r, b);
+  store.AddTriple(a, r, c);
+  store.AddTriple(b, r, c);
+  auto objects = store.Objects(a, r);
+  EXPECT_EQ(objects.size(), 2u);
+  auto subjects = store.Subjects(r, c);
+  EXPECT_EQ(subjects.size(), 2u);
+}
+
+TEST(TripleStoreTest, TransitiveClosureOverSubclassOf) {
+  TripleStore store;
+  // leaf -> mid -> top, plus an unrelated node.
+  const EntityId leaf = store.AddEntity("leaf");
+  const EntityId mid = store.AddEntity("mid");
+  const EntityId top = store.AddEntity("top");
+  const EntityId other = store.AddEntity("other");
+  const RelationId sub = store.AddRelation("subclassOf");
+  store.AddTriple(leaf, sub, mid);
+  store.AddTriple(mid, sub, top);
+  auto ancestors = store.TransitiveObjects(leaf, sub);
+  EXPECT_EQ(ancestors.size(), 2u);
+  EXPECT_TRUE(store.Reaches(leaf, top, sub));
+  EXPECT_FALSE(store.Reaches(leaf, other, sub));
+  EXPECT_FALSE(store.Reaches(top, leaf, sub));
+}
+
+TEST(TripleStoreTest, TransitiveClosureHandlesCycles) {
+  TripleStore store;
+  const EntityId a = store.AddEntity("a");
+  const EntityId b = store.AddEntity("b");
+  const RelationId r = store.AddRelation("r");
+  store.AddTriple(a, r, b);
+  store.AddTriple(b, r, a);  // cycle must not loop forever
+  auto closure = store.TransitiveObjects(a, r);
+  // `start` itself is excluded even when re-reachable through the cycle.
+  ASSERT_EQ(closure.size(), 1u);
+  EXPECT_EQ(closure[0], b);
+}
+
+TEST(TripleStoreTest, PatternMatchAllCombinations) {
+  TripleStore store;
+  const EntityId a = store.AddEntity("a");
+  const EntityId b = store.AddEntity("b");
+  const RelationId r1 = store.AddRelation("r1");
+  const RelationId r2 = store.AddRelation("r2");
+  store.AddTriple(a, r1, b);
+  store.AddTriple(b, r2, a);
+  store.AddTriple(a, r2, b);
+  EXPECT_EQ(store.Match(std::nullopt, std::nullopt, std::nullopt).size(), 3u);
+  EXPECT_EQ(store.Match(a, std::nullopt, std::nullopt).size(), 2u);
+  EXPECT_EQ(store.Match(std::nullopt, r2, std::nullopt).size(), 2u);
+  EXPECT_EQ(store.Match(std::nullopt, std::nullopt, b).size(), 2u);
+  EXPECT_EQ(store.Match(a, r2, b).size(), 1u);
+  EXPECT_TRUE(store.Match(b, r1, a).empty());
+}
+
+TEST(TripleStoreTest, AttributesPerEntity) {
+  TripleStore store;
+  const EntityId a = store.AddEntity("ALM-1");
+  const EntityId b = store.AddEntity("ALM-2");
+  store.AddNumericAttribute(a, "count", 3.0f);
+  store.AddNumericAttribute(a, "duration", 12.5f);
+  store.AddNumericAttribute(b, "count", 1.0f);
+  store.AddStringAttribute(a, "severity", "major");
+  EXPECT_EQ(store.NumericAttributesOf(a).size(), 2u);
+  EXPECT_EQ(store.NumericAttributesOf(b).size(), 1u);
+  ASSERT_EQ(store.StringAttributesOf(a).size(), 1u);
+  EXPECT_EQ(store.StringAttributesOf(a)[0].value, "major");
+}
+
+TEST(TripleStoreTest, QuadrupleStoresConfidenceAndTriple) {
+  TripleStore store;
+  const EntityId a = store.AddEntity("a");
+  const EntityId b = store.AddEntity("b");
+  const RelationId r = store.AddRelation("r");
+  store.AddQuadruple(a, r, b, 0.8f);
+  ASSERT_EQ(store.quadruples().size(), 1u);
+  EXPECT_FLOAT_EQ(store.quadruples()[0].confidence, 0.8f);
+  EXPECT_TRUE(store.HasTriple(a, r, b));
+}
+
+// --- NegativeSampler -------------------------------------------------------------
+
+TEST(NegativeSamplerTest, AvoidsTrueTriplesAndIdentity) {
+  TripleStore store;
+  std::vector<EntityId> entities;
+  for (int i = 0; i < 10; ++i) {
+    entities.push_back(store.AddEntity("e" + std::to_string(i)));
+  }
+  const RelationId r = store.AddRelation("r");
+  store.AddTriple(entities[0], r, entities[1]);
+  store.AddTriple(entities[0], r, entities[2]);
+  NegativeSampler sampler(store);
+  Rng rng(1);
+  const Triple pos{entities[0], r, entities[1]};
+  for (int i = 0; i < 200; ++i) {
+    const Triple neg = sampler.Corrupt(pos, /*corrupt_tail=*/true, rng);
+    EXPECT_EQ(neg.head, pos.head);
+    EXPECT_NE(neg.tail, pos.tail);
+    EXPECT_FALSE(store.HasTriple(neg.head, neg.relation, neg.tail));
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Triple neg = sampler.Corrupt(pos, /*corrupt_tail=*/false, rng);
+    EXPECT_EQ(neg.tail, pos.tail);
+    EXPECT_NE(neg.head, pos.head);
+  }
+}
+
+// --- TranslationalKge --------------------------------------------------------------
+
+// A small chain KG: e0 -r-> e1 -r-> e2 ... plus distractor entities.
+TripleStore ChainStore(int chain_len, int extra) {
+  TripleStore store;
+  for (int i = 0; i < chain_len + extra; ++i) {
+    store.AddEntity("e" + std::to_string(i));
+  }
+  const RelationId r = store.AddRelation("next");
+  for (int i = 0; i + 1 < chain_len; ++i) store.AddTriple(i, r, i + 1);
+  return store;
+}
+
+std::vector<Quadruple> AllQuadruples(const TripleStore& store,
+                                     float confidence = 1.0f) {
+  std::vector<Quadruple> out;
+  for (const Triple& t : store.triples()) {
+    out.push_back({t.head, t.relation, t.tail, confidence});
+  }
+  return out;
+}
+
+TEST(KgeTest, TrainingReducesLoss) {
+  TripleStore store = ChainStore(8, 4);
+  Rng rng(2);
+  KgeOptions options;
+  options.dim = 16;
+  options.epochs = 1;
+  TranslationalKge kge(store.num_entities(), store.num_relations(), options,
+                       rng);
+  NegativeSampler sampler(store);
+  auto facts = AllQuadruples(store);
+  const float first = kge.TrainEpoch(facts, sampler, rng);
+  float last = first;
+  for (int e = 0; e < 60; ++e) last = kge.TrainEpoch(facts, sampler, rng);
+  EXPECT_LT(last, first);
+}
+
+TEST(KgeTest, TruePositivesOutscoreCorruptions) {
+  TripleStore store = ChainStore(8, 4);
+  Rng rng(3);
+  KgeOptions options;
+  options.dim = 16;
+  options.epochs = 120;
+  TranslationalKge kge(store.num_entities(), store.num_relations(), options,
+                       rng);
+  NegativeSampler sampler(store);
+  kge.Fit(AllQuadruples(store), sampler, rng);
+  // Every true triple should beat most corruptions.
+  int wins = 0, total = 0;
+  for (const Triple& t : store.triples()) {
+    for (int cand = 0; cand < store.num_entities(); ++cand) {
+      if (cand == t.tail || store.HasTriple(t.head, t.relation, cand)) {
+        continue;
+      }
+      ++total;
+      wins += kge.Score(t.head, t.relation, t.tail) >
+              kge.Score(t.head, t.relation, cand);
+    }
+  }
+  EXPECT_GT(static_cast<double>(wins) / total, 0.8);
+}
+
+TEST(KgeTest, RankOfTailFindsTrueTail) {
+  TripleStore store = ChainStore(8, 4);
+  Rng rng(4);
+  KgeOptions options;
+  options.dim = 16;
+  options.epochs = 150;
+  TranslationalKge kge(store.num_entities(), store.num_relations(), options,
+                       rng);
+  NegativeSampler sampler(store);
+  kge.Fit(AllQuadruples(store), sampler, rng);
+  std::vector<EntityId> all;
+  for (int i = 0; i < store.num_entities(); ++i) all.push_back(i);
+  double mean_rank = 0;
+  for (const Triple& t : store.triples()) {
+    mean_rank += kge.RankOfTail(t.head, t.relation, t.tail, all);
+  }
+  mean_rank /= static_cast<double>(store.triples().size());
+  EXPECT_LT(mean_rank, 4.0);  // 12 candidates; learned ranks should be low
+}
+
+TEST(KgeTest, ConfidenceScalesMarginPressure) {
+  // With alpha=1, low-confidence facts exert a smaller margin; their
+  // violation loss must be no larger than the same fact at confidence 1.
+  TripleStore store = ChainStore(4, 2);
+  Rng rng_a(5), rng_b(5);
+  KgeOptions options;
+  options.dim = 8;
+  options.epochs = 1;
+  options.confidence_alpha = 1.0f;
+  TranslationalKge high(store.num_entities(), store.num_relations(), options,
+                        rng_a);
+  TranslationalKge low(store.num_entities(), store.num_relations(), options,
+                       rng_b);
+  NegativeSampler sampler(store);
+  Rng train_a(6), train_b(6);
+  const float loss_high =
+      high.TrainEpoch(AllQuadruples(store, 1.0f), sampler, train_a);
+  const float loss_low =
+      low.TrainEpoch(AllQuadruples(store, 0.1f), sampler, train_b);
+  EXPECT_LT(loss_low, loss_high);
+}
+
+TEST(KgeTest, AlphaZeroIgnoresConfidence) {
+  TripleStore store = ChainStore(4, 2);
+  KgeOptions options;
+  options.dim = 8;
+  options.confidence_alpha = 0.0f;
+  Rng rng_a(7), rng_b(7);
+  TranslationalKge a(store.num_entities(), store.num_relations(), options,
+                     rng_a);
+  TranslationalKge b(store.num_entities(), store.num_relations(), options,
+                     rng_b);
+  NegativeSampler sampler(store);
+  Rng train_a(8), train_b(8);
+  const float loss_a =
+      a.TrainEpoch(AllQuadruples(store, 1.0f), sampler, train_a);
+  const float loss_b =
+      b.TrainEpoch(AllQuadruples(store, 0.2f), sampler, train_b);
+  EXPECT_FLOAT_EQ(loss_a, loss_b);
+}
+
+TEST(KgeTest, InitializeEntitiesCopiesAndNormalizes) {
+  TripleStore store = ChainStore(3, 0);
+  Rng rng(9);
+  KgeOptions options;
+  options.dim = 4;
+  TranslationalKge kge(store.num_entities(), store.num_relations(), options,
+                       rng);
+  std::vector<std::vector<float>> init = {
+      {2, 0, 0, 0}, {0, 3, 0, 0}, {0, 0, 4, 0}};
+  kge.InitializeEntities(init);
+  // normalize_entities is on by default -> unit rows in given direction.
+  EXPECT_NEAR(kge.entity_embedding(0)[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(kge.entity_embedding(1)[1], 1.0f, 1e-5f);
+  EXPECT_NEAR(kge.entity_embedding(2)[2], 1.0f, 1e-5f);
+}
+
+TEST(KgeTest, DeterministicWithSeed) {
+  TripleStore store = ChainStore(6, 2);
+  KgeOptions options;
+  options.dim = 8;
+  options.epochs = 10;
+  auto run = [&]() {
+    Rng rng(10);
+    TranslationalKge kge(store.num_entities(), store.num_relations(), options,
+                         rng);
+    NegativeSampler sampler(store);
+    Rng train(11);
+    kge.Fit(AllQuadruples(store), sampler, train);
+    return kge.entity_embedding(0);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(KgeTest, ScoreTailsMatchesScore) {
+  TripleStore store = ChainStore(4, 0);
+  Rng rng(12);
+  KgeOptions options;
+  options.dim = 8;
+  TranslationalKge kge(store.num_entities(), store.num_relations(), options,
+                       rng);
+  std::vector<EntityId> candidates = {0, 1, 2, 3};
+  auto scores = kge.ScoreTails(0, 0, candidates);
+  ASSERT_EQ(scores.size(), 4u);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_FLOAT_EQ(scores[i], kge.Score(0, 0, candidates[i]));
+  }
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace telekit

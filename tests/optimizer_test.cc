@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace tensor {
+namespace {
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  Tensor w = Tensor::FromData({2}, {1.0f, 2.0f}, true);
+  Sgd opt(/*lr=*/0.1f);
+  opt.AddParameter(w);
+  opt.ZeroGrad();
+  Sum(Square(w)).Backward();  // grad = 2w
+  opt.Step();
+  EXPECT_FLOAT_EQ(w.at(static_cast<int64_t>(0)), 1.0f - 0.1f * 2.0f);
+  EXPECT_FLOAT_EQ(w.at(static_cast<int64_t>(1)), 2.0f - 0.1f * 4.0f);
+}
+
+TEST(SgdTest, WeightDecayShrinks) {
+  Tensor w = Tensor::FromData({1}, {10.0f}, true);
+  Sgd opt(/*lr=*/0.1f, /*weight_decay=*/0.5f);
+  opt.AddParameter(w);
+  opt.ZeroGrad();
+  Sum(MulScalar(w, 0.0f)).Backward();  // zero gradient
+  opt.Step();
+  // Only decay acts: w <- w - lr * wd * w.
+  EXPECT_FLOAT_EQ(w.at(static_cast<int64_t>(0)), 10.0f - 0.1f * 0.5f * 10.0f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = Tensor::FromData({3}, {5.0f, -3.0f, 1.0f}, true);
+  Sgd opt(0.1f);
+  opt.AddParameter(w);
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    Sum(Square(w)).Backward();
+    opt.Step();
+  }
+  for (float v : w.data()) EXPECT_NEAR(v, 0.0f, 1e-4f);
+}
+
+TEST(AdamTest, ConvergesOnQuadraticWithTarget) {
+  Rng rng(1);
+  Tensor w = Tensor::Randn({4}, rng, 1.0f, true);
+  Tensor target = Tensor::FromData({4}, {1.0f, -2.0f, 0.5f, 3.0f});
+  Adam opt(0.05f);
+  opt.AddParameter(w);
+  for (int step = 0; step < 500; ++step) {
+    opt.ZeroGrad();
+    MseLoss(w, target).Backward();
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.at(i), target.at(i), 1e-2f);
+  }
+}
+
+TEST(AdamTest, FirstStepHasUnitScaleUpdate) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  Tensor w = Tensor::FromData({1}, {0.0f}, true);
+  Adam opt(0.1f);
+  opt.AddParameter(w);
+  opt.ZeroGrad();
+  Sum(MulScalar(w, 3.0f)).Backward();  // grad = 3
+  opt.Step();
+  EXPECT_NEAR(w.at(static_cast<int64_t>(0)), -0.1f, 1e-4f);
+}
+
+TEST(AdamTest, DecoupledWeightDecayActsOnWeights) {
+  Adam::Options options;
+  options.lr = 0.0f;  // isolate the decay term: no gradient-driven update
+  options.weight_decay = 0.1f;
+  options.decoupled_weight_decay = true;
+  Tensor w = Tensor::FromData({1}, {2.0f}, true);
+  Adam opt(options);
+  opt.AddParameter(w);
+  opt.ZeroGrad();
+  Sum(w).Backward();
+  opt.Step();
+  // update = lr*(adam term) + lr*wd*w = 0 since lr=0.
+  EXPECT_FLOAT_EQ(w.at(static_cast<int64_t>(0)), 2.0f);
+}
+
+TEST(OptimizerTest, CountsParametersAndWeights) {
+  Sgd opt(0.1f);
+  opt.AddParameter(Tensor::Zeros({2, 3}, true));
+  opt.AddParameter(Tensor::Zeros({5}, true));
+  EXPECT_EQ(opt.num_parameters(), 2u);
+  EXPECT_EQ(opt.num_weights(), 11);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Tensor w = Tensor::FromData({2}, {0.0f, 0.0f}, true);
+  Sgd opt(1.0f);
+  opt.AddParameter(w);
+  opt.ZeroGrad();
+  // Construct gradient (3, 4) -> norm 5.
+  Sum(Mul(w, Tensor::FromData({2}, {3.0f, 4.0f}))).Backward();
+  const float norm = opt.ClipGradNorm(1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5f);
+  EXPECT_NEAR(w.grad()[0], 3.0f / 5.0f, 1e-5f);
+  EXPECT_NEAR(w.grad()[1], 4.0f / 5.0f, 1e-5f);
+}
+
+TEST(OptimizerTest, ClipBelowThresholdNoChange) {
+  Tensor w = Tensor::FromData({1}, {0.0f}, true);
+  Sgd opt(1.0f);
+  opt.AddParameter(w);
+  opt.ZeroGrad();
+  Sum(MulScalar(w, 0.5f)).Backward();
+  opt.ClipGradNorm(10.0f);
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.5f);
+}
+
+TEST(OptimizerTest, StepSkipsUntouchedParams) {
+  // A parameter that never received gradient must not change or crash.
+  Tensor used = Tensor::FromData({1}, {1.0f}, true);
+  Tensor unused = Tensor::FromData({1}, {7.0f}, true);
+  Adam opt(0.1f);
+  opt.AddParameters({used, unused});
+  opt.ZeroGrad();
+  Sum(Square(used)).Backward();
+  opt.Step();
+  EXPECT_NE(used.at(static_cast<int64_t>(0)), 1.0f);
+  EXPECT_FLOAT_EQ(unused.at(static_cast<int64_t>(0)), 7.0f);
+}
+
+TEST(OptimizerTest, LinearRegressionEndToEnd) {
+  // y = 2x + 1 learned by Adam through MatMul/Add graph.
+  Rng rng(3);
+  Tensor w = Tensor::Randn({1, 1}, rng, 0.1f, true);
+  Tensor b = Tensor::Zeros({1}, true);
+  Adam opt(0.05f);
+  opt.AddParameters({w, b});
+  std::vector<float> xs, ys;
+  for (int i = 0; i < 16; ++i) {
+    const float x = static_cast<float>(i) / 8.0f - 1.0f;
+    xs.push_back(x);
+    ys.push_back(2.0f * x + 1.0f);
+  }
+  Tensor x = Tensor::FromData({16, 1}, xs);
+  Tensor y = Tensor::FromData({16, 1}, ys);
+  for (int step = 0; step < 800; ++step) {
+    opt.ZeroGrad();
+    Tensor pred = Add(MatMul(x, w), b);
+    MseLoss(pred, y).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.at(0, 0), 2.0f, 0.03f);
+  EXPECT_NEAR(b.at(static_cast<int64_t>(0)), 1.0f, 0.03f);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace telekit

@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/ktelebert.h"
+#include "core/service.h"
+#include "core/telebert.h"
+#include "text/prompt.h"
+#include "text/tokenizer.h"
+
+namespace telekit {
+namespace core {
+namespace {
+
+// Tiny fixture: a toy corpus and tokenizer shared by the tests.
+struct Fixture {
+  text::Tokenizer tokenizer{
+      text::TokenizerOptions{.max_len = 16, .min_word_count = 1}};
+  std::vector<std::string> corpus;
+  std::vector<text::EncodedInput> encoded;
+
+  Fixture() {
+    for (int i = 0; i < 8; ++i) {
+      corpus.push_back("the alarm triggers service loss quickly");
+      corpus.push_back("session setup fails after the link drops");
+      corpus.push_back("registration count remains stable all day");
+      corpus.push_back("the gateway rejects roaming requests");
+    }
+    tokenizer.BuildVocab(corpus);
+    for (const std::string& s : corpus) {
+      encoded.push_back(tokenizer.EncodeSentence(s));
+    }
+  }
+
+  EncoderConfig Config() const {
+    EncoderConfig config;
+    config.vocab_size = tokenizer.vocab().size();
+    config.d_model = 32;
+    config.num_heads = 2;
+    config.num_layers = 1;
+    config.ffn_dim = 64;
+    config.max_len = 16;
+    config.dropout = 0.1f;
+    return config;
+  }
+};
+
+Fixture& F() {
+  static Fixture* const kFixture = new Fixture();
+  return *kFixture;
+}
+
+// --- TeleBert ---------------------------------------------------------------------
+
+TEST(TeleBertTest, PretrainingReducesLoss) {
+  Rng rng(1);
+  TeleBert model(F().Config(), rng);
+  PretrainOptions options;
+  options.steps = 40;
+  options.batch_size = 8;
+  options.learning_rate = 2e-3f;
+  Rng train_rng(2);
+  auto history =
+      model.Pretrain(F().encoded, F().tokenizer.vocab(), options, train_rng);
+  ASSERT_EQ(history.size(), 40u);
+  // Average of the first 5 vs last 5 total losses.
+  auto avg = [&](size_t begin, size_t end) {
+    double total = 0;
+    for (size_t i = begin; i < end; ++i) total += history[i].total_loss;
+    return total / static_cast<double>(end - begin);
+  };
+  EXPECT_LT(avg(35, 40), avg(0, 5));
+}
+
+TEST(TeleBertTest, PlainMlmObjectiveAlsoTrains) {
+  Rng rng(30);
+  TeleBert model(F().Config(), rng);
+  PretrainOptions options;
+  options.steps = 40;
+  options.batch_size = 8;
+  options.learning_rate = 2e-3f;
+  options.objective = PretrainObjective::kMlmOnly;
+  Rng train_rng(31);
+  auto history =
+      model.Pretrain(F().encoded, F().tokenizer.vocab(), options, train_rng);
+  ASSERT_EQ(history.size(), 40u);
+  // No RTD under plain MLM; the MLM loss itself must fall.
+  for (const auto& s : history) EXPECT_FLOAT_EQ(s.rtd_loss, 0.0f);
+  auto avg = [&](size_t begin, size_t end) {
+    double total = 0;
+    for (size_t i = begin; i < end; ++i) total += history[i].mlm_loss;
+    return total / static_cast<double>(end - begin);
+  };
+  EXPECT_LT(avg(35, 40), avg(0, 5));
+}
+
+TEST(TeleBertTest, ServiceVectorDeterministic) {
+  Rng rng(3);
+  TeleBert model(F().Config(), rng);
+  auto v1 = model.ServiceVector(F().encoded[0]);
+  auto v2 = model.ServiceVector(F().encoded[0]);
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(static_cast<int>(v1.size()), F().Config().d_model);
+}
+
+TEST(TeleBertTest, CheckpointRoundTrip) {
+  Rng rng(4);
+  TeleBert a(F().Config(), rng);
+  Rng rng2(5);
+  TeleBert b(F().Config(), rng2);
+  // Different init -> different encodings.
+  EXPECT_NE(a.ServiceVector(F().encoded[0]), b.ServiceVector(F().encoded[0]));
+  ASSERT_TRUE(b.Restore(a.Checkpoint()).ok());
+  EXPECT_EQ(a.ServiceVector(F().encoded[0]), b.ServiceVector(F().encoded[0]));
+}
+
+TEST(TeleBertTest, DomainPretrainingShapesSimilarity) {
+  // After pre-training, two sentences sharing content words should be more
+  // similar than unrelated ones (the property the tasks exploit).
+  Rng rng(6);
+  TeleBert model(F().Config(), rng);
+  PretrainOptions options;
+  options.steps = 120;
+  options.batch_size = 8;
+  options.learning_rate = 2e-3f;
+  Rng train_rng(7);
+  model.Pretrain(F().encoded, F().tokenizer.vocab(), options, train_rng);
+  auto embed = [&](const std::string& s) {
+    return model.ServiceVector(F().tokenizer.EncodeSentence(s));
+  };
+  auto cosine = [](const std::vector<float>& a, const std::vector<float>& b) {
+    double dot = 0, na = 0, nb = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      dot += a[i] * b[i];
+      na += a[i] * a[i];
+      nb += b[i] * b[i];
+    }
+    return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-9);
+  };
+  const auto a1 = embed("the alarm triggers service loss");
+  const auto a2 = embed("the alarm triggers service loss quickly");
+  const auto b = embed("registration count remains stable");
+  EXPECT_GT(cosine(a1, a2), cosine(a1, b));
+}
+
+// --- KTeleBert ----------------------------------------------------------------------
+
+KTeleBertConfig KtbConfig(bool use_anenc = true) {
+  KTeleBertConfig config;
+  config.encoder = F().Config();
+  config.anenc.d_model = config.encoder.d_model;
+  config.anenc.num_meta = 4;
+  config.anenc.num_layers = 1;
+  config.anenc.ffn_dim = 32;
+  config.use_anenc = use_anenc;
+  config.num_tags = 3;
+  config.ke_negatives = 2;
+  return config;
+}
+
+text::EncodedInput NumericInput(float value) {
+  return F().tokenizer.Encode(
+      text::PromptBuilder().Kpi("registration count", value).Build());
+}
+
+ReTrainData SmallReTrainData() {
+  ReTrainData data;
+  for (int i = 0; i < 4; ++i) {
+    data.causal_sentences.push_back(F().encoded[static_cast<size_t>(i)]);
+    data.triple_sentences.push_back(
+        F().tokenizer.Encode(text::PromptBuilder()
+                                 .Entity("alarm a")
+                                 .Relation("triggers")
+                                 .Entity("service loss")
+                                 .Build()));
+  }
+  for (int i = 0; i < 8; ++i) {
+    data.machine_logs.push_back(
+        NumericInput(static_cast<float>(i) / 8.0f));
+    data.machine_log_tags.push_back(i % 3);
+  }
+  for (const char* name : {"alarm a", "service loss", "the gateway"}) {
+    data.entity_inputs.push_back(F().tokenizer.Encode(
+        text::PromptBuilder().Entity(name).Build()));
+  }
+  KeTriple triple;
+  triple.head = data.entity_inputs[0];
+  triple.relation = F().tokenizer.Encode(
+      text::PromptBuilder().Relation("triggers").Build());
+  triple.tail = data.entity_inputs[1];
+  triple.head_id = 0;
+  triple.tail_id = 1;
+  data.ke_triples.push_back(triple);
+  return data;
+}
+
+TEST(KTeleBertTest, HiddenHandlesNumericSlots) {
+  Rng rng(8);
+  KTeleBert model(KtbConfig(), rng);
+  text::EncodedInput input = NumericInput(0.5f);
+  ASSERT_FALSE(input.numeric_slots.empty());
+  std::vector<tensor::Tensor> anenc_outputs;
+  Rng eval(0);
+  tensor::Tensor h = model.Hidden(input, eval, false, &anenc_outputs);
+  EXPECT_EQ(h.dim(0), input.length);
+  EXPECT_EQ(anenc_outputs.size(), input.numeric_slots.size());
+}
+
+TEST(KTeleBertTest, NumericValueChangesRepresentation) {
+  Rng rng(9);
+  KTeleBert model(KtbConfig(), rng);
+  auto v1 = model.ServiceVector(NumericInput(0.1f));
+  auto v2 = model.ServiceVector(NumericInput(0.9f));
+  EXPECT_NE(v1, v2);
+}
+
+TEST(KTeleBertTest, WithoutAnEncIgnoresValue) {
+  Rng rng(10);
+  KTeleBert model(KtbConfig(/*use_anenc=*/false), rng);
+  auto v1 = model.ServiceVector(NumericInput(0.1f));
+  auto v2 = model.ServiceVector(NumericInput(0.9f));
+  EXPECT_EQ(v1, v2);  // value only enters through ANEnc
+}
+
+TEST(KTeleBertTest, InitializeFromTeleBertCopiesEncoder) {
+  Rng rng(11);
+  TeleBert telebert(F().Config(), rng);
+  Rng rng2(12);
+  KTeleBert ktb(KtbConfig(), rng2);
+  ASSERT_TRUE(ktb.InitializeFromTeleBert(telebert).ok());
+  // Plain-text encodings (no numeric slots) now agree.
+  const auto& input = F().encoded[0];
+  EXPECT_EQ(telebert.ServiceVector(input), ktb.ServiceVector(input));
+}
+
+TEST(KTeleBertTest, KeDistanceNonNegativeAndTrainable) {
+  Rng rng(13);
+  KTeleBert model(KtbConfig(), rng);
+  ReTrainData data = SmallReTrainData();
+  Rng eval(0);
+  tensor::Tensor d = model.KeDistance(
+      data.ke_triples[0].head, data.ke_triples[0].relation,
+      data.ke_triples[0].tail, eval, false);
+  EXPECT_GE(d.item(), 0.0f);
+}
+
+TEST(ReTrainerTest, StlRunsAndReducesLoss) {
+  Rng rng(14);
+  KTeleBert model(KtbConfig(), rng);
+  ReTrainOptions options;
+  options.strategy = TrainingStrategy::kStl;
+  options.total_steps = 30;
+  options.batch_size = 6;
+  options.learning_rate = 1e-3f;
+  ReTrainer trainer(model, options);
+  Rng train_rng(15);
+  auto history = trainer.Train(SmallReTrainData(), train_rng);
+  ASSERT_EQ(history.size(), 30u);
+  for (const ReTrainStats& s : history) {
+    EXPECT_TRUE(s.ran_mask_task);
+    EXPECT_FALSE(s.ran_ke_task);
+  }
+  auto avg = [&](size_t begin, size_t end) {
+    double total = 0;
+    for (size_t i = begin; i < end; ++i) total += history[i].total_loss;
+    return total / static_cast<double>(end - begin);
+  };
+  EXPECT_LT(avg(25, 30), avg(0, 5));
+}
+
+TEST(ReTrainerTest, PmtlRunsBothTasksEveryStep) {
+  Rng rng(16);
+  KTeleBert model(KtbConfig(), rng);
+  ReTrainOptions options;
+  options.strategy = TrainingStrategy::kPmtl;
+  options.total_steps = 6;
+  options.batch_size = 4;
+  options.ke_batch_size = 2;
+  ReTrainer trainer(model, options);
+  Rng train_rng(17);
+  auto history = trainer.Train(SmallReTrainData(), train_rng);
+  for (const ReTrainStats& s : history) {
+    EXPECT_TRUE(s.ran_mask_task);
+    EXPECT_TRUE(s.ran_ke_task);
+    EXPECT_GT(s.ke_loss, 0.0f);
+  }
+}
+
+TEST(ReTrainerTest, ImtlFollowsStagedSchedule) {
+  Rng rng(18);
+  KTeleBert model(KtbConfig(), rng);
+  ReTrainOptions options;
+  options.strategy = TrainingStrategy::kImtl;
+  options.total_steps = 30;
+  options.batch_size = 4;
+  options.ke_batch_size = 2;
+  ReTrainer trainer(model, options);
+  Rng train_rng(19);
+  auto history = trainer.Train(SmallReTrainData(), train_rng);
+  // Stage 1 (first 40%): mask only.
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(history[i].ran_mask_task);
+    EXPECT_FALSE(history[i].ran_ke_task);
+  }
+  // Later stages: KE appears.
+  int ke_steps = 0;
+  for (size_t i = 12; i < history.size(); ++i) {
+    ke_steps += history[i].ran_ke_task;
+  }
+  EXPECT_GT(ke_steps, 5);
+}
+
+TEST(ReTrainerTest, KeLossFallsWithTraining) {
+  Rng rng(20);
+  KTeleBert model(KtbConfig(), rng);
+  ReTrainOptions options;
+  options.strategy = TrainingStrategy::kPmtl;
+  options.total_steps = 25;
+  options.batch_size = 2;
+  options.ke_batch_size = 4;
+  options.learning_rate = 1e-3f;
+  ReTrainer trainer(model, options);
+  Rng train_rng(21);
+  auto history = trainer.Train(SmallReTrainData(), train_rng);
+  double early = 0, late = 0;
+  for (size_t i = 0; i < 5; ++i) early += history[i].ke_loss;
+  for (size_t i = history.size() - 5; i < history.size(); ++i) {
+    late += history[i].ke_loss;
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(KTeleBertTest, CheckpointRoundTrip) {
+  Rng rng(22);
+  KTeleBert a(KtbConfig(), rng);
+  Rng rng2(23);
+  KTeleBert b(KtbConfig(), rng2);
+  ASSERT_TRUE(b.Restore(a.Checkpoint()).ok());
+  EXPECT_EQ(a.ServiceVector(NumericInput(0.4f)),
+            b.ServiceVector(NumericInput(0.4f)));
+}
+
+// --- Service encoders -----------------------------------------------------------------
+
+TEST(ServiceTest, RandomEncoderDeterministicPerName) {
+  RandomEncoder enc(16, 7);
+  auto input_a = F().tokenizer.EncodeSentence("alarm one");
+  auto input_b = F().tokenizer.EncodeSentence("alarm two");
+  EXPECT_EQ(enc.Encode(input_a), enc.Encode(input_a));
+  EXPECT_NE(enc.Encode(input_a), enc.Encode(input_b));
+  EXPECT_EQ(enc.dim(), 16);
+}
+
+TEST(ServiceTest, WordAveragingSharesWordSignal) {
+  WordAveragingEncoder enc(32, 9);
+  auto cosine = [](const std::vector<float>& a, const std::vector<float>& b) {
+    double dot = 0, na = 0, nb = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      dot += a[i] * b[i];
+      na += a[i] * a[i];
+      nb += b[i] * b[i];
+    }
+    return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-9);
+  };
+  auto a = enc.Encode(F().tokenizer.EncodeSentence("the alarm triggers"));
+  auto b = enc.Encode(F().tokenizer.EncodeSentence("the alarm drops"));
+  auto c = enc.Encode(F().tokenizer.EncodeSentence("registration remains"));
+  EXPECT_GT(cosine(a, b), cosine(a, c));
+}
+
+TEST(ServiceTest, OnlyNameModeWorksWithoutStore) {
+  RandomEncoder enc(8, 1);
+  ServiceEncoder service(&enc, &F().tokenizer, nullptr, nullptr);
+  auto v = service.Encode("some alarm", ServiceMode::kOnlyName);
+  EXPECT_EQ(v.size(), 8u);
+  // Entity modes degrade gracefully without a store.
+  auto v2 = service.Encode("some alarm", ServiceMode::kEntityWithAttr);
+  EXPECT_EQ(v, v2);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace telekit

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "kg/query.h"
+#include "kg/store.h"
+
+namespace telekit {
+namespace kg {
+namespace {
+
+// A small KG: alarms trigger KPIs and each other; instanceOf classes.
+struct Fixture {
+  TripleStore store;
+  EntityId alarm_a, alarm_b, kpi_x, kpi_y, alarm_class, kpi_class;
+  RelationId trigger, affects, instance_of;
+
+  Fixture() {
+    alarm_a = store.AddEntity("alarm a");
+    alarm_b = store.AddEntity("alarm b");
+    kpi_x = store.AddEntity("kpi x");
+    kpi_y = store.AddEntity("kpi y");
+    alarm_class = store.AddEntity("Alarm");
+    kpi_class = store.AddEntity("KPI");
+    trigger = store.AddRelation("trigger");
+    affects = store.AddRelation("affects");
+    instance_of = store.AddRelation("instanceOf");
+    store.AddTriple(alarm_a, trigger, alarm_b);
+    store.AddTriple(alarm_a, affects, kpi_x);
+    store.AddTriple(alarm_b, affects, kpi_y);
+    store.AddTriple(alarm_a, instance_of, alarm_class);
+    store.AddTriple(alarm_b, instance_of, alarm_class);
+    store.AddTriple(kpi_x, instance_of, kpi_class);
+    store.AddTriple(kpi_y, instance_of, kpi_class);
+  }
+};
+
+Fixture& F() {
+  static Fixture* const kFixture = new Fixture();
+  return *kFixture;
+}
+
+// --- Parsing ---------------------------------------------------------------------
+
+TEST(ParseQueryTest, BasicQuery) {
+  auto q = ParseQuery("SELECT ?x WHERE { ?x trigger ?y }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select, std::vector<std::string>{"?x"});
+  ASSERT_EQ(q->where.size(), 1u);
+  EXPECT_EQ(q->where[0].subject, "?x");
+  EXPECT_EQ(q->where[0].predicate, "trigger");
+  EXPECT_EQ(q->where[0].object, "?y");
+}
+
+TEST(ParseQueryTest, MultiplePatternsAndVars) {
+  auto q = ParseQuery(
+      "SELECT ?a ?k WHERE { ?a trigger ?b . ?b affects ?k }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->where.size(), 2u);
+}
+
+TEST(ParseQueryTest, QuotedSurfaces) {
+  auto q = ParseQuery("SELECT ?k WHERE { 'alarm a' affects ?k }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where[0].subject, "alarm a");
+}
+
+TEST(ParseQueryTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseQuery("select ?x where { ?x trigger ?y }").ok());
+  EXPECT_TRUE(ParseQuery("Select ?x Where { ?x trigger ?y }").ok());
+}
+
+TEST(ParseQueryTest, Rejections) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("WHERE { ?x trigger ?y }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { ?x trigger ?y }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x WHERE { ?x trigger ?y }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x trigger }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x trigger ?y").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?z WHERE { ?x trigger ?y }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { 'unclosed affects ?x }").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?x WHERE { ?x trigger ?y ?x affects ?y }").ok());
+}
+
+// --- Execution --------------------------------------------------------------------
+
+TEST(QueryEngineTest, SinglePatternBothVars) {
+  QueryEngine engine(F().store);
+  auto rows = engine.Execute("SELECT ?x ?y WHERE { ?x affects ?y }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(QueryEngineTest, ConcreteSubject) {
+  QueryEngine engine(F().store);
+  auto rows = engine.Execute("SELECT ?k WHERE { 'alarm a' affects ?k }");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].at("?k"), F().kpi_x);
+}
+
+TEST(QueryEngineTest, JoinAcrossPatterns) {
+  // Which KPI is affected by something alarm a triggers? -> kpi y.
+  QueryEngine engine(F().store);
+  auto rows = engine.Execute(
+      "SELECT ?k WHERE { 'alarm a' trigger ?b . ?b affects ?k }");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].at("?k"), F().kpi_y);
+}
+
+TEST(QueryEngineTest, TypedJoin) {
+  // All alarms that affect something of class KPI.
+  QueryEngine engine(F().store);
+  auto rows = engine.Execute(
+      "SELECT ?a WHERE { ?a affects ?k . ?k instanceOf KPI . "
+      "?a instanceOf Alarm }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(QueryEngineTest, NoResults) {
+  QueryEngine engine(F().store);
+  auto rows = engine.Execute("SELECT ?x WHERE { 'kpi x' trigger ?x }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(QueryEngineTest, UnknownSurfaceFails) {
+  QueryEngine engine(F().store);
+  auto rows = engine.Execute("SELECT ?x WHERE { 'nonexistent' trigger ?x }");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryEngineTest, UnknownRelationFails) {
+  QueryEngine engine(F().store);
+  auto rows = engine.Execute("SELECT ?x WHERE { ?x frobnicates ?y }");
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(QueryEngineTest, VariablePredicateRejected) {
+  QueryEngine engine(F().store);
+  auto rows = engine.Execute("SELECT ?x WHERE { ?x ?p ?y }");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, RepeatedVariableMustSelfAgree) {
+  // Add a self-loop and check ?x trigger ?x matches only it.
+  TripleStore store;
+  const EntityId a = store.AddEntity("a");
+  const EntityId b = store.AddEntity("b");
+  const RelationId r = store.AddRelation("r");
+  store.AddTriple(a, r, b);
+  store.AddTriple(a, r, a);
+  QueryEngine engine(store);
+  auto rows = engine.Execute("SELECT ?x WHERE { ?x r ?x }");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].at("?x"), a);
+}
+
+TEST(QueryEngineTest, DistinctRows) {
+  // alarm a affects kpi x; alarm a triggers alarm b — selecting only ?a
+  // across a two-pattern product must deduplicate.
+  QueryEngine engine(F().store);
+  auto rows = engine.Execute(
+      "SELECT ?a WHERE { ?a instanceOf Alarm . ?a affects ?k }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // alarm a, alarm b — each exactly once
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace telekit

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "synth/signaling.h"
+#include "synth/world.h"
+#include "text/tokenizer.h"
+
+namespace telekit {
+namespace synth {
+namespace {
+
+WorldModel& TestWorld() {
+  static WorldModel* const kWorld = new WorldModel(WorldConfig{.seed = 5});
+  return *kWorld;
+}
+
+TEST(SignalingTest, ProcedureAlternatesRequestAnswer) {
+  SignalingFlowGenerator gen(TestWorld(), SignalingConfig{});
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto records = gen.SimulateProcedure(rng);
+    ASSERT_FALSE(records.empty());
+    ASSERT_EQ(records.size() % 2, 0u);  // request/answer pairs
+    for (size_t i = 0; i + 1 < records.size(); i += 2) {
+      // Answer reverses the request direction.
+      EXPECT_EQ(records[i].src_element, records[i + 1].dst_element);
+      EXPECT_EQ(records[i].dst_element, records[i + 1].src_element);
+      EXPECT_TRUE(records[i].success);  // requests always sent
+      EXPECT_LT(records[i].time, records[i + 1].time);
+    }
+  }
+}
+
+TEST(SignalingTest, HopsFollowTopology) {
+  SignalingFlowGenerator gen(TestWorld(), SignalingConfig{});
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (const SignalingRecord& r : gen.SimulateProcedure(rng)) {
+      auto neighbors = TestWorld().TopologyNeighbors(r.src_element);
+      EXPECT_NE(std::find(neighbors.begin(), neighbors.end(), r.dst_element),
+                neighbors.end());
+    }
+  }
+}
+
+TEST(SignalingTest, RejectAbortsProcedure) {
+  SignalingConfig config;
+  config.base_reject_rate = 1.0;  // every answer rejects
+  SignalingFlowGenerator gen(TestWorld(), config);
+  Rng rng(3);
+  auto records = gen.SimulateProcedure(rng);
+  ASSERT_EQ(records.size(), 2u);  // one request, one reject
+  EXPECT_FALSE(records[1].success);
+  EXPECT_NE(records[1].message.find("reject"), std::string::npos);
+}
+
+TEST(SignalingTest, FaultEpisodesRaiseRejectRate) {
+  SignalingFlowGenerator gen(TestWorld(), SignalingConfig{});
+  LogGenerator logs(TestWorld(), LogConfig{});
+  Rng rng(4);
+  auto is_answer = [](const SignalingRecord& r) {
+    return r.message.find("reject") != std::string::npos ||
+           r.message.find("accept") != std::string::npos ||
+           r.message.find("answer") != std::string::npos ||
+           r.message.find("complete") != std::string::npos;
+  };
+  int healthy_rejects = 0, faulty_rejects = 0;
+  int healthy_total = 0, faulty_total = 0;
+  for (int i = 0; i < 300; ++i) {
+    for (const SignalingRecord& r : gen.SimulateProcedure(rng)) {
+      if (!is_answer(r)) continue;
+      ++healthy_total;
+      healthy_rejects += !r.success;
+    }
+    Episode episode = logs.Simulate(rng);
+    for (const SignalingRecord& r : gen.SimulateDuringEpisode(episode, rng)) {
+      if (!is_answer(r)) continue;
+      ++faulty_total;
+      faulty_rejects += !r.success;
+    }
+  }
+  ASSERT_GT(healthy_total, 0);
+  ASSERT_GT(faulty_total, 0);
+  const double healthy_rate =
+      static_cast<double>(healthy_rejects) / healthy_total;
+  const double faulty_rate = static_cast<double>(faulty_rejects) / faulty_total;
+  EXPECT_GT(faulty_rate, healthy_rate);
+}
+
+TEST(SignalingTest, PromptUsesExistingTemplates) {
+  SignalingFlowGenerator gen(TestWorld(), SignalingConfig{});
+  Rng rng(6);
+  auto records = gen.SimulateProcedure(rng);
+  ASSERT_FALSE(records.empty());
+  text::PromptSequence prompt = gen.ToPrompt(records[0]);
+  // [DOC] text [LOC] text [ATTR] key | value -> 8 elements.
+  ASSERT_EQ(prompt.size(), 8u);
+  EXPECT_EQ(prompt[0].special_id, text::SpecialTokens::kDoc);
+  EXPECT_EQ(prompt[2].special_id, text::SpecialTokens::kLoc);
+  EXPECT_EQ(prompt[4].special_id, text::SpecialTokens::kAttr);
+  EXPECT_NE(prompt[1].text.find("signaling"), std::string::npos);
+}
+
+TEST(SignalingTest, DeterministicForSeed) {
+  SignalingFlowGenerator gen(TestWorld(), SignalingConfig{});
+  Rng a(7), b(7);
+  auto ra = gen.SimulateMany(5, a);
+  auto rb = gen.SimulateMany(5, b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].message, rb[i].message);
+    EXPECT_EQ(ra[i].src_element, rb[i].src_element);
+    EXPECT_EQ(ra[i].success, rb[i].success);
+  }
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace telekit

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "core/service.h"
+#include "synth/log.h"
+#include "synth/task_data.h"
+#include "synth/world.h"
+#include "tasks/eap.h"
+#include "tasks/fct.h"
+#include "tasks/rca.h"
+#include "tensor/ops.h"
+
+namespace telekit {
+namespace tasks {
+namespace {
+
+using tensor::Tensor;
+
+synth::WorldModel& TestWorld() {
+  static synth::WorldModel* const kWorld =
+      new synth::WorldModel(synth::WorldConfig{.seed = 77});
+  return *kWorld;
+}
+
+synth::LogGenerator& TestLogs() {
+  static synth::LogGenerator* const kLogs =
+      new synth::LogGenerator(TestWorld(), synth::LogConfig{});
+  return *kLogs;
+}
+
+// Deterministic per-surface embeddings that carry *some* signal: hash the
+// surface words. Stands in for service vectors in task unit tests.
+std::vector<std::vector<float>> FakeEmbeddings(
+    const std::vector<std::string>& surfaces, int dim, uint64_t seed) {
+  std::vector<std::vector<float>> out;
+  for (const std::string& s : surfaces) {
+    uint64_t h = seed;
+    for (char c : s) h = h * 131 + static_cast<unsigned char>(c);
+    Rng rng(h);
+    std::vector<float> v(static_cast<size_t>(dim));
+    for (float& x : v) x = static_cast<float>(rng.Uniform(-1, 1));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+// --- RCA ------------------------------------------------------------------------
+
+synth::RcaDataset SmallRcaData(int num_graphs = 40) {
+  synth::RcaDataGen gen(TestWorld(), TestLogs());
+  Rng rng(5);
+  return gen.Generate(synth::RcaDataConfig{.num_graphs = num_graphs}, rng);
+}
+
+TEST(RcaModelTest, NodeInitMatchesEq13) {
+  synth::RcaStateGraph state;
+  state.topology.num_nodes = 2;
+  state.features = {{2, 0}, {0, 0}};  // node 0: event 0 twice; node 1: none
+  state.root_node = 0;
+  std::vector<std::vector<float>> embeddings = {{1, 3}, {5, 7}};
+  Tensor h = RcaModel::NodeInit(state, embeddings);
+  EXPECT_EQ(h.shape(), (tensor::Shape{2, 2}));
+  // Node 0: (2 * e0) / 2 = e0.
+  EXPECT_FLOAT_EQ(h.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(h.at(0, 1), 3.0f);
+  // Node 1 has no events -> zero.
+  EXPECT_FLOAT_EQ(h.at(1, 0), 0.0f);
+}
+
+TEST(RcaModelTest, NodeInitAveragesMultipleEvents) {
+  synth::RcaStateGraph state;
+  state.topology.num_nodes = 1;
+  state.features = {{1, 3}};
+  state.root_node = 0;
+  std::vector<std::vector<float>> embeddings = {{4, 0}, {0, 4}};
+  Tensor h = RcaModel::NodeInit(state, embeddings);
+  // (1*e0 + 3*e1)/4 = (1, 3).
+  EXPECT_FLOAT_EQ(h.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(h.at(0, 1), 3.0f);
+}
+
+TEST(RcaModelTest, ScoresShapeAndRank) {
+  Rng rng(6);
+  RcaOptions options;
+  RcaModel model(8, options, rng);
+  synth::RcaDataset data = SmallRcaData(3);
+  auto embeddings = FakeEmbeddings(data.feature_surfaces, 8, 1);
+  const synth::RcaStateGraph& g = data.graphs[0];
+  Tensor scores = model.Scores(g, RcaModel::NodeInit(g, embeddings));
+  EXPECT_EQ(scores.dim(0), g.topology.num_nodes);
+  const double rank = model.RankOfRoot(g, embeddings);
+  EXPECT_GE(rank, 1.0);
+  EXPECT_LE(rank, static_cast<double>(g.topology.num_nodes));
+}
+
+TEST(RcaCrossValidationTest, BeatsRandomGuessing) {
+  synth::RcaDataset data = SmallRcaData(60);
+  // As with EAP, event identity needs dim >= #features to be separable.
+  auto embeddings = FakeEmbeddings(data.feature_surfaces, 80, 2);
+  RcaOptions options;
+  options.epochs = 60;
+  Rng rng(7);
+  RcaResult result = RunRcaCrossValidation(data, embeddings, options, rng);
+  // Random guessing would give MR ~ (n+1)/2 ~ 6 and Hits@1 ~ 9%.
+  EXPECT_LT(result.mean_rank, 5.0);
+  EXPECT_GT(result.hits1, 20.0);
+  EXPECT_GE(result.hits3, result.hits1);
+  EXPECT_GE(result.hits5, result.hits3);
+}
+
+// --- EAP -------------------------------------------------------------------------
+
+synth::EapDataset SmallEapData() {
+  synth::EapDataGen gen(TestWorld(), TestLogs());
+  Rng rng(8);
+  return gen.Generate(synth::EapDataConfig{.num_packages = 50}, rng);
+}
+
+TEST(EapModelTest, LogitShapeAndDeterminism) {
+  synth::EapDataset data = SmallEapData();
+  auto embeddings = FakeEmbeddings(data.event_surfaces, 8, 3);
+  Rng rng(9);
+  EapModel model(8, data, EapOptions{}, rng);
+  ASSERT_FALSE(data.pairs.empty());
+  Tensor l1 = model.PairLogits(data.pairs[0], embeddings);
+  Tensor l2 = model.PairLogits(data.pairs[0], embeddings);
+  EXPECT_EQ(l1.shape(), (tensor::Shape{1, 2}));
+  EXPECT_EQ(l1.data(), l2.data());
+}
+
+TEST(EapModelTest, TimeDeltaInfluencesLogits) {
+  synth::EapDataset data = SmallEapData();
+  auto embeddings = FakeEmbeddings(data.event_surfaces, 8, 4);
+  Rng rng(10);
+  EapModel model(8, data, EapOptions{}, rng);
+  EapPairInput a{.event_a = 0, .event_b = 1, .element_a = 0, .element_b = 1,
+                 .time_delta = -1.0f};
+  EapPairInput b = a;
+  b.time_delta = 1.0f;
+  Tensor la = model.PairLogits(a, embeddings);
+  Tensor lb = model.PairLogits(b, embeddings);
+  EXPECT_NE(la.data(), lb.data());
+}
+
+TEST(EapCrossValidationTest, LearnsAboveChance) {
+  synth::EapDataset data = SmallEapData();
+  // Embedding dim must be >= the number of events for a linear pair scorer
+  // to represent event identity (as in the real 64-dim service vectors).
+  auto embeddings = FakeEmbeddings(data.event_surfaces, 64, 5);
+  EapOptions options;
+  options.epochs = 30;
+  Rng rng(11);
+  EapResult result = RunEapCrossValidation(data, embeddings, options, rng);
+  EXPECT_GT(result.accuracy, 55.0);  // chance = 50 on balanced pairs
+  EXPECT_GT(result.f1, 55.0);
+  EXPECT_LE(result.accuracy, 100.0);
+}
+
+// --- FCT -------------------------------------------------------------------------
+
+synth::FctDataset SmallFctData() {
+  synth::FctDataGen gen(TestWorld(), TestLogs());
+  Rng rng(12);
+  return gen.Generate(synth::FctDataConfig{.num_chains = 50}, rng);
+}
+
+TEST(FctTest, FilterCandidatesCoverSplits) {
+  synth::FctDataset data = SmallFctData();
+  auto candidates = FilterCandidates(data);
+  EXPECT_FALSE(candidates.empty());
+  EXPECT_LE(static_cast<int>(candidates.size()),
+            data.store.num_entities());
+  // Every test head/tail must be a candidate.
+  std::set<kg::EntityId> set(candidates.begin(), candidates.end());
+  for (const kg::Quadruple& q : data.test) {
+    EXPECT_TRUE(set.count(q.head));
+    EXPECT_TRUE(set.count(q.tail));
+  }
+}
+
+TEST(FctTest, TrainingBeatsUntrained) {
+  synth::FctDataset data = SmallFctData();
+  FctOptions trained_options;
+  trained_options.kge.epochs = 120;
+  FctOptions untrained_options;
+  untrained_options.kge.epochs = 0;
+  Rng rng1(13), rng2(13);
+  FctResult trained = RunFct(data, nullptr, trained_options, rng1);
+  FctResult untrained = RunFct(data, nullptr, untrained_options, rng2);
+  EXPECT_GT(trained.mrr, untrained.mrr);
+  EXPECT_GE(trained.hits10, trained.hits1);
+}
+
+TEST(FctTest, EmbeddingInitChangesResult) {
+  synth::FctDataset data = SmallFctData();
+  auto embeddings = FakeEmbeddings(data.node_surfaces, 64, 6);
+  FctOptions options;
+  options.kge.epochs = 30;
+  Rng rng1(14), rng2(14);
+  FctResult with_init = RunFct(data, &embeddings, options, rng1);
+  FctResult without = RunFct(data, nullptr, options, rng2);
+  // Not asserting which is better with fake embeddings — only that the
+  // initialization path is exercised and produces valid metrics.
+  EXPECT_GE(with_init.mrr, 0.0);
+  EXPECT_LE(with_init.mrr, 100.0);
+  EXPECT_GE(without.mrr, 0.0);
+}
+
+TEST(FctTest, MetricsMonotone) {
+  synth::FctDataset data = SmallFctData();
+  FctOptions options;
+  options.kge.epochs = 60;
+  Rng rng(15);
+  FctResult result = RunFct(data, nullptr, options, rng);
+  EXPECT_LE(result.hits1, result.hits3);
+  EXPECT_LE(result.hits3, result.hits10);
+  EXPECT_GE(result.mrr, result.hits1);  // 1/r >= 1[r<=1] pointwise
+}
+
+}  // namespace
+}  // namespace tasks
+}  // namespace telekit

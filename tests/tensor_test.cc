@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace tensor {
+namespace {
+
+// --- Construction --------------------------------------------------------------
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  EXPECT_EQ(Tensor::Ones({4}).at(3), 1.0f);
+  EXPECT_EQ(Tensor::Full({2, 2}, -2.5f).at(1, 1), -2.5f);
+}
+
+TEST(TensorTest, FromDataRowMajor) {
+  Tensor t = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::Scalar(3.25f).item(), 3.25f);
+}
+
+TEST(TensorTest, NegativeDimIndexing) {
+  Tensor t = Tensor::Zeros({5, 7});
+  EXPECT_EQ(t.dim(-1), 7);
+  EXPECT_EQ(t.dim(-2), 5);
+}
+
+TEST(TensorTest, RandnStats) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn({100, 100}, rng, 2.0f);
+  double sum = 0, sq = 0;
+  for (float v : t.data()) {
+    sum += v;
+    sq += v * v;
+  }
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n), 2.0, 0.05);
+}
+
+TEST(TensorTest, EyeIsIdentity) {
+  Tensor eye = Tensor::Eye(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye.at(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(TensorTest, GlorotWithinLimit) {
+  Rng rng(2);
+  Tensor w = Tensor::GlorotUniform(30, 40, rng);
+  const float limit = std::sqrt(6.0f / 70.0f);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LT(v, limit);
+  }
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = a;
+  b.mutable_data()[0] = 9.0f;
+  EXPECT_EQ(a.at(static_cast<int64_t>(0)), 9.0f);
+}
+
+TEST(TensorTest, DetachCopies) {
+  Tensor a = Tensor::Ones({2}, /*requires_grad=*/true);
+  Tensor d = a.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  d.mutable_data()[0] = 5.0f;
+  EXPECT_EQ(a.at(static_cast<int64_t>(0)), 1.0f);
+}
+
+// --- Forward ops -----------------------------------------------------------------
+
+TEST(OpsTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 4}, rng);
+  Tensor c = MatMul(a, Tensor::Eye(4));
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(c.at(i), a.at(i));
+}
+
+TEST(OpsTest, TransposeValues) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(t.at(2, 0), 3.0f);
+}
+
+TEST(OpsTest, ReshapePreservesData) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {6});
+  EXPECT_EQ(r.rank(), 1);
+  EXPECT_FLOAT_EQ(r.at(static_cast<int64_t>(5)), 6.0f);
+}
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromData({2}, {1, 2});
+  Tensor b = Tensor::FromData({2}, {10, 20});
+  Tensor c = Add(a, b);
+  EXPECT_FLOAT_EQ(c.at(static_cast<int64_t>(0)), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(static_cast<int64_t>(1)), 22.0f);
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromData({2}, {10, 100});
+  Tensor c = Add(a, bias);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 102.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 13.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 104.0f);
+}
+
+TEST(OpsTest, AddScalarBroadcast) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::Scalar(5.0f);
+  Tensor c = Add(a, s);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 9.0f);
+}
+
+TEST(OpsTest, SubMulDiv) {
+  Tensor a = Tensor::FromData({3}, {6, 8, 10});
+  Tensor b = Tensor::FromData({3}, {2, 4, 5});
+  EXPECT_FLOAT_EQ(Sub(a, b).at(static_cast<int64_t>(0)), 4.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(static_cast<int64_t>(1)), 32.0f);
+  EXPECT_FLOAT_EQ(Div(a, b).at(static_cast<int64_t>(2)), 2.0f);
+}
+
+TEST(OpsTest, ScalarArithmetic) {
+  Tensor a = Tensor::FromData({2}, {1, -2});
+  EXPECT_FLOAT_EQ(AddScalar(a, 3.0f).at(static_cast<int64_t>(1)), 1.0f);
+  EXPECT_FLOAT_EQ(MulScalar(a, -2.0f).at(static_cast<int64_t>(0)), -2.0f);
+  EXPECT_FLOAT_EQ(Neg(a).at(static_cast<int64_t>(1)), 2.0f);
+}
+
+TEST(OpsTest, ActivationValues) {
+  Tensor x = Tensor::FromData({3}, {-1.0f, 0.0f, 2.0f});
+  Tensor r = Relu(x);
+  EXPECT_FLOAT_EQ(r.at(static_cast<int64_t>(0)), 0.0f);
+  EXPECT_FLOAT_EQ(r.at(static_cast<int64_t>(2)), 2.0f);
+  Tensor s = Sigmoid(Tensor::Scalar(0.0f));
+  EXPECT_FLOAT_EQ(s.item(), 0.5f);
+  Tensor t = Tanh(Tensor::Scalar(100.0f));
+  EXPECT_NEAR(t.item(), 1.0f, 1e-6f);
+  // GELU(0)=0, GELU(large) ~ identity.
+  EXPECT_NEAR(Gelu(Tensor::Scalar(0.0f)).item(), 0.0f, 1e-6f);
+  EXPECT_NEAR(Gelu(Tensor::Scalar(10.0f)).item(), 10.0f, 1e-3f);
+}
+
+TEST(OpsTest, LogSigmoidStable) {
+  EXPECT_NEAR(LogSigmoid(Tensor::Scalar(0.0f)).item(), std::log(0.5f), 1e-6f);
+  // Very negative input must not overflow to -inf incorrectly.
+  const float v = LogSigmoid(Tensor::Scalar(-50.0f)).item();
+  EXPECT_NEAR(v, -50.0f, 1e-3f);
+  EXPECT_NEAR(LogSigmoid(Tensor::Scalar(50.0f)).item(), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, ExpLogSqrtSquare) {
+  EXPECT_NEAR(Exp(Tensor::Scalar(1.0f)).item(), std::exp(1.0f), 1e-5f);
+  EXPECT_NEAR(Log(Tensor::Scalar(std::exp(2.0f))).item(), 2.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(Sqrt(Tensor::Scalar(9.0f)).item(), 3.0f);
+  EXPECT_FLOAT_EQ(Square(Tensor::Scalar(-3.0f)).item(), 9.0f);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 21.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 3.5f);
+  Tensor mr = MeanRows(a);
+  EXPECT_EQ(mr.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(mr.at(static_cast<int64_t>(0)), 2.5f);
+  EXPECT_FLOAT_EQ(mr.at(static_cast<int64_t>(2)), 4.5f);
+  Tensor sc = SumCols(a);
+  EXPECT_EQ(sc.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(sc.at(static_cast<int64_t>(0)), 6.0f);
+  EXPECT_FLOAT_EQ(sc.at(static_cast<int64_t>(1)), 15.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor s = Softmax(a);
+  for (int i = 0; i < 2; ++i) {
+    float total = 0;
+    for (int j = 0; j < 3; ++j) total += s.at(i, j);
+    EXPECT_NEAR(total, 1.0f, 1e-6f);
+  }
+  // Monotone in logits.
+  EXPECT_GT(s.at(0, 2), s.at(0, 0));
+}
+
+TEST(OpsTest, SoftmaxShiftInvariant) {
+  Tensor a = Tensor::FromData({1, 3}, {1, 2, 3});
+  Tensor b = Tensor::FromData({1, 3}, {1001, 1002, 1003});
+  Tensor sa = Softmax(a), sb = Softmax(b);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(sa.at(0, j), sb.at(0, j), 1e-6f);
+}
+
+TEST(OpsTest, LayerNormNormalizes) {
+  Rng rng(5);
+  Tensor x = Tensor::Randn({4, 16}, rng, 3.0f);
+  Tensor g = Tensor::Ones({16});
+  Tensor b = Tensor::Zeros({16});
+  Tensor y = LayerNorm(x, g, b);
+  for (int i = 0; i < 4; ++i) {
+    float mean = 0, var = 0;
+    for (int j = 0; j < 16; ++j) mean += y.at(i, j);
+    mean /= 16;
+    for (int j = 0; j < 16; ++j) {
+      var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(OpsTest, LayerNormGainBiasApplied) {
+  Tensor x = Tensor::FromData({1, 2}, {-1, 1});
+  Tensor g = Tensor::FromData({2}, {2, 2});
+  Tensor b = Tensor::FromData({2}, {10, 10});
+  Tensor y = LayerNorm(x, g, b);
+  EXPECT_NEAR(y.at(0, 0), 10.0f - 2.0f, 1e-3f);
+  EXPECT_NEAR(y.at(0, 1), 10.0f + 2.0f, 1e-3f);
+}
+
+TEST(OpsTest, DropoutEvalIsIdentity) {
+  Rng rng(6);
+  Tensor x = Tensor::Ones({10});
+  Tensor y = Dropout(x, 0.5f, rng, /*training=*/false);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(y.at(i), 1.0f);
+}
+
+TEST(OpsTest, DropoutTrainZerosAndRescales) {
+  Rng rng(7);
+  Tensor x = Tensor::Ones({2000});
+  Tensor y = Dropout(x, 0.25f, rng, /*training=*/true);
+  int zeros = 0;
+  double total = 0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    const float v = y.at(i);
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 1.0f / 0.75f) < 1e-6f);
+    zeros += (v == 0.0f);
+    total += v;
+  }
+  EXPECT_NEAR(zeros / 2000.0, 0.25, 0.05);
+  EXPECT_NEAR(total / 2000.0, 1.0, 0.05);  // expectation preserved
+}
+
+TEST(OpsTest, ConcatRows) {
+  Tensor a = Tensor::FromData({1, 2}, {1, 2});
+  Tensor b = Tensor::FromData({2, 2}, {3, 4, 5, 6});
+  Tensor c = ConcatRows({a, b});
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(c.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, ConcatRowsRank1AsRow) {
+  Tensor a = Tensor::FromData({3}, {1, 2, 3});
+  Tensor b = Tensor::FromData({3}, {4, 5, 6});
+  Tensor c = ConcatRows({a, b});
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(c.at(1, 0), 4.0f);
+}
+
+TEST(OpsTest, ConcatCols) {
+  Tensor a = Tensor::FromData({2, 1}, {1, 2});
+  Tensor b = Tensor::FromData({2, 2}, {3, 4, 5, 6});
+  Tensor c = ConcatCols({a, b});
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 5.0f);
+}
+
+TEST(OpsTest, ConcatVec) {
+  Tensor c = ConcatVec({Tensor::FromData({2}, {1, 2}),
+                        Tensor::FromData({1}, {3})});
+  EXPECT_EQ(c.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(c.at(static_cast<int64_t>(2)), 3.0f);
+}
+
+TEST(OpsTest, SliceRowsAndCols) {
+  Tensor a = Tensor::FromData({3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor r = SliceRows(a, 1, 2);
+  EXPECT_EQ(r.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(r.at(0, 0), 4.0f);
+  Tensor c = SliceCols(a, 1, 1);
+  EXPECT_EQ(c.shape(), (Shape{3, 1}));
+  EXPECT_FLOAT_EQ(c.at(2, 0), 8.0f);
+}
+
+TEST(OpsTest, GatherRowsWithDuplicates) {
+  Tensor a = Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, RowExtracts) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Row(a, 1);
+  EXPECT_EQ(r.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(r.at(static_cast<int64_t>(2)), 6.0f);
+}
+
+TEST(OpsTest, L2NormalizeRowsUnitNorm) {
+  Tensor a = Tensor::FromData({2, 2}, {3, 4, 0, 5});
+  Tensor n = L2NormalizeRows(a);
+  EXPECT_NEAR(n.at(0, 0), 0.6f, 1e-5f);
+  EXPECT_NEAR(n.at(0, 1), 0.8f, 1e-5f);
+  EXPECT_NEAR(n.at(1, 1), 1.0f, 1e-5f);
+}
+
+TEST(OpsTest, EmbeddingLookup) {
+  Tensor table = Tensor::FromData({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor e = EmbeddingLookup(table, {1, 1, 2});
+  EXPECT_EQ(e.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(e.at(0, 1), 11.0f);
+  EXPECT_FLOAT_EQ(e.at(2, 0), 20.0f);
+}
+
+// --- Losses ---------------------------------------------------------------------
+
+TEST(LossTest, CrossEntropyUniformLogits) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  Tensor loss = CrossEntropyWithLogits(logits, {0, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyIgnoresMinusOne) {
+  Tensor logits = Tensor::FromData({2, 2}, {100, 0, 0, 100});
+  // Second row ignored; first row is (almost) perfectly correct.
+  Tensor loss = CrossEntropyWithLogits(logits, {0, -1});
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyPenalizesWrongLabel) {
+  Tensor logits = Tensor::FromData({1, 2}, {10, -10});
+  const float good = CrossEntropyWithLogits(logits, {0}).item();
+  const float bad = CrossEntropyWithLogits(logits, {1}).item();
+  EXPECT_LT(good, 1e-4f);
+  EXPECT_GT(bad, 10.0f);
+}
+
+TEST(LossTest, BceWithLogitsSymmetry) {
+  Tensor z = Tensor::FromData({1}, {0.0f});
+  EXPECT_NEAR(BceWithLogits(z, {1.0f}).item(), std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(BceWithLogits(z, {0.0f}).item(), std::log(2.0f), 1e-5f);
+}
+
+TEST(LossTest, LogisticLossCorrectSide) {
+  Tensor s = Tensor::FromData({2}, {5.0f, -5.0f});
+  // Correctly classified pairs have tiny loss.
+  EXPECT_LT(LogisticLoss(s, {1.0f, -1.0f}).item(), 0.01f);
+  // Misclassified pairs have large loss.
+  EXPECT_GT(LogisticLoss(s, {-1.0f, 1.0f}).item(), 4.0f);
+}
+
+TEST(LossTest, MseZeroForEqual) {
+  Tensor a = Tensor::FromData({3}, {1, 2, 3});
+  EXPECT_FLOAT_EQ(MseLoss(a, a.Detach()).item(), 0.0f);
+  Tensor b = Tensor::FromData({3}, {2, 3, 4});
+  EXPECT_FLOAT_EQ(MseLoss(a, b).item(), 1.0f);
+}
+
+// --- Serialization -----------------------------------------------------------------
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tensors.bin";
+  TensorMap tensors;
+  tensors["w"] = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  tensors["b"] = Tensor::FromData({3}, {-1, 0, 1});
+  ASSERT_TRUE(SaveTensorMap(tensors, path).ok());
+  auto loaded = LoadTensorMap(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->at("w").shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(loaded->at("w").at(1, 2), 6.0f);
+  EXPECT_FLOAT_EQ(loaded->at("b").at(static_cast<int64_t>(0)), -1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  auto loaded = LoadTensorMap("/nonexistent/path/x.bin");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, RestoreIntoMatchingModel) {
+  const std::string path = ::testing::TempDir() + "/restore.bin";
+  TensorMap saved;
+  saved["w"] = Tensor::FromData({2}, {7, 8});
+  ASSERT_TRUE(SaveTensorMap(saved, path).ok());
+  auto loaded = LoadTensorMap(path);
+  ASSERT_TRUE(loaded.ok());
+  TensorMap target;
+  target["w"] = Tensor::Zeros({2}, /*requires_grad=*/true);
+  ASSERT_TRUE(RestoreInto(*loaded, target).ok());
+  EXPECT_FLOAT_EQ(target["w"].at(static_cast<int64_t>(1)), 8.0f);
+  EXPECT_TRUE(target["w"].requires_grad());  // grad flag survives restore
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RestoreShapeMismatchFails) {
+  TensorMap source;
+  source["w"] = Tensor::Zeros({2});
+  TensorMap target;
+  target["w"] = Tensor::Zeros({3});
+  EXPECT_FALSE(RestoreInto(source, target).ok());
+}
+
+TEST(SerializeTest, RestoreMissingNameFails) {
+  TensorMap source;
+  TensorMap target;
+  target["w"] = Tensor::Zeros({1});
+  EXPECT_EQ(RestoreInto(source, target).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace telekit
