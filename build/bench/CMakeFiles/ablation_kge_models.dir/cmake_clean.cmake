@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kge_models.dir/ablation_kge_models.cc.o"
+  "CMakeFiles/ablation_kge_models.dir/ablation_kge_models.cc.o.d"
+  "ablation_kge_models"
+  "ablation_kge_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kge_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

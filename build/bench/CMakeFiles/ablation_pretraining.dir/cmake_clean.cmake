@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pretraining.dir/ablation_pretraining.cc.o"
+  "CMakeFiles/ablation_pretraining.dir/ablation_pretraining.cc.o.d"
+  "ablation_pretraining"
+  "ablation_pretraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retraining.dir/ablation_retraining.cc.o"
+  "CMakeFiles/ablation_retraining.dir/ablation_retraining.cc.o.d"
+  "ablation_retraining"
+  "ablation_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

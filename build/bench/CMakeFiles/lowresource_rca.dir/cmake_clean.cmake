@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowresource_rca.dir/lowresource_rca.cc.o"
+  "CMakeFiles/lowresource_rca.dir/lowresource_rca.cc.o.d"
+  "lowresource_rca"
+  "lowresource_rca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowresource_rca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lowresource_rca.
+# This may be replaced when dependencies are built.

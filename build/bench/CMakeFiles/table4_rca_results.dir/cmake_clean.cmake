@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_rca_results.dir/table4_rca_results.cc.o"
+  "CMakeFiles/table4_rca_results.dir/table4_rca_results.cc.o.d"
+  "table4_rca_results"
+  "table4_rca_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_rca_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

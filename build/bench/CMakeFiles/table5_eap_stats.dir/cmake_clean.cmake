@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_eap_stats.dir/table5_eap_stats.cc.o"
+  "CMakeFiles/table5_eap_stats.dir/table5_eap_stats.cc.o.d"
+  "table5_eap_stats"
+  "table5_eap_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_eap_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table6_eap_results.cc" "bench/CMakeFiles/table6_eap_results.dir/table6_eap_results.cc.o" "gcc" "bench/CMakeFiles/table6_eap_results.dir/table6_eap_results.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasks/CMakeFiles/telekit_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/telekit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/telekit_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/telekit_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/telekit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/telekit_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/telekit_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/telekit_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/telekit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_eap_results.dir/table6_eap_results.cc.o"
+  "CMakeFiles/table6_eap_results.dir/table6_eap_results.cc.o.d"
+  "table6_eap_results"
+  "table6_eap_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_eap_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_fct_stats.dir/table7_fct_stats.cc.o"
+  "CMakeFiles/table7_fct_stats.dir/table7_fct_stats.cc.o.d"
+  "table7_fct_stats"
+  "table7_fct_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_fct_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

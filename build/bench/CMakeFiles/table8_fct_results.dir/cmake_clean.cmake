@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_fct_results.dir/table8_fct_results.cc.o"
+  "CMakeFiles/table8_fct_results.dir/table8_fct_results.cc.o.d"
+  "table8_fct_results"
+  "table8_fct_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_fct_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

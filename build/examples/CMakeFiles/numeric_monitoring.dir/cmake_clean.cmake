@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_monitoring.dir/numeric_monitoring.cpp.o"
+  "CMakeFiles/numeric_monitoring.dir/numeric_monitoring.cpp.o.d"
+  "numeric_monitoring"
+  "numeric_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

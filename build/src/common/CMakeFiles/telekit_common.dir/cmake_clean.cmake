@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telekit_common.dir/rng.cc.o"
+  "CMakeFiles/telekit_common.dir/rng.cc.o.d"
+  "CMakeFiles/telekit_common.dir/status.cc.o"
+  "CMakeFiles/telekit_common.dir/status.cc.o.d"
+  "CMakeFiles/telekit_common.dir/string_util.cc.o"
+  "CMakeFiles/telekit_common.dir/string_util.cc.o.d"
+  "CMakeFiles/telekit_common.dir/table_printer.cc.o"
+  "CMakeFiles/telekit_common.dir/table_printer.cc.o.d"
+  "libtelekit_common.a"
+  "libtelekit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telekit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

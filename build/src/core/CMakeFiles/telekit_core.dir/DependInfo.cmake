@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anenc.cc" "src/core/CMakeFiles/telekit_core.dir/anenc.cc.o" "gcc" "src/core/CMakeFiles/telekit_core.dir/anenc.cc.o.d"
+  "/root/repo/src/core/ktelebert.cc" "src/core/CMakeFiles/telekit_core.dir/ktelebert.cc.o" "gcc" "src/core/CMakeFiles/telekit_core.dir/ktelebert.cc.o.d"
+  "/root/repo/src/core/model_zoo.cc" "src/core/CMakeFiles/telekit_core.dir/model_zoo.cc.o" "gcc" "src/core/CMakeFiles/telekit_core.dir/model_zoo.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/core/CMakeFiles/telekit_core.dir/service.cc.o" "gcc" "src/core/CMakeFiles/telekit_core.dir/service.cc.o.d"
+  "/root/repo/src/core/telebert.cc" "src/core/CMakeFiles/telekit_core.dir/telebert.cc.o" "gcc" "src/core/CMakeFiles/telekit_core.dir/telebert.cc.o.d"
+  "/root/repo/src/core/transformer.cc" "src/core/CMakeFiles/telekit_core.dir/transformer.cc.o" "gcc" "src/core/CMakeFiles/telekit_core.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/telekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/telekit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/telekit_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/telekit_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/telekit_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/telekit_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

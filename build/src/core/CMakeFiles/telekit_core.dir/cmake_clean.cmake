@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telekit_core.dir/anenc.cc.o"
+  "CMakeFiles/telekit_core.dir/anenc.cc.o.d"
+  "CMakeFiles/telekit_core.dir/ktelebert.cc.o"
+  "CMakeFiles/telekit_core.dir/ktelebert.cc.o.d"
+  "CMakeFiles/telekit_core.dir/model_zoo.cc.o"
+  "CMakeFiles/telekit_core.dir/model_zoo.cc.o.d"
+  "CMakeFiles/telekit_core.dir/service.cc.o"
+  "CMakeFiles/telekit_core.dir/service.cc.o.d"
+  "CMakeFiles/telekit_core.dir/telebert.cc.o"
+  "CMakeFiles/telekit_core.dir/telebert.cc.o.d"
+  "CMakeFiles/telekit_core.dir/transformer.cc.o"
+  "CMakeFiles/telekit_core.dir/transformer.cc.o.d"
+  "libtelekit_core.a"
+  "libtelekit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telekit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

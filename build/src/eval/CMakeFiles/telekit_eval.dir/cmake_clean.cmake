@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telekit_eval.dir/metrics.cc.o"
+  "CMakeFiles/telekit_eval.dir/metrics.cc.o.d"
+  "libtelekit_eval.a"
+  "libtelekit_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telekit_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

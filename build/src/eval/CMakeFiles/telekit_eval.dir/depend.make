@@ -1,0 +1,2 @@
+# Empty dependencies file for telekit_eval.
+# This may be replaced when dependencies are built.

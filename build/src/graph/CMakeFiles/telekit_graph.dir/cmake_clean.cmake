@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telekit_graph.dir/gcn.cc.o"
+  "CMakeFiles/telekit_graph.dir/gcn.cc.o.d"
+  "libtelekit_graph.a"
+  "libtelekit_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telekit_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

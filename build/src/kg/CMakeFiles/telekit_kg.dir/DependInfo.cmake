@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/kge.cc" "src/kg/CMakeFiles/telekit_kg.dir/kge.cc.o" "gcc" "src/kg/CMakeFiles/telekit_kg.dir/kge.cc.o.d"
+  "/root/repo/src/kg/kge_zoo.cc" "src/kg/CMakeFiles/telekit_kg.dir/kge_zoo.cc.o" "gcc" "src/kg/CMakeFiles/telekit_kg.dir/kge_zoo.cc.o.d"
+  "/root/repo/src/kg/query.cc" "src/kg/CMakeFiles/telekit_kg.dir/query.cc.o" "gcc" "src/kg/CMakeFiles/telekit_kg.dir/query.cc.o.d"
+  "/root/repo/src/kg/store.cc" "src/kg/CMakeFiles/telekit_kg.dir/store.cc.o" "gcc" "src/kg/CMakeFiles/telekit_kg.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/telekit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telekit_kg.dir/kge.cc.o"
+  "CMakeFiles/telekit_kg.dir/kge.cc.o.d"
+  "CMakeFiles/telekit_kg.dir/kge_zoo.cc.o"
+  "CMakeFiles/telekit_kg.dir/kge_zoo.cc.o.d"
+  "CMakeFiles/telekit_kg.dir/query.cc.o"
+  "CMakeFiles/telekit_kg.dir/query.cc.o.d"
+  "CMakeFiles/telekit_kg.dir/store.cc.o"
+  "CMakeFiles/telekit_kg.dir/store.cc.o.d"
+  "libtelekit_kg.a"
+  "libtelekit_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telekit_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/corpus.cc" "src/synth/CMakeFiles/telekit_synth.dir/corpus.cc.o" "gcc" "src/synth/CMakeFiles/telekit_synth.dir/corpus.cc.o.d"
+  "/root/repo/src/synth/kg_gen.cc" "src/synth/CMakeFiles/telekit_synth.dir/kg_gen.cc.o" "gcc" "src/synth/CMakeFiles/telekit_synth.dir/kg_gen.cc.o.d"
+  "/root/repo/src/synth/log.cc" "src/synth/CMakeFiles/telekit_synth.dir/log.cc.o" "gcc" "src/synth/CMakeFiles/telekit_synth.dir/log.cc.o.d"
+  "/root/repo/src/synth/signaling.cc" "src/synth/CMakeFiles/telekit_synth.dir/signaling.cc.o" "gcc" "src/synth/CMakeFiles/telekit_synth.dir/signaling.cc.o.d"
+  "/root/repo/src/synth/task_data.cc" "src/synth/CMakeFiles/telekit_synth.dir/task_data.cc.o" "gcc" "src/synth/CMakeFiles/telekit_synth.dir/task_data.cc.o.d"
+  "/root/repo/src/synth/world.cc" "src/synth/CMakeFiles/telekit_synth.dir/world.cc.o" "gcc" "src/synth/CMakeFiles/telekit_synth.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/telekit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/telekit_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/telekit_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/telekit_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/telekit_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

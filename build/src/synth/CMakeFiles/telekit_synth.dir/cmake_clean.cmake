@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telekit_synth.dir/corpus.cc.o"
+  "CMakeFiles/telekit_synth.dir/corpus.cc.o.d"
+  "CMakeFiles/telekit_synth.dir/kg_gen.cc.o"
+  "CMakeFiles/telekit_synth.dir/kg_gen.cc.o.d"
+  "CMakeFiles/telekit_synth.dir/log.cc.o"
+  "CMakeFiles/telekit_synth.dir/log.cc.o.d"
+  "CMakeFiles/telekit_synth.dir/signaling.cc.o"
+  "CMakeFiles/telekit_synth.dir/signaling.cc.o.d"
+  "CMakeFiles/telekit_synth.dir/task_data.cc.o"
+  "CMakeFiles/telekit_synth.dir/task_data.cc.o.d"
+  "CMakeFiles/telekit_synth.dir/world.cc.o"
+  "CMakeFiles/telekit_synth.dir/world.cc.o.d"
+  "libtelekit_synth.a"
+  "libtelekit_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telekit_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

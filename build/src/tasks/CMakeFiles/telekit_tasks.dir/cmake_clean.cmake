@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telekit_tasks.dir/eap.cc.o"
+  "CMakeFiles/telekit_tasks.dir/eap.cc.o.d"
+  "CMakeFiles/telekit_tasks.dir/fct.cc.o"
+  "CMakeFiles/telekit_tasks.dir/fct.cc.o.d"
+  "CMakeFiles/telekit_tasks.dir/rca.cc.o"
+  "CMakeFiles/telekit_tasks.dir/rca.cc.o.d"
+  "libtelekit_tasks.a"
+  "libtelekit_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telekit_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

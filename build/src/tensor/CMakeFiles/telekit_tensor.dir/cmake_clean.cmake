@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telekit_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/telekit_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/telekit_tensor.dir/ops.cc.o"
+  "CMakeFiles/telekit_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/telekit_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/telekit_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/telekit_tensor.dir/serialize.cc.o"
+  "CMakeFiles/telekit_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/telekit_tensor.dir/tensor.cc.o"
+  "CMakeFiles/telekit_tensor.dir/tensor.cc.o.d"
+  "libtelekit_tensor.a"
+  "libtelekit_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telekit_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

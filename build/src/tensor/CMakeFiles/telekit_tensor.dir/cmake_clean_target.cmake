@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtelekit_tensor.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telekit_text.dir/bpe.cc.o"
+  "CMakeFiles/telekit_text.dir/bpe.cc.o.d"
+  "CMakeFiles/telekit_text.dir/masking.cc.o"
+  "CMakeFiles/telekit_text.dir/masking.cc.o.d"
+  "CMakeFiles/telekit_text.dir/numeric.cc.o"
+  "CMakeFiles/telekit_text.dir/numeric.cc.o.d"
+  "CMakeFiles/telekit_text.dir/prompt.cc.o"
+  "CMakeFiles/telekit_text.dir/prompt.cc.o.d"
+  "CMakeFiles/telekit_text.dir/tokenizer.cc.o"
+  "CMakeFiles/telekit_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/telekit_text.dir/vocab.cc.o"
+  "CMakeFiles/telekit_text.dir/vocab.cc.o.d"
+  "libtelekit_text.a"
+  "libtelekit_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telekit_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

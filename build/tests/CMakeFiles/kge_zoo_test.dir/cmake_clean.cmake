@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_zoo_test.dir/kge_zoo_test.cc.o"
+  "CMakeFiles/kge_zoo_test.dir/kge_zoo_test.cc.o.d"
+  "kge_zoo_test"
+  "kge_zoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
