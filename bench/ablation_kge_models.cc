@@ -15,7 +15,8 @@
 namespace telekit {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  bench::ObsSession obs_session(argc, argv);
   core::ZooConfig config = bench::BenchZooConfig();
   synth::WorldModel world(config.world);
   synth::LogGenerator logs(world, config.log);
@@ -66,4 +67,4 @@ int Main() {
 }  // namespace
 }  // namespace telekit
 
-int main() { return telekit::Main(); }
+int main(int argc, char** argv) { return telekit::Main(argc, argv); }

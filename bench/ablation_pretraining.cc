@@ -22,7 +22,8 @@ struct Setting {
   float simcse_weight;
 };
 
-int Main() {
+int Main(int argc, char** argv) {
+  bench::ObsSession obs_session(argc, argv);
   core::ZooConfig config = bench::BenchZooConfig();
   config.pretrain.steps = 250;  // dedicated short runs
   synth::WorldModel world(config.world);
@@ -103,4 +104,4 @@ int Main() {
 }  // namespace
 }  // namespace telekit
 
-int main() { return telekit::Main(); }
+int main(int argc, char** argv) { return telekit::Main(argc, argv); }

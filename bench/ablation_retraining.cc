@@ -24,7 +24,8 @@ struct Setting {
   bool use_tgc = true;
 };
 
-int Main() {
+int Main(int argc, char** argv) {
+  bench::ObsSession obs_session(argc, argv);
   core::ZooConfig config = bench::BenchZooConfig();
   // stage-one cache reused; variants are trained fresh below
   config.retrain.total_steps = 150;
@@ -93,4 +94,4 @@ int Main() {
 }  // namespace
 }  // namespace telekit
 
-int main() { return telekit::Main(); }
+int main(int argc, char** argv) { return telekit::Main(argc, argv); }

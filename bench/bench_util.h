@@ -3,15 +3,67 @@
 
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table_printer.h"
 #include "core/model_zoo.h"
+#include "obs/obs.h"
 #include "synth/task_data.h"
 
 namespace telekit {
 namespace bench {
+
+/// Shared observability wiring for every bench binary. Construct first
+/// thing in Main():
+///
+///   int Main(int argc, char** argv) {
+///     bench::ObsSession obs(argc, argv);
+///     ...
+///   }
+///
+/// Flags (unknown flags are left alone for the binary to handle):
+///   --obs-json=<path>   write a metrics + span + Chrome-trace artifact on
+///                       exit, and enable full trace-event recording
+///   --log-level=<level> debug|info|warn|error|off (overrides
+///                       TELEKIT_LOG_LEVEL)
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      constexpr const char kObsJson[] = "--obs-json=";
+      constexpr const char kLogLevel[] = "--log-level=";
+      if (arg.rfind(kObsJson, 0) == 0) {
+        obs_json_path_ = arg.substr(sizeof(kObsJson) - 1);
+      } else if (arg.rfind(kLogLevel, 0) == 0) {
+        obs::Logger::Global().set_level(
+            obs::ParseLogLevel(arg.substr(sizeof(kLogLevel) - 1)));
+      }
+    }
+    if (!obs_json_path_.empty()) {
+      obs::TraceCollector::Global().set_recording(true);
+    }
+    // Root span: everything the binary does nests under it in the trace.
+    root_ = std::make_unique<obs::Span>("bench/main");
+  }
+
+  ~ObsSession() {
+    root_.reset();  // close the root span before snapshotting
+    if (!obs_json_path_.empty()) {
+      obs::WriteReport(obs_json_path_);
+      std::cerr << "[obs] wrote " << obs_json_path_ << "\n";
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string obs_json_path_;
+  std::unique_ptr<obs::Span> root_;
+};
 
 /// Paper-reported reference rows (ICDE 2023, Tables IV / VI / VIII),
 /// used to print measured-vs-paper comparisons. Indexed by ModelKind.

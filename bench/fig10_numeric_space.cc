@@ -64,7 +64,8 @@ SpaceDiagnostics Diagnose(const core::KTeleBert& model,
   return out;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  bench::ObsSession obs_session(argc, argv);
   core::ZooConfig config = bench::BenchZooConfig();
   // Stage-one models come from the shared cache; re-training is fresh.
   config.retrain.total_steps = 200;
@@ -113,4 +114,4 @@ int Main() {
 }  // namespace
 }  // namespace telekit
 
-int main() { return telekit::Main(); }
+int main(int argc, char** argv) { return telekit::Main(argc, argv); }

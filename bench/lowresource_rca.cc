@@ -15,7 +15,8 @@
 namespace telekit {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  bench::ObsSession obs_session(argc, argv);
   core::ModelZoo zoo(bench::BenchZooConfig());
   std::cerr << "[lowresource] building model zoo (cached)...\n";
   zoo.Build();
@@ -54,4 +55,4 @@ int Main() {
 }  // namespace
 }  // namespace telekit
 
-int main() { return telekit::Main(); }
+int main(int argc, char** argv) { return telekit::Main(argc, argv); }

@@ -15,7 +15,8 @@ struct StrategyRow {
   const char* objective;
 };
 
-int Main() {
+int Main(int argc, char** argv) {
+  bench::ObsSession obs_session(argc, argv);
   core::ZooConfig config = bench::BenchZooConfig();
   config.retrain.total_steps = 150;
   core::ModelZoo zoo(config);
@@ -97,4 +98,4 @@ int Main() {
 }  // namespace
 }  // namespace telekit
 
-int main() { return telekit::Main(); }
+int main(int argc, char** argv) { return telekit::Main(argc, argv); }

@@ -11,7 +11,8 @@
 namespace telekit {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  bench::ObsSession obs_session(argc, argv);
   core::ModelZoo zoo(bench::BenchZooConfig());
   std::cerr << "[table6] building model zoo (cached after first run)...\n";
   zoo.Build();
@@ -62,4 +63,4 @@ int Main() {
 }  // namespace
 }  // namespace telekit
 
-int main() { return telekit::Main(); }
+int main(int argc, char** argv) { return telekit::Main(argc, argv); }

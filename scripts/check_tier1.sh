@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 regression check, one command (see ROADMAP.md):
+#   1. configure + build everything
+#   2. run the full ctest suite
+#   3. rebuild the obs layer (library + its test) under
+#      -Wall -Wextra -Werror in a separate tree, so new warnings in the
+#      observability code fail loudly instead of scrolling by.
+#
+# Usage: scripts/check_tier1.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/3] configure + build =="
+cmake -B build -S .
+cmake --build build -j
+
+echo "== [2/3] ctest =="
+ctest --test-dir build --output-on-failure -j
+
+echo "== [3/3] -Werror build of the obs layer =="
+cmake -B build_strict -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
+cmake --build build_strict -j --target telekit_obs obs_test
+./build_strict/tests/obs_test --gtest_brief=1
+
+echo "check_tier1: OK"

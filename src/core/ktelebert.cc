@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 
@@ -322,13 +325,26 @@ void ReTrainer::TasksForStep(int step, bool* run_mask, bool* run_ke) const {
 
 std::vector<ReTrainStats> ReTrainer::Train(const ReTrainData& data,
                                            Rng& rng) {
+  obs::Span retrain_span("train/retrain");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram& step_ms = registry.GetHistogram("retrain/step_ms");
+  obs::Counter& mask_steps = registry.GetCounter("retrain/mask_steps");
+  obs::Counter& ke_steps = registry.GetCounter("retrain/ke_steps");
+  TELEKIT_LOG(INFO) << "retrain start"
+                    << obs::F("steps", options_.total_steps)
+                    << obs::F("strategy", static_cast<int>(options_.strategy))
+                    << obs::F("machine_logs", data.machine_logs.size())
+                    << obs::F("ke_triples", data.ke_triples.size());
   tensor::Adam optimizer(options_.learning_rate);
   optimizer.AddParameters(TensorsOf(model_.Parameters()));
   std::vector<ReTrainStats> history;
   history.reserve(static_cast<size_t>(options_.total_steps));
   for (int step = 0; step < options_.total_steps; ++step) {
+    obs::ScopedTimer step_timer(step_ms);
     bool run_mask = false, run_ke = false;
     TasksForStep(step, &run_mask, &run_ke);
+    if (run_mask) mask_steps.Increment();
+    if (run_ke) ke_steps.Increment();
     ReTrainStats stats;
     stats.ran_mask_task = run_mask;
     stats.ran_ke_task = run_ke;
@@ -352,7 +368,21 @@ std::vector<ReTrainStats> ReTrainer::Train(const ReTrainData& data,
       optimizer.Step();
     }
     history.push_back(stats);
+    if ((step + 1) % 100 == 0 || step + 1 == options_.total_steps) {
+      TELEKIT_LOG(INFO) << "retrain step" << obs::F("step", step + 1)
+                        << obs::F("total_loss", stats.total_loss)
+                        << obs::F("mask_loss", stats.mask_loss)
+                        << obs::F("ke_loss", stats.ke_loss)
+                        << obs::F("ran_mask", stats.ran_mask_task)
+                        << obs::F("ran_ke", stats.ran_ke_task);
+    }
   }
+  registry.GetGauge("retrain/final_loss")
+      .Set(history.empty() ? 0.0
+                           : static_cast<double>(history.back().total_loss));
+  TELEKIT_LOG(INFO) << "retrain done" << obs::F("steps", options_.total_steps)
+                    << obs::F("mask_steps", mask_steps.value())
+                    << obs::F("ke_steps", ke_steps.value());
   return history;
 }
 

@@ -4,6 +4,9 @@
 #include <filesystem>
 
 #include "common/check.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/signaling.h"
 #include "synth/task_data.h"
 #include "tensor/serialize.h"
@@ -86,6 +89,7 @@ void ModelZoo::Build() {
 }
 
 void ModelZoo::BuildDataStack() {
+  TELEKIT_SPAN("zoo/build_data");
   world_ = std::make_unique<synth::WorldModel>(config_.world);
   logs_ = std::make_unique<synth::LogGenerator>(*world_, config_.log);
 
@@ -96,22 +100,28 @@ void ModelZoo::BuildDataStack() {
 
   // One shared tokenizer so every model speaks the same vocabulary: built
   // over both corpora plus every surface the tasks will ever encode.
-  tokenizer_ = std::make_unique<text::Tokenizer>(config_.tokenizer);
-  std::vector<std::string> vocab_corpus = tele_corpus_;
-  vocab_corpus.insert(vocab_corpus.end(), general_corpus_.begin(),
-                      general_corpus_.end());
-  for (const synth::AlarmType& alarm : world_->alarms()) {
-    vocab_corpus.push_back(alarm.name);
+  {
+    TELEKIT_SPAN("tokenize/build_vocab");
+    tokenizer_ = std::make_unique<text::Tokenizer>(config_.tokenizer);
+    std::vector<std::string> vocab_corpus = tele_corpus_;
+    vocab_corpus.insert(vocab_corpus.end(), general_corpus_.begin(),
+                        general_corpus_.end());
+    for (const synth::AlarmType& alarm : world_->alarms()) {
+      vocab_corpus.push_back(alarm.name);
+    }
+    for (const synth::KpiType& kpi : world_->kpis()) {
+      vocab_corpus.push_back(kpi.name);
+    }
+    for (const synth::NetworkElement& element : world_->elements()) {
+      vocab_corpus.push_back(element.name);
+    }
+    tokenizer_->BuildVocab(vocab_corpus);
+    tokenizer_->AddDomainPhrases(world_->DomainPhrases());
+    tokenizer_->AddSpecialTeleTokens(config_.num_tele_tokens);
+    TELEKIT_LOG(INFO) << "tokenizer ready"
+                      << obs::F("vocab", tokenizer_->vocab().size())
+                      << obs::F("sentences", vocab_corpus.size());
   }
-  for (const synth::KpiType& kpi : world_->kpis()) {
-    vocab_corpus.push_back(kpi.name);
-  }
-  for (const synth::NetworkElement& element : world_->elements()) {
-    vocab_corpus.push_back(element.name);
-  }
-  tokenizer_->BuildVocab(vocab_corpus);
-  tokenizer_->AddDomainPhrases(world_->DomainPhrases());
-  tokenizer_->AddSpecialTeleTokens(config_.num_tele_tokens);
 
   // Episodes drive the KG's observed attributes and the machine-log corpus.
   Rng episode_rng(config_.seed ^ 0x5EED5ULL);
@@ -145,6 +155,7 @@ void ModelZoo::BuildDataStack() {
 
 void ModelZoo::BuildPretrainedModels() {
   auto encode_corpus = [&](const std::vector<std::string>& corpus) {
+    TELEKIT_SPAN("tokenize/corpus");
     std::vector<text::EncodedInput> encoded;
     encoded.reserve(corpus.size());
     for (const std::string& sentence : corpus) {
@@ -158,15 +169,36 @@ void ModelZoo::BuildPretrainedModels() {
     std::filesystem::create_directories(config_.cache_dir, ec);
   }
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter& cache_hits = registry.GetCounter("zoo/cache_hits");
+  obs::Counter& cache_misses = registry.GetCounter("zoo/cache_misses");
+  obs::Histogram& restore_ms = registry.GetHistogram("zoo/restore_ms");
+  obs::Histogram& train_ms = registry.GetHistogram("zoo/train_ms");
+
+  // The "train/<model>" span covers acquiring the model — restore on a
+  // cache hit, full pre-training on a miss — so traces always show the
+  // stage even when checkpoints short-circuit the work.
   auto build = [&](const std::string& cache_name,
                    const std::vector<std::string>& corpus, uint64_t seed) {
+    obs::Span span("train/" + cache_name);
     Rng rng(seed);
     auto model = std::make_unique<TeleBert>(config_.encoder, rng);
     const std::string path = CachePath(cache_name);
     if (!path.empty()) {
+      obs::ScopedTimer timer(restore_ms);
       auto loaded = tensor::LoadTensorMap(path);
-      if (loaded.ok() && model->Restore(*loaded).ok()) return model;
+      if (loaded.ok() && model->Restore(*loaded).ok()) {
+        cache_hits.Increment();
+        TELEKIT_LOG(INFO) << "restored from cache"
+                          << obs::F("model", cache_name)
+                          << obs::F("path", path);
+        return model;
+      }
     }
+    cache_misses.Increment();
+    TELEKIT_LOG(INFO) << "cache miss, pre-training"
+                      << obs::F("model", cache_name);
+    obs::ScopedTimer timer(train_ms);
     Rng train_rng(seed ^ 0x7A17ULL);
     model->Pretrain(encode_corpus(corpus), tokenizer_->vocab(),
                     config_.pretrain, train_rng);
@@ -180,6 +212,7 @@ void ModelZoo::BuildPretrainedModels() {
 }
 
 void ModelZoo::BuildReTrainData() {
+  TELEKIT_SPAN("zoo/build_retrain_data");
   ReTrainData& data = retrain_data_;
   // Causal sentences (Sec. IV-A1 extraction).
   for (const std::string& sentence :
@@ -344,16 +377,26 @@ void ModelZoo::BuildKTeleBertVariant(ModelKind kind) {
     default:
       TELEKIT_CHECK(false) << "not a KTeleBERT variant";
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Span span("train/" + cache_name);
   Rng rng(config_.seed ^ (0x6000ULL + static_cast<uint64_t>(kind)));
   variant->model = std::make_unique<KTeleBert>(MakeKtbConfig(use_anenc), rng);
   const std::string path = CachePath(cache_name);
   if (!path.empty()) {
+    obs::ScopedTimer timer(registry.GetHistogram("zoo/restore_ms"));
     auto loaded = tensor::LoadTensorMap(path);
     if (loaded.ok() && variant->model->Restore(*loaded).ok()) {
       variant->cached = true;
+      registry.GetCounter("zoo/cache_hits").Increment();
+      TELEKIT_LOG(INFO) << "restored from cache" << obs::F("model", cache_name)
+                        << obs::F("path", path);
       return;
     }
   }
+  registry.GetCounter("zoo/cache_misses").Increment();
+  TELEKIT_LOG(INFO) << "cache miss, re-training"
+                    << obs::F("model", cache_name);
+  obs::ScopedTimer timer(registry.GetHistogram("zoo/train_ms"));
   TELEKIT_CHECK(variant->model->InitializeFromTeleBert(*telebert_).ok());
   ReTrainer trainer(*variant->model, options);
   Rng train_rng(config_.seed ^ (0x7000ULL + static_cast<uint64_t>(kind)));

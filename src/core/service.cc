@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "synth/kg_gen.h"
 #include "text/prompt.h"
 
@@ -94,6 +95,12 @@ text::EncodedInput ServiceEncoder::BuildInput(const std::string& name,
 std::vector<float> ServiceEncoder::Encode(const std::string& name,
                                           ServiceMode mode) const {
   TELEKIT_CHECK(encoder_ != nullptr);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& calls = registry.GetCounter("service/encode_calls");
+  static obs::Histogram& latency =
+      registry.GetHistogram("service/encode_ms");
+  calls.Increment();
+  obs::ScopedTimer timer(latency);
   return encoder_->Encode(BuildInput(name, mode));
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 
@@ -75,12 +78,22 @@ std::vector<PretrainStats> TeleBert::Pretrain(
     const std::vector<text::EncodedInput>& corpus, const text::Vocab& vocab,
     const PretrainOptions& options, Rng& rng) {
   TELEKIT_CHECK(!corpus.empty());
+  obs::Span pretrain_span("train/pretrain");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram& step_ms = registry.GetHistogram("train/step_ms");
+  obs::Counter& steps_total = registry.GetCounter("train/steps");
+  obs::Counter& tokens_total = registry.GetCounter("train/tokens");
+  TELEKIT_LOG(INFO) << "pretrain start" << obs::F("steps", options.steps)
+                    << obs::F("batch_size", options.batch_size)
+                    << obs::F("corpus", corpus.size());
   tensor::Adam optimizer(options.learning_rate);
   optimizer.AddParameters(TensorsOf(Parameters()));
 
   std::vector<PretrainStats> history;
   history.reserve(static_cast<size_t>(options.steps));
+  uint64_t run_tokens = 0;
   for (int step = 0; step < options.steps; ++step) {
+    obs::ScopedTimer step_timer(step_ms);
     optimizer.ZeroGrad();
     std::vector<Tensor> losses;
     std::vector<Tensor> cls_a, cls_b;  // SimCSE views
@@ -90,6 +103,8 @@ std::vector<PretrainStats> TeleBert::Pretrain(
     for (int b = 0; b < options.batch_size; ++b) {
       const text::EncodedInput& example =
           corpus[static_cast<size_t>(rng.UniformInt(corpus.size()))];
+      tokens_total.Increment(static_cast<uint64_t>(example.length));
+      run_tokens += static_cast<uint64_t>(example.length);
       text::MaskedExample masked =
           text::ApplyMasking(example, vocab, options.masking, rng);
       if (options.objective == PretrainObjective::kMlmOnly) {
@@ -182,7 +197,24 @@ std::vector<PretrainStats> TeleBert::Pretrain(
     optimizer.ClipGradNorm(options.clip_norm);
     optimizer.Step();
     history.push_back(stats);
+    steps_total.Increment();
+    if ((step + 1) % 100 == 0 || step + 1 == options.steps) {
+      TELEKIT_LOG(INFO) << "pretrain step" << obs::F("step", step + 1)
+                        << obs::F("total_loss", stats.total_loss)
+                        << obs::F("mlm_loss", stats.mlm_loss)
+                        << obs::F("rtd_loss", stats.rtd_loss)
+                        << obs::F("simcse_loss", stats.simcse_loss);
+    }
   }
+  const double elapsed_s =
+      static_cast<double>(pretrain_span.ElapsedUs()) / 1.0e6;
+  if (elapsed_s > 0.0) {
+    registry.GetGauge("train/tokens_per_sec")
+        .Set(static_cast<double>(run_tokens) / elapsed_s);
+  }
+  TELEKIT_LOG(INFO) << "pretrain done" << obs::F("steps", options.steps)
+                    << obs::F("tokens", run_tokens)
+                    << obs::F("elapsed_s", elapsed_s);
   return history;
 }
 

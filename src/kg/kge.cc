@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace telekit {
 namespace kg {
@@ -140,13 +142,20 @@ float TranslationalKge::TrainEpoch(const std::vector<Quadruple>& facts,
     }
   }
   if (options_.normalize_entities) NormalizeEntityRows();
+  static obs::Counter& triples_scored =
+      obs::MetricsRegistry::Global().GetCounter("kge/triples_scored");
+  triples_scored.Increment(static_cast<uint64_t>(count));
   return static_cast<float>(total / static_cast<double>(count));
 }
 
 float TranslationalKge::Fit(const std::vector<Quadruple>& facts,
                             const NegativeSampler& sampler, Rng& rng) {
+  obs::Span span("train/kge");
+  obs::Histogram& epoch_ms =
+      obs::MetricsRegistry::Global().GetHistogram("kge/epoch_ms");
   float last = 0.0f;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    obs::ScopedTimer timer(epoch_ms);
     last = TrainEpoch(facts, sampler, rng);
   }
   return last;

@@ -1,0 +1,387 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace telekit {
+namespace obs {
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; null is the least-surprising stand-in.
+    *out += "null";
+    return;
+  }
+  if (d == static_cast<double>(static_cast<int64_t>(d)) &&
+      std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(d)));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  *out += buf;
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      return;
+    case Type::kString:
+      out->push_back('"');
+      *out += JsonEscape(string_);
+      out->push_back('"');
+      return;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendIndent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!items_.empty()) AppendIndent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendIndent(out, indent, depth + 1);
+        out->push_back('"');
+        *out += JsonEscape(members_[i].first);
+        *out += "\":";
+        if (indent > 0) out->push_back(' ');
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) AppendIndent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// --- Parser ------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Run(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, JsonValue v, JsonValue* out) {
+    const size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return Fail("invalid literal");
+    pos_ += n;
+    *out = std::move(v);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        return Literal("null", JsonValue(), out);
+      case 't':
+        return Literal("true", JsonValue(true), out);
+      case 'f':
+        return Literal("false", JsonValue(false), out);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = JsonValue(std::move(s));
+        return true;
+      }
+      case '[':
+        return ParseArray(out);
+      case '{':
+        return ParseObject(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char e = text_[pos_];
+        switch (e) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + 1 + static_cast<size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode (BMP only; surrogate pairs are passed through
+            // as two separate code points — fine for our artifacts).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+        ++pos_;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("invalid value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("invalid number");
+    *out = JsonValue(d);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      SkipWhitespace();
+      if (!ParseValue(&item)) return false;
+      out->Append(std::move(item));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::Parse(const std::string& text, JsonValue* out,
+                      std::string* error) {
+  Parser parser(text, error);
+  return parser.Run(out);
+}
+
+}  // namespace obs
+}  // namespace telekit

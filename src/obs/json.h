@@ -1,0 +1,104 @@
+#ifndef TELEKIT_OBS_JSON_H_
+#define TELEKIT_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace telekit {
+namespace obs {
+
+/// A minimal JSON document model used by the observability layer: metric
+/// snapshots, span aggregates, and Chrome trace_event dumps are all built
+/// as JsonValue trees and serialized with Dump(). Parse() exists so tests
+/// (and tools) can round-trip artifacts without an external dependency.
+///
+/// Numbers are stored as double; object keys keep insertion order so the
+/// emitted artifacts diff cleanly between runs.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  explicit JsonValue(int i) : type_(Type::kNumber), number_(i) {}
+  explicit JsonValue(int64_t i)
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  explicit JsonValue(uint64_t i)
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::kString), string_(std::move(s)) {}
+  explicit JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  // --- Array access ---------------------------------------------------------
+  size_t size() const {
+    return type_ == Type::kArray ? items_.size() : members_.size();
+  }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  // --- Object access --------------------------------------------------------
+  /// Sets (or replaces) a member, preserving first-insertion order.
+  void Set(const std::string& key, JsonValue v);
+  /// Member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Compact serialization (no insignificant whitespace except after ':'
+  /// and ','). `indent` > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a JSON document. Returns true and fills `out` on success;
+  /// on failure returns false and, if `error` is non-null, a message with
+  /// the byte offset of the first problem.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;   // kObject
+};
+
+/// Escapes a string for embedding in a JSON document (without quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace telekit
+
+#endif  // TELEKIT_OBS_JSON_H_

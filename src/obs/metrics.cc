@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace telekit {
+namespace obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v < current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, v);
+  AtomicMinDouble(min_, v);
+  AtomicMaxDouble(max_, v);
+}
+
+JsonValue Histogram::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  const uint64_t n = count();
+  out.Set("count", JsonValue(n));
+  out.Set("sum", JsonValue(sum()));
+  out.Set("mean", JsonValue(mean()));
+  out.Set("min", JsonValue(n > 0 ? min() : 0.0));
+  out.Set("max", JsonValue(n > 0 ? max() : 0.0));
+  JsonValue buckets = JsonValue::Array();
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const uint64_t c = bucket_count(i);
+    if (c == 0) continue;  // sparse export keeps artifacts small
+    JsonValue bucket = JsonValue::Object();
+    if (i < bounds_.size()) {
+      bucket.Set("le", JsonValue(bounds_[i]));
+    } else {
+      bucket.Set("le", JsonValue("inf"));
+    }
+    bucket.Set("count", JsonValue(c));
+    buckets.Append(std::move(bucket));
+  }
+  out.Set("buckets", std::move(buckets));
+  return out;
+}
+
+void Histogram::Zero() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  std::vector<double> bounds;
+  for (double decade = 0.01; decade < 6.0e4; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(6.0e4);
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) bounds = Histogram::DefaultLatencyBoundsMs();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+JsonValue MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue out = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, JsonValue(counter->value()));
+  }
+  out.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Set(name, JsonValue(gauge->value()));
+  }
+  out.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms.Set(name, histogram->ToJson());
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.second->Zero();
+  for (auto& entry : gauges_) entry.second->Zero();
+  for (auto& entry : histograms_) entry.second->Zero();
+}
+
+size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+ScopedTimer::ScopedTimer(Histogram& histogram)
+    : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+double ScopedTimer::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+ScopedTimer::~ScopedTimer() { histogram_.Observe(ElapsedMs()); }
+
+}  // namespace obs
+}  // namespace telekit

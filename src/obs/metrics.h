@@ -1,0 +1,156 @@
+#ifndef TELEKIT_OBS_METRICS_H_
+#define TELEKIT_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace telekit {
+namespace obs {
+
+/// Monotonically increasing counter. Lock-free; safe to cache a reference
+/// (the registry never destroys metrics — Reset() only zeroes them).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Zero() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value with an Add() convenience.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Zero() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bounds of each
+/// bucket; one implicit overflow bucket catches everything above the last
+/// bound. Tracks count/sum/min/max alongside the bucket counts.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// {count, sum, mean, min, max, buckets: [{le, count}...]}; the overflow
+  /// bucket is exported with le = "inf".
+  JsonValue ToJson() const;
+  void Zero();
+
+  /// 1-2-5 series from 0.01 ms to 60 s — a sensible default for
+  /// latency-in-milliseconds histograms.
+  static std::vector<double> DefaultLatencyBoundsMs();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Process-wide metric registry. Metric objects are created on first use
+/// and never destroyed, so hot paths can do:
+///
+///   static obs::Counter& calls =
+///       obs::MetricsRegistry::Global().GetCounter("tensor/matmul_calls");
+///   calls.Increment();
+///
+/// Reset() zeroes every metric in place (for tests and per-run baselines)
+/// without invalidating cached references.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` is only consulted on first creation; empty means
+  /// DefaultLatencyBoundsMs().
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Lookup without creation; nullptr when absent.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+  /// sorted (std::map order) for diffable artifacts.
+  JsonValue Snapshot() const;
+
+  /// Zeroes all metrics; registrations (and references) stay valid.
+  void Reset();
+
+  /// Distinct registered metric names across all three kinds.
+  size_t NumMetrics() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Observes the wall-clock lifetime of a scope into a histogram, in
+/// milliseconds. Cheaper than a Span: no trace event, no nesting state.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Milliseconds since construction (for callers that also want the
+  /// value).
+  double ElapsedMs() const;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace telekit
+
+#endif  // TELEKIT_OBS_METRICS_H_

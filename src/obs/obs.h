@@ -1,0 +1,24 @@
+#ifndef TELEKIT_OBS_OBS_H_
+#define TELEKIT_OBS_OBS_H_
+
+/// Umbrella header for the telekit observability layer:
+///   - obs/log.h      TELEKIT_LOG(level) structured logging
+///   - obs/metrics.h  MetricsRegistry: counters / gauges / histograms
+///   - obs/trace.h    RAII Span nesting + Chrome trace_event collection
+///   - obs/report.h   --obs-json artifact (metrics + spans + traceEvents)
+///
+/// Conventions used across the codebase:
+///   - metric names are "<area>/<what>" (e.g. "train/step_ms"); histograms
+///     measuring time end in "_ms"
+///   - span names are "<stage>/<what>" where stage is one of
+///     tokenize / encode / train / eval / zoo / bench
+///   - hot per-op paths (tensor dispatch) use cached Counter references
+///     only; per-step paths may use Span + histogram.
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+#endif  // TELEKIT_OBS_OBS_H_

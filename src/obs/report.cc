@@ -1,0 +1,40 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace telekit {
+namespace obs {
+
+JsonValue BuildReport() {
+  JsonValue out = JsonValue::Object();
+  out.Set("metrics", MetricsRegistry::Global().Snapshot());
+  out.Set("spans", TraceCollector::Global().AggregateJson());
+  out.Set("traceEvents", TraceCollector::Global().TraceEventsJson());
+  return out;
+}
+
+bool WriteReport(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    TELEKIT_LOG(ERROR) << "cannot open obs report for writing"
+                       << F("path", path);
+    return false;
+  }
+  file << BuildReport().Dump(/*indent=*/2) << "\n";
+  file.flush();
+  if (!file) {
+    TELEKIT_LOG(ERROR) << "short write on obs report" << F("path", path);
+    return false;
+  }
+  TELEKIT_LOG(INFO) << "wrote obs report" << F("path", path)
+                    << F("metrics", MetricsRegistry::Global().NumMetrics())
+                    << F("events", TraceCollector::Global().NumEvents());
+  return true;
+}
+
+}  // namespace obs
+}  // namespace telekit

@@ -1,0 +1,29 @@
+#ifndef TELEKIT_OBS_REPORT_H_
+#define TELEKIT_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace telekit {
+namespace obs {
+
+/// The combined observability artifact:
+///   {
+///     "metrics":     MetricsRegistry::Global().Snapshot(),
+///     "spans":       TraceCollector::Global().AggregateJson(),
+///     "traceEvents": TraceCollector::Global().TraceEventsJson()
+///   }
+/// "traceEvents" is the standard Chrome trace_event key, so the whole file
+/// loads directly into chrome://tracing / Perfetto; our extra keys are
+/// ignored by those viewers.
+JsonValue BuildReport();
+
+/// Writes BuildReport() to `path` (pretty-printed). Returns false (and
+/// logs an error) when the file cannot be written.
+bool WriteReport(const std::string& path);
+
+}  // namespace obs
+}  // namespace telekit
+
+#endif  // TELEKIT_OBS_REPORT_H_

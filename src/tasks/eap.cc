@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 
@@ -86,6 +88,10 @@ EapResult RunEapCrossValidation(
     const synth::EapDataset& dataset,
     const std::vector<std::vector<float>>& event_embeddings,
     const EapOptions& options, Rng& rng) {
+  TELEKIT_SPAN("eval/eap");
+  obs::MetricsRegistry::Global()
+      .GetCounter("eval/eap_folds")
+      .Increment(static_cast<uint64_t>(options.k_folds));
   TELEKIT_CHECK(!dataset.pairs.empty());
   TELEKIT_CHECK_EQ(event_embeddings.size(), dataset.event_surfaces.size());
   const int event_dim = static_cast<int>(event_embeddings[0].size());

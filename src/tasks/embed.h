@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/service.h"
+#include "obs/trace.h"
 
 namespace telekit {
 namespace tasks {
@@ -50,6 +51,7 @@ inline std::vector<std::vector<float>> EmbedSurfaces(
     const std::vector<std::string>& surfaces,
     core::ServiceMode mode = core::ServiceMode::kEntityNoAttr,
     bool whiten = true) {
+  TELEKIT_SPAN("encode/surfaces");
   std::vector<std::vector<float>> embeddings;
   embeddings.reserve(surfaces.size());
   for (const std::string& surface : surfaces) {

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace telekit {
 namespace tasks {
@@ -31,6 +33,10 @@ std::vector<kg::EntityId> FilterCandidates(const synth::FctDataset& dataset) {
 FctResult RunFct(const synth::FctDataset& dataset,
                  const std::vector<std::vector<float>>* node_embeddings,
                  const FctOptions& options, Rng& rng) {
+  TELEKIT_SPAN("eval/fct");
+  obs::MetricsRegistry::Global()
+      .GetCounter("eval/fct_queries")
+      .Increment(dataset.test.size());
   TELEKIT_CHECK(!dataset.train.empty());
   TELEKIT_CHECK(!dataset.test.empty());
 

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 
@@ -100,6 +102,10 @@ RcaResult RunRcaCrossValidation(
     const synth::RcaDataset& dataset,
     const std::vector<std::vector<float>>& event_embeddings,
     const RcaOptions& options, Rng& rng) {
+  TELEKIT_SPAN("eval/rca");
+  obs::MetricsRegistry::Global()
+      .GetCounter("eval/rca_folds")
+      .Increment(static_cast<uint64_t>(options.k_folds));
   TELEKIT_CHECK_EQ(event_embeddings.size(),
                    static_cast<size_t>(dataset.num_features));
   const int embed_dim = static_cast<int>(event_embeddings[0].size());

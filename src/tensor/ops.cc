@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace telekit {
 namespace tensor {
 
@@ -12,6 +14,11 @@ using internal::Node;
 using NodePtr = std::shared_ptr<Node>;
 
 NodePtr NewNode(const Shape& shape, bool requires_grad) {
+  // Every op dispatch allocates exactly one node, so this counter is the
+  // op-dispatch rate. Cached reference + relaxed atomic: ~1ns per op.
+  static obs::Counter& dispatched =
+      obs::MetricsRegistry::Global().GetCounter("tensor/ops_dispatched");
+  dispatched.Increment();
   auto node = std::make_shared<Node>();
   node->shape = shape;
   node->value.assign(static_cast<size_t>(ShapeSize(shape)), 0.0f);
@@ -155,6 +162,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   TELEKIT_CHECK_EQ(k, b.dim(0))
       << "MatMul " << ShapeToString(a.shape()) << " x "
       << ShapeToString(b.shape());
+  static obs::Counter& matmul_calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor/matmul_calls");
+  static obs::Counter& matmul_flops =
+      obs::MetricsRegistry::Global().GetCounter("tensor/matmul_flops");
+  matmul_calls.Increment();
+  matmul_flops.Increment(2ULL * static_cast<uint64_t>(m) *
+                         static_cast<uint64_t>(k) * static_cast<uint64_t>(n));
   NodePtr out = NewNode({m, n}, AnyGrad(a, b));
   MmAcc(a.data().data(), b.data().data(), out->value.data(), m, k, n);
   if (out->requires_grad) {

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace telekit {
 namespace text {
@@ -120,6 +121,9 @@ EncodedInput Tokenizer::EncodeSentence(const std::string& sentence) const {
 
 EncodedInput Tokenizer::Encode(const PromptSequence& prompt) const {
   TELEKIT_CHECK(vocab_built_) << "BuildVocab first";
+  static obs::Counter& encode_calls =
+      obs::MetricsRegistry::Global().GetCounter("tokenizer/encode_calls");
+  encode_calls.Increment();
   EncodedInput out;
   out.ids.push_back(SpecialTokens::kCls);
 

@@ -1,0 +1,400 @@
+// Tests for the telekit::obs observability layer: structured logging
+// (level filtering, sink capture), the metrics registry (counter / gauge /
+// histogram semantics, JSON snapshot round-trip), nested span aggregation
+// and Chrome trace_event export, plus the disabled-logging overhead bound
+// the ISSUE's acceptance criteria call for.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace telekit {
+namespace obs {
+namespace {
+
+// Captures every dispatched record; restores the default sink and the
+// info level on destruction so tests do not leak state into each other.
+class SinkCapture {
+ public:
+  SinkCapture() {
+    Logger::Global().SetSink(
+        [this](const LogRecord& record) { records_.push_back(record); });
+  }
+  ~SinkCapture() {
+    Logger::Global().SetSink(nullptr);
+    Logger::Global().set_level(LogLevel::kInfo);
+  }
+  const std::vector<LogRecord>& records() const { return records_; }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+TEST(LogTest, ParseLogLevel) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kWarn), LogLevel::kWarn);
+}
+
+TEST(LogTest, LevelFiltering) {
+  SinkCapture capture;
+  Logger::Global().set_level(LogLevel::kWarn);
+  TELEKIT_LOG(DEBUG) << "debug message";
+  TELEKIT_LOG(INFO) << "info message";
+  TELEKIT_LOG(WARN) << "warn message";
+  TELEKIT_LOG(ERROR) << "error message";
+  ASSERT_EQ(capture.records().size(), 2u);
+  EXPECT_EQ(capture.records()[0].level, LogLevel::kWarn);
+  EXPECT_EQ(capture.records()[0].message, "warn message");
+  EXPECT_EQ(capture.records()[1].level, LogLevel::kError);
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  SinkCapture capture;
+  Logger::Global().set_level(LogLevel::kOff);
+  TELEKIT_LOG(ERROR) << "should not appear";
+  EXPECT_TRUE(capture.records().empty());
+}
+
+TEST(LogTest, SinkCapturesStructuredFields) {
+  SinkCapture capture;
+  Logger::Global().set_level(LogLevel::kDebug);
+  TELEKIT_LOG(INFO) << "step done" << F("step", 42) << F("loss", 0.5);
+  ASSERT_EQ(capture.records().size(), 1u);
+  const LogRecord& record = capture.records()[0];
+  EXPECT_EQ(record.message, "step done");
+  ASSERT_EQ(record.fields.size(), 2u);
+  EXPECT_EQ(record.fields[0].first, "step");
+  EXPECT_EQ(record.fields[0].second, "42");
+  EXPECT_EQ(record.fields[1].first, "loss");
+  EXPECT_EQ(record.fields[1].second, "0.5");
+  EXPECT_EQ(record.Rendered(), "step done step=42 loss=0.5");
+  EXPECT_STREQ(record.file, "obs_test.cc");
+  EXPECT_GT(record.line, 0);
+}
+
+TEST(LogTest, DisabledLevelEvaluatesNothing) {
+  SinkCapture capture;
+  Logger::Global().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  TELEKIT_LOG(DEBUG) << "x" << F("v", expensive());
+  EXPECT_EQ(evaluations, 0);
+  TELEKIT_LOG(ERROR) << "x" << F("v", expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(MetricsTest, CounterSemantics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test/counter");
+  counter.Zero();
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  // Same name returns the same object.
+  EXPECT_EQ(&registry.GetCounter("test/counter"), &counter);
+  // Reset zeroes in place: cached references stay valid.
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  EXPECT_EQ(registry.GetCounter("test/counter").value(), 1u);
+}
+
+TEST(MetricsTest, GaugeSemantics) {
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test/gauge");
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  gauge.Zero();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsTest, HistogramSemantics) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0 (le 1)
+  histogram.Observe(1.0);    // bucket 0 (inclusive upper bound)
+  histogram.Observe(7.0);    // bucket 1 (le 10)
+  histogram.Observe(1000.0); // overflow bucket
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1008.5);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 1008.5 / 4.0);
+  EXPECT_EQ(histogram.bucket_count(0), 2u);
+  EXPECT_EQ(histogram.bucket_count(1), 1u);
+  EXPECT_EQ(histogram.bucket_count(2), 0u);
+  EXPECT_EQ(histogram.bucket_count(3), 1u);  // overflow
+
+  JsonValue json = histogram.ToJson();
+  EXPECT_DOUBLE_EQ(json.Find("count")->AsNumber(), 4.0);
+  const JsonValue* buckets = json.Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  // Sparse export: only non-empty buckets appear (3 of 4 here).
+  EXPECT_EQ(buckets->size(), 3u);
+  EXPECT_EQ(buckets->at(2).Find("le")->AsString(), "inf");
+
+  histogram.Zero();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.bucket_count(0), 0u);
+}
+
+TEST(MetricsTest, ScopedTimerObservesIntoHistogram) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test/timer_ms");
+  histogram.Zero();
+  {
+    ScopedTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_GE(histogram.max(), 0.0);
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTrip) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetCounter("rt/counter").Increment(7);
+  registry.GetGauge("rt/gauge").Set(1.25);
+  registry.GetHistogram("rt/hist_ms", {1.0, 5.0}).Observe(3.0);
+
+  const std::string dumped = registry.Snapshot().Dump();
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(dumped, &parsed, &error)) << error;
+  EXPECT_DOUBLE_EQ(parsed.Find("counters")->Find("rt/counter")->AsNumber(),
+                   7.0);
+  EXPECT_DOUBLE_EQ(parsed.Find("gauges")->Find("rt/gauge")->AsNumber(), 1.25);
+  const JsonValue* hist = parsed.Find("histograms")->Find("rt/hist_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->AsNumber(), 3.0);
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  JsonValue object = JsonValue::Object();
+  object.Set("string", JsonValue("line1\nline2 \"quoted\""));
+  object.Set("int", JsonValue(42));
+  object.Set("float", JsonValue(2.5));
+  object.Set("negative", JsonValue(-17));
+  object.Set("bool", JsonValue(true));
+  object.Set("null", JsonValue());
+  JsonValue array = JsonValue::Array();
+  array.Append(JsonValue(1));
+  array.Append(JsonValue("two"));
+  JsonValue nested = JsonValue::Object();
+  nested.Set("deep", JsonValue(3.0));
+  array.Append(std::move(nested));
+  object.Set("array", std::move(array));
+
+  for (int indent : {0, 2}) {
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(JsonValue::Parse(object.Dump(indent), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.Find("string")->AsString(), "line1\nline2 \"quoted\"");
+    EXPECT_DOUBLE_EQ(parsed.Find("int")->AsNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parsed.Find("float")->AsNumber(), 2.5);
+    EXPECT_DOUBLE_EQ(parsed.Find("negative")->AsNumber(), -17.0);
+    EXPECT_TRUE(parsed.Find("bool")->AsBool());
+    EXPECT_TRUE(parsed.Find("null")->is_null());
+    const JsonValue* parsed_array = parsed.Find("array");
+    ASSERT_EQ(parsed_array->size(), 3u);
+    EXPECT_EQ(parsed_array->at(1).AsString(), "two");
+    EXPECT_DOUBLE_EQ(parsed_array->at(2).Find("deep")->AsNumber(), 3.0);
+  }
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  JsonValue out;
+  EXPECT_FALSE(JsonValue::Parse("", &out));
+  EXPECT_FALSE(JsonValue::Parse("{", &out));
+  EXPECT_FALSE(JsonValue::Parse("[1,]", &out));
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing", &out));
+  EXPECT_FALSE(JsonValue::Parse("nope", &out));
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  JsonValue out;
+  ASSERT_TRUE(JsonValue::Parse("\"a\\u00e9b\"", &out));
+  EXPECT_EQ(out.AsString(), "a\xc3\xa9" "b");
+}
+
+// Burns ~a few hundred microseconds so span durations are nonzero.
+uint64_t BusyWork(int iterations) {
+  volatile uint64_t accumulator = 0;
+  for (int i = 0; i < iterations; ++i) {
+    accumulator = accumulator + static_cast<uint64_t>(i);
+  }
+  return accumulator;
+}
+
+TEST(TraceTest, NestedSpanAggregation) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Reset();
+  collector.set_recording(true);
+  {
+    Span outer("test/outer");
+    BusyWork(50000);
+    {
+      Span inner("test/inner");
+      BusyWork(50000);
+    }
+    {
+      Span inner("test/inner");
+      BusyWork(50000);
+    }
+  }
+  collector.set_recording(false);
+
+  const auto aggregate = collector.Aggregate();
+  ASSERT_EQ(aggregate.count("test/outer"), 1u);
+  ASSERT_EQ(aggregate.count("test/inner"), 1u);
+  const SpanStats& outer = aggregate.at("test/outer");
+  const SpanStats& inner = aggregate.at("test/inner");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 2u);
+  // Parent duration covers both children.
+  EXPECT_GE(outer.total_us, inner.total_us);
+  // Self time excludes direct children but keeps the parent's own work.
+  EXPECT_LE(outer.self_us, outer.total_us);
+  EXPECT_GE(outer.self_us + inner.total_us, outer.total_us);
+  EXPECT_GE(inner.max_us, inner.total_us / 2);
+}
+
+TEST(TraceTest, TraceEventJsonIsChromeLoadable) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Reset();
+  collector.set_recording(true);
+  {
+    Span outer("test/outer");
+    Span inner("test/inner");
+    BusyWork(10000);
+  }
+  collector.set_recording(false);
+
+  EXPECT_EQ(collector.NumEvents(), 2u);
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(
+      JsonValue::Parse(collector.TraceEventsJson().Dump(), &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), 2u);
+  // Spans close inner-first, so the inner span is recorded first.
+  const JsonValue& inner = parsed.at(0);
+  const JsonValue& outer = parsed.at(1);
+  EXPECT_EQ(inner.Find("name")->AsString(), "test/inner");
+  EXPECT_EQ(inner.Find("ph")->AsString(), "X");
+  EXPECT_DOUBLE_EQ(inner.Find("args")->Find("depth")->AsNumber(), 1.0);
+  EXPECT_EQ(outer.Find("name")->AsString(), "test/outer");
+  EXPECT_DOUBLE_EQ(outer.Find("args")->Find("depth")->AsNumber(), 0.0);
+  // The inner event starts no earlier and fits inside the outer event.
+  EXPECT_GE(inner.Find("ts")->AsNumber(), outer.Find("ts")->AsNumber());
+  EXPECT_LE(inner.Find("dur")->AsNumber(), outer.Find("dur")->AsNumber());
+}
+
+TEST(TraceTest, AggregationWorksWithRecordingOff) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Reset();
+  ASSERT_FALSE(collector.recording());
+  {
+    Span span("test/no_recording");
+  }
+  EXPECT_EQ(collector.NumEvents(), 0u);
+  EXPECT_EQ(collector.Aggregate().at("test/no_recording").count, 1u);
+}
+
+TEST(ReportTest, WriteReportRoundTrips) {
+  MetricsRegistry::Global().Reset();
+  TraceCollector::Global().Reset();
+  TraceCollector::Global().set_recording(true);
+  MetricsRegistry::Global().GetCounter("report/counter").Increment(3);
+  {
+    Span span("report/span");
+    BusyWork(10000);
+  }
+  TraceCollector::Global().set_recording(false);
+
+  const std::string path = ::testing::TempDir() + "/obs_report_test.json";
+  ASSERT_TRUE(WriteReport(path));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(buffer.str(), &parsed, &error)) << error;
+  EXPECT_DOUBLE_EQ(
+      parsed.Find("metrics")->Find("counters")->Find("report/counter")
+          ->AsNumber(),
+      3.0);
+  EXPECT_GE(parsed.Find("spans")->Find("report/span")->Find("total_ms")
+                ->AsNumber(),
+            0.0);
+  ASSERT_TRUE(parsed.Find("traceEvents")->is_array());
+  EXPECT_EQ(parsed.Find("traceEvents")->size(), 1u);
+  std::remove(path.c_str());
+}
+
+// Acceptance criterion: logging must add < 5% wall-clock overhead at the
+// default (info) level. Hot loops log at DEBUG, so the cost of a disabled
+// statement — one relaxed atomic load and a branch — is what matters. We
+// compare a floating-point workload against the same workload with a
+// disabled log statement per iteration, taking the min of several runs to
+// damp scheduler noise, and also accept any run where the absolute
+// disabled-statement cost is below 30ns (three orders of magnitude under
+// the ~0.1ms instrumented units: a training step is >10ms, an encode >1ms).
+TEST(OverheadTest, DisabledLoggingUnderFivePercent) {
+  Logger::Global().set_level(LogLevel::kInfo);  // default level
+  constexpr int kIterations = 200000;
+  volatile double sink = 0.0;
+
+  auto baseline_pass = [&sink]() {
+    for (int i = 0; i < kIterations; ++i) {
+      sink = sink + static_cast<double>(i) * 1.0000001;
+    }
+  };
+  auto logged_pass = [&sink]() {
+    for (int i = 0; i < kIterations; ++i) {
+      TELEKIT_LOG(DEBUG) << "hot loop" << F("i", i);
+      sink = sink + static_cast<double>(i) * 1.0000001;
+    }
+  };
+  auto time_ns = [](auto&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  int64_t baseline = INT64_MAX, logged = INT64_MAX;
+  for (int run = 0; run < 5; ++run) {
+    baseline = std::min(baseline, time_ns(baseline_pass));
+    logged = std::min(logged, time_ns(logged_pass));
+  }
+  const double per_iteration_ns =
+      static_cast<double>(logged - baseline) / kIterations;
+  EXPECT_TRUE(logged <= baseline + baseline / 20 || per_iteration_ns < 30.0)
+      << "baseline=" << baseline << "ns logged=" << logged
+      << "ns per_iteration_overhead=" << per_iteration_ns << "ns";
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace telekit
