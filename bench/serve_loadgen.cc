@@ -1,0 +1,377 @@
+// Load generator for the serve subsystem. Measures three configurations
+// over the same request stream and writes BENCH_serve.json:
+//
+//   baseline      1 client thread, engine.Process(), no batching, no cache
+//   batched       N client threads, micro-batching worker pool, no cache
+//   batched+cache same, with the sharded EmbeddingCache on
+//
+// Closed-loop by default (each client submits, waits, repeats); --qps=N
+// adds an open-loop phase submitting at a fixed aggregate rate regardless
+// of completions, which is what stresses the bounded queue.
+//
+// The request stream models production fault-analysis traffic: a small hot
+// set of active alarms dominates (80% of queries) over a long tail of cold
+// surfaces, which is what makes service-vector memoization pay off.
+//
+// Acceptance (ISSUE 2): the full engine (8 workers, micro-batching, cache)
+// must reach >= 3x the requests/sec of the single-threaded unbatched
+// uncached baseline. On multi-core hosts the worker pool contributes; on a
+// single core the cache carries the speedup (batching alone moves the same
+// FLOPs through the same core and is throughput-neutral there, as the
+// nocache row shows).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/model_zoo.h"
+#include "obs/json.h"
+#include "serve/engine.h"
+
+namespace telekit {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadgenFlags {
+  int workers = 8;
+  int clients = 8;
+  int requests = 600;       // per measured configuration
+  int max_batch = 8;
+  int64_t max_wait_us = 2000;
+  int qps = 0;              // open-loop phase target rate (0 = skip)
+  std::string out = "BENCH_serve.json";
+};
+
+struct RunResult {
+  std::string name;
+  double seconds = 0.0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+  double cache_hit_rate = 0.0;
+  int completed = 0;
+  int rejected = 0;
+};
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size() - 1)));
+  return sorted[index];
+}
+
+void FillLatencyStats(std::vector<double> latencies, RunResult* result) {
+  std::sort(latencies.begin(), latencies.end());
+  result->p50_ms = Percentile(latencies, 0.50);
+  result->p95_ms = Percentile(latencies, 0.95);
+  result->p99_ms = Percentile(latencies, 0.99);
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// The request mix, deterministic per index: 80% of queries target a hot
+/// set of 16 active surfaces, the rest draw uniformly from the full pool
+/// (catalogue names plus cold contextual variants).
+serve::Request MakeRequest(const std::vector<std::string>& pool, int index) {
+  serve::Request request;
+  const int op = index % 4;
+  request.op = op == 0   ? serve::TaskOp::kEncode
+               : op == 1 ? serve::TaskOp::kRca
+               : op == 2 ? serve::TaskOp::kEap
+                         : serve::TaskOp::kFct;
+  const uint64_t r = SplitMix64(static_cast<uint64_t>(index));
+  const size_t hot = std::min<size_t>(16, pool.size());
+  request.text = (r % 100 < 80)
+                     ? pool[(r >> 8) % hot]
+                     : pool[(r >> 8) % pool.size()];
+  request.top_k = 5;
+  return request;
+}
+
+/// Query pool: every catalogue surface plus cold variants that never repeat
+/// enough to stay cached ("<alarm> on <element>").
+std::vector<std::string> MakeQueryPool(const synth::WorldModel& world) {
+  std::vector<std::string> pool;
+  for (const auto& alarm : world.alarms()) pool.push_back(alarm.name);
+  for (const auto& alarm : world.alarms()) {
+    for (size_t e = 0; e < world.elements().size(); e += 4) {
+      pool.push_back(alarm.name + " on " + world.elements()[e].name);
+    }
+  }
+  return pool;
+}
+
+/// Single-threaded, unbatched, uncached: the reference the paper-style
+/// deployment comparison divides by.
+RunResult RunBaseline(const core::ServiceEncoder& service,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::string>& pool,
+                      const LoadgenFlags& flags) {
+  serve::EngineOptions options;
+  options.num_workers = 0;  // Process() only, no queue involved
+  options.enable_batching = false;
+  options.enable_cache = false;
+  serve::ServeEngine engine(&service, options);
+  for (serve::TaskOp op :
+       {serve::TaskOp::kRca, serve::TaskOp::kEap, serve::TaskOp::kFct}) {
+    TELEKIT_CHECK(engine.LoadCatalog(op, names).ok());
+  }
+  RunResult result;
+  result.name = "baseline_1thread_unbatched";
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(flags.requests));
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < flags.requests; ++i) {
+    const serve::Response response =
+        engine.Process(MakeRequest(pool, i));
+    TELEKIT_CHECK(response.status.ok()) << response.status.ToString();
+    latencies.push_back(response.total_ms);
+  }
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.completed = flags.requests;
+  result.rps = static_cast<double>(flags.requests) / result.seconds;
+  result.mean_batch = 1.0;
+  FillLatencyStats(std::move(latencies), &result);
+  return result;
+}
+
+/// Closed-loop: `clients` threads each drive their share of the request
+/// stream synchronously through Submit()+get().
+RunResult RunClosedLoop(const core::ServiceEncoder& service,
+                        const std::vector<std::string>& names,
+                        const std::vector<std::string>& pool,
+                        const LoadgenFlags& flags, bool enable_cache,
+                        const std::string& name) {
+  serve::EngineOptions options;
+  options.num_workers = flags.workers;
+  options.max_batch = flags.max_batch;
+  options.max_wait_us = flags.max_wait_us;
+  options.enable_batching = true;
+  options.enable_cache = enable_cache;
+  serve::ServeEngine engine(&service, options);
+  for (serve::TaskOp op :
+       {serve::TaskOp::kRca, serve::TaskOp::kEap, serve::TaskOp::kFct}) {
+    TELEKIT_CHECK(engine.LoadCatalog(op, names).ok());
+  }
+  RunResult result;
+  result.name = name;
+  std::vector<std::vector<double>> per_client_latencies(
+      static_cast<size_t>(flags.clients));
+  std::atomic<int64_t> batch_sum{0};
+  std::atomic<int> completed{0};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < flags.clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double>& latencies =
+          per_client_latencies[static_cast<size_t>(c)];
+      for (int i = c; i < flags.requests; i += flags.clients) {
+        serve::Response response =
+            engine.Submit(MakeRequest(pool, i)).get();
+        TELEKIT_CHECK(response.status.ok()) << response.status.ToString();
+        latencies.push_back(response.total_ms);
+        batch_sum.fetch_add(response.batch_size);
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.completed = completed.load();
+  result.rps = static_cast<double>(result.completed) / result.seconds;
+  result.mean_batch = static_cast<double>(batch_sum.load()) /
+                      std::max(1, result.completed);
+  result.cache_hit_rate = engine.cache().HitRate();
+  std::vector<double> all;
+  for (auto& v : per_client_latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  FillLatencyStats(std::move(all), &result);
+  return result;
+}
+
+/// Open-loop: submit at a fixed aggregate rate from one pacer thread,
+/// harvest futures afterwards. Rejections (bounded queue) are counted, not
+/// fatal — that is the backpressure working.
+RunResult RunOpenLoop(const core::ServiceEncoder& service,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::string>& pool,
+                      const LoadgenFlags& flags) {
+  serve::EngineOptions options;
+  options.num_workers = flags.workers;
+  options.max_batch = flags.max_batch;
+  options.max_wait_us = flags.max_wait_us;
+  options.queue_capacity = 256;
+  serve::ServeEngine engine(&service, options);
+  for (serve::TaskOp op :
+       {serve::TaskOp::kRca, serve::TaskOp::kEap, serve::TaskOp::kFct}) {
+    TELEKIT_CHECK(engine.LoadCatalog(op, names).ok());
+  }
+  RunResult result;
+  result.name = "open_loop_" + std::to_string(flags.qps) + "qps";
+  const auto interval =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / flags.qps));
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(static_cast<size_t>(flags.requests));
+  const Clock::time_point start = Clock::now();
+  Clock::time_point next = start;
+  for (int i = 0; i < flags.requests; ++i) {
+    std::this_thread::sleep_until(next);
+    next += interval;
+    futures.push_back(engine.Submit(MakeRequest(pool, i)));
+  }
+  std::vector<double> latencies;
+  for (auto& future : futures) {
+    serve::Response response = future.get();
+    if (response.status.ok()) {
+      ++result.completed;
+      latencies.push_back(response.total_ms);
+    } else {
+      ++result.rejected;
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.rps = static_cast<double>(result.completed) / result.seconds;
+  result.cache_hit_rate = engine.cache().HitRate();
+  FillLatencyStats(std::move(latencies), &result);
+  return result;
+}
+
+obs::JsonValue ResultToJson(const RunResult& result) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("name", obs::JsonValue(result.name));
+  out.Set("seconds", obs::JsonValue(result.seconds));
+  out.Set("requests_per_sec", obs::JsonValue(result.rps));
+  out.Set("p50_ms", obs::JsonValue(result.p50_ms));
+  out.Set("p95_ms", obs::JsonValue(result.p95_ms));
+  out.Set("p99_ms", obs::JsonValue(result.p99_ms));
+  out.Set("mean_batch_size", obs::JsonValue(result.mean_batch));
+  out.Set("cache_hit_rate", obs::JsonValue(result.cache_hit_rate));
+  out.Set("completed", obs::JsonValue(result.completed));
+  out.Set("rejected", obs::JsonValue(result.rejected));
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
+  LoadgenFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* name) -> const char* {
+      const std::string prefix = std::string("--") + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
+                                       : nullptr;
+    };
+    if (const char* v = value("workers")) flags.workers = std::atoi(v);
+    else if (const char* v = value("clients")) flags.clients = std::atoi(v);
+    else if (const char* v = value("requests")) flags.requests = std::atoi(v);
+    else if (const char* v = value("max-batch")) flags.max_batch = std::atoi(v);
+    else if (const char* v = value("max-wait-us"))
+      flags.max_wait_us = std::atoll(v);
+    else if (const char* v = value("qps")) flags.qps = std::atoi(v);
+    else if (const char* v = value("out")) flags.out = v;
+  }
+
+  // An untrained encoder has identical per-request compute to a trained
+  // one, so throughput numbers transfer; startup stays in seconds.
+  core::ZooConfig config;
+  config.seed = 20230401;
+  config.world.num_alarm_types = 64;
+  config.corpus.num_tele_sentences = 1500;
+  config.corpus.num_general_sentences = 1500;
+  config.num_episodes = 30;
+  config.pretrain.steps = 0;
+  config.cache_dir = "";
+  core::ModelZoo zoo(config);
+  zoo.BuildData();
+  zoo.BuildPretrained();
+  core::TeleBertEncoder encoder(&zoo.telebert());
+  core::ServiceEncoder service(&encoder, &zoo.tokenizer(), &zoo.store(),
+                               &zoo.normalizer());
+  std::vector<std::string> names;
+  for (const auto& alarm : zoo.world().alarms()) names.push_back(alarm.name);
+  const std::vector<std::string> pool = MakeQueryPool(zoo.world());
+
+  std::vector<RunResult> results;
+  std::cout << "serve_loadgen: " << flags.requests << " requests, "
+            << flags.workers << " workers, " << flags.clients
+            << " clients\n";
+  results.push_back(RunBaseline(service, names, pool, flags));
+  results.push_back(RunClosedLoop(service, names, pool, flags,
+                                  /*enable_cache=*/false,
+                                  "closed_loop_batched_nocache"));
+  results.push_back(RunClosedLoop(service, names, pool, flags,
+                                  /*enable_cache=*/true,
+                                  "closed_loop_batched_cached"));
+  if (flags.qps > 0) {
+    results.push_back(RunOpenLoop(service, names, pool, flags));
+  }
+
+  TablePrinter table("Serving throughput (requests/sec)");
+  table.SetHeader({"configuration", "req/s", "p50 ms", "p95 ms", "p99 ms",
+                   "mean batch", "cache hit"});
+  for (const RunResult& result : results) {
+    table.AddRow(result.name,
+                 {result.rps, result.p50_ms, result.p95_ms, result.p99_ms,
+                  result.mean_batch, result.cache_hit_rate},
+                 2);
+  }
+  table.Print(std::cout);
+
+  const double nocache_speedup = results[1].rps / results[0].rps;
+  const double engine_speedup = results[2].rps / results[0].rps;
+  std::cout << "\nbatching-only speedup:  " << nocache_speedup << "x\n"
+            << "full-engine speedup:    " << engine_speedup
+            << "x (acceptance: >= 3x)\n";
+
+  obs::JsonValue report = obs::JsonValue::Object();
+  report.Set("benchmark", obs::JsonValue("serve_loadgen"));
+  obs::JsonValue cfg = obs::JsonValue::Object();
+  cfg.Set("workers", obs::JsonValue(flags.workers));
+  cfg.Set("clients", obs::JsonValue(flags.clients));
+  cfg.Set("requests", obs::JsonValue(flags.requests));
+  cfg.Set("max_batch", obs::JsonValue(flags.max_batch));
+  cfg.Set("max_wait_us", obs::JsonValue(static_cast<int64_t>(flags.max_wait_us)));
+  report.Set("config", std::move(cfg));
+  obs::JsonValue runs = obs::JsonValue::Array();
+  for (const RunResult& result : results) {
+    runs.Append(ResultToJson(result));
+  }
+  report.Set("runs", std::move(runs));
+  report.Set("batched_over_baseline_speedup",
+             obs::JsonValue(nocache_speedup));
+  report.Set("engine_over_baseline_speedup", obs::JsonValue(engine_speedup));
+  std::ofstream out(flags.out);
+  out << report.Dump(2) << "\n";
+  std::cout << "wrote " << flags.out << "\n";
+  return engine_speedup >= 3.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace telekit
+
+int main(int argc, char** argv) { return telekit::bench::Main(argc, argv); }

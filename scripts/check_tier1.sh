@@ -6,6 +6,11 @@
 #      -Wall -Wextra -Werror in a separate tree, so new warnings in the
 #      observability code fail loudly instead of scrolling by.
 #
+# Optional: TELEKIT_TSAN=1 scripts/check_tier1.sh additionally builds the
+# concurrency-heavy tests (serve engine, embedding cache, metrics registry)
+# under ThreadSanitizer in build_tsan/ and runs them. Off by default: the
+# TSan tree roughly doubles check time.
+#
 # Usage: scripts/check_tier1.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,5 +26,13 @@ echo "== [3/3] -Werror build of the obs layer =="
 cmake -B build_strict -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
 cmake --build build_strict -j --target telekit_obs obs_test
 ./build_strict/tests/obs_test --gtest_brief=1
+
+if [[ "${TELEKIT_TSAN:-0}" == "1" ]]; then
+  echo "== [tsan] ThreadSanitizer pass (serve + obs) =="
+  cmake -B build_tsan -S . -DTELEKIT_TSAN=ON
+  cmake --build build_tsan -j --target serve_test obs_test
+  ./build_tsan/tests/serve_test --gtest_brief=1
+  ./build_tsan/tests/obs_test --gtest_brief=1
+fi
 
 echo "check_tier1: OK"

@@ -17,6 +17,11 @@ enum class StatusCode {
   kOutOfRange = 3,
   kFailedPrecondition = 4,
   kInternal = 5,
+  /// Transient overload/shutdown: the caller may retry later (serving
+  /// queue full, engine stopping).
+  kUnavailable = 6,
+  /// The request's time budget lapsed before the work completed.
+  kDeadlineExceeded = 7,
 };
 
 /// Lightweight result type in the RocksDB/Abseil idiom: functions that can
@@ -50,6 +55,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -70,8 +70,51 @@ Tensor KTeleBert::EncodeCls(const text::EncodedInput& input, Rng& rng,
 
 std::vector<float> KTeleBert::ServiceVector(
     const text::EncodedInput& input) const {
+  tensor::NoGradGuard no_grad;
   Rng rng(0);  // unused in eval mode
   return EncodeCls(input, rng, /*training=*/false).data();
+}
+
+std::vector<std::vector<float>> KTeleBert::ServiceVectorBatch(
+    const std::vector<const text::EncodedInput*>& inputs) const {
+  std::vector<std::vector<float>> out;
+  if (inputs.empty()) return out;
+  tensor::NoGradGuard no_grad;
+  Rng rng(0);  // unused in eval mode
+  std::vector<const std::vector<int>*> ids;
+  std::vector<int> lengths;
+  std::vector<std::vector<std::pair<int, Tensor>>> overrides(inputs.size());
+  std::vector<const std::vector<std::pair<int, Tensor>>*> override_ptrs;
+  ids.reserve(inputs.size());
+  lengths.reserve(inputs.size());
+  override_ptrs.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const text::EncodedInput& input = *inputs[i];
+    ids.push_back(&input.ids);
+    lengths.push_back(input.length);
+    if (config_.use_anenc) {
+      for (const text::NumericSlot& slot : input.numeric_slots) {
+        if (slot.position >= input.length) continue;
+        Tensor tag_embedding = encoder_->MeanTokenEmbedding(slot.tag_ids);
+        overrides[i].emplace_back(slot.position,
+                                  anenc_->Forward(tag_embedding, slot.value));
+      }
+    }
+    override_ptrs.push_back(&overrides[i]);
+  }
+  BatchOffsets offsets;
+  Tensor embedded = encoder_->EmbedBatch(ids, lengths, override_ptrs,
+                                         &offsets, rng, /*training=*/false);
+  Tensor hidden = encoder_->EncodeBatch(embedded, offsets, rng,
+                                        /*training=*/false);
+  const int d = encoder_->config().d_model;
+  out.reserve(inputs.size());
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    const float* cls =
+        hidden.data().data() + static_cast<size_t>(offsets[i]) * d;
+    out.emplace_back(cls, cls + d);  // row 0 of each sequence is [CLS]
+  }
+  return out;
 }
 
 Tensor KTeleBert::KeDistance(const text::EncodedInput& head,

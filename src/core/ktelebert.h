@@ -126,8 +126,16 @@ class KTeleBert {
   tensor::Tensor EncodeCls(const text::EncodedInput& input, Rng& rng,
                            bool training) const;
 
-  /// Detached [CLS] embedding (service vector, Sec. V-A3).
+  /// Detached [CLS] embedding (service vector, Sec. V-A3). Runs tape-free
+  /// (tensor::NoGradGuard); safe to call concurrently from many threads
+  /// once the model is trained.
   std::vector<float> ServiceVector(const text::EncodedInput& input) const;
+
+  /// Service vectors for a whole batch through the ragged batched forward
+  /// path. Numeric slots still route through ANEnc per input. Row i agrees
+  /// with ServiceVector(inputs[i]) within float round-off.
+  std::vector<std::vector<float>> ServiceVectorBatch(
+      const std::vector<const text::EncodedInput*>& inputs) const;
 
   /// KE distance d_r(h, t) = ||e_h + e_r - e_t|| (Eq. 11) over [CLS]
   /// encodings; scalar tensor.

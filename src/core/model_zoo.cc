@@ -55,20 +55,35 @@ std::string ModelZoo::CachePath(const std::string& name) const {
 }
 
 void ModelZoo::BuildData() {
+  std::lock_guard<std::mutex> lock(build_mutex_);
+  BuildDataLocked();
+}
+
+void ModelZoo::BuildPretrained() {
+  std::lock_guard<std::mutex> lock(build_mutex_);
+  BuildPretrainedLocked();
+}
+
+void ModelZoo::Build() {
+  std::lock_guard<std::mutex> lock(build_mutex_);
+  BuildLocked();
+}
+
+void ModelZoo::BuildDataLocked() {
   if (world_ != nullptr) return;
   BuildDataStack();
   BuildReTrainData();
 }
 
-void ModelZoo::BuildPretrained() {
-  BuildData();
+void ModelZoo::BuildPretrainedLocked() {
+  BuildDataLocked();
   if (telebert_ != nullptr) return;
   BuildPretrainedModels();
 }
 
-void ModelZoo::Build() {
+void ModelZoo::BuildLocked() {
   if (built_) return;
-  BuildPretrained();
+  BuildPretrainedLocked();
   BuildKTeleBertVariant(ModelKind::kKTeleBertStl);
   BuildKTeleBertVariant(ModelKind::kKTeleBertStlNoAnEnc);
   BuildKTeleBertVariant(ModelKind::kKTeleBertPmtl);

@@ -1,7 +1,9 @@
 #ifndef TELEKIT_CORE_MODEL_ZOO_H_
 #define TELEKIT_CORE_MODEL_ZOO_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,13 +82,18 @@ class ModelZoo {
  public:
   explicit ModelZoo(const ZooConfig& config = ZooConfig());
 
-  /// Runs the full build (idempotent).
+  /// Runs the full build (idempotent). Safe under concurrent callers:
+  /// the build methods single-flight behind one mutex, so the first caller
+  /// materializes each checkpoint exactly once and late callers block,
+  /// then observe the finished state — no double training, no double
+  /// restore from the cache.
   void Build();
 
   /// Partial builds for benchmarks that do not need every variant:
   /// BuildData() constructs the world/corpora/tokenizer/KG/re-training
   /// data; BuildPretrained() additionally trains (or restores) TeleBERT
   /// and the MacBERT surrogate. Build() = both + all KTeleBERT variants.
+  /// Same single-flight guarantee as Build().
   void BuildData();
   void BuildPretrained();
 
@@ -120,6 +127,12 @@ class ModelZoo {
 
  private:
   std::string CachePath(const std::string& name) const;
+  /// Build bodies, called with build_mutex_ held (the public entry points
+  /// are locked wrappers; the internal Build -> BuildPretrained ->
+  /// BuildData chain stays on the *Locked forms to avoid re-locking).
+  void BuildLocked();
+  void BuildDataLocked();
+  void BuildPretrainedLocked();
   void BuildDataStack();
   void BuildPretrainedModels();
   void BuildReTrainData();
@@ -127,7 +140,10 @@ class ModelZoo {
   KTeleBertConfig MakeKtbConfig(bool use_anenc) const;
 
   ZooConfig config_;
-  bool built_ = false;
+  /// Serializes the build methods (single-flight checkpoint loading).
+  mutable std::mutex build_mutex_;
+  /// Atomic so accessors may check it without taking build_mutex_.
+  std::atomic<bool> built_{false};
 
   std::unique_ptr<synth::WorldModel> world_;
   std::unique_ptr<synth::LogGenerator> logs_;

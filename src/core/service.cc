@@ -104,5 +104,26 @@ std::vector<float> ServiceEncoder::Encode(const std::string& name,
   return encoder_->Encode(BuildInput(name, mode));
 }
 
+std::vector<std::vector<float>> ServiceEncoder::EncodeBatch(
+    const std::vector<std::string>& names, ServiceMode mode) const {
+  TELEKIT_CHECK(encoder_ != nullptr);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& calls = registry.GetCounter("service/encode_calls");
+  static obs::Histogram& batch_rows =
+      registry.GetHistogram("service/encode_batch_rows",
+                            {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  calls.Increment(names.size());
+  batch_rows.Observe(static_cast<double>(names.size()));
+  std::vector<text::EncodedInput> inputs;
+  inputs.reserve(names.size());
+  for (const std::string& name : names) {
+    inputs.push_back(BuildInput(name, mode));
+  }
+  std::vector<const text::EncodedInput*> pointers;
+  pointers.reserve(inputs.size());
+  for (const text::EncodedInput& input : inputs) pointers.push_back(&input);
+  return encoder_->EncodeBatch(pointers);
+}
+
 }  // namespace core
 }  // namespace telekit

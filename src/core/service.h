@@ -24,6 +24,20 @@ class TextEncoder {
   /// Service embedding of an encoded input.
   virtual std::vector<float> Encode(const text::EncodedInput& input) const = 0;
 
+  /// Service embeddings of a batch. The default loops over Encode();
+  /// transformer-backed encoders override with the ragged batched forward
+  /// path (whole-batch projection matmuls). Result i agrees with
+  /// Encode(*inputs[i]) within float round-off.
+  virtual std::vector<std::vector<float>> EncodeBatch(
+      const std::vector<const text::EncodedInput*>& inputs) const {
+    std::vector<std::vector<float>> out;
+    out.reserve(inputs.size());
+    for (const text::EncodedInput* input : inputs) {
+      out.push_back(Encode(*input));
+    }
+    return out;
+  }
+
   /// Embedding dimensionality.
   virtual int dim() const = 0;
 };
@@ -34,6 +48,10 @@ class TeleBertEncoder : public TextEncoder {
   explicit TeleBertEncoder(const TeleBert* model) : model_(model) {}
   std::vector<float> Encode(const text::EncodedInput& input) const override {
     return model_->ServiceVector(input);
+  }
+  std::vector<std::vector<float>> EncodeBatch(
+      const std::vector<const text::EncodedInput*>& inputs) const override {
+    return model_->ServiceVectorBatch(inputs);
   }
   int dim() const override { return model_->encoder().config().d_model; }
 
@@ -47,6 +65,10 @@ class KTeleBertEncoder : public TextEncoder {
   explicit KTeleBertEncoder(const KTeleBert* model) : model_(model) {}
   std::vector<float> Encode(const text::EncodedInput& input) const override {
     return model_->ServiceVector(input);
+  }
+  std::vector<std::vector<float>> EncodeBatch(
+      const std::vector<const text::EncodedInput*>& inputs) const override {
+    return model_->ServiceVectorBatch(inputs);
   }
   int dim() const override { return model_->config().encoder.d_model; }
 
@@ -115,6 +137,17 @@ class ServiceEncoder {
 
   /// Service embedding of `name` under `mode`.
   std::vector<float> Encode(const std::string& name, ServiceMode mode) const;
+
+  /// Service embeddings of a whole catalogue of names through the batched
+  /// encoder path (BuildInput per name, one batched forward).
+  std::vector<std::vector<float>> EncodeBatch(
+      const std::vector<std::string>& names, ServiceMode mode) const;
+
+  /// Encodes already-built inputs through the batched encoder path.
+  std::vector<std::vector<float>> EncodeInputs(
+      const std::vector<const text::EncodedInput*>& inputs) const {
+    return encoder_->EncodeBatch(inputs);
+  }
 
   int dim() const { return encoder_->dim(); }
 

@@ -73,7 +73,15 @@ class TeleBert {
                            bool training) const;
 
   /// Detached [CLS] embedding as a plain vector (the "service vector").
+  /// Runs tape-free (tensor::NoGradGuard); safe to call concurrently from
+  /// many threads once the model is trained.
   std::vector<float> ServiceVector(const text::EncodedInput& input) const;
+
+  /// Service vectors for a whole batch through the ragged batched forward
+  /// path (one matmul per projection over all sequences). Row i agrees
+  /// with ServiceVector(inputs[i]) within float round-off.
+  std::vector<std::vector<float>> ServiceVectorBatch(
+      const std::vector<const text::EncodedInput*>& inputs) const;
 
   TransformerEncoder& encoder() { return *encoder_; }
   const TransformerEncoder& encoder() const { return *encoder_; }

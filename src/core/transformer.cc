@@ -1,5 +1,6 @@
 #include "core/transformer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -93,6 +94,40 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
   return output_.Forward(tensor::ConcatCols(heads));
 }
 
+Tensor MultiHeadSelfAttention::ForwardBatch(const Tensor& x,
+                                            const BatchOffsets& offsets) const {
+  TELEKIT_CHECK_GE(offsets.size(), 2u);
+  TELEKIT_CHECK_EQ(offsets.back(), x.dim(0));
+  // The projections are the expensive part; run them once over the whole
+  // ragged stack instead of once per sequence.
+  const Tensor q = query_.Forward(x);
+  const Tensor k = key_.Forward(x);
+  const Tensor v = value_.Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> sequences;
+  sequences.reserve(offsets.size() - 1);
+  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+    const int start = offsets[s];
+    const int len = offsets[s + 1] - start;
+    const Tensor qs = tensor::SliceRows(q, start, len);
+    const Tensor ks = tensor::SliceRows(k, start, len);
+    const Tensor vs = tensor::SliceRows(v, start, len);
+    std::vector<Tensor> heads;
+    heads.reserve(static_cast<size_t>(num_heads_));
+    for (int h = 0; h < num_heads_; ++h) {
+      const int col = h * head_dim_;
+      const Tensor qh = tensor::SliceCols(qs, col, head_dim_);
+      const Tensor kh = tensor::SliceCols(ks, col, head_dim_);
+      const Tensor vh = tensor::SliceCols(vs, col, head_dim_);
+      Tensor scores =
+          tensor::MulScalar(tensor::MatMul(qh, tensor::Transpose(kh)), scale);
+      heads.push_back(tensor::MatMul(tensor::Softmax(scores), vh));
+    }
+    sequences.push_back(tensor::ConcatCols(heads));
+  }
+  return output_.Forward(tensor::ConcatRows(sequences));
+}
+
 NamedParams MultiHeadSelfAttention::Parameters() const {
   NamedParams out;
   AppendWithPrefix("q", query_.Parameters(), &out);
@@ -116,6 +151,18 @@ Tensor TransformerLayer::Forward(const Tensor& x, float dropout, Rng& rng,
                                  bool training) const {
   Tensor attended =
       tensor::Dropout(attention_.Forward(x), dropout, rng, training);
+  Tensor h = norm1_.Forward(tensor::Add(x, attended));
+  Tensor ffn = ffn_out_.Forward(tensor::Gelu(ffn_in_.Forward(h)));
+  ffn = tensor::Dropout(ffn, dropout, rng, training);
+  return norm2_.Forward(tensor::Add(h, ffn));
+}
+
+Tensor TransformerLayer::ForwardBatch(const Tensor& x,
+                                      const BatchOffsets& offsets,
+                                      float dropout, Rng& rng,
+                                      bool training) const {
+  Tensor attended = tensor::Dropout(attention_.ForwardBatch(x, offsets),
+                                    dropout, rng, training);
   Tensor h = norm1_.Forward(tensor::Add(x, attended));
   Tensor ffn = ffn_out_.Forward(tensor::Gelu(ffn_in_.Forward(h)));
   ffn = tensor::Dropout(ffn, dropout, rng, training);
@@ -193,6 +240,73 @@ Tensor TransformerEncoder::Encode(const Tensor& embedded, Rng& rng,
 Tensor TransformerEncoder::Forward(const std::vector<int>& ids, int length,
                                    Rng& rng, bool training) const {
   return Encode(Embed(ids, length, {}, rng, training), rng, training);
+}
+
+Tensor TransformerEncoder::EmbedBatch(
+    const std::vector<const std::vector<int>*>& ids,
+    const std::vector<int>& lengths,
+    const std::vector<const std::vector<std::pair<int, Tensor>>*>& overrides,
+    BatchOffsets* offsets, Rng& rng, bool training) const {
+  TELEKIT_CHECK(!ids.empty());
+  TELEKIT_CHECK_EQ(ids.size(), lengths.size());
+  TELEKIT_CHECK(overrides.empty() || overrides.size() == ids.size());
+  TELEKIT_CHECK(offsets != nullptr);
+  offsets->assign(1, 0);
+  std::vector<int> flat_ids;
+  std::vector<int> positions;
+  // (global row, replacement) pairs, naturally sorted by row.
+  std::vector<std::pair<int, const Tensor*>> row_overrides;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int length = lengths[i];
+    TELEKIT_CHECK_GT(length, 0);
+    TELEKIT_CHECK_LE(length, static_cast<int>(ids[i]->size()));
+    TELEKIT_CHECK_LE(length, config_.max_len);
+    const int base = offsets->back();
+    flat_ids.insert(flat_ids.end(), ids[i]->begin(),
+                    ids[i]->begin() + length);
+    for (int p = 0; p < length; ++p) positions.push_back(p);
+    if (!overrides.empty() && overrides[i] != nullptr) {
+      for (const auto& [pos, t] : *overrides[i]) {
+        TELEKIT_CHECK_LT(pos, length);
+        row_overrides.emplace_back(base + pos, &t);
+      }
+    }
+    offsets->push_back(base + length);
+  }
+  Tensor token_rows = tensor::EmbeddingLookup(token_table_, flat_ids);
+  if (!row_overrides.empty()) {
+    // Splice overridden rows in, keeping unbroken runs as single slices.
+    std::sort(row_overrides.begin(), row_overrides.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<Tensor> parts;
+    int cursor = 0;
+    for (const auto& [row, t] : row_overrides) {
+      if (row > cursor) {
+        parts.push_back(tensor::SliceRows(token_rows, cursor, row - cursor));
+      }
+      parts.push_back(*t);
+      cursor = row + 1;
+    }
+    const int total = offsets->back();
+    if (cursor < total) {
+      parts.push_back(tensor::SliceRows(token_rows, cursor, total - cursor));
+    }
+    token_rows = tensor::ConcatRows(parts);
+  }
+  Tensor position_rows = tensor::GatherRows(position_table_, positions);
+  Tensor embedded =
+      embed_norm_.Forward(tensor::Add(token_rows, position_rows));
+  return tensor::Dropout(embedded, config_.dropout, rng, training);
+}
+
+Tensor TransformerEncoder::EncodeBatch(const Tensor& embedded,
+                                       const BatchOffsets& offsets, Rng& rng,
+                                       bool training) const {
+  Tensor h = embedded;
+  for (const TransformerLayer& layer : layers_) {
+    h = layer.ForwardBatch(h, offsets, config_.dropout, rng, training);
+  }
+  return h;
 }
 
 Tensor TransformerEncoder::MeanTokenEmbedding(

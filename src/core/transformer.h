@@ -53,6 +53,14 @@ class LayerNormParams {
   tensor::Tensor bias_;
 };
 
+/// Row offsets of a ragged batch: `offsets[i]` is the first row of
+/// sequence i in the stacked [sum(lengths), d] matrix and
+/// `offsets.back()` is the total row count (size B + 1). Packing ragged
+/// sequences instead of padding wastes no compute on [PAD] positions and
+/// keeps every row-wise op (projections, FFN, layer-norm) a single large
+/// matmul over the whole batch.
+using BatchOffsets = std::vector<int>;
+
 /// Multi-head self-attention over a single (unpadded) sequence [S, d].
 class MultiHeadSelfAttention {
  public:
@@ -60,6 +68,14 @@ class MultiHeadSelfAttention {
 
   /// [S, d] -> [S, d].
   tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  /// Batched variant over a ragged stack [N, d]: Q/K/V and output
+  /// projections run as one matmul each over all N rows; attention scores
+  /// are computed per sequence (rows never attend across sequence
+  /// boundaries). Bit-identical per row to Forward() on each sequence.
+  tensor::Tensor ForwardBatch(const tensor::Tensor& x,
+                              const BatchOffsets& offsets) const;
+
   NamedParams Parameters() const;
 
  private:
@@ -78,6 +94,12 @@ class TransformerLayer {
 
   tensor::Tensor Forward(const tensor::Tensor& x, float dropout, Rng& rng,
                          bool training) const;
+
+  /// Batched variant over a ragged stack (see BatchOffsets).
+  tensor::Tensor ForwardBatch(const tensor::Tensor& x,
+                              const BatchOffsets& offsets, float dropout,
+                              Rng& rng, bool training) const;
+
   NamedParams Parameters() const;
 
  private:
@@ -124,6 +146,26 @@ class TransformerEncoder {
   /// Convenience: Embed + Encode without overrides.
   tensor::Tensor Forward(const std::vector<int>& ids, int length, Rng& rng,
                          bool training) const;
+
+  /// One embedding-lookup pass for B sequences packed into a ragged stack:
+  /// returns [sum(lengths), d] and fills `offsets` (size B + 1) with the
+  /// row ranges. `overrides[i]`, when non-null, substitutes externally
+  /// computed [1, d] rows at sequence-local positions of sequence i (the
+  /// ANEnc hook); pass {} for none.
+  tensor::Tensor EmbedBatch(
+      const std::vector<const std::vector<int>*>& ids,
+      const std::vector<int>& lengths,
+      const std::vector<const std::vector<std::pair<int, tensor::Tensor>>*>&
+          overrides,
+      BatchOffsets* offsets, Rng& rng, bool training) const;
+
+  /// Runs the layer stack over a ragged embedded batch: [N, d] -> [N, d].
+  /// Row-wise sublayers execute as whole-batch matmuls; only attention
+  /// scores stay per-sequence. Row i of the result is bit-identical to the
+  /// corresponding row of Encode() on that sequence alone.
+  tensor::Tensor EncodeBatch(const tensor::Tensor& embedded,
+                             const BatchOffsets& offsets, Rng& rng,
+                             bool training) const;
 
   /// Raw (pre-layer-norm) embedding rows for a token id list, mean-pooled:
   /// [d]. Used for the ANEnc tag-name embedding t (Sec. IV-B).

@@ -1,0 +1,112 @@
+#ifndef TELEKIT_SERVE_BATCHER_H_
+#define TELEKIT_SERVE_BATCHER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace telekit {
+namespace serve {
+
+/// Tuning knobs for a MicroBatchQueue.
+struct BatcherOptions {
+  /// Bounded backpressure: Push() fails fast once this many items wait.
+  size_t capacity = 1024;
+  /// Flush a batch as soon as it reaches this size...
+  int max_batch = 8;
+  /// ...or once the oldest queued item has waited this long.
+  int64_t max_wait_us = 2000;
+  /// false degrades PopBatch() to one item at a time (baseline mode).
+  bool enable_batching = true;
+};
+
+/// Bounded MPMC queue that coalesces items into dynamically-sized
+/// micro-batches: a consumer popping from a non-empty queue waits up to
+/// `max_wait_us` (measured from the oldest item's enqueue) for the batch
+/// to fill to `max_batch`, then takes whatever has accumulated. Under
+/// load batches are full and no one waits; under trickle traffic the
+/// max-wait bound caps added latency.
+///
+/// Thread-safety: all methods are safe from any thread.
+template <typename T>
+class MicroBatchQueue {
+ public:
+  explicit MicroBatchQueue(const BatcherOptions& options)
+      : options_(options) {}
+
+  /// Enqueues an item; false when the queue is full or closed. On failure
+  /// `item` is left untouched, so the caller keeps ownership and can
+  /// reject the request.
+  bool Push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= options_.capacity) return false;
+      queue_.emplace_back(std::move(item), Clock::now());
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a batch is ready (or the queue is closed and drained);
+  /// an empty result means "closed, nothing left".
+  std::vector<T> PopBatch() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // closed
+    const size_t want =
+        options_.enable_batching
+            ? static_cast<size_t>(std::max(options_.max_batch, 1))
+            : 1;
+    if (options_.enable_batching && queue_.size() < want && !closed_) {
+      const auto flush_at =
+          queue_.front().second + std::chrono::microseconds(options_.max_wait_us);
+      cv_.wait_until(lock, flush_at,
+                     [&] { return closed_ || queue_.size() >= want; });
+    }
+    std::vector<T> batch;
+    batch.reserve(std::min(want, queue_.size()));
+    while (!queue_.empty() && batch.size() < want) {
+      batch.push_back(std::move(queue_.front().first));
+      queue_.pop_front();
+    }
+    // More items may remain; let another consumer start on them.
+    if (!queue_.empty()) cv_.notify_one();
+    return batch;
+  }
+
+  /// Wakes all consumers; PopBatch drains the remainder, then returns
+  /// empty. Push fails after Close.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  BatcherOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::pair<T, Clock::time_point>> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace telekit
+
+#endif  // TELEKIT_SERVE_BATCHER_H_

@@ -1,0 +1,101 @@
+#include "serve/embedding_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace telekit {
+namespace serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EmbeddingCache::EmbeddingCache(size_t capacity, int num_shards)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  TELEKIT_CHECK_GT(num_shards, 0);
+  const size_t shards =
+      RoundUpPow2(static_cast<size_t>(num_shards));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_capacity_ = std::max<size_t>(capacity_ / shards, 1);
+}
+
+bool EmbeddingCache::Get(uint64_t key, std::vector<float>* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (out != nullptr) *out = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void EmbeddingCache::Put(uint64_t key, std::vector<float> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+void EmbeddingCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+uint64_t EmbeddingCache::HashIds(const std::vector<int>& ids, int length) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  const int n = std::min<int>(length, static_cast<int>(ids.size()));
+  for (int i = 0; i < n; ++i) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(ids[i]));
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  h ^= static_cast<uint64_t>(static_cast<uint32_t>(n));
+  h *= 0x100000001B3ULL;
+  return h;
+}
+
+size_t EmbeddingCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+double EmbeddingCache::HitRate() const {
+  const uint64_t h = hits();
+  const uint64_t m = misses();
+  return (h + m) == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+}  // namespace serve
+}  // namespace telekit

@@ -1,0 +1,83 @@
+#ifndef TELEKIT_SERVE_EMBEDDING_CACHE_H_
+#define TELEKIT_SERVE_EMBEDDING_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace telekit {
+namespace serve {
+
+/// Sharded LRU cache from a token-id hash to a service vector. Shards are
+/// selected by key bits, each shard holds its own mutex + LRU list, so
+/// concurrent workers on different shards never contend. Eviction is
+/// per-shard (capacity is split evenly across shards), which approximates
+/// global LRU well when keys hash uniformly.
+///
+/// Thread-safety: Get/Put/size are safe from any thread. Statistics are
+/// relaxed atomics — monotonically consistent, not a snapshot.
+class EmbeddingCache {
+ public:
+  /// `capacity` is the total number of cached vectors across all shards
+  /// (minimum 1 per shard); `num_shards` is rounded up to a power of two.
+  EmbeddingCache(size_t capacity, int num_shards = 8);
+
+  /// Copies the cached vector into `out` and promotes the entry to
+  /// most-recently-used. False on miss.
+  bool Get(uint64_t key, std::vector<float>* out);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's LRU tail when
+  /// the shard is at capacity.
+  void Put(uint64_t key, std::vector<float> value);
+
+  /// Drops every entry (statistics are kept).
+  void Clear();
+
+  /// FNV-1a-style hash of the first `length` token ids, the standard cache
+  /// key for an encoded input (ids past `length` are [PAD] and ignored).
+  static uint64_t HashIds(const std::vector<int>& ids, int length);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// hits / (hits + misses); 0 when empty.
+  double HitRate() const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<uint64_t, std::vector<float>>> lru;
+    std::unordered_map<
+        uint64_t,
+        std::list<std::pair<uint64_t, std::vector<float>>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    return *shards_[key & (shards_.size() - 1)];
+  }
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace serve
+}  // namespace telekit
+
+#endif  // TELEKIT_SERVE_EMBEDDING_CACHE_H_

@@ -1,0 +1,329 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace telekit {
+namespace serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& rejected;
+  obs::Counter& deadline_exceeded;
+  obs::Gauge& queue_depth;
+  obs::Histogram& batch_size;
+  obs::Histogram& queue_ms;
+  obs::Histogram& encode_ms;
+  obs::Histogram& request_ms;
+
+  static ServeMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static ServeMetrics m{
+        reg.GetCounter("serve/requests"),
+        reg.GetCounter("serve/rejected"),
+        reg.GetCounter("serve/deadline_exceeded"),
+        reg.GetGauge("serve/queue_depth"),
+        reg.GetHistogram("serve/batch_size",
+                         {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}),
+        reg.GetHistogram("serve/queue_ms"),
+        reg.GetHistogram("serve/encode_ms"),
+        reg.GetHistogram("serve/request_ms"),
+    };
+    return m;
+  }
+};
+
+double MsSince(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+std::string TaskOpName(TaskOp op) {
+  switch (op) {
+    case TaskOp::kEncode:
+      return "encode";
+    case TaskOp::kRca:
+      return "rca";
+    case TaskOp::kEap:
+      return "eap";
+    case TaskOp::kFct:
+      return "fct";
+  }
+  return "unknown";
+}
+
+ServeEngine::ServeEngine(const core::ServiceEncoder* service,
+                         const EngineOptions& options)
+    : service_(service),
+      options_(options),
+      cache_(std::max<size_t>(options.cache_capacity, 1),
+             std::max(options.cache_shards, 1)),
+      queue_(BatcherOptions{options.queue_capacity,
+                            std::max(options.max_batch, 1),
+                            options.max_wait_us, options.enable_batching}) {
+  TELEKIT_CHECK(service_ != nullptr);
+  TELEKIT_CHECK_GE(options_.num_workers, 0);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServeEngine::~ServeEngine() { Stop(); }
+
+Status ServeEngine::LoadCatalog(TaskOp op,
+                                const std::vector<std::string>& names) {
+  if (op == TaskOp::kEncode) {
+    return Status::InvalidArgument("encode takes no catalogue");
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("empty catalogue for op " + TaskOpName(op));
+  }
+  TELEKIT_SPAN("serve/load_catalog");
+  Catalog catalog;
+  catalog.names = names;
+  // One batched forward over the whole catalogue; also warms the cache so
+  // queries that coincide with catalogue entries hit immediately.
+  std::vector<text::EncodedInput> inputs;
+  inputs.reserve(names.size());
+  std::vector<const text::EncodedInput*> ptrs;
+  ptrs.reserve(names.size());
+  for (const std::string& name : names) {
+    inputs.push_back(
+        service_->BuildInput(name, core::ServiceMode::kEntityNoAttr));
+    ptrs.push_back(&inputs.back());
+  }
+  catalog.embeddings = service_->EncodeInputs(ptrs);
+  if (options_.enable_cache) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      cache_.Put(EmbeddingCache::HashIds(inputs[i].ids, inputs[i].length),
+                 catalog.embeddings[i]);
+    }
+  }
+  TELEKIT_LOG(INFO) << "serve: loaded catalogue op=" << TaskOpName(op)
+                    << " size=" << catalog.names.size();
+  catalogs_[op] = std::move(catalog);
+  return Status::Ok();
+}
+
+size_t ServeEngine::CatalogSize(TaskOp op) const {
+  auto it = catalogs_.find(op);
+  return it == catalogs_.end() ? 0 : it->second.names.size();
+}
+
+std::future<Response> ServeEngine::Submit(Request request) {
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->enqueued = Clock::now();
+  if (pending->request.deadline_ms > 0.0) {
+    pending->deadline =
+        pending->enqueued +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                pending->request.deadline_ms));
+  }
+  std::future<Response> future = pending->promise.get_future();
+  if (queue_.Push(std::move(pending))) {
+    ServeMetrics::Get().queue_depth.Set(static_cast<double>(queue_.size()));
+    return future;
+  }
+  // Push leaves `pending` intact on failure: reject here so the future is
+  // still fulfilled.
+  ServeMetrics::Get().rejected.Increment();
+  Response response;
+  response.status =
+      Status::Unavailable(stopped_.load() ? "engine stopped"
+                                          : "serve queue full");
+  pending->promise.set_value(std::move(response));
+  return future;
+}
+
+void ServeEngine::WorkerLoop() {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  while (true) {
+    std::vector<std::unique_ptr<Pending>> batch = queue_.PopBatch();
+    if (batch.empty()) return;  // closed and drained
+    metrics.queue_depth.Set(static_cast<double>(queue_.size()));
+    metrics.batch_size.Observe(static_cast<double>(batch.size()));
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void ServeEngine::ProcessBatch(
+    std::vector<std::unique_ptr<Pending>> batch) const {
+  TELEKIT_SPAN("serve/batch");
+  ServeMetrics& metrics = ServeMetrics::Get();
+  const int batch_size = static_cast<int>(batch.size());
+  const Clock::time_point started = Clock::now();
+
+  struct Live {
+    Pending* pending = nullptr;
+    text::EncodedInput input;
+    uint64_t key = 0;
+    std::vector<float> vector;
+    bool cache_hit = false;
+  };
+  std::vector<Live> live;
+  live.reserve(batch.size());
+
+  // Expire requests whose deadline lapsed while queued.
+  for (auto& pending : batch) {
+    pending->queue_ms = MsSince(pending->enqueued, started);
+    if (pending->deadline != Clock::time_point() &&
+        started > pending->deadline) {
+      metrics.deadline_exceeded.Increment();
+      Response response;
+      response.status = Status::DeadlineExceeded(
+          "deadline lapsed after " + std::to_string(pending->queue_ms) +
+          " ms in queue");
+      response.batch_size = batch_size;
+      response.queue_ms = pending->queue_ms;
+      response.total_ms = pending->queue_ms;
+      pending->promise.set_value(std::move(response));
+      pending.reset();
+      continue;
+    }
+    Live item;
+    item.pending = pending.get();
+    live.push_back(std::move(item));
+  }
+
+  // Tokenize + prompt-build (const tokenizer: safe concurrently).
+  {
+    TELEKIT_SPAN("serve/tokenize");
+    for (Live& item : live) {
+      item.input = service_->BuildInput(item.pending->request.text,
+                                        item.pending->request.mode);
+      item.key = EmbeddingCache::HashIds(item.input.ids, item.input.length);
+    }
+  }
+
+  // Cache probe, then one batched forward over the misses.
+  std::vector<size_t> miss_indices;
+  miss_indices.reserve(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (options_.enable_cache && cache_.Get(live[i].key, &live[i].vector)) {
+      live[i].cache_hit = true;
+    } else {
+      miss_indices.push_back(i);
+    }
+  }
+  double encode_ms = 0.0;
+  if (!miss_indices.empty()) {
+    TELEKIT_SPAN("serve/encode");
+    obs::ScopedTimer timer(metrics.encode_ms);
+    std::vector<const text::EncodedInput*> inputs;
+    inputs.reserve(miss_indices.size());
+    for (size_t i : miss_indices) inputs.push_back(&live[i].input);
+    std::vector<std::vector<float>> vectors = service_->EncodeInputs(inputs);
+    encode_ms = timer.ElapsedMs();
+    for (size_t j = 0; j < miss_indices.size(); ++j) {
+      Live& item = live[miss_indices[j]];
+      item.vector = std::move(vectors[j]);
+      if (options_.enable_cache) cache_.Put(item.key, item.vector);
+    }
+  }
+
+  // Score against the per-op catalogue and fulfil.
+  {
+    TELEKIT_SPAN("serve/score");
+    for (Live& item : live) {
+      Response response;
+      response.cache_hit = item.cache_hit;
+      response.batch_size = batch_size;
+      response.queue_ms = item.pending->queue_ms;
+      response.encode_ms = item.cache_hit ? 0.0 : encode_ms;
+      FinishRequest(item.pending->request, std::move(item.vector), &response);
+      response.total_ms = MsSince(item.pending->enqueued, Clock::now());
+      metrics.requests.Increment();
+      metrics.queue_ms.Observe(response.queue_ms);
+      metrics.request_ms.Observe(response.total_ms);
+      item.pending->promise.set_value(std::move(response));
+    }
+  }
+}
+
+Response ServeEngine::Process(const Request& request) const {
+  TELEKIT_SPAN("serve/process");
+  ServeMetrics& metrics = ServeMetrics::Get();
+  const Clock::time_point started = Clock::now();
+  Response response;
+  response.batch_size = 1;
+
+  text::EncodedInput input;
+  {
+    TELEKIT_SPAN("serve/tokenize");
+    input = service_->BuildInput(request.text, request.mode);
+  }
+  const uint64_t key = EmbeddingCache::HashIds(input.ids, input.length);
+  std::vector<float> vector;
+  if (options_.enable_cache && cache_.Get(key, &vector)) {
+    response.cache_hit = true;
+  } else {
+    TELEKIT_SPAN("serve/encode");
+    obs::ScopedTimer timer(metrics.encode_ms);
+    std::vector<const text::EncodedInput*> one{&input};
+    vector = std::move(service_->EncodeInputs(one)[0]);
+    response.encode_ms = timer.ElapsedMs();
+    if (options_.enable_cache) cache_.Put(key, vector);
+  }
+  FinishRequest(request, std::move(vector), &response);
+  response.total_ms = MsSince(started, Clock::now());
+  metrics.requests.Increment();
+  metrics.request_ms.Observe(response.total_ms);
+  metrics.batch_size.Observe(1.0);
+  return response;
+}
+
+void ServeEngine::FinishRequest(const Request& request,
+                                std::vector<float> vector,
+                                Response* response) const {
+  if (request.op == TaskOp::kEncode) {
+    response->vector = std::move(vector);
+    response->status = Status::Ok();
+    return;
+  }
+  auto it = catalogs_.find(request.op);
+  if (it == catalogs_.end()) {
+    response->status = Status::FailedPrecondition(
+        "no catalogue loaded for op " + TaskOpName(request.op));
+    return;
+  }
+  response->results = tasks::TopKByCosine(vector, it->second.names,
+                                          it->second.embeddings,
+                                          request.top_k);
+  response->status = Status::Ok();
+}
+
+void ServeEngine::Stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // With num_workers == 0 (or a race against Close) items may still sit in
+  // the queue; fail them so every Submit() future is fulfilled.
+  while (true) {
+    std::vector<std::unique_ptr<Pending>> remainder = queue_.PopBatch();
+    if (remainder.empty()) break;
+    for (auto& pending : remainder) {
+      Response response;
+      response.status = Status::Unavailable("engine stopped");
+      response.queue_ms = MsSince(pending->enqueued, Clock::now());
+      response.total_ms = response.queue_ms;
+      pending->promise.set_value(std::move(response));
+    }
+  }
+  ServeMetrics::Get().queue_depth.Set(0.0);
+}
+
+}  // namespace serve
+}  // namespace telekit

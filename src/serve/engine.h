@@ -1,0 +1,160 @@
+#ifndef TELEKIT_SERVE_ENGINE_H_
+#define TELEKIT_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/service.h"
+#include "serve/batcher.h"
+#include "serve/embedding_cache.h"
+#include "tasks/scoring.h"
+
+namespace telekit {
+namespace serve {
+
+/// The four online fault-analysis operations of the paper's deployment
+/// (Sec. V): raw service-vector encoding plus nearest-neighbour retrieval
+/// against per-task catalogues for root-cause analysis, alarm/event
+/// association prediction, and fault-chain tracing.
+enum class TaskOp { kEncode, kRca, kEap, kFct };
+
+/// Display/protocol name ("encode", "rca", "eap", "fct").
+std::string TaskOpName(TaskOp op);
+
+/// One inference request.
+struct Request {
+  TaskOp op = TaskOp::kEncode;
+  /// Target surface (alarm name, entity name, log text...).
+  std::string text;
+  /// Service-delivery format for prompt construction (Sec. V-A3).
+  core::ServiceMode mode = core::ServiceMode::kEntityNoAttr;
+  /// Candidates returned for task ops (<= 0 means the whole catalogue).
+  int top_k = 5;
+  /// Total time budget inside the engine; 0 disables the deadline.
+  /// Requests whose deadline lapses while queued are failed without being
+  /// encoded.
+  double deadline_ms = 0.0;
+};
+
+/// One inference response.
+struct Response {
+  Status status;
+  /// kEncode: the service vector.
+  std::vector<float> vector;
+  /// Task ops: ranked catalogue candidates.
+  std::vector<tasks::ScoredCandidate> results;
+  /// True when the service vector came from the EmbeddingCache.
+  bool cache_hit = false;
+  /// Size of the micro-batch this request rode in (1 = unbatched).
+  int batch_size = 0;
+  double queue_ms = 0.0;
+  double encode_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+/// Engine tuning knobs.
+struct EngineOptions {
+  int num_workers = 4;
+  /// Micro-batching (see BatcherOptions).
+  size_t queue_capacity = 1024;
+  int max_batch = 8;
+  int64_t max_wait_us = 2000;
+  bool enable_batching = true;
+  /// Service-vector memoization.
+  size_t cache_capacity = 4096;
+  int cache_shards = 8;
+  bool enable_cache = true;
+};
+
+/// Multi-threaded batched inference engine over one ServiceEncoder:
+///
+///   Submit() -> bounded deadline queue -> worker pool -> micro-batch
+///   -> tokenize -> EmbeddingCache probe -> batched encoder forward for
+///   the misses -> per-task catalogue scoring -> promise fulfilment
+///
+/// Every stage reports to telekit::obs (serve/* metrics and spans).
+///
+/// Thread-safety: Submit/Process are safe from any thread. LoadCatalog
+/// must complete before requests for that op are submitted. The
+/// ServiceEncoder (and the model behind it) must stay alive and unmodified
+/// for the engine's lifetime.
+class ServeEngine {
+ public:
+  /// `service` is borrowed. With num_workers == 0 the engine never drains
+  /// its queue (useful for deterministic backpressure tests); Stop() then
+  /// fails the queued requests as Unavailable.
+  ServeEngine(const core::ServiceEncoder* service,
+              const EngineOptions& options);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Registers the candidate catalogue for a task op, encoding every name
+  /// through the batched path (and warming the cache). Replaces any
+  /// previous catalogue for that op.
+  Status LoadCatalog(TaskOp op, const std::vector<std::string>& names);
+
+  /// Number of candidates in the catalogue for `op` (0 when absent).
+  size_t CatalogSize(TaskOp op) const;
+
+  /// Enqueues a request. The future is always fulfilled: with the result,
+  /// or with Unavailable (queue full / shutdown) or DeadlineExceeded.
+  std::future<Response> Submit(Request request);
+
+  /// Synchronous single-input path: no queue, no batching, optional cache.
+  /// This is the "unbatched baseline" the load generator compares against
+  /// (with enable_cache = false).
+  Response Process(const Request& request) const;
+
+  /// Stops workers and fails everything still queued. Idempotent; also
+  /// called by the destructor.
+  void Stop();
+
+  const EngineOptions& options() const { return options_; }
+  const EmbeddingCache& cache() const { return cache_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    Clock::time_point enqueued;
+    /// Zero time_point when the request carries no deadline.
+    Clock::time_point deadline;
+    /// Filled in by the worker when the batch is popped.
+    double queue_ms = 0.0;
+  };
+
+  struct Catalog {
+    std::vector<std::string> names;
+    std::vector<std::vector<float>> embeddings;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<std::unique_ptr<Pending>> batch) const;
+  /// Scores a vector against the op's catalogue into `response`.
+  void FinishRequest(const Request& request, std::vector<float> vector,
+                     Response* response) const;
+
+  const core::ServiceEncoder* service_;
+  EngineOptions options_;
+  mutable EmbeddingCache cache_;
+  MicroBatchQueue<std::unique_ptr<Pending>> queue_;
+  std::map<TaskOp, Catalog> catalogs_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace serve
+}  // namespace telekit
+
+#endif  // TELEKIT_SERVE_ENGINE_H_

@@ -1,0 +1,149 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+namespace telekit {
+namespace serve {
+
+std::string ServiceModeName(core::ServiceMode mode) {
+  switch (mode) {
+    case core::ServiceMode::kOnlyName:
+      return "name";
+    case core::ServiceMode::kEntityNoAttr:
+      return "entity";
+    case core::ServiceMode::kEntityWithAttr:
+      return "entity_attr";
+  }
+  return "unknown";
+}
+
+bool ParseServiceMode(const std::string& name, core::ServiceMode* mode) {
+  if (name == "name") {
+    *mode = core::ServiceMode::kOnlyName;
+  } else if (name == "entity") {
+    *mode = core::ServiceMode::kEntityNoAttr;
+  } else if (name == "entity_attr") {
+    *mode = core::ServiceMode::kEntityWithAttr;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseTaskOp(const std::string& name, TaskOp* op) {
+  if (name == "encode") {
+    *op = TaskOp::kEncode;
+  } else if (name == "rca") {
+    *op = TaskOp::kRca;
+  } else if (name == "eap") {
+    *op = TaskOp::kEap;
+  } else if (name == "fct") {
+    *op = TaskOp::kFct;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status ParseRequest(const obs::JsonValue& json, Request* request) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  *request = Request();
+  if (const obs::JsonValue* op = json.Find("op")) {
+    if (!op->is_string() || !ParseTaskOp(op->AsString(), &request->op)) {
+      return Status::InvalidArgument(
+          "bad op (want encode|rca|eap|fct): " + op->Dump());
+    }
+  }
+  const obs::JsonValue* text = json.Find("text");
+  if (text == nullptr || !text->is_string()) {
+    return Status::InvalidArgument("missing string field 'text'");
+  }
+  request->text = text->AsString();
+  if (request->text.empty()) {
+    return Status::InvalidArgument("'text' must be non-empty");
+  }
+  if (const obs::JsonValue* mode = json.Find("mode")) {
+    if (!mode->is_string() ||
+        !ParseServiceMode(mode->AsString(), &request->mode)) {
+      return Status::InvalidArgument(
+          "bad mode (want name|entity|entity_attr): " + mode->Dump());
+    }
+  }
+  if (const obs::JsonValue* top_k = json.Find("top_k")) {
+    if (!top_k->is_number()) {
+      return Status::InvalidArgument("'top_k' must be a number");
+    }
+    request->top_k = static_cast<int>(top_k->AsNumber());
+  }
+  if (const obs::JsonValue* deadline = json.Find("deadline_ms")) {
+    if (!deadline->is_number() || deadline->AsNumber() < 0.0) {
+      return Status::InvalidArgument("'deadline_ms' must be >= 0");
+    }
+    request->deadline_ms = deadline->AsNumber();
+  }
+  return Status::Ok();
+}
+
+Status ParseRequestLine(const std::string& line, Request* request) {
+  obs::JsonValue json;
+  std::string error;
+  if (!obs::JsonValue::Parse(line, &json, &error)) {
+    return Status::InvalidArgument("bad JSON: " + error);
+  }
+  return ParseRequest(json, request);
+}
+
+namespace {
+
+void SetId(obs::JsonValue* out, const obs::JsonValue* id) {
+  out->Set("id", id != nullptr ? *id : obs::JsonValue());
+}
+
+}  // namespace
+
+obs::JsonValue ResponseToJson(const Request& request, const Response& response,
+                              const obs::JsonValue* id) {
+  if (!response.status.ok()) return ErrorToJson(response.status, id);
+  obs::JsonValue out = obs::JsonValue::Object();
+  SetId(&out, id);
+  out.Set("ok", obs::JsonValue(true));
+  out.Set("op", obs::JsonValue(TaskOpName(request.op)));
+  if (request.op == TaskOp::kEncode) {
+    obs::JsonValue vec = obs::JsonValue::Array();
+    for (float v : response.vector) {
+      vec.Append(obs::JsonValue(static_cast<double>(v)));
+    }
+    out.Set("vector", std::move(vec));
+  } else {
+    obs::JsonValue results = obs::JsonValue::Array();
+    for (const tasks::ScoredCandidate& candidate : response.results) {
+      obs::JsonValue item = obs::JsonValue::Object();
+      item.Set("name", obs::JsonValue(candidate.name));
+      item.Set("score", obs::JsonValue(static_cast<double>(candidate.score)));
+      results.Append(std::move(item));
+    }
+    out.Set("results", std::move(results));
+  }
+  out.Set("cache_hit", obs::JsonValue(response.cache_hit));
+  out.Set("batch_size", obs::JsonValue(response.batch_size));
+  out.Set("queue_ms", obs::JsonValue(response.queue_ms));
+  out.Set("total_ms", obs::JsonValue(response.total_ms));
+  return out;
+}
+
+obs::JsonValue ErrorToJson(const Status& status, const obs::JsonValue* id) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  SetId(&out, id);
+  out.Set("ok", obs::JsonValue(false));
+  obs::JsonValue error = obs::JsonValue::Object();
+  error.Set("code", obs::JsonValue(static_cast<int>(status.code())));
+  error.Set("message", obs::JsonValue(status.message()));
+  error.Set("status", obs::JsonValue(status.ToString()));
+  out.Set("error", std::move(error));
+  return out;
+}
+
+}  // namespace serve
+}  // namespace telekit

@@ -1,0 +1,50 @@
+#ifndef TELEKIT_SERVE_PROTOCOL_H_
+#define TELEKIT_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "serve/engine.h"
+
+namespace telekit {
+namespace serve {
+
+/// Newline-delimited JSON wire protocol for telekit_serve. One request
+/// object per line in, one response object per line out:
+///
+///   {"op": "rca", "text": "ospf neighbor down", "top_k": 3}
+///   -> {"id": null, "ok": true, "op": "rca", "results": [
+///        {"name": "...", "score": 0.93}, ...], "cache_hit": false, ...}
+///
+/// Fields: `op` ("encode" | "rca" | "eap" | "fct", default "encode"),
+/// `text` (required), `mode` ("name" | "entity" | "entity_attr", default
+/// "entity"), `top_k`, `deadline_ms`, and a free-form `id` echoed back for
+/// client-side correlation.
+
+/// Parses one request line. On error the returned Status describes the
+/// problem and `request` is unspecified.
+Status ParseRequest(const obs::JsonValue& json, Request* request);
+
+/// Convenience: parse from raw text (must be a JSON object).
+Status ParseRequestLine(const std::string& line, Request* request);
+
+/// Serializes a response; `id` is echoed verbatim (null when absent in the
+/// request). Errors come back as {"ok": false, "error": {"code", "message"}}.
+obs::JsonValue ResponseToJson(const Request& request, const Response& response,
+                              const obs::JsonValue* id);
+
+/// Error reply for lines that never produced a Request (parse failures).
+obs::JsonValue ErrorToJson(const Status& status, const obs::JsonValue* id);
+
+/// Round-trips a ServiceMode to/from its wire name.
+std::string ServiceModeName(core::ServiceMode mode);
+bool ParseServiceMode(const std::string& name, core::ServiceMode* mode);
+
+/// Round-trips a TaskOp from its wire name (TaskOpName is the inverse).
+bool ParseTaskOp(const std::string& name, TaskOp* op);
+
+}  // namespace serve
+}  // namespace telekit
+
+#endif  // TELEKIT_SERVE_PROTOCOL_H_

@@ -1,0 +1,328 @@
+// telekit_serve: newline-delimited-JSON fault-analysis server.
+//
+// Reads one JSON request per line from stdin (default) or from TCP
+// connections (--port=N), answers one JSON object per line. See
+// serve/protocol.h for the wire format and README.md for a quick-start
+// session.
+//
+// By default the model is an untrained TeleBERT over a small synthetic
+// world so the server starts in seconds; pass --pretrain-steps=N to
+// pre-train first (or point TELEKIT_CACHE at an existing checkpoint dir).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/model_zoo.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+
+namespace telekit {
+namespace serve {
+namespace {
+
+struct Flags {
+  int port = 0;  // 0 = stdin/stdout
+  int workers = 4;
+  int max_batch = 8;
+  int64_t max_wait_us = 2000;
+  size_t queue_capacity = 1024;
+  size_t cache_capacity = 4096;
+  int cache_shards = 8;
+  bool batching = true;
+  bool cache = true;
+  int pretrain_steps = 0;
+  uint64_t seed = 20230401;
+  std::string obs_json;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+void PrintUsage() {
+  std::cerr
+      << "usage: telekit_serve [options]\n"
+      << "  --port=N            serve TCP instead of stdin/stdout\n"
+      << "  --workers=N         engine worker threads (default 4)\n"
+      << "  --max-batch=N       micro-batch size cap (default 8)\n"
+      << "  --max-wait-us=N     micro-batch flush deadline (default 2000)\n"
+      << "  --queue-capacity=N  bounded queue size (default 1024)\n"
+      << "  --cache-capacity=N  embedding cache entries (default 4096)\n"
+      << "  --cache-shards=N    embedding cache shards (default 8)\n"
+      << "  --no-batching       one request per forward\n"
+      << "  --no-cache          disable the embedding cache\n"
+      << "  --pretrain-steps=N  TeleBERT pre-training steps (default 0)\n"
+      << "  --seed=N            world/model seed\n"
+      << "  --obs-json=PATH     write metrics/trace report on exit\n"
+      << "  --log-level=LEVEL   debug|info|warn|error|off\n";
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (ParseFlag(arg, "port", &v)) {
+      flags->port = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "workers", &v)) {
+      flags->workers = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "max-batch", &v)) {
+      flags->max_batch = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "max-wait-us", &v)) {
+      flags->max_wait_us = std::atoll(v.c_str());
+    } else if (ParseFlag(arg, "queue-capacity", &v)) {
+      flags->queue_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(arg, "cache-capacity", &v)) {
+      flags->cache_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(arg, "cache-shards", &v)) {
+      flags->cache_shards = std::atoi(v.c_str());
+    } else if (arg == "--no-batching") {
+      flags->batching = false;
+    } else if (arg == "--no-cache") {
+      flags->cache = false;
+    } else if (ParseFlag(arg, "pretrain-steps", &v)) {
+      flags->pretrain_steps = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "seed", &v)) {
+      flags->seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(arg, "obs-json", &v)) {
+      flags->obs_json = v;
+    } else if (ParseFlag(arg, "log-level", &v)) {
+      obs::Logger::Global().set_level(obs::ParseLogLevel(v));
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      PrintUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Small, fast-to-build zoo sized for interactive startup.
+core::ZooConfig ServeZooConfig(const Flags& flags) {
+  core::ZooConfig config;
+  config.seed = flags.seed;
+  config.world.num_alarm_types = 48;
+  config.world.num_kpi_types = 24;
+  config.corpus.num_tele_sentences = 1500;
+  config.corpus.num_general_sentences = 1500;
+  config.num_episodes = 40;
+  config.pretrain.steps = flags.pretrain_steps;
+  config.cache_dir = "";  // TELEKIT_CACHE env still overrides
+  return config;
+}
+
+/// One client connection (or the stdin/stdout session): parses NDJSON
+/// requests, pipelines them through the engine (so micro-batches can form
+/// even for a single client), and writes responses in request order.
+void ServeStream(ServeEngine& engine, std::istream& in, std::ostream& out) {
+  struct InFlight {
+    Request request;
+    std::unique_ptr<obs::JsonValue> id;
+    std::future<Response> future;
+  };
+  std::deque<InFlight> in_flight;
+
+  auto emit_front = [&] {
+    InFlight item = std::move(in_flight.front());
+    in_flight.pop_front();
+    out << ResponseToJson(item.request, item.future.get(), item.id.get())
+               .Dump()
+        << "\n";
+    out.flush();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    obs::JsonValue json;
+    std::string parse_error;
+    std::unique_ptr<obs::JsonValue> id;
+    Request request;
+    Status status;
+    if (!obs::JsonValue::Parse(line, &json, &parse_error)) {
+      status = Status::InvalidArgument("bad JSON: " + parse_error);
+    } else {
+      if (const obs::JsonValue* found = json.Find("id")) {
+        id = std::make_unique<obs::JsonValue>(*found);
+      }
+      status = ParseRequest(json, &request);
+    }
+    if (!status.ok()) {
+      out << ErrorToJson(status, id.get()).Dump() << "\n";
+      out.flush();
+      continue;
+    }
+    in_flight.push_back(
+        InFlight{request, std::move(id), engine.Submit(request)});
+    // Flush every response that is already done, preserving order.
+    while (!in_flight.empty() &&
+           in_flight.front().future.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      emit_front();
+    }
+  }
+  while (!in_flight.empty()) emit_front();
+}
+
+/// Minimal buffered istream over a connected socket, enough for getline.
+class SocketStreamBuf : public std::streambuf {
+ public:
+  explicit SocketStreamBuf(int fd) : fd_(fd) {}
+
+ protected:
+  int underflow() override {
+    const ssize_t n = ::recv(fd_, buffer_, sizeof(buffer_), 0);
+    if (n <= 0) return traits_type::eof();
+    setg(buffer_, buffer_, buffer_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::send(fd_, s + sent,
+                               static_cast<size_t>(n - sent), MSG_NOSIGNAL);
+      if (w <= 0) return sent;
+      sent += w;
+    }
+    return sent;
+  }
+
+  int overflow(int c) override {
+    if (c == traits_type::eof()) return traits_type::eof();
+    const char ch = static_cast<char>(c);
+    return xsputn(&ch, 1) == 1 ? c : traits_type::eof();
+  }
+
+ private:
+  int fd_;
+  char buffer_[4096];
+};
+
+int ServeTcp(ServeEngine& engine, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "socket(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, 64) < 0) {
+    std::cerr << "bind/listen on 127.0.0.1:" << port << ": "
+              << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "telekit_serve listening on 127.0.0.1:" << port << "\n";
+  std::vector<std::thread> connections;
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    connections.emplace_back([&engine, fd] {
+      SocketStreamBuf buf(fd);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      ServeStream(engine, in, out);
+      ::close(fd);
+    });
+  }
+  ::close(listener);
+  for (std::thread& t : connections) t.join();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 1;
+  if (!flags.obs_json.empty()) {
+    obs::TraceCollector::Global().set_recording(true);
+  }
+
+  std::cerr << "telekit_serve: building model (pretrain_steps="
+            << flags.pretrain_steps << ")...\n";
+  core::ModelZoo zoo(ServeZooConfig(flags));
+  zoo.BuildData();
+  zoo.BuildPretrained();
+  core::TeleBertEncoder encoder(&zoo.telebert());
+  core::ServiceEncoder service(&encoder, &zoo.tokenizer(), &zoo.store(),
+                               &zoo.normalizer());
+
+  EngineOptions options;
+  options.num_workers = flags.workers;
+  options.queue_capacity = flags.queue_capacity;
+  options.max_batch = flags.max_batch;
+  options.max_wait_us = flags.max_wait_us;
+  options.enable_batching = flags.batching;
+  options.cache_capacity = flags.cache_capacity;
+  options.cache_shards = flags.cache_shards;
+  options.enable_cache = flags.cache;
+  ServeEngine engine(&service, options);
+
+  // Task catalogues come from the synthetic world's alarm book: all three
+  // retrieval ops rank alarm surfaces.
+  std::vector<std::string> alarm_names;
+  alarm_names.reserve(zoo.world().alarms().size());
+  for (const auto& alarm : zoo.world().alarms()) {
+    alarm_names.push_back(alarm.name);
+  }
+  for (TaskOp op : {TaskOp::kRca, TaskOp::kEap, TaskOp::kFct}) {
+    const Status status = engine.LoadCatalog(op, alarm_names);
+    if (!status.ok()) {
+      std::cerr << "LoadCatalog(" << TaskOpName(op)
+                << "): " << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  std::cerr << "telekit_serve: ready (" << alarm_names.size()
+            << " catalogue entries, " << flags.workers << " workers)\n";
+
+  int rc = 0;
+  if (flags.port > 0) {
+    rc = ServeTcp(engine, flags.port);
+  } else {
+    ServeStream(engine, std::cin, std::cout);
+  }
+  engine.Stop();
+  std::cerr << "telekit_serve: done; cache hit rate "
+            << engine.cache().HitRate() << "\n";
+  if (!flags.obs_json.empty()) obs::WriteReport(flags.obs_json);
+  return rc;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace telekit
+
+int main(int argc, char** argv) {
+  return telekit::serve::Main(argc, argv);
+}

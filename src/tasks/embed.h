@@ -44,19 +44,19 @@ inline void WhitenEmbeddings(std::vector<std::vector<float>>& embeddings) {
 }
 
 /// Encodes every surface with the service encoder (Eq. 12 applied to a
-/// whole catalogue); row i is the embedding of surfaces[i]. Whitening is
-/// applied by default (see WhitenEmbeddings).
+/// whole catalogue); row i is the embedding of surfaces[i]. Uses the
+/// batched forward path (one projection matmul over the whole catalogue
+/// for transformer-backed encoders); per-row values agree with the
+/// one-at-a-time path within float round-off. Whitening is applied by
+/// default (see WhitenEmbeddings).
 inline std::vector<std::vector<float>> EmbedSurfaces(
     const core::ServiceEncoder& service,
     const std::vector<std::string>& surfaces,
     core::ServiceMode mode = core::ServiceMode::kEntityNoAttr,
     bool whiten = true) {
   TELEKIT_SPAN("encode/surfaces");
-  std::vector<std::vector<float>> embeddings;
-  embeddings.reserve(surfaces.size());
-  for (const std::string& surface : surfaces) {
-    embeddings.push_back(service.Encode(surface, mode));
-  }
+  std::vector<std::vector<float>> embeddings =
+      service.EncodeBatch(surfaces, mode);
   if (whiten) WhitenEmbeddings(embeddings);
   return embeddings;
 }

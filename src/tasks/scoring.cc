@@ -1,0 +1,48 @@
+#include "tasks/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace telekit {
+namespace tasks {
+
+float CosineSimilarity(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  TELEKIT_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+std::vector<ScoredCandidate> TopKByCosine(
+    const std::vector<float>& query, const std::vector<std::string>& names,
+    const std::vector<std::vector<float>>& embeddings, int k) {
+  TELEKIT_CHECK_EQ(names.size(), embeddings.size());
+  std::vector<ScoredCandidate> scored;
+  scored.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    scored.push_back({names[i], CosineSimilarity(query, embeddings[i])});
+  }
+  const size_t keep =
+      (k <= 0 || static_cast<size_t>(k) >= scored.size())
+          ? scored.size()
+          : static_cast<size_t>(k);
+  // stable_sort keeps catalogue order among equal scores, so results are
+  // deterministic across runs and thread counts.
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                     return a.score > b.score;
+                   });
+  scored.resize(keep);
+  return scored;
+}
+
+}  // namespace tasks
+}  // namespace telekit

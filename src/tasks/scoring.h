@@ -1,0 +1,33 @@
+#ifndef TELEKIT_TASKS_SCORING_H_
+#define TELEKIT_TASKS_SCORING_H_
+
+#include <string>
+#include <vector>
+
+namespace telekit {
+namespace tasks {
+
+/// One catalogue entry ranked against a query embedding.
+struct ScoredCandidate {
+  std::string name;
+  float score = 0.0f;
+};
+
+/// Cosine similarity between two equal-length vectors (0 when either has
+/// zero norm).
+float CosineSimilarity(const std::vector<float>& a,
+                       const std::vector<float>& b);
+
+/// Ranks a catalogue of (name, embedding) pairs against a query embedding
+/// by cosine similarity and returns the best `k` (all when k <= 0 or
+/// k >= catalogue size), highest score first, ties broken by catalogue
+/// order. This is the nearest-neighbour scoring primitive the serving
+/// engine uses for RCA/EAP/FCT retrieval over service vectors.
+std::vector<ScoredCandidate> TopKByCosine(
+    const std::vector<float>& query, const std::vector<std::string>& names,
+    const std::vector<std::vector<float>>& embeddings, int k);
+
+}  // namespace tasks
+}  // namespace telekit
+
+#endif  // TELEKIT_TASKS_SCORING_H_

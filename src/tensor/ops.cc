@@ -10,6 +10,17 @@ namespace tensor {
 
 namespace {
 
+thread_local int g_no_grad_depth = 0;
+
+}  // namespace
+
+NoGradGuard::NoGradGuard() { ++g_no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --g_no_grad_depth; }
+
+bool GradEnabled() { return g_no_grad_depth == 0; }
+
+namespace {
+
 using internal::Node;
 using NodePtr = std::shared_ptr<Node>;
 
@@ -22,7 +33,7 @@ NodePtr NewNode(const Shape& shape, bool requires_grad) {
   auto node = std::make_shared<Node>();
   node->shape = shape;
   node->value.assign(static_cast<size_t>(ShapeSize(shape)), 0.0f);
-  node->requires_grad = requires_grad;
+  node->requires_grad = requires_grad && GradEnabled();
   return node;
 }
 
@@ -255,7 +266,7 @@ Tensor ConcatRowsImpl(const std::vector<Tensor>& parts) {
     std::copy(p.data().begin(), p.data().end(), out->value.begin() + offset);
     offset += p.data().size();
   }
-  if (grad) {
+  if (out->requires_grad) {
     std::vector<NodePtr> parents;
     for (const Tensor& p : parts) parents.push_back(p.node_ptr());
     out->parents = parents;
@@ -304,7 +315,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     }
     col_offset += pc;
   }
-  if (grad) {
+  if (out->requires_grad) {
     std::vector<NodePtr> parents;
     std::vector<int> widths;
     for (const Tensor& p : parts) {
@@ -348,7 +359,7 @@ Tensor ConcatVec(const std::vector<Tensor>& parts) {
     std::copy(p.data().begin(), p.data().end(), out->value.begin() + offset);
     offset += p.data().size();
   }
-  if (grad) {
+  if (out->requires_grad) {
     std::vector<NodePtr> parents;
     for (const Tensor& p : parts) parents.push_back(p.node_ptr());
     out->parents = parents;
@@ -700,7 +711,7 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
           xh * gain.data()[j] + bias.data()[j];
     }
   }
-  if (grad) {
+  if (out->requires_grad) {
     out->parents = {a.node_ptr(), gain.node_ptr(), bias.node_ptr()};
     out->backward = [an = a.node_ptr(), gn = gain.node_ptr(),
                      bn = bias.node_ptr(), xhat, inv_std, m, n](Node* self) {

@@ -13,6 +13,24 @@ namespace tensor {
 // result records a backward closure on the tape. Shapes follow the comments;
 // rank-1 tensors are treated as row vectors where noted.
 
+/// Scoped inference mode (torch.no_grad analogue). While at least one
+/// NoGradGuard is alive on the current thread, ops produce tape-free
+/// results even when inputs require gradients: no parent edges, no
+/// backward closures, no gradient buffers. Forward values are unchanged.
+/// Guards nest; the flag is thread-local, so concurrent inference threads
+/// can run under guards while a training thread keeps building tape.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+/// False while a NoGradGuard is alive on this thread.
+bool GradEnabled();
+
 // --- Linear algebra ---------------------------------------------------------
 
 /// Matrix product: [m, k] x [k, n] -> [m, n].

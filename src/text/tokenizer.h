@@ -53,6 +53,17 @@ struct TokenizerOptions {
 ///   tok.AddDomainPhrases(phrases);       // multi-word WWM units
 ///   tok.AddSpecialTeleTokens(n);         // promote BPE tele tokens
 /// then Encode*() as needed.
+///
+/// Thread-safety: the encode path (Encode, EncodeSentence, WordToIds, and
+/// the const Vocab/BpeLearner lookups under them) is const-clean — it
+/// touches no caches and no mutable members — so any number of threads may
+/// tokenize concurrently without locks once construction is finished. The
+/// mutating members (BuildVocab, AddDomainPhrases, AddSpecialTeleTokens,
+/// mutable_vocab) are NOT safe against concurrent encoders: all vocabulary
+/// construction must happen-before the first concurrent Encode call
+/// (serving wires this by building the tokenizer before starting engine
+/// workers). mutable_vocab() is the one remaining mutable escape hatch and
+/// exists only for construction-time tests.
 class Tokenizer {
  public:
   explicit Tokenizer(const TokenizerOptions& options = TokenizerOptions());

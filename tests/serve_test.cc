@@ -1,0 +1,510 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_zoo.h"
+#include "serve/batcher.h"
+#include "serve/embedding_cache.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "tasks/scoring.h"
+
+namespace telekit {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EmbeddingCache
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingCacheTest, PutGetEvict) {
+  EmbeddingCache cache(/*capacity=*/4, /*num_shards=*/1);
+  for (uint64_t k = 0; k < 4; ++k) {
+    cache.Put(k, {static_cast<float>(k)});
+  }
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Get(0, &out));
+  EXPECT_EQ(out, std::vector<float>({0.0f}));
+  // Key 0 is now MRU; inserting a 5th entry evicts the LRU tail (key 1).
+  cache.Put(99, {99.0f});
+  EXPECT_FALSE(cache.Get(1, &out));
+  EXPECT_TRUE(cache.Get(0, &out));
+  EXPECT_TRUE(cache.Get(99, &out));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(EmbeddingCacheTest, RefreshReplacesValue) {
+  EmbeddingCache cache(4, 1);
+  cache.Put(7, {1.0f});
+  cache.Put(7, {2.0f});
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Get(7, &out));
+  EXPECT_EQ(out, std::vector<float>({2.0f}));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EmbeddingCacheTest, HashDependsOnIdsAndLength) {
+  std::vector<int> a{5, 6, 7, 0, 0};
+  std::vector<int> b{5, 6, 8, 0, 0};
+  EXPECT_NE(EmbeddingCache::HashIds(a, 3), EmbeddingCache::HashIds(b, 3));
+  // Padding beyond `length` is ignored...
+  std::vector<int> c{5, 6, 7, 9, 9};
+  EXPECT_EQ(EmbeddingCache::HashIds(a, 3), EmbeddingCache::HashIds(c, 3));
+  // ...but the length itself is part of the key.
+  EXPECT_NE(EmbeddingCache::HashIds(a, 3), EmbeddingCache::HashIds(a, 4));
+}
+
+TEST(EmbeddingCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  EmbeddingCache cache(64, 5);
+  EXPECT_EQ(cache.num_shards(), 8);
+}
+
+// Hammer one cache from many threads; under TSan this is the memory-safety
+// test, without it it still checks the accounting invariants.
+TEST(EmbeddingCacheTest, ConcurrentMixedLoadKeepsInvariants) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr uint64_t kKeySpace = 96;
+  EmbeddingCache cache(/*capacity=*/64, /*num_shards=*/8);
+  std::atomic<uint64_t> gets{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &gets, t] {
+      std::vector<float> out;
+      uint64_t state = 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(t + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint64_t key = (state >> 33) % kKeySpace;
+        if ((state & 3) == 0) {
+          cache.Put(key, {static_cast<float>(key)});
+        } else {
+          gets.fetch_add(1);
+          if (cache.Get(key, &out)) {
+            // A hit must return the value Put stored for this key.
+            ASSERT_EQ(out.size(), 1u);
+            ASSERT_EQ(out[0], static_cast<float>(key));
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_EQ(cache.hits() + cache.misses(), gets.load());
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MicroBatchQueue
+// ---------------------------------------------------------------------------
+
+TEST(MicroBatchQueueTest, CoalescesWaitingItems) {
+  MicroBatchQueue<int> queue(
+      {.capacity = 16, .max_batch = 4, .max_wait_us = 200000});
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.Push(std::move(i)));
+  const std::vector<int> batch = queue.PopBatch();
+  EXPECT_EQ(batch, std::vector<int>({0, 1, 2, 3}));
+}
+
+TEST(MicroBatchQueueTest, MaxWaitBoundsBatchLatency) {
+  MicroBatchQueue<int> queue(
+      {.capacity = 16, .max_batch = 8, .max_wait_us = 1000});
+  int one = 1;
+  EXPECT_TRUE(queue.Push(std::move(one)));
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<int> batch = queue.PopBatch();  // never fills to 8
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(MicroBatchQueueTest, BackpressureAndClose) {
+  MicroBatchQueue<int> queue(
+      {.capacity = 2, .max_batch = 2, .max_wait_us = 0});
+  int v = 0;
+  EXPECT_TRUE(queue.Push(std::move(v)));
+  EXPECT_TRUE(queue.Push(std::move(v)));
+  EXPECT_FALSE(queue.Push(std::move(v)));  // full
+  queue.Close();
+  EXPECT_FALSE(queue.Push(std::move(v)));  // closed
+  EXPECT_EQ(queue.PopBatch().size(), 2u);  // drains after close
+  EXPECT_TRUE(queue.PopBatch().empty());   // closed + drained
+}
+
+TEST(MicroBatchQueueTest, DisabledBatchingPopsSingles) {
+  MicroBatchQueue<int> queue({.capacity = 8,
+                              .max_batch = 8,
+                              .max_wait_us = 200000,
+                              .enable_batching = false});
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(queue.Push(std::move(i)));
+  EXPECT_EQ(queue.PopBatch().size(), 1u);
+  EXPECT_EQ(queue.PopBatch().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scoring
+// ---------------------------------------------------------------------------
+
+TEST(ScoringTest, TopKByCosineRanksAndClamps) {
+  std::vector<std::string> names{"a", "b", "c"};
+  std::vector<std::vector<float>> embeddings{
+      {1.0f, 0.0f}, {0.7f, 0.7f}, {-1.0f, 0.0f}};
+  const std::vector<float> query{1.0f, 0.0f};
+  auto top = tasks::TopKByCosine(query, names, embeddings, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].name, "a");
+  EXPECT_NEAR(top[0].score, 1.0f, 1e-6);
+  EXPECT_EQ(top[1].name, "b");
+  // k <= 0 returns the full ranking.
+  EXPECT_EQ(tasks::TopKByCosine(query, names, embeddings, 0).size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesFullRequest) {
+  Request request;
+  const Status status = ParseRequestLine(
+      R"({"op":"rca","text":"link down","mode":"entity_attr",)"
+      R"("top_k":3,"deadline_ms":50})",
+      &request);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(request.op, TaskOp::kRca);
+  EXPECT_EQ(request.text, "link down");
+  EXPECT_EQ(request.mode, core::ServiceMode::kEntityWithAttr);
+  EXPECT_EQ(request.top_k, 3);
+  EXPECT_DOUBLE_EQ(request.deadline_ms, 50.0);
+}
+
+TEST(ProtocolTest, RejectsBadRequests) {
+  Request request;
+  EXPECT_FALSE(ParseRequestLine("not json", &request).ok());
+  EXPECT_FALSE(ParseRequestLine("[1,2]", &request).ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"rca"})", &request).ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"text":""})", &request).ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"op":"nope","text":"x"})", &request).ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"text":"x","deadline_ms":-1})", &request).ok());
+}
+
+TEST(ProtocolTest, ResponseRoundTripsThroughJson) {
+  Request request;
+  request.op = TaskOp::kEap;
+  Response response;
+  response.results.push_back({"alarm A", 0.75f});
+  response.batch_size = 4;
+  response.cache_hit = true;
+  obs::JsonValue id(std::string("req-1"));
+  const obs::JsonValue json = ResponseToJson(request, response, &id);
+  EXPECT_TRUE(json.Find("ok")->AsBool());
+  EXPECT_EQ(json.Find("id")->AsString(), "req-1");
+  EXPECT_EQ(json.Find("op")->AsString(), "eap");
+  EXPECT_EQ(json.Find("results")->size(), 1u);
+  EXPECT_TRUE(json.Find("cache_hit")->AsBool());
+
+  Response failed;
+  failed.status = Status::DeadlineExceeded("late");
+  const obs::JsonValue error = ResponseToJson(request, failed, nullptr);
+  EXPECT_FALSE(error.Find("ok")->AsBool());
+  EXPECT_EQ(error.Find("error")->Find("message")->AsString(), "late");
+}
+
+// ---------------------------------------------------------------------------
+// Batched-forward determinism + engine end-to-end (shared tiny zoo)
+// ---------------------------------------------------------------------------
+
+core::ZooConfig TinyServeConfig() {
+  core::ZooConfig config;
+  config.seed = 777;
+  config.world.num_alarm_types = 16;
+  config.world.num_kpi_types = 8;
+  config.world.num_network_elements = 12;
+  config.corpus.num_tele_sentences = 400;
+  config.corpus.num_general_sentences = 400;
+  config.num_episodes = 10;
+  config.max_machine_logs = 60;
+  config.max_triple_sentences = 40;
+  config.max_ke_triples = 30;
+  config.encoder.d_model = 32;
+  config.encoder.num_heads = 2;
+  config.encoder.num_layers = 2;
+  config.encoder.ffn_dim = 64;
+  config.pretrain.steps = 8;
+  config.pretrain.batch_size = 4;
+  config.retrain.total_steps = 8;
+  config.retrain.batch_size = 4;
+  config.retrain.ke_batch_size = 2;
+  config.anenc.num_layers = 1;
+  config.anenc.num_meta = 4;
+  config.anenc.ffn_dim = 32;
+  config.cache_dir = "";
+  return config;
+}
+
+// One fully-built zoo shared by every test below (magic static: built on
+// first use, concurrently-safe).
+const core::ModelZoo& SharedZoo() {
+  static core::ModelZoo* zoo = [] {
+    auto* z = new core::ModelZoo(TinyServeConfig());
+    z->Build();
+    return z;
+  }();
+  return *zoo;
+}
+
+double MaxAbsDiff(const std::vector<float>& a, const std::vector<float>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(a[i]) -
+                                     static_cast<double>(b[i])));
+  }
+  return worst;
+}
+
+TEST(BatchedForwardTest, TeleBertBatchMatchesSingle) {
+  const core::ModelZoo& zoo = SharedZoo();
+  const core::TeleBert& model = zoo.telebert();
+  const auto& inputs = zoo.retrain_data().causal_sentences;
+  ASSERT_GE(inputs.size(), 5u);
+  std::vector<const text::EncodedInput*> batch;
+  for (size_t i = 0; i < 5; ++i) batch.push_back(&inputs[i]);
+  const auto batched = model.ServiceVectorBatch(batch);
+  ASSERT_EQ(batched.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_LE(MaxAbsDiff(batched[i], model.ServiceVector(inputs[i])), 1e-5)
+        << "sequence " << i;
+  }
+}
+
+TEST(BatchedForwardTest, KTeleBertBatchMatchesSingleWithNumericSlots) {
+  const core::ModelZoo& zoo = SharedZoo();
+  const core::KTeleBert& model = zoo.ktelebert(core::ModelKind::kKTeleBertStl);
+  const auto& logs = zoo.retrain_data().machine_logs;
+  ASSERT_GE(logs.size(), 4u);
+  bool covered_numeric = false;
+  std::vector<const text::EncodedInput*> batch;
+  for (size_t i = 0; i < 4; ++i) {
+    batch.push_back(&logs[i]);
+    covered_numeric |= !logs[i].numeric_slots.empty();
+  }
+  EXPECT_TRUE(covered_numeric) << "machine logs should carry numeric slots";
+  const auto batched = model.ServiceVectorBatch(batch);
+  ASSERT_EQ(batched.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_LE(MaxAbsDiff(batched[i], model.ServiceVector(logs[i])), 1e-5)
+        << "sequence " << i;
+  }
+}
+
+TEST(BatchedForwardTest, ServiceEncoderBatchMatchesSingle) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < 6; ++i) names.push_back(zoo.world().alarms()[i].name);
+  for (core::ServiceMode mode :
+       {core::ServiceMode::kOnlyName, core::ServiceMode::kEntityNoAttr,
+        core::ServiceMode::kEntityWithAttr}) {
+    const auto batched = service.EncodeBatch(names, mode);
+    ASSERT_EQ(batched.size(), names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+      EXPECT_LE(MaxAbsDiff(batched[i], service.Encode(names[i], mode)), 1e-5);
+    }
+  }
+}
+
+TEST(ServeEngineTest, EndToEndMixedOps) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 4;
+  options.max_batch = 4;
+  options.max_wait_us = 1000;
+  ServeEngine engine(&service, options);
+  std::vector<std::string> names;
+  for (const auto& alarm : zoo.world().alarms()) names.push_back(alarm.name);
+  ASSERT_TRUE(engine.LoadCatalog(TaskOp::kRca, names).ok());
+  ASSERT_TRUE(engine.LoadCatalog(TaskOp::kEap, names).ok());
+  EXPECT_EQ(engine.CatalogSize(TaskOp::kRca), names.size());
+  EXPECT_EQ(engine.CatalogSize(TaskOp::kFct), 0u);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 24; ++i) {
+    Request request;
+    request.op = (i % 3 == 0) ? TaskOp::kEncode
+                              : (i % 3 == 1 ? TaskOp::kRca : TaskOp::kEap);
+    request.text = names[static_cast<size_t>(i) % 6];
+    request.top_k = 3;
+    futures.push_back(engine.Submit(request));
+  }
+  int cache_hits = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    if (i % 3 == 0) {
+      EXPECT_EQ(static_cast<int>(response.vector.size()), service.dim());
+    } else {
+      ASSERT_EQ(response.results.size(), 3u);
+      // The query text is itself a catalogue entry: it must rank first.
+      EXPECT_EQ(response.results[0].name, names[i % 6]);
+      EXPECT_GT(response.results[0].score, 0.99f);
+    }
+    EXPECT_GE(response.batch_size, 1);
+    cache_hits += response.cache_hit ? 1 : 0;
+  }
+  // LoadCatalog warmed the cache, and the 24 requests reuse 6 texts.
+  EXPECT_GT(cache_hits, 0);
+  EXPECT_GT(engine.cache().hits(), 0u);
+
+  // Tasks without a catalogue fail cleanly.
+  Request fct;
+  fct.op = TaskOp::kFct;
+  fct.text = names[0];
+  EXPECT_EQ(engine.Submit(fct).get().status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeEngineTest, ProcessMatchesSubmit) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 2;
+  options.enable_cache = false;  // force real forwards on both paths
+  ServeEngine engine(&service, options);
+  Request request;
+  request.op = TaskOp::kEncode;
+  request.text = zoo.world().alarms()[2].name;
+  const Response sync = engine.Process(request);
+  const Response queued = engine.Submit(request).get();
+  ASSERT_TRUE(sync.status.ok());
+  ASSERT_TRUE(queued.status.ok());
+  EXPECT_LE(MaxAbsDiff(sync.vector, queued.vector), 1e-5);
+}
+
+TEST(ServeEngineTest, BackpressureRejectsWhenQueueFull) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 0;  // nothing drains the queue
+  options.queue_capacity = 2;
+  ServeEngine engine(&service, options);
+  Request request;
+  request.text = zoo.world().alarms()[0].name;
+  auto f1 = engine.Submit(request);
+  auto f2 = engine.Submit(request);
+  auto f3 = engine.Submit(request);  // over capacity: rejected immediately
+  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f3.get().status.code(), StatusCode::kUnavailable);
+  engine.Stop();  // fails the two queued requests
+  EXPECT_EQ(f1.get().status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(f2.get().status.code(), StatusCode::kUnavailable);
+  // Submitting after Stop is rejected, not lost.
+  EXPECT_EQ(engine.Submit(request).get().status.code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(ServeEngineTest, LapsedDeadlineFailsBeforeEncoding) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 0;
+  ServeEngine engine(&service, options);
+  Request request;
+  request.text = zoo.world().alarms()[0].name;
+  request.deadline_ms = 1e-6;  // lapses immediately
+  auto future = engine.Submit(request);
+  // Give the deadline time to pass, then start a worker-equivalent drain by
+  // stopping: Stop() fails queued requests as Unavailable, but a live
+  // worker fails them as DeadlineExceeded — simulate that path directly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  engine.Stop();
+  const Response response = future.get();
+  EXPECT_FALSE(response.status.ok());
+}
+
+TEST(ServeEngineTest, DeadlineExceededThroughWorker) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 1;
+  options.enable_batching = true;
+  options.max_batch = 4;
+  options.max_wait_us = 20000;  // let requests sit long enough to lapse
+  ServeEngine engine(&service, options);
+  Request request;
+  request.text = zoo.world().alarms()[1].name;
+  request.deadline_ms = 1e-6;
+  const Response response = engine.Submit(request).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.vector.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency satellites: tokenizer + ModelZoo single-flight
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, TokenizerEncodesConcurrently) {
+  const core::ModelZoo& zoo = SharedZoo();
+  const text::Tokenizer& tokenizer = zoo.tokenizer();
+  std::vector<std::string> sentences;
+  for (size_t i = 0; i < 8; ++i) {
+    sentences.push_back(zoo.world().alarms()[i].name);
+  }
+  std::vector<text::EncodedInput> reference;
+  for (const auto& s : sentences) {
+    reference.push_back(tokenizer.EncodeSentence(s));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 200; ++round) {
+        const size_t i = static_cast<size_t>(t + round) % sentences.size();
+        const text::EncodedInput got = tokenizer.EncodeSentence(sentences[i]);
+        if (got.ids != reference[i].ids ||
+            got.length != reference[i].length) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, ModelZooBuildSingleFlights) {
+  core::ZooConfig config = TinyServeConfig();
+  config.pretrain.steps = 2;
+  core::ModelZoo zoo(config);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&zoo] { zoo.BuildPretrained(); });
+  }
+  for (auto& thread : threads) thread.join();
+  // All callers observe one materialized stack.
+  const auto* world = &zoo.world();
+  const auto* model = &zoo.telebert();
+  zoo.BuildPretrained();  // idempotent re-entry
+  EXPECT_EQ(world, &zoo.world());
+  EXPECT_EQ(model, &zoo.telebert());
+  EXPECT_GT(zoo.tokenizer().vocab().size(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace telekit
