@@ -53,30 +53,40 @@ class MicroBatchQueue {
   }
 
   /// Blocks until a batch is ready (or the queue is closed and drained);
-  /// an empty result means "closed, nothing left".
+  /// an empty result means "closed, nothing left" — never "another
+  /// consumer beat me to the items".
   std::vector<T> PopBatch() {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) return {};  // closed
-    const size_t want =
-        options_.enable_batching
-            ? static_cast<size_t>(std::max(options_.max_batch, 1))
-            : 1;
-    if (options_.enable_batching && queue_.size() < want && !closed_) {
-      const auto flush_at =
-          queue_.front().second + std::chrono::microseconds(options_.max_wait_us);
-      cv_.wait_until(lock, flush_at,
-                     [&] { return closed_ || queue_.size() >= want; });
+    while (true) {
+      cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return {};  // closed and drained
+      const size_t want =
+          options_.enable_batching
+              ? static_cast<size_t>(std::max(options_.max_batch, 1))
+              : 1;
+      if (options_.enable_batching && queue_.size() < want && !closed_) {
+        const auto flush_at = queue_.front().second +
+                              std::chrono::microseconds(options_.max_wait_us);
+        cv_.wait_until(lock, flush_at,
+                       [&] { return closed_ || queue_.size() >= want; });
+      }
+      // Two consumers can pass the first wait on the same non-empty queue;
+      // whichever loses the race to pop finds it drained here and must go
+      // back to waiting, not return an empty batch on an open queue.
+      if (queue_.empty()) {
+        if (closed_) return {};
+        continue;
+      }
+      std::vector<T> batch;
+      batch.reserve(std::min(want, queue_.size()));
+      while (!queue_.empty() && batch.size() < want) {
+        batch.push_back(std::move(queue_.front().first));
+        queue_.pop_front();
+      }
+      // More items may remain; let another consumer start on them.
+      if (!queue_.empty()) cv_.notify_one();
+      return batch;
     }
-    std::vector<T> batch;
-    batch.reserve(std::min(want, queue_.size()));
-    while (!queue_.empty() && batch.size() < want) {
-      batch.push_back(std::move(queue_.front().first));
-      queue_.pop_front();
-    }
-    // More items may remain; let another consumer start on them.
-    if (!queue_.empty()) cv_.notify_one();
-    return batch;
   }
 
   /// Wakes all consumers; PopBatch drains the remainder, then returns

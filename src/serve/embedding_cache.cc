@@ -29,7 +29,7 @@ EmbeddingCache::EmbeddingCache(size_t capacity, int num_shards)
   per_shard_capacity_ = std::max<size_t>(capacity_ / shards, 1);
 }
 
-bool EmbeddingCache::Get(uint64_t key, std::vector<float>* out) {
+bool EmbeddingCache::Get(const CacheKey& key, std::vector<float>* out) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
@@ -43,7 +43,7 @@ bool EmbeddingCache::Get(uint64_t key, std::vector<float>* out) {
   return true;
 }
 
-void EmbeddingCache::Put(uint64_t key, std::vector<float> value) {
+void EmbeddingCache::Put(const CacheKey& key, std::vector<float> value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
@@ -69,16 +69,21 @@ void EmbeddingCache::Clear() {
   }
 }
 
-uint64_t EmbeddingCache::HashIds(const std::vector<int>& ids, int length) {
-  uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+CacheKey EmbeddingCache::HashIds(const std::vector<int>& ids, int length) {
+  uint64_t lo = 0xCBF29CE484222325ULL;  // FNV offset basis
+  uint64_t hi = 0x9E3779B97F4A7C15ULL;  // golden-ratio basis
   const int n = std::min<int>(length, static_cast<int>(ids.size()));
   for (int i = 0; i < n; ++i) {
-    h ^= static_cast<uint64_t>(static_cast<uint32_t>(ids[i]));
-    h *= 0x100000001B3ULL;  // FNV prime
+    const uint64_t v = static_cast<uint64_t>(static_cast<uint32_t>(ids[i]));
+    lo = (lo ^ v) * 0x100000001B3ULL;  // FNV prime
+    hi = (hi + v) * 0xC2B2AE3D27D4EB4FULL;
+    hi ^= hi >> 29;
   }
-  h ^= static_cast<uint64_t>(static_cast<uint32_t>(n));
-  h *= 0x100000001B3ULL;
-  return h;
+  const uint64_t tail = static_cast<uint64_t>(static_cast<uint32_t>(n));
+  lo = (lo ^ tail) * 0x100000001B3ULL;
+  hi = (hi + tail) * 0xC2B2AE3D27D4EB4FULL;
+  hi ^= hi >> 29;
+  return {lo, hi};
 }
 
 size_t EmbeddingCache::size() const {

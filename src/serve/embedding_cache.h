@@ -13,6 +13,26 @@
 namespace telekit {
 namespace serve {
 
+/// 128-bit cache key: two independently-mixed hashes of the same token
+/// ids. The full key is stored in each entry and compared on Get, so a
+/// lookup only returns a wrong vector if two inputs collide in all 128
+/// bits — negligible (~2^-64 per pair) versus a bare 64-bit key, whose
+/// birthday bound is within reach of a long-lived cache and would silently
+/// serve the wrong embedding (and wrong RCA/EAP/FCT results).
+struct CacheKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  /// Plain-integer keys (tests, synthetic workloads): `hi` is derived from
+  /// `lo` by a fixed mixer, keeping distinct integers distinct.
+  constexpr CacheKey(uint64_t raw = 0)
+      : lo(raw), hi((raw ^ (raw >> 31)) * 0x9E3779B97F4A7C15ULL + 1) {}
+  constexpr CacheKey(uint64_t lo_in, uint64_t hi_in)
+      : lo(lo_in), hi(hi_in) {}
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
 /// Sharded LRU cache from a token-id hash to a service vector. Shards are
 /// selected by key bits, each shard holds its own mutex + LRU list, so
 /// concurrent workers on different shards never contend. Eviction is
@@ -28,19 +48,22 @@ class EmbeddingCache {
   EmbeddingCache(size_t capacity, int num_shards = 8);
 
   /// Copies the cached vector into `out` and promotes the entry to
-  /// most-recently-used. False on miss.
-  bool Get(uint64_t key, std::vector<float>* out);
+  /// most-recently-used. False on miss; a hit requires the stored 128-bit
+  /// key to match exactly.
+  bool Get(const CacheKey& key, std::vector<float>* out);
 
   /// Inserts (or refreshes) an entry, evicting the shard's LRU tail when
   /// the shard is at capacity.
-  void Put(uint64_t key, std::vector<float> value);
+  void Put(const CacheKey& key, std::vector<float> value);
 
   /// Drops every entry (statistics are kept).
   void Clear();
 
-  /// FNV-1a-style hash of the first `length` token ids, the standard cache
-  /// key for an encoded input (ids past `length` are [PAD] and ignored).
-  static uint64_t HashIds(const std::vector<int>& ids, int length);
+  /// Hashes the first `length` token ids into a 128-bit key: FNV-1a for
+  /// `lo` plus an independent multiply-xorshift accumulation for `hi`
+  /// (ids past `length` are [PAD] and ignored; `length` itself is mixed
+  /// in, so truncations of the same ids get distinct keys).
+  static CacheKey HashIds(const std::vector<int>& ids, int length);
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
@@ -55,18 +78,26 @@ class EmbeddingCache {
   double HitRate() const;
 
  private:
+  /// Buckets by `lo`; equality (via CacheKey::operator==) still checks all
+  /// 128 bits, which is what makes hits collision-checked.
+  struct KeyHash {
+    size_t operator()(const CacheKey& key) const noexcept {
+      return static_cast<size_t>(key.lo);
+    }
+  };
+
   struct Shard {
     std::mutex mutex;
     /// Front = most recently used.
-    std::list<std::pair<uint64_t, std::vector<float>>> lru;
+    std::list<std::pair<CacheKey, std::vector<float>>> lru;
     std::unordered_map<
-        uint64_t,
-        std::list<std::pair<uint64_t, std::vector<float>>>::iterator>
+        CacheKey,
+        std::list<std::pair<CacheKey, std::vector<float>>>::iterator, KeyHash>
         index;
   };
 
-  Shard& ShardFor(uint64_t key) {
-    return *shards_[key & (shards_.size() - 1)];
+  Shard& ShardFor(const CacheKey& key) {
+    return *shards_[key.lo & (shards_.size() - 1)];
   }
 
   size_t capacity_;

@@ -1,6 +1,8 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "obs/log.h"
@@ -110,11 +112,15 @@ Status ServeEngine::LoadCatalog(TaskOp op,
   }
   TELEKIT_LOG(INFO) << "serve: loaded catalogue op=" << TaskOpName(op)
                     << " size=" << catalog.names.size();
-  catalogs_[op] = std::move(catalog);
+  {
+    std::unique_lock<std::shared_mutex> lock(catalogs_mutex_);
+    catalogs_[op] = std::move(catalog);
+  }
   return Status::Ok();
 }
 
 size_t ServeEngine::CatalogSize(TaskOp op) const {
+  std::shared_lock<std::shared_mutex> lock(catalogs_mutex_);
   auto it = catalogs_.find(op);
   return it == catalogs_.end() ? 0 : it->second.names.size();
 }
@@ -167,7 +173,7 @@ void ServeEngine::ProcessBatch(
   struct Live {
     Pending* pending = nullptr;
     text::EncodedInput input;
-    uint64_t key = 0;
+    CacheKey key;
     std::vector<float> vector;
     bool cache_hit = false;
   };
@@ -263,7 +269,7 @@ Response ServeEngine::Process(const Request& request) const {
     TELEKIT_SPAN("serve/tokenize");
     input = service_->BuildInput(request.text, request.mode);
   }
-  const uint64_t key = EmbeddingCache::HashIds(input.ids, input.length);
+  const CacheKey key = EmbeddingCache::HashIds(input.ids, input.length);
   std::vector<float> vector;
   if (options_.enable_cache && cache_.Get(key, &vector)) {
     response.cache_hit = true;
@@ -291,6 +297,9 @@ void ServeEngine::FinishRequest(const Request& request,
     response->status = Status::Ok();
     return;
   }
+  // Shared lock held across the scoring: LoadCatalog may replace this
+  // Catalog (destroying the vectors we read) at any time.
+  std::shared_lock<std::shared_mutex> lock(catalogs_mutex_);
   auto it = catalogs_.find(request.op);
   if (it == catalogs_.end()) {
     response->status = Status::FailedPrecondition(

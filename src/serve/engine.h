@@ -6,6 +6,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -81,8 +82,10 @@ struct EngineOptions {
 ///
 /// Every stage reports to telekit::obs (serve/* metrics and spans).
 ///
-/// Thread-safety: Submit/Process are safe from any thread. LoadCatalog
-/// must complete before requests for that op are submitted. The
+/// Thread-safety: Submit/Process/LoadCatalog are safe from any thread;
+/// a catalogue may be (re)loaded while requests for other ops are in
+/// flight. LoadCatalog for an op must still complete before requests for
+/// *that* op are submitted (they fail FAILED_PRECONDITION otherwise). The
 /// ServiceEncoder (and the model behind it) must stay alive and unmodified
 /// for the engine's lifetime.
 class ServeEngine {
@@ -149,6 +152,9 @@ class ServeEngine {
   EngineOptions options_;
   mutable EmbeddingCache cache_;
   MicroBatchQueue<std::unique_ptr<Pending>> queue_;
+  /// Exclusive in LoadCatalog, shared in FinishRequest/CatalogSize: a
+  /// catalogue reload must not race workers scoring against the map.
+  mutable std::shared_mutex catalogs_mutex_;
   std::map<TaskOp, Catalog> catalogs_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};

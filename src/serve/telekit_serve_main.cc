@@ -16,12 +16,14 @@
 
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <future>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -138,54 +140,79 @@ core::ZooConfig ServeZooConfig(const Flags& flags) {
 /// One client connection (or the stdin/stdout session): parses NDJSON
 /// requests, pipelines them through the engine (so micro-batches can form
 /// even for a single client), and writes responses in request order.
+///
+/// A dedicated writer thread blocks on the oldest in-flight future while
+/// this thread blocks in getline. Draining responses only from the reader
+/// loop would deadlock a synchronous client that waits for each reply
+/// before sending its next line (the reply would only flush when the next
+/// line arrived). Parse errors ride the same queue so output stays in
+/// request order with a single thread touching `out`.
 void ServeStream(ServeEngine& engine, std::istream& in, std::ostream& out) {
   struct InFlight {
     Request request;
     std::unique_ptr<obs::JsonValue> id;
+    /// Invalid when the line never produced a request; `error` then holds
+    /// the parse failure.
     std::future<Response> future;
+    Status error;
   };
   std::deque<InFlight> in_flight;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool reader_done = false;
 
-  auto emit_front = [&] {
-    InFlight item = std::move(in_flight.front());
-    in_flight.pop_front();
-    out << ResponseToJson(item.request, item.future.get(), item.id.get())
-               .Dump()
-        << "\n";
-    out.flush();
-  };
+  std::thread writer([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      cv.wait(lock, [&] { return reader_done || !in_flight.empty(); });
+      if (in_flight.empty()) return;  // reader done and queue drained
+      InFlight item = std::move(in_flight.front());
+      in_flight.pop_front();
+      lock.unlock();
+      // future.get() blocks outside the lock so the reader keeps
+      // enqueueing lines and micro-batches still form for one client.
+      const obs::JsonValue json =
+          item.future.valid()
+              ? ResponseToJson(item.request, item.future.get(), item.id.get())
+              : ErrorToJson(item.error, item.id.get());
+      out << json.Dump() << "\n";
+      out.flush();
+      lock.lock();
+    }
+  });
 
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     obs::JsonValue json;
     std::string parse_error;
-    std::unique_ptr<obs::JsonValue> id;
-    Request request;
+    InFlight item;
     Status status;
     if (!obs::JsonValue::Parse(line, &json, &parse_error)) {
       status = Status::InvalidArgument("bad JSON: " + parse_error);
     } else {
       if (const obs::JsonValue* found = json.Find("id")) {
-        id = std::make_unique<obs::JsonValue>(*found);
+        item.id = std::make_unique<obs::JsonValue>(*found);
       }
-      status = ParseRequest(json, &request);
+      status = ParseRequest(json, &item.request);
     }
-    if (!status.ok()) {
-      out << ErrorToJson(status, id.get()).Dump() << "\n";
-      out.flush();
-      continue;
+    if (status.ok()) {
+      item.future = engine.Submit(item.request);
+    } else {
+      item.error = status;
     }
-    in_flight.push_back(
-        InFlight{request, std::move(id), engine.Submit(request)});
-    // Flush every response that is already done, preserving order.
-    while (!in_flight.empty() &&
-           in_flight.front().future.wait_for(std::chrono::seconds(0)) ==
-               std::future_status::ready) {
-      emit_front();
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      in_flight.push_back(std::move(item));
     }
+    cv.notify_one();
   }
-  while (!in_flight.empty()) emit_front();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    reader_done = true;
+  }
+  cv.notify_one();
+  writer.join();
 }
 
 /// Minimal buffered istream over a connected socket, enough for getline.

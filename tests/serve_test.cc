@@ -61,6 +61,19 @@ TEST(EmbeddingCacheTest, HashDependsOnIdsAndLength) {
   EXPECT_NE(EmbeddingCache::HashIds(a, 3), EmbeddingCache::HashIds(a, 4));
 }
 
+TEST(EmbeddingCacheTest, SameLowHashDifferentHighDoesNotAlias) {
+  // A 64-bit collision (same lo, different hi) must read as a miss, not
+  // silently return the other input's vector.
+  EmbeddingCache cache(8, 1);
+  const CacheKey a{42, 1};
+  const CacheKey b{42, 2};
+  cache.Put(a, {1.0f});
+  std::vector<float> out;
+  EXPECT_FALSE(cache.Get(b, &out));
+  ASSERT_TRUE(cache.Get(a, &out));
+  EXPECT_EQ(out, std::vector<float>({1.0f}));
+}
+
 TEST(EmbeddingCacheTest, ShardCountRoundsUpToPowerOfTwo) {
   EmbeddingCache cache(64, 5);
   EXPECT_EQ(cache.num_shards(), 8);
@@ -136,6 +149,44 @@ TEST(MicroBatchQueueTest, BackpressureAndClose) {
   EXPECT_FALSE(queue.Push(std::move(v)));  // closed
   EXPECT_EQ(queue.PopBatch().size(), 2u);  // drains after close
   EXPECT_TRUE(queue.PopBatch().empty());   // closed + drained
+}
+
+// Regression: with several consumers on trickle traffic, two consumers
+// could pass the first wait on the same single item; the loser of the pop
+// race then timed out over a drained-but-open queue and returned an empty
+// batch, which callers treat as "closed" (ServeEngine workers exit on it).
+TEST(MicroBatchQueueTest, EmptyPopMeansClosedUnderManyConsumers) {
+  MicroBatchQueue<int> queue(
+      {.capacity = 1024, .max_batch = 4, .max_wait_us = 300});
+  std::atomic<bool> closing{false};
+  std::atomic<int> popped{0};
+  std::atomic<int> premature_empty{0};
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 4; ++t) {
+    consumers.emplace_back([&] {
+      while (true) {
+        const std::vector<int> batch = queue.PopBatch();
+        if (batch.empty()) {
+          if (!closing.load()) premature_empty.fetch_add(1);
+          return;
+        }
+        popped.fetch_add(static_cast<int>(batch.size()));
+      }
+    });
+  }
+  constexpr int kItems = 300;
+  for (int i = 0; i < kItems; ++i) {
+    int item = i;
+    ASSERT_TRUE(queue.Push(std::move(item)));
+    if (i % 3 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  closing.store(true);
+  queue.Close();
+  for (auto& thread : consumers) thread.join();
+  EXPECT_EQ(premature_empty.load(), 0);
+  EXPECT_EQ(popped.load(), kItems);
 }
 
 TEST(MicroBatchQueueTest, DisabledBatchingPopsSingles) {
@@ -373,6 +424,46 @@ TEST(ServeEngineTest, EndToEndMixedOps) {
   fct.text = names[0];
   EXPECT_EQ(engine.Submit(fct).get().status.code(),
             StatusCode::kFailedPrecondition);
+}
+
+// Reloading one op's catalogue while requests for another op are in
+// flight is allowed by the engine contract; under TSan this test is the
+// data-race check for the catalogue map, without it it checks results
+// stay coherent.
+TEST(ServeEngineTest, CatalogReloadDuringTraffic) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  options.max_wait_us = 500;
+  ServeEngine engine(&service, options);
+  std::vector<std::string> names;
+  for (const auto& alarm : zoo.world().alarms()) names.push_back(alarm.name);
+  ASSERT_TRUE(engine.LoadCatalog(TaskOp::kRca, names).ok());
+
+  std::thread reloader([&] {
+    for (int round = 0; round < 4; ++round) {
+      ASSERT_TRUE(engine.LoadCatalog(TaskOp::kEap, names).ok());
+    }
+  });
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 16; ++i) {
+    Request request;
+    request.op = TaskOp::kRca;
+    request.text = names[static_cast<size_t>(i) % names.size()];
+    request.top_k = 2;
+    futures.push_back(engine.Submit(request));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_EQ(response.results.size(), 2u);
+    EXPECT_EQ(response.results[0].name, names[i % names.size()]);
+  }
+  reloader.join();
+  EXPECT_EQ(engine.CatalogSize(TaskOp::kEap), names.size());
 }
 
 TEST(ServeEngineTest, ProcessMatchesSubmit) {
