@@ -35,6 +35,7 @@
 #include "common/table_printer.h"
 #include "core/model_zoo.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 
 namespace telekit {
@@ -66,19 +67,15 @@ struct RunResult {
   int rejected = 0;
 };
 
-double Percentile(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const size_t index = std::min(
-      sorted.size() - 1,
-      static_cast<size_t>(q * static_cast<double>(sorted.size() - 1)));
-  return sorted[index];
-}
-
-void FillLatencyStats(std::vector<double> latencies, RunResult* result) {
-  std::sort(latencies.begin(), latencies.end());
-  result->p50_ms = Percentile(latencies, 0.50);
-  result->p95_ms = Percentile(latencies, 0.95);
-  result->p99_ms = Percentile(latencies, 0.99);
+/// Quantiles come from the same log-bucketed histogram the serve metrics
+/// use (bounded ~4.4% relative error), so BENCH_serve.json and a /metrics
+/// scrape of a live server agree on what p99 means. Observe() is lock-free,
+/// which also lets client threads record latencies without a merge step.
+void FillLatencyStats(const obs::LatencyHistogram& latencies,
+                      RunResult* result) {
+  result->p50_ms = latencies.Quantile(0.50);
+  result->p95_ms = latencies.Quantile(0.95);
+  result->p99_ms = latencies.Quantile(0.99);
 }
 
 uint64_t SplitMix64(uint64_t x) {
@@ -137,21 +134,20 @@ RunResult RunBaseline(const core::ServiceEncoder& service,
   }
   RunResult result;
   result.name = "baseline_1thread_unbatched";
-  std::vector<double> latencies;
-  latencies.reserve(static_cast<size_t>(flags.requests));
+  obs::LatencyHistogram latencies;
   const Clock::time_point start = Clock::now();
   for (int i = 0; i < flags.requests; ++i) {
     const serve::Response response =
         engine.Process(MakeRequest(pool, i));
     TELEKIT_CHECK(response.status.ok()) << response.status.ToString();
-    latencies.push_back(response.total_ms);
+    latencies.Observe(response.total_ms);
   }
   result.seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   result.completed = flags.requests;
   result.rps = static_cast<double>(flags.requests) / result.seconds;
   result.mean_batch = 1.0;
-  FillLatencyStats(std::move(latencies), &result);
+  FillLatencyStats(latencies, &result);
   return result;
 }
 
@@ -175,21 +171,18 @@ RunResult RunClosedLoop(const core::ServiceEncoder& service,
   }
   RunResult result;
   result.name = name;
-  std::vector<std::vector<double>> per_client_latencies(
-      static_cast<size_t>(flags.clients));
+  obs::LatencyHistogram latencies;
   std::atomic<int64_t> batch_sum{0};
   std::atomic<int> completed{0};
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> clients;
   for (int c = 0; c < flags.clients; ++c) {
     clients.emplace_back([&, c] {
-      std::vector<double>& latencies =
-          per_client_latencies[static_cast<size_t>(c)];
       for (int i = c; i < flags.requests; i += flags.clients) {
         serve::Response response =
             engine.Submit(MakeRequest(pool, i)).get();
         TELEKIT_CHECK(response.status.ok()) << response.status.ToString();
-        latencies.push_back(response.total_ms);
+        latencies.Observe(response.total_ms);
         batch_sum.fetch_add(response.batch_size);
         completed.fetch_add(1);
       }
@@ -203,11 +196,7 @@ RunResult RunClosedLoop(const core::ServiceEncoder& service,
   result.mean_batch = static_cast<double>(batch_sum.load()) /
                       std::max(1, result.completed);
   result.cache_hit_rate = engine.cache().HitRate();
-  std::vector<double> all;
-  for (auto& v : per_client_latencies) {
-    all.insert(all.end(), v.begin(), v.end());
-  }
-  FillLatencyStats(std::move(all), &result);
+  FillLatencyStats(latencies, &result);
   return result;
 }
 
@@ -242,12 +231,12 @@ RunResult RunOpenLoop(const core::ServiceEncoder& service,
     next += interval;
     futures.push_back(engine.Submit(MakeRequest(pool, i)));
   }
-  std::vector<double> latencies;
+  obs::LatencyHistogram latencies;
   for (auto& future : futures) {
     serve::Response response = future.get();
     if (response.status.ok()) {
       ++result.completed;
-      latencies.push_back(response.total_ms);
+      latencies.Observe(response.total_ms);
     } else {
       ++result.rejected;
     }
@@ -256,7 +245,7 @@ RunResult RunOpenLoop(const core::ServiceEncoder& service,
       std::chrono::duration<double>(Clock::now() - start).count();
   result.rps = static_cast<double>(result.completed) / result.seconds;
   result.cache_hit_rate = engine.cache().HitRate();
-  FillLatencyStats(std::move(latencies), &result);
+  FillLatencyStats(latencies, &result);
   return result;
 }
 

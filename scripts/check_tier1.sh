@@ -2,37 +2,90 @@
 # Tier-1 regression check, one command (see ROADMAP.md):
 #   1. configure + build everything
 #   2. run the full ctest suite
-#   3. rebuild the obs layer (library + its test) under
+#   3. rebuild the obs layer (library + its tests) under
 #      -Wall -Wextra -Werror in a separate tree, so new warnings in the
 #      observability code fail loudly instead of scrolling by.
+#   4. admin smoke: start telekit_serve with --admin-port on loopback,
+#      poll /healthz until live, assert /metrics serves a non-empty
+#      Prometheus exposition, and shut the server down cleanly.
 #
 # Optional: TELEKIT_TSAN=1 scripts/check_tier1.sh additionally builds the
-# concurrency-heavy tests (serve engine, embedding cache, metrics registry)
-# under ThreadSanitizer in build_tsan/ and runs them. Off by default: the
-# TSan tree roughly doubles check time.
+# concurrency-heavy tests (serve engine, embedding cache, metrics registry,
+# admin server) under ThreadSanitizer in build_tsan/ and runs them. Off by
+# default: the TSan tree roughly doubles check time.
 #
 # Usage: scripts/check_tier1.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/3] configure + build =="
+echo "== [1/4] configure + build =="
 cmake -B build -S .
 cmake --build build -j
 
-echo "== [2/3] ctest =="
+echo "== [2/4] ctest =="
 ctest --test-dir build --output-on-failure -j
 
-echo "== [3/3] -Werror build of the obs layer =="
+echo "== [3/4] -Werror build of the obs layer =="
 cmake -B build_strict -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
-cmake --build build_strict -j --target telekit_obs obs_test
+cmake --build build_strict -j --target telekit_obs obs_test obs_admin_test
 ./build_strict/tests/obs_test --gtest_brief=1
+./build_strict/tests/obs_admin_test --gtest_brief=1
+
+echo "== [4/4] admin endpoint smoke =="
+SERVE_PORT=18473
+ADMIN_PORT=18474
+SERVE_LOG=$(mktemp)
+# TCP mode (not stdin) so the server stays up while we scrape it.
+./build/src/serve/telekit_serve --port="${SERVE_PORT}" \
+  --admin-port="${ADMIN_PORT}" --slow-request-ms=100 \
+  >"${SERVE_LOG}" 2>&1 &
+SERVE_PID=$!
+cleanup() {
+  kill "${SERVE_PID}" 2>/dev/null || true
+  wait "${SERVE_PID}" 2>/dev/null || true
+  rm -f "${SERVE_LOG}"
+}
+trap cleanup EXIT
+
+# /healthz answers as soon as the admin thread is up; /readyz stays 503
+# until the model is built, so wait for both before scraping.
+for _ in $(seq 1 60); do
+  if curl -sf -m 2 "http://127.0.0.1:${ADMIN_PORT}/readyz" \
+      >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "${SERVE_PID}" 2>/dev/null; then
+    echo "admin smoke: telekit_serve died during startup:"
+    cat "${SERVE_LOG}"
+    exit 1
+  fi
+  sleep 1
+done
+HEALTH=$(curl -sf -m 2 "http://127.0.0.1:${ADMIN_PORT}/healthz")
+[[ "${HEALTH}" == "ok" ]] || { echo "admin smoke: bad /healthz: ${HEALTH}"; exit 1; }
+STATUSZ=$(curl -sf -m 2 "http://127.0.0.1:${ADMIN_PORT}/statusz")
+if ! grep -q '"queue_depth"' <<<"${STATUSZ}"; then
+  echo "admin smoke: /statusz missing engine stats: ${STATUSZ}"
+  exit 1
+fi
+METRICS=$(curl -sf -m 2 "http://127.0.0.1:${ADMIN_PORT}/metrics")
+if [[ -z "${METRICS}" ]] || ! grep -q "telekit_" <<<"${METRICS}"; then
+  echo "admin smoke: /metrics exposition empty or missing telekit_ prefix"
+  exit 1
+fi
+kill "${SERVE_PID}"
+wait "${SERVE_PID}" 2>/dev/null || true
+trap - EXIT
+rm -f "${SERVE_LOG}"
+echo "admin smoke: OK (/healthz + /readyz + /statusz live, /metrics non-empty)"
 
 if [[ "${TELEKIT_TSAN:-0}" == "1" ]]; then
-  echo "== [tsan] ThreadSanitizer pass (serve + obs) =="
+  echo "== [tsan] ThreadSanitizer pass (serve + obs + admin) =="
   cmake -B build_tsan -S . -DTELEKIT_TSAN=ON
-  cmake --build build_tsan -j --target serve_test obs_test
+  cmake --build build_tsan -j --target serve_test obs_test obs_admin_test
   ./build_tsan/tests/serve_test --gtest_brief=1
   ./build_tsan/tests/obs_test --gtest_brief=1
+  ./build_tsan/tests/obs_admin_test --gtest_brief=1
 fi
 
 echo "check_tier1: OK"

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace telekit {
@@ -55,8 +56,10 @@ JsonValue Histogram::ToJson() const {
   out.Set("count", JsonValue(n));
   out.Set("sum", JsonValue(sum()));
   out.Set("mean", JsonValue(mean()));
-  out.Set("min", JsonValue(n > 0 ? min() : 0.0));
-  out.Set("max", JsonValue(n > 0 ? max() : 0.0));
+  // An empty histogram has min = +inf / max = -inf sentinels; JSON has no
+  // Inf, so export null rather than a fabricated number.
+  out.Set("min", n > 0 ? JsonValue(min()) : JsonValue());
+  out.Set("max", n > 0 ? JsonValue(max()) : JsonValue());
   JsonValue buckets = JsonValue::Array();
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     const uint64_t c = bucket_count(i);
@@ -97,6 +100,99 @@ std::vector<double> Histogram::DefaultLatencyBoundsMs() {
   return bounds;
 }
 
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets) {
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketIndex(double ms) {
+  if (!(ms > kMinMs)) return 0;  // also catches NaN and negatives
+  const double position = std::log2(ms / kMinMs) * kSubBuckets;
+  const size_t index = static_cast<size_t>(position);
+  return index < kNumBuckets ? index : kNumBuckets - 1;
+}
+
+double LatencyHistogram::BucketLowerMs(size_t i) {
+  return kMinMs * std::exp2(static_cast<double>(i) / kSubBuckets);
+}
+
+double LatencyHistogram::BucketUpperMs(size_t i) {
+  return kMinMs * std::exp2(static_cast<double>(i + 1) / kSubBuckets);
+}
+
+void LatencyHistogram::Observe(double ms) {
+  if (std::isnan(ms)) return;
+  if (ms < 0.0) ms = 0.0;
+  buckets_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, ms);
+  AtomicMinDouble(min_, ms);
+  AtomicMaxDouble(max_, ms);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  double value = max();
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    const double in_bucket = static_cast<double>(c);
+    if (cumulative + in_bucket >= rank) {
+      const double fraction =
+          std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+      value = BucketLowerMs(i) +
+              fraction * (BucketUpperMs(i) - BucketLowerMs(i));
+      break;
+    }
+    cumulative += in_bucket;
+  }
+  // The covering bucket may be wider than the observed extremes (e.g. a
+  // single sample): the true quantile can never leave [min, max].
+  return std::clamp(value, min(), max());
+}
+
+JsonValue LatencyHistogram::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  const uint64_t n = count();
+  out.Set("count", JsonValue(n));
+  out.Set("sum", JsonValue(sum()));
+  out.Set("mean", JsonValue(mean()));
+  out.Set("min", n > 0 ? JsonValue(min()) : JsonValue());
+  out.Set("max", n > 0 ? JsonValue(max()) : JsonValue());
+  out.Set("p50", JsonValue(Quantile(0.50)));
+  out.Set("p95", JsonValue(Quantile(0.95)));
+  out.Set("p99", JsonValue(Quantile(0.99)));
+  JsonValue buckets = JsonValue::Array();
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = bucket_count(i);
+    if (c == 0) continue;  // sparse export keeps artifacts small
+    JsonValue bucket = JsonValue::Object();
+    bucket.Set("le", JsonValue(BucketUpperMs(i)));
+    bucket.Set("count", JsonValue(c));
+    buckets.Append(std::move(bucket));
+  }
+  out.Set("buckets", std::move(buckets));
+  return out;
+}
+
+void LatencyHistogram::Zero() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
@@ -127,6 +223,14 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+LatencyHistogram& MetricsRegistry::GetLatencyHistogram(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = latency_histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
@@ -144,6 +248,13 @@ const Histogram* MetricsRegistry::FindHistogram(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = histograms_.find(name);
   return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+const LatencyHistogram* MetricsRegistry::FindLatencyHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = latency_histograms_.find(name);
+  return it != latency_histograms_.end() ? it->second.get() : nullptr;
 }
 
 JsonValue MetricsRegistry::Snapshot() const {
@@ -164,6 +275,11 @@ JsonValue MetricsRegistry::Snapshot() const {
     histograms.Set(name, histogram->ToJson());
   }
   out.Set("histograms", std::move(histograms));
+  JsonValue latency = JsonValue::Object();
+  for (const auto& [name, histogram] : latency_histograms_) {
+    latency.Set(name, histogram->ToJson());
+  }
+  out.Set("latency_histograms", std::move(latency));
   return out;
 }
 
@@ -172,15 +288,21 @@ void MetricsRegistry::Reset() {
   for (auto& entry : counters_) entry.second->Zero();
   for (auto& entry : gauges_) entry.second->Zero();
   for (auto& entry : histograms_) entry.second->Zero();
+  for (auto& entry : latency_histograms_) entry.second->Zero();
 }
 
 size_t MetricsRegistry::NumMetrics() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         latency_histograms_.size();
 }
 
 ScopedTimer::ScopedTimer(Histogram& histogram)
-    : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+    : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::ScopedTimer(LatencyHistogram& histogram)
+    : latency_histogram_(&histogram),
+      start_(std::chrono::steady_clock::now()) {}
 
 double ScopedTimer::ElapsedMs() const {
   return std::chrono::duration<double, std::milli>(
@@ -188,7 +310,10 @@ double ScopedTimer::ElapsedMs() const {
       .count();
 }
 
-ScopedTimer::~ScopedTimer() { histogram_.Observe(ElapsedMs()); }
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ != nullptr) histogram_->Observe(ElapsedMs());
+  if (latency_histogram_ != nullptr) latency_histogram_->Observe(ElapsedMs());
+}
 
 }  // namespace obs
 }  // namespace telekit

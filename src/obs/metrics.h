@@ -87,6 +87,61 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+/// Log-bucketed (HDR-style) latency histogram with quantile interpolation.
+/// Values are milliseconds spanning [1 us, 60 s]; each power of two is
+/// split into kSubBuckets geometric sub-buckets, so any quantile estimate
+/// carries a bounded relative error of 2^(1/kSubBuckets) - 1 (~4.4%),
+/// independent of where the mass sits — unlike a fixed-bucket Histogram,
+/// whose tail buckets are decades wide. Observe() is lock-free; Quantile()
+/// reads relaxed snapshots (monotonically consistent, not atomic).
+class LatencyHistogram {
+ public:
+  static constexpr double kMinMs = 1e-3;
+  static constexpr double kMaxMs = 6e4;
+  static constexpr int kSubBuckets = 16;  // per doubling
+  /// ceil(log2(kMaxMs / kMinMs)) doublings of kSubBuckets each.
+  static constexpr size_t kNumBuckets = 26 * kSubBuckets;
+
+  LatencyHistogram();
+
+  void Observe(double ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket holding `ms` (clamped to the tracked range).
+  static size_t BucketIndex(double ms);
+  /// Inclusive upper / exclusive lower bound of bucket i, in ms.
+  static double BucketUpperMs(size_t i);
+  static double BucketLowerMs(size_t i);
+
+  /// Interpolated q-quantile (q in [0,1]) in ms: walks the cumulative
+  /// bucket counts, interpolates linearly inside the covering bucket, and
+  /// clamps to the observed [min, max]. 0 when empty.
+  double Quantile(double q) const;
+
+  /// {count, sum, mean, min, max, p50, p95, p99, buckets: [{le, count}]}
+  /// with min/max null when empty and only non-empty buckets exported.
+  JsonValue ToJson() const;
+  void Zero();
+
+ private:
+  std::vector<std::atomic<uint64_t>> buckets_;  // kNumBuckets
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
 /// Process-wide metric registry. Metric objects are created on first use
 /// and never destroyed, so hot paths can do:
 ///
@@ -106,14 +161,17 @@ class MetricsRegistry {
   /// DefaultLatencyBoundsMs().
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> bounds = {});
+  LatencyHistogram& GetLatencyHistogram(const std::string& name);
 
   /// Lookup without creation; nullptr when absent.
   const Counter* FindCounter(const std::string& name) const;
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
+  const LatencyHistogram* FindLatencyHistogram(const std::string& name) const;
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
-  /// sorted (std::map order) for diffable artifacts.
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...},
+  /// "latency_histograms": {...}} with names sorted (std::map order) for
+  /// diffable artifacts.
   JsonValue Snapshot() const;
 
   /// Zeroes all metrics; registrations (and references) stay valid.
@@ -129,6 +187,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latency_histograms_;
 };
 
 /// Observes the wall-clock lifetime of a scope into a histogram, in
@@ -136,6 +195,7 @@ class MetricsRegistry {
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram& histogram);
+  explicit ScopedTimer(LatencyHistogram& histogram);
   ~ScopedTimer();
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -146,7 +206,8 @@ class ScopedTimer {
   double ElapsedMs() const;
 
  private:
-  Histogram& histogram_;
+  Histogram* histogram_ = nullptr;
+  LatencyHistogram* latency_histogram_ = nullptr;
   std::chrono::steady_clock::time_point start_;
 };
 

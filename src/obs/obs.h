@@ -4,7 +4,11 @@
 /// Umbrella header for the telekit observability layer:
 ///   - obs/log.h      TELEKIT_LOG(level) structured logging
 ///   - obs/metrics.h  MetricsRegistry: counters / gauges / histograms
-///   - obs/trace.h    RAII Span nesting + Chrome trace_event collection
+///                    (fixed-bucket and log-bucketed quantile kinds)
+///   - obs/trace.h    RAII Span nesting + Chrome trace_event collection,
+///                    request trace ids + SlowTraceRing (/tracez)
+///   - obs/admin.h    background HTTP admin server (/healthz /metrics ...)
+///                    + Prometheus text exposition renderer
 ///   - obs/report.h   --obs-json artifact (metrics + spans + traceEvents)
 ///
 /// Conventions used across the codebase:
@@ -15,6 +19,7 @@
 ///   - hot per-op paths (tensor dispatch) use cached Counter references
 ///     only; per-step paths may use Span + histogram.
 
+#include "obs/admin.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"

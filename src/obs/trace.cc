@@ -1,7 +1,11 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <utility>
+
+#include "obs/log.h"
 
 namespace telekit {
 namespace obs {
@@ -33,14 +37,27 @@ TraceCollector& TraceCollector::Global() {
 
 void TraceCollector::Record(const std::string& name, uint64_t start_us,
                             uint64_t dur_us, uint64_t child_us, int depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SpanStats& stats = aggregate_[name];
-  stats.count += 1;
-  stats.total_us += dur_us;
-  stats.self_us += dur_us > child_us ? dur_us - child_us : 0;
-  stats.max_us = std::max(stats.max_us, dur_us);
-  if (recording_ && events_.size() < kMaxEvents) {
-    events_.push_back(TraceEvent{name, start_us, dur_us, depth});
+  bool first_drop = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SpanStats& stats = aggregate_[name];
+    stats.count += 1;
+    stats.total_us += dur_us;
+    stats.self_us += dur_us > child_us ? dur_us - child_us : 0;
+    stats.max_us = std::max(stats.max_us, dur_us);
+    if (recording_) {
+      if (events_.size() < max_events_) {
+        events_.push_back(TraceEvent{name, start_us, dur_us, depth});
+      } else {
+        first_drop = dropped_events_ == 0;
+        ++dropped_events_;
+      }
+    }
+  }
+  // Log outside the lock: a sink is free to open spans of its own.
+  if (first_drop) {
+    TELEKIT_LOG(WARN) << "trace recording saturated; dropping further events"
+                      << F("max_events", max_events_) << F("span", name);
   }
 }
 
@@ -52,6 +69,16 @@ std::map<std::string, SpanStats> TraceCollector::Aggregate() const {
 size_t TraceCollector::NumEvents() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_.size();
+}
+
+uint64_t TraceCollector::NumDropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_events_;
+}
+
+void TraceCollector::set_max_events(size_t max_events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_events_ = max_events;
 }
 
 JsonValue TraceCollector::TraceEventsJson() const {
@@ -89,6 +116,7 @@ JsonValue TraceCollector::AggregateJson() const {
     s.Set("max_ms", JsonValue(static_cast<double>(stats.max_us) / 1000.0));
     out.Set(name, std::move(s));
   }
+  out.Set("dropped_events", JsonValue(dropped_events_));
   return out;
 }
 
@@ -96,6 +124,136 @@ void TraceCollector::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   aggregate_.clear();
+  dropped_events_ = 0;
+}
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> counter{
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count())};
+  // SplitMix64 finalizer: consecutive counter values map to well-spread
+  // ids, and the result is only 0 for one counter value in 2^64.
+  uint64_t x = counter.fetch_add(1, std::memory_order_relaxed);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;
+}
+
+std::string TraceIdToHex(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf);
+}
+
+bool ParseTraceIdHex(const std::string& text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+SlowTraceRing& SlowTraceRing::Global() {
+  static SlowTraceRing* ring = new SlowTraceRing();
+  return *ring;
+}
+
+SlowTraceRing::SlowTraceRing(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+void SlowTraceRing::Record(RequestTrace trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+    return;
+  }
+  ring_[next_] = std::move(trace);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<RequestTrace> SlowTraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RequestTrace> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+JsonValue SlowTraceRing::TraceEventsJson() const {
+  const std::vector<RequestTrace> traces = Snapshot();
+  JsonValue out = JsonValue::Array();
+  int lane = 0;
+  for (const RequestTrace& trace : traces) {
+    ++lane;  // one Chrome "thread" per slow request keeps slices separated
+    const struct {
+      const char* name;
+      uint64_t start;
+      uint64_t dur;
+    } stages[] = {
+        {"queue", trace.start_us, trace.queue_us},
+        {"batch", trace.start_us + trace.queue_us, trace.batch_us},
+        {"encode", trace.start_us + trace.queue_us, trace.encode_us},
+        {"score", trace.start_us + trace.queue_us + trace.batch_us -
+                      std::min(trace.batch_us, trace.score_us),
+         trace.score_us},
+    };
+    for (const auto& stage : stages) {
+      if (stage.dur == 0) continue;
+      JsonValue e = JsonValue::Object();
+      e.Set("name", JsonValue(std::string(trace.op) + "/" + stage.name));
+      e.Set("ph", JsonValue("X"));
+      e.Set("ts", JsonValue(stage.start));
+      e.Set("dur", JsonValue(stage.dur));
+      e.Set("pid", JsonValue(1));
+      e.Set("tid", JsonValue(lane));
+      JsonValue args = JsonValue::Object();
+      args.Set("trace", JsonValue(TraceIdToHex(trace.trace_id)));
+      args.Set("op", JsonValue(trace.op));
+      args.Set("detail", JsonValue(trace.detail));
+      args.Set("total_us", JsonValue(trace.total_us));
+      args.Set("ok", JsonValue(trace.ok));
+      e.Set("args", std::move(args));
+      out.Append(std::move(e));
+    }
+  }
+  return out;
+}
+
+size_t SlowTraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+uint64_t SlowTraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void SlowTraceRing::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
 }
 
 Span::Span(std::string name)

@@ -33,7 +33,9 @@ struct SpanStats {
 /// Collects completed spans. Aggregation (per-name totals) is always on;
 /// full event recording — the Chrome trace — is opt-in via set_recording()
 /// because long training runs would otherwise accumulate unbounded event
-/// vectors. Recording stops silently at kMaxEvents.
+/// vectors. Recording stops at kMaxEvents; further spans are counted in
+/// dropped_events (surfaced in AggregateJson) and the first drop logs one
+/// WARNING so saturated traces are never mistaken for complete ones.
 class TraceCollector {
  public:
   static TraceCollector& Global();
@@ -46,15 +48,23 @@ class TraceCollector {
 
   std::map<std::string, SpanStats> Aggregate() const;
   size_t NumEvents() const;
+  /// Spans that arrived while recording was on but the buffer was full.
+  uint64_t NumDropped() const;
 
   /// Chrome trace_event JSON array: [{name, ph:"X", ts, dur, pid, tid}].
   /// Load via chrome://tracing or https://ui.perfetto.dev.
   JsonValue TraceEventsJson() const;
-  /// {name: {count, total_ms, self_ms, mean_ms, max_ms}} sorted by name.
+  /// {name: {count, total_ms, self_ms, mean_ms, max_ms}} sorted by name,
+  /// plus a top-level "dropped_events" number.
   JsonValue AggregateJson() const;
 
-  /// Drops all events and aggregates (recording flag is left unchanged).
+  /// Drops all events, aggregates, and the drop counter (recording flag is
+  /// left unchanged).
   void Reset();
+
+  /// Test hook: shrink the recording capacity (Reset() is recommended
+  /// first; the default is kMaxEvents).
+  void set_max_events(size_t max_events);
 
   static constexpr size_t kMaxEvents = 200000;
 
@@ -63,8 +73,10 @@ class TraceCollector {
 
   mutable std::mutex mutex_;
   bool recording_ = false;
+  size_t max_events_ = kMaxEvents;
   std::vector<TraceEvent> events_;
   std::map<std::string, SpanStats> aggregate_;
+  uint64_t dropped_events_ = 0;
 };
 
 /// RAII tracing span. Spans nest: each thread keeps a span stack, the
@@ -101,6 +113,75 @@ class Span {
 
 /// Microseconds since process start (shared epoch for all trace events).
 uint64_t TraceNowUs();
+
+// ---------------------------------------------------------------------------
+// Request-scoped tracing
+// ---------------------------------------------------------------------------
+
+/// Fresh process-unique 64-bit trace id (never 0): a seeded counter passed
+/// through a SplitMix64 finalizer, so ids are unguessable-looking but
+/// deterministic per process given arrival order.
+uint64_t NextTraceId();
+
+/// 16-lowercase-hex-digit rendering — the wire form of a trace id (JSON
+/// numbers are doubles and cannot carry 64 bits exactly).
+std::string TraceIdToHex(uint64_t trace_id);
+/// Parses 1-16 hex digits; false (out unspecified) on anything else.
+bool ParseTraceIdHex(const std::string& text, uint64_t* out);
+
+/// One request's per-stage timing breakdown, recorded when the request was
+/// slower than the configured threshold. All stage durations are in
+/// microseconds; `start_us` shares the TraceNowUs() epoch.
+struct RequestTrace {
+  uint64_t trace_id = 0;
+  std::string op;
+  /// Short request descriptor (e.g. truncated query text).
+  std::string detail;
+  uint64_t start_us = 0;
+  uint64_t queue_us = 0;   // waiting in the micro-batch queue
+  uint64_t batch_us = 0;   // inside the worker (tokenize+encode+score)
+  uint64_t encode_us = 0;  // model forward share
+  uint64_t score_us = 0;   // catalogue scoring share
+  uint64_t total_us = 0;
+  bool ok = true;
+};
+
+/// Bounded ring of the most recent slow-request traces. Writers never
+/// block readers for long: Record overwrites the oldest entry once
+/// `capacity` traces are held. Backs the admin server's /tracez endpoint.
+///
+/// Thread-safety: all methods are safe from any thread.
+class SlowTraceRing {
+ public:
+  static SlowTraceRing& Global();
+
+  explicit SlowTraceRing(size_t capacity = kDefaultCapacity);
+
+  void Record(RequestTrace trace);
+
+  /// Oldest-to-newest copy of the held traces.
+  std::vector<RequestTrace> Snapshot() const;
+
+  /// Chrome trace_event JSON array: one lane (tid) per slow request, one
+  /// "X" slice per stage (queue/batch/encode/score), trace id and op in
+  /// args. Loadable via chrome://tracing / Perfetto.
+  JsonValue TraceEventsJson() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Total traces ever recorded (including overwritten ones).
+  uint64_t total_recorded() const;
+  void Reset();
+
+  static constexpr size_t kDefaultCapacity = 256;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<RequestTrace> ring_;  // ring_[next_] is the oldest once full
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
 
 }  // namespace obs
 }  // namespace telekit

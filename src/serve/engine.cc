@@ -18,11 +18,14 @@ struct ServeMetrics {
   obs::Counter& requests;
   obs::Counter& rejected;
   obs::Counter& deadline_exceeded;
+  obs::Counter& slow_requests;
   obs::Gauge& queue_depth;
   obs::Histogram& batch_size;
-  obs::Histogram& queue_ms;
-  obs::Histogram& encode_ms;
-  obs::Histogram& request_ms;
+  // Log-bucketed so /metrics and BENCH_serve.json can report p50/p95/p99
+  // with bounded relative error instead of fixed-bucket resolution.
+  obs::LatencyHistogram& queue_ms;
+  obs::LatencyHistogram& encode_ms;
+  obs::LatencyHistogram& request_ms;
 
   static ServeMetrics& Get() {
     auto& reg = obs::MetricsRegistry::Global();
@@ -30,12 +33,13 @@ struct ServeMetrics {
         reg.GetCounter("serve/requests"),
         reg.GetCounter("serve/rejected"),
         reg.GetCounter("serve/deadline_exceeded"),
+        reg.GetCounter("serve/slow_requests"),
         reg.GetGauge("serve/queue_depth"),
         reg.GetHistogram("serve/batch_size",
                          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}),
-        reg.GetHistogram("serve/queue_ms"),
-        reg.GetHistogram("serve/encode_ms"),
-        reg.GetHistogram("serve/request_ms"),
+        reg.GetLatencyHistogram("serve/queue_ms"),
+        reg.GetLatencyHistogram("serve/encode_ms"),
+        reg.GetLatencyHistogram("serve/request_ms"),
     };
     return m;
   }
@@ -44,6 +48,46 @@ struct ServeMetrics {
 double MsSince(std::chrono::steady_clock::time_point start,
                std::chrono::steady_clock::time_point end) {
   return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+uint64_t MsToUs(double ms) {
+  return ms > 0.0 ? static_cast<uint64_t>(ms * 1000.0) : 0;
+}
+
+/// When the request crossed the slow threshold: one WARN line with the
+/// full per-stage breakdown plus a SlowTraceRing entry backing /tracez.
+void MaybeCaptureSlow(double slow_request_ms, const Request& request,
+                      const Response& response) {
+  if (slow_request_ms <= 0.0 || response.total_ms < slow_request_ms) return;
+  ServeMetrics::Get().slow_requests.Increment();
+  obs::RequestTrace trace;
+  trace.trace_id = response.trace_id;
+  trace.op = TaskOpName(request.op);
+  trace.detail = request.text.size() > 80
+                     ? request.text.substr(0, 77) + "..."
+                     : request.text;
+  trace.total_us = MsToUs(response.total_ms);
+  const uint64_t now_us = obs::TraceNowUs();
+  trace.start_us = now_us > trace.total_us ? now_us - trace.total_us : 0;
+  trace.queue_us = MsToUs(response.queue_ms);
+  trace.batch_us = MsToUs(response.batch_ms);
+  trace.encode_us = MsToUs(response.encode_ms);
+  trace.score_us = MsToUs(response.score_ms);
+  trace.ok = response.status.ok();
+  obs::SlowTraceRing::Global().Record(std::move(trace));
+  TELEKIT_LOG(WARN) << "slow request"
+                    << obs::F("trace", obs::TraceIdToHex(response.trace_id))
+                    << obs::F("op", TaskOpName(request.op))
+                    << obs::F("total_ms", response.total_ms)
+                    << obs::F("queue_ms", response.queue_ms)
+                    << obs::F("batch_ms", response.batch_ms)
+                    << obs::F("encode_ms", response.encode_ms)
+                    << obs::F("score_ms", response.score_ms)
+                    << obs::F("batch_size", response.batch_size)
+                    << obs::F("cache_hit", response.cache_hit)
+                    << obs::F("status", response.status.ok()
+                                       ? "ok"
+                                       : response.status.message());
 }
 
 }  // namespace
@@ -127,6 +171,7 @@ size_t ServeEngine::CatalogSize(TaskOp op) const {
 
 std::future<Response> ServeEngine::Submit(Request request) {
   auto pending = std::make_unique<Pending>();
+  if (request.trace_id == 0) request.trace_id = obs::NextTraceId();
   pending->request = std::move(request);
   pending->enqueued = Clock::now();
   if (pending->request.deadline_ms > 0.0) {
@@ -145,6 +190,7 @@ std::future<Response> ServeEngine::Submit(Request request) {
   // still fulfilled.
   ServeMetrics::Get().rejected.Increment();
   Response response;
+  response.trace_id = pending->request.trace_id;
   response.status =
       Status::Unavailable(stopped_.load() ? "engine stopped"
                                           : "serve queue full");
@@ -159,7 +205,9 @@ void ServeEngine::WorkerLoop() {
     if (batch.empty()) return;  // closed and drained
     metrics.queue_depth.Set(static_cast<double>(queue_.size()));
     metrics.batch_size.Observe(static_cast<double>(batch.size()));
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
     ProcessBatch(std::move(batch));
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -191,8 +239,12 @@ void ServeEngine::ProcessBatch(
           "deadline lapsed after " + std::to_string(pending->queue_ms) +
           " ms in queue");
       response.batch_size = batch_size;
+      response.trace_id = pending->request.trace_id;
       response.queue_ms = pending->queue_ms;
       response.total_ms = pending->queue_ms;
+      // A lapsed deadline is a slow request by definition; record it
+      // (ok=false) so /tracez shows where the time went.
+      MaybeCaptureSlow(options_.slow_request_ms, pending->request, response);
       pending->promise.set_value(std::move(response));
       pending.reset();
       continue;
@@ -245,13 +297,20 @@ void ServeEngine::ProcessBatch(
       Response response;
       response.cache_hit = item.cache_hit;
       response.batch_size = batch_size;
+      response.trace_id = item.pending->request.trace_id;
       response.queue_ms = item.pending->queue_ms;
       response.encode_ms = item.cache_hit ? 0.0 : encode_ms;
+      const Clock::time_point score_start = Clock::now();
       FinishRequest(item.pending->request, std::move(item.vector), &response);
-      response.total_ms = MsSince(item.pending->enqueued, Clock::now());
+      const Clock::time_point done = Clock::now();
+      response.score_ms = MsSince(score_start, done);
+      response.batch_ms = MsSince(started, done);
+      response.total_ms = MsSince(item.pending->enqueued, done);
       metrics.requests.Increment();
       metrics.queue_ms.Observe(response.queue_ms);
       metrics.request_ms.Observe(response.total_ms);
+      MaybeCaptureSlow(options_.slow_request_ms, item.pending->request,
+                       response);
       item.pending->promise.set_value(std::move(response));
     }
   }
@@ -263,6 +322,8 @@ Response ServeEngine::Process(const Request& request) const {
   const Clock::time_point started = Clock::now();
   Response response;
   response.batch_size = 1;
+  response.trace_id =
+      request.trace_id != 0 ? request.trace_id : obs::NextTraceId();
 
   text::EncodedInput input;
   {
@@ -281,11 +342,14 @@ Response ServeEngine::Process(const Request& request) const {
     response.encode_ms = timer.ElapsedMs();
     if (options_.enable_cache) cache_.Put(key, vector);
   }
+  const Clock::time_point score_start = Clock::now();
   FinishRequest(request, std::move(vector), &response);
+  response.score_ms = MsSince(score_start, Clock::now());
   response.total_ms = MsSince(started, Clock::now());
   metrics.requests.Increment();
   metrics.request_ms.Observe(response.total_ms);
   metrics.batch_size.Observe(1.0);
+  MaybeCaptureSlow(options_.slow_request_ms, request, response);
   return response;
 }
 
@@ -325,6 +389,7 @@ void ServeEngine::Stop() {
     if (remainder.empty()) break;
     for (auto& pending : remainder) {
       Response response;
+      response.trace_id = pending->request.trace_id;
       response.status = Status::Unavailable("engine stopped");
       response.queue_ms = MsSince(pending->enqueued, Clock::now());
       response.total_ms = response.queue_ms;
@@ -332,6 +397,24 @@ void ServeEngine::Stop() {
     }
   }
   ServeMetrics::Get().queue_depth.Set(0.0);
+}
+
+EngineStats ServeEngine::GetStats() const {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  EngineStats stats;
+  stats.queue_depth = queue_.size();
+  stats.queue_capacity = options_.queue_capacity;
+  stats.num_workers = options_.num_workers;
+  stats.busy_workers = busy_workers_.load(std::memory_order_relaxed);
+  stats.requests = metrics.requests.value();
+  stats.rejected = metrics.rejected.value();
+  stats.deadline_exceeded = metrics.deadline_exceeded.value();
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.cache_hit_rate = cache_.HitRate();
+  stats.cache_size = cache_.size();
+  stats.saturated = stats.queue_depth >= stats.queue_capacity;
+  return stats;
 }
 
 }  // namespace serve

@@ -42,6 +42,14 @@ struct Request {
   /// Requests whose deadline lapses while queued are failed without being
   /// encoded.
   double deadline_ms = 0.0;
+  /// Request-scoped trace id: correlates the response, slow-request log
+  /// lines, and /tracez entries. 0 means "assign one for me" (Submit and
+  /// Process generate an id via obs::NextTraceId()).
+  uint64_t trace_id = 0;
+  /// When true the protocol layer echoes the per-stage timing breakdown
+  /// in the response JSON. Set by ParseRequest for requests carrying a
+  /// "trace" field.
+  bool echo_timing = false;
 };
 
 /// One inference response.
@@ -55,8 +63,15 @@ struct Response {
   bool cache_hit = false;
   /// Size of the micro-batch this request rode in (1 = unbatched).
   int batch_size = 0;
+  /// The trace id of the request this answers (assigned if it carried 0).
+  uint64_t trace_id = 0;
   double queue_ms = 0.0;
+  /// Wall time of the whole micro-batch this request rode in (pop ->
+  /// fulfilment); 0 for the synchronous Process path.
+  double batch_ms = 0.0;
   double encode_ms = 0.0;
+  /// Catalogue-scoring time for this request.
+  double score_ms = 0.0;
   double total_ms = 0.0;
 };
 
@@ -72,6 +87,28 @@ struct EngineOptions {
   size_t cache_capacity = 4096;
   int cache_shards = 8;
   bool enable_cache = true;
+  /// Requests whose total_ms meets or exceeds this are logged (WARN, with
+  /// the per-stage breakdown) and recorded in obs::SlowTraceRing::Global()
+  /// for /tracez. 0 disables slow-request capture.
+  double slow_request_ms = 0.0;
+};
+
+/// Point-in-time engine counters for /statusz and /readyz.
+struct EngineStats {
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  int num_workers = 0;
+  /// Workers currently inside ProcessBatch (the rest are blocked popping).
+  int busy_workers = 0;
+  uint64_t requests = 0;
+  uint64_t rejected = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  size_t cache_size = 0;
+  /// True when the queue is at capacity: the next Submit would be rejected.
+  bool saturated = false;
 };
 
 /// Multi-threaded batched inference engine over one ServiceEncoder:
@@ -121,6 +158,9 @@ class ServeEngine {
   /// called by the destructor.
   void Stop();
 
+  /// Point-in-time counters for the admin endpoints; safe from any thread.
+  EngineStats GetStats() const;
+
   const EngineOptions& options() const { return options_; }
   const EmbeddingCache& cache() const { return cache_; }
 
@@ -158,6 +198,7 @@ class ServeEngine {
   std::map<TaskOp, Catalog> catalogs_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
+  mutable std::atomic<int> busy_workers_{0};
 };
 
 }  // namespace serve

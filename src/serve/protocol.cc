@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace telekit {
 namespace serve {
 
@@ -83,6 +85,21 @@ Status ParseRequest(const obs::JsonValue& json, Request* request) {
     }
     request->deadline_ms = deadline->AsNumber();
   }
+  if (const obs::JsonValue* trace = json.Find("trace")) {
+    if (trace->is_string()) {
+      if (!obs::ParseTraceIdHex(trace->AsString(), &request->trace_id)) {
+        return Status::InvalidArgument(
+            "'trace' must be 1-16 hex digits or a boolean: " + trace->Dump());
+      }
+      request->echo_timing = true;
+    } else if (trace->is_bool()) {
+      // true: server assigns the id; either way the client asked to trace.
+      request->echo_timing = trace->AsBool();
+    } else if (!trace->is_null()) {
+      return Status::InvalidArgument(
+          "'trace' must be a hex string or boolean: " + trace->Dump());
+    }
+  }
   return Status::Ok();
 }
 
@@ -101,13 +118,31 @@ void SetId(obs::JsonValue* out, const obs::JsonValue* id) {
   out->Set("id", id != nullptr ? *id : obs::JsonValue());
 }
 
+void SetTrace(obs::JsonValue* out, uint64_t trace_id) {
+  out->Set("trace", trace_id != 0
+                        ? obs::JsonValue(obs::TraceIdToHex(trace_id))
+                        : obs::JsonValue());
+}
+
 }  // namespace
 
 obs::JsonValue ResponseToJson(const Request& request, const Response& response,
                               const obs::JsonValue* id) {
-  if (!response.status.ok()) return ErrorToJson(response.status, id);
+  if (!response.status.ok()) {
+    obs::JsonValue out = ErrorToJson(response.status, id, response.trace_id);
+    if (request.echo_timing) {
+      obs::JsonValue timing = obs::JsonValue::Object();
+      timing.Set("queue_us",
+                 obs::JsonValue(static_cast<double>(response.queue_ms * 1e3)));
+      timing.Set("total_us",
+                 obs::JsonValue(static_cast<double>(response.total_ms * 1e3)));
+      out.Set("timing", std::move(timing));
+    }
+    return out;
+  }
   obs::JsonValue out = obs::JsonValue::Object();
   SetId(&out, id);
+  SetTrace(&out, response.trace_id);
   out.Set("ok", obs::JsonValue(true));
   out.Set("op", obs::JsonValue(TaskOpName(request.op)));
   if (request.op == TaskOp::kEncode) {
@@ -130,12 +165,28 @@ obs::JsonValue ResponseToJson(const Request& request, const Response& response,
   out.Set("batch_size", obs::JsonValue(response.batch_size));
   out.Set("queue_ms", obs::JsonValue(response.queue_ms));
   out.Set("total_ms", obs::JsonValue(response.total_ms));
+  if (request.echo_timing) {
+    obs::JsonValue timing = obs::JsonValue::Object();
+    timing.Set("queue_us",
+               obs::JsonValue(static_cast<double>(response.queue_ms * 1e3)));
+    timing.Set("batch_us",
+               obs::JsonValue(static_cast<double>(response.batch_ms * 1e3)));
+    timing.Set("encode_us",
+               obs::JsonValue(static_cast<double>(response.encode_ms * 1e3)));
+    timing.Set("score_us",
+               obs::JsonValue(static_cast<double>(response.score_ms * 1e3)));
+    timing.Set("total_us",
+               obs::JsonValue(static_cast<double>(response.total_ms * 1e3)));
+    out.Set("timing", std::move(timing));
+  }
   return out;
 }
 
-obs::JsonValue ErrorToJson(const Status& status, const obs::JsonValue* id) {
+obs::JsonValue ErrorToJson(const Status& status, const obs::JsonValue* id,
+                           uint64_t trace_id) {
   obs::JsonValue out = obs::JsonValue::Object();
   SetId(&out, id);
+  SetTrace(&out, trace_id);
   out.Set("ok", obs::JsonValue(false));
   obs::JsonValue error = obs::JsonValue::Object();
   error.Set("code", obs::JsonValue(static_cast<int>(status.code())));

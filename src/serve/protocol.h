@@ -19,8 +19,13 @@ namespace serve {
 ///
 /// Fields: `op` ("encode" | "rca" | "eap" | "fct", default "encode"),
 /// `text` (required), `mode` ("name" | "entity" | "entity_attr", default
-/// "entity"), `top_k`, `deadline_ms`, and a free-form `id` echoed back for
-/// client-side correlation.
+/// "entity"), `top_k`, `deadline_ms`, a free-form `id` echoed back for
+/// client-side correlation, and an optional `trace` field: a 16-hex-digit
+/// string supplies the request's trace id (64-bit ids ride JSON as hex
+/// strings — JSON numbers are doubles), `true` asks the server to assign
+/// one. Either form also opts the response into a per-stage `timing`
+/// breakdown. Every response carries the request's trace id back as
+/// `trace` (hex, null only when no id was ever assigned).
 
 /// Parses one request line. On error the returned Status describes the
 /// problem and `request` is unspecified.
@@ -30,12 +35,18 @@ Status ParseRequest(const obs::JsonValue& json, Request* request);
 Status ParseRequestLine(const std::string& line, Request* request);
 
 /// Serializes a response; `id` is echoed verbatim (null when absent in the
-/// request). Errors come back as {"ok": false, "error": {"code", "message"}}.
+/// request) and `trace` carries the response's trace id in hex. Errors come
+/// back as {"ok": false, "error": {"code", "message"}} — still with `id`
+/// and `trace`. When the request asked for timing (`echo_timing`) the reply
+/// gains {"timing": {"queue_us", "batch_us", "encode_us", "score_us",
+/// "total_us"}}.
 obs::JsonValue ResponseToJson(const Request& request, const Response& response,
                               const obs::JsonValue* id);
 
 /// Error reply for lines that never produced a Request (parse failures).
-obs::JsonValue ErrorToJson(const Status& status, const obs::JsonValue* id);
+/// `trace_id` 0 (no id ever assigned) serializes as a null `trace`.
+obs::JsonValue ErrorToJson(const Status& status, const obs::JsonValue* id,
+                           uint64_t trace_id = 0);
 
 /// Round-trips a ServiceMode to/from its wire name.
 std::string ServiceModeName(core::ServiceMode mode);

@@ -29,7 +29,10 @@
 #include <utility>
 #include <vector>
 
+#include <atomic>
+
 #include "core/model_zoo.h"
+#include "obs/admin.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -42,7 +45,9 @@ namespace serve {
 namespace {
 
 struct Flags {
-  int port = 0;  // 0 = stdin/stdout
+  int port = 0;        // 0 = stdin/stdout
+  int admin_port = -1;  // -1 = disabled, 0 = ephemeral
+  double slow_request_ms = 100.0;
   int workers = 4;
   int max_batch = 8;
   int64_t max_wait_us = 2000;
@@ -67,6 +72,10 @@ void PrintUsage() {
   std::cerr
       << "usage: telekit_serve [options]\n"
       << "  --port=N            serve TCP instead of stdin/stdout\n"
+      << "  --admin-port=N      HTTP admin endpoints on 127.0.0.1:N\n"
+      << "                      (0 = ephemeral; default off)\n"
+      << "  --slow-request-ms=X log + /tracez requests slower than X ms\n"
+      << "                      (default 100; 0 = off)\n"
       << "  --workers=N         engine worker threads (default 4)\n"
       << "  --max-batch=N       micro-batch size cap (default 8)\n"
       << "  --max-wait-us=N     micro-batch flush deadline (default 2000)\n"
@@ -87,6 +96,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     std::string v;
     if (ParseFlag(arg, "port", &v)) {
       flags->port = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "admin-port", &v)) {
+      flags->admin_port = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "slow-request-ms", &v)) {
+      flags->slow_request_ms = std::atof(v.c_str());
     } else if (ParseFlag(arg, "workers", &v)) {
       flags->workers = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "max-batch", &v)) {
@@ -151,6 +164,9 @@ void ServeStream(ServeEngine& engine, std::istream& in, std::ostream& out) {
   struct InFlight {
     Request request;
     std::unique_ptr<obs::JsonValue> id;
+    /// Trace id salvaged from the raw JSON for lines that fail validation,
+    /// so even error replies correlate (0 = none supplied).
+    uint64_t trace_id = 0;
     /// Invalid when the line never produced a request; `error` then holds
     /// the parse failure.
     std::future<Response> future;
@@ -174,7 +190,7 @@ void ServeStream(ServeEngine& engine, std::istream& in, std::ostream& out) {
       const obs::JsonValue json =
           item.future.valid()
               ? ResponseToJson(item.request, item.future.get(), item.id.get())
-              : ErrorToJson(item.error, item.id.get());
+              : ErrorToJson(item.error, item.id.get(), item.trace_id);
       out << json.Dump() << "\n";
       out.flush();
       lock.lock();
@@ -193,6 +209,13 @@ void ServeStream(ServeEngine& engine, std::istream& in, std::ostream& out) {
     } else {
       if (const obs::JsonValue* found = json.Find("id")) {
         item.id = std::make_unique<obs::JsonValue>(*found);
+      }
+      // Salvaged before validation: a reply to a malformed request must
+      // still echo the caller's correlation fields.
+      if (const obs::JsonValue* trace = json.Find("trace")) {
+        if (trace->is_string()) {
+          obs::ParseTraceIdHex(trace->AsString(), &item.trace_id);
+        }
       }
       status = ParseRequest(json, &item.request);
     }
@@ -294,6 +317,76 @@ int Main(int argc, char** argv) {
   if (!flags.obs_json.empty()) {
     obs::TraceCollector::Global().set_recording(true);
   }
+  const auto start_time = std::chrono::steady_clock::now();
+
+  // The admin server comes up before the model builds so /healthz answers
+  // (and /readyz correctly says 503) during the slow startup phase.
+  std::atomic<bool> ready{false};
+  std::atomic<ServeEngine*> engine_ptr{nullptr};
+  obs::AdminServer admin;
+  admin.Handle("/readyz", [&ready, &engine_ptr](const obs::HttpRequest&) {
+    ServeEngine* engine = engine_ptr.load();
+    if (!ready.load() || engine == nullptr) {
+      return obs::HttpResponse::Text(503, "loading\n");
+    }
+    if (engine->GetStats().saturated) {
+      return obs::HttpResponse::Text(503, "queue saturated\n");
+    }
+    return obs::HttpResponse::Text(200, "ready\n");
+  });
+  admin.Handle("/statusz", [&ready, &engine_ptr,
+                            start_time](const obs::HttpRequest&) {
+    obs::JsonValue out = obs::JsonValue::Object();
+    out.Set("server", obs::JsonValue("telekit_serve"));
+    obs::JsonValue build = obs::JsonValue::Object();
+    build.Set("compiler", obs::JsonValue(__VERSION__));
+    build.Set("cpp_standard", obs::JsonValue(static_cast<double>(__cplusplus)));
+    out.Set("build", std::move(build));
+    out.Set("uptime_s",
+            obs::JsonValue(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_time)
+                               .count()));
+    out.Set("ready", obs::JsonValue(ready.load()));
+    if (ServeEngine* engine = engine_ptr.load()) {
+      const EngineStats stats = engine->GetStats();
+      obs::JsonValue e = obs::JsonValue::Object();
+      e.Set("queue_depth", obs::JsonValue(stats.queue_depth));
+      e.Set("queue_capacity", obs::JsonValue(stats.queue_capacity));
+      e.Set("saturated", obs::JsonValue(stats.saturated));
+      obs::JsonValue workers = obs::JsonValue::Object();
+      workers.Set("total", obs::JsonValue(stats.num_workers));
+      workers.Set("busy", obs::JsonValue(stats.busy_workers));
+      workers.Set("idle",
+                  obs::JsonValue(stats.num_workers - stats.busy_workers));
+      e.Set("workers", std::move(workers));
+      e.Set("requests", obs::JsonValue(stats.requests));
+      e.Set("rejected", obs::JsonValue(stats.rejected));
+      e.Set("deadline_exceeded", obs::JsonValue(stats.deadline_exceeded));
+      obs::JsonValue cache = obs::JsonValue::Object();
+      cache.Set("hits", obs::JsonValue(stats.cache_hits));
+      cache.Set("misses", obs::JsonValue(stats.cache_misses));
+      cache.Set("hit_rate", obs::JsonValue(stats.cache_hit_rate));
+      cache.Set("size", obs::JsonValue(stats.cache_size));
+      e.Set("cache", std::move(cache));
+      out.Set("engine", std::move(e));
+    }
+    if (const obs::LatencyHistogram* h =
+            obs::MetricsRegistry::Global().FindLatencyHistogram(
+                "serve/request_ms")) {
+      obs::JsonValue latency = obs::JsonValue::Object();
+      latency.Set("count", obs::JsonValue(h->count()));
+      latency.Set("p50_ms", obs::JsonValue(h->Quantile(0.50)));
+      latency.Set("p95_ms", obs::JsonValue(h->Quantile(0.95)));
+      latency.Set("p99_ms", obs::JsonValue(h->Quantile(0.99)));
+      out.Set("request_latency", std::move(latency));
+    }
+    return obs::HttpResponse::Json(200, out);
+  });
+  if (flags.admin_port >= 0 && !admin.Start(flags.admin_port)) {
+    std::cerr << "failed to start admin server on 127.0.0.1:"
+              << flags.admin_port << "\n";
+    return 1;
+  }
 
   std::cerr << "telekit_serve: building model (pretrain_steps="
             << flags.pretrain_steps << ")...\n";
@@ -313,7 +406,9 @@ int Main(int argc, char** argv) {
   options.cache_capacity = flags.cache_capacity;
   options.cache_shards = flags.cache_shards;
   options.enable_cache = flags.cache;
+  options.slow_request_ms = flags.slow_request_ms;
   ServeEngine engine(&service, options);
+  engine_ptr.store(&engine);
 
   // Task catalogues come from the synthetic world's alarm book: all three
   // retrieval ops rank alarm surfaces.
@@ -330,8 +425,13 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
+  ready.store(true);
   std::cerr << "telekit_serve: ready (" << alarm_names.size()
             << " catalogue entries, " << flags.workers << " workers)\n";
+  if (admin.running()) {
+    std::cerr << "telekit_serve: admin endpoints on 127.0.0.1:"
+              << admin.port() << "\n";
+  }
 
   int rc = 0;
   if (flags.port > 0) {
@@ -339,6 +439,9 @@ int Main(int argc, char** argv) {
   } else {
     ServeStream(engine, std::cin, std::cout);
   }
+  ready.store(false);
+  admin.Stop();
+  engine_ptr.store(nullptr);
   engine.Stop();
   std::cerr << "telekit_serve: done; cache hit rate "
             << engine.cache().HitRate() << "\n";

@@ -1,0 +1,293 @@
+// Tests for the admin HTTP server and the Prometheus text exposition:
+// liveness/readiness flows, route dispatch, exposition well-formedness
+// (monotone cumulative buckets terminated by +Inf == _count), /tracez
+// Chrome-trace output, and concurrent scrapes racing metric traffic (the
+// case the TSan gate exists for).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace telekit {
+namespace obs {
+namespace {
+
+struct HttpReply {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+/// Raw-socket HTTP/1.0 client, deliberately independent of the server's
+/// own parsing code.
+HttpReply HttpRaw(int port, const std::string& request) {
+  HttpReply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return reply;
+  }
+  ::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string raw;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return reply;
+  reply.headers = raw.substr(0, header_end);
+  reply.body = raw.substr(header_end + 4);
+  // "HTTP/1.0 200 OK"
+  const size_t space = reply.headers.find(' ');
+  if (space != std::string::npos) {
+    reply.status = std::atoi(reply.headers.c_str() + space + 1);
+  }
+  return reply;
+}
+
+HttpReply HttpGet(int port, const std::string& path,
+                  const std::string& method = "GET") {
+  return HttpRaw(port, method + " " + path + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(AdminServerTest, HealthzBeforeAndAfterStop) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));  // ephemeral port
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+  EXPECT_TRUE(server.running());
+
+  const HttpReply reply = HttpGet(port, "/healthz");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.body, "ok\n");
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  // A dead server answers nothing.
+  EXPECT_EQ(HttpGet(port, "/healthz").status, 0);
+}
+
+TEST(AdminServerTest, IndexListsRoutesAndUnknownIs404) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const HttpReply index = HttpGet(server.port(), "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/healthz"), std::string::npos);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+
+  const HttpReply missing = HttpGet(server.port(), "/nope");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("/healthz"), std::string::npos);
+}
+
+TEST(AdminServerTest, RejectsNonGetAndMalformedRequests) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  EXPECT_EQ(HttpGet(server.port(), "/healthz", "POST").status, 405);
+  // HEAD is allowed and must carry no body.
+  const HttpReply head = HttpGet(server.port(), "/healthz", "HEAD");
+  EXPECT_EQ(head.status, 200);
+  EXPECT_TRUE(head.body.empty());
+  EXPECT_NE(head.headers.find("Content-Length: 3"), std::string::npos);
+  // Unknown methods are refused even with a well-formed request line.
+  EXPECT_EQ(HttpGet(server.port(), "/healthz", "GARBAGE").status, 405);
+  // A request line without method/target/version is malformed.
+  EXPECT_EQ(HttpRaw(server.port(), "junk\r\n\r\n").status, 400);
+}
+
+TEST(AdminServerTest, StartFailsWhenPortTaken) {
+  AdminServer first;
+  ASSERT_TRUE(first.Start(0));
+  AdminServer second;
+  EXPECT_FALSE(second.Start(first.port()));
+  // Double-start of a running server is refused too.
+  EXPECT_FALSE(first.Start(0));
+}
+
+// The /readyz contract telekit_serve implements: 503 while loading, 200
+// when ready, back to 503 when the queue saturates. The handler override
+// mechanism (later registration wins) is what makes this possible.
+TEST(AdminServerTest, ReadyzFlipsWithServerState) {
+  std::atomic<bool> ready{false};
+  std::atomic<bool> saturated{false};
+  AdminServer server;
+  server.Handle("/readyz", [&](const HttpRequest&) {
+    if (!ready.load()) return HttpResponse::Text(503, "loading\n");
+    if (saturated.load()) {
+      return HttpResponse::Text(503, "queue saturated\n");
+    }
+    return HttpResponse::Text(200, "ready\n");
+  });
+  ASSERT_TRUE(server.Start(0));
+
+  EXPECT_EQ(HttpGet(server.port(), "/readyz").status, 503);
+  ready.store(true);
+  EXPECT_EQ(HttpGet(server.port(), "/readyz").status, 200);
+  saturated.store(true);
+  const HttpReply reply = HttpGet(server.port(), "/readyz");
+  EXPECT_EQ(reply.status, 503);
+  EXPECT_EQ(reply.body, "queue saturated\n");
+}
+
+TEST(AdminServerTest, MetricsExpositionIsWellFormed) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetCounter("admtest/requests").Increment(5);
+  registry.GetGauge("admtest/depth").Set(2.5);
+  Histogram& fixed = registry.GetHistogram("admtest/fixed_ms", {1.0, 10.0});
+  fixed.Observe(0.5);
+  fixed.Observe(5.0);
+  fixed.Observe(100.0);  // overflow -> folded into +Inf
+  LatencyHistogram& latency =
+      registry.GetLatencyHistogram("admtest/latency_ms");
+  for (int i = 1; i <= 50; ++i) latency.Observe(static_cast<double>(i));
+
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const HttpReply reply = HttpGet(server.port(), "/metrics");
+  ASSERT_EQ(reply.status, 200);
+  EXPECT_NE(reply.headers.find("version=0.0.4"), std::string::npos);
+
+  const std::string& text = reply.body;
+  EXPECT_NE(text.find("# TYPE telekit_admtest_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("telekit_admtest_requests 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE telekit_admtest_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("telekit_admtest_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE telekit_admtest_fixed_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE telekit_admtest_latency_ms histogram"),
+            std::string::npos);
+
+  // Every _bucket series must be cumulative (monotone non-decreasing) and
+  // terminate with le="+Inf" equal to _count.
+  for (const std::string& metric :
+       {std::string("telekit_admtest_fixed_ms"),
+        std::string("telekit_admtest_latency_ms")}) {
+    std::istringstream lines(text);
+    std::string line;
+    long long last = -1;
+    long long inf_value = -1;
+    long long count_value = -2;
+    bool saw_bucket = false;
+    while (std::getline(lines, line)) {
+      if (line.rfind(metric + "_bucket{", 0) == 0) {
+        saw_bucket = true;
+        const long long value =
+            std::atoll(line.substr(line.rfind(' ') + 1).c_str());
+        EXPECT_GE(value, last) << metric << ": " << line;
+        last = value;
+        if (line.find("le=\"+Inf\"") != std::string::npos) {
+          inf_value = value;
+        }
+      } else if (line.rfind(metric + "_count ", 0) == 0) {
+        count_value = std::atoll(line.substr(line.rfind(' ') + 1).c_str());
+      }
+    }
+    EXPECT_TRUE(saw_bucket) << metric;
+    EXPECT_EQ(inf_value, count_value) << metric;
+  }
+  registry.Reset();
+}
+
+TEST(AdminServerTest, TracezReturnsChromeTraceJson) {
+  SlowTraceRing::Global().Reset();
+  RequestTrace trace;
+  trace.trace_id = 0xabcdef12u;
+  trace.op = "rca";
+  trace.detail = "test surface";
+  trace.queue_us = 500;
+  trace.encode_us = 1200;
+  trace.total_us = 1800;
+  SlowTraceRing::Global().Record(std::move(trace));
+
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const HttpReply reply = HttpGet(server.port(), "/tracez");
+  ASSERT_EQ(reply.status, 200);
+  EXPECT_NE(reply.headers.find("application/json"), std::string::npos);
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(reply.body, &parsed, &error)) << error;
+  const JsonValue* events = parsed.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->size(), 0u);
+  EXPECT_EQ(events->at(0).Find("ph")->AsString(), "X");
+  EXPECT_EQ(events->at(0).Find("args")->Find("trace")->AsString(),
+            "00000000abcdef12");
+  EXPECT_DOUBLE_EQ(parsed.Find("slow_traces_recorded")->AsNumber(), 1.0);
+  SlowTraceRing::Global().Reset();
+}
+
+// Scrapes race metric writers and the slow-trace ring; run under TSan via
+// scripts/check_tier1.sh. Every reply must still be well-formed.
+TEST(AdminServerTest, ConcurrentScrapesUnderMetricTraffic) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const int port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Counter& counter = registry.GetCounter("admtest/race_requests");
+    LatencyHistogram& latency =
+        registry.GetLatencyHistogram("admtest/race_ms");
+    uint64_t i = 0;
+    while (!stop.load()) {
+      counter.Increment();
+      latency.Observe(static_cast<double>(i % 50) + 0.5);
+      if (i % 64 == 0) {
+        RequestTrace trace;
+        trace.trace_id = i + 1;
+        trace.op = "rca";
+        trace.total_us = i;
+        SlowTraceRing::Global().Record(std::move(trace));
+      }
+      ++i;
+    }
+  });
+
+  std::vector<std::thread> scrapers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&, t] {
+      const char* paths[] = {"/metrics", "/healthz", "/tracez"};
+      for (int i = 0; i < 8; ++i) {
+        const HttpReply reply = HttpGet(port, paths[(t + i) % 3]);
+        if (reply.status != 200) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& scraper : scrapers) scraper.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+  SlowTraceRing::Global().Reset();
+  registry.Reset();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace telekit

@@ -347,6 +347,190 @@ TEST(TraceTest, TraceEventJsonIsChromeLoadable) {
   EXPECT_LE(inner.Find("dur")->AsNumber(), outer.Find("dur")->AsNumber());
 }
 
+TEST(MetricsTest, LatencyHistogramQuantileAccuracy) {
+  LatencyHistogram histogram;
+  // Uniform 1..1000 ms: the true q-quantile is q * 1000.
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(histogram.count(), 1000u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 1000.0);
+  // Log bucketing bounds relative error by 2^(1/16) - 1 (~4.4%); allow a
+  // little slack for interpolation at bucket edges.
+  for (const double q : {0.50, 0.90, 0.95, 0.99}) {
+    const double expected = q * 1000.0;
+    EXPECT_NEAR(histogram.Quantile(q), expected, expected * 0.06)
+        << "q=" << q;
+  }
+  // Quantiles never escape the observed range, even at the extremes.
+  EXPECT_GE(histogram.Quantile(0.0), histogram.min());
+  EXPECT_LE(histogram.Quantile(1.0), histogram.max());
+}
+
+TEST(MetricsTest, LatencyHistogramEdgeCases) {
+  LatencyHistogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);  // empty
+  // Out-of-range and non-finite observations clamp to the tracked range
+  // instead of corrupting the buckets.
+  histogram.Observe(0.0);
+  histogram.Observe(-5.0);
+  histogram.Observe(1e9);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_GE(histogram.Quantile(0.5), 0.0);
+  histogram.Zero();
+  EXPECT_EQ(histogram.count(), 0u);
+
+  // A single observation: every quantile is that value (clamped exactly).
+  histogram.Observe(3.7);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 3.7);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 3.7);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 3.7);
+}
+
+TEST(MetricsTest, LatencyHistogramConcurrentObserve) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe(1.0 + static_cast<double>((t + i) % 100));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(histogram.Quantile(0.5), 1.0);
+  EXPECT_LE(histogram.Quantile(0.99), 101.0);
+}
+
+// Regression: an empty histogram used to dump min=inf / max=-inf style
+// sentinels; both kinds must emit null so the artifact stays parseable and
+// unambiguous.
+TEST(MetricsTest, EmptyHistogramSnapshotHasNullMinMax) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  registry.GetHistogram("empty/fixed_ms");
+  registry.GetLatencyHistogram("empty/latency_ms");
+
+  const std::string dumped = registry.Snapshot().Dump();
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(dumped, &parsed, &error)) << error;
+
+  const JsonValue* fixed =
+      parsed.Find("histograms")->Find("empty/fixed_ms");
+  ASSERT_NE(fixed, nullptr);
+  EXPECT_DOUBLE_EQ(fixed->Find("count")->AsNumber(), 0.0);
+  ASSERT_NE(fixed->Find("min"), nullptr);
+  EXPECT_TRUE(fixed->Find("min")->is_null());
+  EXPECT_TRUE(fixed->Find("max")->is_null());
+
+  const JsonValue* latency =
+      parsed.Find("latency_histograms")->Find("empty/latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->Find("count")->AsNumber(), 0.0);
+  EXPECT_TRUE(latency->Find("min")->is_null());
+  EXPECT_TRUE(latency->Find("max")->is_null());
+
+  // Once observed, min/max become numbers again.
+  registry.GetHistogram("empty/fixed_ms").Observe(2.0);
+  const JsonValue snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.Find("histograms")
+                       ->Find("empty/fixed_ms")
+                       ->Find("min")
+                       ->AsNumber(),
+                   2.0);
+  registry.Reset();
+}
+
+TEST(TraceTest, SaturationCountsDropsAndWarnsOnce) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Reset();
+  collector.set_max_events(4);
+  collector.set_recording(true);
+  SinkCapture capture;
+  for (int i = 0; i < 10; ++i) {
+    Span span("test/drop");
+  }
+  collector.set_recording(false);
+
+  EXPECT_EQ(collector.NumEvents(), 4u);
+  EXPECT_EQ(collector.NumDropped(), 6u);
+  // Aggregation still sees every span; only the event buffer is bounded.
+  EXPECT_EQ(collector.Aggregate().at("test/drop").count, 10u);
+  EXPECT_DOUBLE_EQ(
+      collector.AggregateJson().Find("dropped_events")->AsNumber(), 6.0);
+
+  // Exactly one WARNING at first saturation, not one per dropped span.
+  int warnings = 0;
+  for (const LogRecord& record : capture.records()) {
+    if (record.level == LogLevel::kWarn &&
+        record.message.find("saturated") != std::string::npos) {
+      ++warnings;
+    }
+  }
+  EXPECT_EQ(warnings, 1);
+
+  collector.Reset();
+  EXPECT_EQ(collector.NumDropped(), 0u);
+  collector.set_max_events(TraceCollector::kMaxEvents);
+}
+
+TEST(TraceTest, TraceIdHexRoundTrip) {
+  const uint64_t id = NextTraceId();
+  EXPECT_NE(id, 0u);
+  EXPECT_NE(NextTraceId(), id);  // ids are distinct
+  const std::string hex = TraceIdToHex(id);
+  EXPECT_EQ(hex.size(), 16u);
+  uint64_t parsed = 0;
+  ASSERT_TRUE(ParseTraceIdHex(hex, &parsed));
+  EXPECT_EQ(parsed, id);
+
+  uint64_t out = 0;
+  EXPECT_TRUE(ParseTraceIdHex("deadBEEF", &out));
+  EXPECT_EQ(out, 0xdeadbeefu);
+  EXPECT_FALSE(ParseTraceIdHex("", &out));
+  EXPECT_FALSE(ParseTraceIdHex("xyz", &out));
+  EXPECT_FALSE(ParseTraceIdHex("0123456789abcdef0", &out));  // 17 digits
+}
+
+TEST(TraceTest, SlowTraceRingOverwritesOldest) {
+  SlowTraceRing ring(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    RequestTrace trace;
+    trace.trace_id = i;
+    trace.op = "rca";
+    trace.total_us = i * 1000;
+    trace.queue_us = i * 100;
+    ring.Record(std::move(trace));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total_recorded(), 5u);
+  const std::vector<RequestTrace> traces = ring.Snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  // Oldest two (ids 1, 2) were overwritten.
+  for (const RequestTrace& trace : traces) {
+    EXPECT_GE(trace.trace_id, 3u);
+  }
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(ring.TraceEventsJson().Dump(), &parsed,
+                               &error))
+      << error;
+  ASSERT_GT(parsed.size(), 0u);
+  EXPECT_EQ(parsed.at(0).Find("ph")->AsString(), "X");
+  EXPECT_EQ(parsed.at(0).Find("args")->Find("op")->AsString(), "rca");
+
+  ring.Reset();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_recorded(), 0u);
+}
+
 TEST(TraceTest, AggregationWorksWithRecordingOff) {
   TraceCollector& collector = TraceCollector::Global();
   collector.Reset();

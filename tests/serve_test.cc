@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/model_zoo.h"
+#include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/embedding_cache.h"
 #include "serve/engine.h"
@@ -267,6 +268,77 @@ TEST(ProtocolTest, ResponseRoundTripsThroughJson) {
   const obs::JsonValue error = ResponseToJson(request, failed, nullptr);
   EXPECT_FALSE(error.Find("ok")->AsBool());
   EXPECT_EQ(error.Find("error")->Find("message")->AsString(), "late");
+}
+
+TEST(ProtocolTest, ParsesTraceField) {
+  Request request;
+  // Hex string: supplies the id and opts into timing echo.
+  ASSERT_TRUE(
+      ParseRequestLine(R"({"text":"x","trace":"deadbeef"})", &request).ok());
+  EXPECT_EQ(request.trace_id, 0xdeadbeefu);
+  EXPECT_TRUE(request.echo_timing);
+  // Boolean true: server assigns the id, timing still echoed.
+  ASSERT_TRUE(ParseRequestLine(R"({"text":"x","trace":true})", &request).ok());
+  EXPECT_EQ(request.trace_id, 0u);
+  EXPECT_TRUE(request.echo_timing);
+  ASSERT_TRUE(
+      ParseRequestLine(R"({"text":"x","trace":false})", &request).ok());
+  EXPECT_FALSE(request.echo_timing);
+  // Anything else is a protocol error.
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"text":"x","trace":"zz"})", &request).ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"text":"x","trace":12})", &request).ok());
+}
+
+TEST(ProtocolTest, ResponsesEchoTraceOnEveryPath) {
+  Request request;
+  request.op = TaskOp::kEncode;
+  Response response;
+  response.trace_id = 0xabcu;
+  response.vector = {1.0f};
+
+  // Success path: trace rides as a 16-hex-digit string.
+  const obs::JsonValue ok = ResponseToJson(request, response, nullptr);
+  EXPECT_EQ(ok.Find("trace")->AsString(), "0000000000000abc");
+  EXPECT_EQ(ok.Find("timing"), nullptr);  // not requested
+
+  // Timing echo, opt-in via the request.
+  request.echo_timing = true;
+  response.queue_ms = 1.5;
+  response.batch_ms = 2.0;
+  response.encode_ms = 1.0;
+  response.score_ms = 0.25;
+  response.total_ms = 4.0;
+  const obs::JsonValue timed = ResponseToJson(request, response, nullptr);
+  const obs::JsonValue* timing = timed.Find("timing");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_DOUBLE_EQ(timing->Find("queue_us")->AsNumber(), 1500.0);
+  EXPECT_DOUBLE_EQ(timing->Find("batch_us")->AsNumber(), 2000.0);
+  EXPECT_DOUBLE_EQ(timing->Find("encode_us")->AsNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(timing->Find("score_us")->AsNumber(), 250.0);
+  EXPECT_DOUBLE_EQ(timing->Find("total_us")->AsNumber(), 4000.0);
+
+  // Engine error path: trace (and requested timing) still come back.
+  Response failed;
+  failed.trace_id = 0xdeadbeefu;
+  failed.status = Status::DeadlineExceeded("late");
+  failed.queue_ms = 3.0;
+  failed.total_ms = 3.0;
+  const obs::JsonValue error = ResponseToJson(request, failed, nullptr);
+  EXPECT_FALSE(error.Find("ok")->AsBool());
+  EXPECT_EQ(error.Find("trace")->AsString(), "00000000deadbeef");
+  ASSERT_NE(error.Find("timing"), nullptr);
+  EXPECT_DOUBLE_EQ(error.Find("timing")->Find("queue_us")->AsNumber(),
+                   3000.0);
+
+  // Parse-failure path: a salvaged trace id is echoed, absence is null.
+  const obs::JsonValue with_trace =
+      ErrorToJson(Status::InvalidArgument("bad"), nullptr, 0x12u);
+  EXPECT_EQ(with_trace.Find("trace")->AsString(), "0000000000000012");
+  const obs::JsonValue without_trace =
+      ErrorToJson(Status::InvalidArgument("bad"), nullptr);
+  EXPECT_TRUE(without_trace.Find("trace")->is_null());
+  EXPECT_TRUE(without_trace.Find("id")->is_null());
 }
 
 // ---------------------------------------------------------------------------
@@ -543,6 +615,126 @@ TEST(ServeEngineTest, DeadlineExceededThroughWorker) {
   const Response response = engine.Submit(request).get();
   EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(response.vector.empty());
+}
+
+TEST(ServeEngineTest, TraceIdsCorrelateRequestAndResponse) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 2;
+  ServeEngine engine(&service, options);
+
+  // Caller-supplied id comes back verbatim on the happy path.
+  Request request;
+  request.op = TaskOp::kEncode;
+  request.text = zoo.world().alarms()[0].name;
+  request.trace_id = 0x1234u;
+  EXPECT_EQ(engine.Submit(request).get().trace_id, 0x1234u);
+  // Absent id: the engine assigns one (Submit and Process both).
+  request.trace_id = 0;
+  EXPECT_NE(engine.Submit(request).get().trace_id, 0u);
+  EXPECT_NE(engine.Process(request).trace_id, 0u);
+
+  // Engine-failure paths still carry the id.
+  Request fct;
+  fct.op = TaskOp::kFct;  // no catalogue loaded
+  fct.text = request.text;
+  fct.trace_id = 0x77u;
+  const Response failed = engine.Submit(fct).get();
+  EXPECT_FALSE(failed.status.ok());
+  EXPECT_EQ(failed.trace_id, 0x77u);
+}
+
+TEST(ServeEngineTest, RejectionPathsEchoTraceId) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 0;  // nothing drains the queue
+  options.queue_capacity = 1;
+  ServeEngine engine(&service, options);
+  Request request;
+  request.text = zoo.world().alarms()[0].name;
+  request.trace_id = 0xa1u;
+  auto queued = engine.Submit(request);
+  request.trace_id = 0xa2u;
+  auto rejected = engine.Submit(request);  // over capacity
+  const Response rejected_response = rejected.get();
+  EXPECT_EQ(rejected_response.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rejected_response.trace_id, 0xa2u);
+  engine.Stop();  // fails the queued request as Unavailable
+  const Response stopped_response = queued.get();
+  EXPECT_EQ(stopped_response.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stopped_response.trace_id, 0xa1u);
+}
+
+TEST(ServeEngineTest, StageTimingsAndSlowRequestCapture) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  obs::SlowTraceRing::Global().Reset();
+  EngineOptions options;
+  options.num_workers = 2;
+  options.enable_cache = false;        // force real encode time
+  options.slow_request_ms = 1e-6;      // everything counts as slow
+  ServeEngine engine(&service, options);
+
+  Request request;
+  request.op = TaskOp::kEncode;
+  request.text = zoo.world().alarms()[3].name;
+  request.trace_id = 0xfeedu;
+  const Response response = engine.Submit(request).get();
+  ASSERT_TRUE(response.status.ok());
+  // Stage timings are filled and consistent: the batch covers encode and
+  // scoring, and the total covers the queue plus the batch.
+  EXPECT_GT(response.batch_ms, 0.0);
+  EXPECT_GT(response.encode_ms, 0.0);
+  EXPECT_GE(response.batch_ms, response.score_ms);
+  EXPECT_GE(response.total_ms, response.queue_ms);
+  EXPECT_GE(response.total_ms, response.batch_ms);
+
+  // The slow-request threshold routed it into the global ring.
+  EXPECT_GE(obs::SlowTraceRing::Global().total_recorded(), 1u);
+  bool found = false;
+  for (const obs::RequestTrace& trace :
+       obs::SlowTraceRing::Global().Snapshot()) {
+    if (trace.trace_id == 0xfeedu) {
+      found = true;
+      EXPECT_EQ(trace.op, "encode");
+      EXPECT_TRUE(trace.ok);
+      EXPECT_GT(trace.total_us, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+  obs::SlowTraceRing::Global().Reset();
+}
+
+TEST(ServeEngineTest, GetStatsReflectsQueueAndCache) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 0;  // queue state is fully deterministic
+  options.queue_capacity = 2;
+  ServeEngine engine(&service, options);
+  EngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.queue_capacity, 2u);
+  EXPECT_EQ(stats.num_workers, 0);
+  EXPECT_EQ(stats.busy_workers, 0);
+  EXPECT_FALSE(stats.saturated);
+
+  Request request;
+  request.text = zoo.world().alarms()[0].name;
+  auto f1 = engine.Submit(request);
+  auto f2 = engine.Submit(request);
+  stats = engine.GetStats();
+  EXPECT_EQ(stats.queue_depth, 2u);
+  EXPECT_TRUE(stats.saturated);  // the next Submit would be rejected
+  engine.Stop();
+  f1.get();
+  f2.get();
 }
 
 // ---------------------------------------------------------------------------
