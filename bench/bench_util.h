@@ -1,6 +1,7 @@
 #ifndef TELEKIT_BENCH_BENCH_UTIL_H_
 #define TELEKIT_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "core/model_zoo.h"
 #include "obs/obs.h"
 #include "synth/task_data.h"
+#include "tensor/compute_pool.h"
 
 namespace telekit {
 namespace bench {
@@ -24,10 +26,12 @@ namespace bench {
 ///   }
 ///
 /// Flags (unknown flags are left alone for the binary to handle):
-///   --obs-json=<path>   write a metrics + span + Chrome-trace artifact on
-///                       exit, and enable full trace-event recording
-///   --log-level=<level> debug|info|warn|error|off (overrides
-///                       TELEKIT_LOG_LEVEL)
+///   --obs-json=<path>      write a metrics + span + Chrome-trace artifact
+///                          on exit, and enable full trace-event recording
+///   --log-level=<level>    debug|info|warn|error|off (overrides
+///                          TELEKIT_LOG_LEVEL)
+///   --compute-threads=<n>  intra-op ComputePool threads (0 = env /
+///                          hardware default, 1 = serial)
 class ObsSession {
  public:
   ObsSession(int argc, char** argv) {
@@ -35,11 +39,15 @@ class ObsSession {
       const std::string arg = argv[i];
       constexpr const char kObsJson[] = "--obs-json=";
       constexpr const char kLogLevel[] = "--log-level=";
+      constexpr const char kComputeThreads[] = "--compute-threads=";
       if (arg.rfind(kObsJson, 0) == 0) {
         obs_json_path_ = arg.substr(sizeof(kObsJson) - 1);
       } else if (arg.rfind(kLogLevel, 0) == 0) {
         obs::Logger::Global().set_level(
             obs::ParseLogLevel(arg.substr(sizeof(kLogLevel) - 1)));
+      } else if (arg.rfind(kComputeThreads, 0) == 0) {
+        tensor::SetComputeThreads(
+            std::atoi(arg.c_str() + sizeof(kComputeThreads) - 1));
       }
     }
     if (!obs_json_path_.empty()) {

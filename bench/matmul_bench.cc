@@ -1,0 +1,190 @@
+// matmul_bench: intra-op ComputePool scaling on square GEMMs.
+//
+// Sweeps compute_threads over {1, 2, 4, 8} on square MatMuls (>= 256) and
+// records throughput + speedup-vs-1-thread into BENCH_serve.json under
+// "matmul_scaling" (merging with an existing report, so serve_loadgen and
+// this bench share one artifact). Also asserts that every thread count
+// produces bit-identical outputs — the ComputePool determinism contract.
+//
+// Exit code 1 when the host has >= 4 hardware threads but the 4-thread
+// speedup is < 2.5x. On smaller hosts the sweep still runs and records
+// honest numbers (threads just timeslice), and the gate is reported as
+// skipped instead of failed.
+//
+// Flags: --out=PATH (default BENCH_serve.json), --iters=N (0 = auto),
+// plus the shared --obs-json/--log-level/--compute-threads.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "tensor/compute_pool.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace telekit {
+namespace bench {
+namespace {
+
+constexpr int kSizes[] = {256, 384, 512};
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr double kGateSpeedup = 2.5;
+constexpr int kGateThreads = 4;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+tensor::Tensor RandomMatrix(int n, uint64_t seed) {
+  Rng rng(seed);
+  return tensor::Tensor::Rand({n, n}, rng, -1.0f, 1.0f);
+}
+
+struct SizeResult {
+  int size = 0;
+  // Indexed like kThreadCounts.
+  std::vector<double> gflops;
+  std::vector<double> speedup;
+  bool bit_identical = true;
+};
+
+SizeResult BenchSize(int n, int iters_flag) {
+  tensor::NoGradGuard no_grad;
+  const tensor::Tensor a = RandomMatrix(n, 0x5eed0000u + n);
+  const tensor::Tensor b = RandomMatrix(n, 0xfeed0000u + n);
+  const double flops_per_mm = 2.0 * n * n * static_cast<double>(n);
+
+  SizeResult result;
+  result.size = n;
+
+  // Calibrate the iteration count at 1 thread so each measurement runs
+  // ~0.3 s regardless of host speed.
+  tensor::SetComputeThreads(1);
+  const double t0 = NowSeconds();
+  std::vector<float> reference = tensor::MatMul(a, b).data();
+  const double once = std::max(NowSeconds() - t0, 1e-6);
+  const int iters =
+      iters_flag > 0 ? iters_flag
+                     : std::max(3, static_cast<int>(std::lround(0.3 / once)));
+
+  for (int threads : kThreadCounts) {
+    tensor::SetComputeThreads(threads);
+    tensor::Tensor warm = tensor::MatMul(a, b);  // spawn workers off-clock
+    if (warm.data() != reference) result.bit_identical = false;
+    const double start = NowSeconds();
+    for (int it = 0; it < iters; ++it) {
+      tensor::Tensor c = tensor::MatMul(a, b);
+      if (c.data() != reference) result.bit_identical = false;
+    }
+    const double elapsed = std::max(NowSeconds() - start, 1e-9);
+    result.gflops.push_back(flops_per_mm * iters / elapsed / 1e9);
+    result.speedup.push_back(result.gflops.back() / result.gflops.front());
+  }
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
+  std::string out_path = "BENCH_serve.json";
+  int iters = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    if (arg.rfind("--iters=", 0) == 0) iters = std::atoi(arg.c_str() + 8);
+  }
+
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("matmul_bench: hardware_concurrency=%d\n", hw);
+  std::printf("%6s %8s", "size", "threads:");
+  for (int t : kThreadCounts) std::printf(" %8d", t);
+  std::printf("\n");
+
+  obs::JsonValue sizes_json = obs::JsonValue::Array();
+  bool all_identical = true;
+  double gate_speedup = 0.0;
+  for (int n : kSizes) {
+    const SizeResult r = BenchSize(n, iters);
+    all_identical = all_identical && r.bit_identical;
+    std::printf("%6d %8s", n, "GFLOP/s");
+    for (double g : r.gflops) std::printf(" %8.2f", g);
+    std::printf("\n%6s %8s", "", "speedup");
+    for (double s : r.speedup) std::printf(" %8.2f", s);
+    std::printf("  bit-identical=%s\n", r.bit_identical ? "yes" : "NO");
+
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("size", obs::JsonValue(r.size));
+    obs::JsonValue per_thread = obs::JsonValue::Array();
+    for (size_t i = 0; i < r.gflops.size(); ++i) {
+      obs::JsonValue cell = obs::JsonValue::Object();
+      cell.Set("threads", obs::JsonValue(kThreadCounts[i]));
+      cell.Set("gflops", obs::JsonValue(r.gflops[i]));
+      cell.Set("speedup_vs_1", obs::JsonValue(r.speedup[i]));
+      per_thread.Append(std::move(cell));
+    }
+    row.Set("runs", std::move(per_thread));
+    row.Set("bit_identical", obs::JsonValue(r.bit_identical));
+    sizes_json.Append(std::move(row));
+    for (size_t i = 0; i < r.speedup.size(); ++i) {
+      if (kThreadCounts[i] == kGateThreads) {
+        gate_speedup = std::max(gate_speedup, r.speedup[i]);
+      }
+    }
+  }
+  tensor::SetComputeThreads(0);  // restore the env/hardware default
+
+  const bool gate_applies = hw >= kGateThreads;
+  const bool gate_ok = gate_speedup >= kGateSpeedup;
+  obs::JsonValue section = obs::JsonValue::Object();
+  section.Set("hardware_concurrency", obs::JsonValue(hw));
+  section.Set("sizes", std::move(sizes_json));
+  section.Set("bit_identical_across_threads", obs::JsonValue(all_identical));
+  section.Set("best_speedup_at_4_threads", obs::JsonValue(gate_speedup));
+  section.Set("gate_min_speedup", obs::JsonValue(kGateSpeedup));
+  section.Set("gate", obs::JsonValue(std::string(
+                          !gate_applies ? "skipped (host has < 4 hardware "
+                                          "threads; no real parallelism "
+                                          "available)"
+                                        : (gate_ok ? "pass" : "fail"))));
+
+  // Merge into the shared serve benchmark artifact instead of clobbering
+  // whatever serve_loadgen already wrote there.
+  obs::JsonValue report = obs::JsonValue::Object();
+  {
+    std::ifstream in(out_path);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      obs::JsonValue existing;
+      if (obs::JsonValue::Parse(buffer.str(), &existing)) {
+        report = std::move(existing);
+      }
+    }
+  }
+  report.Set("matmul_scaling", std::move(section));
+  std::ofstream out(out_path);
+  out << report.Dump(2) << "\n";
+  std::printf("matmul_bench: wrote %s (4-thread speedup %.2fx, gate %s)\n",
+              out_path.c_str(), gate_speedup,
+              !gate_applies ? "skipped: <4 hardware threads"
+                            : (gate_ok ? "pass" : "FAIL"));
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "matmul_bench: outputs differ across thread counts\n");
+    return 1;
+  }
+  return gate_applies && !gate_ok ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace telekit
+
+int main(int argc, char** argv) { return telekit::bench::Main(argc, argv); }

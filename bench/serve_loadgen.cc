@@ -344,6 +344,7 @@ int Main(int argc, char** argv) {
   cfg.Set("requests", obs::JsonValue(flags.requests));
   cfg.Set("max_batch", obs::JsonValue(flags.max_batch));
   cfg.Set("max_wait_us", obs::JsonValue(static_cast<int64_t>(flags.max_wait_us)));
+  cfg.Set("compute_threads", obs::JsonValue(tensor::ComputeThreads()));
   report.Set("config", std::move(cfg));
   obs::JsonValue runs = obs::JsonValue::Array();
   for (const RunResult& result : results) {

@@ -11,8 +11,10 @@
 #
 # Optional: TELEKIT_TSAN=1 scripts/check_tier1.sh additionally builds the
 # concurrency-heavy tests (serve engine, embedding cache, metrics registry,
-# admin server) under ThreadSanitizer in build_tsan/ and runs them. Off by
-# default: the TSan tree roughly doubles check time.
+# admin server, tensor ComputePool) under ThreadSanitizer in build_tsan/ and
+# runs them — tensor_test and serve_test with TELEKIT_COMPUTE_THREADS=4 so
+# the intra-op worker pool is actually exercised under TSan. Off by default:
+# the TSan tree roughly doubles check time.
 #
 # Usage: scripts/check_tier1.sh   (from anywhere inside the repo)
 set -euo pipefail
@@ -36,8 +38,10 @@ SERVE_PORT=18473
 ADMIN_PORT=18474
 SERVE_LOG=$(mktemp)
 # TCP mode (not stdin) so the server stays up while we scrape it.
+# --compute-threads=2 smoke-checks the intra-op pool flag end to end.
 ./build/src/serve/telekit_serve --port="${SERVE_PORT}" \
   --admin-port="${ADMIN_PORT}" --slow-request-ms=100 \
+  --compute-threads=2 \
   >"${SERVE_LOG}" 2>&1 &
 SERVE_PID=$!
 cleanup() {
@@ -80,10 +84,12 @@ rm -f "${SERVE_LOG}"
 echo "admin smoke: OK (/healthz + /readyz + /statusz live, /metrics non-empty)"
 
 if [[ "${TELEKIT_TSAN:-0}" == "1" ]]; then
-  echo "== [tsan] ThreadSanitizer pass (serve + obs + admin) =="
+  echo "== [tsan] ThreadSanitizer pass (tensor + serve + obs + admin) =="
   cmake -B build_tsan -S . -DTELEKIT_TSAN=ON
-  cmake --build build_tsan -j --target serve_test obs_test obs_admin_test
-  ./build_tsan/tests/serve_test --gtest_brief=1
+  cmake --build build_tsan -j --target \
+    tensor_test serve_test obs_test obs_admin_test
+  TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/tensor_test --gtest_brief=1
+  TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/serve_test --gtest_brief=1
   ./build_tsan/tests/obs_test --gtest_brief=1
   ./build_tsan/tests/obs_admin_test --gtest_brief=1
 fi

@@ -204,6 +204,27 @@ class Parser {
     }
   }
 
+  // Reads 4 hex digits starting at `at`; false on truncation or non-hex.
+  bool ParseHex4(size_t at, unsigned* code) {
+    if (at + 4 > text_.size()) return false;
+    unsigned value = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      const char h = text_[at + i];
+      value <<= 4;
+      if (h >= '0' && h <= '9') {
+        value |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        value |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        value |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    *code = value;
+    return true;
+  }
+
   bool ParseString(std::string* out) {
     ++pos_;  // opening quote
     out->clear();
@@ -243,31 +264,39 @@ class Parser {
             out->push_back('\f');
             break;
           case 'u': {
-            if (pos_ + 4 >= text_.size()) return Fail("bad \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_ + 1 + static_cast<size_t>(i)];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return Fail("bad \\u escape");
-              }
-            }
+            if (!ParseHex4(pos_ + 1, &code)) return Fail("bad \\u escape");
             pos_ += 4;
-            // UTF-8 encode (BMP only; surrogate pairs are passed through
-            // as two separate code points — fine for our artifacts).
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Fail("lone low surrogate in \\u escape");
+            }
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // UTF-16 high surrogate: it must be followed by a low
+              // surrogate, and the pair decodes to one supplementary code
+              // point. Encoding the halves separately would produce CESU-8,
+              // which is not valid UTF-8.
+              unsigned low = 0;
+              if (pos_ + 2 >= text_.size() || text_[pos_ + 1] != '\\' ||
+                  text_[pos_ + 2] != 'u' || !ParseHex4(pos_ + 3, &low) ||
+                  low < 0xDC00 || low > 0xDFFF) {
+                return Fail("unpaired high surrogate in \\u escape");
+              }
+              pos_ += 6;
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            // UTF-8 encode (1-4 bytes).
             if (code < 0x80) {
               out->push_back(static_cast<char>(code));
             } else if (code < 0x800) {
               out->push_back(static_cast<char>(0xC0 | (code >> 6)));
               out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-            } else {
+            } else if (code < 0x10000) {
               out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
               out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
               out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
             }

@@ -136,21 +136,30 @@ double LatencyHistogram::Quantile(double q) const {
   const uint64_t n = count();
   if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(n);
-  double cumulative = 0.0;
+  // Nearest-rank: report the k-th smallest observation, k in [1, n]. The
+  // previous fractional-rank walk (`cumulative + in_bucket >= q*n`) went
+  // wrong at exact boundaries: q*n == 0 selected the first bucket's lower
+  // edge (a value below every sample), and q*n landing exactly on a
+  // cumulative count pinned the estimate to that bucket's upper edge — a
+  // full bucket width of bias for the sample that owns the rank.
+  const uint64_t k = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t cumulative = 0;
   double value = max();
   for (size_t i = 0; i < kNumBuckets; ++i) {
     const uint64_t c = bucket_count(i);
     if (c == 0) continue;
-    const double in_bucket = static_cast<double>(c);
-    if (cumulative + in_bucket >= rank) {
-      const double fraction =
-          std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+    if (k <= cumulative + c) {
+      // Rank k is the (k - cumulative)-th of the c samples here; estimate
+      // it at that sample's midpoint share of the bucket width, so a
+      // boundary rank stays strictly inside its owning bucket.
+      const double fraction = (static_cast<double>(k - cumulative) - 0.5) /
+                              static_cast<double>(c);
       value = BucketLowerMs(i) +
               fraction * (BucketUpperMs(i) - BucketLowerMs(i));
       break;
     }
-    cumulative += in_bucket;
+    cumulative += c;
   }
   // The covering bucket may be wider than the observed extremes (e.g. a
   // single sample): the true quantile can never leave [min, max].

@@ -124,9 +124,11 @@ class LatencyHistogram {
   static double BucketUpperMs(size_t i);
   static double BucketLowerMs(size_t i);
 
-  /// Interpolated q-quantile (q in [0,1]) in ms: walks the cumulative
-  /// bucket counts, interpolates linearly inside the covering bucket, and
-  /// clamps to the observed [min, max]. 0 when empty.
+  /// Nearest-rank q-quantile (q in [0,1]) in ms: selects rank
+  /// k = max(1, ceil(q * count)), walks the cumulative bucket counts to the
+  /// bucket owning rank k, places the estimate at that sample's midpoint
+  /// share of the bucket width, and clamps to the observed [min, max].
+  /// 0 when empty.
   double Quantile(double q) const;
 
   /// {count, sum, mean, min, max, p50, p95, p99, buckets: [{le, count}]}

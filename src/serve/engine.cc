@@ -8,6 +8,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/compute_pool.h"
 
 namespace telekit {
 namespace serve {
@@ -117,6 +118,9 @@ ServeEngine::ServeEngine(const core::ServiceEncoder* service,
                             options.max_wait_us, options.enable_batching}) {
   TELEKIT_CHECK(service_ != nullptr);
   TELEKIT_CHECK_GE(options_.num_workers, 0);
+  if (options_.compute_threads > 0) {
+    tensor::SetComputeThreads(options_.compute_threads);
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

@@ -91,6 +91,10 @@ struct EngineOptions {
   /// the per-stage breakdown) and recorded in obs::SlowTraceRing::Global()
   /// for /tracez. 0 disables slow-request capture.
   double slow_request_ms = 0.0;
+  /// Intra-op tensor::ComputePool threads (process-wide). > 0 calls
+  /// tensor::SetComputeThreads in the engine ctor; <= 0 leaves the
+  /// TELEKIT_COMPUTE_THREADS / hardware default untouched.
+  int compute_threads = 0;
 };
 
 /// Point-in-time engine counters for /statusz and /readyz.

@@ -39,6 +39,7 @@
 #include "obs/trace.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
+#include "tensor/compute_pool.h"
 
 namespace telekit {
 namespace serve {
@@ -56,6 +57,7 @@ struct Flags {
   int cache_shards = 8;
   bool batching = true;
   bool cache = true;
+  int compute_threads = 0;  // 0 = TELEKIT_COMPUTE_THREADS / hardware default
   int pretrain_steps = 0;
   uint64_t seed = 20230401;
   std::string obs_json;
@@ -84,6 +86,9 @@ void PrintUsage() {
       << "  --cache-shards=N    embedding cache shards (default 8)\n"
       << "  --no-batching       one request per forward\n"
       << "  --no-cache          disable the embedding cache\n"
+      << "  --compute-threads=N intra-op tensor threads (default: \n"
+      << "                      TELEKIT_COMPUTE_THREADS env, else hardware;\n"
+      << "                      1 = serial)\n"
       << "  --pretrain-steps=N  TeleBERT pre-training steps (default 0)\n"
       << "  --seed=N            world/model seed\n"
       << "  --obs-json=PATH     write metrics/trace report on exit\n"
@@ -116,6 +121,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->batching = false;
     } else if (arg == "--no-cache") {
       flags->cache = false;
+    } else if (ParseFlag(arg, "compute-threads", &v)) {
+      flags->compute_threads = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "pretrain-steps", &v)) {
       flags->pretrain_steps = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "seed", &v)) {
@@ -388,6 +395,12 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // Apply before the model build so --pretrain-steps training is also
+  // parallel; the engine ctor re-applies it via options (idempotent).
+  if (flags.compute_threads > 0) {
+    tensor::SetComputeThreads(flags.compute_threads);
+  }
+
   std::cerr << "telekit_serve: building model (pretrain_steps="
             << flags.pretrain_steps << ")...\n";
   core::ModelZoo zoo(ServeZooConfig(flags));
@@ -407,6 +420,7 @@ int Main(int argc, char** argv) {
   options.cache_shards = flags.cache_shards;
   options.enable_cache = flags.cache;
   options.slow_request_ms = flags.slow_request_ms;
+  options.compute_threads = flags.compute_threads;
   ServeEngine engine(&service, options);
   engine_ptr.store(&engine);
 

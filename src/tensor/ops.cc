@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "tensor/compute_pool.h"
 
 namespace telekit {
 namespace tensor {
@@ -42,46 +43,96 @@ bool AnyGrad(const Tensor& a, const Tensor& b) {
   return a.requires_grad() || b.requires_grad();
 }
 
-// C[m,n] += A[m,k] * B[k,n]
-void MmAcc(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* crow = c + static_cast<size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<size_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+// --- Tiled / parallel GEMM kernels -------------------------------------------
+//
+// All three kernels partition the rows of C across the ComputePool (each
+// output row owned by exactly one worker) and keep per-element accumulation
+// in ascending reduction order, so results are bit-identical for any thread
+// count (DESIGN.md §3). The k/j loops are cache-blocked: a kKc x kNc panel of
+// B stays resident in L1/L2 while every row of the chunk streams over it.
+// Blocking never reorders the per-(i,j) sum — outer p-blocks ascend and p
+// ascends within each block.
+constexpr int kKc = 64;   // rows of B per panel
+constexpr int kNc = 256;  // cols of B per panel
+
+// Chunk size (in rows) for a row-partitioned kernel where each row costs
+// `flops_per_row`. Fixed per shape — never a function of the thread count —
+// so the chunk grid is deterministic. Returns `rows` (one serial chunk) when
+// the whole op is too small to amortize a fan-out.
+int RowGrain(int rows, size_t flops_per_row) {
+  constexpr size_t kMinChunkFlops = 1 << 15;
+  const size_t per_row = std::max<size_t>(flops_per_row, 1);
+  if (static_cast<size_t>(rows) * per_row < 2 * kMinChunkFlops) return rows;
+  return static_cast<int>(std::max<size_t>(1, kMinChunkFlops / per_row));
+}
+
+// Chunk size for flat elementwise loops; ops smaller than 2x this run
+// serially inside ParallelFor.
+constexpr int kElemGrain = 16384;
+
+// C[i0:i1,n] += A[i0:i1,k] * B[k,n], cache-blocked.
+void MmRows(const float* a, const float* b, float* c, int i0, int i1, int k,
+            int n) {
+  for (int pb = 0; pb < k; pb += kKc) {
+    const int pe = std::min(pb + kKc, k);
+    for (int jb = 0; jb < n; jb += kNc) {
+      const int je = std::min(jb + kNc, n);
+      for (int i = i0; i < i1; ++i) {
+        const float* arow = a + static_cast<size_t>(i) * k;
+        float* crow = c + static_cast<size_t>(i) * n;
+        for (int p = pb; p < pe; ++p) {
+          const float av = arow[p];
+          const float* brow = b + static_cast<size_t>(p) * n;
+          for (int j = jb; j < je; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
   }
+}
+
+// C[m,n] += A[m,k] * B[k,n]
+void MmAcc(const float* a, const float* b, float* c, int m, int k, int n) {
+  const size_t per_row = 2ull * static_cast<size_t>(k) * n;
+  ParallelFor(m, RowGrain(m, per_row),
+              [=](int i0, int i1) { MmRows(a, b, c, i0, i1, k, n); });
 }
 
 // C[m,k] += A[m,n] * B[k,n]^T  (i.e. C = A * B^T)
 void MmAccNT(const float* a, const float* b, float* c, int m, int n, int k) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * n;
-    float* crow = c + static_cast<size_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      const float* brow = b + static_cast<size_t>(p) * n;
-      float acc = 0.0f;
-      for (int j = 0; j < n; ++j) acc += arow[j] * brow[j];
-      crow[p] += acc;
+  const size_t per_row = 2ull * static_cast<size_t>(n) * k;
+  ParallelFor(m, RowGrain(m, per_row), [=](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      const float* arow = a + static_cast<size_t>(i) * n;
+      float* crow = c + static_cast<size_t>(i) * k;
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<size_t>(p) * n;
+        float acc = 0.0f;
+        for (int j = 0; j < n; ++j) acc += arow[j] * brow[j];
+        crow[p] += acc;
+      }
     }
-  }
+  });
 }
 
-// C[k,n] += A[m,k]^T * B[m,n]
+// C[k,n] += A[m,k]^T * B[m,n]. Partitioned over the rows of C (p), not the
+// rows of A (i): the serial i-outer form scatters every A row into all of C,
+// which would race across workers. Per output element the reduction is still
+// over i ascending, exactly as the i-outer form, so the bits match.
 void MmAccTN(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    const float* brow = b + static_cast<size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c + static_cast<size_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  const size_t per_row = 2ull * static_cast<size_t>(m) * n;
+  ParallelFor(k, RowGrain(k, per_row), [=](int p0, int p1) {
+    for (int ib = 0; ib < m; ib += kKc) {
+      const int ie = std::min(ib + kKc, m);
+      for (int p = p0; p < p1; ++p) {
+        float* crow = c + static_cast<size_t>(p) * n;
+        for (int i = ib; i < ie; ++i) {
+          const float av = a[static_cast<size_t>(i) * k + p];
+          const float* brow = b + static_cast<size_t>(i) * n;
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
 }
 
 // Broadcasting classification for binary elementwise ops.
@@ -120,23 +171,36 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa, Dfb dfb) {
   NodePtr out = NewNode(a.shape(), AnyGrad(a, b));
   const auto& av = a.data();
   const auto& bv = b.data();
-  for (size_t i = 0; i < av.size(); ++i) {
-    out->value[i] = fwd(av[i], bv[BIndex(bc, i, a_cols)]);
-  }
+  ParallelFor(static_cast<int>(av.size()), kElemGrain, [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      out->value[i] = fwd(av[i], bv[BIndex(bc, i, a_cols)]);
+    }
+  });
   if (out->requires_grad) {
     out->parents = {a.node_ptr(), b.node_ptr()};
     out->backward = [an = a.node_ptr(), bn = b.node_ptr(), bc, a_cols, dfa,
                      dfb](Node* self) {
       if (an->requires_grad) an->EnsureGrad();
       if (bn->requires_grad) bn->EnsureGrad();
-      for (size_t i = 0; i < self->grad.size(); ++i) {
-        const size_t bi = BIndex(bc, i, a_cols);
-        const float g = self->grad[i];
-        if (g == 0.0f) continue;
-        const float x = an->value[i];
-        const float y = bn->value[bi];
-        if (an->requires_grad) an->grad[i] += g * dfa(x, y);
-        if (bn->requires_grad) bn->grad[bi] += g * dfb(x, y);
+      auto range = [&](int lo, int hi) {
+        for (int i = lo; i < hi; ++i) {
+          const size_t bi = BIndex(bc, static_cast<size_t>(i), a_cols);
+          const float g = self->grad[i];
+          if (g == 0.0f) continue;
+          const float x = an->value[i];
+          const float y = bn->value[bi];
+          if (an->requires_grad) an->grad[i] += g * dfa(x, y);
+          if (bn->requires_grad) bn->grad[bi] += g * dfb(x, y);
+        }
+      };
+      const int size = static_cast<int>(self->grad.size());
+      if (bc == Broadcast::kSame || !bn->requires_grad) {
+        // Every index writes its own an->grad[i] / bn->grad[i] slot.
+        ParallelFor(size, kElemGrain, range);
+      } else {
+        // kRow/kScalar reduce many indices into one bn->grad slot; keep the
+        // serial ascending order so the float sum is reproducible.
+        range(0, size);
       }
     };
   }
@@ -149,14 +213,20 @@ template <typename Fwd, typename Df>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Df df) {
   NodePtr out = NewNode(a.shape(), AnyGrad(a));
   const auto& av = a.data();
-  for (size_t i = 0; i < av.size(); ++i) out->value[i] = fwd(av[i]);
+  ParallelFor(static_cast<int>(av.size()), kElemGrain, [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) out->value[i] = fwd(av[i]);
+  });
   if (out->requires_grad) {
     out->parents = {a.node_ptr()};
     out->backward = [an = a.node_ptr(), df](Node* self) {
       an->EnsureGrad();
-      for (size_t i = 0; i < self->grad.size(); ++i) {
-        an->grad[i] += self->grad[i] * df(an->value[i], self->value[i]);
-      }
+      ParallelFor(static_cast<int>(self->grad.size()), kElemGrain,
+                  [&](int lo, int hi) {
+                    for (int i = lo; i < hi; ++i) {
+                      an->grad[i] +=
+                          self->grad[i] * df(an->value[i], self->value[i]);
+                    }
+                  });
     };
   }
   return Tensor::FromNode(out);
@@ -432,20 +502,50 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
   TELEKIT_CHECK_GT(m, 0);
   for (int idx : indices) TELEKIT_CHECK(idx >= 0 && idx < a.dim(0));
   NodePtr out = NewNode({m, n}, AnyGrad(a));
-  for (int i = 0; i < m; ++i) {
-    std::copy(a.data().begin() + static_cast<size_t>(indices[i]) * n,
-              a.data().begin() + static_cast<size_t>(indices[i] + 1) * n,
-              out->value.begin() + static_cast<size_t>(i) * n);
-  }
+  ParallelFor(m, RowGrain(m, static_cast<size_t>(n)), [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
+      std::copy(a.data().begin() + static_cast<size_t>(indices[i]) * n,
+                a.data().begin() + static_cast<size_t>(indices[i] + 1) * n,
+                out->value.begin() + static_cast<size_t>(i) * n);
+    }
+  });
   if (out->requires_grad) {
     out->parents = {a.node_ptr()};
     out->backward = [an = a.node_ptr(), indices, n](Node* self) {
       an->EnsureGrad();
-      for (size_t i = 0; i < indices.size(); ++i) {
-        const size_t src = i * n;
-        const size_t dst = static_cast<size_t>(indices[i]) * n;
-        for (int j = 0; j < n; ++j) an->grad[dst + j] += self->grad[src + j];
+      // Indices may repeat (e.g. the same token twice in a sequence), so a
+      // plain row-parallel scatter would race. Group positions by
+      // destination row: each destination is owned by one worker, and the
+      // stable sort keeps positions ascending within a group, preserving
+      // the serial accumulation order per slot.
+      const int m = static_cast<int>(indices.size());
+      std::vector<int> order(static_cast<size_t>(m));
+      for (int i = 0; i < m; ++i) order[static_cast<size_t>(i)] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int x, int y) { return indices[x] < indices[y]; });
+      std::vector<int> starts;
+      starts.reserve(static_cast<size_t>(m) + 1);
+      for (int i = 0; i < m; ++i) {
+        if (i == 0 || indices[order[i]] != indices[order[i - 1]]) {
+          starts.push_back(i);
+        }
       }
+      starts.push_back(m);
+      const int groups = static_cast<int>(starts.size()) - 1;
+      const size_t per_group =
+          2ull * static_cast<size_t>(m) * n / std::max(groups, 1);
+      ParallelFor(groups, RowGrain(groups, per_group), [&](int g0, int g1) {
+        for (int g = g0; g < g1; ++g) {
+          for (int pos = starts[g]; pos < starts[g + 1]; ++pos) {
+            const int i = order[pos];
+            const size_t src = static_cast<size_t>(i) * n;
+            const size_t dst = static_cast<size_t>(indices[i]) * n;
+            for (int j = 0; j < n; ++j) {
+              an->grad[dst + j] += self->grad[src + j];
+            }
+          }
+        }
+      });
     };
   }
   return Tensor::FromNode(out);
@@ -647,34 +747,44 @@ Tensor SumCols(const Tensor& a) {
 // --- Neural-net primitives ----------------------------------------------------------
 
 Tensor Softmax(const Tensor& a) {
+  // Rank >= 3 would silently be flattened into one giant row by the m/n
+  // computation below; reject it loudly (see the rank-2 convention in
+  // DESIGN.md §2).
+  TELEKIT_CHECK(a.rank() <= 2)
+      << "Softmax expects rank <= 2, got " << ShapeToString(a.shape());
   const int m = a.rank() == 2 ? a.dim(0) : 1;
   const int n = a.rank() == 2 ? a.dim(1) : a.dim(0);
   NodePtr out = NewNode(a.shape(), AnyGrad(a));
-  for (int i = 0; i < m; ++i) {
-    const float* row = a.data().data() + static_cast<size_t>(i) * n;
-    float* orow = out->value.data() + static_cast<size_t>(i) * n;
-    float max_v = row[0];
-    for (int j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
-    float denom = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      orow[j] = std::exp(row[j] - max_v);
-      denom += orow[j];
+  const int grain = RowGrain(m, 32ull * static_cast<size_t>(n));
+  ParallelFor(m, grain, [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
+      const float* row = a.data().data() + static_cast<size_t>(i) * n;
+      float* orow = out->value.data() + static_cast<size_t>(i) * n;
+      float max_v = row[0];
+      for (int j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+      float denom = 0.0f;
+      for (int j = 0; j < n; ++j) {
+        orow[j] = std::exp(row[j] - max_v);
+        denom += orow[j];
+      }
+      const float inv = 1.0f / denom;
+      for (int j = 0; j < n; ++j) orow[j] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int j = 0; j < n; ++j) orow[j] *= inv;
-  }
+  });
   if (out->requires_grad) {
     out->parents = {a.node_ptr()};
-    out->backward = [an = a.node_ptr(), m, n](Node* self) {
+    out->backward = [an = a.node_ptr(), m, n, grain](Node* self) {
       an->EnsureGrad();
-      for (int i = 0; i < m; ++i) {
-        const float* y = self->value.data() + static_cast<size_t>(i) * n;
-        const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
-        float* dx = an->grad.data() + static_cast<size_t>(i) * n;
-        float dot = 0.0f;
-        for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
-        for (int j = 0; j < n; ++j) dx[j] += y[j] * (dy[j] - dot);
-      }
+      ParallelFor(m, grain, [&](int r0, int r1) {
+        for (int i = r0; i < r1; ++i) {
+          const float* y = self->value.data() + static_cast<size_t>(i) * n;
+          const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
+          float* dx = an->grad.data() + static_cast<size_t>(i) * n;
+          float dot = 0.0f;
+          for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+          for (int j = 0; j < n; ++j) dx[j] += y[j] * (dy[j] - dot);
+        }
+      });
     };
   }
   return Tensor::FromNode(out);
@@ -682,6 +792,8 @@ Tensor Softmax(const Tensor& a) {
 
 Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
                  float eps) {
+  TELEKIT_CHECK(a.rank() <= 2)
+      << "LayerNorm expects rank <= 2, got " << ShapeToString(a.shape());
   const int m = a.rank() == 2 ? a.dim(0) : 1;
   const int n = a.rank() == 2 ? a.dim(1) : a.dim(0);
   TELEKIT_CHECK_EQ(gain.rank(), 1);
@@ -694,58 +806,71 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
   // Cache normalized activations and per-row inverse stddev for backward.
   auto xhat = std::make_shared<std::vector<float>>(a.data().size());
   auto inv_std = std::make_shared<std::vector<float>>(m);
-  for (int i = 0; i < m; ++i) {
-    const float* row = a.data().data() + static_cast<size_t>(i) * n;
-    float mean = 0.0f;
-    for (int j = 0; j < n; ++j) mean += row[j];
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (int j = 0; j < n; ++j) var += (row[j] - mean) * (row[j] - mean);
-    var /= static_cast<float>(n);
-    const float istd = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[i] = istd;
-    for (int j = 0; j < n; ++j) {
-      const float xh = (row[j] - mean) * istd;
-      (*xhat)[static_cast<size_t>(i) * n + j] = xh;
-      out->value[static_cast<size_t>(i) * n + j] =
-          xh * gain.data()[j] + bias.data()[j];
+  const int grain = RowGrain(m, 8ull * static_cast<size_t>(n));
+  ParallelFor(m, grain, [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
+      const float* row = a.data().data() + static_cast<size_t>(i) * n;
+      float mean = 0.0f;
+      for (int j = 0; j < n; ++j) mean += row[j];
+      mean /= static_cast<float>(n);
+      float var = 0.0f;
+      for (int j = 0; j < n; ++j) var += (row[j] - mean) * (row[j] - mean);
+      var /= static_cast<float>(n);
+      const float istd = 1.0f / std::sqrt(var + eps);
+      (*inv_std)[i] = istd;
+      for (int j = 0; j < n; ++j) {
+        const float xh = (row[j] - mean) * istd;
+        (*xhat)[static_cast<size_t>(i) * n + j] = xh;
+        out->value[static_cast<size_t>(i) * n + j] =
+            xh * gain.data()[j] + bias.data()[j];
+      }
     }
-  }
+  });
   if (out->requires_grad) {
     out->parents = {a.node_ptr(), gain.node_ptr(), bias.node_ptr()};
     out->backward = [an = a.node_ptr(), gn = gain.node_ptr(),
-                     bn = bias.node_ptr(), xhat, inv_std, m, n](Node* self) {
+                     bn = bias.node_ptr(), xhat, inv_std, m, n,
+                     grain](Node* self) {
       if (gn->requires_grad) gn->EnsureGrad();
       if (bn->requires_grad) bn->EnsureGrad();
       if (an->requires_grad) an->EnsureGrad();
-      for (int i = 0; i < m; ++i) {
-        const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
-        const float* xh = xhat->data() + static_cast<size_t>(i) * n;
-        if (gn->requires_grad || bn->requires_grad) {
+      // Gain/bias gradients reduce over rows into shared [n] slots: keep the
+      // serial ascending-row order so the float sums are reproducible.
+      if (gn->requires_grad || bn->requires_grad) {
+        for (int i = 0; i < m; ++i) {
+          const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
+          const float* xh = xhat->data() + static_cast<size_t>(i) * n;
           for (int j = 0; j < n; ++j) {
             if (gn->requires_grad) gn->grad[j] += dy[j] * xh[j];
             if (bn->requires_grad) bn->grad[j] += dy[j];
           }
         }
-        if (an->requires_grad) {
-          // dxhat = dy * gain; dx = istd * (dxhat - mean(dxhat)
-          //                                 - xhat * mean(dxhat * xhat))
-          float mean_dxhat = 0.0f;
-          float mean_dxhat_xhat = 0.0f;
-          for (int j = 0; j < n; ++j) {
-            const float dxh = dy[j] * gn->value[j];
-            mean_dxhat += dxh;
-            mean_dxhat_xhat += dxh * xh[j];
+      }
+      // dx touches only row i — safe to fan out.
+      if (an->requires_grad) {
+        ParallelFor(m, grain, [&](int r0, int r1) {
+          for (int i = r0; i < r1; ++i) {
+            const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
+            const float* xh = xhat->data() + static_cast<size_t>(i) * n;
+            // dxhat = dy * gain; dx = istd * (dxhat - mean(dxhat)
+            //                                 - xhat * mean(dxhat * xhat))
+            float mean_dxhat = 0.0f;
+            float mean_dxhat_xhat = 0.0f;
+            for (int j = 0; j < n; ++j) {
+              const float dxh = dy[j] * gn->value[j];
+              mean_dxhat += dxh;
+              mean_dxhat_xhat += dxh * xh[j];
+            }
+            mean_dxhat /= static_cast<float>(n);
+            mean_dxhat_xhat /= static_cast<float>(n);
+            float* dx = an->grad.data() + static_cast<size_t>(i) * n;
+            const float istd = (*inv_std)[i];
+            for (int j = 0; j < n; ++j) {
+              const float dxh = dy[j] * gn->value[j];
+              dx[j] += istd * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat);
+            }
           }
-          mean_dxhat /= static_cast<float>(n);
-          mean_dxhat_xhat /= static_cast<float>(n);
-          float* dx = an->grad.data() + static_cast<size_t>(i) * n;
-          const float istd = (*inv_std)[i];
-          for (int j = 0; j < n; ++j) {
-            const float dxh = dy[j] * gn->value[j];
-            dx[j] += istd * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat);
-          }
-        }
+        });
       }
     };
   }
@@ -779,33 +904,41 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
 }
 
 Tensor L2NormalizeRows(const Tensor& a, float eps) {
+  TELEKIT_CHECK(a.rank() <= 2)
+      << "L2NormalizeRows expects rank <= 2, got "
+      << ShapeToString(a.shape());
   const int m = a.rank() == 2 ? a.dim(0) : 1;
   const int n = a.rank() == 2 ? a.dim(1) : a.dim(0);
   NodePtr out = NewNode(a.shape(), AnyGrad(a));
   auto inv_norm = std::make_shared<std::vector<float>>(m);
-  for (int i = 0; i < m; ++i) {
-    const float* row = a.data().data() + static_cast<size_t>(i) * n;
-    float sq = 0.0f;
-    for (int j = 0; j < n; ++j) sq += row[j] * row[j];
-    const float inv = 1.0f / (std::sqrt(sq) + eps);
-    (*inv_norm)[i] = inv;
-    for (int j = 0; j < n; ++j) {
-      out->value[static_cast<size_t>(i) * n + j] = row[j] * inv;
+  const int grain = RowGrain(m, 4ull * static_cast<size_t>(n));
+  ParallelFor(m, grain, [&](int r0, int r1) {
+    for (int i = r0; i < r1; ++i) {
+      const float* row = a.data().data() + static_cast<size_t>(i) * n;
+      float sq = 0.0f;
+      for (int j = 0; j < n; ++j) sq += row[j] * row[j];
+      const float inv = 1.0f / (std::sqrt(sq) + eps);
+      (*inv_norm)[i] = inv;
+      for (int j = 0; j < n; ++j) {
+        out->value[static_cast<size_t>(i) * n + j] = row[j] * inv;
+      }
     }
-  }
+  });
   if (out->requires_grad) {
     out->parents = {a.node_ptr()};
-    out->backward = [an = a.node_ptr(), inv_norm, m, n](Node* self) {
+    out->backward = [an = a.node_ptr(), inv_norm, m, n, grain](Node* self) {
       an->EnsureGrad();
-      for (int i = 0; i < m; ++i) {
-        const float* y = self->value.data() + static_cast<size_t>(i) * n;
-        const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
-        float* dx = an->grad.data() + static_cast<size_t>(i) * n;
-        float dot = 0.0f;
-        for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
-        const float inv = (*inv_norm)[i];
-        for (int j = 0; j < n; ++j) dx[j] += inv * (dy[j] - y[j] * dot);
-      }
+      ParallelFor(m, grain, [&](int r0, int r1) {
+        for (int i = r0; i < r1; ++i) {
+          const float* y = self->value.data() + static_cast<size_t>(i) * n;
+          const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
+          float* dx = an->grad.data() + static_cast<size_t>(i) * n;
+          float dot = 0.0f;
+          for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+          const float inv = (*inv_norm)[i];
+          for (int j = 0; j < n; ++j) dx[j] += inv * (dy[j] - y[j] * dot);
+        }
+      });
     };
   }
   return Tensor::FromNode(out);

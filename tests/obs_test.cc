@@ -274,6 +274,37 @@ TEST(JsonTest, ParseUnicodeEscape) {
   EXPECT_EQ(out.AsString(), "a\xc3\xa9" "b");
 }
 
+TEST(JsonTest, ParseSurrogatePairEscape) {
+  JsonValue out;
+  // U+1F600 (emoji) = \uD83D \uDE00, which must decode to one code point
+  // and the 4-byte UTF-8 sequence F0 9F 98 80 — not two 3-byte CESU-8
+  // halves.
+  ASSERT_TRUE(JsonValue::Parse("\"\\ud83d\\ude00\"", &out));
+  EXPECT_EQ(out.AsString(), "\xF0\x9F\x98\x80");
+  ASSERT_TRUE(JsonValue::Parse("\"a\\uD83D\\uDE00b\"", &out));
+  EXPECT_EQ(out.AsString(), "a\xF0\x9F\x98\x80" "b");
+}
+
+TEST(JsonTest, SurrogatePairDumpParseRoundTrip) {
+  JsonValue out;
+  ASSERT_TRUE(JsonValue::Parse("\"\\ud83d\\ude00\"", &out));
+  const std::string dumped = JsonValue(out.AsString()).Dump();
+  JsonValue again;
+  ASSERT_TRUE(JsonValue::Parse(dumped, &again));
+  EXPECT_EQ(again.AsString(), out.AsString());
+}
+
+TEST(JsonTest, RejectsLoneSurrogates) {
+  JsonValue out;
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\"", &out));         // lone high
+  EXPECT_FALSE(JsonValue::Parse("\"\\ude00\"", &out));         // lone low
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83dxx\"", &out));       // high + junk
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\\u0041\"", &out));  // high + BMP
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\"", &out, &error));
+  EXPECT_NE(error.find("surrogate"), std::string::npos);
+}
+
 // Burns ~a few hundred microseconds so span durations are nonzero.
 uint64_t BusyWork(int iterations) {
   volatile uint64_t accumulator = 0;
@@ -386,6 +417,38 @@ TEST(MetricsTest, LatencyHistogramEdgeCases) {
   EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 3.7);
   EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 3.7);
   EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 3.7);
+}
+
+TEST(MetricsTest, LatencyHistogramBoundaryRanks) {
+  LatencyHistogram histogram;
+  // 10 fast + 90 slow samples: ranks 1..10 live in the fast bucket. The
+  // boundary rank q = 0.10 (rank exactly 10, i.e. q*n equal to the fast
+  // bucket's cumulative count) must resolve strictly inside the fast
+  // bucket — the old fractional-rank walk pinned it to the bucket's upper
+  // edge — and rank 11 (q = 0.11) must jump to the slow cluster.
+  for (int i = 0; i < 10; ++i) histogram.Observe(2.0);
+  for (int i = 0; i < 90; ++i) histogram.Observe(500.0);
+  const double fast_upper =
+      LatencyHistogram::BucketUpperMs(LatencyHistogram::BucketIndex(2.0));
+  EXPECT_GE(histogram.Quantile(0.10), 2.0);
+  EXPECT_LT(histogram.Quantile(0.10), fast_upper);
+  EXPECT_NEAR(histogram.Quantile(0.11), 500.0, 500.0 * 0.06);
+  // Extremes map to nearest ranks 1 and n, never below min or above max.
+  EXPECT_NEAR(histogram.Quantile(0.0), 2.0, 2.0 * 0.06);
+  EXPECT_NEAR(histogram.Quantile(1.0), 500.0, 500.0 * 0.06);
+  EXPECT_GE(histogram.Quantile(0.0), histogram.min());
+  EXPECT_LE(histogram.Quantile(1.0), histogram.max());
+}
+
+TEST(MetricsTest, LatencyHistogramRepeatedValueExactAtAllRanks) {
+  LatencyHistogram histogram;
+  // Eight identical samples: every rank lands in the same bucket and the
+  // [min, max] clamp collapses the estimate to the exact value, including
+  // at the rank boundaries q = k/8.
+  for (int i = 0; i < 8; ++i) histogram.Observe(7.25);
+  for (const double q : {0.0, 0.125, 0.5, 0.875, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Quantile(q), 7.25) << "q=" << q;
+  }
 }
 
 TEST(MetricsTest, LatencyHistogramConcurrentObserve) {

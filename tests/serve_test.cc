@@ -15,6 +15,7 @@
 #include "serve/engine.h"
 #include "serve/protocol.h"
 #include "tasks/scoring.h"
+#include "tensor/compute_pool.h"
 
 namespace telekit {
 namespace serve {
@@ -444,6 +445,38 @@ TEST(BatchedForwardTest, ServiceEncoderBatchMatchesSingle) {
       EXPECT_LE(MaxAbsDiff(batched[i], service.Encode(names[i], mode)), 1e-5);
     }
   }
+}
+
+// The batched encoder path must produce bit-identical embeddings whether the
+// ComputePool runs serial or with 4 workers, and still agree with the
+// single-sequence path under threads > 1.
+TEST(BatchedForwardTest, EncodeInputsBitIdenticalAcrossComputeThreads) {
+  const core::ModelZoo& zoo = SharedZoo();
+  const core::TeleBert& model = zoo.telebert();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  const auto& inputs = zoo.retrain_data().causal_sentences;
+  ASSERT_GE(inputs.size(), 5u);
+  std::vector<const text::EncodedInput*> batch;
+  for (size_t i = 0; i < 5; ++i) batch.push_back(&inputs[i]);
+
+  const int previous = tensor::ComputeThreads();
+  tensor::SetComputeThreads(1);
+  const auto serial = service.EncodeInputs(batch);
+  ASSERT_EQ(serial.size(), 5u);
+
+  tensor::SetComputeThreads(4);
+  const auto parallel = service.EncodeInputs(batch);
+  ASSERT_EQ(parallel.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    // Determinism contract: the fixed chunk grid makes the parallel batched
+    // forward bit-identical to the serial one, not merely close.
+    EXPECT_EQ(parallel[i], serial[i]) << "sequence " << i;
+    // And the batched path still agrees with the single-sequence path.
+    EXPECT_LE(MaxAbsDiff(parallel[i], model.ServiceVector(inputs[i])), 1e-5)
+        << "sequence " << i;
+  }
+  tensor::SetComputeThreads(previous);
 }
 
 TEST(ServeEngineTest, EndToEndMixedOps) {

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "common/rng.h"
+#include "tensor/compute_pool.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "tensor/tensor.h"
@@ -451,6 +453,144 @@ TEST(SerializeTest, RestoreMissingNameFails) {
   TensorMap target;
   target["w"] = Tensor::Zeros({1});
   EXPECT_EQ(RestoreInto(source, target).code(), StatusCode::kNotFound);
+}
+
+// --- Row-wise op rank contract ----------------------------------------------
+
+// Tensor constructors reject rank >= 3 up front, so reaching the row-wise
+// ops with a bad rank requires wrapping a raw node — exactly what the ops'
+// own checks defend against (they previously mis-strode such input as one
+// flat row).
+Tensor Rank3Tensor() {
+  auto node = std::make_shared<internal::Node>();
+  node->shape = {2, 3, 4};
+  node->value.assign(24, 0.0f);
+  return Tensor::FromNode(node);
+}
+
+TEST(OpsDeathTest, ConstructorRejectsRank3) {
+  EXPECT_DEATH(Tensor::Zeros({2, 3, 4}), "rank <= 2");
+}
+
+TEST(OpsDeathTest, SoftmaxRejectsRank3) {
+  EXPECT_DEATH(Softmax(Rank3Tensor()), "rank <= 2");
+}
+
+TEST(OpsDeathTest, LayerNormRejectsRank3) {
+  Tensor gain = Tensor::Ones({4});
+  Tensor bias = Tensor::Zeros({4});
+  EXPECT_DEATH(LayerNorm(Rank3Tensor(), gain, bias, 1e-5f), "rank <= 2");
+}
+
+TEST(OpsDeathTest, L2NormalizeRowsRejectsRank3) {
+  EXPECT_DEATH(L2NormalizeRows(Rank3Tensor(), 1e-6f), "rank <= 2");
+}
+
+// --- ComputePool determinism --------------------------------------------------
+
+// Forward values + leaf gradients from one composite graph covering every
+// parallelized kernel: tiled MatMul (forward and both backward transposes),
+// Softmax, LayerNorm, GELU/Sigmoid and the elementwise broadcasts, the
+// embedding gather/scatter with duplicate rows, and L2NormalizeRows. Sized
+// so ParallelFor genuinely fans out (matmul rows, >16k-element elementwise
+// loops, grouped scatter).
+struct OpSuiteResult {
+  std::vector<std::vector<float>> values;
+  std::vector<std::vector<float>> grads;
+
+  bool BitIdentical(const OpSuiteResult& other) const {
+    if (values.size() != other.values.size() ||
+        grads.size() != other.grads.size()) {
+      return false;
+    }
+    auto same = [](const std::vector<float>& x, const std::vector<float>& y) {
+      return x.size() == y.size() &&
+             std::memcmp(x.data(), y.data(), x.size() * sizeof(float)) == 0;
+    };
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!same(values[i], other.values[i])) return false;
+    }
+    for (size_t i = 0; i < grads.size(); ++i) {
+      if (!same(grads[i], other.grads[i])) return false;
+    }
+    return true;
+  }
+};
+
+OpSuiteResult RunOpSuite() {
+  constexpr int kDim = 160;
+  Rng rng(7);
+  Tensor a = Tensor::Randn({kDim, kDim}, rng, 1.0f, true);
+  Tensor b = Tensor::Randn({kDim, kDim}, rng, 1.0f, true);
+  Tensor gain = Tensor::Randn({kDim}, rng, 1.0f, true);
+  Tensor bias = Tensor::Randn({kDim}, rng, 1.0f, true);
+  Tensor row = Tensor::Randn({kDim}, rng, 1.0f, true);
+  Tensor table = Tensor::Randn({50, kDim}, rng, 1.0f, true);
+
+  Tensor h = MatMul(a, b);
+  Tensor hr = Add(h, row);  // kRow broadcast
+  Tensor act = Gelu(hr);
+  Tensor ln = LayerNorm(act, gain, bias, 1e-5f);
+  Tensor sm = Softmax(ln);
+  std::vector<int> indices;
+  for (int i = 0; i < 1000; ++i) indices.push_back((i * 7) % 50);  // dups
+  Tensor gathered = GatherRows(table, indices);
+  Tensor cov = MatMul(Transpose(gathered), gathered);  // [kDim, kDim]
+  Tensor mixed = Mul(sm, Sigmoid(MulScalar(cov, 0.01f)));  // kSame
+  Tensor normed = L2NormalizeRows(mixed, 1e-6f);
+  Tensor loss = Add(Mean(Square(normed)), Mean(Mul(normed, act)));
+  loss.Backward();
+
+  OpSuiteResult result;
+  result.values = {h.data(),  act.data(),    ln.data(),  sm.data(),
+                   cov.data(), normed.data(), loss.data()};
+  result.grads = {a.grad(),   b.grad(),   gain.grad(),
+                  bias.grad(), row.grad(), table.grad()};
+  return result;
+}
+
+TEST(ComputePoolTest, OpSuiteBitIdenticalAcrossThreadCounts) {
+  const int previous = ComputeThreads();
+  SetComputeThreads(1);
+  const OpSuiteResult serial = RunOpSuite();
+  for (int threads : {2, 4}) {
+    SetComputeThreads(threads);
+    const OpSuiteResult parallel = RunOpSuite();
+    EXPECT_TRUE(parallel.BitIdentical(serial))
+        << "results diverged at compute_threads=" << threads;
+  }
+  SetComputeThreads(previous);
+}
+
+TEST(ComputePoolTest, RepeatedRunsAreDeterministic) {
+  const int previous = ComputeThreads();
+  SetComputeThreads(4);
+  const OpSuiteResult first = RunOpSuite();
+  const OpSuiteResult second = RunOpSuite();
+  EXPECT_TRUE(first.BitIdentical(second));
+  SetComputeThreads(previous);
+}
+
+TEST(ComputePoolTest, SetComputeThreadsRoundTrips) {
+  const int previous = ComputeThreads();
+  SetComputeThreads(3);
+  EXPECT_EQ(ComputeThreads(), 3);
+  SetComputeThreads(0);  // back to env / hardware default
+  EXPECT_GE(ComputeThreads(), 1);
+  SetComputeThreads(previous);
+}
+
+TEST(ComputePoolTest, MatMulKnownValuesUnderThreads) {
+  const int previous = ComputeThreads();
+  SetComputeThreads(4);
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+  SetComputeThreads(previous);
 }
 
 }  // namespace
