@@ -1,0 +1,299 @@
+// Load generator for the streaming subsystem. Replays one seeded
+// alarm/KPI/signaling stream through three pipeline configurations and
+// writes BENCH_stream.json:
+//
+//   sync_replay   deterministic mode (unbatched Process path) — measures
+//                 sustained episodes/sec, detection latency, and online
+//                 RCA hit@1/hit@3; the same episodes are then re-scored
+//                 through the offline evaluator path and the two hit
+//                 rates must agree exactly (acceptance)
+//   async_replay  Submit() with micro-batching — the throughput shape
+//   saturated     async against a deliberately starved engine (1 worker,
+//                 tiny queue, tiny in-flight bound): backpressure must
+//                 throttle ingestion (observable throttled submits) while
+//                 every flushed episode stays accounted (analysed + shed)
+//
+// Absolute hit rates on the synthetic world do not transfer to the
+// paper's proprietary benchmark; Table IV's TeleBERT row is recorded as
+// the reference frame, and the acceptance criterion is the online ==
+// offline consistency, not the absolute accuracy.
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/model_zoo.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "stream/pipeline.h"
+#include "synth/replay.h"
+
+namespace telekit {
+namespace bench {
+namespace {
+
+struct LoadgenFlags {
+  uint64_t seed = 20230401;
+  int episodes = 40;
+  double mean_gap = 12.0;
+  int workers = 4;
+  int max_batch = 8;
+  std::string out = "BENCH_stream.json";
+};
+
+struct RunResult {
+  std::string name;
+  stream::PipelineSummary summary;
+  stream::HitStats hits;
+  double detect_p50_ms = 0.0;
+  double detect_p99_ms = 0.0;
+};
+
+/// One pipeline pass over `events`; detection latency is aggregated from
+/// the per-verdict measurements so each run reports its own quantiles
+/// (the global stream/detect_ms histogram is cumulative across runs).
+RunResult RunPipeline(const std::string& name, const core::ModelZoo& zoo,
+                      serve::ServeEngine* engine,
+                      const std::vector<synth::StreamEvent>& events,
+                      const std::vector<std::string>& truth_roots,
+                      const stream::PipelineConfig& config,
+                      std::vector<stream::EpisodeVerdict>* verdicts_out) {
+  RunResult result;
+  result.name = name;
+  obs::LatencyHistogram detect;
+  stream::StreamPipeline pipeline(zoo.world(), engine, config);
+  result.summary = pipeline.Run(
+      events, [&](stream::EpisodeVerdict verdict) {
+        result.hits.Accumulate(verdict, truth_roots);
+        if (verdict.ok) detect.Observe(verdict.detect_ms);
+        if (verdicts_out != nullptr) {
+          verdicts_out->push_back(std::move(verdict));
+        }
+      });
+  result.detect_p50_ms = detect.Quantile(0.50);
+  result.detect_p99_ms = detect.Quantile(0.99);
+  return result;
+}
+
+obs::JsonValue ResultToJson(const RunResult& result) {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("name", obs::JsonValue(result.name));
+  out.Set("events", obs::JsonValue(result.summary.sessionizer.events));
+  out.Set("episodes_flushed",
+          obs::JsonValue(result.summary.sessionizer.episodes_flushed));
+  out.Set("episodes_analysed",
+          obs::JsonValue(result.summary.episodes_analysed));
+  out.Set("episodes_shed", obs::JsonValue(result.summary.episodes_shed));
+  out.Set("late_drops", obs::JsonValue(result.summary.sessionizer.late_drops));
+  out.Set("duplicate_alarms",
+          obs::JsonValue(result.summary.sessionizer.duplicate_alarms));
+  out.Set("wall_seconds", obs::JsonValue(result.summary.wall_seconds));
+  out.Set("episodes_per_sec",
+          obs::JsonValue(result.summary.episodes_per_sec));
+  out.Set("detect_p50_ms", obs::JsonValue(result.detect_p50_ms));
+  out.Set("detect_p99_ms", obs::JsonValue(result.detect_p99_ms));
+  out.Set("throttled_submits",
+          obs::JsonValue(result.summary.throttled_submits));
+  out.Set("throttled_ms", obs::JsonValue(result.summary.throttled_ms));
+  out.Set("judged", obs::JsonValue(result.hits.judged));
+  out.Set("rca_hit1", obs::JsonValue(result.hits.HitRate1()));
+  out.Set("rca_hit3", obs::JsonValue(result.hits.HitRate3()));
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
+  LoadgenFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* name) -> const char* {
+      const std::string prefix = std::string("--") + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
+                                       : nullptr;
+    };
+    if (const char* v = value("seed"))
+      flags.seed = static_cast<uint64_t>(std::atoll(v));
+    else if (const char* v = value("episodes")) flags.episodes = std::atoi(v);
+    else if (const char* v = value("mean-gap")) flags.mean_gap = std::atof(v);
+    else if (const char* v = value("workers")) flags.workers = std::atoi(v);
+    else if (const char* v = value("max-batch")) flags.max_batch = std::atoi(v);
+    else if (const char* v = value("out")) flags.out = v;
+  }
+
+  // Same scale as telekit_streamd's default zoo: untrained encoder (same
+  // per-episode compute as a trained one), startup in seconds.
+  core::ZooConfig config;
+  config.seed = flags.seed;
+  config.world.num_alarm_types = 48;
+  config.world.num_kpi_types = 24;
+  config.corpus.num_tele_sentences = 1500;
+  config.corpus.num_general_sentences = 1500;
+  config.num_episodes = 40;
+  config.pretrain.steps = 0;
+  config.cache_dir = "";
+  core::ModelZoo zoo(config);
+  zoo.BuildData();
+  zoo.BuildPretrained();
+  core::TeleBertEncoder encoder(&zoo.telebert());
+  core::ServiceEncoder service(&encoder, &zoo.tokenizer(), &zoo.store(),
+                               &zoo.normalizer());
+  std::vector<std::string> names;
+  for (const auto& alarm : zoo.world().alarms()) names.push_back(alarm.name);
+
+  synth::LogGenerator log_gen(zoo.world(), synth::LogConfig{});
+  synth::SignalingFlowGenerator signaling_gen(zoo.world(),
+                                              synth::SignalingConfig{});
+  synth::ReplayConfig replay;
+  replay.num_episodes = flags.episodes;
+  replay.mean_episode_gap = flags.mean_gap;
+  Rng replay_rng(flags.seed ^ 0x5741544552ULL);  // streamd's replay stream
+  const std::vector<synth::ScheduledEpisode> episodes =
+      synth::ScheduleEpisodes(log_gen, signaling_gen, replay, replay_rng);
+  const std::vector<synth::StreamEvent> events = synth::BuildReplayStream(
+      log_gen, signaling_gen, episodes, replay, replay_rng);
+  std::vector<std::string> truth_roots;
+  for (const synth::ScheduledEpisode& scheduled : episodes) {
+    truth_roots.push_back(
+        zoo.world()
+            .alarms()[static_cast<size_t>(scheduled.episode.root_alarm)]
+            .name);
+  }
+  std::cout << "stream_loadgen: " << events.size() << " events / "
+            << episodes.size() << " episodes, " << flags.workers
+            << " workers\n";
+
+  auto make_engine = [&](int workers, size_t queue_capacity) {
+    serve::EngineOptions options;
+    options.num_workers = workers;
+    options.max_batch = flags.max_batch;
+    options.queue_capacity = queue_capacity;
+    auto engine = std::make_unique<serve::ServeEngine>(&service, options);
+    for (serve::TaskOp op :
+         {serve::TaskOp::kRca, serve::TaskOp::kEap, serve::TaskOp::kFct}) {
+      TELEKIT_CHECK(engine->LoadCatalog(op, names).ok());
+    }
+    return engine;
+  };
+
+  std::vector<RunResult> results;
+
+  // Run 1: deterministic replay + online-vs-offline consistency.
+  std::vector<stream::EpisodeVerdict> sync_verdicts;
+  auto sync_engine = make_engine(flags.workers, 1024);
+  stream::PipelineConfig sync_config;
+  sync_config.deterministic = true;
+  results.push_back(RunPipeline("sync_replay", zoo, sync_engine.get(), events,
+                                truth_roots, sync_config, &sync_verdicts));
+  // The offline evaluator scores the same episode texts through the same
+  // synchronous path; its hit rates must agree exactly with the online run.
+  stream::HitStats offline;
+  for (stream::EpisodeVerdict verdict : sync_verdicts) {
+    serve::Request request;
+    request.op = serve::TaskOp::kRca;
+    request.text = verdict.query;
+    request.top_k = sync_config.top_k;
+    verdict.rca = sync_engine->Process(request);
+    TELEKIT_CHECK(verdict.rca.status.ok());
+    offline.Accumulate(verdict, truth_roots);
+  }
+  sync_engine->Stop();
+  const bool online_matches_offline =
+      offline.judged == results[0].hits.judged &&
+      offline.hit1 == results[0].hits.hit1 &&
+      offline.hit3 == results[0].hits.hit3;
+
+  // Run 2: async micro-batched throughput on the same stream.
+  auto async_engine = make_engine(flags.workers, 1024);
+  stream::PipelineConfig async_config;
+  async_config.deterministic = false;
+  results.push_back(RunPipeline("async_replay", zoo, async_engine.get(),
+                                events, truth_roots, async_config, nullptr));
+  async_engine->Stop();
+
+  // Run 3: starved engine — backpressure must throttle, accounting must
+  // stay exact, memory stays bounded by max_in_flight + queue capacity.
+  auto starved_engine = make_engine(/*workers=*/1, /*queue_capacity=*/4);
+  stream::PipelineConfig starved_config;
+  starved_config.deterministic = false;
+  starved_config.max_in_flight = 4;
+  starved_config.submit_block_ms = 2000.0;
+  results.push_back(RunPipeline("saturated", zoo, starved_engine.get(),
+                                events, truth_roots, starved_config,
+                                nullptr));
+  starved_engine->Stop();
+
+  TablePrinter table("Streaming pipeline (episodes/sec)");
+  table.SetHeader({"configuration", "episodes/s", "p50 ms", "p99 ms",
+                   "hit@1", "hit@3", "throttled", "shed"});
+  for (const RunResult& result : results) {
+    table.AddRow(result.name,
+                 {result.summary.episodes_per_sec, result.detect_p50_ms,
+                  result.detect_p99_ms, result.hits.HitRate1(),
+                  result.hits.HitRate3(),
+                  static_cast<double>(result.summary.throttled_submits),
+                  static_cast<double>(result.summary.episodes_shed)},
+                 2);
+  }
+  table.Print(std::cout);
+  std::cout << "\nonline == offline RCA verdicts: "
+            << (online_matches_offline ? "yes" : "NO (acceptance failure)")
+            << "\n";
+
+  const RunResult& saturated = results[2];
+  const bool conservation =
+      saturated.summary.episodes_analysed + saturated.summary.episodes_shed ==
+      saturated.summary.sessionizer.episodes_flushed;
+  const bool backpressure_observed = saturated.summary.throttled_submits > 0 ||
+                                     saturated.summary.episodes_shed > 0;
+  std::cout << "saturated run accounting exact: "
+            << (conservation ? "yes" : "NO") << ", backpressure observed: "
+            << (backpressure_observed ? "yes" : "no") << "\n";
+
+  obs::JsonValue report = obs::JsonValue::Object();
+  report.Set("benchmark", obs::JsonValue("stream_loadgen"));
+  obs::JsonValue cfg = obs::JsonValue::Object();
+  cfg.Set("seed", obs::JsonValue(static_cast<int64_t>(flags.seed)));
+  cfg.Set("episodes", obs::JsonValue(flags.episodes));
+  cfg.Set("events", obs::JsonValue(static_cast<uint64_t>(events.size())));
+  cfg.Set("mean_episode_gap", obs::JsonValue(flags.mean_gap));
+  cfg.Set("workers", obs::JsonValue(flags.workers));
+  cfg.Set("max_batch", obs::JsonValue(flags.max_batch));
+  cfg.Set("compute_threads", obs::JsonValue(tensor::ComputeThreads()));
+  report.Set("config", std::move(cfg));
+  obs::JsonValue runs = obs::JsonValue::Array();
+  for (const RunResult& result : results) runs.Append(ResultToJson(result));
+  report.Set("runs", std::move(runs));
+  obs::JsonValue offline_json = obs::JsonValue::Object();
+  offline_json.Set("judged", obs::JsonValue(offline.judged));
+  offline_json.Set("rca_hit1", obs::JsonValue(offline.HitRate1()));
+  offline_json.Set("rca_hit3", obs::JsonValue(offline.HitRate3()));
+  offline_json.Set("matches_online", obs::JsonValue(online_matches_offline));
+  report.Set("offline_reference", std::move(offline_json));
+  // Table IV frame of reference (proprietary benchmark; hit rates in %).
+  obs::JsonValue paper = obs::JsonValue::Object();
+  paper.Set("table", obs::JsonValue("IV"));
+  paper.Set("model", obs::JsonValue("TeleBERT"));
+  const std::vector<double> row =
+      PaperReference::RcaTable().at(core::ModelKind::kTeleBert);
+  paper.Set("mr", obs::JsonValue(row[0]));
+  paper.Set("hits1", obs::JsonValue(row[1]));
+  paper.Set("hits3", obs::JsonValue(row[2]));
+  paper.Set("hits5", obs::JsonValue(row[3]));
+  report.Set("paper_reference", std::move(paper));
+  std::ofstream out(flags.out);
+  out << report.Dump(2) << "\n";
+  std::cout << "wrote " << flags.out << "\n";
+  return online_matches_offline && conservation ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace telekit
+
+int main(int argc, char** argv) { return telekit::bench::Main(argc, argv); }

@@ -8,32 +8,39 @@
 #   4. admin smoke: start telekit_serve with --admin-port on loopback,
 #      poll /healthz until live, assert /metrics serves a non-empty
 #      Prometheus exposition, and shut the server down cleanly.
+#   5. streamd smoke: replay a small seeded stream through telekit_streamd
+#      with --linger, assert /statusz reports a finished run with >0
+#      episodes and 0 late drops, and that the per-op serve counters made
+#      it into the Prometheus exposition.
 #
 # Optional: TELEKIT_TSAN=1 scripts/check_tier1.sh additionally builds the
-# concurrency-heavy tests (serve engine, embedding cache, metrics registry,
-# admin server, tensor ComputePool) under ThreadSanitizer in build_tsan/ and
-# runs them — tensor_test and serve_test with TELEKIT_COMPUTE_THREADS=4 so
-# the intra-op worker pool is actually exercised under TSan. Off by default:
-# the TSan tree roughly doubles check time.
+# concurrency-heavy tests (serve engine, stream pipeline, embedding cache,
+# metrics registry, admin server, tensor ComputePool) under ThreadSanitizer
+# in build_tsan/ and runs them — tensor_test, serve_test and stream_test
+# with TELEKIT_COMPUTE_THREADS=4 so the intra-op worker pool is actually
+# exercised under TSan. Off by default: the TSan tree roughly doubles check
+# time.
 #
 # Usage: scripts/check_tier1.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/4] configure + build =="
+echo "== [1/5] configure + build =="
 cmake -B build -S .
 cmake --build build -j
 
-echo "== [2/4] ctest =="
+echo "== [2/5] ctest =="
 ctest --test-dir build --output-on-failure -j
 
-echo "== [3/4] -Werror build of the obs layer =="
+echo "== [3/5] -Werror build of the obs + stream layers =="
 cmake -B build_strict -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
-cmake --build build_strict -j --target telekit_obs obs_test obs_admin_test
+cmake --build build_strict -j --target telekit_obs obs_test obs_admin_test \
+  telekit_stream stream_test
 ./build_strict/tests/obs_test --gtest_brief=1
 ./build_strict/tests/obs_admin_test --gtest_brief=1
+./build_strict/tests/stream_test --gtest_brief=1
 
-echo "== [4/4] admin endpoint smoke =="
+echo "== [4/5] admin endpoint smoke =="
 SERVE_PORT=18473
 ADMIN_PORT=18474
 SERVE_LOG=$(mktemp)
@@ -83,13 +90,74 @@ trap - EXIT
 rm -f "${SERVE_LOG}"
 echo "admin smoke: OK (/healthz + /readyz + /statusz live, /metrics non-empty)"
 
+echo "== [5/5] streamd replay smoke =="
+STREAMD_ADMIN_PORT=18475
+STREAMD_LOG=$(mktemp)
+# Unpaced deterministic replay of a small seeded stream; --linger keeps the
+# admin server up after the replay finishes so /statusz can be scraped
+# without racing the run.
+./build/src/stream/telekit_streamd --seed=4242 --episodes=6 \
+  --admin-port="${STREAMD_ADMIN_PORT}" --workers=2 --compute-threads=2 \
+  --linger >"${STREAMD_LOG}" 2>&1 &
+STREAMD_PID=$!
+cleanup_streamd() {
+  kill "${STREAMD_PID}" 2>/dev/null || true
+  wait "${STREAMD_PID}" 2>/dev/null || true
+  rm -f "${STREAMD_LOG}"
+}
+trap cleanup_streamd EXIT
+
+# Wait until the replay reports itself done through /statusz.
+STREAM_STATUS=""
+for _ in $(seq 1 120); do
+  STREAM_STATUS=$(curl -sf -m 2 \
+    "http://127.0.0.1:${STREAMD_ADMIN_PORT}/statusz" 2>/dev/null || true)
+  if grep -q '"done": true' <<<"${STREAM_STATUS}"; then
+    break
+  fi
+  if ! kill -0 "${STREAMD_PID}" 2>/dev/null; then
+    echo "streamd smoke: telekit_streamd died during the replay:"
+    cat "${STREAMD_LOG}"
+    exit 1
+  fi
+  sleep 1
+done
+if ! grep -q '"done": true' <<<"${STREAM_STATUS}"; then
+  echo "streamd smoke: replay never finished: ${STREAM_STATUS}"
+  exit 1
+fi
+EPISODES=$(sed -n 's/.*"episodes": \([0-9]*\).*/\1/p' <<<"${STREAM_STATUS}")
+LATE=$(sed -n 's/.*"late_drops": \([0-9]*\).*/\1/p' <<<"${STREAM_STATUS}")
+if [[ -z "${EPISODES}" || "${EPISODES}" -eq 0 ]]; then
+  echo "streamd smoke: /statusz reports no flushed episodes: ${STREAM_STATUS}"
+  exit 1
+fi
+if [[ -z "${LATE}" || "${LATE}" -ne 0 ]]; then
+  echo "streamd smoke: /statusz reports late drops: ${STREAM_STATUS}"
+  exit 1
+fi
+STREAM_METRICS=$(curl -sf -m 2 "http://127.0.0.1:${STREAMD_ADMIN_PORT}/metrics")
+for metric in telekit_stream_episodes telekit_serve_rca_requests \
+    telekit_serve_eap_requests telekit_serve_fct_requests; do
+  if ! grep -q "${metric}" <<<"${STREAM_METRICS}"; then
+    echo "streamd smoke: /metrics missing ${metric}"
+    exit 1
+  fi
+done
+kill "${STREAMD_PID}"
+wait "${STREAMD_PID}" 2>/dev/null || true
+trap - EXIT
+rm -f "${STREAMD_LOG}"
+echo "streamd smoke: OK (${EPISODES} episodes, 0 late drops, per-op serve metrics live)"
+
 if [[ "${TELEKIT_TSAN:-0}" == "1" ]]; then
-  echo "== [tsan] ThreadSanitizer pass (tensor + serve + obs + admin) =="
+  echo "== [tsan] ThreadSanitizer pass (tensor + serve + stream + obs + admin) =="
   cmake -B build_tsan -S . -DTELEKIT_TSAN=ON
   cmake --build build_tsan -j --target \
-    tensor_test serve_test obs_test obs_admin_test
+    tensor_test serve_test stream_test obs_test obs_admin_test
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/tensor_test --gtest_brief=1
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/serve_test --gtest_brief=1
+  TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/stream_test --gtest_brief=1
   ./build_tsan/tests/obs_test --gtest_brief=1
   ./build_tsan/tests/obs_admin_test --gtest_brief=1
 fi

@@ -190,6 +190,15 @@ JsonValue LatencyHistogram::ToJson() const {
   return out;
 }
 
+JsonValue LatencySummaryJson(const LatencyHistogram& histogram) {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", JsonValue(histogram.count()));
+  out.Set("p50_ms", JsonValue(histogram.Quantile(0.50)));
+  out.Set("p95_ms", JsonValue(histogram.Quantile(0.95)));
+  out.Set("p99_ms", JsonValue(histogram.Quantile(0.99)));
+  return out;
+}
+
 void LatencyHistogram::Zero() {
   for (auto& bucket : buckets_) {
     bucket.store(0, std::memory_order_relaxed);

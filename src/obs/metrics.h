@@ -192,6 +192,11 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<LatencyHistogram>> latency_histograms_;
 };
 
+/// Compact {count, p50_ms, p95_ms, p99_ms} summary of a latency
+/// histogram — the shape /statusz sections share (telekit_serve request
+/// latency, telekit_streamd detection latency).
+JsonValue LatencySummaryJson(const LatencyHistogram& histogram);
+
 /// Observes the wall-clock lifetime of a scope into a histogram, in
 /// milliseconds. Cheaper than a Span: no trace event, no nesting state.
 class ScopedTimer {

@@ -52,6 +52,24 @@ class MicroBatchQueue {
     return true;
   }
 
+  /// Like Push, but when the queue is full blocks up to `max_wait_us` for
+  /// a consumer to make room — the backpressure primitive for ingestion
+  /// paths that must throttle rather than shed. Still fails fast when
+  /// closed, and fails (leaving `item` untouched) when the wait expires
+  /// with the queue still full.
+  bool PushBlocking(T&& item, int64_t max_wait_us) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      space_cv_.wait_for(lock, std::chrono::microseconds(max_wait_us), [&] {
+        return closed_ || queue_.size() < options_.capacity;
+      });
+      if (closed_ || queue_.size() >= options_.capacity) return false;
+      queue_.emplace_back(std::move(item), Clock::now());
+    }
+    cv_.notify_one();
+    return true;
+  }
+
   /// Blocks until a batch is ready (or the queue is closed and drained);
   /// an empty result means "closed, nothing left" — never "another
   /// consumer beat me to the items".
@@ -83,8 +101,10 @@ class MicroBatchQueue {
         batch.push_back(std::move(queue_.front().first));
         queue_.pop_front();
       }
-      // More items may remain; let another consumer start on them.
+      // More items may remain; let another consumer start on them, and
+      // wake producers blocked on a full queue (the pop made room).
       if (!queue_.empty()) cv_.notify_one();
+      space_cv_.notify_all();
       return batch;
     }
   }
@@ -97,6 +117,7 @@ class MicroBatchQueue {
       closed_ = true;
     }
     cv_.notify_all();
+    space_cv_.notify_all();
   }
 
   size_t size() const {
@@ -112,6 +133,8 @@ class MicroBatchQueue {
   BatcherOptions options_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  /// Signalled when a pop (or Close) makes room for blocked producers.
+  std::condition_variable space_cv_;
   std::deque<std::pair<T, Clock::time_point>> queue_;
   bool closed_ = false;
 };

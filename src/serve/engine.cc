@@ -27,21 +27,48 @@ struct ServeMetrics {
   obs::LatencyHistogram& queue_ms;
   obs::LatencyHistogram& encode_ms;
   obs::LatencyHistogram& request_ms;
+  // Per-TaskOp split (serve/<op>/...) so mixed traffic — e.g. the stream
+  // pipeline's rca/eap/fct fan-out — stays attributable per task in the
+  // Prometheus exposition. Indexed by static_cast<int>(TaskOp).
+  obs::Counter* op_requests[4];
+  obs::LatencyHistogram* op_request_ms[4];
+
+  void RecordRequest(TaskOp op, double total_ms) {
+    requests.Increment();
+    request_ms.Observe(total_ms);
+    const int i = static_cast<int>(op);
+    op_requests[i]->Increment();
+    op_request_ms[i]->Observe(total_ms);
+  }
 
   static ServeMetrics& Get() {
     auto& reg = obs::MetricsRegistry::Global();
-    static ServeMetrics m{
-        reg.GetCounter("serve/requests"),
-        reg.GetCounter("serve/rejected"),
-        reg.GetCounter("serve/deadline_exceeded"),
-        reg.GetCounter("serve/slow_requests"),
-        reg.GetGauge("serve/queue_depth"),
-        reg.GetHistogram("serve/batch_size",
-                         {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}),
-        reg.GetLatencyHistogram("serve/queue_ms"),
-        reg.GetLatencyHistogram("serve/encode_ms"),
-        reg.GetLatencyHistogram("serve/request_ms"),
-    };
+    static ServeMetrics m = [&reg] {
+      ServeMetrics metrics{
+          reg.GetCounter("serve/requests"),
+          reg.GetCounter("serve/rejected"),
+          reg.GetCounter("serve/deadline_exceeded"),
+          reg.GetCounter("serve/slow_requests"),
+          reg.GetGauge("serve/queue_depth"),
+          reg.GetHistogram("serve/batch_size",
+                           {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}),
+          reg.GetLatencyHistogram("serve/queue_ms"),
+          reg.GetLatencyHistogram("serve/encode_ms"),
+          reg.GetLatencyHistogram("serve/request_ms"),
+          {},
+          {},
+      };
+      for (TaskOp op :
+           {TaskOp::kEncode, TaskOp::kRca, TaskOp::kEap, TaskOp::kFct}) {
+        const int i = static_cast<int>(op);
+        metrics.op_requests[i] =
+            &reg.GetCounter("serve/" + TaskOpName(op) + "/requests");
+        metrics.op_request_ms[i] =
+            &reg.GetLatencyHistogram("serve/" + TaskOpName(op) +
+                                     "/request_ms");
+      }
+      return metrics;
+    }();
     return m;
   }
 };
@@ -173,7 +200,8 @@ size_t ServeEngine::CatalogSize(TaskOp op) const {
   return it == catalogs_.end() ? 0 : it->second.names.size();
 }
 
-std::future<Response> ServeEngine::Submit(Request request) {
+std::future<Response> ServeEngine::Submit(Request request,
+                                          double max_block_ms) {
   auto pending = std::make_unique<Pending>();
   if (request.trace_id == 0) request.trace_id = obs::NextTraceId();
   pending->request = std::move(request);
@@ -186,7 +214,12 @@ std::future<Response> ServeEngine::Submit(Request request) {
                 pending->request.deadline_ms));
   }
   std::future<Response> future = pending->promise.get_future();
-  if (queue_.Push(std::move(pending))) {
+  const bool pushed =
+      max_block_ms > 0.0
+          ? queue_.PushBlocking(std::move(pending),
+                                static_cast<int64_t>(max_block_ms * 1000.0))
+          : queue_.Push(std::move(pending));
+  if (pushed) {
     ServeMetrics::Get().queue_depth.Set(static_cast<double>(queue_.size()));
     return future;
   }
@@ -310,9 +343,8 @@ void ServeEngine::ProcessBatch(
       response.score_ms = MsSince(score_start, done);
       response.batch_ms = MsSince(started, done);
       response.total_ms = MsSince(item.pending->enqueued, done);
-      metrics.requests.Increment();
+      metrics.RecordRequest(item.pending->request.op, response.total_ms);
       metrics.queue_ms.Observe(response.queue_ms);
-      metrics.request_ms.Observe(response.total_ms);
       MaybeCaptureSlow(options_.slow_request_ms, item.pending->request,
                        response);
       item.pending->promise.set_value(std::move(response));
@@ -350,8 +382,7 @@ Response ServeEngine::Process(const Request& request) const {
   FinishRequest(request, std::move(vector), &response);
   response.score_ms = MsSince(score_start, Clock::now());
   response.total_ms = MsSince(started, Clock::now());
-  metrics.requests.Increment();
-  metrics.request_ms.Observe(response.total_ms);
+  metrics.RecordRequest(request.op, response.total_ms);
   metrics.batch_size.Observe(1.0);
   MaybeCaptureSlow(options_.slow_request_ms, request, response);
   return response;

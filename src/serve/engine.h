@@ -151,7 +151,13 @@ class ServeEngine {
 
   /// Enqueues a request. The future is always fulfilled: with the result,
   /// or with Unavailable (queue full / shutdown) or DeadlineExceeded.
-  std::future<Response> Submit(Request request);
+  ///
+  /// `max_block_ms` is the backpressure hook for streaming ingestion: when
+  /// > 0 and the bounded queue is full, Submit blocks up to that long for
+  /// a worker to make room before rejecting — so a saturated engine
+  /// throttles the producer instead of forcing it to buffer or shed. 0
+  /// keeps the historical fail-fast behaviour.
+  std::future<Response> Submit(Request request, double max_block_ms = 0.0);
 
   /// Synchronous single-input path: no queue, no batching, optional cache.
   /// This is the "unbatched baseline" the load generator compares against

@@ -380,12 +380,7 @@ int Main(int argc, char** argv) {
     if (const obs::LatencyHistogram* h =
             obs::MetricsRegistry::Global().FindLatencyHistogram(
                 "serve/request_ms")) {
-      obs::JsonValue latency = obs::JsonValue::Object();
-      latency.Set("count", obs::JsonValue(h->count()));
-      latency.Set("p50_ms", obs::JsonValue(h->Quantile(0.50)));
-      latency.Set("p95_ms", obs::JsonValue(h->Quantile(0.95)));
-      latency.Set("p99_ms", obs::JsonValue(h->Quantile(0.99)));
-      out.Set("request_latency", std::move(latency));
+      out.Set("request_latency", obs::LatencySummaryJson(*h));
     }
     return obs::HttpResponse::Json(200, out);
   });

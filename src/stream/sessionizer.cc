@@ -1,0 +1,265 @@
+#include "stream/sessionizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+
+namespace telekit {
+namespace stream {
+
+namespace {
+
+bool Contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+Sessionizer::Sessionizer(const synth::WorldModel& world,
+                         const WindowConfig& config)
+    : world_(world), config_(config) {
+  TELEKIT_CHECK_GT(config_.window_span, 0.0);
+  TELEKIT_CHECK_GE(config_.watermark_delay, 0.0);
+  TELEKIT_CHECK_GT(config_.idle_gap, 0.0);
+  TELEKIT_CHECK_GT(config_.max_window_events, 0u);
+  stats_.watermark = -std::numeric_limits<double>::infinity();
+}
+
+bool Sessionizer::IsExcursion(int kpi_type, float value) const {
+  const auto& kpis = world_.kpis();
+  if (kpi_type < 0 || static_cast<size_t>(kpi_type) >= kpis.size()) {
+    return false;
+  }
+  const synth::KpiType& kpi = kpis[static_cast<size_t>(kpi_type)];
+  return std::abs(static_cast<double>(value - kpi.baseline)) >
+         config_.kpi_excursion_fraction * static_cast<double>(kpi.scale);
+}
+
+size_t Sessionizer::TotalOccupancy() const {
+  size_t total = 0;
+  for (const Window& window : windows_) {
+    total += window.alarms.size() + window.excursions.size() +
+             window.rejects.size();
+  }
+  return total;
+}
+
+void Sessionizer::Advance(double event_time, double arrival_time,
+                          std::vector<EpisodeCandidate>* flushed) {
+  max_time_seen_ = saw_event_ ? std::max(max_time_seen_, event_time)
+                              : event_time;
+  max_arrival_seen_ = saw_event_ ? std::max(max_arrival_seen_, arrival_time)
+                                 : arrival_time;
+  saw_event_ = true;
+  const double watermark = max_time_seen_ - config_.watermark_delay;
+  stats_.watermark = watermark;
+  stats_.watermark_lag = max_arrival_seen_ - watermark;
+
+  // Flush in open order so emission is deterministic. A window closes when
+  // the watermark guarantees nothing can still join it: its span is
+  // exhausted, or it has been idle past the idle gap.
+  size_t kept = 0;
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    Window& window = windows_[i];
+    const double close_at = std::min(window.open_time + config_.window_span,
+                                     window.last_time + config_.idle_gap);
+    if (watermark >= close_at) {
+      FlushWindow(std::move(window), flushed);
+    } else {
+      if (kept != i) windows_[kept] = std::move(window);
+      ++kept;
+    }
+  }
+  windows_.resize(kept);
+  stats_.open_windows = windows_.size();
+  stats_.window_occupancy = TotalOccupancy();
+}
+
+void Sessionizer::FlushWindow(Window&& window,
+                              std::vector<EpisodeCandidate>* flushed) {
+  EpisodeCandidate candidate;
+  candidate.id = window.id;
+  candidate.open_time = window.open_time;
+  candidate.close_time = window.last_time;
+  candidate.alarms = std::move(window.alarms);
+  candidate.excursions = std::move(window.excursions);
+  candidate.rejects = std::move(window.rejects);
+  // Majority provenance vote over the joined alarms (evaluation only).
+  std::map<int, int> votes;
+  for (int episode : window.episode_votes) ++votes[episode];
+  candidate.total_votes = static_cast<int>(window.episode_votes.size());
+  for (const auto& [episode, count] : votes) {
+    if (episode >= 0 && count > candidate.truth_votes) {
+      candidate.truth_episode = episode;
+      candidate.truth_votes = count;
+    }
+  }
+  ++stats_.episodes_flushed;
+  flushed->push_back(std::move(candidate));
+}
+
+std::vector<Sessionizer::Window>::iterator Sessionizer::FindWindow(
+    int element, double time, bool adjacent) {
+  std::vector<int> neighbors;
+  if (adjacent) neighbors = world_.TopologyNeighbors(element);
+  for (auto it = windows_.begin(); it != windows_.end(); ++it) {
+    if (time - it->open_time > config_.window_span) continue;
+    if (Contains(it->elements, element)) return it;
+    if (adjacent) {
+      for (int n : neighbors) {
+        if (Contains(it->elements, n)) return it;
+      }
+    }
+  }
+  return windows_.end();
+}
+
+void Sessionizer::Offer(const synth::StreamEvent& event,
+                        std::vector<EpisodeCandidate>* flushed) {
+  ++stats_.events;
+  Advance(event.time, event.arrival, flushed);
+
+  // Late: older than the watermark. Dropping (rather than joining) is the
+  // contract — a late event could belong to an already-flushed window, and
+  // attaching it to whatever happens to be open would silently corrupt
+  // episode partitions.
+  if (event.time < stats_.watermark) {
+    ++stats_.late_drops;
+    return;
+  }
+
+  switch (event.kind) {
+    case synth::StreamEvent::Kind::kAlarm: {
+      auto it = FindWindow(event.alarm.element, event.time, /*adjacent=*/true);
+      if (it == windows_.end()) {
+        Window window;
+        window.id = next_window_id_++;
+        window.open_time = event.time;
+        window.last_time = event.time;
+        window.alarms.push_back(event.alarm);
+        window.episode_votes.push_back(event.episode_id);
+        window.elements.push_back(event.alarm.element);
+        windows_.push_back(std::move(window));
+        stats_.open_windows = windows_.size();
+      } else {
+        Window& window = *it;
+        const bool duplicate = std::any_of(
+            window.alarms.begin(), window.alarms.end(),
+            [&event](const synth::AlarmEvent& a) {
+              return a.alarm_type == event.alarm.alarm_type &&
+                     a.element == event.alarm.element;
+            });
+        if (duplicate) {
+          // Same alarm re-raised on the same element within the window:
+          // refresh liveness but keep one occurrence per episode.
+          ++stats_.duplicate_alarms;
+          window.last_time = std::max(window.last_time, event.time);
+          break;
+        }
+        if (window.alarms.size() + window.excursions.size() +
+                window.rejects.size() >=
+            config_.max_window_events) {
+          ++stats_.overflow_drops;
+          break;
+        }
+        window.alarms.push_back(event.alarm);
+        window.episode_votes.push_back(event.episode_id);
+        window.last_time = std::max(window.last_time, event.time);
+        if (!Contains(window.elements, event.alarm.element)) {
+          window.elements.push_back(event.alarm.element);
+        }
+      }
+      break;
+    }
+    case synth::StreamEvent::Kind::kKpi: {
+      if (!IsExcursion(event.kpi.kpi_type, event.kpi.value)) {
+        ++stats_.background_events;
+        break;
+      }
+      auto it = FindWindow(event.kpi.element, event.time, /*adjacent=*/false);
+      if (it == windows_.end()) {
+        ++stats_.orphan_symptoms;
+        break;
+      }
+      if (it->alarms.size() + it->excursions.size() + it->rejects.size() >=
+          config_.max_window_events) {
+        ++stats_.overflow_drops;
+        break;
+      }
+      it->excursions.push_back(event.kpi);
+      it->last_time = std::max(it->last_time, event.time);
+      break;
+    }
+    case synth::StreamEvent::Kind::kSignaling: {
+      if (event.signaling.success) {
+        ++stats_.background_events;
+        break;
+      }
+      auto it = FindWindow(event.signaling.src_element, event.time,
+                           /*adjacent=*/false);
+      if (it == windows_.end()) {
+        it = FindWindow(event.signaling.dst_element, event.time,
+                        /*adjacent=*/false);
+      }
+      if (it == windows_.end()) {
+        ++stats_.orphan_symptoms;
+        break;
+      }
+      if (it->alarms.size() + it->excursions.size() + it->rejects.size() >=
+          config_.max_window_events) {
+        ++stats_.overflow_drops;
+        break;
+      }
+      it->rejects.push_back(event.signaling);
+      it->last_time = std::max(it->last_time, event.time);
+      break;
+    }
+  }
+  stats_.window_occupancy = TotalOccupancy();
+}
+
+void Sessionizer::FlushAll(std::vector<EpisodeCandidate>* flushed) {
+  for (Window& window : windows_) {
+    FlushWindow(std::move(window), flushed);
+  }
+  windows_.clear();
+  stats_.open_windows = 0;
+  stats_.window_occupancy = 0;
+}
+
+std::string EpisodeQueryText(const synth::WorldModel& world,
+                             const EpisodeCandidate& candidate) {
+  // Alarm surfaces in join order (the window-opening alarm — normally the
+  // fault root — leads), deduplicated by alarm type, capped so the
+  // tokenizer's max_len keeps the head of the episode.
+  constexpr size_t kMaxAlarms = 6;
+  constexpr size_t kMaxKpis = 3;
+  std::string text;
+  std::vector<int> seen_alarms;
+  for (const synth::AlarmEvent& alarm : candidate.alarms) {
+    if (Contains(seen_alarms, alarm.alarm_type)) continue;
+    seen_alarms.push_back(alarm.alarm_type);
+    if (seen_alarms.size() > kMaxAlarms) break;
+    if (!text.empty()) text += "; ";
+    text += world.alarms()[static_cast<size_t>(alarm.alarm_type)].name;
+  }
+  std::vector<int> seen_kpis;
+  for (const synth::KpiReading& reading : candidate.excursions) {
+    if (Contains(seen_kpis, reading.kpi_type)) continue;
+    seen_kpis.push_back(reading.kpi_type);
+    if (seen_kpis.size() > kMaxKpis) break;
+    text += (seen_kpis.size() == 1 ? " | kpi " : ", ");
+    text += world.kpis()[static_cast<size_t>(reading.kpi_type)].name;
+  }
+  if (!candidate.rejects.empty()) {
+    text += " | " + std::to_string(candidate.rejects.size()) +
+            " signaling rejects";
+  }
+  return text;
+}
+
+}  // namespace stream
+}  // namespace telekit

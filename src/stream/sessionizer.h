@@ -1,0 +1,162 @@
+#ifndef TELEKIT_STREAM_SESSIONIZER_H_
+#define TELEKIT_STREAM_SESSIONIZER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/replay.h"
+#include "synth/world.h"
+
+namespace telekit {
+namespace stream {
+
+/// Sliding-window correlation knobs.
+struct WindowConfig {
+  /// Max event-time span one window may cover: an alarm more than this far
+  /// from a window's opening event starts a new window even on adjacent
+  /// elements (bounds both memory and episode length).
+  double window_span = 10.0;
+  /// Out-of-order tolerance: the watermark trails the newest occurrence
+  /// time seen by this much. Events older than the watermark are dropped
+  /// as late, never joined to a window they might not belong to.
+  double watermark_delay = 2.0;
+  /// A window with no joins for this much event time closes as soon as the
+  /// watermark passes, even before window_span is exhausted.
+  double idle_gap = 4.0;
+  /// Hard cap on events gathered into one window; further joins are
+  /// counted as overflow and dropped (bounded per-window memory).
+  size_t max_window_events = 256;
+  /// A KPI reading is treated as an excursion when it deviates from the
+  /// catalogue baseline by more than this fraction of the KPI's fault
+  /// scale. The detector never reads the ground-truth `anomalous` flag.
+  double kpi_excursion_fraction = 0.5;
+};
+
+/// One flushed candidate fault episode: the correlated alarms, KPI
+/// excursions and signaling rejects of a window, plus ground-truth
+/// provenance (majority vote over the joined alarms' episode ids) used by
+/// evaluation only.
+struct EpisodeCandidate {
+  int id = 0;
+  double open_time = 0.0;
+  double close_time = 0.0;
+  std::vector<synth::AlarmEvent> alarms;        // join order
+  std::vector<synth::KpiReading> excursions;    // join order
+  std::vector<synth::SignalingRecord> rejects;  // join order
+  /// Majority ground-truth episode id among joined alarms (-1 when the
+  /// window held only background noise — possible in theory, not with the
+  /// alarm-opened windows below).
+  int truth_episode = -1;
+  /// How many of the joined alarms voted for truth_episode / total.
+  int truth_votes = 0;
+  int total_votes = 0;
+};
+
+/// Point-in-time sessionizer counters (also mirrored into stream/*
+/// metrics by the pipeline).
+struct SessionizerStats {
+  uint64_t events = 0;
+  uint64_t late_drops = 0;
+  uint64_t duplicate_alarms = 0;
+  uint64_t overflow_drops = 0;
+  /// Normal KPI readings and successful signaling hops (not symptoms).
+  uint64_t background_events = 0;
+  /// Symptoms (KPI excursions / rejects) with no open window to join.
+  uint64_t orphan_symptoms = 0;
+  uint64_t episodes_flushed = 0;
+  size_t open_windows = 0;
+  /// Events currently buffered across all open windows.
+  size_t window_occupancy = 0;
+  /// Current watermark (event-time seconds; -inf before the first event).
+  double watermark = 0.0;
+  /// Newest arrival seen minus the watermark: the out-of-orderness the
+  /// sessionizer is currently absorbing.
+  double watermark_lag = 0.0;
+};
+
+/// Event-time sessionizer: correlates an arrival-ordered event stream into
+/// candidate fault episodes using per-element windows keyed off the
+/// propagation topology.
+///
+///   - An alarm joins the oldest open window that already holds an alarm
+///     on the same element or a topology neighbour of it (fault
+///     propagation is local) and whose span bound admits the event;
+///     otherwise it opens a new window.
+///   - KPI excursions and signaling rejects join the oldest window
+///     covering their element; they never open windows (alarm-driven
+///     sessionization). Normal readings and successful hops are counted
+///     as background and discarded.
+///   - The watermark trails the newest occurrence time seen by
+///     `watermark_delay`. Events older than the watermark are counted as
+///     late drops. Windows flush once the watermark passes their span or
+///     idle bound; flush order is deterministic (open order).
+///
+/// Single-threaded by design: Offer must be called from one thread in
+/// stream order, which is what makes replay deterministic.
+class Sessionizer {
+ public:
+  Sessionizer(const synth::WorldModel& world, const WindowConfig& config);
+
+  /// Feeds one event; appends any windows the advancing watermark flushed
+  /// to `flushed`.
+  void Offer(const synth::StreamEvent& event,
+             std::vector<EpisodeCandidate>* flushed);
+
+  /// Flushes every open window regardless of watermark (end of stream).
+  /// Safe on an empty sessionizer (flushes nothing).
+  void FlushAll(std::vector<EpisodeCandidate>* flushed);
+
+  const SessionizerStats& stats() const { return stats_; }
+  const WindowConfig& config() const { return config_; }
+
+  /// True when `value` reads as a fault excursion for `kpi_type` under the
+  /// configured threshold.
+  bool IsExcursion(int kpi_type, float value) const;
+
+ private:
+  struct Window {
+    int id = 0;
+    double open_time = 0.0;
+    double last_time = 0.0;
+    std::vector<synth::AlarmEvent> alarms;
+    std::vector<synth::KpiReading> excursions;
+    std::vector<synth::SignalingRecord> rejects;
+    std::vector<int> episode_votes;  // provenance of each joined alarm
+    /// Elements carrying at least one alarm of this window.
+    std::vector<int> elements;
+  };
+
+  void Advance(double event_time, double arrival_time,
+               std::vector<EpisodeCandidate>* flushed);
+  void FlushWindow(Window&& window, std::vector<EpisodeCandidate>* flushed);
+  /// Oldest open window admitting an alarm on `element` at `time`;
+  /// windows_.end() when none. `adjacent` widens the match to topology
+  /// neighbours (alarms join via adjacency, KPI/signaling symptoms only
+  /// via exact element membership).
+  std::vector<Window>::iterator FindWindow(int element, double time,
+                                           bool adjacent);
+  size_t TotalOccupancy() const;
+
+  const synth::WorldModel& world_;
+  WindowConfig config_;
+  SessionizerStats stats_;
+  std::vector<Window> windows_;  // open order == flush order
+  int next_window_id_ = 0;
+  double max_time_seen_ = 0.0;
+  double max_arrival_seen_ = 0.0;
+  bool saw_event_ = false;
+};
+
+/// Deterministic query surface for a candidate: the distinct alarm
+/// surfaces in first-seen order (the root alarm leads — it opened the
+/// window), followed by the distinct excursed KPI names and the reject
+/// count. This is the text the pipeline drives through ServeEngine.
+std::string EpisodeQueryText(const synth::WorldModel& world,
+                             const EpisodeCandidate& candidate);
+
+}  // namespace stream
+}  // namespace telekit
+
+#endif  // TELEKIT_STREAM_SESSIONIZER_H_

@@ -1,0 +1,180 @@
+#include "synth/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace telekit {
+namespace synth {
+
+namespace {
+
+/// Deterministic total order on stream events: arrival first, then
+/// occurrence time, then kind, then payload identity. Two distinct events
+/// never compare equal, so std::sort needs no stability guarantee for the
+/// stream to be reproducible.
+bool EventBefore(const StreamEvent& a, const StreamEvent& b) {
+  auto key = [](const StreamEvent& e) {
+    int id0 = 0;
+    int id1 = 0;
+    switch (e.kind) {
+      case StreamEvent::Kind::kAlarm:
+        id0 = e.alarm.alarm_type;
+        id1 = e.alarm.element;
+        break;
+      case StreamEvent::Kind::kKpi:
+        id0 = e.kpi.kpi_type;
+        id1 = e.kpi.element;
+        break;
+      case StreamEvent::Kind::kSignaling:
+        id0 = e.signaling.src_element;
+        id1 = e.signaling.dst_element;
+        break;
+    }
+    return std::make_tuple(e.arrival, e.time, static_cast<int>(e.kind),
+                           e.episode_id, id0, id1);
+  };
+  return key(a) < key(b);
+}
+
+/// Re-bases a signaling run (whose generator stamps times on its own
+/// 0..100 clock) so its first record lands at `start`, preserving the
+/// intra-run spacing.
+void RebaseRun(std::vector<SignalingRecord>* run, double start) {
+  if (run->empty()) return;
+  const double base = run->front().time;
+  for (SignalingRecord& record : *run) {
+    record.time = start + (record.time - base);
+  }
+}
+
+}  // namespace
+
+std::vector<ScheduledEpisode> ScheduleEpisodes(
+    const LogGenerator& log_gen, const SignalingFlowGenerator& signaling_gen,
+    const ReplayConfig& config, Rng& rng) {
+  TELEKIT_CHECK_GE(config.num_episodes, 0);
+  std::vector<ScheduledEpisode> episodes;
+  episodes.reserve(static_cast<size_t>(config.num_episodes));
+  double clock = 0.0;
+  for (int i = 0; i < config.num_episodes; ++i) {
+    // Exponential inter-arrival gap; episodes may overlap when a gap is
+    // shorter than the previous episode's propagation span.
+    clock += -config.mean_episode_gap * std::log(1.0 - rng.Uniform());
+    ScheduledEpisode scheduled;
+    scheduled.start_time = clock;
+    scheduled.episode = log_gen.Simulate(rng);
+    double episode_span = 0.0;
+    for (const AlarmEvent& event : scheduled.episode.events) {
+      episode_span = std::max(episode_span, event.time);
+    }
+    for (int run = 0; run < config.signaling_runs_per_episode; ++run) {
+      std::vector<SignalingRecord> records =
+          signaling_gen.SimulateDuringEpisode(scheduled.episode, rng);
+      RebaseRun(&records, rng.Uniform(0.0, std::max(episode_span, 0.5)));
+      scheduled.signaling.insert(scheduled.signaling.end(), records.begin(),
+                                 records.end());
+    }
+    episodes.push_back(std::move(scheduled));
+  }
+  return episodes;
+}
+
+std::vector<StreamEvent> BuildReplayStream(
+    const LogGenerator& log_gen, const SignalingFlowGenerator& signaling_gen,
+    const std::vector<ScheduledEpisode>& episodes, const ReplayConfig& config,
+    Rng& rng) {
+  std::vector<StreamEvent> stream;
+  double horizon = 1.0;
+
+  auto jittered = [&config, &rng](double time) {
+    return config.jitter > 0.0 ? time + rng.Uniform(0.0, config.jitter)
+                               : time;
+  };
+
+  for (size_t i = 0; i < episodes.size(); ++i) {
+    const ScheduledEpisode& scheduled = episodes[i];
+    for (const AlarmEvent& alarm : scheduled.episode.events) {
+      StreamEvent event;
+      event.kind = StreamEvent::Kind::kAlarm;
+      event.episode_id = static_cast<int>(i);
+      event.alarm = alarm;
+      event.time = scheduled.start_time + alarm.time;
+      event.arrival = jittered(event.time);
+      horizon = std::max(horizon, event.time);
+      stream.push_back(std::move(event));
+    }
+    for (const KpiReading& reading : scheduled.episode.readings) {
+      // Only the fault excursions belong to the episode's local timeline;
+      // the episode's normal context readings are folded into background
+      // traffic below instead (their generated times span a fixed window
+      // unrelated to the episode).
+      if (!reading.anomalous) continue;
+      StreamEvent event;
+      event.kind = StreamEvent::Kind::kKpi;
+      event.episode_id = static_cast<int>(i);
+      event.kpi = reading;
+      event.time = scheduled.start_time + reading.time;
+      event.arrival = jittered(event.time);
+      horizon = std::max(horizon, event.time);
+      stream.push_back(std::move(event));
+    }
+    for (const SignalingRecord& record : scheduled.signaling) {
+      StreamEvent event;
+      event.kind = StreamEvent::Kind::kSignaling;
+      event.episode_id = static_cast<int>(i);
+      event.signaling = record;
+      event.time = scheduled.start_time + record.time;
+      event.arrival = jittered(event.time);
+      horizon = std::max(horizon, event.time);
+      stream.push_back(std::move(event));
+    }
+  }
+
+  // Background: normal KPI readings and healthy procedure runs spread over
+  // the whole timeline. Their episode_id stays -1.
+  std::vector<KpiReading> readings =
+      log_gen.NormalReadings(config.background_readings, rng);
+  for (KpiReading& reading : readings) {
+    StreamEvent event;
+    event.kind = StreamEvent::Kind::kKpi;
+    reading.time = rng.Uniform(0.0, horizon);
+    event.kpi = reading;
+    event.time = reading.time;
+    event.arrival = jittered(event.time);
+    stream.push_back(std::move(event));
+  }
+  for (int i = 0; i < config.background_procedures; ++i) {
+    std::vector<SignalingRecord> run = signaling_gen.SimulateProcedure(rng);
+    RebaseRun(&run, rng.Uniform(0.0, horizon));
+    for (const SignalingRecord& record : run) {
+      StreamEvent event;
+      event.kind = StreamEvent::Kind::kSignaling;
+      event.signaling = record;
+      event.time = record.time;
+      event.arrival = jittered(event.time);
+      stream.push_back(std::move(event));
+    }
+  }
+
+  std::sort(stream.begin(), stream.end(), EventBefore);
+  return stream;
+}
+
+void SimClock::SleepUntil(double sim_time) {
+  if (!paced()) return;
+  if (!started_) {
+    epoch_ = std::chrono::steady_clock::now();
+    started_ = true;
+  }
+  const auto due =
+      epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(sim_time / speedup_));
+  std::this_thread::sleep_until(due);
+}
+
+}  // namespace synth
+}  // namespace telekit

@@ -1,0 +1,107 @@
+#ifndef TELEKIT_SYNTH_REPLAY_H_
+#define TELEKIT_SYNTH_REPLAY_H_
+
+#include <chrono>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/log.h"
+#include "synth/signaling.h"
+#include "synth/world.h"
+
+namespace telekit {
+namespace synth {
+
+/// One fault episode placed on the shared stream timeline: the episode's
+/// relative event/reading times are interpreted as offsets from
+/// `start_time`, and `signaling` holds the procedure runs simulated while
+/// the episode was active (re-based onto the same offsets).
+struct ScheduledEpisode {
+  double start_time = 0.0;
+  Episode episode;
+  std::vector<SignalingRecord> signaling;
+};
+
+/// One element of the interleaved alarm/KPI/signaling stream. Exactly one
+/// of the three payloads is meaningful, selected by `kind`. `time` is the
+/// occurrence time on the shared simulation clock; `arrival` is the
+/// delivery time (time + transport jitter), which is the order the stream
+/// is replayed in — so a consumer observes bounded out-of-order delivery.
+struct StreamEvent {
+  enum class Kind { kAlarm, kKpi, kSignaling };
+  Kind kind = Kind::kAlarm;
+  double time = 0.0;
+  double arrival = 0.0;
+  /// Index into the ScheduledEpisode vector this event belongs to; -1 for
+  /// background traffic. Ground truth for evaluation only — the streaming
+  /// consumer never reads it.
+  int episode_id = -1;
+  AlarmEvent alarm;
+  KpiReading kpi;
+  SignalingRecord signaling;
+};
+
+/// Replay-stream generation parameters.
+struct ReplayConfig {
+  /// Fault episodes on the timeline.
+  int num_episodes = 20;
+  /// Mean gap between consecutive episode starts (exponential arrivals).
+  double mean_episode_gap = 12.0;
+  /// Signaling procedure runs simulated during each episode.
+  int signaling_runs_per_episode = 2;
+  /// Normal background KPI readings spread over the whole timeline.
+  int background_readings = 128;
+  /// Healthy background signaling procedure runs.
+  int background_procedures = 8;
+  /// Max transport jitter: arrival = time + U(0, jitter). Keep below the
+  /// consumer's watermark delay or events will be dropped as late.
+  double jitter = 0.5;
+};
+
+/// Schedules `config.num_episodes` fault episodes onto one timeline with
+/// exponential inter-arrival gaps, simulating each episode's alarms/KPIs
+/// and its in-episode signaling runs. Deterministic given `rng`.
+std::vector<ScheduledEpisode> ScheduleEpisodes(const LogGenerator& log_gen,
+                                               const SignalingFlowGenerator&
+                                                   signaling_gen,
+                                               const ReplayConfig& config,
+                                               Rng& rng);
+
+/// Flattens scheduled episodes plus background traffic into one stream
+/// sorted by arrival time (ties broken deterministically), with per-event
+/// jitter applied. Deterministic given `rng`.
+std::vector<StreamEvent> BuildReplayStream(
+    const LogGenerator& log_gen, const SignalingFlowGenerator& signaling_gen,
+    const std::vector<ScheduledEpisode>& episodes, const ReplayConfig& config,
+    Rng& rng);
+
+/// Maps simulation seconds to wall-clock pacing. A speedup of S plays S
+/// simulated seconds per wall second; infinity (or <= 0) never sleeps, so
+/// the stream replays as fast as the consumer can drain it.
+class SimClock {
+ public:
+  explicit SimClock(double speedup) : speedup_(speedup) {}
+
+  static constexpr double kInfiniteSpeedup =
+      std::numeric_limits<double>::infinity();
+
+  /// Blocks until `sim_time` is due on the wall clock. The wall epoch is
+  /// anchored at the first call.
+  void SleepUntil(double sim_time);
+
+  bool paced() const {
+    return speedup_ > 0.0 && speedup_ != kInfiniteSpeedup;
+  }
+  double speedup() const { return speedup_; }
+
+ private:
+  double speedup_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace synth
+}  // namespace telekit
+
+#endif  // TELEKIT_SYNTH_REPLAY_H_
