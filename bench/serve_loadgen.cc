@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <future>
@@ -32,10 +33,15 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/slo_demo.h"
 #include "common/table_printer.h"
 #include "core/model_zoo.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/requestlog.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 
 namespace telekit {
@@ -51,7 +57,9 @@ struct LoadgenFlags {
   int max_batch = 8;
   int64_t max_wait_us = 2000;
   int qps = 0;              // open-loop phase target rate (0 = skip)
+  bool slo_demo = true;     // --slo-demo=0 skips the alert-lifecycle demo
   std::string out = "BENCH_serve.json";
+  std::string obs_out = "BENCH_obs.json";
 };
 
 struct RunResult {
@@ -249,6 +257,153 @@ RunResult RunOpenLoop(const core::ServiceEncoder& service,
   return result;
 }
 
+/// End-to-end SLO alert lifecycle against a live engine (ISSUE 6
+/// acceptance). The induced regression is real work, not a sleep: cache
+/// hits skip the transformer forward entirely, so the healthy phase drives
+/// a small memoized hot set and the degraded phase drives never-repeated
+/// cold texts that each pay the full encode. The latency objective's
+/// threshold sits between the two regimes (geometric mean of hot p95 and
+/// cold p50): healthy traffic burns ~nothing, degraded traffic burns the
+/// error budget at many times the firing threshold.
+obs::JsonValue RunSloAlertDemo(const core::ServiceEncoder& service,
+                               const std::vector<std::string>& names,
+                               const std::vector<std::string>& pool,
+                               bool* passed) {
+  serve::EngineOptions options;
+  options.num_workers = 0;  // Process(): latency is pure compute, no queue
+  options.enable_batching = false;
+  options.enable_cache = true;
+  serve::ServeEngine engine(&service, options);
+  for (serve::TaskOp op :
+       {serve::TaskOp::kRca, serve::TaskOp::kEap, serve::TaskOp::kFct}) {
+    TELEKIT_CHECK(engine.LoadCatalog(op, names).ok());
+  }
+
+  const size_t hot = std::min<size_t>(8, pool.size());
+  int hot_seq = 0;
+  int cold_seq = 0;
+  auto hot_request = [&]() {
+    serve::Request request;
+    request.op = serve::TaskOp::kRca;
+    request.text = pool[static_cast<size_t>(hot_seq++) % hot];
+    request.top_k = 5;
+    return engine.Process(request);
+  };
+  auto cold_request = [&]() {
+    const int seq = cold_seq++;
+    serve::Request request;
+    request.op = serve::TaskOp::kRca;
+    request.text = "slo demo cold surface " + std::to_string(seq) + " " +
+                   pool[static_cast<size_t>(seq) % pool.size()];
+    request.top_k = 5;
+    return engine.Process(request);
+  };
+
+  // Probe both regimes to place the threshold between them.
+  obs::LatencyHistogram hot_hist;
+  obs::LatencyHistogram cold_hist;
+  for (size_t i = 0; i < 2 * hot; ++i) hot_request();  // warm the cache
+  for (int i = 0; i < 200; ++i) hot_hist.Observe(hot_request().total_ms);
+  for (int i = 0; i < 30; ++i) cold_hist.Observe(cold_request().total_ms);
+  const double hot_p95 = hot_hist.Quantile(0.95);
+  const double cold_p50 = cold_hist.Quantile(0.50);
+  double threshold_ms = std::sqrt(hot_p95 * cold_p50);
+  // Degenerate separation would leave no boundary to trip; fall back to a
+  // multiple of the healthy tail so the demo still means something.
+  const bool regimes_separate = cold_p50 > hot_p95 * 1.5;
+  if (!regimes_separate) threshold_ms = hot_p95 * 2.0;
+
+  // Compressed burn windows so the lifecycle completes in seconds; the
+  // daemons run the same machinery at 60 s / 300 s.
+  obs::TimeSeriesOptions ts_options;
+  ts_options.interval_s = 0.1;
+  ts_options.capacity = 1024;
+  obs::TimeSeriesStore store(ts_options);
+  obs::SloConfig slo_config;
+  slo_config.fast_window_s = 1.5;
+  slo_config.slow_window_s = 4.0;
+  slo_config.budget_window_s = 24.0;
+  slo_config.burn_threshold = 1.5;
+  obs::SloEngine slo(&store, slo_config);
+  obs::SloObjective objective;
+  objective.name = "serve/latency_demo";
+  objective.kind = obs::SloObjective::Kind::kLatency;
+  objective.histogram = "serve/request_ms";
+  objective.threshold_ms = threshold_ms;
+  objective.target = 0.9;
+  slo.AddObjective(objective);
+  store.SetOnSample([&slo](double now_s) { slo.Evaluate(now_s); });
+  store.Start();
+
+  SloDemoPhases phases;
+  phases.healthy_s = slo_config.slow_window_s + 1.0;
+  const SloDemoResult lifecycle = RunSloAlertLifecycle(
+      store, slo, objective.name,
+      [&] {
+        hot_request();
+        // Pace the hot phase near the degraded rate so the slow window is
+        // not dominated by sheer healthy volume when the regression hits.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      },
+      [&] { cold_request(); }, phases);
+  store.Stop();
+
+  // Exemplar acceptance: the latest exemplar in a latency bucket must
+  // resolve through the wide-event log to a request whose total_us matches
+  // (both derive from the same response.total_ms).
+  const serve::Response probe = cold_request();
+  const double le = obs::LatencyHistogram::BucketUpperMs(
+      obs::LatencyHistogram::BucketIndex(probe.total_ms));
+  obs::ExemplarStore::Exemplar exemplar;
+  const bool exemplar_found =
+      obs::ExemplarStore::Global().Find("serve/request_ms", le, &exemplar);
+  obs::RequestLog::Filter filter;
+  filter.trace_id = exemplar.trace_id;
+  const std::vector<obs::WideEvent> events =
+      obs::RequestLog::Global().Query(filter);
+  const bool exemplar_matches =
+      exemplar_found && !events.empty() &&
+      std::llabs(static_cast<long long>(events.front().total_us) -
+                 static_cast<long long>(exemplar.value_ms * 1000.0)) <= 10;
+
+  *passed = lifecycle.ok() && exemplar_matches;
+  std::cout << "\nSLO alert demo (threshold " << threshold_ms
+            << " ms, hot p95 " << hot_p95 << " ms, cold p50 " << cold_p50
+            << " ms)\n  fired: " << (lifecycle.fired ? "yes" : "NO")
+            << " (detection lag " << lifecycle.detection_lag_s
+            << " s), resolved: " << (lifecycle.resolved ? "yes" : "NO")
+            << " (firing interval " << lifecycle.firing_interval_s
+            << " s)\n  exemplar -> wide event match: "
+            << (exemplar_matches ? "yes" : "NO") << "\n";
+
+  obs::JsonValue section = SloDemoResultToJson(lifecycle);
+  section.Set("objective", obs::JsonValue(objective.name));
+  section.Set("histogram", obs::JsonValue(objective.histogram));
+  section.Set("threshold_ms", obs::JsonValue(threshold_ms));
+  section.Set("hot_p95_ms", obs::JsonValue(hot_p95));
+  section.Set("cold_p50_ms", obs::JsonValue(cold_p50));
+  section.Set("regimes_separate", obs::JsonValue(regimes_separate));
+  section.Set("target", obs::JsonValue(objective.target));
+  section.Set("ts_interval_s", obs::JsonValue(ts_options.interval_s));
+  section.Set("fast_window_s", obs::JsonValue(slo_config.fast_window_s));
+  section.Set("slow_window_s", obs::JsonValue(slo_config.slow_window_s));
+  section.Set("burn_threshold", obs::JsonValue(slo_config.burn_threshold));
+  obs::JsonValue exemplar_json = obs::JsonValue::Object();
+  exemplar_json.Set("found", obs::JsonValue(exemplar_found));
+  exemplar_json.Set("trace_id",
+                    obs::JsonValue(obs::TraceIdToHex(exemplar.trace_id)));
+  exemplar_json.Set("value_ms", obs::JsonValue(exemplar.value_ms));
+  exemplar_json.Set("wide_event_total_us",
+                    obs::JsonValue(events.empty()
+                                       ? static_cast<int64_t>(-1)
+                                       : static_cast<int64_t>(
+                                             events.front().total_us)));
+  exemplar_json.Set("matches", obs::JsonValue(exemplar_matches));
+  section.Set("exemplar", std::move(exemplar_json));
+  section.Set("passed", obs::JsonValue(*passed));
+  return section;
+}
+
 obs::JsonValue ResultToJson(const RunResult& result) {
   obs::JsonValue out = obs::JsonValue::Object();
   out.Set("name", obs::JsonValue(result.name));
@@ -281,7 +436,10 @@ int Main(int argc, char** argv) {
     else if (const char* v = value("max-wait-us"))
       flags.max_wait_us = std::atoll(v);
     else if (const char* v = value("qps")) flags.qps = std::atoi(v);
+    else if (const char* v = value("slo-demo"))
+      flags.slo_demo = std::atoi(v) != 0;
     else if (const char* v = value("out")) flags.out = v;
+    else if (const char* v = value("obs-out")) flags.obs_out = v;
   }
 
   // An untrained encoder has identical per-request compute to a trained
@@ -357,7 +515,19 @@ int Main(int argc, char** argv) {
   std::ofstream out(flags.out);
   out << report.Dump(2) << "\n";
   std::cout << "wrote " << flags.out << "\n";
-  return engine_speedup >= 3.0 ? 0 : 1;
+
+  bool demo_passed = true;
+  if (flags.slo_demo) {
+    demo_passed = false;
+    obs::JsonValue demo = RunSloAlertDemo(service, names, pool, &demo_passed);
+    if (MergeObsReport(flags.obs_out, "serve_alert_demo", std::move(demo))) {
+      std::cout << "wrote " << flags.obs_out << "\n";
+    } else {
+      std::cout << "FAILED to write " << flags.obs_out << "\n";
+      demo_passed = false;
+    }
+  }
+  return engine_speedup >= 3.0 && demo_passed ? 0 : 1;
 }
 
 }  // namespace

@@ -19,17 +19,23 @@
 // offline consistency, not the absolute accuracy.
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/slo_demo.h"
 #include "common/table_printer.h"
 #include "core/model_zoo.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "serve/engine.h"
 #include "stream/pipeline.h"
 #include "synth/replay.h"
@@ -44,7 +50,9 @@ struct LoadgenFlags {
   double mean_gap = 12.0;
   int workers = 4;
   int max_batch = 8;
+  bool slo_demo = true;  // --slo-demo=0 skips the alert-lifecycle demo
   std::string out = "BENCH_stream.json";
+  std::string obs_out = "BENCH_obs.json";
 };
 
 struct RunResult {
@@ -79,6 +87,150 @@ RunResult RunPipeline(const std::string& name, const core::ModelZoo& zoo,
   result.detect_p50_ms = detect.Quantile(0.50);
   result.detect_p99_ms = detect.Quantile(0.99);
   return result;
+}
+
+/// End-to-end SLO alert lifecycle on the detection-latency objective
+/// (ISSUE 6 acceptance). Ticks replay the same tiny episode slice through
+/// two differently-provisioned pipelines: the healthy one has the full
+/// worker pool and a warm service-vector cache, the degraded one is
+/// starved (1 worker, cache off, tight in-flight bound), so every episode
+/// pays serialized full forwards and stream/detect_ms genuinely inflates.
+obs::JsonValue RunSloAlertDemo(const core::ModelZoo& zoo,
+                               const core::ServiceEncoder& service,
+                               const std::vector<std::string>& names,
+                               synth::LogGenerator& log_gen,
+                               synth::SignalingFlowGenerator& signaling_gen,
+                               const LoadgenFlags& flags, bool* passed) {
+  // One 3-episode replay slice, reused by every healthy tick (repeat
+  // queries keep the healthy engine's cache warm). Degraded ticks replay
+  // a larger burst: on the starved engine every episode's ops queue up
+  // behind the whole burst, so detection latency inflates with real queue
+  // buildup rather than an artificial sleep.
+  auto make_slice = [&](int num_episodes, uint64_t salt) {
+    synth::ReplayConfig replay;
+    replay.num_episodes = num_episodes;
+    replay.mean_episode_gap = 0.5;
+    Rng rng(flags.seed ^ salt);
+    const std::vector<synth::ScheduledEpisode> episodes =
+        synth::ScheduleEpisodes(log_gen, signaling_gen, replay, rng);
+    return synth::BuildReplayStream(log_gen, signaling_gen, episodes, replay,
+                                    rng);
+  };
+  const std::vector<synth::StreamEvent> events =
+      make_slice(3, 0x534c4f44454d4fULL);
+  const std::vector<synth::StreamEvent> burst_events =
+      make_slice(10, 0x4255525354ULL);
+
+  serve::EngineOptions healthy_options;
+  healthy_options.num_workers = std::max(2, flags.workers);
+  healthy_options.max_batch = flags.max_batch;
+  healthy_options.queue_capacity = 1024;
+  serve::ServeEngine healthy_engine(&service, healthy_options);
+  serve::EngineOptions degraded_options;
+  degraded_options.num_workers = 1;
+  degraded_options.max_batch = 1;
+  degraded_options.queue_capacity = 64;
+  degraded_options.enable_cache = false;
+  serve::ServeEngine degraded_engine(&service, degraded_options);
+  for (serve::TaskOp op :
+       {serve::TaskOp::kRca, serve::TaskOp::kEap, serve::TaskOp::kFct}) {
+    TELEKIT_CHECK(healthy_engine.LoadCatalog(op, names).ok());
+    TELEKIT_CHECK(degraded_engine.LoadCatalog(op, names).ok());
+  }
+  stream::PipelineConfig healthy_config;
+  healthy_config.deterministic = false;
+  healthy_config.max_in_flight = 8;
+  stream::PipelineConfig degraded_config;
+  degraded_config.deterministic = false;
+  degraded_config.max_in_flight = 4;
+  degraded_config.submit_block_ms = 2000.0;
+
+  auto run_tick = [&](serve::ServeEngine* engine,
+                      const stream::PipelineConfig& config,
+                      const std::vector<synth::StreamEvent>& tick_events,
+                      obs::LatencyHistogram* hist) {
+    stream::StreamPipeline pipeline(zoo.world(), engine, config);
+    pipeline.Run(tick_events, [&](stream::EpisodeVerdict verdict) {
+      if (verdict.ok && hist != nullptr) hist->Observe(verdict.detect_ms);
+    });
+  };
+
+  // Probe both regimes to place the threshold between them.
+  obs::LatencyHistogram healthy_hist;
+  obs::LatencyHistogram degraded_hist;
+  for (int i = 0; i < 5; ++i) {  // first pass warms the cache, unmeasured
+    run_tick(&healthy_engine, healthy_config, events,
+             i == 0 ? nullptr : &healthy_hist);
+  }
+  for (int i = 0; i < 3; ++i) {
+    run_tick(&degraded_engine, degraded_config, burst_events, &degraded_hist);
+  }
+  const double healthy_p95 = healthy_hist.Quantile(0.95);
+  const double degraded_p50 = degraded_hist.Quantile(0.50);
+  double threshold_ms = std::sqrt(healthy_p95 * degraded_p50);
+  const bool regimes_separate = degraded_p50 > healthy_p95 * 1.5;
+  if (!regimes_separate) threshold_ms = healthy_p95 * 2.0;
+
+  // Compressed burn windows so the lifecycle completes in seconds; the
+  // daemons run the same machinery at 60 s / 300 s.
+  obs::TimeSeriesOptions ts_options;
+  ts_options.interval_s = 0.1;
+  ts_options.capacity = 1024;
+  obs::TimeSeriesStore store(ts_options);
+  obs::SloConfig slo_config;
+  slo_config.fast_window_s = 1.5;
+  slo_config.slow_window_s = 4.0;
+  slo_config.budget_window_s = 24.0;
+  slo_config.burn_threshold = 1.5;
+  obs::SloEngine slo(&store, slo_config);
+  obs::SloObjective objective;
+  objective.name = "stream/detect_demo";
+  objective.kind = obs::SloObjective::Kind::kLatency;
+  objective.histogram = "stream/detect_ms";
+  objective.threshold_ms = threshold_ms;
+  objective.target = 0.9;
+  slo.AddObjective(objective);
+  store.SetOnSample([&slo](double now_s) { slo.Evaluate(now_s); });
+  store.Start();
+
+  SloDemoPhases phases;
+  phases.healthy_s = slo_config.slow_window_s + 1.0;
+  const SloDemoResult lifecycle = RunSloAlertLifecycle(
+      store, slo, objective.name,
+      [&] {
+        run_tick(&healthy_engine, healthy_config, events, nullptr);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      },
+      [&] {
+        run_tick(&degraded_engine, degraded_config, burst_events, nullptr);
+      },
+      phases);
+  store.Stop();
+  healthy_engine.Stop();
+  degraded_engine.Stop();
+
+  *passed = lifecycle.ok();
+  std::cout << "\nstream SLO alert demo (threshold " << threshold_ms
+            << " ms, healthy p95 " << healthy_p95 << " ms, degraded p50 "
+            << degraded_p50 << " ms)\n  fired: "
+            << (lifecycle.fired ? "yes" : "NO") << " (detection lag "
+            << lifecycle.detection_lag_s << " s), resolved: "
+            << (lifecycle.resolved ? "yes" : "NO") << " (firing interval "
+            << lifecycle.firing_interval_s << " s)\n";
+
+  obs::JsonValue section = SloDemoResultToJson(lifecycle);
+  section.Set("objective", obs::JsonValue(objective.name));
+  section.Set("histogram", obs::JsonValue(objective.histogram));
+  section.Set("threshold_ms", obs::JsonValue(threshold_ms));
+  section.Set("healthy_p95_ms", obs::JsonValue(healthy_p95));
+  section.Set("degraded_p50_ms", obs::JsonValue(degraded_p50));
+  section.Set("regimes_separate", obs::JsonValue(regimes_separate));
+  section.Set("target", obs::JsonValue(objective.target));
+  section.Set("ts_interval_s", obs::JsonValue(ts_options.interval_s));
+  section.Set("fast_window_s", obs::JsonValue(slo_config.fast_window_s));
+  section.Set("slow_window_s", obs::JsonValue(slo_config.slow_window_s));
+  section.Set("burn_threshold", obs::JsonValue(slo_config.burn_threshold));
+  return section;
 }
 
 obs::JsonValue ResultToJson(const RunResult& result) {
@@ -123,7 +275,10 @@ int Main(int argc, char** argv) {
     else if (const char* v = value("mean-gap")) flags.mean_gap = std::atof(v);
     else if (const char* v = value("workers")) flags.workers = std::atoi(v);
     else if (const char* v = value("max-batch")) flags.max_batch = std::atoi(v);
+    else if (const char* v = value("slo-demo"))
+      flags.slo_demo = std::atoi(v) != 0;
     else if (const char* v = value("out")) flags.out = v;
+    else if (const char* v = value("obs-out")) flags.obs_out = v;
   }
 
   // Same scale as telekit_streamd's default zoo: untrained encoder (same
@@ -289,7 +444,20 @@ int Main(int argc, char** argv) {
   std::ofstream out(flags.out);
   out << report.Dump(2) << "\n";
   std::cout << "wrote " << flags.out << "\n";
-  return online_matches_offline && conservation ? 0 : 1;
+
+  bool demo_passed = true;
+  if (flags.slo_demo) {
+    demo_passed = false;
+    obs::JsonValue demo = RunSloAlertDemo(zoo, service, names, log_gen,
+                                          signaling_gen, flags, &demo_passed);
+    if (MergeObsReport(flags.obs_out, "stream_alert_demo", std::move(demo))) {
+      std::cout << "wrote " << flags.obs_out << "\n";
+    } else {
+      std::cout << "FAILED to write " << flags.obs_out << "\n";
+      demo_passed = false;
+    }
+  }
+  return online_matches_offline && conservation && demo_passed ? 0 : 1;
 }
 
 }  // namespace

@@ -7,7 +7,12 @@
 #      observability code fail loudly instead of scrolling by.
 #   4. admin smoke: start telekit_serve with --admin-port on loopback,
 #      poll /healthz until live, assert /metrics serves a non-empty
-#      Prometheus exposition, and shut the server down cleanly.
+#      Prometheus exposition, then drive one traced request through the
+#      TCP protocol and assert the observability loop closes end to end:
+#      /timeseriesz accumulates samples, /alertz is healthy on a clean
+#      run, a /metrics latency bucket carries a trace exemplar whose id
+#      resolves via /requestz to a wide event with matching total_us, and
+#      the --request-log NDJSON round-trips through telekit_jsonlint.
 #   5. streamd smoke: replay a small seeded stream through telekit_streamd
 #      with --linger, assert /statusz reports a finished run with >0
 #      episodes and 0 late drops, and that the per-op serve counters made
@@ -35,26 +40,30 @@ ctest --test-dir build --output-on-failure -j
 echo "== [3/5] -Werror build of the obs + stream layers =="
 cmake -B build_strict -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
 cmake --build build_strict -j --target telekit_obs obs_test obs_admin_test \
-  telekit_stream stream_test
+  obs_timeseries_test telekit_stream stream_test
 ./build_strict/tests/obs_test --gtest_brief=1
 ./build_strict/tests/obs_admin_test --gtest_brief=1
+./build_strict/tests/obs_timeseries_test --gtest_brief=1
 ./build_strict/tests/stream_test --gtest_brief=1
 
 echo "== [4/5] admin endpoint smoke =="
 SERVE_PORT=18473
 ADMIN_PORT=18474
 SERVE_LOG=$(mktemp)
+REQUEST_LOG=$(mktemp)
 # TCP mode (not stdin) so the server stays up while we scrape it.
-# --compute-threads=2 smoke-checks the intra-op pool flag end to end.
+# --compute-threads=2 smoke-checks the intra-op pool flag end to end;
+# --ts-interval-s=0.2 makes the sampler tick fast enough to observe.
 ./build/src/serve/telekit_serve --port="${SERVE_PORT}" \
   --admin-port="${ADMIN_PORT}" --slow-request-ms=100 \
-  --compute-threads=2 \
+  --compute-threads=2 --ts-interval-s=0.2 \
+  --request-log="${REQUEST_LOG}" \
   >"${SERVE_LOG}" 2>&1 &
 SERVE_PID=$!
 cleanup() {
   kill "${SERVE_PID}" 2>/dev/null || true
   wait "${SERVE_PID}" 2>/dev/null || true
-  rm -f "${SERVE_LOG}"
+  rm -f "${SERVE_LOG}" "${REQUEST_LOG}"
 }
 trap cleanup EXIT
 
@@ -84,11 +93,85 @@ if [[ -z "${METRICS}" ]] || ! grep -q "telekit_" <<<"${METRICS}"; then
   echo "admin smoke: /metrics exposition empty or missing telekit_ prefix"
   exit 1
 fi
+
+# Drive one traced request through the NDJSON TCP protocol so the wide-event
+# log, exemplar store, and latency histograms all see real traffic.
+exec 3<>"/dev/tcp/127.0.0.1/${SERVE_PORT}"
+printf '{"op": "rca", "text": "ospf neighbor down on core router", "trace": true}\n' >&3
+IFS= read -r SERVE_REPLY <&3 || true
+exec 3<&- 3>&-
+if ! grep -Eq '"ok": ?true' <<<"${SERVE_REPLY}"; then
+  echo "admin smoke: traced rca request failed: ${SERVE_REPLY}"
+  exit 1
+fi
+
+# The background sampler (0.2 s period) must accumulate history.
+SAMPLES=0
+for _ in $(seq 1 50); do
+  TIMESERIES=$(curl -sf -m 2 \
+    "http://127.0.0.1:${ADMIN_PORT}/timeseriesz?window=60" 2>/dev/null || true)
+  SAMPLES=$(sed -n 's/.*"samples_taken": \([0-9]*\).*/\1/p' <<<"${TIMESERIES}")
+  [[ -n "${SAMPLES}" && "${SAMPLES}" -ge 2 ]] && break
+  sleep 0.2
+done
+if [[ -z "${SAMPLES}" || "${SAMPLES}" -lt 2 ]]; then
+  echo "admin smoke: /timeseriesz never accumulated 2 samples: ${TIMESERIES}"
+  exit 1
+fi
+if ! grep -q '"serve/request_ms/p95"' <<<"${TIMESERIES}"; then
+  echo "admin smoke: /timeseriesz missing serve/request_ms quantile series"
+  exit 1
+fi
+
+# A clean run must not have any SLO alert firing.
+ALERTZ=$(curl -sf -m 2 "http://127.0.0.1:${ADMIN_PORT}/alertz")
+if ! grep -q '"firing": 0' <<<"${ALERTZ}"; then
+  echo "admin smoke: /alertz reports firing alerts on a clean run: ${ALERTZ}"
+  exit 1
+fi
+
+# Close the exemplar loop: a latency bucket line in /metrics carries
+# ` # {trace_id="..."} value_ms unix_s`; that trace id must resolve via
+# /requestz to a wide event whose total_us matches value_ms within 10 us.
+METRICS2=$(curl -sf -m 2 "http://127.0.0.1:${ADMIN_PORT}/metrics")
+EXEMPLAR_LINE=$(grep 'telekit_serve_request_ms_bucket{le="[^+]*"} .* # {trace_id="' \
+  <<<"${METRICS2}" | head -1)
+if [[ -z "${EXEMPLAR_LINE}" ]]; then
+  echo "admin smoke: /metrics has no exemplar on serve_request_ms buckets"
+  exit 1
+fi
+EXEMPLAR_TRACE=$(sed -n 's/.*# {trace_id="\([0-9a-f]*\)"}.*/\1/p' <<<"${EXEMPLAR_LINE}")
+EXEMPLAR_MS=$(sed -n 's/.*# {trace_id="[0-9a-f]*"} \([0-9.eE+-]*\) .*/\1/p' \
+  <<<"${EXEMPLAR_LINE}")
+REQUESTZ=$(curl -sf -m 2 \
+  "http://127.0.0.1:${ADMIN_PORT}/requestz?trace_id=${EXEMPLAR_TRACE}")
+WIDE_US=$(sed -n 's/.*"total_us": \([0-9]*\).*/\1/p' <<<"${REQUESTZ}" | head -1)
+if [[ -z "${WIDE_US}" ]]; then
+  echo "admin smoke: exemplar trace ${EXEMPLAR_TRACE} not found in /requestz"
+  exit 1
+fi
+if ! awk -v us="${WIDE_US}" -v ms="${EXEMPLAR_MS}" \
+    'BEGIN { d = us - ms * 1000; if (d < 0) d = -d; exit (d <= 10) ? 0 : 1 }'; then
+  echo "admin smoke: exemplar value ${EXEMPLAR_MS} ms disagrees with wide event ${WIDE_US} us"
+  exit 1
+fi
+
 kill "${SERVE_PID}"
 wait "${SERVE_PID}" 2>/dev/null || true
 trap - EXIT
-rm -f "${SERVE_LOG}"
-echo "admin smoke: OK (/healthz + /readyz + /statusz live, /metrics non-empty)"
+
+# The NDJSON request log must round-trip through the repo's own parser.
+if [[ ! -s "${REQUEST_LOG}" ]]; then
+  echo "admin smoke: --request-log sink is empty"
+  exit 1
+fi
+if ! ./build/src/obs/telekit_jsonlint <"${REQUEST_LOG}"; then
+  echo "admin smoke: --request-log NDJSON failed jsonlint"
+  exit 1
+fi
+rm -f "${SERVE_LOG}" "${REQUEST_LOG}"
+echo "admin smoke: OK (/healthz + /readyz + /statusz + /timeseriesz + /alertz live," \
+  "exemplar -> /requestz loop closed, request log lints)"
 
 echo "== [5/5] streamd replay smoke =="
 STREAMD_ADMIN_PORT=18475
@@ -154,12 +237,14 @@ if [[ "${TELEKIT_TSAN:-0}" == "1" ]]; then
   echo "== [tsan] ThreadSanitizer pass (tensor + serve + stream + obs + admin) =="
   cmake -B build_tsan -S . -DTELEKIT_TSAN=ON
   cmake --build build_tsan -j --target \
-    tensor_test serve_test stream_test obs_test obs_admin_test
+    tensor_test serve_test stream_test obs_test obs_admin_test \
+    obs_timeseries_test
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/tensor_test --gtest_brief=1
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/serve_test --gtest_brief=1
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/stream_test --gtest_brief=1
   ./build_tsan/tests/obs_test --gtest_brief=1
   ./build_tsan/tests/obs_admin_test --gtest_brief=1
+  ./build_tsan/tests/obs_timeseries_test --gtest_brief=1
 fi
 
 echo "check_tier1: OK"

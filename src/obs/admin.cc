@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/log.h"
+#include "obs/requestlog.h"
 #include "obs/trace.h"
 
 namespace telekit {
@@ -66,6 +67,18 @@ std::string PrometheusNumber(double v) {
   return buf;
 }
 
+/// ParseLogLevel silently falls back on unknown input; /loglevelz wants
+/// to reject typos instead, so validate against the five known names.
+bool IsKnownLogLevel(const std::string& text) {
+  std::string lower;
+  for (char c : text) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                         : c);
+  }
+  return lower == "debug" || lower == "info" || lower == "warn" ||
+         lower == "error" || lower == "off";
+}
+
 void AppendHelpType(std::string* out, const std::string& prom_name,
                     const std::string& raw_name, const char* type) {
   *out += "# HELP " + prom_name + " TeleKit metric " + raw_name + "\n";
@@ -74,9 +87,13 @@ void AppendHelpType(std::string* out, const std::string& prom_name,
 
 /// Shared by both histogram kinds: the snapshot JSON already carries
 /// per-bucket (non-cumulative) counts with `le` bounds in order, so the
-/// renderer only has to accumulate and terminate with +Inf.
+/// renderer only has to accumulate and terminate with +Inf. For latency
+/// histograms (`raw_name` non-empty) each bucket line additionally carries
+/// the bucket's latest exemplar — ` # {trace_id="..."} value timestamp` —
+/// linking a scrape straight to a /requestz wide event.
 void AppendHistogram(std::string* out, const std::string& prom_name,
-                     const JsonValue& histogram) {
+                     const JsonValue& histogram,
+                     const std::string& raw_name = "") {
   uint64_t cumulative = 0;
   if (const JsonValue* buckets = histogram.Find("buckets")) {
     for (size_t i = 0; i < buckets->size(); ++i) {
@@ -86,7 +103,15 @@ void AppendHistogram(std::string* out, const std::string& prom_name,
           static_cast<uint64_t>(bucket.Find("count")->AsNumber());
       if (le->is_string()) continue;  // fixed-bucket overflow: folded +Inf
       *out += prom_name + "_bucket{le=\"" + PrometheusNumber(le->AsNumber()) +
-              "\"} " + std::to_string(cumulative) + "\n";
+              "\"} " + std::to_string(cumulative);
+      ExemplarStore::Exemplar exemplar;
+      if (!raw_name.empty() &&
+          ExemplarStore::Global().Find(raw_name, le->AsNumber(), &exemplar)) {
+        *out += " # {trace_id=\"" + TraceIdToHex(exemplar.trace_id) + "\"} " +
+                PrometheusNumber(exemplar.value_ms) + " " +
+                PrometheusNumber(exemplar.unix_s);
+      }
+      *out += "\n";
     }
   }
   const double count = histogram.Find("count")->AsNumber();
@@ -109,10 +134,32 @@ HttpResponse HttpResponse::Text(int status, std::string body) {
 HttpResponse HttpResponse::Json(int status, const JsonValue& value) {
   HttpResponse response;
   response.status = status;
-  response.content_type = "application/json";
+  // charset matches the text/plain responses so every endpoint advertises
+  // its encoding the same way.
+  response.content_type = "application/json; charset=utf-8";
   response.body = value.Dump(2);
   response.body.push_back('\n');
   return response;
+}
+
+std::map<std::string, std::string> ParseQuery(const std::string& query) {
+  std::map<std::string, std::string> out;
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    if (end > start) {
+      const std::string pair = query.substr(start, end - start);
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        out[pair] = "";
+      } else {
+        out[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+    }
+    start = end + 1;
+  }
+  return out;
 }
 
 std::string RenderPrometheus(const MetricsRegistry& registry) {
@@ -130,12 +177,16 @@ std::string RenderPrometheus(const MetricsRegistry& registry) {
     AppendHelpType(&out, prom, name, "gauge");
     out += prom + " " + PrometheusNumber(value.AsNumber()) + "\n";
   }
-  for (const char* kind : {"histograms", "latency_histograms"}) {
-    for (const auto& [name, value] : snapshot.Find(kind)->members()) {
-      const std::string prom = PrometheusName(name);
-      AppendHelpType(&out, prom, name, "histogram");
-      AppendHistogram(&out, prom, value);
-    }
+  for (const auto& [name, value] : snapshot.Find("histograms")->members()) {
+    const std::string prom = PrometheusName(name);
+    AppendHelpType(&out, prom, name, "histogram");
+    AppendHistogram(&out, prom, value);
+  }
+  for (const auto& [name, value] :
+       snapshot.Find("latency_histograms")->members()) {
+    const std::string prom = PrometheusName(name);
+    AppendHelpType(&out, prom, name, "histogram");
+    AppendHistogram(&out, prom, value, name);
   }
   return out;
 }
@@ -156,6 +207,31 @@ AdminServer::AdminServer() {
     out.Set("displayTimeUnit", JsonValue("ms"));
     out.Set("slow_traces_recorded",
             JsonValue(SlowTraceRing::Global().total_recorded()));
+    return HttpResponse::Json(200, out);
+  });
+  Handle("/requestz", [](const HttpRequest& request) {
+    return RequestLog::Global().HandleQuery(request);
+  });
+  // GET /loglevelz reads the live level; ?set=<level> changes it and
+  // reports what it replaced. The logger's level is one atomic, so the
+  // set races cleanly with concurrent TELEKIT_LOG emission.
+  Handle("/loglevelz", [](const HttpRequest& request) {
+    const std::map<std::string, std::string> params =
+        ParseQuery(request.query);
+    JsonValue out = JsonValue::Object();
+    const auto set = params.find("set");
+    if (set != params.end()) {
+      if (!IsKnownLogLevel(set->second)) {
+        JsonValue error = JsonValue::Object();
+        error.Set("error", JsonValue("unknown level: " + set->second +
+                                     " (want debug|info|warn|error|off)"));
+        return HttpResponse::Json(400, error);
+      }
+      const LogLevel previous = Logger::Global().level();
+      Logger::Global().set_level(ParseLogLevel(set->second));
+      out.Set("previous", JsonValue(LogLevelName(previous)));
+    }
+    out.Set("level", JsonValue(LogLevelName(Logger::Global().level())));
     return HttpResponse::Json(200, out);
   });
 }

@@ -35,6 +35,11 @@ struct HttpResponse {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
+/// "a=1&b=two&c" -> {a: "1", b: "two", c: ""}. No URL-decoding — admin
+/// parameters are metric names, hex ids, and numbers, none of which need
+/// escaping. Later duplicates of a key win.
+std::map<std::string, std::string> ParseQuery(const std::string& query);
+
 /// Renders every metric in `registry` in Prometheus text exposition format
 /// (version 0.0.4): '/'-separated names become '_'-separated with a
 /// `telekit_` prefix, each metric carries # HELP / # TYPE lines, and both

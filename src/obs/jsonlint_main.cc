@@ -1,0 +1,27 @@
+// telekit_jsonlint: validates NDJSON on stdin with the obs JSON parser.
+// Each non-empty line must parse; the first failure prints the line number
+// and parse error to stderr and exits 1. Used by scripts/check_tier1.sh to
+// round-trip --request-log output without a system JSON tool.
+#include <iostream>
+#include <string>
+
+#include "obs/json.h"
+
+int main() {
+  std::string line;
+  size_t line_number = 0;
+  size_t parsed = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    telekit::obs::JsonValue value;
+    std::string error;
+    if (!telekit::obs::JsonValue::Parse(line, &value, &error)) {
+      std::cerr << "jsonlint: line " << line_number << ": " << error << "\n";
+      return 1;
+    }
+    ++parsed;
+  }
+  std::cout << "jsonlint: " << parsed << " lines ok\n";
+  return 0;
+}

@@ -132,6 +132,13 @@ void LatencyHistogram::Observe(double ms) {
   AtomicMaxDouble(max_, ms);
 }
 
+uint64_t LatencyHistogram::CountAtOrBelow(double ms) const {
+  const size_t last = BucketIndex(ms);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= last; ++i) cumulative += bucket_count(i);
+  return cumulative;
+}
+
 double LatencyHistogram::Quantile(double q) const {
   const uint64_t n = count();
   if (n == 0) return 0.0;
@@ -273,6 +280,39 @@ const LatencyHistogram* MetricsRegistry::FindLatencyHistogram(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = latency_histograms_.find(name);
   return it != latency_histograms_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<std::pair<std::string, const Counter*>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::Gauges()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>>
+MetricsRegistry::LatencyHistograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const LatencyHistogram*>> out;
+  out.reserve(latency_histograms_.size());
+  for (const auto& [name, histogram] : latency_histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
 }
 
 JsonValue MetricsRegistry::Snapshot() const {

@@ -124,6 +124,13 @@ class LatencyHistogram {
   static double BucketUpperMs(size_t i);
   static double BucketLowerMs(size_t i);
 
+  /// Observations recorded at or below `ms`, computed as the cumulative
+  /// count through the bucket containing `ms`. Carries the same bounded
+  /// relative error as the buckets themselves (~4.4%): values in the
+  /// boundary bucket that exceed `ms` are still counted. Backs the
+  /// time-series latency-threshold series the SLO engine burns against.
+  uint64_t CountAtOrBelow(double ms) const;
+
   /// Nearest-rank q-quantile (q in [0,1]) in ms: selects rank
   /// k = max(1, ceil(q * count)), walks the cumulative bucket counts to the
   /// bucket owning rank k, places the estimate at that sample's midpoint
@@ -170,6 +177,15 @@ class MetricsRegistry {
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
   const LatencyHistogram* FindLatencyHistogram(const std::string& name) const;
+
+  /// Enumeration for samplers (the time-series store walks these each
+  /// tick). The returned pointers stay valid forever — metrics are never
+  /// destroyed — but the name lists are a snapshot: metrics registered
+  /// after the call are absent until the next enumeration.
+  std::vector<std::pair<std::string, const Counter*>> Counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
+  std::vector<std::pair<std::string, const LatencyHistogram*>>
+  LatencyHistograms() const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...},
   /// "latency_histograms": {...}} with names sorted (std::map order) for

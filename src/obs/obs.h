@@ -9,6 +9,12 @@
 ///                    request trace ids + SlowTraceRing (/tracez)
 ///   - obs/admin.h    background HTTP admin server (/healthz /metrics ...)
 ///                    + Prometheus text exposition renderer
+///   - obs/timeseries.h  background sampler -> per-metric ring buffers,
+///                    rate derivation, /timeseriesz history endpoint
+///   - obs/slo.h      declarative SLOs, multi-window burn-rate alerting,
+///                    /alertz state machine (pending -> firing -> resolved)
+///   - obs/requestlog.h  wide-event request log (/requestz, --request-log
+///                    NDJSON sink) + Prometheus exemplar store
 ///   - obs/report.h   --obs-json artifact (metrics + spans + traceEvents)
 ///
 /// Conventions used across the codebase:
@@ -24,6 +30,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/requestlog.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 #endif  // TELEKIT_OBS_OBS_H_

@@ -1,0 +1,249 @@
+#include "obs/requestlog.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace telekit {
+namespace obs {
+
+namespace {
+
+bool ReadNumber(const JsonValue& value, const char* key, double* out) {
+  const JsonValue* field = value.Find(key);
+  if (field == nullptr || !field->is_number()) return false;
+  *out = field->AsNumber();
+  return true;
+}
+
+bool ReadString(const JsonValue& value, const char* key, std::string* out) {
+  const JsonValue* field = value.Find(key);
+  if (field == nullptr || !field->is_string()) return false;
+  *out = field->AsString();
+  return true;
+}
+
+bool ReadBool(const JsonValue& value, const char* key, bool* out) {
+  const JsonValue* field = value.Find(key);
+  if (field == nullptr || !field->is_bool()) return false;
+  *out = field->AsBool();
+  return true;
+}
+
+double UnixNowS() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+JsonValue WideEvent::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("t_s", JsonValue(t_s));
+  out.Set("trace_id", JsonValue(TraceIdToHex(trace_id)));
+  out.Set("op", JsonValue(op));
+  out.Set("batch_size", JsonValue(batch_size));
+  out.Set("cache_hit", JsonValue(cache_hit));
+  out.Set("queue_us", JsonValue(queue_us));
+  out.Set("encode_us", JsonValue(encode_us));
+  out.Set("score_us", JsonValue(score_us));
+  out.Set("total_us", JsonValue(total_us));
+  out.Set("verdict", JsonValue(verdict));
+  out.Set("ok", JsonValue(ok));
+  out.Set("status", JsonValue(status));
+  return out;
+}
+
+bool WideEvent::FromJson(const JsonValue& value, WideEvent* out) {
+  WideEvent event;
+  std::string trace_hex;
+  double batch = 0.0;
+  double queue = 0.0, encode = 0.0, score = 0.0, total = 0.0;
+  if (!ReadNumber(value, "t_s", &event.t_s) ||
+      !ReadString(value, "trace_id", &trace_hex) ||
+      !ParseTraceIdHex(trace_hex, &event.trace_id) ||
+      !ReadString(value, "op", &event.op) ||
+      !ReadNumber(value, "batch_size", &batch) ||
+      !ReadBool(value, "cache_hit", &event.cache_hit) ||
+      !ReadNumber(value, "queue_us", &queue) ||
+      !ReadNumber(value, "encode_us", &encode) ||
+      !ReadNumber(value, "score_us", &score) ||
+      !ReadNumber(value, "total_us", &total) ||
+      !ReadString(value, "verdict", &event.verdict) ||
+      !ReadBool(value, "ok", &event.ok) ||
+      !ReadString(value, "status", &event.status)) {
+    return false;
+  }
+  event.batch_size = static_cast<int>(batch);
+  event.queue_us = static_cast<uint64_t>(queue);
+  event.encode_us = static_cast<uint64_t>(encode);
+  event.score_us = static_cast<uint64_t>(score);
+  event.total_us = static_cast<uint64_t>(total);
+  *out = std::move(event);
+  return true;
+}
+
+RequestLog& RequestLog::Global() {
+  static RequestLog* log = new RequestLog();
+  return *log;
+}
+
+RequestLog::RequestLog(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+void RequestLog::Record(WideEvent event) {
+  if (event.t_s == 0.0) {
+    event.t_s = static_cast<double>(TraceNowUs()) / 1e6;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_recorded_;
+  if (sink_.is_open()) {
+    sink_ << event.ToJson().Dump(0) << '\n';
+    sink_.flush();
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % ring_.size();
+  }
+}
+
+bool RequestLog::SetSinkFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_.is_open()) sink_.close();
+  sink_path_.clear();
+  if (path.empty()) return true;
+  sink_.open(path, std::ios::out | std::ios::app);
+  if (!sink_.is_open()) {
+    TELEKIT_LOG(ERROR) << "request log sink open failed" << F("path", path);
+    return false;
+  }
+  sink_path_ = path;
+  return true;
+}
+
+std::string RequestLog::sink_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sink_path_;
+}
+
+std::vector<WideEvent> RequestLog::Query(const Filter& filter) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WideEvent> out;
+  const double min_us = filter.min_ms * 1000.0;
+  // Walk newest to oldest: the slot before head_ is the newest write.
+  for (size_t i = 0; i < ring_.size() && out.size() < filter.limit; ++i) {
+    const size_t index =
+        (head_ + ring_.size() - 1 - i) % ring_.size();
+    const WideEvent& event = ring_[index];
+    if (filter.trace_id != 0 && event.trace_id != filter.trace_id) continue;
+    if (!filter.op.empty() && event.op != filter.op) continue;
+    if (static_cast<double>(event.total_us) < min_us) continue;
+    out.push_back(event);
+  }
+  return out;
+}
+
+HttpResponse RequestLog::HandleQuery(const HttpRequest& request) const {
+  const std::map<std::string, std::string> params = ParseQuery(request.query);
+  Filter filter;
+  for (const auto& [key, value] : params) {
+    if (key == "trace_id") {
+      if (!ParseTraceIdHex(value, &filter.trace_id)) {
+        JsonValue error = JsonValue::Object();
+        error.Set("error", JsonValue("bad trace_id: " + value));
+        return HttpResponse::Json(400, error);
+      }
+    } else if (key == "op") {
+      filter.op = value;
+    } else if (key == "min_ms") {
+      char* end = nullptr;
+      const double ms = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' || !(ms >= 0.0)) {
+        JsonValue error = JsonValue::Object();
+        error.Set("error", JsonValue("bad min_ms: " + value));
+        return HttpResponse::Json(400, error);
+      }
+      filter.min_ms = ms;
+    } else if (key == "limit") {
+      char* end = nullptr;
+      const long limit = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || limit <= 0) {
+        JsonValue error = JsonValue::Object();
+        error.Set("error", JsonValue("bad limit: " + value));
+        return HttpResponse::Json(400, error);
+      }
+      filter.limit = static_cast<size_t>(limit);
+    }
+  }
+  const std::vector<WideEvent> events = Query(filter);
+  JsonValue out = JsonValue::Object();
+  out.Set("total_recorded", JsonValue(total_recorded()));
+  out.Set("count", JsonValue(static_cast<uint64_t>(events.size())));
+  JsonValue items = JsonValue::Array();
+  for (const WideEvent& event : events) items.Append(event.ToJson());
+  out.Set("events", std::move(items));
+  return HttpResponse::Json(200, out);
+}
+
+size_t RequestLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+uint64_t RequestLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+void RequestLog::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  total_recorded_ = 0;
+}
+
+ExemplarStore& ExemplarStore::Global() {
+  static ExemplarStore* store = new ExemplarStore();
+  return *store;
+}
+
+void ExemplarStore::Record(const std::string& histogram_name, double value_ms,
+                           uint64_t trace_id) {
+  // Key by the containing bucket's inclusive upper bound — the exact
+  // double the histogram's JSON/Prometheus export uses for `le`, so the
+  // renderer can find this exemplar with a plain map lookup.
+  const double le =
+      LatencyHistogram::BucketUpperMs(LatencyHistogram::BucketIndex(value_ms));
+  Exemplar exemplar;
+  exemplar.trace_id = trace_id;
+  exemplar.value_ms = value_ms;
+  exemplar.unix_s = UnixNowS();
+  std::lock_guard<std::mutex> lock(mutex_);
+  exemplars_[histogram_name][le] = exemplar;
+}
+
+bool ExemplarStore::Find(const std::string& histogram_name, double le_ms,
+                         Exemplar* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto by_name = exemplars_.find(histogram_name);
+  if (by_name == exemplars_.end()) return false;
+  const auto by_bucket = by_name->second.find(le_ms);
+  if (by_bucket == by_name->second.end()) return false;
+  *out = by_bucket->second;
+  return true;
+}
+
+void ExemplarStore::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exemplars_.clear();
+}
+
+}  // namespace obs
+}  // namespace telekit

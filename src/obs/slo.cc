@@ -1,0 +1,266 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace telekit {
+namespace obs {
+
+namespace {
+
+Gauge& AlertsFiringGauge() {
+  static Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("obs/alerts_firing");
+  return gauge;
+}
+
+const char* KindName(SloObjective::Kind kind) {
+  return kind == SloObjective::Kind::kAvailability ? "availability"
+                                                   : "latency";
+}
+
+}  // namespace
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kHealthy:
+      return "healthy";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+    case AlertState::kResolved:
+      return "resolved";
+  }
+  return "unknown";
+}
+
+SloEngine::SloEngine(TimeSeriesStore* store, SloConfig config)
+    : store_(store), config_(config) {}
+
+void SloEngine::AddObjective(SloObjective objective) {
+  if (objective.kind == SloObjective::Kind::kLatency) {
+    store_->TrackLatencyThreshold(objective.histogram,
+                                  objective.threshold_ms);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.status.name = objective.name;
+  entry.status.kind = objective.kind;
+  entry.objective = std::move(objective);
+  entries_.push_back(std::move(entry));
+}
+
+double SloEngine::BurnRate(double bad, double total, double target) {
+  total = std::max(total, bad);  // errors may outpace accounted requests
+  if (total <= 0.0) return 0.0;
+  const double ratio = std::min(1.0, bad / total);
+  const double budget = std::max(1.0 - target, 1e-12);
+  return ratio / budget;
+}
+
+double SloEngine::WindowBurn(const Entry& entry, double window_s,
+                             double now_s, double* bad_out,
+                             double* total_out) const {
+  const SloObjective& objective = entry.objective;
+  double bad = 0.0;
+  double total = 0.0;
+  if (objective.kind == SloObjective::Kind::kAvailability) {
+    total = store_->CounterDelta(objective.total_counter, window_s, now_s);
+    bad = store_->CounterDelta(objective.bad_counter, window_s, now_s);
+  } else {
+    total = store_->CounterDelta(objective.histogram + "/count", window_s,
+                                 now_s);
+    const double good = store_->CounterDelta(
+        TimeSeriesStore::ThresholdSeriesName(objective.histogram,
+                                             objective.threshold_ms),
+        window_s, now_s);
+    bad = std::max(0.0, total - good);
+  }
+  if (bad_out != nullptr) *bad_out = bad;
+  if (total_out != nullptr) *total_out = total;
+  return BurnRate(bad, total, objective.target);
+}
+
+void SloEngine::Transition(Entry* entry, AlertState next, double now_s) {
+  SloStatus& status = entry->status;
+  if (status.state == next) return;
+  status.state = next;
+  status.since_s = now_s;
+  ++status.transitions;
+  if (next == AlertState::kFiring) {
+    status.fired_at_s = now_s;
+    TELEKIT_LOG(WARN) << "slo alert firing" << F("objective", status.name)
+                      << F("fast_burn", status.fast_burn)
+                      << F("slow_burn", status.slow_burn)
+                      << F("threshold", config_.burn_threshold);
+  } else if (next == AlertState::kResolved) {
+    status.resolved_at_s = now_s;
+    TELEKIT_LOG(WARN) << "slo alert resolved" << F("objective", status.name)
+                      << F("firing_s", now_s - status.fired_at_s);
+  }
+}
+
+void SloEngine::Evaluate(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_evaluated_s_ = now_s;
+  size_t firing = 0;
+  for (Entry& entry : entries_) {
+    SloStatus& status = entry.status;
+    status.fast_burn =
+        WindowBurn(entry, config_.fast_window_s, now_s, nullptr, nullptr);
+    status.slow_burn =
+        WindowBurn(entry, config_.slow_window_s, now_s, nullptr, nullptr);
+    double budget_bad = 0.0;
+    double budget_total = 0.0;
+    WindowBurn(entry, config_.budget_window_s, now_s, &budget_bad,
+               &budget_total);
+    const double allowed =
+        std::max(budget_total, budget_bad) * (1.0 - entry.objective.target);
+    status.budget_remaining =
+        allowed > 0.0 ? 1.0 - budget_bad / allowed : 1.0;
+
+    const bool over = status.fast_burn >= config_.burn_threshold &&
+                      status.slow_burn >= config_.burn_threshold;
+    switch (status.state) {
+      case AlertState::kHealthy:
+      case AlertState::kResolved:
+        if (over) {
+          Transition(&entry, AlertState::kPending, now_s);
+          if (config_.pending_for_s <= 0.0) {
+            Transition(&entry, AlertState::kFiring, now_s);
+          }
+        }
+        break;
+      case AlertState::kPending:
+        if (!over) {
+          Transition(&entry, AlertState::kHealthy, now_s);
+        } else if (now_s - status.since_s >= config_.pending_for_s) {
+          Transition(&entry, AlertState::kFiring, now_s);
+        }
+        break;
+      case AlertState::kFiring:
+        if (!over) Transition(&entry, AlertState::kResolved, now_s);
+        break;
+    }
+    if (status.state == AlertState::kFiring) ++firing;
+  }
+  AlertsFiringGauge().Set(static_cast<double>(firing));
+}
+
+std::vector<SloStatus> SloEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloStatus> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.status);
+  return out;
+}
+
+size_t SloEngine::firing_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t firing = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.status.state == AlertState::kFiring) ++firing;
+  }
+  return firing;
+}
+
+JsonValue SloEngine::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue out = JsonValue::Object();
+  out.Set("now_s", JsonValue(store_->now_s()));
+  out.Set("last_evaluated_s", JsonValue(last_evaluated_s_));
+  JsonValue config = JsonValue::Object();
+  config.Set("fast_window_s", JsonValue(config_.fast_window_s));
+  config.Set("slow_window_s", JsonValue(config_.slow_window_s));
+  config.Set("budget_window_s", JsonValue(config_.budget_window_s));
+  config.Set("burn_threshold", JsonValue(config_.burn_threshold));
+  config.Set("pending_for_s", JsonValue(config_.pending_for_s));
+  out.Set("config", std::move(config));
+  size_t firing = 0;
+  JsonValue objectives = JsonValue::Array();
+  for (const Entry& entry : entries_) {
+    const SloStatus& status = entry.status;
+    if (status.state == AlertState::kFiring) ++firing;
+    JsonValue item = JsonValue::Object();
+    item.Set("name", JsonValue(status.name));
+    item.Set("kind", JsonValue(KindName(status.kind)));
+    item.Set("target", JsonValue(entry.objective.target));
+    if (entry.objective.kind == SloObjective::Kind::kLatency) {
+      item.Set("threshold_ms", JsonValue(entry.objective.threshold_ms));
+    }
+    item.Set("state", JsonValue(AlertStateName(status.state)));
+    item.Set("fast_burn", JsonValue(status.fast_burn));
+    item.Set("slow_burn", JsonValue(status.slow_burn));
+    item.Set("budget_remaining", JsonValue(status.budget_remaining));
+    item.Set("since_s", JsonValue(status.since_s));
+    item.Set("fired_at_s", status.fired_at_s >= 0.0
+                               ? JsonValue(status.fired_at_s)
+                               : JsonValue());
+    item.Set("resolved_at_s", status.resolved_at_s >= 0.0
+                                  ? JsonValue(status.resolved_at_s)
+                                  : JsonValue());
+    item.Set("transitions", JsonValue(status.transitions));
+    objectives.Append(std::move(item));
+  }
+  out.Set("firing", JsonValue(static_cast<uint64_t>(firing)));
+  out.Set("objectives", std::move(objectives));
+  return out;
+}
+
+HttpResponse SloEngine::HandleQuery(const HttpRequest&) const {
+  return HttpResponse::Json(200, ToJson());
+}
+
+std::vector<SloObjective> DefaultServeObjectives(double latency_threshold_ms,
+                                                 double availability_target,
+                                                 double latency_target) {
+  std::vector<SloObjective> out;
+  for (const char* op : {"rca", "eap", "fct", "encode"}) {
+    const std::string base = std::string("serve/") + op;
+    SloObjective availability;
+    availability.name = base + "/availability";
+    availability.kind = SloObjective::Kind::kAvailability;
+    availability.total_counter = base + "/requests";
+    availability.bad_counter = base + "/errors";
+    availability.target = availability_target;
+    out.push_back(std::move(availability));
+
+    SloObjective latency;
+    latency.name = base + "/latency";
+    latency.kind = SloObjective::Kind::kLatency;
+    latency.histogram = base + "/request_ms";
+    latency.threshold_ms = latency_threshold_ms;
+    latency.target = latency_target;
+    out.push_back(std::move(latency));
+  }
+  return out;
+}
+
+std::vector<SloObjective> DefaultStreamObjectives(double latency_threshold_ms,
+                                                  double availability_target,
+                                                  double latency_target) {
+  std::vector<SloObjective> out;
+  SloObjective availability;
+  availability.name = "stream/detect/availability";
+  availability.kind = SloObjective::Kind::kAvailability;
+  availability.total_counter = "stream/episodes";
+  availability.bad_counter = "stream/episodes_shed";
+  availability.target = availability_target;
+  out.push_back(std::move(availability));
+
+  SloObjective latency;
+  latency.name = "stream/detect/latency";
+  latency.kind = SloObjective::Kind::kLatency;
+  latency.histogram = "stream/detect_ms";
+  latency.threshold_ms = latency_threshold_ms;
+  latency.target = latency_target;
+  out.push_back(std::move(latency));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace telekit

@@ -7,6 +7,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/requestlog.h"
 #include "obs/trace.h"
 #include "tensor/compute_pool.h"
 
@@ -17,6 +18,7 @@ namespace {
 
 struct ServeMetrics {
   obs::Counter& requests;
+  obs::Counter& errors;
   obs::Counter& rejected;
   obs::Counter& deadline_exceeded;
   obs::Counter& slow_requests;
@@ -31,14 +33,19 @@ struct ServeMetrics {
   // pipeline's rca/eap/fct fan-out — stays attributable per task in the
   // Prometheus exposition. Indexed by static_cast<int>(TaskOp).
   obs::Counter* op_requests[4];
+  obs::Counter* op_errors[4];
   obs::LatencyHistogram* op_request_ms[4];
 
-  void RecordRequest(TaskOp op, double total_ms) {
+  void RecordRequest(TaskOp op, double total_ms, bool ok) {
     requests.Increment();
     request_ms.Observe(total_ms);
     const int i = static_cast<int>(op);
     op_requests[i]->Increment();
     op_request_ms[i]->Observe(total_ms);
+    if (!ok) {
+      errors.Increment();
+      op_errors[i]->Increment();
+    }
   }
 
   static ServeMetrics& Get() {
@@ -46,6 +53,7 @@ struct ServeMetrics {
     static ServeMetrics m = [&reg] {
       ServeMetrics metrics{
           reg.GetCounter("serve/requests"),
+          reg.GetCounter("serve/errors"),
           reg.GetCounter("serve/rejected"),
           reg.GetCounter("serve/deadline_exceeded"),
           reg.GetCounter("serve/slow_requests"),
@@ -57,12 +65,15 @@ struct ServeMetrics {
           reg.GetLatencyHistogram("serve/request_ms"),
           {},
           {},
+          {},
       };
       for (TaskOp op :
            {TaskOp::kEncode, TaskOp::kRca, TaskOp::kEap, TaskOp::kFct}) {
         const int i = static_cast<int>(op);
         metrics.op_requests[i] =
             &reg.GetCounter("serve/" + TaskOpName(op) + "/requests");
+        metrics.op_errors[i] =
+            &reg.GetCounter("serve/" + TaskOpName(op) + "/errors");
         metrics.op_request_ms[i] =
             &reg.GetLatencyHistogram("serve/" + TaskOpName(op) +
                                      "/request_ms");
@@ -116,6 +127,32 @@ void MaybeCaptureSlow(double slow_request_ms, const Request& request,
                     << obs::F("status", response.status.ok()
                                        ? "ok"
                                        : response.status.message());
+}
+
+/// One wide event per completed request, whichever path fulfilled it
+/// (batch, deadline expiry, synchronous Process). The ring backs
+/// /requestz; an attached --request-log sink persists the same record.
+void RecordWideEvent(const Request& request, const Response& response) {
+  obs::WideEvent event;
+  event.trace_id = response.trace_id;
+  event.op = TaskOpName(request.op);
+  event.batch_size = response.batch_size;
+  event.cache_hit = response.cache_hit;
+  event.queue_us = MsToUs(response.queue_ms);
+  event.encode_us = MsToUs(response.encode_ms);
+  event.score_us = MsToUs(response.score_ms);
+  event.total_us = MsToUs(response.total_ms);
+  event.ok = response.status.ok();
+  event.status = event.ok ? "ok" : response.status.message();
+  if (!response.results.empty()) event.verdict = response.results[0].name;
+  obs::RequestLog::Global().Record(std::move(event));
+  // Exemplars tie the latency histograms' buckets back to this trace id,
+  // so a /metrics scrape showing a slow bucket resolves via /requestz.
+  obs::ExemplarStore::Global().Record("serve/request_ms", response.total_ms,
+                                      response.trace_id);
+  obs::ExemplarStore::Global().Record(
+      "serve/" + TaskOpName(request.op) + "/request_ms", response.total_ms,
+      response.trace_id);
 }
 
 }  // namespace
@@ -280,8 +317,14 @@ void ServeEngine::ProcessBatch(
       response.queue_ms = pending->queue_ms;
       response.total_ms = pending->queue_ms;
       // A lapsed deadline is a slow request by definition; record it
-      // (ok=false) so /tracez shows where the time went.
+      // (ok=false) so /tracez shows where the time went. It is also a
+      // served error for the availability SLO — per-op requests counters
+      // only count scored requests, so errors may outpace them (the burn
+      // computation clamps for that).
+      metrics.errors.Increment();
+      metrics.op_errors[static_cast<int>(pending->request.op)]->Increment();
       MaybeCaptureSlow(options_.slow_request_ms, pending->request, response);
+      RecordWideEvent(pending->request, response);
       pending->promise.set_value(std::move(response));
       pending.reset();
       continue;
@@ -343,10 +386,12 @@ void ServeEngine::ProcessBatch(
       response.score_ms = MsSince(score_start, done);
       response.batch_ms = MsSince(started, done);
       response.total_ms = MsSince(item.pending->enqueued, done);
-      metrics.RecordRequest(item.pending->request.op, response.total_ms);
+      metrics.RecordRequest(item.pending->request.op, response.total_ms,
+                            response.status.ok());
       metrics.queue_ms.Observe(response.queue_ms);
       MaybeCaptureSlow(options_.slow_request_ms, item.pending->request,
                        response);
+      RecordWideEvent(item.pending->request, response);
       item.pending->promise.set_value(std::move(response));
     }
   }
@@ -382,9 +427,11 @@ Response ServeEngine::Process(const Request& request) const {
   FinishRequest(request, std::move(vector), &response);
   response.score_ms = MsSince(score_start, Clock::now());
   response.total_ms = MsSince(started, Clock::now());
-  metrics.RecordRequest(request.op, response.total_ms);
+  metrics.RecordRequest(request.op, response.total_ms,
+                        response.status.ok());
   metrics.batch_size.Observe(1.0);
   MaybeCaptureSlow(options_.slow_request_ms, request, response);
+  RecordWideEvent(request, response);
   return response;
 }
 

@@ -36,6 +36,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/requestlog.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
@@ -61,6 +64,12 @@ struct Flags {
   int pretrain_steps = 0;
   uint64_t seed = 20230401;
   std::string obs_json;
+  std::string request_log;      // NDJSON wide-event sink ("" = off)
+  double ts_interval_s = 1.0;   // time-series sampler period
+  size_t ts_capacity = 600;     // ring slots per series
+  double slo_latency_ms = 50.0;  // latency objective good/bad boundary
+  double slo_fast_s = 60.0;     // burn-rate fast window
+  double slo_slow_s = 300.0;    // burn-rate slow window
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -92,6 +101,12 @@ void PrintUsage() {
       << "  --pretrain-steps=N  TeleBERT pre-training steps (default 0)\n"
       << "  --seed=N            world/model seed\n"
       << "  --obs-json=PATH     write metrics/trace report on exit\n"
+      << "  --request-log=PATH  append one NDJSON wide event per request\n"
+      << "  --ts-interval-s=X   time-series sample period (default 1)\n"
+      << "  --ts-capacity=N     time-series ring slots (default 600)\n"
+      << "  --slo-latency-ms=X  latency SLO threshold (default 50)\n"
+      << "  --slo-fast-s=X      SLO fast burn window (default 60)\n"
+      << "  --slo-slow-s=X      SLO slow burn window (default 300)\n"
       << "  --log-level=LEVEL   debug|info|warn|error|off\n";
 }
 
@@ -129,6 +144,18 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->seed = static_cast<uint64_t>(std::atoll(v.c_str()));
     } else if (ParseFlag(arg, "obs-json", &v)) {
       flags->obs_json = v;
+    } else if (ParseFlag(arg, "request-log", &v)) {
+      flags->request_log = v;
+    } else if (ParseFlag(arg, "ts-interval-s", &v)) {
+      flags->ts_interval_s = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "ts-capacity", &v)) {
+      flags->ts_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(arg, "slo-latency-ms", &v)) {
+      flags->slo_latency_ms = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "slo-fast-s", &v)) {
+      flags->slo_fast_s = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "slo-slow-s", &v)) {
+      flags->slo_slow_s = std::atof(v.c_str());
     } else if (ParseFlag(arg, "log-level", &v)) {
       obs::Logger::Global().set_level(obs::ParseLogLevel(v));
     } else if (arg == "--help" || arg == "-h") {
@@ -326,11 +353,41 @@ int Main(int argc, char** argv) {
   }
   const auto start_time = std::chrono::steady_clock::now();
 
+  if (!flags.request_log.empty() &&
+      !obs::RequestLog::Global().SetSinkFile(flags.request_log)) {
+    std::cerr << "failed to open --request-log=" << flags.request_log << "\n";
+    return 1;
+  }
+
+  // Time-series + SLO engines are declared before the admin server so the
+  // admin (whose handlers reference them) is destroyed first; the sampler
+  // thread itself only starts once startup can no longer early-return.
+  obs::TimeSeriesOptions ts_options;
+  ts_options.interval_s = flags.ts_interval_s;
+  ts_options.capacity = flags.ts_capacity;
+  obs::TimeSeriesStore timeseries(ts_options);
+  obs::SloConfig slo_config;
+  slo_config.fast_window_s = flags.slo_fast_s;
+  slo_config.slow_window_s = flags.slo_slow_s;
+  slo_config.budget_window_s = flags.slo_slow_s * 6.0;
+  obs::SloEngine slo(&timeseries, slo_config);
+  for (obs::SloObjective& objective :
+       obs::DefaultServeObjectives(flags.slo_latency_ms, 0.999, 0.95)) {
+    slo.AddObjective(std::move(objective));
+  }
+  timeseries.SetOnSample([&slo](double now_s) { slo.Evaluate(now_s); });
+
   // The admin server comes up before the model builds so /healthz answers
   // (and /readyz correctly says 503) during the slow startup phase.
   std::atomic<bool> ready{false};
   std::atomic<ServeEngine*> engine_ptr{nullptr};
   obs::AdminServer admin;
+  admin.Handle("/timeseriesz", [&timeseries](const obs::HttpRequest& request) {
+    return timeseries.HandleQuery(request);
+  });
+  admin.Handle("/alertz", [&slo](const obs::HttpRequest& request) {
+    return slo.HandleQuery(request);
+  });
   admin.Handle("/readyz", [&ready, &engine_ptr](const obs::HttpRequest&) {
     ServeEngine* engine = engine_ptr.load();
     if (!ready.load() || engine == nullptr) {
@@ -341,7 +398,7 @@ int Main(int argc, char** argv) {
     }
     return obs::HttpResponse::Text(200, "ready\n");
   });
-  admin.Handle("/statusz", [&ready, &engine_ptr,
+  admin.Handle("/statusz", [&ready, &engine_ptr, &timeseries, &slo,
                             start_time](const obs::HttpRequest&) {
     obs::JsonValue out = obs::JsonValue::Object();
     out.Set("server", obs::JsonValue("telekit_serve"));
@@ -382,6 +439,25 @@ int Main(int argc, char** argv) {
                 "serve/request_ms")) {
       out.Set("request_latency", obs::LatencySummaryJson(*h));
     }
+    obs::JsonValue ts = obs::JsonValue::Object();
+    ts.Set("running", obs::JsonValue(timeseries.running()));
+    ts.Set("interval_s", obs::JsonValue(timeseries.options().interval_s));
+    ts.Set("samples_taken", obs::JsonValue(timeseries.samples_taken()));
+    out.Set("timeseries", std::move(ts));
+    obs::JsonValue slo_json = obs::JsonValue::Object();
+    slo_json.Set("objectives",
+                 obs::JsonValue(static_cast<uint64_t>(slo.Snapshot().size())));
+    slo_json.Set("firing",
+                 obs::JsonValue(static_cast<uint64_t>(slo.firing_count())));
+    out.Set("slo", std::move(slo_json));
+    obs::JsonValue rlog = obs::JsonValue::Object();
+    rlog.Set("size",
+             obs::JsonValue(static_cast<uint64_t>(
+                 obs::RequestLog::Global().size())));
+    rlog.Set("total_recorded",
+             obs::JsonValue(obs::RequestLog::Global().total_recorded()));
+    rlog.Set("sink", obs::JsonValue(obs::RequestLog::Global().sink_path()));
+    out.Set("request_log", std::move(rlog));
     return obs::HttpResponse::Json(200, out);
   });
   if (flags.admin_port >= 0 && !admin.Start(flags.admin_port)) {
@@ -434,6 +510,11 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
+  // Start sampling only now that startup can no longer early-return: the
+  // sampler's on-sample callback reaches into `slo`, so no sampler thread
+  // may be live on any path where `slo` is destroyed before `timeseries`
+  // stops.
+  timeseries.Start();
   ready.store(true);
   std::cerr << "telekit_serve: ready (" << alarm_names.size()
             << " catalogue entries, " << flags.workers << " workers)\n";
@@ -450,6 +531,7 @@ int Main(int argc, char** argv) {
   }
   ready.store(false);
   admin.Stop();
+  timeseries.Stop();
   engine_ptr.store(nullptr);
   engine.Stop();
   std::cerr << "telekit_serve: done; cache hit rate "

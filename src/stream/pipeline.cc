@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/requestlog.h"
 #include "obs/trace.h"
 
 namespace telekit {
@@ -162,6 +163,8 @@ void StreamPipeline::Analyse(EpisodeCandidate candidate,
     verdict.ok = verdict.rca.status.ok();
     verdict.candidate = std::move(candidate);
     metrics.detect_ms.Observe(verdict.detect_ms);
+    obs::ExemplarStore::Global().Record("stream/detect_ms", verdict.detect_ms,
+                                        verdict.rca.trace_id);
     (verdict.ok ? metrics.episodes_analysed : metrics.episodes_shed)
         .Increment();
     ++(verdict.ok ? summary_.episodes_analysed : summary_.episodes_shed);
@@ -195,6 +198,9 @@ void StreamPipeline::HarvestOldest(const VerdictSink& sink) {
   verdict.candidate = std::move(item.candidate);
   if (verdict.ok) {
     metrics.detect_ms.Observe(verdict.detect_ms);
+    obs::ExemplarStore::Global().Record("stream/detect_ms",
+                                        verdict.detect_ms,
+                                        verdict.rca.trace_id);
     metrics.episodes_analysed.Increment();
     ++summary_.episodes_analysed;
   } else {

@@ -27,6 +27,9 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/requestlog.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
 #include "stream/pipeline.h"
@@ -58,6 +61,12 @@ struct Flags {
   int admin_port = -1;
   bool linger = false;
   std::string obs_json;
+  std::string request_log;       // NDJSON wide-event sink ("" = off)
+  double ts_interval_s = 1.0;    // time-series sampler period
+  size_t ts_capacity = 600;      // ring slots per series
+  double slo_latency_ms = 250.0;  // detect-latency objective boundary
+  double slo_fast_s = 60.0;      // burn-rate fast window
+  double slo_slow_s = 300.0;     // burn-rate slow window
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -93,6 +102,12 @@ void PrintUsage() {
       << "  --linger             keep the admin server up after the replay\n"
       << "                       (until killed) so /statusz can be scraped\n"
       << "  --obs-json=PATH      write metrics/trace report on exit\n"
+      << "  --request-log=PATH   append one NDJSON wide event per request\n"
+      << "  --ts-interval-s=X    time-series sample period (default 1)\n"
+      << "  --ts-capacity=N      time-series ring slots (default 600)\n"
+      << "  --slo-latency-ms=X   detect-latency SLO threshold (default 250)\n"
+      << "  --slo-fast-s=X       SLO fast burn window (default 60)\n"
+      << "  --slo-slow-s=X       SLO slow burn window (default 300)\n"
       << "  --log-level=LEVEL    debug|info|warn|error|off\n";
 }
 
@@ -144,6 +159,18 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->linger = true;
     } else if (ParseFlag(arg, "obs-json", &v)) {
       flags->obs_json = v;
+    } else if (ParseFlag(arg, "request-log", &v)) {
+      flags->request_log = v;
+    } else if (ParseFlag(arg, "ts-interval-s", &v)) {
+      flags->ts_interval_s = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "ts-capacity", &v)) {
+      flags->ts_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(arg, "slo-latency-ms", &v)) {
+      flags->slo_latency_ms = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "slo-fast-s", &v)) {
+      flags->slo_fast_s = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "slo-slow-s", &v)) {
+      flags->slo_slow_s = std::atof(v.c_str());
     } else if (ParseFlag(arg, "log-level", &v)) {
       obs::Logger::Global().set_level(obs::ParseLogLevel(v));
     } else if (arg == "--help" || arg == "-h") {
@@ -230,14 +257,49 @@ int Main(int argc, char** argv) {
   }
   const auto start_time = std::chrono::steady_clock::now();
 
+  if (!flags.request_log.empty() &&
+      !obs::RequestLog::Global().SetSinkFile(flags.request_log)) {
+    std::cerr << "failed to open --request-log=" << flags.request_log << "\n";
+    return 1;
+  }
+
+  // Declared before the admin server so handlers referencing them outlive
+  // it; the sampler thread starts only after all early-return paths.
+  obs::TimeSeriesOptions ts_options;
+  ts_options.interval_s = flags.ts_interval_s;
+  ts_options.capacity = flags.ts_capacity;
+  obs::TimeSeriesStore timeseries(ts_options);
+  obs::SloConfig slo_config;
+  slo_config.fast_window_s = flags.slo_fast_s;
+  slo_config.slow_window_s = flags.slo_slow_s;
+  slo_config.budget_window_s = flags.slo_slow_s * 6.0;
+  obs::SloEngine slo(&timeseries, slo_config);
+  // The embedded engine serves rca/eap/fct in-process, so streamd watches
+  // the stream objectives and the serve ones.
+  for (obs::SloObjective& objective :
+       obs::DefaultStreamObjectives(flags.slo_latency_ms, 0.99, 0.95)) {
+    slo.AddObjective(std::move(objective));
+  }
+  for (obs::SloObjective& objective :
+       obs::DefaultServeObjectives(flags.slo_latency_ms, 0.999, 0.95)) {
+    slo.AddObjective(std::move(objective));
+  }
+  timeseries.SetOnSample([&slo](double now_s) { slo.Evaluate(now_s); });
+
   RunState state;
   std::atomic<serve::ServeEngine*> engine_ptr{nullptr};
   obs::AdminServer admin;
+  admin.Handle("/timeseriesz", [&timeseries](const obs::HttpRequest& request) {
+    return timeseries.HandleQuery(request);
+  });
+  admin.Handle("/alertz", [&slo](const obs::HttpRequest& request) {
+    return slo.HandleQuery(request);
+  });
   admin.Handle("/readyz", [&state](const obs::HttpRequest&) {
     return state.ready.load() ? obs::HttpResponse::Text(200, "ready\n")
                               : obs::HttpResponse::Text(503, "loading\n");
   });
-  admin.Handle("/statusz", [&state, &engine_ptr,
+  admin.Handle("/statusz", [&state, &engine_ptr, &timeseries, &slo,
                             start_time](const obs::HttpRequest&) {
     obs::JsonValue out = obs::JsonValue::Object();
     out.Set("server", obs::JsonValue("telekit_streamd"));
@@ -258,6 +320,25 @@ int Main(int argc, char** argv) {
       e.Set("cache_hit_rate", obs::JsonValue(stats.cache_hit_rate));
       out.Set("engine", std::move(e));
     }
+    obs::JsonValue ts = obs::JsonValue::Object();
+    ts.Set("running", obs::JsonValue(timeseries.running()));
+    ts.Set("interval_s", obs::JsonValue(timeseries.options().interval_s));
+    ts.Set("samples_taken", obs::JsonValue(timeseries.samples_taken()));
+    out.Set("timeseries", std::move(ts));
+    obs::JsonValue slo_json = obs::JsonValue::Object();
+    slo_json.Set("objectives",
+                 obs::JsonValue(static_cast<uint64_t>(slo.Snapshot().size())));
+    slo_json.Set("firing",
+                 obs::JsonValue(static_cast<uint64_t>(slo.firing_count())));
+    out.Set("slo", std::move(slo_json));
+    obs::JsonValue rlog = obs::JsonValue::Object();
+    rlog.Set("size",
+             obs::JsonValue(static_cast<uint64_t>(
+                 obs::RequestLog::Global().size())));
+    rlog.Set("total_recorded",
+             obs::JsonValue(obs::RequestLog::Global().total_recorded()));
+    rlog.Set("sink", obs::JsonValue(obs::RequestLog::Global().sink_path()));
+    out.Set("request_log", std::move(rlog));
     return obs::HttpResponse::Json(200, out);
   });
   if (flags.admin_port >= 0 && !admin.Start(flags.admin_port)) {
@@ -337,6 +418,9 @@ int Main(int argc, char** argv) {
   config.top_k = flags.top_k;
   StreamPipeline pipeline(zoo.world(), &engine, config);
 
+  // No early-return path remains: safe to start the sampler whose
+  // callback reaches into `slo`.
+  timeseries.Start();
   state.ready.store(true);
   std::cerr << "telekit_streamd: replaying " << events.size()
             << " events / " << episodes.size() << " episodes ("
@@ -388,6 +472,7 @@ int Main(int argc, char** argv) {
     }
   }
   admin.Stop();
+  timeseries.Stop();
   engine_ptr.store(nullptr);
   engine.Stop();
   if (!flags.obs_json.empty()) obs::WriteReport(flags.obs_json);

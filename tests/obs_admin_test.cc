@@ -288,6 +288,159 @@ TEST(AdminServerTest, ConcurrentScrapesUnderMetricTraffic) {
   registry.Reset();
 }
 
+TEST(AdminServerTest, LoglevelzReadsAndSetsLiveLevel) {
+  const LogLevel saved = Logger::Global().level();
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const int port = server.port();
+
+  HttpReply reply = HttpGet(port, "/loglevelz");
+  ASSERT_EQ(reply.status, 200);
+  EXPECT_NE(reply.body.find(LogLevelName(saved)), std::string::npos);
+
+  reply = HttpGet(port, "/loglevelz?set=debug");
+  ASSERT_EQ(reply.status, 200);
+  EXPECT_EQ(Logger::Global().level(), LogLevel::kDebug);
+  EXPECT_NE(reply.body.find("\"previous\""), std::string::npos);
+  EXPECT_NE(reply.body.find("DEBUG"), std::string::npos);
+
+  // Typos are rejected and leave the live level untouched.
+  reply = HttpGet(port, "/loglevelz?set=loud");
+  EXPECT_EQ(reply.status, 400);
+  EXPECT_NE(reply.body.find("unknown level"), std::string::npos);
+  EXPECT_EQ(Logger::Global().level(), LogLevel::kDebug);
+
+  Logger::Global().set_level(saved);
+}
+
+// A live /loglevelz?set races TELEKIT_LOG emission on another thread; the
+// level is one relaxed atomic, so every set must succeed and TSan must
+// stay quiet. The sink swap keeps the spin loop off stderr.
+TEST(AdminServerTest, ConcurrentLogLevelSetsRaceEmission) {
+  const LogLevel saved = Logger::Global().level();
+  std::atomic<uint64_t> sunk{0};
+  Logger::Global().SetSink(
+      [&sunk](const LogRecord&) { sunk.fetch_add(1); });
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const int port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::thread emitter([&] {
+    while (!stop.load()) {
+      TELEKIT_LOG(INFO) << "level race probe";
+    }
+  });
+  int failures = 0;
+  const char* levels[] = {"debug", "warn", "info", "off", "error"};
+  for (int i = 0; i < 25; ++i) {
+    const std::string path = std::string("/loglevelz?set=") + levels[i % 5];
+    if (HttpGet(port, path).status != 200) ++failures;
+  }
+  stop.store(true);
+  emitter.join();
+  EXPECT_EQ(failures, 0);
+  Logger::Global().SetSink(nullptr);
+  Logger::Global().set_level(saved);
+}
+
+// Every response -- success, handler-level 400s, 404, 405, and malformed
+// 400s -- must advertise a Content-Type, a Content-Length, and close the
+// connection (the server speaks one-shot HTTP/1.0).
+TEST(AdminServerTest, AllResponsesCarryContentTypeAndConnectionClose) {
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const int port = server.port();
+  struct Case {
+    std::string request;
+    int status;
+  };
+  const std::vector<Case> cases = {
+      {"GET / HTTP/1.0\r\n\r\n", 200},
+      {"GET /healthz HTTP/1.0\r\n\r\n", 200},
+      {"GET /metrics HTTP/1.0\r\n\r\n", 200},
+      {"GET /tracez HTTP/1.0\r\n\r\n", 200},
+      {"GET /requestz HTTP/1.0\r\n\r\n", 200},
+      {"GET /loglevelz HTTP/1.0\r\n\r\n", 200},
+      {"GET /loglevelz?set=bogus HTTP/1.0\r\n\r\n", 400},
+      {"GET /requestz?min_ms=abc HTTP/1.0\r\n\r\n", 400},
+      {"GET /nope HTTP/1.0\r\n\r\n", 404},
+      {"POST /healthz HTTP/1.0\r\n\r\n", 405},
+      {"junk\r\n\r\n", 400},
+  };
+  for (const Case& test_case : cases) {
+    const HttpReply reply = HttpRaw(port, test_case.request);
+    EXPECT_EQ(reply.status, test_case.status) << test_case.request;
+    EXPECT_NE(reply.headers.find("Content-Type: "), std::string::npos)
+        << test_case.request;
+    EXPECT_NE(reply.headers.find("Content-Length: "), std::string::npos)
+        << test_case.request;
+    EXPECT_NE(reply.headers.find("Connection: close"), std::string::npos)
+        << test_case.request;
+  }
+}
+
+TEST(AdminServerTest, MetricsBucketLinesCarryExemplars) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  ExemplarStore::Global().Reset();
+  registry.GetLatencyHistogram("admtest/exm_ms").Observe(23.7);
+  ExemplarStore::Global().Record("admtest/exm_ms", 23.7, 0x4d2);
+
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const HttpReply reply = HttpGet(server.port(), "/metrics");
+  ASSERT_EQ(reply.status, 200);
+  const std::string needle = "# {trace_id=\"00000000000004d2\"} 23.7";
+  EXPECT_NE(reply.body.find(needle), std::string::npos);
+  // The exemplar must ride a bucket line of the observed histogram, not a
+  // free-floating comment.
+  std::istringstream lines(reply.body);
+  std::string line;
+  bool on_bucket_line = false;
+  while (std::getline(lines, line)) {
+    if (line.find(needle) == std::string::npos) continue;
+    on_bucket_line =
+        line.rfind("telekit_admtest_exm_ms_bucket{le=\"", 0) == 0;
+  }
+  EXPECT_TRUE(on_bucket_line);
+  ExemplarStore::Global().Reset();
+  registry.Reset();
+}
+
+TEST(AdminServerTest, RequestzOverHttpFiltersByTraceId) {
+  RequestLog::Global().Reset();
+  WideEvent event;
+  event.trace_id = 0xabcu;
+  event.op = "rca";
+  event.total_us = 1500;
+  event.verdict = "surface";
+  event.status = "ok";
+  RequestLog::Global().Record(event);
+  WideEvent other;
+  other.trace_id = 0xdefu;
+  other.op = "eap";
+  other.total_us = 900;
+  other.status = "ok";
+  RequestLog::Global().Record(other);
+
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const HttpReply reply = HttpGet(server.port(), "/requestz?trace_id=abc");
+  ASSERT_EQ(reply.status, 200);
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(reply.body, &parsed, &error)) << error;
+  const JsonValue* events = parsed.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ(events->at(0).Find("trace_id")->AsString(), "0000000000000abc");
+  EXPECT_EQ(events->at(0).Find("op")->AsString(), "rca");
+  // Non-hex trace ids are rejected at the HTTP layer.
+  EXPECT_EQ(HttpGet(server.port(), "/requestz?trace_id=xyz").status, 400);
+  RequestLog::Global().Reset();
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace telekit
