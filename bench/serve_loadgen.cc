@@ -43,6 +43,10 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
+#include "serve/line_io.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 namespace telekit {
 namespace bench {
@@ -58,6 +62,7 @@ struct LoadgenFlags {
   int64_t max_wait_us = 2000;
   int qps = 0;              // open-loop phase target rate (0 = skip)
   bool slo_demo = true;     // --slo-demo=0 skips the alert-lifecycle demo
+  std::string connect;      // host:port[,host:port...] -> TCP client mode
   std::string out = "BENCH_serve.json";
   std::string obs_out = "BENCH_obs.json";
 };
@@ -404,6 +409,155 @@ obs::JsonValue RunSloAlertDemo(const core::ServiceEncoder& service,
   return section;
 }
 
+// ---------------------------------------------------------------------------
+// --connect: drive a live fleet over TCP instead of an in-process engine.
+// Endpoints round-robin across client threads, so pointing it at N replica
+// ports load-tests them directly and pointing it at one telekit_router
+// port load-tests the routed path. No zoo is built in this mode — the
+// server owns the model; the request stream is synthetic with the same
+// hot/cold shape as the in-process mix.
+// ---------------------------------------------------------------------------
+
+obs::JsonValue ResultToJson(const RunResult& result);
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+bool ParseEndpoints(const std::string& text, std::vector<Endpoint>* out) {
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(begin, end - begin);
+    if (!item.empty()) {
+      Endpoint endpoint;
+      const size_t colon = item.rfind(':');
+      const std::string port_text =
+          colon == std::string::npos ? item : item.substr(colon + 1);
+      if (colon != std::string::npos && colon > 0) {
+        endpoint.host = item.substr(0, colon);
+      }
+      endpoint.port = std::atoi(port_text.c_str());
+      if (endpoint.port <= 0 || endpoint.port > 65535) return false;
+      out->push_back(std::move(endpoint));
+    }
+    begin = end + 1;
+  }
+  return !out->empty();
+}
+
+std::string RequestToLine(const serve::Request& request, int sequence) {
+  obs::JsonValue json = obs::JsonValue::Object();
+  json.Set("op", obs::JsonValue(serve::TaskOpName(request.op)));
+  json.Set("text", obs::JsonValue(request.text));
+  json.Set("top_k", obs::JsonValue(request.top_k));
+  json.Set("id", obs::JsonValue("loadgen-" + std::to_string(sequence)));
+  return json.Dump();
+}
+
+RunResult RunConnect(const std::vector<Endpoint>& endpoints,
+                     const LoadgenFlags& flags) {
+  // Synthetic pool with the usual 80/20 hot/cold shape (MakeRequest's hot
+  // set is its first 16 entries).
+  std::vector<std::string> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back("remote fault surface " + std::to_string(i) +
+                   " threshold crossed");
+  }
+  RunResult result;
+  result.name = "connect_" + std::to_string(endpoints.size()) + "_endpoints";
+  obs::LatencyHistogram latencies;
+  std::atomic<int> completed{0};
+  std::atomic<int> failed{0};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < flags.clients; ++c) {
+    clients.emplace_back([&, c] {
+      const Endpoint& endpoint = endpoints[c % endpoints.size()];
+      const int fd =
+          serve::ConnectTcp(endpoint.host, endpoint.port, 2000.0);
+      if (fd < 0) {
+        for (int i = c; i < flags.requests; i += flags.clients) {
+          failed.fetch_add(1);
+        }
+        return;
+      }
+      serve::LineReader reader(fd);
+      for (int i = c; i < flags.requests; i += flags.clients) {
+        const Clock::time_point sent = Clock::now();
+        std::string line;
+        bool success =
+            serve::SendLine(fd, RequestToLine(MakeRequest(pool, i), i)) &&
+            reader.ReadLine(&line);
+        if (success) {
+          obs::JsonValue response;
+          std::string error;
+          success = obs::JsonValue::Parse(line, &response, &error) &&
+                    response.Find("ok") != nullptr &&
+                    response.Find("ok")->AsBool();
+        }
+        if (success) {
+          completed.fetch_add(1);
+          latencies.Observe(std::chrono::duration<double, std::milli>(
+                                Clock::now() - sent)
+                                .count());
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    });
+  }
+  for (auto& client : clients) client.join();
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.completed = completed.load();
+  result.rejected = failed.load();
+  result.rps = static_cast<double>(result.completed) /
+               std::max(1e-9, result.seconds);
+  FillLatencyStats(latencies, &result);
+  return result;
+}
+
+int ConnectMain(const LoadgenFlags& flags) {
+  std::vector<Endpoint> endpoints;
+  if (!ParseEndpoints(flags.connect, &endpoints)) {
+    std::cerr << "bad --connect spec: " << flags.connect << "\n";
+    return 2;
+  }
+  std::cout << "serve_loadgen --connect: " << flags.requests
+            << " requests, " << flags.clients << " clients over "
+            << endpoints.size() << " endpoint(s)\n";
+  const RunResult result = RunConnect(endpoints, flags);
+  TablePrinter table("Remote serving throughput");
+  table.SetHeader({"configuration", "req/s", "p50 ms", "p95 ms", "p99 ms",
+                   "completed", "failed"});
+  table.AddRow(result.name,
+               {result.rps, result.p50_ms, result.p95_ms, result.p99_ms,
+                static_cast<double>(result.completed),
+                static_cast<double>(result.rejected)},
+               2);
+  table.Print(std::cout);
+
+  obs::JsonValue report = obs::JsonValue::Object();
+  report.Set("benchmark", obs::JsonValue("serve_loadgen_connect"));
+  obs::JsonValue cfg = obs::JsonValue::Object();
+  cfg.Set("clients", obs::JsonValue(flags.clients));
+  cfg.Set("requests", obs::JsonValue(flags.requests));
+  cfg.Set("endpoints", obs::JsonValue(flags.connect));
+  report.Set("config", std::move(cfg));
+  obs::JsonValue runs = obs::JsonValue::Array();
+  runs.Append(ResultToJson(result));
+  report.Set("runs", std::move(runs));
+  std::ofstream out(flags.out);
+  out << report.Dump(2) << "\n";
+  std::cout << "wrote " << flags.out << "\n";
+  return result.rejected == 0 && result.completed == flags.requests ? 0 : 1;
+}
+
 obs::JsonValue ResultToJson(const RunResult& result) {
   obs::JsonValue out = obs::JsonValue::Object();
   out.Set("name", obs::JsonValue(result.name));
@@ -438,9 +592,12 @@ int Main(int argc, char** argv) {
     else if (const char* v = value("qps")) flags.qps = std::atoi(v);
     else if (const char* v = value("slo-demo"))
       flags.slo_demo = std::atoi(v) != 0;
+    else if (const char* v = value("connect")) flags.connect = v;
     else if (const char* v = value("out")) flags.out = v;
     else if (const char* v = value("obs-out")) flags.obs_out = v;
   }
+
+  if (!flags.connect.empty()) return ConnectMain(flags);
 
   // An untrained encoder has identical per-request compute to a trained
   // one, so throughput numbers transfer; startup stays in seconds.

@@ -17,6 +17,12 @@
 #      with --linger, assert /statusz reports a finished run with >0
 #      episodes and 0 late drops, and that the per-op serve counters made
 #      it into the Prometheus exposition.
+#   6. router smoke: start 2 telekit_serve replicas behind telekit_router,
+#      assert /fleetz shows both routable, drive traced traffic through
+#      the routed NDJSON path, SIGKILL one replica and assert traffic
+#      keeps succeeding while the ejection lands in /metrics, then
+#      /reloadz a model swap with zero failed requests and drain the
+#      router via /quitquitquit.
 #
 # Optional: TELEKIT_TSAN=1 scripts/check_tier1.sh additionally builds the
 # concurrency-heavy tests (serve engine, stream pipeline, embedding cache,
@@ -30,23 +36,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/5] configure + build =="
+echo "== [1/6] configure + build =="
 cmake -B build -S .
 cmake --build build -j
 
-echo "== [2/5] ctest =="
+echo "== [2/6] ctest =="
 ctest --test-dir build --output-on-failure -j
 
-echo "== [3/5] -Werror build of the obs + stream layers =="
+echo "== [3/6] -Werror build of the obs + stream + route layers =="
 cmake -B build_strict -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
 cmake --build build_strict -j --target telekit_obs obs_test obs_admin_test \
-  obs_timeseries_test telekit_stream stream_test
+  obs_timeseries_test telekit_stream stream_test telekit_route route_test
 ./build_strict/tests/obs_test --gtest_brief=1
 ./build_strict/tests/obs_admin_test --gtest_brief=1
 ./build_strict/tests/obs_timeseries_test --gtest_brief=1
 ./build_strict/tests/stream_test --gtest_brief=1
+./build_strict/tests/route_test --gtest_brief=1
 
-echo "== [4/5] admin endpoint smoke =="
+echo "== [4/6] admin endpoint smoke =="
 SERVE_PORT=18473
 ADMIN_PORT=18474
 SERVE_LOG=$(mktemp)
@@ -173,7 +180,7 @@ rm -f "${SERVE_LOG}" "${REQUEST_LOG}"
 echo "admin smoke: OK (/healthz + /readyz + /statusz + /timeseriesz + /alertz live," \
   "exemplar -> /requestz loop closed, request log lints)"
 
-echo "== [5/5] streamd replay smoke =="
+echo "== [5/6] streamd replay smoke =="
 STREAMD_ADMIN_PORT=18475
 STREAMD_LOG=$(mktemp)
 # Unpaced deterministic replay of a small seeded stream; --linger keeps the
@@ -233,15 +240,163 @@ trap - EXIT
 rm -f "${STREAMD_LOG}"
 echo "streamd smoke: OK (${EPISODES} episodes, 0 late drops, per-op serve metrics live)"
 
+echo "== [6/6] router fleet smoke =="
+REP1_PORT=18476; REP1_ADMIN=18477
+REP2_PORT=18478; REP2_ADMIN=18479
+ROUTER_PORT=18480; ROUTER_ADMIN=18481
+REP1_LOG=$(mktemp); REP2_LOG=$(mktemp); ROUTER_LOG=$(mktemp)
+./build/src/serve/telekit_serve --port="${REP1_PORT}" \
+  --admin-port="${REP1_ADMIN}" --workers=2 --compute-threads=2 \
+  >"${REP1_LOG}" 2>&1 &
+REP1_PID=$!
+./build/src/serve/telekit_serve --port="${REP2_PORT}" \
+  --admin-port="${REP2_ADMIN}" --workers=2 --compute-threads=2 \
+  >"${REP2_LOG}" 2>&1 &
+REP2_PID=$!
+cleanup_router() {
+  kill -9 "${REP1_PID}" "${REP2_PID}" "${ROUTER_PID:-}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -f "${REP1_LOG}" "${REP2_LOG}" "${ROUTER_LOG}"
+}
+trap cleanup_router EXIT
+
+for _ in $(seq 1 60); do
+  if curl -sf -m 2 "http://127.0.0.1:${REP1_ADMIN}/readyz" >/dev/null 2>&1 \
+      && curl -sf -m 2 "http://127.0.0.1:${REP2_ADMIN}/readyz" \
+        >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "${REP1_PID}" 2>/dev/null || ! kill -0 "${REP2_PID}" 2>/dev/null; then
+    echo "router smoke: a replica died during startup:"
+    cat "${REP1_LOG}" "${REP2_LOG}"
+    exit 1
+  fi
+  sleep 1
+done
+
+./build/src/route/telekit_router --port="${ROUTER_PORT}" \
+  --admin-port="${ROUTER_ADMIN}" \
+  --replica="${REP1_PORT}:${REP1_ADMIN}" \
+  --replica="${REP2_PORT}:${REP2_ADMIN}" \
+  --probe-interval-ms=100 --eject-after=2 --readmit-after=2 \
+  >"${ROUTER_LOG}" 2>&1 &
+ROUTER_PID=$!
+for _ in $(seq 1 30); do
+  curl -sf -m 2 "http://127.0.0.1:${ROUTER_ADMIN}/readyz" \
+    >/dev/null 2>&1 && break
+  sleep 0.5
+done
+
+# Both replicas must be routable before the chaos starts.
+FLEETZ=$(curl -sf -m 2 "http://127.0.0.1:${ROUTER_ADMIN}/fleetz")
+if ! grep -q '"routable": 2' <<<"${FLEETZ}"; then
+  echo "router smoke: /fleetz does not show 2 routable replicas: ${FLEETZ}"
+  exit 1
+fi
+
+# Traced traffic through the routed NDJSON path: every reply must be ok
+# and carry the router's attribution stamp.
+route_burst() {  # route_burst <count> -> echoes number of ok replies
+  local count=$1 ok=0 reply
+  exec 4<>"/dev/tcp/127.0.0.1/${ROUTER_PORT}"
+  for i in $(seq 1 "${count}"); do
+    printf '{"op": "rca", "text": "bgp flap on edge %s", "trace": true}\n' \
+      "${i}" >&4
+    IFS= read -r reply <&4 || break
+    grep -Eq '"ok": ?true' <<<"${reply}" && ok=$((ok + 1))
+  done
+  exec 4<&- 4>&-
+  echo "${ok}"
+}
+OK_BEFORE=$(route_burst 10)
+if [[ "${OK_BEFORE}" -ne 10 ]]; then
+  echo "router smoke: pre-kill traffic lost requests (${OK_BEFORE}/10)"
+  exit 1
+fi
+
+# SIGKILL one replica mid-fleet: traffic must keep succeeding via retry
+# failover, and the ejection must land in the router's /metrics.
+kill -9 "${REP2_PID}"
+OK_AFTER=$(route_burst 20)
+if [[ "${OK_AFTER}" -ne 20 ]]; then
+  echo "router smoke: post-kill traffic lost requests (${OK_AFTER}/20)"
+  exit 1
+fi
+EJECTED=0
+for _ in $(seq 1 30); do
+  ROUTE_METRICS=$(curl -sf -m 2 "http://127.0.0.1:${ROUTER_ADMIN}/metrics")
+  EJECTED=$(sed -n 's/^telekit_route_ejections \([0-9]*\).*/\1/p' \
+    <<<"${ROUTE_METRICS}")
+  [[ -n "${EJECTED}" && "${EJECTED}" -ge 1 ]] && break
+  sleep 0.2
+done
+if [[ -z "${EJECTED}" || "${EJECTED}" -lt 1 ]]; then
+  echo "router smoke: ejection never reached /metrics"
+  exit 1
+fi
+
+# Hot reload fan-out through the router (the dead replica reports an
+# error entry, the live one accepts): traffic across the swap must not
+# fail, and a response must eventually carry the new generation.
+RELOADZ=$(curl -sf -m 5 \
+  "http://127.0.0.1:${ROUTER_ADMIN}/reloadz?model=telebert&seed=4343")
+if ! grep -q '"status"' <<<"${RELOADZ}"; then
+  echo "router smoke: /reloadz fan-out returned no replica statuses: ${RELOADZ}"
+  exit 1
+fi
+GEN2_SEEN=0
+for _ in $(seq 1 60); do
+  OK_RELOAD=$(route_burst 5)
+  if [[ "${OK_RELOAD}" -ne 5 ]]; then
+    echo "router smoke: traffic failed during hot reload (${OK_RELOAD}/5)"
+    exit 1
+  fi
+  exec 4<>"/dev/tcp/127.0.0.1/${ROUTER_PORT}"
+  printf '{"op": "encode", "text": "post reload probe"}\n' >&4
+  IFS= read -r RELOAD_REPLY <&4 || true
+  exec 4<&- 4>&-
+  if grep -Eq '"generation": ?2' <<<"${RELOAD_REPLY}"; then
+    GEN2_SEEN=1
+    break
+  fi
+  sleep 0.5
+done
+if [[ "${GEN2_SEEN}" -ne 1 ]]; then
+  echo "router smoke: reload never produced a generation-2 response"
+  exit 1
+fi
+
+# Drain: /quitquitquit answers, then the router exits on its own.
+DRAIN=$(curl -sf -m 2 "http://127.0.0.1:${ROUTER_ADMIN}/quitquitquit")
+if ! grep -q draining <<<"${DRAIN}"; then
+  echo "router smoke: /quitquitquit did not acknowledge: ${DRAIN}"
+  exit 1
+fi
+for _ in $(seq 1 30); do
+  kill -0 "${ROUTER_PID}" 2>/dev/null || break
+  sleep 0.5
+done
+if kill -0 "${ROUTER_PID}" 2>/dev/null; then
+  echo "router smoke: router did not exit after /quitquitquit"
+  exit 1
+fi
+kill -9 "${REP1_PID}" 2>/dev/null || true
+wait 2>/dev/null || true
+trap - EXIT
+rm -f "${REP1_LOG}" "${REP2_LOG}" "${ROUTER_LOG}"
+echo "router smoke: OK (fleet healthy, kill survived, ejection exported," \
+  "hot reload zero-failure, drain clean)"
+
 if [[ "${TELEKIT_TSAN:-0}" == "1" ]]; then
-  echo "== [tsan] ThreadSanitizer pass (tensor + serve + stream + obs + admin) =="
+  echo "== [tsan] ThreadSanitizer pass (tensor + serve + stream + route + obs + admin) =="
   cmake -B build_tsan -S . -DTELEKIT_TSAN=ON
   cmake --build build_tsan -j --target \
-    tensor_test serve_test stream_test obs_test obs_admin_test \
+    tensor_test serve_test stream_test route_test obs_test obs_admin_test \
     obs_timeseries_test
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/tensor_test --gtest_brief=1
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/serve_test --gtest_brief=1
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/stream_test --gtest_brief=1
+  TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/route_test --gtest_brief=1
   ./build_tsan/tests/obs_test --gtest_brief=1
   ./build_tsan/tests/obs_admin_test --gtest_brief=1
   ./build_tsan/tests/obs_timeseries_test --gtest_brief=1

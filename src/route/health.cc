@@ -1,0 +1,199 @@
+#include "route/health.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace telekit {
+namespace route {
+
+namespace {
+
+struct RouteHealthMetrics {
+  obs::Counter* ejections;
+  obs::Counter* readmissions;
+  obs::Counter* probes;
+  obs::Counter* probe_failures;
+  obs::Gauge* routable;
+
+  static RouteHealthMetrics& Get() {
+    static RouteHealthMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      RouteHealthMetrics m;
+      m.ejections = &registry.GetCounter("route/ejections");
+      m.readmissions = &registry.GetCounter("route/readmissions");
+      m.probes = &registry.GetCounter("route/probes");
+      m.probe_failures = &registry.GetCounter("route/probe_failures");
+      m.routable = &registry.GetGauge("route/routable_replicas");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::string ReplicaHealthName(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kSuspect:
+      return "suspect";
+    case ReplicaHealth::kEjected:
+      return "ejected";
+  }
+  return "unknown";
+}
+
+HealthProber::HealthProber(size_t num_replicas, ProberOptions options,
+                           ProbeFn probe)
+    : options_(options), probe_(std::move(probe)), states_(num_replicas) {
+  TELEKIT_CHECK(num_replicas > 0);
+  TELEKIT_CHECK(options_.eject_after > 0);
+  TELEKIT_CHECK(options_.readmit_after > 0);
+  UpdateHealthyGauge();
+}
+
+HealthProber::~HealthProber() { Stop(); }
+
+void HealthProber::Start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void HealthProber::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthProber::Loop() {
+  while (true) {
+    ProbeOnce();
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    const auto interval = std::chrono::duration<double, std::milli>(
+        options_.interval_ms);
+    if (stop_cv_.wait_for(lock, interval,
+                          [this] { return stop_requested_; })) {
+      return;
+    }
+  }
+}
+
+void HealthProber::ProbeOnce() {
+  auto& metrics = RouteHealthMetrics::Get();
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const bool up = probe_(i, options_.timeout_ms);
+    metrics.probes->Increment();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++states_[i].probes;
+    if (!up) {
+      ++states_[i].probe_failures;
+      metrics.probe_failures->Increment();
+    }
+    Signal(i, up);
+  }
+}
+
+void HealthProber::Signal(size_t replica, bool success) {
+  ReplicaState& state = states_[replica];
+  if (success) {
+    state.consecutive_failures = 0;
+    ++state.consecutive_successes;
+    if (state.health == ReplicaHealth::kEjected) {
+      if (state.consecutive_successes >= options_.readmit_after) {
+        state.health = ReplicaHealth::kHealthy;
+        readmissions_.fetch_add(1);
+        RouteHealthMetrics::Get().readmissions->Increment();
+        TELEKIT_LOG(WARN) << "replica readmitted"
+                          << obs::F("replica", static_cast<int>(replica));
+        UpdateHealthyGauge();
+      }
+    } else {
+      state.health = ReplicaHealth::kHealthy;
+    }
+    return;
+  }
+  state.consecutive_successes = 0;
+  ++state.consecutive_failures;
+  if (state.health == ReplicaHealth::kEjected) return;
+  if (state.consecutive_failures >= options_.eject_after) {
+    state.health = ReplicaHealth::kEjected;
+    ejections_.fetch_add(1);
+    RouteHealthMetrics::Get().ejections->Increment();
+    TELEKIT_LOG(WARN) << "replica ejected"
+                      << obs::F("replica", static_cast<int>(replica))
+                      << obs::F("failures", state.consecutive_failures);
+    UpdateHealthyGauge();
+  } else {
+    state.health = ReplicaHealth::kSuspect;
+  }
+}
+
+void HealthProber::UpdateHealthyGauge() {
+  size_t routable = 0;
+  for (const ReplicaState& state : states_) {
+    if (state.health != ReplicaHealth::kEjected) ++routable;
+  }
+  RouteHealthMetrics::Get().routable->Set(static_cast<double>(routable));
+}
+
+bool HealthProber::IsRoutable(size_t replica) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return states_[replica].health != ReplicaHealth::kEjected;
+}
+
+ReplicaHealth HealthProber::Health(size_t replica) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return states_[replica].health;
+}
+
+size_t HealthProber::num_routable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t routable = 0;
+  for (const ReplicaState& state : states_) {
+    if (state.health != ReplicaHealth::kEjected) ++routable;
+  }
+  return routable;
+}
+
+void HealthProber::ReportFailure(size_t replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Signal(replica, false);
+}
+
+void HealthProber::ReportSuccess(size_t replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Signal(replica, true);
+}
+
+obs::JsonValue HealthProber::StatusJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::JsonValue out = obs::JsonValue::Array();
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const ReplicaState& state = states_[i];
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("replica", obs::JsonValue(static_cast<uint64_t>(i)));
+    entry.Set("health", obs::JsonValue(ReplicaHealthName(state.health)));
+    entry.Set("consecutive_failures",
+              obs::JsonValue(state.consecutive_failures));
+    entry.Set("probes", obs::JsonValue(state.probes));
+    entry.Set("probe_failures", obs::JsonValue(state.probe_failures));
+    out.Append(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace route
+}  // namespace telekit

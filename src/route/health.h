@@ -1,0 +1,123 @@
+#ifndef TELEKIT_ROUTE_HEALTH_H_
+#define TELEKIT_ROUTE_HEALTH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace telekit {
+namespace route {
+
+/// Replica admission state.
+///
+///   kHealthy --fail--> kSuspect --fail^(eject_after-1)--> kEjected
+///      ^                  |                                  |
+///      +----success-------+        success^readmit_after ----+
+///
+/// kSuspect replicas still take traffic (one failure is usually a blip);
+/// kEjected replicas are skipped by the router until the prober sees
+/// `readmit_after` consecutive successful probes.
+enum class ReplicaHealth { kHealthy, kSuspect, kEjected };
+
+std::string ReplicaHealthName(ReplicaHealth health);
+
+struct ProberOptions {
+  /// Probe sweep period.
+  double interval_ms = 250.0;
+  /// Per-probe timeout (passed to the probe fn by convention).
+  double timeout_ms = 500.0;
+  /// Consecutive failures (probe or data-plane) that eject a replica.
+  int eject_after = 3;
+  /// Consecutive successful probes that readmit an ejected replica.
+  int readmit_after = 2;
+};
+
+/// Background health prober + eject/readmit state machine for a fixed
+/// replica fleet.
+///
+/// Signals come from two places: the probe thread (polling each replica's
+/// /readyz via the injected ProbeFn) and the data plane (the router calls
+/// ReportFailure/ReportSuccess per forwarding attempt, so a dead replica
+/// is ejected after eject_after failed *requests* without waiting for the
+/// next sweep). Readmission is probe-only — traffic never reaches an
+/// ejected replica, so only the prober can observe its recovery.
+///
+/// Thread-safety: all methods are safe from any thread.
+class HealthProber {
+ public:
+  /// `probe(i, timeout_ms)` returns true when replica i answers ready.
+  using ProbeFn = std::function<bool(size_t replica, double timeout_ms)>;
+
+  HealthProber(size_t num_replicas, ProberOptions options, ProbeFn probe);
+  ~HealthProber();
+
+  HealthProber(const HealthProber&) = delete;
+  HealthProber& operator=(const HealthProber&) = delete;
+
+  /// Starts the background sweep thread. Idempotent.
+  void Start();
+  /// Stops it. Idempotent; also called by the destructor.
+  void Stop();
+
+  /// One synchronous sweep over all replicas (what the background thread
+  /// runs each interval) — lets tests drive the state machine without
+  /// real time.
+  void ProbeOnce();
+
+  /// Routable = not ejected.
+  bool IsRoutable(size_t replica) const;
+  ReplicaHealth Health(size_t replica) const;
+  size_t num_routable() const;
+  size_t num_replicas() const { return states_.size(); }
+
+  /// Data-plane feedback from the router's forwarding attempts.
+  void ReportFailure(size_t replica);
+  void ReportSuccess(size_t replica);
+
+  /// Lifetime eject/readmit transition counts (also exported as the
+  /// route/ejections and route/readmissions counters).
+  uint64_t ejections() const { return ejections_.load(); }
+  uint64_t readmissions() const { return readmissions_.load(); }
+
+  /// Per-replica state for /fleetz: [{"replica", "health", "consecutive_
+  /// failures", "probes", "probe_failures"}].
+  obs::JsonValue StatusJson() const;
+
+ private:
+  struct ReplicaState {
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    int consecutive_failures = 0;
+    int consecutive_successes = 0;
+    uint64_t probes = 0;
+    uint64_t probe_failures = 0;
+  };
+
+  void Loop();
+  /// Applies one success/failure signal to replica i. Caller holds mutex_.
+  void Signal(size_t replica, bool success);
+  void UpdateHealthyGauge();
+
+  const ProberOptions options_;
+  const ProbeFn probe_;
+  mutable std::mutex mutex_;
+  std::vector<ReplicaState> states_;
+  std::atomic<uint64_t> ejections_{0};
+  std::atomic<uint64_t> readmissions_{0};
+  std::thread thread_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace route
+}  // namespace telekit
+
+#endif  // TELEKIT_ROUTE_HEALTH_H_

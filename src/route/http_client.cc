@@ -1,0 +1,82 @@
+#include "route/http_client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+
+#include "serve/line_io.h"
+
+namespace telekit {
+namespace route {
+
+namespace {
+
+double RemainingMs(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::duration<double, std::milli>(
+             deadline - std::chrono::steady_clock::now())
+      .count();
+}
+
+}  // namespace
+
+StatusOr<HttpResult> HttpGet(const std::string& host, int port,
+                             const std::string& target, double timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  const int fd = serve::ConnectTcp(host, port, timeout_ms);
+  if (fd < 0) {
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + " failed");
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!serve::SendAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status::Unavailable("send failed");
+  }
+  // The admin server answers once and closes, so read to EOF.
+  std::string raw;
+  char buffer[4096];
+  while (true) {
+    const double remaining = RemainingMs(deadline);
+    if (remaining <= 0.0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("http read timed out");
+    }
+    if (!serve::WaitReadable(fd, remaining)) {
+      ::close(fd);
+      return Status::DeadlineExceeded("http read timed out");
+    }
+    const long n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Unavailable("recv failed");
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // Parse "HTTP/1.1 <code> ..." + blank-line-separated body.
+  if (raw.rfind("HTTP/", 0) != 0) {
+    return Status::Internal("malformed http response");
+  }
+  const size_t space = raw.find(' ');
+  if (space == std::string::npos) {
+    return Status::Internal("malformed http status line");
+  }
+  HttpResult result;
+  result.status = std::atoi(raw.c_str() + space + 1);
+  const size_t body = raw.find("\r\n\r\n");
+  if (body != std::string::npos) result.body = raw.substr(body + 4);
+  return result;
+}
+
+}  // namespace route
+}  // namespace telekit

@@ -1,0 +1,27 @@
+#ifndef TELEKIT_ROUTE_HTTP_CLIENT_H_
+#define TELEKIT_ROUTE_HTTP_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace telekit {
+namespace route {
+
+/// One admin-plane HTTP exchange.
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.1 GET against an obs::AdminServer-style
+/// endpoint (`target` is path + optional "?query"). `timeout_ms` bounds
+/// the whole exchange: connect, send, and read. This is the probe/reload
+/// control plane only — request traffic rides the NDJSON data plane.
+StatusOr<HttpResult> HttpGet(const std::string& host, int port,
+                             const std::string& target, double timeout_ms);
+
+}  // namespace route
+}  // namespace telekit
+
+#endif  // TELEKIT_ROUTE_HTTP_CLIENT_H_

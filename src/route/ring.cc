@@ -1,0 +1,108 @@
+#include "route/ring.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "obs/log.h"
+
+namespace telekit {
+namespace route {
+
+uint64_t HashKey64(const void* data, size_t len, uint64_t seed) {
+  // MurmurHash64A (Austin Appleby, public domain), fixed little-endian
+  // tail handling so the value is platform-stable.
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  uint64_t h = seed ^ (static_cast<uint64_t>(len) * m);
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* end = p + (len / 8) * 8;
+  while (p != end) {
+    uint64_t k;
+    std::memcpy(&k, p, sizeof(k));
+    p += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+  const size_t tail = len & 7;
+  uint64_t k = 0;
+  for (size_t i = 0; i < tail; ++i) {
+    k |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  if (tail != 0) {
+    h ^= k;
+    h *= m;
+  }
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+uint64_t HashKey64(const std::string& key, uint64_t seed) {
+  return HashKey64(key.data(), key.size(), seed);
+}
+
+HashRing::HashRing(std::vector<std::string> nodes, int vnodes)
+    : nodes_(std::move(nodes)) {
+  TELEKIT_CHECK(!nodes_.empty());
+  TELEKIT_CHECK(vnodes > 0);
+  points_.reserve(nodes_.size() * static_cast<size_t>(vnodes));
+  for (size_t node = 0; node < nodes_.size(); ++node) {
+    for (int replica = 0; replica < vnodes; ++replica) {
+      const std::string label =
+          nodes_[node] + "#" + std::to_string(replica);
+      points_.emplace_back(HashKey64(label), node);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+size_t HashRing::LowerBound(uint64_t hash) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const std::pair<uint64_t, size_t>& point, uint64_t h) {
+        return point.first < h;
+      });
+  if (it == points_.end()) it = points_.begin();  // wrap the circle
+  return static_cast<size_t>(it - points_.begin());
+}
+
+size_t HashRing::Pick(const std::string& key) const {
+  return points_[LowerBound(HashKey64(key))].second;
+}
+
+std::vector<size_t> HashRing::WalkOrder(const std::string& key) const {
+  std::vector<size_t> order;
+  order.reserve(nodes_.size());
+  std::vector<bool> seen(nodes_.size(), false);
+  const size_t start = LowerBound(HashKey64(key));
+  for (size_t i = 0; i < points_.size() && order.size() < nodes_.size();
+       ++i) {
+    const size_t node = points_[(start + i) % points_.size()].second;
+    if (!seen[node]) {
+      seen[node] = true;
+      order.push_back(node);
+    }
+  }
+  return order;
+}
+
+std::vector<double> HashRing::LoadShares(size_t samples) const {
+  std::vector<size_t> counts(nodes_.size(), 0);
+  for (size_t i = 0; i < samples; ++i) {
+    ++counts[Pick("load-share-sample-" + std::to_string(i))];
+  }
+  std::vector<double> shares(nodes_.size(), 0.0);
+  for (size_t node = 0; node < nodes_.size(); ++node) {
+    shares[node] =
+        static_cast<double>(counts[node]) / static_cast<double>(samples);
+  }
+  return shares;
+}
+
+}  // namespace route
+}  // namespace telekit

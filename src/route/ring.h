@@ -1,0 +1,68 @@
+#ifndef TELEKIT_ROUTE_RING_H_
+#define TELEKIT_ROUTE_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace telekit {
+namespace route {
+
+/// 64-bit MurmurHash64A-style mixer over arbitrary bytes. Deterministic
+/// across runs and platforms — ring placement (and therefore cache
+/// affinity) must survive router restarts.
+uint64_t HashKey64(const void* data, size_t len, uint64_t seed = 0);
+uint64_t HashKey64(const std::string& key, uint64_t seed = 0);
+
+/// Consistent-hash ring with virtual nodes.
+///
+/// Each node is hashed `vnodes` times onto a 64-bit circle; a key routes
+/// to the first virtual node clockwise from its own hash. Adding or
+/// removing one node moves only ~1/N of the keyspace, so the per-replica
+/// EmbeddingCache working set stays put across fleet changes — the whole
+/// point of keying on request text.
+///
+/// The ring is immutable after construction (membership changes rebuild a
+/// ring; *health* changes do not — the router instead walks WalkOrder()
+/// past ejected replicas, so a replica readmits into exactly the keyspace
+/// slice it owned before).
+///
+/// Thread-safety: all const methods are safe concurrently.
+class HashRing {
+ public:
+  /// `nodes` are opaque labels (replica names); `vnodes` virtual nodes
+  /// per physical node (more = smoother balance, larger ring).
+  explicit HashRing(std::vector<std::string> nodes, int vnodes = 64);
+
+  /// Index (into the constructor's `nodes`) owning `key`. Ring must be
+  /// non-empty.
+  size_t Pick(const std::string& key) const;
+
+  /// Every distinct node index in ring order starting at `key`'s owner —
+  /// the failover sequence: attempt i+1 goes to WalkOrder(key)[i+1].
+  /// Deterministic per key, different keys spread their failover load
+  /// over different successors.
+  std::vector<size_t> WalkOrder(const std::string& key) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<std::string>& nodes() const { return nodes_; }
+
+  /// Keys-per-node share for `samples` uniformly hashed keys; used by
+  /// tests to assert balance.
+  std::vector<double> LoadShares(size_t samples) const;
+
+ private:
+  /// First ring point at or clockwise-after `hash`.
+  size_t LowerBound(uint64_t hash) const;
+
+  std::vector<std::string> nodes_;
+  /// Sorted (point hash, node index) pairs — the circle.
+  std::vector<std::pair<uint64_t, size_t>> points_;
+};
+
+}  // namespace route
+}  // namespace telekit
+
+#endif  // TELEKIT_ROUTE_RING_H_

@@ -36,6 +36,10 @@ struct Request {
   std::string text;
   /// Service-delivery format for prompt construction (Sec. V-A3).
   core::ServiceMode mode = core::ServiceMode::kEntityNoAttr;
+  /// Model variant this request targets ("" = the host's default). The
+  /// engine itself is single-model; serve::ModelHost resolves this field
+  /// to a bundle before Submit, and the router forwards it untouched.
+  std::string model;
   /// Candidates returned for task ops (<= 0 means the whole catalogue).
   int top_k = 5;
   /// Total time budget inside the engine; 0 disables the deadline.

@@ -1,0 +1,139 @@
+#include "serve/line_io.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace telekit {
+namespace serve {
+
+LineReader::LineReader(int fd, size_t max_line)
+    : read_([fd](char* buffer, size_t n) {
+        return static_cast<long>(::recv(fd, buffer, n, 0));
+      }),
+      max_line_(max_line) {}
+
+LineReader::LineReader(ReadFn read, size_t max_line)
+    : read_(std::move(read)), max_line_(max_line) {}
+
+bool LineReader::ReadLine(std::string* line) {
+  while (true) {
+    // Scan only the bytes not yet examined; '\n' can never hide in the
+    // prefix already scanned.
+    const size_t pos = buffer_.find('\n', scan_from_);
+    if (pos != std::string::npos) {
+      size_t end = pos;
+      if (end > 0 && buffer_[end - 1] == '\r') --end;
+      line->assign(buffer_, 0, end);
+      buffer_.erase(0, pos + 1);
+      scan_from_ = 0;
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      // Final unterminated line.
+      size_t end = buffer_.size();
+      if (buffer_[end - 1] == '\r') --end;
+      line->assign(buffer_, 0, end);
+      buffer_.clear();
+      scan_from_ = 0;
+      return true;
+    }
+    if (buffer_.size() >= max_line_) {
+      overflowed_ = true;
+      return false;
+    }
+    char chunk[4096];
+    long n;
+    do {
+      n = read_(chunk, sizeof(chunk));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      eof_ = true;
+      continue;  // flush any unterminated remainder
+    }
+    scan_from_ = buffer_.size();
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool SendLine(int fd, const std::string& line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  return SendAll(fd, framed.data(), framed.size());
+}
+
+int ConnectTcp(const std::string& host, int port, double timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  // Non-blocking connect so a dead host costs timeout_ms, not the kernel's
+  // multi-minute SYN retry budget.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WaitReadable(int fd, double timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  } while (rc < 0 && errno == EINTR);
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+}  // namespace serve
+}  // namespace telekit

@@ -1,0 +1,168 @@
+#include "serve/model_host.h"
+
+#include <mutex>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace telekit {
+namespace serve {
+
+bool ParseServeModel(const std::string& name, core::ModelKind* kind) {
+  if (name == "telebert" || name.empty()) {
+    *kind = core::ModelKind::kTeleBert;
+  } else if (name == "ktelebert_stl") {
+    *kind = core::ModelKind::kKTeleBertStl;
+  } else if (name == "ktelebert_pmtl") {
+    *kind = core::ModelKind::kKTeleBertPmtl;
+  } else if (name == "ktelebert_imtl") {
+    *kind = core::ModelKind::kKTeleBertImtl;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string ServeModelName(core::ModelKind kind) {
+  switch (kind) {
+    case core::ModelKind::kTeleBert:
+      return "telebert";
+    case core::ModelKind::kKTeleBertStl:
+      return "ktelebert_stl";
+    case core::ModelKind::kKTeleBertPmtl:
+      return "ktelebert_pmtl";
+    case core::ModelKind::kKTeleBertImtl:
+      return "ktelebert_imtl";
+    default:
+      return core::ModelKindName(kind);
+  }
+}
+
+StatusOr<std::shared_ptr<ModelBundle>> BuildModelBundle(
+    const std::string& model, std::shared_ptr<core::ModelZoo> zoo,
+    const EngineOptions& options) {
+  core::ModelKind kind;
+  if (!ParseServeModel(model, &kind)) {
+    return Status::InvalidArgument(
+        "unknown model (want telebert|ktelebert_stl|ktelebert_pmtl|"
+        "ktelebert_imtl): " +
+        model);
+  }
+  if (zoo == nullptr) {
+    return Status::InvalidArgument("BuildModelBundle needs a zoo");
+  }
+  auto bundle = std::make_shared<ModelBundle>();
+  bundle->model = ServeModelName(kind);
+  bundle->kind = kind;
+  bundle->seed = zoo->config().seed;
+  bundle->zoo = std::move(zoo);
+  if (kind == core::ModelKind::kTeleBert) {
+    // TeleBERT needs only the stage-one pre-trained stack; KTeleBERT
+    // variants need the full re-training build below.
+    bundle->zoo->BuildData();
+    bundle->zoo->BuildPretrained();
+    bundle->adapter =
+        std::make_unique<core::TeleBertEncoder>(&bundle->zoo->telebert());
+    bundle->service = std::make_unique<core::ServiceEncoder>(
+        bundle->adapter.get(), &bundle->zoo->tokenizer(),
+        &bundle->zoo->store(), &bundle->zoo->normalizer());
+  } else {
+    bundle->zoo->Build();
+    bundle->service = std::make_unique<core::ServiceEncoder>(
+        bundle->zoo->MakeServiceEncoder(kind));
+  }
+  bundle->engine =
+      std::make_unique<ServeEngine>(bundle->service.get(), options);
+  std::vector<std::string> alarm_names;
+  alarm_names.reserve(bundle->zoo->world().alarms().size());
+  for (const auto& alarm : bundle->zoo->world().alarms()) {
+    alarm_names.push_back(alarm.name);
+  }
+  for (TaskOp op : {TaskOp::kRca, TaskOp::kEap, TaskOp::kFct}) {
+    TELEKIT_RETURN_IF_ERROR(bundle->engine->LoadCatalog(op, alarm_names));
+  }
+  return bundle;
+}
+
+ModelHost::ModelHost(std::string default_model)
+    : default_model_(std::move(default_model)) {}
+
+void ModelHost::Install(std::shared_ptr<ModelBundle> bundle) {
+  TELEKIT_CHECK(bundle != nullptr && !bundle->model.empty());
+  std::shared_ptr<ModelBundle> replaced;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = bundles_.find(bundle->model);
+    const uint64_t previous =
+        it != bundles_.end() ? it->second->generation : 0;
+    bundle->generation = previous + 1;
+    if (it != bundles_.end()) replaced = std::move(it->second);
+    bundles_[bundle->model] = bundle;
+    ++installs_;
+  }
+  obs::MetricsRegistry::Global().GetCounter("serve/model_installs")
+      .Increment();
+  TELEKIT_LOG(INFO) << "serve: installed model"
+                    << obs::F("model", bundle->model)
+                    << obs::F("generation", bundle->generation)
+                    << obs::F("seed", bundle->seed)
+                    << obs::F("replaced", replaced != nullptr);
+  // `replaced` dies here (or later, wherever the last in-flight holder
+  // releases it); ~ModelBundle drains its engine either way.
+}
+
+ModelHost::BundlePtr ModelHost::Resolve(const std::string& model) const {
+  const std::string& name = model.empty() ? default_model_ : model;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = bundles_.find(name);
+  return it == bundles_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ModelHost::Models() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(bundles_.size());
+  for (const auto& [name, bundle] : bundles_) names.push_back(name);
+  return names;
+}
+
+std::vector<ModelHost::BundlePtr> ModelHost::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<BundlePtr> bundles;
+  bundles.reserve(bundles_.size());
+  for (const auto& [name, bundle] : bundles_) bundles.push_back(bundle);
+  return bundles;
+}
+
+uint64_t ModelHost::installs() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return installs_;
+}
+
+obs::JsonValue ModelHost::StatusJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("default", obs::JsonValue(default_model_));
+  out.Set("installs", obs::JsonValue(installs()));
+  obs::JsonValue models = obs::JsonValue::Array();
+  for (const BundlePtr& bundle : Snapshot()) {
+    obs::JsonValue item = obs::JsonValue::Object();
+    item.Set("model", obs::JsonValue(bundle->model));
+    item.Set("generation", obs::JsonValue(bundle->generation));
+    item.Set("seed", obs::JsonValue(bundle->seed));
+    const EngineStats stats = bundle->engine->GetStats();
+    obs::JsonValue engine = obs::JsonValue::Object();
+    engine.Set("queue_depth", obs::JsonValue(stats.queue_depth));
+    engine.Set("workers", obs::JsonValue(stats.num_workers));
+    engine.Set("cache_size", obs::JsonValue(stats.cache_size));
+    engine.Set("cache_hit_rate", obs::JsonValue(stats.cache_hit_rate));
+    engine.Set("saturated", obs::JsonValue(stats.saturated));
+    item.Set("engine", std::move(engine));
+    models.Append(std::move(item));
+  }
+  out.Set("models", std::move(models));
+  return out;
+}
+
+}  // namespace serve
+}  // namespace telekit

@@ -1,0 +1,102 @@
+#ifndef TELEKIT_SERVE_MODEL_HOST_H_
+#define TELEKIT_SERVE_MODEL_HOST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model_zoo.h"
+#include "obs/json.h"
+#include "serve/engine.h"
+
+namespace telekit {
+namespace serve {
+
+/// One servable model variant: the zoo (or a share of it) that owns the
+/// weights, the encoder adapter, the prompt-building ServiceEncoder, and a
+/// dedicated ServeEngine (own worker pool, embedding cache, and per-task
+/// catalogues). Bundles are immutable once installed; a hot-reload builds
+/// a fresh bundle and swaps the pointer.
+///
+/// Member order is the destruction contract: the engine is declared last
+/// so ~ModelBundle stops (and drains) it before the encoder or zoo it
+/// borrows from goes away. ~ServeEngine finishes everything still queued,
+/// so a swapped-out generation fulfils its in-flight requests — the
+/// zero-downtime guarantee.
+struct ModelBundle {
+  std::string model;        // wire name ("telebert", "ktelebert_stl", ...)
+  core::ModelKind kind = core::ModelKind::kTeleBert;
+  uint64_t generation = 0;  // assigned by ModelHost::Install
+  uint64_t seed = 0;
+  std::shared_ptr<core::ModelZoo> zoo;
+  std::unique_ptr<core::TextEncoder> adapter;  // null when zoo-owned
+  std::unique_ptr<core::ServiceEncoder> service;
+  std::unique_ptr<ServeEngine> engine;
+};
+
+/// Wire-name round trip for the servable variants (the paper's table
+/// rows the deployment actually exposes): "telebert", "ktelebert_stl",
+/// "ktelebert_pmtl", "ktelebert_imtl".
+bool ParseServeModel(const std::string& name, core::ModelKind* kind);
+std::string ServeModelName(core::ModelKind kind);
+
+/// Builds a ready-to-serve bundle for `model`: builds the zoo stage the
+/// variant needs (BuildPretrained for TeleBERT, full Build for KTeleBERT
+/// variants — both single-flight, so sharing `zoo` across bundles is
+/// safe), constructs the encoder adapter + ServiceEncoder, starts a
+/// ServeEngine with `options`, and loads the world's alarm catalogue for
+/// every task op.
+StatusOr<std::shared_ptr<ModelBundle>> BuildModelBundle(
+    const std::string& model, std::shared_ptr<core::ModelZoo> zoo,
+    const EngineOptions& options);
+
+/// The per-request model table behind `telekit_serve`: maps the request's
+/// `model` field to a live ModelBundle. This generalizes the engine's
+/// catalogue shared_mutex swap to whole model variants — Resolve hands out
+/// a shared_ptr, so Install can replace a generation while requests on the
+/// old one are still in flight; the old bundle drains and dies when its
+/// last request completes.
+///
+/// Thread-safety: all methods are safe from any thread. Handlers must
+/// hold the returned BundlePtr for as long as they use bundle->engine.
+class ModelHost {
+ public:
+  using BundlePtr = std::shared_ptr<const ModelBundle>;
+
+  explicit ModelHost(std::string default_model = "telebert");
+
+  /// Publishes `bundle` under bundle->model, replacing any previous
+  /// generation (generation is assigned here: previous + 1). The swapped-
+  /// out bundle is released, not stopped — in-flight holders finish first.
+  void Install(std::shared_ptr<ModelBundle> bundle);
+
+  /// The bundle for `model` ("" resolves the default); null when unknown.
+  BundlePtr Resolve(const std::string& model) const;
+
+  std::vector<std::string> Models() const;
+  std::vector<BundlePtr> Snapshot() const;
+  const std::string& default_model() const { return default_model_; }
+
+  /// Total Install calls (across all models) — a cheap "did a reload
+  /// happen" signal for /statusz.
+  uint64_t installs() const;
+
+  /// {"default": ..., "models": [{"model", "generation", "seed",
+  ///  "engine": {...queue/cache stats...}}]} for the /modelz endpoint.
+  obs::JsonValue StatusJson() const;
+
+ private:
+  const std::string default_model_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::shared_ptr<ModelBundle>> bundles_;
+  uint64_t installs_ = 0;
+};
+
+}  // namespace serve
+}  // namespace telekit
+
+#endif  // TELEKIT_SERVE_MODEL_HOST_H_

@@ -1,0 +1,111 @@
+#ifndef TELEKIT_SERVE_NDJSON_SERVER_H_
+#define TELEKIT_SERVE_NDJSON_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/line_io.h"
+#include "serve/model_host.h"
+
+namespace telekit {
+namespace serve {
+
+/// Dispatches one NDJSON request line; the returned future resolves to the
+/// response line (no trailing '\n'). Handlers are called from connection
+/// reader threads and must be thread-safe; the future's get() runs on the
+/// connection writer thread (a deferred future defers the rendering
+/// there, which is how the serve handler keeps the reader pipelining).
+using LineHandler = std::function<std::future<std::string>(std::string)>;
+
+/// The telekit_serve request handler over a ModelHost: parses the line,
+/// resolves the request's `model` field to a live bundle (holding the
+/// bundle shared_ptr across the request, so hot-reload swaps never drop
+/// in-flight work), submits to that bundle's engine, and renders the
+/// response with `model` + `generation` attribution. While `*draining` is
+/// true every new request is rejected UNAVAILABLE ("draining") — the
+/// /quitquitquit path. `draining` may be null (never drains).
+LineHandler MakeServeLineHandler(ModelHost* host,
+                                 const std::atomic<bool>* draining);
+
+/// One client session: reads lines with `reader`, dispatches through
+/// `handler`, and writes responses in request order via a dedicated writer
+/// thread (a synchronous client waiting for each reply must not deadlock
+/// against a reader blocked on the next line). `write_line` must frame and
+/// flush one full line; returning false stops the writer.
+/// `in_flight` (optional) is incremented per dispatched request and
+/// decremented once its response is written or abandoned.
+void ServeNdjsonSession(const LineHandler& handler, LineReader& reader,
+                        const std::function<bool(const std::string&)>& write,
+                        std::atomic<int64_t>* in_flight = nullptr);
+
+/// Stdin/stdout convenience wrapper over ServeNdjsonSession.
+void ServeNdjsonStdio(const LineHandler& handler, std::istream& in,
+                      std::ostream& out);
+
+/// Loopback NDJSON-over-TCP server: one thread per connection running
+/// ServeNdjsonSession over the socket. Start/Drain/Stop are safe from any
+/// thread.
+///
+/// Stop() is a *hard* stop: it shuts down the listener and every live
+/// connection socket mid-stream (in-flight requests surface to peers as
+/// connection errors), which is what the route bench uses to simulate a
+/// SIGKILLed replica in-process. Drain() is the graceful half: stop
+/// accepting, let existing sessions finish, reject new work via the
+/// handler's draining flag.
+class NdjsonServer {
+ public:
+  NdjsonServer();
+  ~NdjsonServer();
+
+  NdjsonServer(const NdjsonServer&) = delete;
+  NdjsonServer& operator=(const NdjsonServer&) = delete;
+
+  /// Binds 127.0.0.1:port (0 = ephemeral) and starts accepting. False when
+  /// already running or the bind fails. May be called again after Stop().
+  bool Start(int port, LineHandler handler);
+
+  /// Stops accepting new connections; existing sessions continue.
+  void Drain();
+
+  /// Hard stop: closes the listener and all connection sockets, joins all
+  /// session threads. Idempotent.
+  void Stop();
+
+  int port() const { return port_.load(); }
+  bool running() const { return running_.load(); }
+  bool draining() const { return draining_.load(); }
+  /// Requests dispatched but not yet answered, across all connections.
+  int64_t in_flight() const { return in_flight_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+
+  LineHandler handler_;
+  int listener_ = -1;
+  std::atomic<int> port_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> in_flight_{0};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace serve
+}  // namespace telekit
+
+#endif  // TELEKIT_SERVE_NDJSON_SERVER_H_

@@ -73,6 +73,13 @@ Status ParseRequest(const obs::JsonValue& json, Request* request) {
           "bad mode (want name|entity|entity_attr): " + mode->Dump());
     }
   }
+  if (const obs::JsonValue* model = json.Find("model")) {
+    if (!model->is_string()) {
+      return Status::InvalidArgument("'model' must be a string: " +
+                                     model->Dump());
+    }
+    request->model = model->AsString();
+  }
   if (const obs::JsonValue* top_k = json.Find("top_k")) {
     if (!top_k->is_number()) {
       return Status::InvalidArgument("'top_k' must be a number");

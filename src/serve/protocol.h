@@ -19,7 +19,9 @@ namespace serve {
 ///
 /// Fields: `op` ("encode" | "rca" | "eap" | "fct", default "encode"),
 /// `text` (required), `mode` ("name" | "entity" | "entity_attr", default
-/// "entity"), `top_k`, `deadline_ms`, a free-form `id` echoed back for
+/// "entity"), `model` (variant name, e.g. "telebert" | "ktelebert_stl";
+/// "" = server default), `top_k`, `deadline_ms`, a free-form `id` echoed
+/// back for
 /// client-side correlation, and an optional `trace` field: a 16-hex-digit
 /// string supplies the request's trace id (64-bit ids ride JSON as hex
 /// strings — JSON numbers are doubles), `true` asks the server to assign

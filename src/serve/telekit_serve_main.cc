@@ -3,24 +3,19 @@
 // Reads one JSON request per line from stdin (default) or from TCP
 // connections (--port=N), answers one JSON object per line. See
 // serve/protocol.h for the wire format and README.md for a quick-start
-// session.
+// session. Requests may carry a `model` field selecting a hosted variant
+// (--models=telebert,ktelebert_stl,...); /reloadz hot-swaps a variant's
+// checkpoint without dropping in-flight requests and /quitquitquit drains
+// gracefully (stop accepting, finish in-flight, flip /readyz to 503).
 //
 // By default the model is an untrained TeleBERT over a small synthetic
 // world so the server starts in seconds; pass --pretrain-steps=N to
 // pre-train first (or point TELEKIT_CACHE at an existing checkpoint dir).
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
-#include <cstring>
-#include <deque>
-#include <future>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -29,8 +24,7 @@
 #include <utility>
 #include <vector>
 
-#include <atomic>
-
+#include "common/string_util.h"
 #include "core/model_zoo.h"
 #include "obs/admin.h"
 #include "obs/log.h"
@@ -41,6 +35,8 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
+#include "serve/model_host.h"
+#include "serve/ndjson_server.h"
 #include "serve/protocol.h"
 #include "tensor/compute_pool.h"
 
@@ -63,6 +59,7 @@ struct Flags {
   int compute_threads = 0;  // 0 = TELEKIT_COMPUTE_THREADS / hardware default
   int pretrain_steps = 0;
   uint64_t seed = 20230401;
+  std::string models = "telebert";  // comma-separated variant list
   std::string obs_json;
   std::string request_log;      // NDJSON wide-event sink ("" = off)
   double ts_interval_s = 1.0;   // time-series sampler period
@@ -85,6 +82,8 @@ void PrintUsage() {
       << "  --port=N            serve TCP instead of stdin/stdout\n"
       << "  --admin-port=N      HTTP admin endpoints on 127.0.0.1:N\n"
       << "                      (0 = ephemeral; default off)\n"
+      << "  --models=LIST       comma-separated variants to host (default\n"
+      << "                      telebert; also ktelebert_stl|pmtl|imtl)\n"
       << "  --slow-request-ms=X log + /tracez requests slower than X ms\n"
       << "                      (default 100; 0 = off)\n"
       << "  --workers=N         engine worker threads (default 4)\n"
@@ -118,6 +117,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->port = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "admin-port", &v)) {
       flags->admin_port = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "models", &v)) {
+      flags->models = v;
     } else if (ParseFlag(arg, "slow-request-ms", &v)) {
       flags->slow_request_ms = std::atof(v.c_str());
     } else if (ParseFlag(arg, "workers", &v)) {
@@ -171,9 +172,9 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
 }
 
 /// Small, fast-to-build zoo sized for interactive startup.
-core::ZooConfig ServeZooConfig(const Flags& flags) {
+core::ZooConfig ServeZooConfig(const Flags& flags, uint64_t seed) {
   core::ZooConfig config;
-  config.seed = flags.seed;
+  config.seed = seed;
   config.world.num_alarm_types = 48;
   config.world.num_kpi_types = 24;
   config.corpus.num_tele_sentences = 1500;
@@ -184,166 +185,102 @@ core::ZooConfig ServeZooConfig(const Flags& flags) {
   return config;
 }
 
-/// One client connection (or the stdin/stdout session): parses NDJSON
-/// requests, pipelines them through the engine (so micro-batches can form
-/// even for a single client), and writes responses in request order.
-///
-/// A dedicated writer thread blocks on the oldest in-flight future while
-/// this thread blocks in getline. Draining responses only from the reader
-/// loop would deadlock a synchronous client that waits for each reply
-/// before sending its next line (the reply would only flush when the next
-/// line arrived). Parse errors ride the same queue so output stays in
-/// request order with a single thread touching `out`.
-void ServeStream(ServeEngine& engine, std::istream& in, std::ostream& out) {
-  struct InFlight {
-    Request request;
-    std::unique_ptr<obs::JsonValue> id;
-    /// Trace id salvaged from the raw JSON for lines that fail validation,
-    /// so even error replies correlate (0 = none supplied).
-    uint64_t trace_id = 0;
-    /// Invalid when the line never produced a request; `error` then holds
-    /// the parse failure.
-    std::future<Response> future;
-    Status error;
-  };
-  std::deque<InFlight> in_flight;
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool reader_done = false;
-
-  std::thread writer([&] {
-    std::unique_lock<std::mutex> lock(mutex);
-    while (true) {
-      cv.wait(lock, [&] { return reader_done || !in_flight.empty(); });
-      if (in_flight.empty()) return;  // reader done and queue drained
-      InFlight item = std::move(in_flight.front());
-      in_flight.pop_front();
-      lock.unlock();
-      // future.get() blocks outside the lock so the reader keeps
-      // enqueueing lines and micro-batches still form for one client.
-      const obs::JsonValue json =
-          item.future.valid()
-              ? ResponseToJson(item.request, item.future.get(), item.id.get())
-              : ErrorToJson(item.error, item.id.get(), item.trace_id);
-      out << json.Dump() << "\n";
-      out.flush();
-      lock.lock();
-    }
-  });
-
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    obs::JsonValue json;
-    std::string parse_error;
-    InFlight item;
-    Status status;
-    if (!obs::JsonValue::Parse(line, &json, &parse_error)) {
-      status = Status::InvalidArgument("bad JSON: " + parse_error);
-    } else {
-      if (const obs::JsonValue* found = json.Find("id")) {
-        item.id = std::make_unique<obs::JsonValue>(*found);
-      }
-      // Salvaged before validation: a reply to a malformed request must
-      // still echo the caller's correlation fields.
-      if (const obs::JsonValue* trace = json.Find("trace")) {
-        if (trace->is_string()) {
-          obs::ParseTraceIdHex(trace->AsString(), &item.trace_id);
-        }
-      }
-      status = ParseRequest(json, &item.request);
-    }
-    if (status.ok()) {
-      item.future = engine.Submit(item.request);
-    } else {
-      item.error = status;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      in_flight.push_back(std::move(item));
-    }
-    cv.notify_one();
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    reader_done = true;
-  }
-  cv.notify_one();
-  writer.join();
+EngineOptions MakeEngineOptions(const Flags& flags) {
+  EngineOptions options;
+  options.num_workers = flags.workers;
+  options.queue_capacity = flags.queue_capacity;
+  options.max_batch = flags.max_batch;
+  options.max_wait_us = flags.max_wait_us;
+  options.enable_batching = flags.batching;
+  options.cache_capacity = flags.cache_capacity;
+  options.cache_shards = flags.cache_shards;
+  options.enable_cache = flags.cache;
+  options.slow_request_ms = flags.slow_request_ms;
+  options.compute_threads = flags.compute_threads;
+  return options;
 }
 
-/// Minimal buffered istream over a connected socket, enough for getline.
-class SocketStreamBuf : public std::streambuf {
+/// Single-flight background checkpoint reload backing /reloadz. The admin
+/// accept thread must never block on a model build (the health prober of a
+/// fronting telekit_router polls /readyz on this same thread), so the
+/// rebuild runs on a worker and /reloadz returns 202 immediately.
+class ReloadManager {
  public:
-  explicit SocketStreamBuf(int fd) : fd_(fd) {}
+  ReloadManager(ModelHost* host, const Flags* flags)
+      : host_(host), flags_(flags) {}
 
- protected:
-  int underflow() override {
-    const ssize_t n = ::recv(fd_, buffer_, sizeof(buffer_), 0);
-    if (n <= 0) return traits_type::eof();
-    setg(buffer_, buffer_, buffer_ + n);
-    return traits_type::to_int_type(*gptr());
+  ~ReloadManager() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !busy_; });
+    if (worker_.joinable()) worker_.join();
   }
 
-  std::streamsize xsputn(const char* s, std::streamsize n) override {
-    std::streamsize sent = 0;
-    while (sent < n) {
-      const ssize_t w = ::send(fd_, s + sent,
-                               static_cast<size_t>(n - sent), MSG_NOSIGNAL);
-      if (w <= 0) return sent;
-      sent += w;
+  obs::HttpResponse Handle(const obs::HttpRequest& request) {
+    const auto params = obs::ParseQuery(request.query);
+    std::string model = host_->default_model();
+    if (auto it = params.find("model"); it != params.end()) {
+      model = it->second;
     }
-    return sent;
+    uint64_t seed = flags_->seed;
+    if (auto it = params.find("seed"); it != params.end()) {
+      seed = static_cast<uint64_t>(std::atoll(it->second.c_str()));
+    }
+    core::ModelKind kind;
+    if (!ParseServeModel(model, &kind)) {
+      return obs::HttpResponse::Text(400, "unknown model: " + model + "\n");
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (busy_) {
+      return obs::HttpResponse::Text(409, "reload already in progress\n");
+    }
+    if (worker_.joinable()) worker_.join();  // reap the previous reload
+    busy_ = true;
+    worker_ = std::thread([this, model, seed] { Reload(model, seed); });
+    obs::JsonValue out = obs::JsonValue::Object();
+    out.Set("status", obs::JsonValue("reloading"));
+    out.Set("model", obs::JsonValue(model));
+    out.Set("seed", obs::JsonValue(seed));
+    return obs::HttpResponse::Json(202, out);
   }
 
-  int overflow(int c) override {
-    if (c == traits_type::eof()) return traits_type::eof();
-    const char ch = static_cast<char>(c);
-    return xsputn(&ch, 1) == 1 ? c : traits_type::eof();
+  /// {"busy": ..., "last": "..."} for /statusz.
+  obs::JsonValue StatusJson() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::JsonValue out = obs::JsonValue::Object();
+    out.Set("busy", obs::JsonValue(busy_));
+    out.Set("last", obs::JsonValue(last_));
+    return out;
   }
 
  private:
-  int fd_;
-  char buffer_[4096];
-};
+  void Reload(const std::string& model, uint64_t seed) {
+    auto zoo =
+        std::make_shared<core::ModelZoo>(ServeZooConfig(*flags_, seed));
+    auto built = BuildModelBundle(model, std::move(zoo),
+                                  MakeEngineOptions(*flags_));
+    std::string outcome;
+    if (built.ok()) {
+      host_->Install(std::move(built.value()));
+      outcome = "ok: reloaded " + model;
+    } else {
+      outcome = "error: " + built.status().ToString();
+      TELEKIT_LOG(ERROR) << "reload failed" << obs::F("model", model)
+                         << obs::F("status", built.status().ToString());
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_ = outcome;
+    busy_ = false;
+    cv_.notify_all();
+  }
 
-int ServeTcp(ServeEngine& engine, int port) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "socket(): " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listener, 64) < 0) {
-    std::cerr << "bind/listen on 127.0.0.1:" << port << ": "
-              << std::strerror(errno) << "\n";
-    ::close(listener);
-    return 1;
-  }
-  std::cerr << "telekit_serve listening on 127.0.0.1:" << port << "\n";
-  std::vector<std::thread> connections;
-  while (true) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) break;
-    connections.emplace_back([&engine, fd] {
-      SocketStreamBuf buf(fd);
-      std::istream in(&buf);
-      std::ostream out(&buf);
-      ServeStream(engine, in, out);
-      ::close(fd);
-    });
-  }
-  ::close(listener);
-  for (std::thread& t : connections) t.join();
-  return 0;
-}
+  ModelHost* host_;
+  const Flags* flags_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread worker_;
+  bool busy_ = false;
+  std::string last_ = "never";
+};
 
 int Main(int argc, char** argv) {
   Flags flags;
@@ -356,6 +293,13 @@ int Main(int argc, char** argv) {
   if (!flags.request_log.empty() &&
       !obs::RequestLog::Global().SetSinkFile(flags.request_log)) {
     std::cerr << "failed to open --request-log=" << flags.request_log << "\n";
+    return 1;
+  }
+
+  const std::vector<std::string> model_names =
+      SplitString(flags.models, ',');
+  if (model_names.empty()) {
+    std::cerr << "--models must name at least one variant\n";
     return 1;
   }
 
@@ -380,7 +324,12 @@ int Main(int argc, char** argv) {
   // The admin server comes up before the model builds so /healthz answers
   // (and /readyz correctly says 503) during the slow startup phase.
   std::atomic<bool> ready{false};
-  std::atomic<ServeEngine*> engine_ptr{nullptr};
+  std::atomic<bool> draining{false};
+  ModelHost host(model_names.front());
+  ReloadManager reloader(&host, &flags);
+  std::mutex quit_mutex;
+  std::condition_variable quit_cv;
+  bool quit_requested = false;
   obs::AdminServer admin;
   admin.Handle("/timeseriesz", [&timeseries](const obs::HttpRequest& request) {
     return timeseries.HandleQuery(request);
@@ -388,18 +337,42 @@ int Main(int argc, char** argv) {
   admin.Handle("/alertz", [&slo](const obs::HttpRequest& request) {
     return slo.HandleQuery(request);
   });
-  admin.Handle("/readyz", [&ready, &engine_ptr](const obs::HttpRequest&) {
-    ServeEngine* engine = engine_ptr.load();
-    if (!ready.load() || engine == nullptr) {
+  admin.Handle("/readyz", [&ready, &draining, &host](const obs::HttpRequest&) {
+    if (!ready.load()) {
       return obs::HttpResponse::Text(503, "loading\n");
     }
-    if (engine->GetStats().saturated) {
+    if (draining.load()) {
+      return obs::HttpResponse::Text(503, "draining\n");
+    }
+    ModelHost::BundlePtr bundle = host.Resolve("");
+    if (bundle == nullptr) {
+      return obs::HttpResponse::Text(503, "loading\n");
+    }
+    if (bundle->engine->GetStats().saturated) {
       return obs::HttpResponse::Text(503, "queue saturated\n");
     }
     return obs::HttpResponse::Text(200, "ready\n");
   });
-  admin.Handle("/statusz", [&ready, &engine_ptr, &timeseries, &slo,
-                            start_time](const obs::HttpRequest&) {
+  admin.Handle("/modelz", [&host](const obs::HttpRequest&) {
+    return obs::HttpResponse::Json(200, host.StatusJson());
+  });
+  admin.Handle("/reloadz", [&reloader](const obs::HttpRequest& request) {
+    return reloader.Handle(request);
+  });
+  admin.Handle("/quitquitquit",
+               [&draining, &quit_mutex, &quit_cv,
+                &quit_requested](const obs::HttpRequest&) {
+                 draining.store(true);
+                 {
+                   std::lock_guard<std::mutex> lock(quit_mutex);
+                   quit_requested = true;
+                 }
+                 quit_cv.notify_all();
+                 TELEKIT_LOG(WARN) << "quitquitquit: draining";
+                 return obs::HttpResponse::Text(200, "draining\n");
+               });
+  admin.Handle("/statusz", [&ready, &host, &reloader, &timeseries, &slo,
+                            &draining, start_time](const obs::HttpRequest&) {
     obs::JsonValue out = obs::JsonValue::Object();
     out.Set("server", obs::JsonValue("telekit_serve"));
     obs::JsonValue build = obs::JsonValue::Object();
@@ -411,9 +384,12 @@ int Main(int argc, char** argv) {
                                std::chrono::steady_clock::now() - start_time)
                                .count()));
     out.Set("ready", obs::JsonValue(ready.load()));
-    if (ServeEngine* engine = engine_ptr.load()) {
-      const EngineStats stats = engine->GetStats();
+    out.Set("draining", obs::JsonValue(draining.load()));
+    if (ModelHost::BundlePtr bundle = host.Resolve("")) {
+      const EngineStats stats = bundle->engine->GetStats();
       obs::JsonValue e = obs::JsonValue::Object();
+      e.Set("model", obs::JsonValue(bundle->model));
+      e.Set("generation", obs::JsonValue(bundle->generation));
       e.Set("queue_depth", obs::JsonValue(stats.queue_depth));
       e.Set("queue_capacity", obs::JsonValue(stats.queue_capacity));
       e.Set("saturated", obs::JsonValue(stats.saturated));
@@ -434,6 +410,8 @@ int Main(int argc, char** argv) {
       e.Set("cache", std::move(cache));
       out.Set("engine", std::move(e));
     }
+    out.Set("models", host.StatusJson());
+    out.Set("reload", reloader.StatusJson());
     if (const obs::LatencyHistogram* h =
             obs::MetricsRegistry::Global().FindLatencyHistogram(
                 "serve/request_ms")) {
@@ -472,43 +450,20 @@ int Main(int argc, char** argv) {
     tensor::SetComputeThreads(flags.compute_threads);
   }
 
-  std::cerr << "telekit_serve: building model (pretrain_steps="
-            << flags.pretrain_steps << ")...\n";
-  core::ModelZoo zoo(ServeZooConfig(flags));
-  zoo.BuildData();
-  zoo.BuildPretrained();
-  core::TeleBertEncoder encoder(&zoo.telebert());
-  core::ServiceEncoder service(&encoder, &zoo.tokenizer(), &zoo.store(),
-                               &zoo.normalizer());
-
-  EngineOptions options;
-  options.num_workers = flags.workers;
-  options.queue_capacity = flags.queue_capacity;
-  options.max_batch = flags.max_batch;
-  options.max_wait_us = flags.max_wait_us;
-  options.enable_batching = flags.batching;
-  options.cache_capacity = flags.cache_capacity;
-  options.cache_shards = flags.cache_shards;
-  options.enable_cache = flags.cache;
-  options.slow_request_ms = flags.slow_request_ms;
-  options.compute_threads = flags.compute_threads;
-  ServeEngine engine(&service, options);
-  engine_ptr.store(&engine);
-
-  // Task catalogues come from the synthetic world's alarm book: all three
-  // retrieval ops rank alarm surfaces.
-  std::vector<std::string> alarm_names;
-  alarm_names.reserve(zoo.world().alarms().size());
-  for (const auto& alarm : zoo.world().alarms()) {
-    alarm_names.push_back(alarm.name);
-  }
-  for (TaskOp op : {TaskOp::kRca, TaskOp::kEap, TaskOp::kFct}) {
-    const Status status = engine.LoadCatalog(op, alarm_names);
-    if (!status.ok()) {
-      std::cerr << "LoadCatalog(" << TaskOpName(op)
-                << "): " << status.ToString() << "\n";
+  std::cerr << "telekit_serve: building models [" << flags.models
+            << "] (pretrain_steps=" << flags.pretrain_steps << ")...\n";
+  // One zoo shared by every hosted variant; the build methods
+  // single-flight, so each stage is materialized once.
+  auto zoo = std::make_shared<core::ModelZoo>(
+      ServeZooConfig(flags, flags.seed));
+  for (const std::string& model : model_names) {
+    auto built = BuildModelBundle(model, zoo, MakeEngineOptions(flags));
+    if (!built.ok()) {
+      std::cerr << "BuildModelBundle(" << model
+                << "): " << built.status().ToString() << "\n";
       return 1;
     }
+    host.Install(std::move(built.value()));
   }
   // Start sampling only now that startup can no longer early-return: the
   // sampler's on-sample callback reaches into `slo`, so no sampler thread
@@ -516,26 +471,47 @@ int Main(int argc, char** argv) {
   // stops.
   timeseries.Start();
   ready.store(true);
-  std::cerr << "telekit_serve: ready (" << alarm_names.size()
-            << " catalogue entries, " << flags.workers << " workers)\n";
+  std::cerr << "telekit_serve: ready (models=" << flags.models << ", "
+            << flags.workers << " workers/engine)\n";
   if (admin.running()) {
     std::cerr << "telekit_serve: admin endpoints on 127.0.0.1:"
               << admin.port() << "\n";
   }
 
+  const LineHandler handler = MakeServeLineHandler(&host, &draining);
   int rc = 0;
   if (flags.port > 0) {
-    rc = ServeTcp(engine, flags.port);
+    NdjsonServer server;
+    if (!server.Start(flags.port, handler)) {
+      std::cerr << "failed to listen on 127.0.0.1:" << flags.port << "\n";
+      return 1;
+    }
+    std::cerr << "telekit_serve listening on 127.0.0.1:" << server.port()
+              << "\n";
+    {
+      std::unique_lock<std::mutex> lock(quit_mutex);
+      quit_cv.wait(lock, [&] { return quit_requested; });
+    }
+    // Graceful drain: stop accepting, let in-flight requests finish (the
+    // handler already rejects new ones), then close the sockets.
+    server.Drain();
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.in_flight() > 0 &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    server.Stop();
   } else {
-    ServeStream(engine, std::cin, std::cout);
+    ServeNdjsonStdio(handler, std::cin, std::cout);
   }
   ready.store(false);
   admin.Stop();
   timeseries.Stop();
-  engine_ptr.store(nullptr);
-  engine.Stop();
-  std::cerr << "telekit_serve: done; cache hit rate "
-            << engine.cache().HitRate() << "\n";
+  if (ModelHost::BundlePtr bundle = host.Resolve("")) {
+    std::cerr << "telekit_serve: done; cache hit rate "
+              << bundle->engine->cache().HitRate() << "\n";
+  }
   if (!flags.obs_json.empty()) obs::WriteReport(flags.obs_json);
   return rc;
 }

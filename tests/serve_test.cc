@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +14,8 @@
 #include "serve/batcher.h"
 #include "serve/embedding_cache.h"
 #include "serve/engine.h"
+#include "serve/model_host.h"
+#include "serve/ndjson_server.h"
 #include "serve/protocol.h"
 #include "tasks/scoring.h"
 #include "tensor/compute_pool.h"
@@ -375,15 +378,18 @@ core::ZooConfig TinyServeConfig() {
 }
 
 // One fully-built zoo shared by every test below (magic static: built on
-// first use, concurrently-safe).
-const core::ModelZoo& SharedZoo() {
-  static core::ModelZoo* zoo = [] {
-    auto* z = new core::ModelZoo(TinyServeConfig());
+// first use, concurrently-safe). shared_ptr-backed so the model-host tests
+// can hand it to BuildModelBundle without a second build.
+std::shared_ptr<core::ModelZoo> SharedZooPtr() {
+  static std::shared_ptr<core::ModelZoo>* zoo = [] {
+    auto z = std::make_shared<core::ModelZoo>(TinyServeConfig());
     z->Build();
-    return z;
+    return new std::shared_ptr<core::ModelZoo>(std::move(z));
   }();
   return *zoo;
 }
+
+const core::ModelZoo& SharedZoo() { return *SharedZooPtr(); }
 
 double MaxAbsDiff(const std::vector<float>& a, const std::vector<float>& b) {
   EXPECT_EQ(a.size(), b.size());
@@ -819,6 +825,126 @@ TEST(ConcurrencyTest, ModelZooBuildSingleFlights) {
   EXPECT_EQ(world, &zoo.world());
   EXPECT_EQ(model, &zoo.telebert());
   EXPECT_GT(zoo.tokenizer().vocab().size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Model host: variant table, generation bumps, zero-drop hot swap
+// ---------------------------------------------------------------------------
+
+TEST(ModelHostTest, ServeModelNameRoundTrips) {
+  const std::vector<std::string> names = {"telebert", "ktelebert_stl",
+                                          "ktelebert_pmtl", "ktelebert_imtl"};
+  for (const std::string& name : names) {
+    core::ModelKind kind;
+    ASSERT_TRUE(ParseServeModel(name, &kind)) << name;
+    EXPECT_EQ(ServeModelName(kind), name);
+  }
+  core::ModelKind kind;
+  EXPECT_FALSE(ParseServeModel("bert_large", &kind));
+  // "" is the wire default and resolves to TeleBERT.
+  ASSERT_TRUE(ParseServeModel("", &kind));
+  EXPECT_EQ(kind, core::ModelKind::kTeleBert);
+}
+
+TEST(ProtocolTest, ModelFieldParsesAndRejectsNonStrings) {
+  obs::JsonValue json;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::Parse(
+      R"({"op":"encode","text":"x","model":"ktelebert_stl"})", &json,
+      &error));
+  Request request;
+  ASSERT_TRUE(ParseRequest(json, &request).ok());
+  EXPECT_EQ(request.model, "ktelebert_stl");
+
+  ASSERT_TRUE(obs::JsonValue::Parse(R"({"text":"x","model":7})", &json,
+                                    &error));
+  const Status status = ParseRequest(json, &request);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+EngineOptions TinyEngineOptions() {
+  EngineOptions options;
+  options.num_workers = 2;
+  options.cache_capacity = 64;
+  return options;
+}
+
+TEST(ModelHostTest, InstallAssignsGenerationsAndResolvesDefault) {
+  ModelHost host("telebert");
+  EXPECT_EQ(host.Resolve(""), nullptr);
+
+  auto first = BuildModelBundle("telebert", SharedZooPtr(),
+                                TinyEngineOptions());
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  host.Install(std::move(first).value());
+  ModelHost::BundlePtr resolved = host.Resolve("");
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(resolved->model, "telebert");
+  EXPECT_EQ(resolved->generation, 1u);
+  EXPECT_EQ(host.Resolve("telebert"), resolved);
+  EXPECT_EQ(host.Resolve("no_such_model"), nullptr);
+
+  auto second = BuildModelBundle("telebert", SharedZooPtr(),
+                                 TinyEngineOptions());
+  ASSERT_TRUE(second.ok());
+  host.Install(std::move(second).value());
+  EXPECT_EQ(host.Resolve("")->generation, 2u);
+  EXPECT_EQ(host.installs(), 2u);
+  // The swapped-out generation is still alive through our pointer.
+  EXPECT_EQ(resolved->generation, 1u);
+
+  const obs::JsonValue status = host.StatusJson();
+  EXPECT_EQ(status.Find("default")->AsString(), "telebert");
+  ASSERT_EQ(status.Find("models")->size(), 1u);
+  EXPECT_EQ(status.Find("models")->at(0).Find("generation")->AsNumber(), 2);
+}
+
+TEST(ModelHostTest, LineHandlerStampsModelAndSurvivesHotSwap) {
+  ModelHost host("telebert");
+  auto bundle = BuildModelBundle("telebert", SharedZooPtr(),
+                                 TinyEngineOptions());
+  ASSERT_TRUE(bundle.ok());
+  host.Install(std::move(bundle).value());
+  std::atomic<bool> draining{false};
+  const LineHandler handler = MakeServeLineHandler(&host, &draining);
+
+  // A request admitted on generation 1...
+  std::future<std::string> in_flight =
+      handler(R"({"op":"encode","text":"hot swap survivor","id":"r1"})");
+  // ...is not dropped by a swap to generation 2 (the handler holds the
+  // bundle; the old engine drains before it dies).
+  auto next = BuildModelBundle("telebert", SharedZooPtr(),
+                               TinyEngineOptions());
+  ASSERT_TRUE(next.ok());
+  host.Install(std::move(next).value());
+
+  obs::JsonValue response;
+  std::string error;
+  ASSERT_TRUE(obs::JsonValue::Parse(in_flight.get(), &response, &error));
+  ASSERT_TRUE(response.Find("ok")->AsBool()) << response.Dump();
+  EXPECT_EQ(response.Find("model")->AsString(), "telebert");
+  EXPECT_EQ(response.Find("generation")->AsNumber(), 1);
+
+  // New requests land on the new generation.
+  ASSERT_TRUE(obs::JsonValue::Parse(
+      handler(R"({"op":"encode","text":"after swap"})").get(), &response,
+      &error));
+  EXPECT_EQ(response.Find("generation")->AsNumber(), 2);
+
+  // Unknown model: NOT_FOUND, not a retryable UNAVAILABLE.
+  ASSERT_TRUE(obs::JsonValue::Parse(
+      handler(R"({"op":"encode","text":"x","model":"nope"})").get(),
+      &response, &error));
+  ASSERT_FALSE(response.Find("ok")->AsBool());
+  EXPECT_EQ(static_cast<int>(response.Find("error")->Find("code")->AsNumber()),
+            static_cast<int>(StatusCode::kNotFound));
+
+  // Draining: UNAVAILABLE so the router retries elsewhere.
+  draining.store(true);
+  ASSERT_TRUE(obs::JsonValue::Parse(
+      handler(R"({"op":"encode","text":"x"})").get(), &response, &error));
+  EXPECT_EQ(static_cast<int>(response.Find("error")->Find("code")->AsNumber()),
+            static_cast<int>(StatusCode::kUnavailable));
 }
 
 }  // namespace
