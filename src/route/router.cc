@@ -18,6 +18,7 @@
 #include "obs/trace.h"
 #include "route/http_client.h"
 #include "serve/line_io.h"
+#include "serve/model_host.h"
 #include "serve/protocol.h"
 
 namespace telekit {
@@ -92,13 +93,17 @@ bool IsRetryableResponse(const std::string& line) {
              static_cast<int>(StatusCode::kUnavailable);
 }
 
-void SetRecvTimeout(int fd, double timeout_ms) {
+/// Bounds both halves of the exchange: without SO_SNDTIMEO a send()
+/// against a stuck peer (full socket buffer) blocks indefinitely and the
+/// attempt thread outlives any Stop() grace period.
+void SetIoTimeout(int fd, double timeout_ms) {
   if (timeout_ms <= 0.0) timeout_ms = 1.0;
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
   tv.tv_usec = static_cast<suseconds_t>(
       (timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -240,11 +245,16 @@ void Router::Start() { prober_->Start(); }
 
 void Router::Stop() {
   prober_->Stop();
+  const auto done = [this] { return outstanding_ == 0; };
   std::unique_lock<std::mutex> lock(outstanding_mutex_);
-  if (!outstanding_cv_.wait_for(lock, std::chrono::seconds(10),
-                                [this] { return outstanding_ == 0; })) {
-    TELEKIT_LOG(ERROR) << "router stop timed out waiting for attempts"
+  if (!outstanding_cv_.wait_for(lock, std::chrono::seconds(10), done)) {
+    TELEKIT_LOG(ERROR) << "router stop still waiting for attempts"
                        << obs::F("outstanding", outstanding_);
+    // Wait unconditionally: attempt threads touch pools_/prober_/replicas_,
+    // so returning early would let ~Router free them under a live thread.
+    // Every attempt is bounded (connect timeout + SO_RCVTIMEO/SO_SNDTIMEO),
+    // so this terminates.
+    outstanding_cv_.wait(lock, done);
   }
 }
 
@@ -283,7 +293,7 @@ StatusOr<std::string> Router::ForwardOnce(size_t replica,
     return Status::Unavailable("connect to " + replicas_[replica].name +
                                " failed");
   }
-  SetRecvTimeout(conn->fd, timeout_ms);
+  SetIoTimeout(conn->fd, timeout_ms);
   std::string response;
   if (!serve::SendLine(conn->fd, line) ||
       !conn->reader.ReadLine(&response)) {
@@ -488,6 +498,15 @@ obs::JsonValue Router::ReloadAll(const std::string& model, uint64_t seed,
   obs::JsonValue out = obs::JsonValue::Object();
   out.Set("model", obs::JsonValue(model));
   out.Set("seed", obs::JsonValue(seed));
+  // The model name is spliced into a query string fanned out to every
+  // replica: only known wire names pass (anything else — '&', spaces,
+  // control bytes — would produce malformed admin requests fleet-wide).
+  core::ModelKind kind;
+  if (!serve::ParseServeModel(model, &kind)) {
+    out.Set("error", obs::JsonValue("unknown model: " + model));
+    out.Set("replicas", obs::JsonValue::Array());
+    return out;
+  }
   obs::JsonValue results = obs::JsonValue::Array();
   const std::string target =
       "/reloadz?model=" + model + "&seed=" + std::to_string(seed);

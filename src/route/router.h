@@ -94,7 +94,9 @@ class Router {
   std::string Handle(const std::string& line);
 
   /// Fans /reloadz?model=&seed= out to every replica's admin plane.
-  /// Returns {"model", "seed", "replicas": [{name, status|error}]}.
+  /// Returns {"model", "seed", "replicas": [{name, status|error}]}. A
+  /// `model` that is not a known serve wire name is rejected locally —
+  /// the result carries a top-level "error" and nothing is fanned out.
   obs::JsonValue ReloadAll(const std::string& model, uint64_t seed,
                            double timeout_ms = 2000.0);
 

@@ -200,7 +200,9 @@ int Main(int argc, char** argv) {
     if (auto it = params.find("seed"); it != params.end()) {
       seed = static_cast<uint64_t>(std::atoll(it->second.c_str()));
     }
-    return obs::HttpResponse::Json(200, router.ReloadAll(model, seed));
+    obs::JsonValue result = router.ReloadAll(model, seed);
+    const int status = result.Find("error") != nullptr ? 400 : 200;
+    return obs::HttpResponse::Json(status, result);
   });
   admin.Handle("/readyz", [&router, &draining](const obs::HttpRequest&) {
     if (draining.load()) {

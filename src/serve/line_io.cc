@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -25,6 +26,7 @@ LineReader::LineReader(ReadFn read, size_t max_line)
     : read_(std::move(read)), max_line_(max_line) {}
 
 bool LineReader::ReadLine(std::string* line) {
+  if (failed_) return false;
   while (true) {
     // Scan only the bytes not yet examined; '\n' can never hide in the
     // prefix already scanned.
@@ -56,9 +58,17 @@ bool LineReader::ReadLine(std::string* line) {
     do {
       n = read_(chunk, sizeof(chunk));
     } while (n < 0 && errno == EINTR);
-    if (n <= 0) {
+    if (n == 0) {
       eof_ = true;
       continue;  // flush any unterminated remainder
+    }
+    if (n < 0) {
+      // Timeout (EAGAIN under SO_RCVTIMEO) or hard error: the stream is in
+      // an unknown state. A partially-buffered line must NOT be flushed as
+      // if it were complete — the caller sees failure and drops the
+      // connection.
+      failed_ = true;
+      return false;
     }
     scan_from_ = buffer_.size();
     buffer_.append(chunk, static_cast<size_t>(n));
@@ -87,21 +97,16 @@ bool SendLine(int fd, const std::string& line) {
   return SendAll(fd, framed.data(), framed.size());
 }
 
-int ConnectTcp(const std::string& host, int port, double timeout_ms) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+namespace {
+
+/// Non-blocking connect to one resolved address so a dead host costs
+/// timeout_ms, not the kernel's multi-minute SYN retry budget.
+int ConnectOne(const addrinfo* ai, double timeout_ms) {
+  const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
   if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return -1;
-  }
-  // Non-blocking connect so a dead host costs timeout_ms, not the kernel's
-  // multi-minute SYN retry budget.
   const int flags = ::fcntl(fd, F_GETFL, 0);
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
   if (rc < 0 && errno != EINPROGRESS) {
     ::close(fd);
     return -1;
@@ -123,6 +128,29 @@ int ConnectTcp(const std::string& host, int port, double timeout_ms) {
   ::fcntl(fd, F_SETFL, flags);
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+int ConnectTcp(const std::string& host, int port, double timeout_ms) {
+  // getaddrinfo handles IPv4/IPv6 literals and hostnames alike — replica
+  // specs are documented as "host:port", not "IPv4-literal:port".
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* results = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &results) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = results; ai != nullptr && fd < 0;
+       ai = ai->ai_next) {
+    fd = ConnectOne(ai, timeout_ms);
+  }
+  ::freeaddrinfo(results);
   return fd;
 }
 

@@ -27,13 +27,21 @@ class LineReader {
   explicit LineReader(ReadFn read, size_t max_line = 1 << 20);
 
   /// Next complete line (without the terminator). False on EOF/error with
-  /// nothing framed; a final unterminated line before EOF is returned as a
-  /// line (curl-style tolerance), then the next call reports EOF.
+  /// nothing framed. Orderly EOF (read returns 0) flushes a final
+  /// unterminated line as a line (curl-style tolerance), then the next
+  /// call reports EOF. A read *error* (< 0 — including EAGAIN from a
+  /// receive timeout) never flushes partial bytes: the stream state is
+  /// unknown, so ReadLine fails immediately, `failed()` turns true, and
+  /// every later call fails too — the connection should be dropped.
   bool ReadLine(std::string* line);
 
   /// True when the last ReadLine failure was an oversize line rather than
   /// EOF (the connection should be dropped, not drained).
   bool overflowed() const { return overflowed_; }
+
+  /// True when a read error (timeout or transport failure) poisoned the
+  /// stream — distinguishes "peer closed cleanly" from "exchange failed".
+  bool failed() const { return failed_; }
 
  private:
   ReadFn read_;
@@ -41,6 +49,7 @@ class LineReader {
   size_t scan_from_ = 0;
   bool eof_ = false;
   bool overflowed_ = false;
+  bool failed_ = false;
   size_t max_line_;
 };
 
@@ -51,8 +60,9 @@ bool SendAll(int fd, const char* data, size_t n);
 /// Writes `line` plus a terminating '\n' in full.
 bool SendLine(int fd, const std::string& line);
 
-/// Connects to host:port with a connect timeout; -1 on failure. The
-/// returned socket is blocking.
+/// Connects to host:port with a connect timeout; -1 on failure. `host`
+/// may be an IPv4/IPv6 literal or a hostname (getaddrinfo, each resolved
+/// address tried in order). The returned socket is blocking.
 int ConnectTcp(const std::string& host, int port, double timeout_ms);
 
 /// Blocks until fd is readable or `timeout_ms` lapses. Returns false on

@@ -188,11 +188,20 @@ bool NdjsonServer::Start(int port, LineHandler handler) {
 }
 
 void NdjsonServer::AcceptLoop() {
+  // A receive timeout on the listener bounds each accept() wait so
+  // finished sessions are reaped periodically even when no new client
+  // ever connects.
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(listener_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   while (!stopping_.load()) {
+    ReapFinished();
     const int fd = ::accept(listener_, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load() || draining_.load()) break;
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
       break;
     }
     int one = 1;
@@ -207,12 +216,39 @@ void NdjsonServer::AcceptLoop() {
           [raw](const std::string& line) { return SendLine(raw->fd, line); },
           &in_flight_);
       // Session over (client EOF or error): signal EOF to the client.
-      // The fd itself is closed by Stop() — closing here would race
-      // Stop's shutdown on a reused descriptor.
+      // The fd itself is closed by the reaper (or Stop()) — closing here
+      // would race their shutdown on a reused descriptor.
       ::shutdown(raw->fd, SHUT_RDWR);
+      raw->done.store(true);
     });
     std::lock_guard<std::mutex> lock(connections_mutex_);
     connections_.push_back(std::move(connection));
+  }
+}
+
+size_t NdjsonServer::tracked_connections() const {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  return connections_.size();
+}
+
+void NdjsonServer::ReapFinished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join + close outside the lock; done sessions exit promptly.
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+    ::close(connection->fd);
   }
 }
 

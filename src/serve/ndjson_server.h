@@ -84,14 +84,23 @@ class NdjsonServer {
   bool draining() const { return draining_.load(); }
   /// Requests dispatched but not yet answered, across all connections.
   int64_t in_flight() const { return in_flight_.load(); }
+  /// Tracked connections (live sessions plus finished ones not yet
+  /// reaped) — observability for the fd-leak regression test.
+  size_t tracked_connections() const;
 
  private:
   struct Connection {
     int fd = -1;
     std::thread thread;
+    /// Set by the session thread on exit; the accept loop reaps (joins +
+    /// closes) done connections so a long-running server does not leak one
+    /// fd + thread per finished client until Stop().
+    std::atomic<bool> done{false};
   };
 
   void AcceptLoop();
+  /// Joins and closes every connection whose session has finished.
+  void ReapFinished();
 
   LineHandler handler_;
   int listener_ = -1;
@@ -101,7 +110,7 @@ class NdjsonServer {
   std::atomic<bool> stopping_{false};
   std::atomic<int64_t> in_flight_{0};
   std::thread accept_thread_;
-  std::mutex connections_mutex_;
+  mutable std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
 };
 

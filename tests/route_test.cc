@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <future>
@@ -179,6 +180,48 @@ TEST(LineReaderTest, OverflowGuardStopsUnboundedLines) {
   std::string line;
   EXPECT_FALSE(reader.ReadLine(&line));
   EXPECT_TRUE(reader.overflowed());
+}
+
+// Regression: a recv *error* (e.g. EAGAIN from SO_RCVTIMEO) is not EOF.
+// Flushing a partially-buffered line as if it were complete handed the
+// router a truncated upstream response as a success.
+TEST(LineReaderTest, ReadErrorDoesNotFlushPartialLine) {
+  int calls = 0;
+  serve::LineReader reader([&calls](char* buffer, size_t) -> long {
+    ++calls;
+    if (calls == 1) {
+      std::memcpy(buffer, "{\"a\":1", 6);  // partial line, no '\n'
+      return 6;
+    }
+    errno = EAGAIN;  // receive timeout mid-response
+    return -1;
+  });
+  std::string line = "sentinel";
+  EXPECT_FALSE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "sentinel");  // the fragment was never surfaced
+  EXPECT_TRUE(reader.failed());
+  EXPECT_FALSE(reader.overflowed());
+  // The stream is poisoned: later calls fail without touching the fd.
+  EXPECT_FALSE(reader.ReadLine(&line));
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(LineReaderTest, ReadErrorAfterCompleteLineStillFramesIt) {
+  int calls = 0;
+  serve::LineReader reader([&calls](char* buffer, size_t) -> long {
+    ++calls;
+    if (calls == 1) {
+      std::memcpy(buffer, "done\npart", 9);
+      return 9;
+    }
+    errno = ECONNRESET;
+    return -1;
+  });
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "done");
+  EXPECT_FALSE(reader.ReadLine(&line));  // "part" is not a line
+  EXPECT_TRUE(reader.failed());
 }
 
 // ---------------------------------------------------------------------------
@@ -675,6 +718,73 @@ TEST(NdjsonServerTest, DrainStopsAcceptingButFinishesSessions) {
   EXPECT_EQ(line, "ok:late");
   ::close(fd);
   server.Stop();
+}
+
+// Regression: finished sessions must be reaped while the server runs — a
+// long-running daemon must not hold one fd + thread per disconnected
+// client until Stop() (fd exhaustion kills the accept loop).
+TEST(NdjsonServerTest, ReapsFinishedConnections) {
+  serve::NdjsonServer server;
+  ASSERT_TRUE(server.Start(0, [](std::string line) {
+    std::promise<std::string> ready;
+    ready.set_value("echo:" + line);
+    return ready.get_future();
+  }));
+
+  for (int i = 0; i < 3; ++i) {
+    const int fd = serve::ConnectTcp("127.0.0.1", server.port(), 1000.0);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(serve::SendLine(fd, "ping"));
+    serve::LineReader reader(fd);
+    std::string line;
+    ASSERT_TRUE(reader.ReadLine(&line));
+    ::close(fd);
+  }
+  // The accept loop sweeps at least once a second (listener timeout), so
+  // every closed session is joined + closed well within the deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.tracked_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(server.tracked_connections(), 0u);
+  server.Stop();
+}
+
+TEST(ConnectTcpTest, ResolvesHostnames) {
+  serve::NdjsonServer server;
+  ASSERT_TRUE(server.Start(0, [](std::string line) {
+    std::promise<std::string> ready;
+    ready.set_value("hi:" + line);
+    return ready.get_future();
+  }));
+  // "localhost" exercises getaddrinfo (and the fall-through past any ::1
+  // candidate — the server listens on 127.0.0.1 only).
+  const int fd = serve::ConnectTcp("localhost", server.port(), 2000.0);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(serve::SendLine(fd, "there"));
+  serve::LineReader reader(fd);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "hi:there");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(RouterTest, ReloadAllRejectsUnknownModelWithoutFanOut) {
+  FakeReplica a(ScriptedHandler("a"));
+  Router router(Specs({a.port()}), TestOptions());
+  // '&' would corrupt the query string fanned out to every replica.
+  const obs::JsonValue rejected = router.ReloadAll("bad&model=x", 1);
+  ASSERT_NE(rejected.Find("error"), nullptr);
+  EXPECT_EQ(rejected.Find("replicas")->size(), 0u);
+  // A known wire name passes validation and reaches the per-replica loop
+  // (here reporting the spec's missing admin plane, not a rejection).
+  const obs::JsonValue accepted = router.ReloadAll("telebert", 1);
+  EXPECT_EQ(accepted.Find("error"), nullptr);
+  ASSERT_EQ(accepted.Find("replicas")->size(), 1u);
+  EXPECT_NE(accepted.Find("replicas")->at(0).Find("error"), nullptr);
 }
 
 }  // namespace
