@@ -14,8 +14,13 @@
 //   reload        hot model swap (new bundle Installed on every replica)
 //                 under load: zero failed requests, and responses must be
 //                 observed from both the old and the new generation.
+//   tracing       distributed tracing priced and proven: recording every
+//                 hop span must cost <= 5% routed throughput (SpanStore
+//                 on vs off), and one traced request must assemble into a
+//                 span tree whose router attempt parents the replica's
+//                 serve-side spans.
 //
-// The exit code is the acceptance gate: 0 only when all three hold.
+// The exit code is the acceptance gate: 0 only when all four hold.
 
 #include <algorithm>
 #include <atomic>
@@ -33,7 +38,9 @@
 #include "core/model_zoo.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/spanstore.h"
 #include "route/router.h"
+#include "route/trace_assembler.h"
 #include "serve/engine.h"
 #include "serve/model_host.h"
 #include "serve/ndjson_server.h"
@@ -353,6 +360,104 @@ obs::JsonValue RunReload(std::shared_ptr<core::ModelZoo> zoo,
   return out;
 }
 
+/// Prices the distributed-tracing overhead and proves end-to-end span
+/// assembly. The same warm fleet is driven with the SpanStore off and on
+/// (alternating rounds, best-of to damp scheduler drift); then one traced
+/// request is assembled via CollectSpans and must produce a single tree
+/// with the router's attempt span parenting the replica's serve spans.
+obs::JsonValue RunTracing(std::shared_ptr<core::ModelZoo> zoo,
+                          const RouteBenchFlags& flags, bool* passed) {
+  std::vector<std::unique_ptr<Replica>> fleet;
+  for (int i = 0; i < 2; ++i) fleet.push_back(MakeReplica(zoo, flags));
+  route::RouterOptions options = BenchRouterOptions();
+  options.probe_override = [](size_t, double) { return true; };
+  route::Router router(SpecsFor(fleet), options);
+  const std::vector<std::string> keys = MakeWorkingSet(flags.working_set);
+
+  auto& store = obs::SpanStore::Global();
+  store.Reset();
+  // Warm caches and connection pools before timing anything.
+  DriveTraffic(router, keys, 1, flags.clients, /*pace_us=*/0);
+  // The per-span cost is a mutex-guarded ring write, far below this VM's
+  // scheduler jitter, so single A/B windows flap by several percent. Many
+  // short interleaved slices — alternating which mode goes first — make
+  // the slow drift hit both modes equally; the aggregate totals then
+  // compare like-for-like.
+  double off_requests = 0.0, off_seconds = 0.0;
+  double on_requests = 0.0, on_seconds = 0.0;
+  const auto slice = [&](bool enabled) {
+    store.set_enabled(enabled);
+    const TrafficResult r =
+        DriveTraffic(router, keys, flags.passes, flags.clients, 0);
+    (enabled ? on_requests : off_requests) += r.total;
+    (enabled ? on_seconds : off_seconds) += r.seconds;
+  };
+  for (int round = 0; round < 8; ++round) {
+    const bool on_first = (round % 2) == 1;
+    slice(on_first);
+    slice(!on_first);
+  }
+  const double rps_off = off_requests / std::max(1e-9, off_seconds);
+  const double rps_on = on_requests / std::max(1e-9, on_seconds);
+  const double overhead_pct =
+      rps_off <= 0.0 ? 0.0 : 100.0 * (1.0 - rps_on / rps_off);
+
+  // One traced request, assembled from the local store (the in-process
+  // fleet shares it — exactly the dedup topology CollectSpans handles).
+  store.set_enabled(true);
+  store.Reset();
+  obs::JsonValue traced = obs::JsonValue::Object();
+  traced.Set("op", obs::JsonValue("encode"));
+  traced.Set("text", obs::JsonValue(keys[0]));
+  traced.Set("id", obs::JsonValue("traced"));
+  traced.Set("trace", obs::JsonValue("00000000000b12c4"));
+  obs::JsonValue response;
+  std::string parse_error;
+  const bool responded =
+      obs::JsonValue::Parse(router.Handle(traced.Dump()), &response,
+                            &parse_error) &&
+      response.Find("ok") != nullptr && response.Find("ok")->AsBool();
+  // Stop() joins any still-running attempt threads; their spans land in
+  // the store before assembly (a hedge loser records after Handle returns).
+  router.Stop();
+  const obs::JsonValue tree = route::AssembleTraceJson(
+      0xb12c4u, route::CollectSpans(0xb12c4u, {}, 100.0));
+  bool tree_ok = false;
+  const obs::JsonValue* spans = tree.Find("spans");
+  if (responded && spans != nullptr && spans->size() == 1) {
+    const obs::JsonValue& root = spans->at(0);
+    if (root.Find("name")->AsString() == "route/request") {
+      const obs::JsonValue* attempts = root.Find("children");
+      for (size_t i = 0; attempts != nullptr && i < attempts->size(); ++i) {
+        const obs::JsonValue& attempt = attempts->at(i);
+        if (attempt.Find("name")->AsString() != "route/attempt") continue;
+        const obs::JsonValue* hops = attempt.Find("children");
+        for (size_t j = 0; hops != nullptr && j < hops->size(); ++j) {
+          if (hops->at(j).Find("name")->AsString() == "serve/request") {
+            tree_ok = true;
+          }
+        }
+      }
+    }
+  }
+  *passed = overhead_pct <= 5.0 && tree_ok;
+
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("requests_per_sec_tracing_off", obs::JsonValue(rps_off));
+  out.Set("requests_per_sec_tracing_on", obs::JsonValue(rps_on));
+  out.Set("overhead_pct", obs::JsonValue(overhead_pct));
+  out.Set("assembled_span_count", tree.Find("span_count") != nullptr
+                                      ? *tree.Find("span_count")
+                                      : obs::JsonValue());
+  out.Set("assembled_hops",
+          tree.Find("hops") != nullptr ? *tree.Find("hops")
+                                       : obs::JsonValue());
+  out.Set("assembled_tree_ok", obs::JsonValue(tree_ok));
+  out.Set("passed", obs::JsonValue(*passed));
+  for (auto& replica : fleet) replica->server.Stop();
+  return out;
+}
+
 int Main(int argc, char** argv) {
   ObsSession obs_session(argc, argv);
   RouteBenchFlags flags;
@@ -405,6 +510,8 @@ int Main(int argc, char** argv) {
       RunAvailability(zoo, flags, &availability_passed);
   bool reload_passed = false;
   obs::JsonValue reload = RunReload(zoo, flags, &reload_passed);
+  bool tracing_passed = false;
+  obs::JsonValue tracing = RunTracing(zoo, flags, &tracing_passed);
 
   TablePrinter table("Distributed serving (route_bench)");
   table.SetHeader({"scenario", "value"});
@@ -414,6 +521,8 @@ int Main(int argc, char** argv) {
                {availability.Find("success_rate")->AsNumber()}, 4);
   table.AddRow("reload/failed",
                {reload.Find("failed")->AsNumber()}, 0);
+  table.AddRow("tracing/overhead_pct",
+               {tracing.Find("overhead_pct")->AsNumber()}, 2);
   table.Print(std::cout);
   std::cout << "\naffinity:     hash " << hash_hit_rate << " vs random "
             << random_hit_rate << " (gate: hash > random + 0.10) "
@@ -427,7 +536,13 @@ int Main(int argc, char** argv) {
             << reload.Find("min_generation_seen")->AsNumber() << " -> "
             << reload.Find("max_generation_seen")->AsNumber()
             << " (gate: 0 failed, both generations) "
-            << (reload_passed ? "PASS" : "FAIL") << "\n";
+            << (reload_passed ? "PASS" : "FAIL") << "\ntracing:      "
+            << tracing.Find("overhead_pct")->AsNumber()
+            << "% overhead, tree "
+            << (tracing.Find("assembled_tree_ok")->AsBool() ? "assembled"
+                                                            : "broken")
+            << " (gate: <= 5% + router->serve span tree) "
+            << (tracing_passed ? "PASS" : "FAIL") << "\n";
 
   obs::JsonValue report = obs::JsonValue::Object();
   report.Set("benchmark", obs::JsonValue("route_bench"));
@@ -448,8 +563,9 @@ int Main(int argc, char** argv) {
   report.Set("affinity", std::move(affinity));
   report.Set("availability", std::move(availability));
   report.Set("reload", std::move(reload));
-  const bool all_passed =
-      affinity_passed && availability_passed && reload_passed;
+  report.Set("tracing", std::move(tracing));
+  const bool all_passed = affinity_passed && availability_passed &&
+                          reload_passed && tracing_passed;
   report.Set("passed", obs::JsonValue(all_passed));
 
   std::ofstream out_file(flags.out);

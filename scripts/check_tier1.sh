@@ -17,12 +17,16 @@
 #      with --linger, assert /statusz reports a finished run with >0
 #      episodes and 0 late drops, and that the per-op serve counters made
 #      it into the Prometheus exposition.
-#   6. router smoke: start 2 telekit_serve replicas behind telekit_router,
-#      assert /fleetz shows both routable, drive traced traffic through
-#      the routed NDJSON path, SIGKILL one replica and assert traffic
-#      keeps succeeding while the ejection lands in /metrics, then
-#      /reloadz a model swap with zero failed requests and drain the
-#      router via /quitquitquit.
+#   6. router smoke: start 2 telekit_serve replicas behind telekit_router
+#      (with --request-log), assert /fleetz shows both routable with probe
+#      telemetry, assert /fleetmetricz sums the replicas' request counters,
+#      drive traced traffic through the routed NDJSON path, SIGKILL one
+#      replica and assert a traced request that retried assembles into a
+#      multi-hop trace via /tracezd (failed hop marked, replica serve span
+#      attached, Chrome export works) while traffic keeps succeeding and
+#      the ejection lands in /metrics, then /reloadz a model swap with
+#      zero failed requests, drain the router via /quitquitquit, and lint
+#      the router's wide-event request log with telekit_jsonlint.
 #
 # Optional: TELEKIT_TSAN=1 scripts/check_tier1.sh additionally builds the
 # concurrency-heavy tests (serve engine, stream pipeline, embedding cache,
@@ -245,6 +249,7 @@ REP1_PORT=18476; REP1_ADMIN=18477
 REP2_PORT=18478; REP2_ADMIN=18479
 ROUTER_PORT=18480; ROUTER_ADMIN=18481
 REP1_LOG=$(mktemp); REP2_LOG=$(mktemp); ROUTER_LOG=$(mktemp)
+ROUTER_REQLOG=$(mktemp)
 ./build/src/serve/telekit_serve --port="${REP1_PORT}" \
   --admin-port="${REP1_ADMIN}" --workers=2 --compute-threads=2 \
   >"${REP1_LOG}" 2>&1 &
@@ -256,7 +261,7 @@ REP2_PID=$!
 cleanup_router() {
   kill -9 "${REP1_PID}" "${REP2_PID}" "${ROUTER_PID:-}" 2>/dev/null || true
   wait 2>/dev/null || true
-  rm -f "${REP1_LOG}" "${REP2_LOG}" "${ROUTER_LOG}"
+  rm -f "${REP1_LOG}" "${REP2_LOG}" "${ROUTER_LOG}" "${ROUTER_REQLOG}"
 }
 trap cleanup_router EXIT
 
@@ -279,6 +284,7 @@ done
   --replica="${REP1_PORT}:${REP1_ADMIN}" \
   --replica="${REP2_PORT}:${REP2_ADMIN}" \
   --probe-interval-ms=100 --eject-after=2 --readmit-after=2 \
+  --request-log="${ROUTER_REQLOG}" \
   >"${ROUTER_LOG}" 2>&1 &
 ROUTER_PID=$!
 for _ in $(seq 1 30); do
@@ -287,12 +293,19 @@ for _ in $(seq 1 30); do
   sleep 0.5
 done
 
-# Both replicas must be routable before the chaos starts.
+# Both replicas must be routable before the chaos starts, and each entry
+# must carry its probe telemetry (probe freshness + failure streak).
 FLEETZ=$(curl -sf -m 2 "http://127.0.0.1:${ROUTER_ADMIN}/fleetz")
 if ! grep -q '"routable": 2' <<<"${FLEETZ}"; then
   echo "router smoke: /fleetz does not show 2 routable replicas: ${FLEETZ}"
   exit 1
 fi
+for field in last_probe_ms consecutive_failures; do
+  if ! grep -q "\"${field}\"" <<<"${FLEETZ}"; then
+    echo "router smoke: /fleetz missing per-replica ${field}: ${FLEETZ}"
+    exit 1
+  fi
+done
 
 # Traced traffic through the routed NDJSON path: every reply must be ok
 # and carry the router's attribution stamp.
@@ -314,9 +327,78 @@ if [[ "${OK_BEFORE}" -ne 10 ]]; then
   exit 1
 fi
 
+# Fleet metrics aggregation: with both replicas idle after the burst, the
+# fleet-wide rca counter must equal the sum of the per-replica counters.
+FLEETMETRICZ=$(curl -sf -m 5 "http://127.0.0.1:${ROUTER_ADMIN}/fleetmetricz")
+if ! grep -q '^telekit_fleet_replicas 2' <<<"${FLEETMETRICZ}"; then
+  echo "router smoke: /fleetmetricz does not report 2 replicas"
+  exit 1
+fi
+UP_COUNT=$(grep -c '^telekit_fleet_replica_up{replica="[^"]*"} 1' \
+  <<<"${FLEETMETRICZ}" || true)
+if [[ "${UP_COUNT}" -ne 2 ]]; then
+  echo "router smoke: /fleetmetricz does not show both replicas up (${UP_COUNT})"
+  exit 1
+fi
+REP1_RCA=$(curl -sf -m 2 "http://127.0.0.1:${REP1_ADMIN}/metrics" \
+  | sed -n 's/^telekit_serve_rca_requests \([0-9.]*\).*/\1/p')
+REP2_RCA=$(curl -sf -m 2 "http://127.0.0.1:${REP2_ADMIN}/metrics" \
+  | sed -n 's/^telekit_serve_rca_requests \([0-9.]*\).*/\1/p')
+FLEET_RCA=$(sed -n 's/^telekit_serve_rca_requests \([0-9.]*\).*/\1/p' \
+  <<<"${FLEETMETRICZ}")
+if ! awk -v a="${REP1_RCA:-0}" -v b="${REP2_RCA:-0}" -v f="${FLEET_RCA:-x}" \
+    'BEGIN { exit (f == a + b && f > 0) ? 0 : 1 }'; then
+  echo "router smoke: /fleetmetricz rca counter ${FLEET_RCA} != ${REP1_RCA} + ${REP2_RCA}"
+  exit 1
+fi
+
 # SIGKILL one replica mid-fleet: traffic must keep succeeding via retry
 # failover, and the ejection must land in the router's /metrics.
 kill -9 "${REP2_PID}"
+
+# Fire a spread of traced keys immediately — before the prober ejects the
+# dead replica — so at least one request fails its first hop and retries.
+exec 4<>"/dev/tcp/127.0.0.1/${ROUTER_PORT}"
+for i in $(seq 1 12); do
+  TRACE_HEX=$(printf '%016x' $((0xfeed0000 + i)))
+  printf '{"op": "rca", "text": "link down on rack %s", "trace": "%s"}\n' \
+    "${i}" "${TRACE_HEX}" >&4
+  IFS= read -r _ <&4 || break
+done
+exec 4<&- 4>&-
+# /tracezd assembles router attempt spans with the live replica's serve
+# spans (scraped over /spanz); the retried request shows up as >= 2 hops
+# with the losing hop marked failed.
+MULTI_HOP_TRACE=""
+TRACEZD=""
+for i in $(seq 1 12); do
+  TRACE_HEX=$(printf '%016x' $((0xfeed0000 + i)))
+  TRACEZD=$(curl -sf -m 5 \
+    "http://127.0.0.1:${ROUTER_ADMIN}/tracezd?trace_id=${TRACE_HEX}" || true)
+  HOPS=$(sed -n 's/.*"hops": \([0-9]*\).*/\1/p' <<<"${TRACEZD}")
+  if [[ -n "${HOPS}" && "${HOPS}" -ge 2 ]]; then
+    MULTI_HOP_TRACE="${TRACE_HEX}"
+    break
+  fi
+done
+if [[ -z "${MULTI_HOP_TRACE}" ]]; then
+  echo "router smoke: no traced request assembled a multi-hop retry trace"
+  exit 1
+fi
+if ! grep -q '"outcome": "failed"' <<<"${TRACEZD}"; then
+  echo "router smoke: multi-hop trace has no failed hop: ${TRACEZD}"
+  exit 1
+fi
+if ! grep -q '"name": "serve/request"' <<<"${TRACEZD}"; then
+  echo "router smoke: trace is missing the replica serve span: ${TRACEZD}"
+  exit 1
+fi
+CHROME=$(curl -sf -m 5 "http://127.0.0.1:${ROUTER_ADMIN}/tracezd?trace_id=${MULTI_HOP_TRACE}&format=chrome")
+if ! grep -q '"traceEvents"' <<<"${CHROME}"; then
+  echo "router smoke: chrome trace export failed: ${CHROME}"
+  exit 1
+fi
+
 OK_AFTER=$(route_burst 20)
 if [[ "${OK_AFTER}" -ne 20 ]]; then
   echo "router smoke: post-kill traffic lost requests (${OK_AFTER}/20)"
@@ -383,9 +465,25 @@ fi
 kill -9 "${REP1_PID}" 2>/dev/null || true
 wait 2>/dev/null || true
 trap - EXIT
-rm -f "${REP1_LOG}" "${REP2_LOG}" "${ROUTER_LOG}"
-echo "router smoke: OK (fleet healthy, kill survived, ejection exported," \
-  "hot reload zero-failure, drain clean)"
+
+# The router's wide-event request log must be valid NDJSON and carry the
+# routed attribution fields alongside the serve-side shape.
+if [[ ! -s "${ROUTER_REQLOG}" ]]; then
+  echo "router smoke: router --request-log sink is empty"
+  exit 1
+fi
+if ! ./build/src/obs/telekit_jsonlint <"${ROUTER_REQLOG}"; then
+  echo "router smoke: router --request-log NDJSON failed jsonlint"
+  exit 1
+fi
+if ! grep -q '"attempts"' "${ROUTER_REQLOG}"; then
+  echo "router smoke: router request log has no routed attempts field"
+  exit 1
+fi
+rm -f "${REP1_LOG}" "${REP2_LOG}" "${ROUTER_LOG}" "${ROUTER_REQLOG}"
+echo "router smoke: OK (fleet healthy + probe telemetry, fleet metrics sum," \
+  "kill survived, retry trace assembled via /tracezd, ejection exported," \
+  "hot reload zero-failure, drain clean, request log lints)"
 
 if [[ "${TELEKIT_TSAN:-0}" == "1" ]]; then
   echo "== [tsan] ThreadSanitizer pass (tensor + serve + stream + route + obs + admin) =="

@@ -14,6 +14,7 @@
 
 #include "obs/log.h"
 #include "obs/requestlog.h"
+#include "obs/spanstore.h"
 #include "obs/trace.h"
 
 namespace telekit {
@@ -211,6 +212,11 @@ AdminServer::AdminServer() {
   });
   Handle("/requestz", [](const HttpRequest& request) {
     return RequestLog::Global().HandleQuery(request);
+  });
+  // Distributed-trace spans: every daemon answers /spanz?trace_id= so the
+  // router's /tracezd assembler can fan out and merge the hops.
+  Handle("/spanz", [](const HttpRequest& request) {
+    return SpanStore::Global().HandleQuery(request);
   });
   // GET /loglevelz reads the live level; ?set=<level> changes it and
   // reports what it replaced. The logger's level is one atomic, so the

@@ -55,7 +55,8 @@ std::string RenderPrometheus(const MetricsRegistry& registry);
 ///
 /// Built-in routes: /healthz (liveness), /metrics (Prometheus text from
 /// MetricsRegistry::Global()), /tracez (Chrome trace JSON of the slow-
-/// request ring), and an index at "/". Servers with more state (readiness,
+/// request ring), /spanz (distributed-trace spans by trace id), and an
+/// index at "/". Servers with more state (readiness,
 /// status) register their own handlers via Handle() — later registrations
 /// for the same path win, so defaults can be overridden.
 ///

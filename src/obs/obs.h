@@ -15,6 +15,8 @@
 ///                    /alertz state machine (pending -> firing -> resolved)
 ///   - obs/requestlog.h  wide-event request log (/requestz, --request-log
 ///                    NDJSON sink) + Prometheus exemplar store
+///   - obs/spanstore.h  bounded ring of completed distributed-trace spans
+///                    (/spanz), merged fleet-wide by the router's /tracezd
 ///   - obs/report.h   --obs-json artifact (metrics + spans + traceEvents)
 ///
 /// Conventions used across the codebase:
@@ -32,6 +34,7 @@
 #include "obs/report.h"
 #include "obs/requestlog.h"
 #include "obs/slo.h"
+#include "obs/spanstore.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 

@@ -56,6 +56,11 @@ JsonValue WideEvent::ToJson() const {
   out.Set("verdict", JsonValue(verdict));
   out.Set("ok", JsonValue(ok));
   out.Set("status", JsonValue(status));
+  if (attempts > 0) {
+    out.Set("replica", JsonValue(replica));
+    out.Set("attempts", JsonValue(attempts));
+    out.Set("hedge", JsonValue(hedge));
+  }
   return out;
 }
 
@@ -84,6 +89,17 @@ bool WideEvent::FromJson(const JsonValue& value, WideEvent* out) {
   event.encode_us = static_cast<uint64_t>(encode);
   event.score_us = static_cast<uint64_t>(score);
   event.total_us = static_cast<uint64_t>(total);
+  // Routing fields ride only on router-recorded events; when present they
+  // must parse (and travel together — ToJson writes all three).
+  if (value.Find("attempts") != nullptr) {
+    double attempts = 0.0;
+    if (!ReadNumber(value, "attempts", &attempts) ||
+        !ReadString(value, "replica", &event.replica) ||
+        !ReadString(value, "hedge", &event.hedge)) {
+      return false;
+    }
+    event.attempts = static_cast<int>(attempts);
+  }
   *out = std::move(event);
   return true;
 }

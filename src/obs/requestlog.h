@@ -30,6 +30,12 @@ struct WideEvent {
   std::string verdict;   ///< top-1 result name ("" when none)
   bool ok = true;
   std::string status;    ///< "ok" or the error message
+  // Routing story, filled by telekit_router (attempts > 0 marks a routed
+  // event; serve-side events leave these at their defaults and do not
+  // serialize them).
+  std::string replica;   ///< replica that answered ("" when none did)
+  int attempts = 0;      ///< forwarding attempts (first try + retries + hedge)
+  std::string hedge;     ///< "" (not hedged) | "won" | "lost"
 
   /// Trace ids serialize as 16-hex strings (JSON numbers are doubles and
   /// cannot carry 64 bits exactly).

@@ -1,0 +1,203 @@
+#include "obs/spanstore.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace telekit {
+namespace obs {
+
+namespace {
+
+bool ReadOptionalHex(const JsonValue& value, const char* key, uint64_t* out) {
+  const JsonValue* field = value.Find(key);
+  if (field == nullptr || field->is_null()) {
+    *out = 0;
+    return true;
+  }
+  return field->is_string() && ParseTraceIdHex(field->AsString(), out);
+}
+
+}  // namespace
+
+double UnixNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+JsonValue SpanRecord::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("trace_id", JsonValue(TraceIdToHex(trace_id)));
+  out.Set("span_id", JsonValue(TraceIdToHex(span_id)));
+  out.Set("parent_span", parent_span != 0
+                             ? JsonValue(TraceIdToHex(parent_span))
+                             : JsonValue());
+  out.Set("name", JsonValue(name));
+  out.Set("process", JsonValue(process));
+  out.Set("replica", JsonValue(replica));
+  out.Set("outcome", JsonValue(outcome));
+  out.Set("attempt", JsonValue(attempt));
+  out.Set("hedge", JsonValue(hedge));
+  out.Set("ok", JsonValue(ok));
+  out.Set("start_unix_us", JsonValue(start_unix_us));
+  out.Set("dur_us", JsonValue(dur_us));
+  return out;
+}
+
+bool SpanRecord::FromJson(const JsonValue& value, SpanRecord* out) {
+  if (!value.is_object()) return false;
+  SpanRecord span;
+  const JsonValue* trace = value.Find("trace_id");
+  const JsonValue* id = value.Find("span_id");
+  const JsonValue* name = value.Find("name");
+  const JsonValue* process = value.Find("process");
+  const JsonValue* start = value.Find("start_unix_us");
+  const JsonValue* dur = value.Find("dur_us");
+  const JsonValue* ok = value.Find("ok");
+  if (trace == nullptr || !trace->is_string() ||
+      !ParseTraceIdHex(trace->AsString(), &span.trace_id) ||
+      id == nullptr || !id->is_string() ||
+      !ParseTraceIdHex(id->AsString(), &span.span_id) ||
+      !ReadOptionalHex(value, "parent_span", &span.parent_span) ||
+      name == nullptr || !name->is_string() ||
+      process == nullptr || !process->is_string() ||
+      start == nullptr || !start->is_number() ||
+      dur == nullptr || !dur->is_number() ||
+      ok == nullptr || !ok->is_bool()) {
+    return false;
+  }
+  span.name = name->AsString();
+  span.process = process->AsString();
+  span.start_unix_us = start->AsNumber();
+  span.dur_us = static_cast<uint64_t>(dur->AsNumber());
+  span.ok = ok->AsBool();
+  if (const JsonValue* replica = value.Find("replica");
+      replica != nullptr && replica->is_string()) {
+    span.replica = replica->AsString();
+  }
+  if (const JsonValue* outcome = value.Find("outcome");
+      outcome != nullptr && outcome->is_string()) {
+    span.outcome = outcome->AsString();
+  }
+  if (const JsonValue* attempt = value.Find("attempt");
+      attempt != nullptr && attempt->is_number()) {
+    span.attempt = static_cast<int>(attempt->AsNumber());
+  }
+  if (const JsonValue* hedge = value.Find("hedge");
+      hedge != nullptr && hedge->is_bool()) {
+    span.hedge = hedge->AsBool();
+  }
+  *out = std::move(span);
+  return true;
+}
+
+SpanStore& SpanStore::Global() {
+  static SpanStore* store = new SpanStore();
+  return *store;
+}
+
+SpanStore::SpanStore(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      process_label_("pid:" + std::to_string(::getpid())) {}
+
+void SpanStore::Record(SpanRecord span) {
+  if (span.span_id == 0) span.span_id = NextTraceId();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  if (span.process.empty()) span.process = process_label_;
+  ++total_recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[head_] = std::move(span);
+    head_ = (head_ + 1) % ring_.size();
+  }
+}
+
+std::vector<SpanRecord> SpanStore::Query(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  // Oldest-first walk: head_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const size_t index =
+        ring_.size() == capacity_ ? (head_ + i) % ring_.size() : i;
+    if (ring_[index].trace_id == trace_id) out.push_back(ring_[index]);
+  }
+  return out;
+}
+
+JsonValue SpanStore::QueryJson(uint64_t trace_id) const {
+  const std::vector<SpanRecord> spans = Query(trace_id);
+  JsonValue out = JsonValue::Object();
+  out.Set("trace_id", JsonValue(TraceIdToHex(trace_id)));
+  out.Set("count", JsonValue(static_cast<uint64_t>(spans.size())));
+  JsonValue items = JsonValue::Array();
+  for (const SpanRecord& span : spans) items.Append(span.ToJson());
+  out.Set("spans", std::move(items));
+  return out;
+}
+
+HttpResponse SpanStore::HandleQuery(const HttpRequest& request) const {
+  const std::map<std::string, std::string> params = ParseQuery(request.query);
+  const auto it = params.find("trace_id");
+  if (it == params.end()) {
+    JsonValue out = JsonValue::Object();
+    out.Set("process", JsonValue(process_label()));
+    out.Set("enabled", JsonValue(enabled()));
+    out.Set("size", JsonValue(static_cast<uint64_t>(size())));
+    out.Set("capacity", JsonValue(static_cast<uint64_t>(capacity_)));
+    out.Set("total_recorded", JsonValue(total_recorded()));
+    return HttpResponse::Json(200, out);
+  }
+  uint64_t trace_id = 0;
+  if (!ParseTraceIdHex(it->second, &trace_id)) {
+    JsonValue error = JsonValue::Object();
+    error.Set("error", JsonValue("bad trace_id: " + it->second));
+    return HttpResponse::Json(400, error);
+  }
+  return HttpResponse::Json(200, QueryJson(trace_id));
+}
+
+bool SpanStore::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void SpanStore::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+void SpanStore::SetProcessLabel(std::string label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  process_label_ = std::move(label);
+}
+
+std::string SpanStore::process_label() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return process_label_;
+}
+
+size_t SpanStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+uint64_t SpanStore::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
+void SpanStore::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  total_recorded_ = 0;
+}
+
+}  // namespace obs
+}  // namespace telekit

@@ -1,0 +1,109 @@
+#ifndef TELEKIT_OBS_SPANSTORE_H_
+#define TELEKIT_OBS_SPANSTORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/admin.h"
+#include "obs/json.h"
+
+namespace telekit {
+namespace obs {
+
+/// Wall-clock microseconds since the Unix epoch. Distributed spans use the
+/// system clock (not the per-process TraceNowUs() epoch) so spans recorded
+/// by different processes can be laid on one timeline; the residual
+/// cross-host skew is surfaced by the trace assembler, not hidden.
+double UnixNowUs();
+
+/// One completed span of a distributed trace. Span ids share the trace-id
+/// space (64-bit, process-unique, never 0, hex on the wire); `parent_span`
+/// 0 marks a root. The route/attempt spans additionally carry the attempt
+/// number, hedge flag, target replica, and a race outcome:
+///
+///   "won"    the attempt's response was delivered to the client
+///   "lost"   a hedged duplicate that lost the first-response-wins race
+///   "failed" transport error or retryable upstream rejection
+///   "ok"     uncontested success (also serve-side spans)
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+  std::string name;     ///< e.g. "route/attempt", "serve/request"
+  std::string process;  ///< recording process label, e.g. "telekit_serve:7101"
+  std::string replica;  ///< attempt target ("" when not a routing span)
+  std::string outcome;  ///< "" | "ok" | "won" | "lost" | "failed"
+  int attempt = 0;      ///< 1-based forwarding attempt (0 = not an attempt)
+  bool hedge = false;
+  bool ok = true;
+  double start_unix_us = 0.0;
+  uint64_t dur_us = 0;
+
+  /// Ids serialize as 16-hex strings (JSON numbers are doubles); a zero
+  /// parent_span serializes as null.
+  JsonValue ToJson() const;
+  /// Strict on the core fields; replica/outcome/attempt/hedge are optional
+  /// (defaulted) so the wire shape can grow.
+  static bool FromJson(const JsonValue& value, SpanRecord* out);
+};
+
+/// Bounded ring of recently completed spans, indexed by trace id on query.
+/// Every telekit daemon holds one process-global instance behind the
+/// built-in /spanz admin endpoint; the router's /tracezd assembler fans
+/// out to each replica's /spanz and merges the hops into one tree.
+///
+/// Recording is on by default and can be switched off (set_enabled) — the
+/// route bench uses that to price the tracing overhead. Thread-safe; a
+/// Record is one mutex-guarded slot write.
+class SpanStore {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  static SpanStore& Global();
+
+  explicit SpanStore(size_t capacity = kDefaultCapacity);
+
+  /// Stores one completed span (dropped when disabled). A zero span_id is
+  /// assigned from the trace-id generator; an empty process field is
+  /// filled from the process label.
+  void Record(SpanRecord span);
+
+  /// All held spans of `trace_id`, oldest first.
+  std::vector<SpanRecord> Query(uint64_t trace_id) const;
+
+  /// {"trace_id", "count", "spans": [...]}.
+  JsonValue QueryJson(uint64_t trace_id) const;
+
+  /// GET /spanz?trace_id=<hex>. Without a trace_id: store summary
+  /// (process, enabled, size, total_recorded). Malformed id -> 400.
+  HttpResponse HandleQuery(const HttpRequest& request) const;
+
+  bool enabled() const;
+  void set_enabled(bool enabled);
+
+  /// Label stamped into spans recorded with an empty process field, e.g.
+  /// "telekit_router:7001". Defaults to "pid:<pid>".
+  void SetProcessLabel(std::string label);
+  std::string process_label() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const;
+  void Reset();  ///< clears the ring and counter; keeps label + enabled
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  size_t head_ = 0;  // next overwrite slot once full
+  uint64_t total_recorded_ = 0;
+  bool enabled_ = true;
+  std::string process_label_;
+};
+
+}  // namespace obs
+}  // namespace telekit
+
+#endif  // TELEKIT_OBS_SPANSTORE_H_

@@ -1,0 +1,238 @@
+#include "route/fleet_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <set>
+
+namespace telekit {
+namespace route {
+
+namespace {
+
+bool HasSuffix(const std::string& name, const char* suffix,
+               std::string* base) {
+  const size_t n = std::string(suffix).size();
+  if (name.size() <= n || name.compare(name.size() - n, n, suffix) != 0) {
+    return false;
+  }
+  *base = name.substr(0, name.size() - n);
+  return true;
+}
+
+/// Exposition-format number, matching obs::RenderPrometheus: integers
+/// print without a fraction; non-finite values use +Inf/-Inf/NaN.
+std::string FormatNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// Parses the sample value out of the text after the name/labels — the
+/// first token, with any exemplar suffix (" # {...} v ts") ignored.
+bool ParseValue(const std::string& text, double* out) {
+  size_t start = 0;
+  while (start < text.size() && text[start] == ' ') ++start;
+  if (start == text.size()) return false;
+  char* end = nullptr;
+  const std::string token = text.substr(start);
+  if (token.rfind("+Inf", 0) == 0) {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && end != token.c_str();
+}
+
+/// Right-continuous step-function read of a sparse cumulative bucket
+/// list: the cumulative count at `le` is the count recorded at the
+/// largest boundary <= le (0 below the first boundary).
+double CumulativeAt(const std::vector<std::pair<double, double>>& buckets,
+                    double le) {
+  double cumulative = 0.0;
+  for (const auto& [bound, count] : buckets) {
+    if (bound > le) break;
+    cumulative = count;
+  }
+  return cumulative;
+}
+
+}  // namespace
+
+std::map<std::string, FleetMetric> ParsePrometheusText(
+    const std::string& text) {
+  std::map<std::string, FleetMetric> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only TYPE matters; HELP and stray comments are skipped.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t space = rest.find(' ');
+        if (space != std::string::npos) {
+          out[rest.substr(0, space)].type = rest.substr(space + 1);
+        }
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value [# exemplar].
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    const size_t name_end = std::min(
+        brace == std::string::npos ? line.size() : brace, space);
+    const std::string name = line.substr(0, name_end);
+    std::string labels;
+    size_t value_start = name_end;
+    if (brace != std::string::npos && brace == name_end) {
+      const size_t close = line.find('}', brace);
+      if (close == std::string::npos) continue;
+      labels = line.substr(brace + 1, close - brace - 1);
+      value_start = close + 1;
+    }
+    double value = 0.0;
+    if (!ParseValue(line.substr(value_start), &value)) continue;
+
+    std::string base;
+    if (HasSuffix(name, "_bucket", &base)) {
+      const size_t le = labels.find("le=\"");
+      if (le == std::string::npos) continue;
+      const size_t le_end = labels.find('"', le + 4);
+      if (le_end == std::string::npos) continue;
+      const std::string bound_text = labels.substr(le + 4, le_end - le - 4);
+      if (bound_text == "+Inf") continue;  // implied by _count
+      char* end = nullptr;
+      const double bound = std::strtod(bound_text.c_str(), &end);
+      if (end == nullptr || end == bound_text.c_str()) continue;
+      FleetMetric& metric = out[base];
+      metric.has_histogram = true;
+      metric.buckets.emplace_back(bound, value);
+    } else if (HasSuffix(name, "_sum", &base) && out.count(base) > 0 &&
+               out[base].type == "histogram") {
+      out[base].sum = value;
+      out[base].has_histogram = true;
+    } else if (HasSuffix(name, "_count", &base) && out.count(base) > 0 &&
+               out[base].type == "histogram") {
+      out[base].count = value;
+      out[base].has_histogram = true;
+    } else {
+      FleetMetric& metric = out[name];
+      metric.value = value;
+      metric.has_value = true;
+    }
+  }
+  for (auto& [name, metric] : out) {
+    std::sort(metric.buckets.begin(), metric.buckets.end());
+  }
+  return out;
+}
+
+std::string AggregateFleetMetrics(
+    const std::vector<ReplicaScrape>& scrapes) {
+  // Parse every successful scrape once; the union of metric names drives
+  // the output (a replica missing a metric simply contributes nothing).
+  std::vector<std::pair<std::string, std::map<std::string, FleetMetric>>>
+      parsed;
+  for (const ReplicaScrape& scrape : scrapes) {
+    if (scrape.ok) {
+      parsed.emplace_back(scrape.replica,
+                          ParsePrometheusText(scrape.exposition));
+    }
+  }
+  std::string out;
+  out += "# HELP telekit_fleet_replicas replicas in the router fleet\n";
+  out += "# TYPE telekit_fleet_replicas gauge\n";
+  out += "telekit_fleet_replicas " + std::to_string(scrapes.size()) + "\n";
+  out += "# HELP telekit_fleet_replica_up 1 when the fleet scrape reached "
+         "the replica\n";
+  out += "# TYPE telekit_fleet_replica_up gauge\n";
+  for (const ReplicaScrape& scrape : scrapes) {
+    out += "telekit_fleet_replica_up{replica=\"" + scrape.replica + "\"} " +
+           (scrape.ok ? "1" : "0") + "\n";
+  }
+
+  std::map<std::string, std::string> types;  // union of names -> type
+  for (const auto& [replica, metrics] : parsed) {
+    for (const auto& [name, metric] : metrics) {
+      auto [it, inserted] = types.emplace(name, metric.type);
+      if (!inserted && it->second.empty()) it->second = metric.type;
+    }
+  }
+
+  for (const auto& [name, type] : types) {
+    if (type == "gauge") {
+      out += "# HELP " + name + " fleet per-replica gauge\n";
+      out += "# TYPE " + name + " gauge\n";
+      for (const auto& [replica, metrics] : parsed) {
+        const auto it = metrics.find(name);
+        if (it == metrics.end() || !it->second.has_value) continue;
+        out += name + "{replica=\"" + replica + "\"} " +
+               FormatNumber(it->second.value) + "\n";
+      }
+    } else if (type == "histogram") {
+      out += "# HELP " + name + " fleet-merged histogram\n";
+      out += "# TYPE " + name + " histogram\n";
+      std::set<double> grid;
+      double total_sum = 0.0;
+      double total_count = 0.0;
+      for (const auto& [replica, metrics] : parsed) {
+        const auto it = metrics.find(name);
+        if (it == metrics.end() || !it->second.has_histogram) continue;
+        for (const auto& [bound, unused] : it->second.buckets) {
+          grid.insert(bound);
+        }
+        total_sum += it->second.sum;
+        total_count += it->second.count;
+      }
+      for (double bound : grid) {
+        double cumulative = 0.0;
+        for (const auto& [replica, metrics] : parsed) {
+          const auto it = metrics.find(name);
+          if (it == metrics.end() || !it->second.has_histogram) continue;
+          cumulative += CumulativeAt(it->second.buckets, bound);
+        }
+        out += name + "_bucket{le=\"" + FormatNumber(bound) + "\"} " +
+               FormatNumber(cumulative) + "\n";
+      }
+      out += name + "_bucket{le=\"+Inf\"} " + FormatNumber(total_count) +
+             "\n";
+      out += name + "_sum " + FormatNumber(total_sum) + "\n";
+      out += name + "_count " + FormatNumber(total_count) + "\n";
+    } else {
+      // Counters (and untyped samples, conservatively treated the same):
+      // one fleet-wide sum under the unchanged name.
+      out += "# HELP " + name + " fleet-summed counter\n";
+      out += "# TYPE " + name + " " +
+             (type.empty() ? "untyped" : type) + "\n";
+      double total = 0.0;
+      for (const auto& [replica, metrics] : parsed) {
+        const auto it = metrics.find(name);
+        if (it != metrics.end() && it->second.has_value) {
+          total += it->second.value;
+        }
+      }
+      out += name + " " + FormatNumber(total) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace route
+}  // namespace telekit

@@ -1,0 +1,57 @@
+#ifndef TELEKIT_ROUTE_FLEET_METRICS_H_
+#define TELEKIT_ROUTE_FLEET_METRICS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace telekit {
+namespace route {
+
+/// One metric parsed from a Prometheus text exposition (version 0.0.4,
+/// the shape obs::RenderPrometheus emits). Histograms keep their sparse
+/// cumulative buckets; the +Inf bucket is implied by `count`.
+struct FleetMetric {
+  std::string type;  ///< "counter" | "gauge" | "histogram" | "untyped"
+  double value = 0.0;
+  bool has_value = false;
+  /// (le, cumulative count) in ascending le order, +Inf excluded.
+  std::vector<std::pair<double, double>> buckets;
+  double sum = 0.0;
+  double count = 0.0;
+  bool has_histogram = false;
+};
+
+/// Parses one /metrics body into {base metric name -> FleetMetric}.
+/// `name_bucket` / `name_sum` / `name_count` series fold into their base
+/// name; exemplar suffixes (` # {...} v ts`) are stripped; malformed
+/// lines are skipped (a scrape is best-effort by nature).
+std::map<std::string, FleetMetric> ParsePrometheusText(
+    const std::string& text);
+
+/// One replica's scrape result, input to the aggregator.
+struct ReplicaScrape {
+  std::string replica;     ///< label value, e.g. "127.0.0.1:7101"
+  bool ok = false;         ///< scrape reached the replica and returned 200
+  std::string exposition;  ///< /metrics body (valid when ok)
+};
+
+/// Renders the fleet-wide exposition for /fleetmetricz:
+///
+///   telekit_fleet_replicas          how many replicas were scraped
+///   telekit_fleet_replica_up{replica="host:port"}  1 scraped, 0 failed
+///   counters    summed across replicas, name unchanged
+///   histograms  bucket-merged on the union le grid (cumulative counts
+///               interpolated as right-continuous step functions), _sum
+///               and _count summed
+///   gauges      one series per replica, labelled {replica="host:port"}
+///               (a summed queue depth would hide the one hot replica)
+///
+/// Pure text-in/text-out so tests can exercise the merge without sockets.
+std::string AggregateFleetMetrics(const std::vector<ReplicaScrape>& scrapes);
+
+}  // namespace route
+}  // namespace telekit
+
+#endif  // TELEKIT_ROUTE_FLEET_METRICS_H_

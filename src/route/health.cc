@@ -98,6 +98,8 @@ void HealthProber::ProbeOnce() {
     metrics.probes->Increment();
     std::lock_guard<std::mutex> lock(mutex_);
     ++states_[i].probes;
+    states_[i].last_probe = std::chrono::steady_clock::now();
+    states_[i].last_probe_ok = up;
     if (!up) {
       ++states_[i].probe_failures;
       metrics.probe_failures->Increment();
@@ -190,6 +192,17 @@ obs::JsonValue HealthProber::StatusJson() const {
               obs::JsonValue(state.consecutive_failures));
     entry.Set("probes", obs::JsonValue(state.probes));
     entry.Set("probe_failures", obs::JsonValue(state.probe_failures));
+    // Age of the newest probe verdict; -1 before the first sweep so
+    // "never probed" is distinguishable from "probed just now".
+    double last_probe_ms = -1.0;
+    if (state.last_probe != std::chrono::steady_clock::time_point()) {
+      last_probe_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() -
+                          state.last_probe)
+                          .count();
+    }
+    entry.Set("last_probe_ms", obs::JsonValue(last_probe_ms));
+    entry.Set("last_probe_ok", obs::JsonValue(state.last_probe_ok));
     out.Append(std::move(entry));
   }
   return out;

@@ -2,6 +2,7 @@
 #define TELEKIT_ROUTE_HEALTH_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -87,7 +88,9 @@ class HealthProber {
   uint64_t readmissions() const { return readmissions_.load(); }
 
   /// Per-replica state for /fleetz: [{"replica", "health", "consecutive_
-  /// failures", "probes", "probe_failures"}].
+  /// failures", "probes", "probe_failures", "last_probe_ms" (age of the
+  /// newest probe, -1 before the first sweep), "last_probe_ok"}] — enough
+  /// to explain an eject/readmit decision from one endpoint.
   obs::JsonValue StatusJson() const;
 
  private:
@@ -97,6 +100,10 @@ class HealthProber {
     int consecutive_successes = 0;
     uint64_t probes = 0;
     uint64_t probe_failures = 0;
+    /// When the prober last reached a verdict for this replica (epoch
+    /// time_point = never probed) and what that verdict was.
+    std::chrono::steady_clock::time_point last_probe;
+    bool last_probe_ok = false;
   };
 
   void Loop();

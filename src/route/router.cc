@@ -15,6 +15,8 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/requestlog.h"
+#include "obs/spanstore.h"
 #include "obs/trace.h"
 #include "route/http_client.h"
 #include "serve/line_io.h"
@@ -312,7 +314,8 @@ StatusOr<std::string> Router::ForwardOnce(size_t replica,
 
 void Router::LaunchAttempt(size_t replica, const std::string& line,
                            double timeout_ms,
-                           std::shared_ptr<Rendezvous> rendezvous) {
+                           std::shared_ptr<Rendezvous> rendezvous,
+                           AttemptContext ctx) {
   rendezvous->AddAttempt();
   const bool is_hedge = [&] {
     std::lock_guard<std::mutex> lock(rendezvous->mutex);
@@ -322,13 +325,38 @@ void Router::LaunchAttempt(size_t replica, const std::string& line,
     std::lock_guard<std::mutex> lock(outstanding_mutex_);
     ++outstanding_;
   }
-  std::thread([this, replica, line, timeout_ms, is_hedge,
+  std::thread([this, replica, line, timeout_ms, is_hedge, ctx,
                rendezvous = std::move(rendezvous)] {
+    const double span_start_us = obs::UnixNowUs();
+    const auto attempt_start = Clock::now();
     StatusOr<std::string> result = ForwardOnce(replica, line, timeout_ms);
     const bool was_success = result.ok();
-    if (!rendezvous->Deliver(replica, is_hedge, std::move(result)) &&
-        was_success) {
+    // An upstream UNAVAILABLE rejection is a failed hop in the trace even
+    // though the rendezvous treats it as a deliverable response (Handle
+    // owns the retry decision).
+    const bool retryable = was_success && IsRetryableResponse(result.value());
+    const bool delivered =
+        rendezvous->Deliver(replica, is_hedge, std::move(result));
+    if (!delivered && was_success) {
       RouteMetrics::Get().hedge_discarded->Increment();
+    }
+    if (ctx.span_id != 0) {
+      obs::SpanRecord span;
+      span.trace_id = ctx.trace_id;
+      span.span_id = ctx.span_id;
+      span.parent_span = ctx.parent_span;
+      span.name = "route/attempt";
+      span.replica = replicas_[replica].name;
+      span.attempt = ctx.attempt;
+      span.hedge = is_hedge;
+      span.ok = was_success && !retryable;
+      span.outcome = !span.ok ? "failed" : (delivered ? "won" : "lost");
+      span.start_unix_us = span_start_us;
+      span.dur_us = static_cast<uint64_t>(
+          std::chrono::duration<double, std::micro>(Clock::now() -
+                                                    attempt_start)
+              .count());
+      obs::SpanStore::Global().Record(std::move(span));
     }
     {
       // Notify while holding the lock: Stop() may destroy the cv as soon as
@@ -375,6 +403,7 @@ std::string Router::Handle(const std::string& line) {
   auto& metrics = RouteMetrics::Get();
   metrics.requests->Increment();
   const auto start = Clock::now();
+  const double start_unix_us = obs::UnixNowUs();
 
   // Peek into the request for the routing key and correlation fields; a
   // line the router cannot parse is still forwarded (the replica renders
@@ -383,29 +412,43 @@ std::string Router::Handle(const std::string& line) {
   std::unique_ptr<obs::JsonValue> id;
   uint64_t trace_id = 0;
   double budget_ms = options_.default_deadline_ms;
+  std::string op = "encode";  // the serve-side default
+  obs::JsonValue request_json;
+  bool have_json = false;
   {
-    obs::JsonValue json;
     std::string parse_error;
-    if (obs::JsonValue::Parse(line, &json, &parse_error) &&
-        json.is_object()) {
-      if (const obs::JsonValue* text = json.Find("text");
+    if (obs::JsonValue::Parse(line, &request_json, &parse_error) &&
+        request_json.is_object()) {
+      have_json = true;
+      if (const obs::JsonValue* text = request_json.Find("text");
           text != nullptr && text->is_string()) {
         key = text->AsString();
       }
-      if (const obs::JsonValue* found = json.Find("id")) {
+      if (const obs::JsonValue* found = request_json.Find("id")) {
         id = std::make_unique<obs::JsonValue>(*found);
       }
-      if (const obs::JsonValue* trace = json.Find("trace");
+      if (const obs::JsonValue* trace = request_json.Find("trace");
           trace != nullptr && trace->is_string()) {
         obs::ParseTraceIdHex(trace->AsString(), &trace_id);
       }
-      if (const obs::JsonValue* deadline = json.Find("deadline_ms");
+      if (const obs::JsonValue* found = request_json.Find("op");
+          found != nullptr && found->is_string()) {
+        op = found->AsString();
+      }
+      if (const obs::JsonValue* deadline = request_json.Find("deadline_ms");
           deadline != nullptr && deadline->is_number() &&
           deadline->AsNumber() > 0.0) {
         budget_ms = deadline->AsNumber();
       }
     }
   }
+  // The router is the trace root for requests that arrive untraced: every
+  // parseable request gets an id (stamped into the forwarded line), so any
+  // routed request can be explained via /tracezd after the fact. Error
+  // replies on every router-side path carry the same id.
+  if (have_json && trace_id == 0) trace_id = obs::NextTraceId();
+  const bool tracing = have_json && obs::SpanStore::Global().enabled();
+  const uint64_t root_span = tracing ? obs::NextTraceId() : 0;
   const auto deadline =
       start + std::chrono::duration_cast<Clock::duration>(
                   std::chrono::duration<double, std::milli>(budget_ms));
@@ -415,8 +458,33 @@ std::string Router::Handle(const std::string& line) {
   std::string response;
   bool have_response = false;
   bool hedged = false;
+  bool hedge_won = false;
   size_t winner = 0;
   int attempts = 0;
+
+  // Each leg forwards its own copy of the line, stamped with the shared
+  // trace id and that leg's attempt span as `parent_span` — the replica's
+  // serve spans then attach to the exact retry/hedge hop that ran them.
+  const auto launch = [&](size_t replica, double timeout_ms,
+                          const std::shared_ptr<Rendezvous>& rendezvous) {
+    ++attempts;
+    AttemptContext ctx;
+    ctx.trace_id = trace_id;
+    ctx.parent_span = root_span;
+    ctx.attempt = attempts;
+    std::string forwarded = line;
+    if (have_json) {
+      obs::JsonValue stamped = request_json;
+      stamped.Set("trace", obs::JsonValue(obs::TraceIdToHex(trace_id)));
+      if (tracing) {
+        ctx.span_id = obs::NextTraceId();
+        stamped.Set("parent_span",
+                    obs::JsonValue(obs::TraceIdToHex(ctx.span_id)));
+      }
+      forwarded = stamped.Dump();
+    }
+    LaunchAttempt(replica, forwarded, timeout_ms, rendezvous, ctx);
+  };
 
   if (plan.empty()) metrics.no_healthy->Increment();
   for (size_t pos = 0; pos < plan.size() && attempts < options_.max_attempts;
@@ -429,9 +497,7 @@ std::string Router::Handle(const std::string& line) {
     }
     if (pos > 0) metrics.retries->Increment();
     auto rendezvous = std::make_shared<Rendezvous>();
-    LaunchAttempt(plan[pos], line, std::min(options_.per_try_ms, remaining),
-                  rendezvous);
-    ++attempts;
+    launch(plan[pos], std::min(options_.per_try_ms, remaining), rendezvous);
     // Tail hedge: first attempt only, and only when there is somewhere
     // else to send it.
     if (pos == 0 && options_.hedge && plan.size() > 1 &&
@@ -443,10 +509,8 @@ std::string Router::Handle(const std::string& line) {
         if (hedge_remaining > 0.0) {
           metrics.hedges->Increment();
           hedged = true;
-          LaunchAttempt(plan[1], line,
-                        std::min(options_.per_try_ms, hedge_remaining),
-                        rendezvous);
-          ++attempts;
+          launch(plan[1], std::min(options_.per_try_ms, hedge_remaining),
+                 rendezvous);
           ++pos;  // the hedge consumed plan[1]; retries move past it
         }
       }
@@ -465,16 +529,46 @@ std::string Router::Handle(const std::string& line) {
       }
       response = rendezvous->response;
       winner = rendezvous->winner;
-      if (rendezvous->hedge_won) metrics.hedge_wins->Increment();
+      if (rendezvous->hedge_won) {
+        hedge_won = true;
+        metrics.hedge_wins->Increment();
+      }
       have_response = true;
       break;
     }
     final_status = rendezvous->first_error;
   }
 
-  metrics.request_ms->Observe(
+  const double total_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start)
-          .count());
+          .count();
+  metrics.request_ms->Observe(total_ms);
+  if (root_span != 0) {
+    obs::SpanRecord span;
+    span.trace_id = trace_id;
+    span.span_id = root_span;
+    span.name = "route/request";
+    if (have_response) span.replica = replicas_[winner].name;
+    span.ok = have_response;
+    span.outcome = have_response ? "ok" : "failed";
+    span.start_unix_us = start_unix_us;
+    span.dur_us = static_cast<uint64_t>(total_ms * 1000.0);
+    obs::SpanStore::Global().Record(std::move(span));
+  }
+  if (have_json) {
+    // The router's own wide event: the routing story (which replica won,
+    // how many legs ran, how the hedge fared) under the shared trace id.
+    obs::WideEvent event;
+    event.trace_id = trace_id;
+    event.op = op;
+    event.total_us = static_cast<uint64_t>(total_ms * 1000.0);
+    event.ok = have_response;
+    event.status = have_response ? "ok" : final_status.message();
+    if (have_response) event.replica = replicas_[winner].name;
+    event.attempts = attempts;
+    event.hedge = hedged ? (hedge_won ? "won" : "lost") : "";
+    obs::RequestLog::Global().Record(std::move(event));
+  }
   if (!have_response) {
     return serve::ErrorToJson(final_status, id.get(), trace_id).Dump();
   }
@@ -551,8 +645,12 @@ obs::JsonValue Router::FleetJson() const {
     entry.Set("port", obs::JsonValue(replicas_[i].port));
     entry.Set("admin_port", obs::JsonValue(replicas_[i].admin_port));
     if (i < health.size()) {
-      if (const obs::JsonValue* h = health.at(i).Find("health")) {
-        entry.Set("health", *h);
+      // Merge the prober's whole view (health, consecutive_failures,
+      // probes, probe_failures, last_probe_ms, last_probe_ok) so an
+      // eject decision is explainable from /fleetz alone.
+      for (const auto& [field, value] : health.at(i).members()) {
+        if (field == "replica") continue;  // index; `name` identifies it
+        entry.Set(field, value);
       }
     }
     replicas.Append(std::move(entry));

@@ -68,6 +68,15 @@ struct RouterOptions {
 ///   -> pooled TCP connection -> bounded retries on the next replicas in
 ///   ring order -> optional tail hedge -> response (+ "routed" stamp)
 ///
+/// Distributed tracing: every parseable request gets a trace id (the
+/// client's hex `trace` field, or a router-assigned one) stamped into the
+/// forwarded line, plus a per-attempt `parent_span` so each retry and
+/// hedge leg shows up as its own hop in the replica's spans. The router
+/// records a "route/request" root span and one "route/attempt" child per
+/// leg (outcome won / lost / failed) into obs::SpanStore::Global(), and a
+/// routing wide event (replica, attempts, hedge outcome) into
+/// obs::RequestLog::Global().
+///
 /// Failure semantics: transport errors and upstream UNAVAILABLE retry on
 /// the next replica (and feed the ejection state machine); any other
 /// upstream answer — including model errors — is returned as-is. An
@@ -111,6 +120,16 @@ class Router {
   struct PooledConn;
   struct Rendezvous;
 
+  /// Trace context one forwarding attempt carries: the attempt span the
+  /// router records for it (span_id 0 = tracing off for this request) and
+  /// its position in the request's attempt sequence.
+  struct AttemptContext {
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span = 0;
+    int attempt = 0;  ///< 1-based across the request (retries + hedges)
+  };
+
   /// Replica indices to try for `key`, routable-first, policy-ordered.
   std::vector<size_t> PlanAttempts(const std::string& key);
   /// Current hedge trigger in ms (fixed override or derived quantile).
@@ -123,9 +142,11 @@ class Router {
   std::unique_ptr<PooledConn> CheckoutConn(size_t replica, double timeout_ms);
   void ReturnConn(size_t replica, std::unique_ptr<PooledConn> conn);
 
-  /// Launches a detached forwarding attempt that delivers to `rendezvous`.
+  /// Launches a detached forwarding attempt that delivers to `rendezvous`
+  /// and records the attempt's trace span (when `ctx` carries one).
   void LaunchAttempt(size_t replica, const std::string& line,
-                     double timeout_ms, std::shared_ptr<Rendezvous> rendezvous);
+                     double timeout_ms, std::shared_ptr<Rendezvous> rendezvous,
+                     AttemptContext ctx);
 
   const std::vector<ReplicaSpec> replicas_;
   const RouterOptions options_;

@@ -6,7 +6,11 @@
 // failover, bounded retries, per-request deadline budgets, and optional
 // tail hedging. Admin endpoints: /fleetz (replica health), /reloadz
 // (hot-reload fan-out to every replica), /readyz (200 iff at least one
-// replica is routable), /quitquitquit (graceful drain).
+// replica is routable), /quitquitquit (graceful drain), /tracezd
+// (cross-process trace assembly: local spans + every replica's /spanz
+// merged into one tree; format=chrome for a trace_event export), and
+// /fleetmetricz (every replica's /metrics scraped and aggregated into
+// one fleet exposition).
 //
 //   telekit_serve --port=7101 --admin-port=7201 &
 //   telekit_serve --port=7102 --admin-port=7202 &
@@ -19,6 +23,7 @@
 #include <cstdlib>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,9 +32,16 @@
 
 #include "common/string_util.h"
 #include "obs/admin.h"
+#include "obs/json.h"
 #include "obs/log.h"
 #include "obs/report.h"
+#include "obs/requestlog.h"
+#include "obs/spanstore.h"
+#include "obs/trace.h"
+#include "route/fleet_metrics.h"
+#include "route/http_client.h"
 #include "route/router.h"
+#include "route/trace_assembler.h"
 #include "serve/ndjson_server.h"
 #include "serve/protocol.h"
 
@@ -53,6 +65,8 @@ struct Flags {
   double probe_timeout_ms = 500.0;
   int eject_after = 3;
   int readmit_after = 2;
+  double scrape_timeout_ms = 1000.0;
+  std::string request_log;
   std::string obs_json;
 };
 
@@ -83,6 +97,10 @@ void PrintUsage() {
       << "  --eject-after=N       consecutive failures to eject (default 3)\n"
       << "  --readmit-after=N     consecutive probe successes to readmit\n"
       << "                        (default 2)\n"
+      << "  --scrape-timeout-ms=X per-replica /spanz and /metrics fan-out\n"
+      << "                        timeout (default 1000)\n"
+      << "  --request-log=PATH    append one NDJSON wide event per routed\n"
+      << "                        request (replica, attempts, hedge)\n"
       << "  --obs-json=PATH       write metrics/trace report on exit\n"
       << "  --log-level=LEVEL     debug|info|warn|error|off\n";
 }
@@ -123,6 +141,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->eject_after = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "readmit-after", &v)) {
       flags->readmit_after = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "scrape-timeout-ms", &v)) {
+      flags->scrape_timeout_ms = std::atof(v.c_str());
+    } else if (ParseFlag(arg, "request-log", &v)) {
+      flags->request_log = v;
     } else if (ParseFlag(arg, "obs-json", &v)) {
       flags->obs_json = v;
     } else if (ParseFlag(arg, "log-level", &v)) {
@@ -181,6 +203,14 @@ int Main(int argc, char** argv) {
   Router router(std::move(replicas), options);
   router.Start();
 
+  obs::SpanStore::Global().SetProcessLabel(
+      "telekit_router:" + std::to_string(flags.port));
+  if (!flags.request_log.empty() &&
+      !obs::RequestLog::Global().SetSinkFile(flags.request_log)) {
+    std::cerr << "failed to open --request-log=" << flags.request_log << "\n";
+    return 1;
+  }
+
   std::atomic<bool> draining{false};
   std::mutex quit_mutex;
   std::condition_variable quit_cv;
@@ -203,6 +233,55 @@ int Main(int argc, char** argv) {
     obs::JsonValue result = router.ReloadAll(model, seed);
     const int status = result.Find("error") != nullptr ? 400 : 200;
     return obs::HttpResponse::Json(status, result);
+  });
+  admin.Handle("/tracezd", [&router, &flags](const obs::HttpRequest& request) {
+    const auto params = obs::ParseQuery(request.query);
+    const auto it = params.find("trace_id");
+    if (it == params.end()) {
+      return obs::HttpResponse::Text(400, "missing trace_id parameter\n");
+    }
+    uint64_t trace_id = 0;
+    if (!obs::ParseTraceIdHex(it->second, &trace_id)) {
+      return obs::HttpResponse::Text(
+          400, "bad trace_id (want 1-16 hex digits)\n");
+    }
+    std::vector<SpanSource> sources;
+    for (const ReplicaSpec& replica : router.replicas()) {
+      SpanSource source;
+      source.name = replica.name;
+      source.host = replica.host;
+      source.admin_port = replica.admin_port;
+      sources.push_back(std::move(source));
+    }
+    const CollectedSpans collected =
+        CollectSpans(trace_id, sources, flags.scrape_timeout_ms);
+    const auto format = params.find("format");
+    if (format != params.end() && format->second == "chrome") {
+      return obs::HttpResponse::Json(
+          200, AssembleChromeJson(trace_id, collected));
+    }
+    return obs::HttpResponse::Json(200,
+                                   AssembleTraceJson(trace_id, collected));
+  });
+  admin.Handle("/fleetmetricz", [&router, &flags](const obs::HttpRequest&) {
+    std::vector<ReplicaScrape> scrapes;
+    for (const ReplicaSpec& replica : router.replicas()) {
+      ReplicaScrape scrape;
+      scrape.replica = replica.name;
+      if (replica.admin_port > 0) {
+        auto result = HttpGet(replica.host, replica.admin_port, "/metrics",
+                              flags.scrape_timeout_ms);
+        if (result.ok() && result.value().status == 200) {
+          scrape.ok = true;
+          scrape.exposition = std::move(result.value().body);
+        }
+      }
+      scrapes.push_back(std::move(scrape));
+    }
+    obs::HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = AggregateFleetMetrics(scrapes);
+    return response;
   });
   admin.Handle("/readyz", [&router, &draining](const obs::HttpRequest&) {
     if (draining.load()) {
@@ -244,10 +323,26 @@ int Main(int argc, char** argv) {
   serve::LineHandler handler =
       [&router, &draining](std::string line) -> std::future<std::string> {
     if (draining.load()) {
+      // Even the drain rejection echoes the caller's id and trace id, so
+      // client-side correlation survives the shutdown window.
+      std::unique_ptr<obs::JsonValue> id;
+      uint64_t trace_id = 0;
+      obs::JsonValue json;
+      std::string parse_error;
+      if (obs::JsonValue::Parse(line, &json, &parse_error) &&
+          json.is_object()) {
+        if (const obs::JsonValue* found = json.Find("id")) {
+          id = std::make_unique<obs::JsonValue>(*found);
+        }
+        if (const obs::JsonValue* trace = json.Find("trace");
+            trace != nullptr && trace->is_string()) {
+          obs::ParseTraceIdHex(trace->AsString(), &trace_id);
+        }
+      }
       std::promise<std::string> rejected;
-      rejected.set_value(
-          serve::ErrorToJson(Status::Unavailable("draining"), nullptr)
-              .Dump());
+      rejected.set_value(serve::ErrorToJson(Status::Unavailable("draining"),
+                                            id.get(), trace_id)
+                             .Dump());
       return rejected.get_future();
     }
     return std::async(std::launch::async,

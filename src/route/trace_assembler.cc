@@ -1,0 +1,255 @@
+#include "route/trace_assembler.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/trace.h"
+#include "route/http_client.h"
+
+namespace telekit {
+namespace route {
+
+namespace {
+
+/// Builds the parent -> children index shared by both renderers. Children
+/// are kept in start-time order (the input is pre-sorted).
+struct SpanIndex {
+  std::unordered_map<uint64_t, size_t> by_id;
+  std::unordered_map<uint64_t, std::vector<size_t>> children;
+
+  explicit SpanIndex(const std::vector<obs::SpanRecord>& spans) {
+    for (size_t i = 0; i < spans.size(); ++i) by_id[spans[i].span_id] = i;
+    for (size_t i = 0; i < spans.size(); ++i) {
+      if (spans[i].parent_span != 0 &&
+          by_id.count(spans[i].parent_span) > 0) {
+        children[spans[i].parent_span].push_back(i);
+      }
+    }
+  }
+
+  /// A root is a declared root (parent 0) or an orphan (parent missing
+  /// from the collection).
+  bool IsRoot(const obs::SpanRecord& span) const {
+    return span.parent_span == 0 || by_id.count(span.parent_span) == 0;
+  }
+};
+
+}  // namespace
+
+CollectedSpans CollectSpans(uint64_t trace_id,
+                            const std::vector<SpanSource>& replicas,
+                            double timeout_ms) {
+  CollectedSpans out;
+  std::unordered_set<uint64_t> seen;
+  const auto add = [&](const obs::SpanRecord& span) {
+    if (seen.insert(span.span_id).second) out.spans.push_back(span);
+  };
+  out.sources.push_back("local:" + obs::SpanStore::Global().process_label());
+  for (const obs::SpanRecord& span :
+       obs::SpanStore::Global().Query(trace_id)) {
+    add(span);
+  }
+  const std::string target =
+      "/spanz?trace_id=" + obs::TraceIdToHex(trace_id);
+  for (const SpanSource& replica : replicas) {
+    if (replica.admin_port <= 0) {
+      out.errors.push_back(replica.name + ": no admin port");
+      continue;
+    }
+    out.sources.push_back(replica.name);
+    auto result =
+        HttpGet(replica.host, replica.admin_port, target, timeout_ms);
+    if (!result.ok()) {
+      out.errors.push_back(replica.name + ": " +
+                           result.status().ToString());
+      continue;
+    }
+    if (result.value().status != 200) {
+      out.errors.push_back(replica.name + ": HTTP " +
+                           std::to_string(result.value().status));
+      continue;
+    }
+    obs::JsonValue body;
+    std::string parse_error;
+    const obs::JsonValue* spans = nullptr;
+    if (!obs::JsonValue::Parse(result.value().body, &body, &parse_error) ||
+        (spans = body.Find("spans")) == nullptr || !spans->is_array()) {
+      out.errors.push_back(replica.name + ": bad /spanz body");
+      continue;
+    }
+    for (size_t i = 0; i < spans->size(); ++i) {
+      obs::SpanRecord span;
+      if (obs::SpanRecord::FromJson(spans->at(i), &span)) {
+        add(span);
+      } else {
+        out.errors.push_back(replica.name + ": unparseable span");
+      }
+    }
+  }
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const obs::SpanRecord& a, const obs::SpanRecord& b) {
+              return a.start_unix_us < b.start_unix_us;
+            });
+  return out;
+}
+
+obs::JsonValue AssembleTraceJson(uint64_t trace_id,
+                                 const CollectedSpans& collected) {
+  const std::vector<obs::SpanRecord>& spans = collected.spans;
+  const SpanIndex index(spans);
+
+  // Recursive render; the visited set makes corrupt parent cycles (which
+  // can never be reached from a root) fall through to the orphan pass
+  // instead of recursing forever.
+  std::vector<bool> visited(spans.size(), false);
+  std::function<obs::JsonValue(size_t)> render = [&](size_t i) {
+    visited[i] = true;
+    const obs::SpanRecord& span = spans[i];
+    obs::JsonValue node = span.ToJson();
+    obs::JsonValue children = obs::JsonValue::Array();
+    const auto it = index.children.find(span.span_id);
+    if (it != index.children.end()) {
+      for (size_t child : it->second) {
+        if (visited[child]) continue;
+        const obs::SpanRecord& child_span = spans[child];
+        obs::JsonValue child_node = render(child);
+        if (child_span.process != span.process) {
+          // A cross-process hop: annotate what the two wall clocks say
+          // about the handoff in each direction.
+          child_node.Set(
+              "send_skew_us",
+              obs::JsonValue(child_span.start_unix_us -
+                             span.start_unix_us));
+          child_node.Set(
+              "recv_skew_us",
+              obs::JsonValue(
+                  (span.start_unix_us + static_cast<double>(span.dur_us)) -
+                  (child_span.start_unix_us +
+                   static_cast<double>(child_span.dur_us))));
+        }
+        children.Append(std::move(child_node));
+      }
+    }
+    node.Set("children", std::move(children));
+    return node;
+  };
+
+  obs::JsonValue tree = obs::JsonValue::Array();
+  uint64_t hops = 0;
+  std::vector<std::string> processes;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name == "route/attempt") ++hops;
+    if (std::find(processes.begin(), processes.end(), spans[i].process) ==
+        processes.end()) {
+      processes.push_back(spans[i].process);
+    }
+    if (index.IsRoot(spans[i]) && spans[i].parent_span == 0) {
+      tree.Append(render(i));
+    }
+  }
+  // Orphans (parent unreachable or evicted) surface at the top level
+  // rather than silently disappearing — subtree roots first, so their own
+  // descendants render nested instead of as sibling orphans.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (visited[i] || !index.IsRoot(spans[i])) continue;
+    obs::JsonValue node = render(i);
+    node.Set("orphan", obs::JsonValue(true));
+    tree.Append(std::move(node));
+  }
+  for (size_t i = 0; i < spans.size(); ++i) {  // corrupt parent cycles
+    if (visited[i]) continue;
+    obs::JsonValue node = render(i);
+    node.Set("orphan", obs::JsonValue(true));
+    tree.Append(std::move(node));
+  }
+
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("trace_id", obs::JsonValue(obs::TraceIdToHex(trace_id)));
+  out.Set("span_count",
+          obs::JsonValue(static_cast<uint64_t>(spans.size())));
+  out.Set("hops", obs::JsonValue(hops));
+  obs::JsonValue process_list = obs::JsonValue::Array();
+  for (const std::string& process : processes) {
+    process_list.Append(obs::JsonValue(process));
+  }
+  out.Set("processes", std::move(process_list));
+  obs::JsonValue source_list = obs::JsonValue::Array();
+  for (const std::string& source : collected.sources) {
+    source_list.Append(obs::JsonValue(source));
+  }
+  out.Set("sources", std::move(source_list));
+  obs::JsonValue error_list = obs::JsonValue::Array();
+  for (const std::string& error : collected.errors) {
+    error_list.Append(obs::JsonValue(error));
+  }
+  out.Set("errors", std::move(error_list));
+  out.Set("spans", std::move(tree));
+  return out;
+}
+
+obs::JsonValue AssembleChromeJson(uint64_t trace_id,
+                                  const CollectedSpans& collected) {
+  const std::vector<obs::SpanRecord>& spans = collected.spans;
+  // One pid per process label, in first-seen (start-time) order.
+  std::map<std::string, int> pids;
+  for (const obs::SpanRecord& span : spans) {
+    pids.emplace(span.process, static_cast<int>(pids.size()) + 1);
+  }
+  double epoch_us = 0.0;
+  if (!spans.empty()) epoch_us = spans.front().start_unix_us;
+
+  obs::JsonValue events = obs::JsonValue::Array();
+  for (const auto& [process, pid] : pids) {
+    obs::JsonValue meta = obs::JsonValue::Object();
+    meta.Set("name", obs::JsonValue("process_name"));
+    meta.Set("ph", obs::JsonValue("M"));
+    meta.Set("pid", obs::JsonValue(pid));
+    obs::JsonValue args = obs::JsonValue::Object();
+    args.Set("name", obs::JsonValue(process));
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
+  for (const obs::SpanRecord& span : spans) {
+    obs::JsonValue event = obs::JsonValue::Object();
+    event.Set("name", obs::JsonValue(span.name));
+    event.Set("ph", obs::JsonValue("X"));
+    event.Set("ts", obs::JsonValue(span.start_unix_us - epoch_us));
+    event.Set("dur", obs::JsonValue(span.dur_us));
+    event.Set("pid", obs::JsonValue(pids[span.process]));
+    // Hedge/retry legs get their own lanes so concurrent attempts render
+    // side by side instead of stacking into a false nesting.
+    event.Set("tid", obs::JsonValue(span.name == "route/attempt"
+                                        ? span.attempt
+                                        : 0));
+    obs::JsonValue args = obs::JsonValue::Object();
+    args.Set("span_id", obs::JsonValue(obs::TraceIdToHex(span.span_id)));
+    args.Set("parent_span",
+             span.parent_span != 0
+                 ? obs::JsonValue(obs::TraceIdToHex(span.parent_span))
+                 : obs::JsonValue());
+    if (!span.outcome.empty()) {
+      args.Set("outcome", obs::JsonValue(span.outcome));
+    }
+    if (!span.replica.empty()) {
+      args.Set("replica", obs::JsonValue(span.replica));
+    }
+    if (span.attempt > 0) {
+      args.Set("attempt", obs::JsonValue(span.attempt));
+      args.Set("hedge", obs::JsonValue(span.hedge));
+    }
+    event.Set("args", std::move(args));
+    events.Append(std::move(event));
+  }
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("trace_id", obs::JsonValue(obs::TraceIdToHex(trace_id)));
+  out.Set("displayTimeUnit", obs::JsonValue("ms"));
+  out.Set("traceEvents", std::move(events));
+  return out;
+}
+
+}  // namespace route
+}  // namespace telekit

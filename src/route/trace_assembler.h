@@ -1,0 +1,66 @@
+#ifndef TELEKIT_ROUTE_TRACE_ASSEMBLER_H_
+#define TELEKIT_ROUTE_TRACE_ASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/spanstore.h"
+
+namespace telekit {
+namespace route {
+
+/// One remote span store to consult: a replica's admin plane (/spanz).
+struct SpanSource {
+  std::string name;
+  std::string host = "127.0.0.1";
+  int admin_port = 0;  // 0 = unreachable, reported as an error
+};
+
+/// The raw material of one assembled trace: spans from the local
+/// SpanStore plus every reachable replica, deduplicated by span id, with
+/// per-source fetch errors preserved (a partially assembled trace is
+/// still a trace — the gaps are part of the story).
+struct CollectedSpans {
+  std::vector<obs::SpanRecord> spans;  ///< deduped, sorted by start time
+  std::vector<std::string> sources;    ///< span stores consulted
+  std::vector<std::string> errors;     ///< per-source fetch failures
+};
+
+/// Fans out /spanz?trace_id= to every source and merges with the local
+/// store. Dedup is by span id: an in-process fleet sharing the router's
+/// process-global store (the test/bench topology) returns the same spans
+/// both locally and over HTTP.
+CollectedSpans CollectSpans(uint64_t trace_id,
+                            const std::vector<SpanSource>& replicas,
+                            double timeout_ms);
+
+/// Cross-process span tree for /tracezd: {"trace_id", "span_count",
+/// "hops" (route/attempt spans), "processes", "sources", "errors",
+/// "spans": [nested nodes]}. Nodes carry their SpanRecord fields plus
+/// "children"; a child recorded by a different process than its parent is
+/// annotated with the hop's clock story:
+///
+///   send_skew_us  child start minus parent start (each on its own
+///                 wall clock) — launch lag plus inter-host clock skew
+///   recv_skew_us  parent end minus child end — tail the parent spent
+///                 after the child finished, same caveat
+///
+/// Spans whose parent is not in the collection are attached at the top
+/// level with "orphan": true (their recorder was unreachable or its ring
+/// already evicted the parent).
+obs::JsonValue AssembleTraceJson(uint64_t trace_id,
+                                 const CollectedSpans& collected);
+
+/// Chrome trace_event export of the same collection: one pid per
+/// process (with process_name metadata), route/attempt legs on their own
+/// lanes, timestamps rebased to the trace's earliest span. Load via
+/// chrome://tracing or https://ui.perfetto.dev.
+obs::JsonValue AssembleChromeJson(uint64_t trace_id,
+                                  const CollectedSpans& collected);
+
+}  // namespace route
+}  // namespace telekit
+
+#endif  // TELEKIT_ROUTE_TRACE_ASSEMBLER_H_

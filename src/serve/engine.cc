@@ -8,6 +8,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/requestlog.h"
+#include "obs/spanstore.h"
 #include "obs/trace.h"
 #include "tensor/compute_pool.h"
 
@@ -129,10 +130,66 @@ void MaybeCaptureSlow(double slow_request_ms, const Request& request,
                                        : response.status.message());
 }
 
+/// Distributed-trace spans for one completed request: a "serve/request"
+/// span parented to the caller's hop (request.parent_span — the router's
+/// attempt span — or a trace root when absent) plus queue/encode/score
+/// children reconstructed from the response's stage timings. Recorded on
+/// the wall clock so the /tracezd assembler can align this process's
+/// spans with the router's and annotate the residual skew.
+void RecordServeSpans(const Request& request, const Response& response) {
+  auto& store = obs::SpanStore::Global();
+  if (!store.enabled()) return;
+  const uint64_t total_us = MsToUs(response.total_ms);
+  const double start_unix_us = obs::UnixNowUs() -
+                               static_cast<double>(total_us);
+  obs::SpanRecord root;
+  root.trace_id = response.trace_id;
+  root.span_id = obs::NextTraceId();
+  root.parent_span = request.parent_span;
+  root.name = "serve/request";
+  root.ok = response.status.ok();
+  root.outcome = root.ok ? "ok" : "failed";
+  root.start_unix_us = start_unix_us;
+  root.dur_us = total_us;
+  // Stage children laid back-to-back inside the request window: queued
+  // first, then the encode share, with scoring ending at completion.
+  const uint64_t queue_us = MsToUs(response.queue_ms);
+  const uint64_t encode_us = MsToUs(response.encode_ms);
+  const uint64_t score_us = MsToUs(response.score_ms);
+  struct Stage {
+    const char* name;
+    double start;
+    uint64_t dur;
+  };
+  const Stage stages[] = {
+      {"serve/queue", start_unix_us, queue_us},
+      {"serve/encode", start_unix_us + static_cast<double>(queue_us),
+       encode_us},
+      {"serve/score",
+       start_unix_us + static_cast<double>(total_us - score_us), score_us},
+  };
+  for (const Stage& stage : stages) {
+    if (stage.dur == 0) continue;
+    obs::SpanRecord child;
+    child.trace_id = response.trace_id;
+    child.span_id = obs::NextTraceId();
+    child.parent_span = root.span_id;
+    child.name = stage.name;
+    child.ok = root.ok;
+    child.start_unix_us = stage.start;
+    child.dur_us = stage.dur;
+    store.Record(std::move(child));
+  }
+  store.Record(std::move(root));
+}
+
 /// One wide event per completed request, whichever path fulfilled it
 /// (batch, deadline expiry, synchronous Process). The ring backs
 /// /requestz; an attached --request-log sink persists the same record.
+/// The same hook records the request's distributed-trace spans — both
+/// fire once per completion, on every fulfilment path.
 void RecordWideEvent(const Request& request, const Response& response) {
+  RecordServeSpans(request, response);
   obs::WideEvent event;
   event.trace_id = response.trace_id;
   event.op = TaskOpName(request.op);

@@ -50,6 +50,10 @@ struct Request {
   /// lines, and /tracez entries. 0 means "assign one for me" (Submit and
   /// Process generate an id via obs::NextTraceId()).
   uint64_t trace_id = 0;
+  /// Distributed-trace hop parent: the caller-side span (the router's
+  /// per-attempt span) this request's serve spans nest under. 0 = this
+  /// process is the trace root.
+  uint64_t parent_span = 0;
   /// When true the protocol layer echoes the per-stage timing breakdown
   /// in the response JSON. Set by ParseRequest for requests carrying a
   /// "trace" field.

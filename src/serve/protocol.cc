@@ -107,6 +107,18 @@ Status ParseRequest(const obs::JsonValue& json, Request* request) {
           "'trace' must be a hex string or boolean: " + trace->Dump());
     }
   }
+  if (const obs::JsonValue* parent = json.Find("parent_span")) {
+    if (parent->is_string()) {
+      if (!obs::ParseTraceIdHex(parent->AsString(),
+                                &request->parent_span)) {
+        return Status::InvalidArgument(
+            "'parent_span' must be 1-16 hex digits: " + parent->Dump());
+      }
+    } else if (!parent->is_null()) {
+      return Status::InvalidArgument(
+          "'parent_span' must be a hex string: " + parent->Dump());
+    }
+  }
   return Status::Ok();
 }
 

@@ -28,6 +28,12 @@ namespace serve {
 /// one. Either form also opts the response into a per-stage `timing`
 /// breakdown. Every response carries the request's trace id back as
 /// `trace` (hex, null only when no id was ever assigned).
+///
+/// Distributed tracing adds an optional `parent_span` field (hex, same
+/// encoding as `trace`): the caller-side span this hop nests under. The
+/// router stamps a distinct parent_span per forwarding attempt so the
+/// replica's serve spans attach to the right retry/hedge leg in the
+/// assembled cross-process trace.
 
 /// Parses one request line. On error the returned Status describes the
 /// problem and `request` is unspecified.

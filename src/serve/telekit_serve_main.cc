@@ -32,6 +32,7 @@
 #include "obs/report.h"
 #include "obs/requestlog.h"
 #include "obs/slo.h"
+#include "obs/spanstore.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
@@ -295,6 +296,8 @@ int Main(int argc, char** argv) {
     std::cerr << "failed to open --request-log=" << flags.request_log << "\n";
     return 1;
   }
+  obs::SpanStore::Global().SetProcessLabel(
+      "telekit_serve:" + std::to_string(flags.port));
 
   const std::vector<std::string> model_names =
       SplitString(flags.models, ',');

@@ -240,6 +240,35 @@ TEST(AdminServerTest, TracezReturnsChromeTraceJson) {
   SlowTraceRing::Global().Reset();
 }
 
+// Every daemon's admin plane answers /spanz out of the box — the router's
+// /tracezd assembler depends on that to fan out across the fleet.
+TEST(AdminServerTest, SpanzIsBuiltInAndServesRecordedSpans) {
+  SpanStore& store = SpanStore::Global();
+  store.Reset();
+  SpanRecord span;
+  span.trace_id = 0xf00du;
+  span.name = "serve/request";
+  span.outcome = "ok";
+  store.Record(span);
+
+  AdminServer server;
+  ASSERT_TRUE(server.Start(0));
+  const HttpReply reply =
+      HttpGet(server.port(), "/spanz?trace_id=000000000000f00d");
+  ASSERT_EQ(reply.status, 200);
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(reply.body, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.Find("trace_id")->AsString(), "000000000000f00d");
+  ASSERT_EQ(parsed.Find("spans")->size(), 1u);
+  EXPECT_EQ(parsed.Find("spans")->at(0).Find("name")->AsString(),
+            "serve/request");
+  EXPECT_EQ(HttpGet(server.port(), "/spanz?trace_id=nope").status, 400);
+  EXPECT_EQ(HttpGet(server.port(), "/spanz").status, 200);  // summary
+  server.Stop();
+  store.Reset();
+}
+
 // Scrapes race metric writers and the slow-trace ring; run under TSan via
 // scripts/check_tier1.sh. Every reply must still be well-formed.
 TEST(AdminServerTest, ConcurrentScrapesUnderMetricTraffic) {

@@ -605,6 +605,122 @@ TEST(TraceTest, AggregationWorksWithRecordingOff) {
   EXPECT_EQ(collector.Aggregate().at("test/no_recording").count, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// SpanStore: the bounded ring behind /spanz
+// ---------------------------------------------------------------------------
+
+TEST(SpanStoreTest, RecordAssignsIdsAndJsonRoundTrips) {
+  SpanStore store(8);
+  store.SetProcessLabel("test:1");
+  SpanRecord span;
+  span.trace_id = 0xabcu;
+  span.parent_span = 0x77u;
+  span.name = "route/attempt";
+  span.replica = "127.0.0.1:7101";
+  span.outcome = "won";
+  span.attempt = 2;
+  span.hedge = true;
+  span.start_unix_us = 1.5e15;
+  span.dur_us = 420;
+  store.Record(span);  // span_id assigned, process filled from the label
+  const std::vector<SpanRecord> held = store.Query(0xabcu);
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_NE(held[0].span_id, 0u);
+  EXPECT_EQ(held[0].process, "test:1");
+
+  SpanRecord back;
+  ASSERT_TRUE(SpanRecord::FromJson(held[0].ToJson(), &back));
+  EXPECT_EQ(back.trace_id, 0xabcu);
+  EXPECT_EQ(back.span_id, held[0].span_id);
+  EXPECT_EQ(back.parent_span, 0x77u);
+  EXPECT_EQ(back.name, "route/attempt");
+  EXPECT_EQ(back.process, "test:1");
+  EXPECT_EQ(back.replica, "127.0.0.1:7101");
+  EXPECT_EQ(back.outcome, "won");
+  EXPECT_EQ(back.attempt, 2);
+  EXPECT_TRUE(back.hedge);
+  EXPECT_TRUE(back.ok);
+  EXPECT_DOUBLE_EQ(back.start_unix_us, 1.5e15);
+  EXPECT_EQ(back.dur_us, 420u);
+
+  // A root span's zero parent serializes as null and parses back as 0.
+  SpanRecord root;
+  root.trace_id = 1;
+  root.name = "serve/request";
+  store.Record(root);
+  const std::vector<SpanRecord> roots = store.Query(1);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_TRUE(roots[0].ToJson().Find("parent_span")->is_null());
+  SpanRecord root_back;
+  ASSERT_TRUE(SpanRecord::FromJson(roots[0].ToJson(), &root_back));
+  EXPECT_EQ(root_back.parent_span, 0u);
+}
+
+TEST(SpanStoreTest, BoundedRingEvictsOldestAndFiltersByTrace) {
+  SpanStore store(4);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    SpanRecord span;
+    span.trace_id = 42;
+    span.span_id = i;
+    span.name = "s";
+    span.start_unix_us = static_cast<double>(i);
+    store.Record(span);
+  }
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.total_recorded(), 6u);
+  const std::vector<SpanRecord> held = store.Query(42);
+  ASSERT_EQ(held.size(), 4u);
+  // Oldest first; span ids 1 and 2 were overwritten.
+  EXPECT_EQ(held.front().span_id, 3u);
+  EXPECT_EQ(held.back().span_id, 6u);
+  EXPECT_TRUE(store.Query(43).empty());
+
+  store.set_enabled(false);
+  SpanRecord dropped;
+  dropped.trace_id = 42;
+  store.Record(dropped);
+  EXPECT_EQ(store.total_recorded(), 6u);
+  store.set_enabled(true);
+  store.Reset();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.total_recorded(), 0u);
+}
+
+TEST(SpanStoreTest, HandleQueryServesSummaryTraceAndBadId) {
+  SpanStore store(8);
+  store.SetProcessLabel("test:2");
+  SpanRecord span;
+  span.trace_id = 0xfeedu;
+  span.name = "route/request";
+  store.Record(span);
+
+  HttpRequest summary;
+  summary.path = "/spanz";
+  const HttpResponse summary_reply = store.HandleQuery(summary);
+  EXPECT_EQ(summary_reply.status, 200);
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(summary_reply.body, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.Find("process")->AsString(), "test:2");
+  EXPECT_EQ(parsed.Find("size")->AsNumber(), 1.0);
+
+  HttpRequest query;
+  query.path = "/spanz";
+  query.query = "trace_id=000000000000feed";
+  const HttpResponse reply = store.HandleQuery(query);
+  EXPECT_EQ(reply.status, 200);
+  ASSERT_TRUE(JsonValue::Parse(reply.body, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.Find("count")->AsNumber(), 1.0);
+  ASSERT_EQ(parsed.Find("spans")->size(), 1u);
+  EXPECT_EQ(parsed.Find("spans")->at(0).Find("name")->AsString(),
+            "route/request");
+
+  HttpRequest bad;
+  bad.path = "/spanz";
+  bad.query = "trace_id=zz";
+  EXPECT_EQ(store.HandleQuery(bad).status, 400);
+}
+
 TEST(ReportTest, WriteReportRoundTrips) {
   MetricsRegistry::Global().Reset();
   TraceCollector::Global().Reset();

@@ -477,6 +477,32 @@ TEST(RequestLogTest, WideEventJsonRoundTrip) {
   EXPECT_FALSE(WideEvent::FromJson(truncated, &ignored));
 }
 
+TEST(RequestLogTest, RoutedEventFieldsRoundTripAndStayOffServeEvents) {
+  // A serve-side event (attempts == 0) serializes no routing fields, so
+  // existing log consumers see an unchanged shape.
+  const WideEvent plain = MakeEvent(0x1, "rca", 1000);
+  EXPECT_EQ(plain.ToJson().Find("replica"), nullptr);
+  EXPECT_EQ(plain.ToJson().Find("attempts"), nullptr);
+  EXPECT_EQ(plain.ToJson().Find("hedge"), nullptr);
+
+  WideEvent routed = MakeEvent(0x2, "encode", 2000);
+  routed.replica = "127.0.0.1:7102";
+  routed.attempts = 3;
+  routed.hedge = "won";
+  const JsonValue json = routed.ToJson();
+  WideEvent parsed;
+  ASSERT_TRUE(WideEvent::FromJson(json, &parsed));
+  EXPECT_EQ(parsed.replica, "127.0.0.1:7102");
+  EXPECT_EQ(parsed.attempts, 3);
+  EXPECT_EQ(parsed.hedge, "won");
+
+  // The routing story is all-or-nothing: attempts without its companions
+  // is a malformed record, not a silent partial parse.
+  JsonValue partial = json;
+  partial.Set("replica", JsonValue());
+  EXPECT_FALSE(WideEvent::FromJson(partial, &parsed));
+}
+
 TEST(RequestLogTest, NdjsonSinkRoundTripsThroughParser) {
   const std::string path = "obs_requestlog_test_sink.ndjson";
   std::remove(path.c_str());

@@ -14,9 +14,13 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/spanstore.h"
+#include "obs/trace.h"
+#include "route/fleet_metrics.h"
 #include "route/health.h"
 #include "route/ring.h"
 #include "route/router.h"
+#include "route/trace_assembler.h"
 #include "serve/line_io.h"
 #include "serve/ndjson_server.h"
 #include "serve/protocol.h"
@@ -603,6 +607,291 @@ TEST(RouterTest, HedgeNotTriggeredWhenPrimaryIsFast) {
 }
 
 // ---------------------------------------------------------------------------
+// Distributed tracing: span propagation, assembly, trace-id echo
+// ---------------------------------------------------------------------------
+
+/// A fake replica that behaves like a traced telekit_serve: it parses the
+/// forwarded trace/parent_span and records a "serve/request" span under a
+/// distinct process label before answering, so assembly tests exercise a
+/// real cross-process tree (the in-process fleet shares the global store;
+/// the assembler's span-id dedup is built for exactly that topology).
+serve::LineHandler SpanRecordingHandler(std::string name) {
+  return [name](std::string line) -> std::future<std::string> {
+    obs::JsonValue request;
+    std::string error;
+    uint64_t trace_id = 0;
+    uint64_t parent = 0;
+    if (obs::JsonValue::Parse(line, &request, &error)) {
+      if (const obs::JsonValue* trace = request.Find("trace");
+          trace != nullptr && trace->is_string()) {
+        obs::ParseTraceIdHex(trace->AsString(), &trace_id);
+      }
+      if (const obs::JsonValue* span = request.Find("parent_span");
+          span != nullptr && span->is_string()) {
+        obs::ParseTraceIdHex(span->AsString(), &parent);
+      }
+    }
+    obs::SpanRecord span;
+    span.trace_id = trace_id;
+    span.parent_span = parent;
+    span.name = "serve/request";
+    span.process = "fake_serve:" + name;
+    span.outcome = "ok";
+    span.start_unix_us = obs::UnixNowUs();
+    span.dur_us = 50;
+    obs::SpanStore::Global().Record(std::move(span));
+    std::promise<std::string> ready;
+    obs::JsonValue out = obs::JsonValue::Object();
+    out.Set("ok", obs::JsonValue(true));
+    out.Set("replica", obs::JsonValue(name));
+    // Real replicas echo the trace id on every response (SetTrace).
+    out.Set("trace", trace_id != 0
+                         ? obs::JsonValue(obs::TraceIdToHex(trace_id))
+                         : obs::JsonValue());
+    ready.set_value(out.Dump());
+    return ready.get_future();
+  };
+}
+
+const obs::JsonValue* ChildNamed(const obs::JsonValue& node,
+                                 const std::string& name) {
+  const obs::JsonValue* children = node.Find("children");
+  if (children == nullptr) return nullptr;
+  for (size_t i = 0; i < children->size(); ++i) {
+    if (children->at(i).Find("name")->AsString() == name) {
+      return &children->at(i);
+    }
+  }
+  return nullptr;
+}
+
+TEST(RouterTraceTest, RetriedRequestAssemblesOneTraceWithHopPerAttempt) {
+  obs::SpanStore::Global().Reset();
+  FakeReplica draining(ErrorHandler(Status::Unavailable("draining")));
+  FakeReplica healthy(SpanRecordingHandler("healthy"));
+  const std::vector<int> ports = {draining.port(), healthy.port()};
+  RouterOptions options = TestOptions();
+  Router router(Specs(ports), options);
+  const std::string key =
+      KeyOwnedBy({"127.0.0.1:" + std::to_string(ports[0]),
+                  "127.0.0.1:" + std::to_string(ports[1])},
+                 0, options.vnodes);
+
+  obs::JsonValue line = MustParse(RequestLine(key));
+  line.Set("trace", obs::JsonValue("00000000000abcde"));
+  const obs::JsonValue response = MustParse(router.Handle(line.Dump()));
+  ASSERT_TRUE(response.Find("ok")->AsBool()) << response.Dump();
+  EXPECT_EQ(response.Find("trace")->AsString(), "00000000000abcde");
+  ASSERT_EQ(response.Find("routed")->Find("attempts")->AsNumber(), 2);
+  // Attempt spans are recorded after delivery, on the attempt thread;
+  // Stop() joins those threads so assembly sees both hops.
+  router.Stop();
+
+  // Assemble with no remote sources: the in-process fleet already shares
+  // the local store.
+  const CollectedSpans collected = CollectSpans(0xabcdeu, {}, 100.0);
+  const obs::JsonValue trace = AssembleTraceJson(0xabcdeu, collected);
+  EXPECT_EQ(trace.Find("hops")->AsNumber(), 2.0);  // one hop per attempt
+  ASSERT_EQ(trace.Find("spans")->size(), 1u);      // a single tree
+  const obs::JsonValue& root = trace.Find("spans")->at(0);
+  EXPECT_EQ(root.Find("name")->AsString(), "route/request");
+  EXPECT_TRUE(root.Find("parent_span")->is_null());
+  const obs::JsonValue* attempts = root.Find("children");
+  ASSERT_NE(attempts, nullptr);
+  ASSERT_EQ(attempts->size(), 2u);
+  // The first leg failed against the draining replica; the retry won.
+  EXPECT_EQ(attempts->at(0).Find("outcome")->AsString(), "failed");
+  EXPECT_EQ(attempts->at(0).Find("attempt")->AsNumber(), 1.0);
+  EXPECT_FALSE(attempts->at(0).Find("ok")->AsBool());
+  EXPECT_EQ(attempts->at(1).Find("outcome")->AsString(), "won");
+  EXPECT_EQ(attempts->at(1).Find("attempt")->AsNumber(), 2.0);
+  // The replica's serve-side span joined the tree under the winning hop,
+  // annotated with the cross-process clock story.
+  const obs::JsonValue* serve_span =
+      ChildNamed(attempts->at(1), "serve/request");
+  ASSERT_NE(serve_span, nullptr);
+  EXPECT_NE(serve_span->Find("send_skew_us"), nullptr);
+  EXPECT_NE(serve_span->Find("recv_skew_us"), nullptr);
+  EXPECT_EQ(ChildNamed(attempts->at(0), "serve/request"), nullptr);
+  obs::SpanStore::Global().Reset();
+}
+
+TEST(RouterTraceTest, HedgedRequestMarksTheLosingLeg) {
+  obs::SpanStore::Global().Reset();
+  FakeReplica slow(ScriptedHandler("slow", 250.0));
+  FakeReplica fast(ScriptedHandler("fast", 0.0));
+  const std::vector<int> ports = {slow.port(), fast.port()};
+  RouterOptions options = TestOptions();
+  options.hedge = true;
+  options.hedge_delay_ms = 15.0;
+  Router router(Specs(ports), options);
+  const std::string key =
+      KeyOwnedBy({"127.0.0.1:" + std::to_string(ports[0]),
+                  "127.0.0.1:" + std::to_string(ports[1])},
+                 0, options.vnodes);
+
+  obs::JsonValue line = MustParse(RequestLine(key));
+  line.Set("trace", obs::JsonValue("0000000000000ced"));
+  const obs::JsonValue response = MustParse(router.Handle(line.Dump()));
+  ASSERT_TRUE(response.Find("ok")->AsBool()) << response.Dump();
+  EXPECT_TRUE(response.Find("routed")->Find("hedged")->AsBool());
+  router.Stop();  // joins the losing leg so its span is recorded
+
+  const std::vector<obs::SpanRecord> spans =
+      obs::SpanStore::Global().Query(0xcedu);
+  int won = 0, lost = 0, hedged = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name != "route/attempt") continue;
+    if (span.outcome == "won") ++won;
+    if (span.outcome == "lost") ++lost;
+    if (span.hedge) ++hedged;
+  }
+  EXPECT_EQ(won, 1);
+  EXPECT_EQ(lost, 1);  // the slow primary's late duplicate
+  EXPECT_EQ(hedged, 1);
+  const obs::JsonValue trace =
+      AssembleTraceJson(0xcedu, CollectSpans(0xcedu, {}, 100.0));
+  EXPECT_EQ(trace.Find("hops")->AsNumber(), 2.0);
+  ASSERT_EQ(trace.Find("spans")->size(), 1u);
+  obs::SpanStore::Global().Reset();
+}
+
+TEST(RouterTraceTest, ErrorRepliesEchoTraceOnEveryPath) {
+  // No routable replica: the inbound trace id must come back verbatim.
+  FakeReplica gone(ScriptedHandler("gone"));
+  const int gone_port = gone.port();
+  gone.Kill();
+  Router router(Specs({gone_port}), TestOptions());
+  obs::JsonValue line = MustParse(RequestLine("doomed"));
+  line.Set("trace", obs::JsonValue("00000000deadbeef"));
+  const obs::JsonValue unavailable = MustParse(router.Handle(line.Dump()));
+  ASSERT_FALSE(unavailable.Find("ok")->AsBool());
+  EXPECT_EQ(unavailable.Find("trace")->AsString(), "00000000deadbeef");
+  EXPECT_EQ(unavailable.Find("id")->AsString(), "doomed");
+
+  // Untraced requests get a router-assigned id (never null) so even a
+  // failure can be pulled from /tracezd after the fact.
+  const obs::JsonValue assigned =
+      MustParse(router.Handle(RequestLine("doomed")));
+  ASSERT_FALSE(assigned.Find("trace")->is_null());
+  uint64_t parsed = 0;
+  ASSERT_TRUE(
+      obs::ParseTraceIdHex(assigned.Find("trace")->AsString(), &parsed));
+  EXPECT_NE(parsed, 0u);
+
+  // Deadline exhaustion echoes the trace too.
+  FakeReplica slow(ScriptedHandler("slow", 400.0));
+  RouterOptions slow_options = TestOptions();
+  slow_options.per_try_ms = 1000.0;
+  Router slow_router(Specs({slow.port()}), slow_options);
+  obs::JsonValue slow_line =
+      MustParse(RequestLine("late", /*deadline_ms=*/60.0));
+  slow_line.Set("trace", obs::JsonValue("0000000000001a7e"));
+  const obs::JsonValue late = MustParse(slow_router.Handle(slow_line.Dump()));
+  ASSERT_FALSE(late.Find("ok")->AsBool());
+  EXPECT_EQ(static_cast<int>(late.Find("error")->Find("code")->AsNumber()),
+            static_cast<int>(StatusCode::kDeadlineExceeded));
+  EXPECT_EQ(late.Find("trace")->AsString(), "0000000000001a7e");
+  slow_router.Stop();  // reap the still-sleeping attempt
+}
+
+// ---------------------------------------------------------------------------
+// Fleet metrics: exposition parse + cross-replica aggregation
+// ---------------------------------------------------------------------------
+
+TEST(FleetMetricsTest, ParsesCountersGaugesHistogramsAndExemplars) {
+  const std::string text =
+      "# HELP telekit_requests_total requests\n"
+      "# TYPE telekit_requests_total counter\n"
+      "telekit_requests_total 7\n"
+      "# TYPE telekit_queue_depth gauge\n"
+      "telekit_queue_depth 3\n"
+      "# TYPE telekit_request_ms histogram\n"
+      "telekit_request_ms_bucket{le=\"1\"} 2 # {trace_id=\"abc\"} 0.5 1e9\n"
+      "telekit_request_ms_bucket{le=\"5\"} 4\n"
+      "telekit_request_ms_bucket{le=\"+Inf\"} 5\n"
+      "telekit_request_ms_sum 11.5\n"
+      "telekit_request_ms_count 5\n";
+  const std::map<std::string, FleetMetric> metrics =
+      ParsePrometheusText(text);
+  ASSERT_EQ(metrics.count("telekit_requests_total"), 1u);
+  EXPECT_EQ(metrics.at("telekit_requests_total").type, "counter");
+  EXPECT_DOUBLE_EQ(metrics.at("telekit_requests_total").value, 7.0);
+  EXPECT_DOUBLE_EQ(metrics.at("telekit_queue_depth").value, 3.0);
+  ASSERT_EQ(metrics.count("telekit_request_ms"), 1u);
+  const FleetMetric& histogram = metrics.at("telekit_request_ms");
+  EXPECT_TRUE(histogram.has_histogram);
+  // The +Inf bucket is implied by _count; the exemplar suffix is ignored.
+  ASSERT_EQ(histogram.buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(histogram.buckets[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(histogram.buckets[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(histogram.buckets[1].first, 5.0);
+  EXPECT_DOUBLE_EQ(histogram.buckets[1].second, 4.0);
+  EXPECT_DOUBLE_EQ(histogram.sum, 11.5);
+  EXPECT_DOUBLE_EQ(histogram.count, 5.0);
+}
+
+TEST(FleetMetricsTest, AggregatesSumsCountersMergesHistogramsLabelsGauges) {
+  ReplicaScrape a;
+  a.replica = "127.0.0.1:7101";
+  a.ok = true;
+  a.exposition =
+      "# TYPE telekit_requests_total counter\n"
+      "telekit_requests_total 7\n"
+      "# TYPE telekit_queue_depth gauge\n"
+      "telekit_queue_depth 3\n"
+      "# TYPE telekit_request_ms histogram\n"
+      "telekit_request_ms_bucket{le=\"1\"} 2\n"
+      "telekit_request_ms_bucket{le=\"5\"} 4\n"
+      "telekit_request_ms_bucket{le=\"+Inf\"} 5\n"
+      "telekit_request_ms_sum 10\n"
+      "telekit_request_ms_count 5\n";
+  ReplicaScrape b;
+  b.replica = "127.0.0.1:7102";
+  b.ok = true;
+  b.exposition =
+      "# TYPE telekit_requests_total counter\n"
+      "telekit_requests_total 5\n"
+      "# TYPE telekit_queue_depth gauge\n"
+      "telekit_queue_depth 9\n"
+      "# TYPE telekit_request_ms histogram\n"
+      "telekit_request_ms_bucket{le=\"2\"} 1\n"
+      "telekit_request_ms_bucket{le=\"+Inf\"} 3\n"
+      "telekit_request_ms_sum 9\n"
+      "telekit_request_ms_count 3\n";
+  ReplicaScrape down;
+  down.replica = "127.0.0.1:7103";
+  const std::string merged = AggregateFleetMetrics({a, b, down});
+
+  // Fleet meta-gauges lead the exposition.
+  EXPECT_NE(merged.find("telekit_fleet_replicas 3\n"), std::string::npos);
+  EXPECT_NE(merged.find(
+                "telekit_fleet_replica_up{replica=\"127.0.0.1:7101\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(merged.find(
+                "telekit_fleet_replica_up{replica=\"127.0.0.1:7103\"} 0\n"),
+            std::string::npos);
+  // Counters: one fleet-wide sum under the unchanged name.
+  EXPECT_NE(merged.find("telekit_requests_total 12\n"), std::string::npos);
+  // Gauges: one series per replica (a sum would hide the hot replica).
+  EXPECT_NE(merged.find("telekit_queue_depth{replica=\"127.0.0.1:7101\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(merged.find("telekit_queue_depth{replica=\"127.0.0.1:7102\"} 9\n"),
+            std::string::npos);
+  // Histograms: cumulative counts merged on the union le grid.
+  EXPECT_NE(merged.find("telekit_request_ms_bucket{le=\"1\"} 2\n"),
+            std::string::npos);  // a:2 + b:0
+  EXPECT_NE(merged.find("telekit_request_ms_bucket{le=\"2\"} 3\n"),
+            std::string::npos);  // a:2 (step holds) + b:1
+  EXPECT_NE(merged.find("telekit_request_ms_bucket{le=\"5\"} 5\n"),
+            std::string::npos);  // a:4 + b:1
+  EXPECT_NE(merged.find("telekit_request_ms_bucket{le=\"+Inf\"} 8\n"),
+            std::string::npos);
+  EXPECT_NE(merged.find("telekit_request_ms_sum 19\n"), std::string::npos);
+  EXPECT_NE(merged.find("telekit_request_ms_count 8\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Concurrency: prober + forwarders under load (TSan coverage)
 // ---------------------------------------------------------------------------
 
@@ -653,6 +942,53 @@ TEST(RouteConcurrencyTest, ProberAndForwardersRaceCleanly) {
   observer.join();
   router.Stop();
   EXPECT_EQ(responses.load(), 100);
+}
+
+// /spanz scrapes (store queries + trace assembly) race traced traffic and
+// the recording writers; run under TSan via scripts/check_tier1.sh.
+TEST(RouteConcurrencyTest, SpanScrapesRaceTracedTraffic) {
+  obs::SpanStore::Global().Reset();
+  FakeReplica a(ScriptedHandler("a", 1.0));
+  FakeReplica b(ScriptedHandler("b", 1.0));
+  RouterOptions options = TestOptions();
+  options.hedge = true;
+  options.hedge_delay_ms = 2.0;
+  Router router(Specs({a.port(), b.port()}), options);
+  router.Start();
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&stop] {
+    obs::HttpRequest summary;
+    summary.path = "/spanz";
+    obs::HttpRequest query;
+    query.path = "/spanz";
+    query.query = "trace_id=00000000000000aa";
+    while (!stop.load()) {
+      obs::SpanStore::Global().HandleQuery(summary);
+      obs::SpanStore::Global().HandleQuery(query);
+      AssembleTraceJson(0xaau, CollectSpans(0xaau, {}, 10.0));
+    }
+  });
+  std::vector<std::thread> clients;
+  std::atomic<int> responses{0};
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&router, &responses, t] {
+      for (int i = 0; i < 20; ++i) {
+        obs::JsonValue line = MustParse(
+            RequestLine("traced-" + std::to_string(t) + "-" +
+                        std::to_string(i)));
+        line.Set("trace", obs::JsonValue("00000000000000aa"));
+        if (!router.Handle(line.Dump()).empty()) responses.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  scraper.join();
+  router.Stop();
+  EXPECT_EQ(responses.load(), 60);
+  EXPECT_GT(obs::SpanStore::Global().total_recorded(), 0u);
+  obs::SpanStore::Global().Reset();
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/model_zoo.h"
+#include "obs/spanstore.h"
 #include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/embedding_cache.h"
@@ -292,6 +293,25 @@ TEST(ProtocolTest, ParsesTraceField) {
   EXPECT_FALSE(
       ParseRequestLine(R"({"text":"x","trace":"zz"})", &request).ok());
   EXPECT_FALSE(ParseRequestLine(R"({"text":"x","trace":12})", &request).ok());
+}
+
+TEST(ProtocolTest, ParsesParentSpanField) {
+  Request request;
+  // The router's per-attempt hop span, parenting this replica's spans.
+  ASSERT_TRUE(
+      ParseRequestLine(R"({"text":"x","parent_span":"beef"})", &request)
+          .ok());
+  EXPECT_EQ(request.parent_span, 0xbeefu);
+  // Absent or null: this process is the trace root.
+  ASSERT_TRUE(ParseRequestLine(R"({"text":"x"})", &request).ok());
+  EXPECT_EQ(request.parent_span, 0u);
+  ASSERT_TRUE(
+      ParseRequestLine(R"({"text":"x","parent_span":null})", &request).ok());
+  EXPECT_EQ(request.parent_span, 0u);
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"text":"x","parent_span":"zz"})", &request).ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"text":"x","parent_span":7})", &request).ok());
 }
 
 TEST(ProtocolTest, ResponsesEchoTraceOnEveryPath) {
@@ -593,6 +613,54 @@ TEST(ServeEngineTest, ProcessMatchesSubmit) {
   ASSERT_TRUE(sync.status.ok());
   ASSERT_TRUE(queued.status.ok());
   EXPECT_LE(MaxAbsDiff(sync.vector, queued.vector), 1e-5);
+}
+
+// Every completed request leaves a "serve/request" span (plus stage
+// children) in the process-global SpanStore, parented to the caller's hop
+// span — that is what the router's /tracezd assembler stitches into the
+// cross-process tree.
+TEST(ServeEngineTest, RecordsSpansParentedToCallerHop) {
+  obs::SpanStore::Global().Reset();
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 1;
+  options.enable_cache = false;
+  ServeEngine engine(&service, options);
+  Request request;
+  request.op = TaskOp::kEncode;
+  request.text = zoo.world().alarms()[0].name;
+  request.trace_id = 0x1234u;
+  request.parent_span = 0x99u;
+  const Response response = engine.Process(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+
+  const std::vector<obs::SpanRecord> spans =
+      obs::SpanStore::Global().Query(0x1234u);
+  ASSERT_FALSE(spans.empty());
+  const obs::SpanRecord* root = nullptr;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "serve/request") root = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_span, 0x99u);
+  EXPECT_TRUE(root->ok);
+  EXPECT_EQ(root->outcome, "ok");
+  EXPECT_GT(root->dur_us, 0u);
+  // Stage children hang off the serve root and start inside its window.
+  int children = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "serve/request") continue;
+    EXPECT_EQ(span.parent_span, root->span_id) << span.name;
+    EXPECT_GE(span.start_unix_us, root->start_unix_us - 1.0) << span.name;
+    EXPECT_LE(span.start_unix_us + static_cast<double>(span.dur_us),
+              root->start_unix_us + static_cast<double>(root->dur_us) + 1.0)
+        << span.name;
+    ++children;
+  }
+  EXPECT_GE(children, 1);  // a real forward always spends encode time
+  obs::SpanStore::Global().Reset();
 }
 
 TEST(ServeEngineTest, BackpressureRejectsWhenQueueFull) {
