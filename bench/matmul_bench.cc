@@ -1,4 +1,5 @@
-// matmul_bench: intra-op ComputePool scaling on square GEMMs.
+// matmul_bench: intra-op ComputePool scaling on square GEMMs, plus the
+// SIMD and int8 single-thread sweeps.
 //
 // Sweeps compute_threads over {1, 2, 4, 8} on square MatMuls (>= 256) and
 // records throughput + speedup-vs-1-thread into BENCH_serve.json under
@@ -6,10 +7,17 @@
 // this bench share one artifact). Also asserts that every thread count
 // produces bit-identical outputs — the ComputePool determinism contract.
 //
-// Exit code 1 when the host has >= 4 hardware threads but the 4-thread
-// speedup is < 2.5x. On smaller hosts the sweep still runs and records
-// honest numbers (threads just timeslice), and the gate is reported as
-// skipped instead of failed.
+// The "simd" section compares the scalar kernel backend against the
+// runtime-detected vector backend (AVX2/NEON) at one thread: a GEMM
+// GFLOP/s sweep, a transformer-encoder forward (the serve encode path),
+// and the fp32-vs-int8 quantized encode comparison.
+//
+// Exit code 1 when a gate applies and fails:
+//   - >= 4 hardware threads but 4-thread speedup < 2.5x;
+//   - a vector backend is available but the single-thread encode speedup
+//     over scalar is < 1.5x.
+// On hosts where a gate cannot apply (no parallelism / no vector unit)
+// the sweep still records honest numbers and the gate reports "skipped".
 //
 // Flags: --out=PATH (default BENCH_serve.json), --iters=N (0 = auto),
 // plus the shared --obs-json/--log-level/--compute-threads.
@@ -24,9 +32,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/qencode.h"
+#include "core/transformer.h"
 #include "tensor/compute_pool.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
+#include "text/tokenizer.h"
 
 namespace telekit {
 namespace bench {
@@ -36,6 +48,7 @@ constexpr int kSizes[] = {256, 384, 512};
 constexpr int kThreadCounts[] = {1, 2, 4, 8};
 constexpr double kGateSpeedup = 2.5;
 constexpr int kGateThreads = 4;
+constexpr double kGateEncodeSpeedup = 1.5;
 
 double NowSeconds() {
   return std::chrono::duration<double>(
@@ -91,6 +104,67 @@ SizeResult BenchSize(int n, int iters_flag) {
   return result;
 }
 
+// Times `fn` with an auto-calibrated iteration count (~0.3 s per
+// measurement) and returns seconds per call.
+template <typename Fn>
+double TimePerCall(const Fn& fn, int iters_flag) {
+  const double t0 = NowSeconds();
+  fn();
+  const double once = std::max(NowSeconds() - t0, 1e-6);
+  const int iters =
+      iters_flag > 0 ? iters_flag
+                     : std::max(3, static_cast<int>(std::lround(0.3 / once)));
+  const double start = NowSeconds();
+  for (int it = 0; it < iters; ++it) fn();
+  return std::max(NowSeconds() - start, 1e-9) / iters;
+}
+
+// Scalar-vs-vector GEMM sweep at one thread. Returns the "gemm" rows.
+obs::JsonValue BenchSimdGemm(tensor::simd::Backend vector_backend,
+                             int iters_flag) {
+  tensor::NoGradGuard no_grad;
+  tensor::SetComputeThreads(1);
+  obs::JsonValue rows = obs::JsonValue::Array();
+  std::printf("%6s %14s %14s %8s\n", "size", "scalar GFLOP/s",
+              "vector GFLOP/s", "speedup");
+  for (int n : kSizes) {
+    const tensor::Tensor a = RandomMatrix(n, 0x51u + n);
+    const tensor::Tensor b = RandomMatrix(n, 0x52u + n);
+    const double flops = 2.0 * n * n * static_cast<double>(n);
+    tensor::simd::ForceBackend(tensor::simd::Backend::kScalar);
+    const double scalar_s =
+        TimePerCall([&] { tensor::MatMul(a, b); }, iters_flag);
+    tensor::simd::ForceBackend(vector_backend);
+    const double vector_s =
+        TimePerCall([&] { tensor::MatMul(a, b); }, iters_flag);
+    const double speedup = scalar_s / vector_s;
+    std::printf("%6d %14.2f %14.2f %8.2f\n", n, flops / scalar_s / 1e9,
+                flops / vector_s / 1e9, speedup);
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("size", obs::JsonValue(n));
+    row.Set("scalar_gflops", obs::JsonValue(flops / scalar_s / 1e9));
+    row.Set("vector_gflops", obs::JsonValue(flops / vector_s / 1e9));
+    row.Set("speedup", obs::JsonValue(speedup));
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+// The serve encode path in miniature: a transformer-encoder forward on one
+// max-length sequence, single-threaded. This is the gated measurement —
+// the SIMD layer earns its keep here, not just on square GEMMs.
+core::EncoderConfig EncodeBenchConfig() {
+  core::EncoderConfig config;
+  config.vocab_size = 512;
+  config.d_model = 128;
+  config.num_heads = 4;
+  config.num_layers = 4;
+  config.ffn_dim = 256;
+  config.max_len = 64;
+  config.dropout = 0.0f;
+  return config;
+}
+
 int Main(int argc, char** argv) {
   ObsSession obs_session(argc, argv);
   std::string out_path = "BENCH_serve.json";
@@ -138,6 +212,77 @@ int Main(int argc, char** argv) {
       }
     }
   }
+  // --- SIMD sweeps: scalar vs vector backend at one thread ---------------
+  const tensor::simd::Backend entry_backend = tensor::simd::ActiveBackend();
+  const tensor::simd::Backend vector_backend = tensor::simd::DetectBackend();
+  const bool have_vector = vector_backend != tensor::simd::Backend::kScalar;
+  std::printf("matmul_bench: simd backend=%s\n",
+              tensor::simd::BackendName(vector_backend));
+
+  obs::JsonValue simd_section = obs::JsonValue::Object();
+  simd_section.Set("backend",
+                   obs::JsonValue(std::string(
+                       tensor::simd::BackendName(vector_backend))));
+  simd_section.Set("gemm", BenchSimdGemm(vector_backend, iters));
+
+  double encode_speedup = 0.0;
+  double int8_speedup = 0.0;
+  {
+    tensor::NoGradGuard no_grad;
+    tensor::SetComputeThreads(1);
+    const core::EncoderConfig config = EncodeBenchConfig();
+    Rng init_rng(0x51dee5eedULL);
+    const core::TransformerEncoder encoder(config, init_rng);
+    std::vector<int> ids(config.max_len);
+    for (int i = 0; i < config.max_len; ++i) {
+      ids[i] = 1 + static_cast<int>(init_rng.UniformInt(
+                       static_cast<int64_t>(config.vocab_size - 1)));
+    }
+    Rng fwd_rng(0);  // unused in eval mode
+    const auto encode_once = [&] {
+      encoder.Forward(ids, config.max_len, fwd_rng, /*training=*/false);
+    };
+    tensor::simd::ForceBackend(tensor::simd::Backend::kScalar);
+    const double scalar_s = TimePerCall(encode_once, iters);
+    tensor::simd::ForceBackend(vector_backend);
+    const double vector_s = TimePerCall(encode_once, iters);
+    encode_speedup = scalar_s / vector_s;
+
+    // fp32 vs int8 on the same weights and sequence (vector backend).
+    const core::QuantizedEncoder quantized(encoder);
+    text::EncodedInput input;
+    input.ids = ids;
+    input.length = config.max_len;
+    const double int8_s =
+        TimePerCall([&] { quantized.Encode(input); }, iters);
+    int8_speedup = vector_s / int8_s;
+
+    obs::JsonValue encode = obs::JsonValue::Object();
+    encode.Set("scalar_ms", obs::JsonValue(scalar_s * 1e3));
+    encode.Set("vector_ms", obs::JsonValue(vector_s * 1e3));
+    encode.Set("speedup", obs::JsonValue(encode_speedup));
+    encode.Set("gate_min_speedup", obs::JsonValue(kGateEncodeSpeedup));
+    encode.Set("gate",
+               obs::JsonValue(std::string(
+                   !have_vector
+                       ? "skipped (no vector backend on this host)"
+                       : (encode_speedup >= kGateEncodeSpeedup ? "pass"
+                                                               : "fail"))));
+    simd_section.Set("encode", std::move(encode));
+
+    obs::JsonValue int8_json = obs::JsonValue::Object();
+    int8_json.Set("fp32_ms", obs::JsonValue(vector_s * 1e3));
+    int8_json.Set("int8_ms", obs::JsonValue(int8_s * 1e3));
+    int8_json.Set("speedup_vs_fp32", obs::JsonValue(int8_speedup));
+    simd_section.Set("int8_encode", std::move(int8_json));
+
+    std::printf(
+        "encode: scalar %.3f ms, %s %.3f ms (%.2fx); int8 %.3f ms "
+        "(%.2fx vs fp32)\n",
+        scalar_s * 1e3, tensor::simd::BackendName(vector_backend),
+        vector_s * 1e3, encode_speedup, int8_s * 1e3, int8_speedup);
+  }
+  tensor::simd::ForceBackend(entry_backend);  // undo the sweep's forcing
   tensor::SetComputeThreads(0);  // restore the env/hardware default
 
   const bool gate_applies = hw >= kGateThreads;
@@ -169,15 +314,29 @@ int Main(int argc, char** argv) {
     }
   }
   report.Set("matmul_scaling", std::move(section));
+  report.Set("simd", std::move(simd_section));
   std::ofstream out(out_path);
   out << report.Dump(2) << "\n";
-  std::printf("matmul_bench: wrote %s (4-thread speedup %.2fx, gate %s)\n",
-              out_path.c_str(), gate_speedup,
-              !gate_applies ? "skipped: <4 hardware threads"
-                            : (gate_ok ? "pass" : "FAIL"));
+  const bool encode_gate_ok = encode_speedup >= kGateEncodeSpeedup;
+  std::printf(
+      "matmul_bench: wrote %s (4-thread speedup %.2fx, gate %s; "
+      "simd encode speedup %.2fx, gate %s)\n",
+      out_path.c_str(), gate_speedup,
+      !gate_applies ? "skipped: <4 hardware threads"
+                    : (gate_ok ? "pass" : "FAIL"),
+      encode_speedup,
+      !have_vector ? "skipped: no vector backend"
+                   : (encode_gate_ok ? "pass" : "FAIL"));
   if (!all_identical) {
     std::fprintf(stderr,
                  "matmul_bench: outputs differ across thread counts\n");
+    return 1;
+  }
+  if (have_vector && !encode_gate_ok) {
+    std::fprintf(stderr,
+                 "matmul_bench: simd encode speedup %.2fx below the %.1fx "
+                 "gate\n",
+                 encode_speedup, kGateEncodeSpeedup);
     return 1;
   }
   return gate_applies && !gate_ok ? 1 : 0;

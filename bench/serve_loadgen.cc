@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/flag_parse.h"
 #include "bench/slo_demo.h"
 #include "common/table_printer.h"
 #include "core/model_zoo.h"
@@ -439,8 +440,9 @@ bool ParseEndpoints(const std::string& text, std::vector<Endpoint>* out) {
       if (colon != std::string::npos && colon > 0) {
         endpoint.host = item.substr(0, colon);
       }
-      endpoint.port = std::atoi(port_text.c_str());
-      if (endpoint.port <= 0 || endpoint.port > 65535) return false;
+      int64_t port = 0;
+      if (!telekit::ParseInt64(port_text, 1, 65535, &port)) return false;
+      endpoint.port = static_cast<int>(port);
       out->push_back(std::move(endpoint));
     }
     begin = end + 1;
@@ -583,15 +585,26 @@ int Main(int argc, char** argv) {
       return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
                                        : nullptr;
     };
-    if (const char* v = value("workers")) flags.workers = std::atoi(v);
-    else if (const char* v = value("clients")) flags.clients = std::atoi(v);
-    else if (const char* v = value("requests")) flags.requests = std::atoi(v);
-    else if (const char* v = value("max-batch")) flags.max_batch = std::atoi(v);
+    if (const char* v = value("workers"))
+      flags.workers = static_cast<int>(
+          telekit::ParseIntFlagOrDie("workers", v, 1, 1024));
+    else if (const char* v = value("clients"))
+      flags.clients = static_cast<int>(
+          telekit::ParseIntFlagOrDie("clients", v, 1, 4096));
+    else if (const char* v = value("requests"))
+      flags.requests = static_cast<int>(
+          telekit::ParseIntFlagOrDie("requests", v, 1, 1 << 30));
+    else if (const char* v = value("max-batch"))
+      flags.max_batch = static_cast<int>(
+          telekit::ParseIntFlagOrDie("max-batch", v, 1, 1 << 20));
     else if (const char* v = value("max-wait-us"))
-      flags.max_wait_us = std::atoll(v);
-    else if (const char* v = value("qps")) flags.qps = std::atoi(v);
+      flags.max_wait_us =
+          telekit::ParseIntFlagOrDie("max-wait-us", v, 0, int64_t{1} << 40);
+    else if (const char* v = value("qps"))
+      flags.qps = static_cast<int>(
+          telekit::ParseIntFlagOrDie("qps", v, 0, 1 << 30));
     else if (const char* v = value("slo-demo"))
-      flags.slo_demo = std::atoi(v) != 0;
+      flags.slo_demo = telekit::ParseIntFlagOrDie("slo-demo", v, 0, 1) != 0;
     else if (const char* v = value("connect")) flags.connect = v;
     else if (const char* v = value("out")) flags.out = v;
     else if (const char* v = value("obs-out")) flags.obs_out = v;

@@ -2,10 +2,16 @@
 # Tier-1 regression check, one command (see ROADMAP.md):
 #   1. configure + build everything
 #   2. run the full ctest suite
-#   3. rebuild the obs layer (library + its tests) under
-#      -Wall -Wextra -Werror in a separate tree, so new warnings in the
-#      observability code fail loudly instead of scrolling by.
-#   4. admin smoke: start telekit_serve with --admin-port on loopback,
+#   3. SIMD parity: re-run the tensor/core/serve suites with
+#      TELEKIT_SIMD=off, so the scalar kernel backend stays green (the
+#      vector-vs-scalar agreement itself is asserted in-process by the
+#      SimdKernelTest cases, which force both backends).
+#   4. rebuild the obs layer (library + its tests) plus the tensor/core/
+#      serve test binaries under -Wall -Wextra -Werror in a separate
+#      tree, so new warnings fail loudly instead of scrolling by.
+#   5. flag validation: daemons must reject malformed numeric flags with
+#      a usage error (exit 64) instead of silently parsing a prefix.
+#   6. admin smoke: start telekit_serve with --admin-port on loopback,
 #      poll /healthz until live, assert /metrics serves a non-empty
 #      Prometheus exposition, then drive one traced request through the
 #      TCP protocol and assert the observability loop closes end to end:
@@ -13,11 +19,13 @@
 #      run, a /metrics latency bucket carries a trace exemplar whose id
 #      resolves via /requestz to a wide event with matching total_us, and
 #      the --request-log NDJSON round-trips through telekit_jsonlint.
-#   5. streamd smoke: replay a small seeded stream through telekit_streamd
+#      Also drives one request at "precision": "int8" and asserts it
+#      succeeds and lands on the serve/precision_int8_requests counter.
+#   7. streamd smoke: replay a small seeded stream through telekit_streamd
 #      with --linger, assert /statusz reports a finished run with >0
 #      episodes and 0 late drops, and that the per-op serve counters made
 #      it into the Prometheus exposition.
-#   6. router smoke: start 2 telekit_serve replicas behind telekit_router
+#   8. router smoke: start 2 telekit_serve replicas behind telekit_router
 #      (with --request-log), assert /fleetz shows both routable with probe
 #      telemetry, assert /fleetmetricz sums the replicas' request counters,
 #      drive traced traffic through the routed NDJSON path, SIGKILL one
@@ -40,24 +48,54 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/6] configure + build =="
+echo "== [1/8] configure + build =="
 cmake -B build -S .
 cmake --build build -j
 
-echo "== [2/6] ctest =="
+echo "== [2/8] ctest =="
 ctest --test-dir build --output-on-failure -j
 
-echo "== [3/6] -Werror build of the obs + stream + route layers =="
+echo "== [3/8] TELEKIT_SIMD=off scalar-backend parity =="
+# The full suites must stay green with the vector backend disabled; the
+# off-vs-on numeric agreement is asserted in-process by SimdKernelTest
+# (which forces scalar and the detected backend against each other).
+TELEKIT_SIMD=off ./build/tests/tensor_test --gtest_brief=1
+TELEKIT_SIMD=off ./build/tests/core_test --gtest_brief=1
+TELEKIT_SIMD=off ./build/tests/serve_test --gtest_brief=1
+
+echo "== [4/8] -Werror build of the obs + stream + route + tensor/core/serve layers =="
 cmake -B build_strict -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
 cmake --build build_strict -j --target telekit_obs obs_test obs_admin_test \
-  obs_timeseries_test telekit_stream stream_test telekit_route route_test
+  obs_timeseries_test telekit_stream stream_test telekit_route route_test \
+  tensor_test core_test serve_test
 ./build_strict/tests/obs_test --gtest_brief=1
 ./build_strict/tests/obs_admin_test --gtest_brief=1
 ./build_strict/tests/obs_timeseries_test --gtest_brief=1
 ./build_strict/tests/stream_test --gtest_brief=1
 ./build_strict/tests/route_test --gtest_brief=1
+./build_strict/tests/tensor_test --gtest_brief=1
 
-echo "== [4/6] admin endpoint smoke =="
+echo "== [5/8] strict flag validation (exit 64 on malformed numerics) =="
+expect_exit64() {
+  local desc=$1; shift
+  local rc=0
+  "$@" >/dev/null 2>&1 || rc=$?
+  if [[ "${rc}" -ne 64 ]]; then
+    echo "flag validation: ${desc} exited ${rc}, want 64"
+    exit 1
+  fi
+}
+expect_exit64 "telekit_serve --port=abc" \
+  ./build/src/serve/telekit_serve --port=abc
+expect_exit64 "telekit_serve --precision=fp16" \
+  ./build/src/serve/telekit_serve --precision=fp16
+expect_exit64 "telekit_router --vnodes=abc" \
+  ./build/src/route/telekit_router --vnodes=abc --replica=18000:18001
+expect_exit64 "telekit_streamd --episodes=abc" \
+  ./build/src/stream/telekit_streamd --episodes=abc
+echo "flag validation: OK"
+
+echo "== [6/8] admin endpoint smoke =="
 SERVE_PORT=18473
 ADMIN_PORT=18474
 SERVE_LOG=$(mktemp)
@@ -113,6 +151,24 @@ IFS= read -r SERVE_REPLY <&3 || true
 exec 3<&- 3>&-
 if ! grep -Eq '"ok": ?true' <<<"${SERVE_REPLY}"; then
   echo "admin smoke: traced rca request failed: ${SERVE_REPLY}"
+  exit 1
+fi
+
+# The int8 quantized encode path: the request must succeed and land on
+# its dedicated counter in the Prometheus exposition.
+exec 3<>"/dev/tcp/127.0.0.1/${SERVE_PORT}"
+printf '{"op": "encode", "text": "ospf neighbor down on core router", "precision": "int8"}\n' >&3
+IFS= read -r INT8_REPLY <&3 || true
+exec 3<&- 3>&-
+if ! grep -Eq '"ok": ?true' <<<"${INT8_REPLY}"; then
+  echo "admin smoke: int8 encode request failed: ${INT8_REPLY}"
+  exit 1
+fi
+INT8_COUNT=$(curl -sf -m 2 "http://127.0.0.1:${ADMIN_PORT}/metrics" \
+  | sed -n 's/^telekit_serve_precision_int8_requests \([0-9.]*\).*/\1/p')
+if [[ -z "${INT8_COUNT}" ]] || ! awk -v c="${INT8_COUNT}" \
+    'BEGIN { exit (c >= 1) ? 0 : 1 }'; then
+  echo "admin smoke: serve/precision_int8_requests counter missing or zero"
   exit 1
 fi
 
@@ -184,7 +240,7 @@ rm -f "${SERVE_LOG}" "${REQUEST_LOG}"
 echo "admin smoke: OK (/healthz + /readyz + /statusz + /timeseriesz + /alertz live," \
   "exemplar -> /requestz loop closed, request log lints)"
 
-echo "== [5/6] streamd replay smoke =="
+echo "== [7/8] streamd replay smoke =="
 STREAMD_ADMIN_PORT=18475
 STREAMD_LOG=$(mktemp)
 # Unpaced deterministic replay of a small seeded stream; --linger keeps the
@@ -244,7 +300,7 @@ trap - EXIT
 rm -f "${STREAMD_LOG}"
 echo "streamd smoke: OK (${EPISODES} episodes, 0 late drops, per-op serve metrics live)"
 
-echo "== [6/6] router fleet smoke =="
+echo "== [8/8] router fleet smoke =="
 REP1_PORT=18476; REP1_ADMIN=18477
 REP2_PORT=18478; REP2_ADMIN=18479
 ROUTER_PORT=18480; ROUTER_ADMIN=18481

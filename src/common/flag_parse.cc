@@ -1,0 +1,92 @@
+#include "common/flag_parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace telekit {
+
+bool ParseInt64(const std::string& text, int64_t min_value, int64_t max_value,
+                int64_t* out) {
+  if (text.empty()) return false;
+  // strtoll skips leading whitespace; reject it up front so " 8080" and
+  // "8080 " fail the same way.
+  if (std::isspace(static_cast<unsigned char>(text.front()))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE) return false;
+  if (end != text.c_str() + text.size()) return false;  // trailing garbage
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double min_value, double max_value,
+                 double* out) {
+  if (text.empty()) return false;
+  if (std::isspace(static_cast<unsigned char>(text.front()))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE) return false;
+  if (end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+namespace {
+
+[[noreturn]] void DieUsage(const char* kind, const char* name,
+                           const std::string& text, const char* range) {
+  std::fprintf(stderr, "bad value for %s%s: '%s' (want %s)\n", kind, name,
+               text.c_str(), range);
+  std::exit(64);  // EX_USAGE
+}
+
+}  // namespace
+
+int64_t ParseIntFlagOrDie(const char* flag, const std::string& text,
+                          int64_t min_value, int64_t max_value) {
+  int64_t value = 0;
+  if (!ParseInt64(text, min_value, max_value, &value)) {
+    char range[96];
+    std::snprintf(range, sizeof(range), "an integer in [%lld, %lld]",
+                  static_cast<long long>(min_value),
+                  static_cast<long long>(max_value));
+    DieUsage("--", flag, text, range);
+  }
+  return value;
+}
+
+double ParseDoubleFlagOrDie(const char* flag, const std::string& text,
+                            double min_value, double max_value) {
+  double value = 0.0;
+  if (!ParseDouble(text, min_value, max_value, &value)) {
+    char range[96];
+    std::snprintf(range, sizeof(range), "a number in [%g, %g]", min_value,
+                  max_value);
+    DieUsage("--", flag, text, range);
+  }
+  return value;
+}
+
+int64_t ParseIntEnvOrDie(const char* var, const char* text, int64_t min_value,
+                         int64_t max_value) {
+  int64_t value = 0;
+  const std::string s = text == nullptr ? "" : text;
+  if (!ParseInt64(s, min_value, max_value, &value)) {
+    char range[96];
+    std::snprintf(range, sizeof(range), "an integer in [%lld, %lld]",
+                  static_cast<long long>(min_value),
+                  static_cast<long long>(max_value));
+    DieUsage("", var, s, range);
+  }
+  return value;
+}
+
+}  // namespace telekit

@@ -1,0 +1,43 @@
+#ifndef TELEKIT_COMMON_FLAG_PARSE_H_
+#define TELEKIT_COMMON_FLAG_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace telekit {
+
+/// Strict numeric parsing for command-line flags and environment
+/// variables. Unlike std::atoi/atof — which silently map garbage to 0 —
+/// these reject empty strings, trailing garbage ("8080x"), overflow, and
+/// out-of-range values, so "--port=abc" becomes a usage error instead of
+/// an ephemeral-port bind.
+
+/// Parses the whole of `text` as a base-10 integer in [min_value,
+/// max_value]. Leading/trailing whitespace is rejected. Returns false on
+/// any malformed or out-of-range input, leaving *out untouched.
+bool ParseInt64(const std::string& text, int64_t min_value, int64_t max_value,
+                int64_t* out);
+
+/// Parses the whole of `text` as a finite double in [min_value,
+/// max_value]. Rejects empty strings, trailing garbage, inf/nan and
+/// overflow. Returns false on failure, leaving *out untouched.
+bool ParseDouble(const std::string& text, double min_value, double max_value,
+                 double* out);
+
+/// Flag wrappers for daemon mains: on malformed input they print
+/// "bad value for --<flag>: ..." (with the accepted range) to stderr and
+/// exit(64) (EX_USAGE).
+int64_t ParseIntFlagOrDie(const char* flag, const std::string& text,
+                          int64_t min_value, int64_t max_value);
+double ParseDoubleFlagOrDie(const char* flag, const std::string& text,
+                            double min_value, double max_value);
+
+/// Env-var variant: same strictness, same exit(64), but the message names
+/// the environment variable instead of a flag. `text` may be null (some
+/// callers pass getenv output); null is rejected like the empty string.
+int64_t ParseIntEnvOrDie(const char* var, const char* text, int64_t min_value,
+                         int64_t max_value);
+
+}  // namespace telekit
+
+#endif  // TELEKIT_COMMON_FLAG_PARSE_H_

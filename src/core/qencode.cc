@@ -1,0 +1,283 @@
+#include "core/qencode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "tensor/simd.h"
+
+namespace telekit {
+namespace core {
+
+namespace {
+
+constexpr float kLayerNormEps = 1e-5f;  // matches tensor::LayerNorm
+
+/// In-place row-wise layer norm, same arithmetic as the fp32 path
+/// (mean/var via the simd reductions, NormalizeAffine epilogue).
+void LayerNormRows(float* x, int rows, int d, const float* gain,
+                   const float* bias) {
+  for (int r = 0; r < rows; ++r) {
+    float* row = x + static_cast<size_t>(r) * d;
+    const float mean = tensor::simd::ReduceSum(row, d) / static_cast<float>(d);
+    const float var =
+        tensor::simd::ReduceSumSqDiff(row, mean, d) / static_cast<float>(d);
+    const float istd = 1.0f / std::sqrt(var + kLayerNormEps);
+    tensor::simd::NormalizeAffine(row, mean, istd, gain, bias,
+                                  /*xhat=*/nullptr, row, d);
+  }
+}
+
+/// GELU tanh approximation, identical constants to tensor::Gelu.
+void GeluInPlace(float* x, size_t n) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  for (size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float inner = kC * (v + 0.044715f * v * v * v);
+    x[i] = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+}
+
+/// Softmax over one score row: max-shifted exp, then normalize.
+void SoftmaxRow(float* row, int n) {
+  const float max_v = tensor::simd::ReduceMax(row, n);
+  for (int i = 0; i < n; ++i) row[i] = std::exp(row[i] - max_v);
+  const float inv = 1.0f / tensor::simd::ReduceSum(row, n);
+  tensor::simd::ScaleTo(row, inv, row, n);
+}
+
+/// Pulls a named tensor out of the encoder's parameter list.
+const tensor::Tensor& Param(
+    const std::map<std::string, const tensor::Tensor*>& params,
+    const std::string& name) {
+  auto it = params.find(name);
+  TELEKIT_CHECK(it != params.end())
+      << "QuantizedEncoder: missing encoder parameter " << name;
+  return *it->second;
+}
+
+std::vector<float> CopyData(const tensor::Tensor& t) { return t.data(); }
+
+}  // namespace
+
+// --- QuantizedLinear ---------------------------------------------------------
+
+QuantizedLinear::QuantizedLinear(const tensor::Tensor& weight,
+                                 const tensor::Tensor& bias)
+    : in_dim_(weight.dim(0)), out_dim_(weight.dim(1)), bias_(bias.data()) {
+  TELEKIT_CHECK_EQ(static_cast<int>(bias_.size()), out_dim_);
+  const std::vector<float>& w = weight.data();
+  weight_q_.resize(static_cast<size_t>(in_dim_) * out_dim_);
+  weight_scale_.resize(static_cast<size_t>(out_dim_));
+  for (int j = 0; j < out_dim_; ++j) {
+    float max_abs = 0.0f;
+    for (int i = 0; i < in_dim_; ++i) {
+      max_abs = std::max(max_abs,
+                         std::fabs(w[static_cast<size_t>(i) * out_dim_ + j]));
+    }
+    const float scale = max_abs / 127.0f;
+    weight_scale_[static_cast<size_t>(j)] = scale;
+    int8_t* row = weight_q_.data() + static_cast<size_t>(j) * in_dim_;
+    if (scale == 0.0f) {
+      std::fill(row, row + in_dim_, static_cast<int8_t>(0));
+      continue;
+    }
+    const float inv = 1.0f / scale;
+    for (int i = 0; i < in_dim_; ++i) {
+      const long q =
+          std::lround(w[static_cast<size_t>(i) * out_dim_ + j] * inv);
+      row[i] = static_cast<int8_t>(std::clamp<long>(q, -127, 127));
+    }
+  }
+}
+
+void QuantizedLinear::Forward(const float* x, int rows, float* out) const {
+  std::vector<int8_t> q(static_cast<size_t>(in_dim_));
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = x + static_cast<size_t>(r) * in_dim_;
+    const float sx =
+        tensor::simd::QuantizeRow(xr, in_dim_, clip_, q.data());
+    float* yr = out + static_cast<size_t>(r) * out_dim_;
+    for (int j = 0; j < out_dim_; ++j) {
+      const int32_t acc = tensor::simd::DotI8(
+          q.data(), weight_q_.data() + static_cast<size_t>(j) * in_dim_,
+          in_dim_);
+      yr[j] = static_cast<float>(acc) * sx *
+                  weight_scale_[static_cast<size_t>(j)] +
+              bias_[static_cast<size_t>(j)];
+    }
+  }
+}
+
+void QuantizedLinear::Observe(const float* x, int rows) const {
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = x + static_cast<size_t>(r) * in_dim_;
+    for (int i = 0; i < in_dim_; ++i) {
+      observed_max_ = std::max(observed_max_, std::fabs(xr[i]));
+    }
+  }
+}
+
+// --- QuantizedEncoder --------------------------------------------------------
+
+QuantizedEncoder::QuantizedEncoder(const TransformerEncoder& encoder,
+                                   OverrideHook anenc_hook)
+    : config_(encoder.config()), anenc_hook_(std::move(anenc_hook)) {
+  std::map<std::string, const tensor::Tensor*> params;
+  const NamedParams named = encoder.Parameters();
+  for (const auto& [name, t] : named) params.emplace(name, &t);
+  token_table_ = CopyData(Param(params, "token_table"));
+  position_table_ = CopyData(Param(params, "position_table"));
+  embed_gain_ = CopyData(Param(params, "embed_norm.gain"));
+  embed_bias_ = CopyData(Param(params, "embed_norm.bias"));
+  layers_.reserve(static_cast<size_t>(config_.num_layers));
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const std::string p = "layer" + std::to_string(l) + ".";
+    layers_.push_back(Layer{
+        QuantizedLinear(Param(params, p + "attn.q.weight"),
+                        Param(params, p + "attn.q.bias")),
+        QuantizedLinear(Param(params, p + "attn.k.weight"),
+                        Param(params, p + "attn.k.bias")),
+        QuantizedLinear(Param(params, p + "attn.v.weight"),
+                        Param(params, p + "attn.v.bias")),
+        QuantizedLinear(Param(params, p + "attn.o.weight"),
+                        Param(params, p + "attn.o.bias")),
+        QuantizedLinear(Param(params, p + "ffn_in.weight"),
+                        Param(params, p + "ffn_in.bias")),
+        QuantizedLinear(Param(params, p + "ffn_out.weight"),
+                        Param(params, p + "ffn_out.bias")),
+        CopyData(Param(params, p + "norm1.gain")),
+        CopyData(Param(params, p + "norm1.bias")),
+        CopyData(Param(params, p + "norm2.gain")),
+        CopyData(Param(params, p + "norm2.bias")),
+    });
+  }
+}
+
+std::vector<float> QuantizedEncoder::Embed(const text::EncodedInput& input,
+                                           int* length) const {
+  const int d = config_.d_model;
+  const int len = std::min(input.length, config_.max_len);
+  TELEKIT_CHECK_GT(len, 0) << "QuantizedEncoder: empty input";
+  TELEKIT_CHECK_LE(len, static_cast<int>(input.ids.size()));
+  *length = len;
+  std::vector<float> h(static_cast<size_t>(len) * d);
+  for (int i = 0; i < len; ++i) {
+    const int id = input.ids[static_cast<size_t>(i)];
+    TELEKIT_CHECK_GE(id, 0);
+    TELEKIT_CHECK_LT(id, config_.vocab_size);
+    const float* tok = token_table_.data() + static_cast<size_t>(id) * d;
+    const float* pos = position_table_.data() + static_cast<size_t>(i) * d;
+    tensor::simd::Add(tok, pos, h.data() + static_cast<size_t>(i) * d, d);
+  }
+  if (anenc_hook_ != nullptr) {
+    // Numeric-slot overrides replace the token row (position row still
+    // added), mirroring TransformerEncoder::Embed with overrides.
+    for (const auto& [position, row] : anenc_hook_(input)) {
+      if (position < 0 || position >= len) continue;
+      TELEKIT_CHECK_EQ(static_cast<int>(row.size()), d);
+      const float* pos = position_table_.data() +
+                         static_cast<size_t>(position) * d;
+      tensor::simd::Add(row.data(), pos,
+                        h.data() + static_cast<size_t>(position) * d, d);
+    }
+  }
+  LayerNormRows(h.data(), len, d, embed_gain_.data(), embed_bias_.data());
+  return h;
+}
+
+void QuantizedEncoder::RunLayers(std::vector<float>* h, int length,
+                                 bool calibrating) const {
+  const int d = config_.d_model;
+  const int heads = config_.num_heads;
+  const int hd = d / heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+  const size_t nd = static_cast<size_t>(length) * d;
+  std::vector<float> q(nd), k(nd), v(nd), attn(nd), proj(nd);
+  std::vector<float> ffn(static_cast<size_t>(length) * config_.ffn_dim);
+  std::vector<float> scores(static_cast<size_t>(length));
+  for (const Layer& layer : layers_) {
+    float* x = h->data();
+    if (calibrating) {
+      layer.query.Observe(x, length);
+      layer.key.Observe(x, length);
+      layer.value.Observe(x, length);
+    }
+    layer.query.Forward(x, length, q.data());
+    layer.key.Forward(x, length, k.data());
+    layer.value.Forward(x, length, v.data());
+    for (int head = 0; head < heads; ++head) {
+      const int col = head * hd;
+      for (int i = 0; i < length; ++i) {
+        const float* qi = q.data() + static_cast<size_t>(i) * d + col;
+        for (int j = 0; j < length; ++j) {
+          scores[static_cast<size_t>(j)] =
+              tensor::simd::Dot(
+                  qi, k.data() + static_cast<size_t>(j) * d + col, hd) *
+              scale;
+        }
+        SoftmaxRow(scores.data(), length);
+        float* ctx = attn.data() + static_cast<size_t>(i) * d + col;
+        std::fill(ctx, ctx + hd, 0.0f);
+        for (int j = 0; j < length; ++j) {
+          tensor::simd::Axpy(scores[static_cast<size_t>(j)],
+                             v.data() + static_cast<size_t>(j) * d + col, ctx,
+                             hd);
+        }
+      }
+    }
+    if (calibrating) layer.output.Observe(attn.data(), length);
+    layer.output.Forward(attn.data(), length, proj.data());
+    tensor::simd::Add(x, proj.data(), x, static_cast<int>(nd));
+    LayerNormRows(x, length, d, layer.norm1_gain.data(),
+                  layer.norm1_bias.data());
+    if (calibrating) layer.ffn_in.Observe(x, length);
+    layer.ffn_in.Forward(x, length, ffn.data());
+    GeluInPlace(ffn.data(), ffn.size());
+    if (calibrating) layer.ffn_out.Observe(ffn.data(), length);
+    layer.ffn_out.Forward(ffn.data(), length, proj.data());
+    tensor::simd::Add(x, proj.data(), x, static_cast<int>(nd));
+    LayerNormRows(x, length, d, layer.norm2_gain.data(),
+                  layer.norm2_bias.data());
+  }
+}
+
+void QuantizedEncoder::Calibrate(
+    const std::vector<const text::EncodedInput*>& inputs) {
+  for (const text::EncodedInput* input : inputs) {
+    int length = 0;
+    std::vector<float> h = Embed(*input, &length);
+    RunLayers(&h, length, /*calibrating=*/true);
+  }
+  for (Layer& layer : layers_) {
+    layer.query.FreezeCalibration();
+    layer.key.FreezeCalibration();
+    layer.value.FreezeCalibration();
+    layer.output.FreezeCalibration();
+    layer.ffn_in.FreezeCalibration();
+    layer.ffn_out.FreezeCalibration();
+  }
+}
+
+std::vector<float> QuantizedEncoder::Encode(
+    const text::EncodedInput& input) const {
+  int length = 0;
+  std::vector<float> h = Embed(input, &length);
+  RunLayers(&h, length, /*calibrating=*/false);
+  h.resize(static_cast<size_t>(config_.d_model));  // row 0 is [CLS]
+  return h;
+}
+
+std::vector<std::vector<float>> QuantizedEncoder::EncodeBatch(
+    const std::vector<const text::EncodedInput*>& inputs) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(inputs.size());
+  for (const text::EncodedInput* input : inputs) {
+    out.push_back(Encode(*input));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace telekit

@@ -13,6 +13,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/flag_parse.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/requestlog.h"
@@ -123,25 +124,30 @@ bool ParseReplicaSpec(const std::string& text, ReplicaSpec* spec) {
     start = colon + 1;
   }
   *spec = ReplicaSpec();
-  if (parts.size() == 1 && AllDigits(parts[0])) {
-    spec->port = std::atoi(parts[0].c_str());
+  // Strict port parsing (full string, range-checked): "7101x" or an
+  // out-of-range value rejects the spec instead of atoi-truncating.
+  const auto parse_port = [](const std::string& s, int* out) {
+    int64_t value = 0;
+    if (!AllDigits(s) || !ParseInt64(s, 1, 65535, &value)) return false;
+    *out = static_cast<int>(value);
+    return true;
+  };
+  if (parts.size() == 1 && parse_port(parts[0], &spec->port)) {
+    // port
   } else if (parts.size() == 2 && AllDigits(parts[0]) &&
-             AllDigits(parts[1])) {
-    spec->port = std::atoi(parts[0].c_str());
-    spec->admin_port = std::atoi(parts[1].c_str());
+             parse_port(parts[0], &spec->port) &&
+             parse_port(parts[1], &spec->admin_port)) {
+    // port:admin_port
   } else if (parts.size() == 2 && !parts[0].empty() &&
-             AllDigits(parts[1])) {
+             parse_port(parts[1], &spec->port)) {
     spec->host = parts[0];
-    spec->port = std::atoi(parts[1].c_str());
   } else if (parts.size() == 3 && !parts[0].empty() &&
-             AllDigits(parts[1]) && AllDigits(parts[2])) {
+             parse_port(parts[1], &spec->port) &&
+             parse_port(parts[2], &spec->admin_port)) {
     spec->host = parts[0];
-    spec->port = std::atoi(parts[1].c_str());
-    spec->admin_port = std::atoi(parts[2].c_str());
   } else {
     return false;
   }
-  if (spec->port <= 0 || spec->port > 65535) return false;
   spec->name = spec->host + ":" + std::to_string(spec->port);
   return true;
 }

@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <future>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flag_parse.h"
 #include "common/string_util.h"
 #include "obs/admin.h"
 #include "obs/json.h"
@@ -110,39 +112,48 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     const std::string arg = argv[i];
     std::string v;
     if (ParseFlag(arg, "port", &v)) {
-      flags->port = std::atoi(v.c_str());
+      flags->port = static_cast<int>(ParseIntFlagOrDie("port", v, 1, 65535));
     } else if (ParseFlag(arg, "admin-port", &v)) {
-      flags->admin_port = std::atoi(v.c_str());
+      flags->admin_port =
+          static_cast<int>(ParseIntFlagOrDie("admin-port", v, -1, 65535));
     } else if (ParseFlag(arg, "replica", &v)) {
       for (const std::string& spec : SplitString(v, ',')) {
         flags->replica_specs.push_back(spec);
       }
     } else if (ParseFlag(arg, "vnodes", &v)) {
-      flags->vnodes = std::atoi(v.c_str());
+      flags->vnodes =
+          static_cast<int>(ParseIntFlagOrDie("vnodes", v, 1, 1 << 20));
     } else if (ParseFlag(arg, "max-attempts", &v)) {
-      flags->max_attempts = std::atoi(v.c_str());
+      flags->max_attempts =
+          static_cast<int>(ParseIntFlagOrDie("max-attempts", v, 1, 64));
     } else if (ParseFlag(arg, "deadline-ms", &v)) {
-      flags->deadline_ms = std::atof(v.c_str());
+      flags->deadline_ms = ParseDoubleFlagOrDie("deadline-ms", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "per-try-ms", &v)) {
-      flags->per_try_ms = std::atof(v.c_str());
+      flags->per_try_ms = ParseDoubleFlagOrDie("per-try-ms", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "hedge-ms", &v)) {
-      flags->hedge_ms = std::atof(v.c_str());
+      flags->hedge_ms = ParseDoubleFlagOrDie("hedge-ms", v, 0.0, 1e9);
     } else if (ParseFlag(arg, "hedge-quantile", &v)) {
-      flags->hedge_quantile = std::atof(v.c_str());
+      flags->hedge_quantile =
+          ParseDoubleFlagOrDie("hedge-quantile", v, 0.0, 1.0);
     } else if (arg == "--no-hedge") {
       flags->hedge = false;
     } else if (ParseFlag(arg, "policy", &v)) {
       flags->policy = v;
     } else if (ParseFlag(arg, "probe-interval-ms", &v)) {
-      flags->probe_interval_ms = std::atof(v.c_str());
+      flags->probe_interval_ms =
+          ParseDoubleFlagOrDie("probe-interval-ms", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "probe-timeout-ms", &v)) {
-      flags->probe_timeout_ms = std::atof(v.c_str());
+      flags->probe_timeout_ms =
+          ParseDoubleFlagOrDie("probe-timeout-ms", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "eject-after", &v)) {
-      flags->eject_after = std::atoi(v.c_str());
+      flags->eject_after =
+          static_cast<int>(ParseIntFlagOrDie("eject-after", v, 1, 1 << 20));
     } else if (ParseFlag(arg, "readmit-after", &v)) {
-      flags->readmit_after = std::atoi(v.c_str());
+      flags->readmit_after =
+          static_cast<int>(ParseIntFlagOrDie("readmit-after", v, 1, 1 << 20));
     } else if (ParseFlag(arg, "scrape-timeout-ms", &v)) {
-      flags->scrape_timeout_ms = std::atof(v.c_str());
+      flags->scrape_timeout_ms =
+          ParseDoubleFlagOrDie("scrape-timeout-ms", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "request-log", &v)) {
       flags->request_log = v;
     } else if (ParseFlag(arg, "obs-json", &v)) {
@@ -228,7 +239,13 @@ int Main(int argc, char** argv) {
     }
     uint64_t seed = 0;
     if (auto it = params.find("seed"); it != params.end()) {
-      seed = static_cast<uint64_t>(std::atoll(it->second.c_str()));
+      int64_t parsed = 0;
+      if (!ParseInt64(it->second, 0, std::numeric_limits<int64_t>::max(),
+                      &parsed)) {
+        return obs::HttpResponse::Text(400,
+                                       "bad seed: " + it->second + "\n");
+      }
+      seed = static_cast<uint64_t>(parsed);
     }
     obs::JsonValue result = router.ReloadAll(model, seed);
     const int status = result.Find("error") != nullptr ? 400 : 200;

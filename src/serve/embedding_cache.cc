@@ -69,9 +69,11 @@ void EmbeddingCache::Clear() {
   }
 }
 
-CacheKey EmbeddingCache::HashIds(const std::vector<int>& ids, int length) {
-  uint64_t lo = 0xCBF29CE484222325ULL;  // FNV offset basis
-  uint64_t hi = 0x9E3779B97F4A7C15ULL;  // golden-ratio basis
+CacheKey EmbeddingCache::HashIds(const std::vector<int>& ids, int length,
+                                 uint64_t salt) {
+  uint64_t lo = 0xCBF29CE484222325ULL ^ salt;  // FNV offset basis
+  uint64_t hi = (0x9E3779B97F4A7C15ULL + salt) *
+                0xC2B2AE3D27D4EB4FULL;  // golden-ratio basis, salt-mixed
   const int n = std::min<int>(length, static_cast<int>(ids.size()));
   for (int i = 0; i < n; ++i) {
     const uint64_t v = static_cast<uint64_t>(static_cast<uint32_t>(ids[i]));

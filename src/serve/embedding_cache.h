@@ -62,8 +62,11 @@ class EmbeddingCache {
   /// Hashes the first `length` token ids into a 128-bit key: FNV-1a for
   /// `lo` plus an independent multiply-xorshift accumulation for `hi`
   /// (ids past `length` are [PAD] and ignored; `length` itself is mixed
-  /// in, so truncations of the same ids get distinct keys).
-  static CacheKey HashIds(const std::vector<int>& ids, int length);
+  /// in, so truncations of the same ids get distinct keys). `salt`
+  /// partitions the key space — the serve engine uses it to keep fp32 and
+  /// int8 vectors of the same input from aliasing each other.
+  static CacheKey HashIds(const std::vector<int>& ids, int length,
+                          uint64_t salt = 0);
 
   size_t size() const;
   size_t capacity() const { return capacity_; }

@@ -23,6 +23,8 @@ struct ServeMetrics {
   obs::Counter& rejected;
   obs::Counter& deadline_exceeded;
   obs::Counter& slow_requests;
+  /// Requests whose effective encode precision resolved to int8.
+  obs::Counter& int8_requests;
   obs::Gauge& queue_depth;
   obs::Histogram& batch_size;
   // Log-bucketed so /metrics and BENCH_serve.json can report p50/p95/p99
@@ -58,6 +60,7 @@ struct ServeMetrics {
           reg.GetCounter("serve/rejected"),
           reg.GetCounter("serve/deadline_exceeded"),
           reg.GetCounter("serve/slow_requests"),
+          reg.GetCounter("serve/precision_int8_requests"),
           reg.GetGauge("serve/queue_depth"),
           reg.GetHistogram("serve/batch_size",
                            {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}),
@@ -214,6 +217,18 @@ void RecordWideEvent(const Request& request, const Response& response) {
 
 }  // namespace
 
+std::string PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kDefault:
+      return "default";
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
 std::string TaskOpName(TaskOp op) {
   switch (op) {
     case TaskOp::kEncode:
@@ -229,8 +244,10 @@ std::string TaskOpName(TaskOp op) {
 }
 
 ServeEngine::ServeEngine(const core::ServiceEncoder* service,
-                         const EngineOptions& options)
+                         const EngineOptions& options,
+                         const core::TextEncoder* int8_encoder)
     : service_(service),
+      int8_encoder_(int8_encoder),
       options_(options),
       cache_(std::max<size_t>(options.cache_capacity, 1),
              std::max(options.cache_shards, 1)),
@@ -355,6 +372,7 @@ void ServeEngine::ProcessBatch(
     CacheKey key;
     std::vector<float> vector;
     bool cache_hit = false;
+    Precision precision = Precision::kFp32;
   };
   std::vector<Live> live;
   live.reserve(batch.size());
@@ -391,17 +409,48 @@ void ServeEngine::ProcessBatch(
     live.push_back(std::move(item));
   }
 
-  // Tokenize + prompt-build (const tokenizer: safe concurrently).
+  // Resolve precision, failing int8 requests early when the engine has no
+  // quantized encoder — they must not reach the encode stage.
+  for (size_t i = 0; i < live.size();) {
+    Live& item = live[i];
+    item.precision = EffectivePrecision(item.pending->request);
+    if (item.precision == Precision::kInt8) {
+      metrics.int8_requests.Increment();
+      if (int8_encoder_ == nullptr) {
+        Response response;
+        response.status = Status::FailedPrecondition(
+            "precision int8 requested but this model has no quantized "
+            "encoder");
+        response.batch_size = batch_size;
+        response.trace_id = item.pending->request.trace_id;
+        response.queue_ms = item.pending->queue_ms;
+        response.total_ms = item.pending->queue_ms;
+        metrics.RecordRequest(item.pending->request.op, response.total_ms,
+                              /*ok=*/false);
+        RecordWideEvent(item.pending->request, response);
+        item.pending->promise.set_value(std::move(response));
+        live.erase(live.begin() + static_cast<ptrdiff_t>(i));
+        continue;
+      }
+    }
+    ++i;
+  }
+
+  // Tokenize + prompt-build (const tokenizer: safe concurrently). The
+  // cache key is salted by precision so an int8 vector can never be
+  // served to an fp32 request (or vice versa).
   {
     TELEKIT_SPAN("serve/tokenize");
     for (Live& item : live) {
       item.input = service_->BuildInput(item.pending->request.text,
                                         item.pending->request.mode);
-      item.key = EmbeddingCache::HashIds(item.input.ids, item.input.length);
+      item.key = EmbeddingCache::HashIds(
+          item.input.ids, item.input.length,
+          item.precision == Precision::kInt8 ? 1 : 0);
     }
   }
 
-  // Cache probe, then one batched forward over the misses.
+  // Cache probe, then one batched forward per precision over the misses.
   std::vector<size_t> miss_indices;
   miss_indices.reserve(live.size());
   for (size_t i = 0; i < live.size(); ++i) {
@@ -415,16 +464,26 @@ void ServeEngine::ProcessBatch(
   if (!miss_indices.empty()) {
     TELEKIT_SPAN("serve/encode");
     obs::ScopedTimer timer(metrics.encode_ms);
-    std::vector<const text::EncodedInput*> inputs;
-    inputs.reserve(miss_indices.size());
-    for (size_t i : miss_indices) inputs.push_back(&live[i].input);
-    std::vector<std::vector<float>> vectors = service_->EncodeInputs(inputs);
-    encode_ms = timer.ElapsedMs();
-    for (size_t j = 0; j < miss_indices.size(); ++j) {
-      Live& item = live[miss_indices[j]];
-      item.vector = std::move(vectors[j]);
-      if (options_.enable_cache) cache_.Put(item.key, item.vector);
+    for (Precision precision : {Precision::kFp32, Precision::kInt8}) {
+      std::vector<size_t> group;
+      group.reserve(miss_indices.size());
+      for (size_t i : miss_indices) {
+        if (live[i].precision == precision) group.push_back(i);
+      }
+      if (group.empty()) continue;
+      std::vector<const text::EncodedInput*> inputs;
+      inputs.reserve(group.size());
+      for (size_t i : group) inputs.push_back(&live[i].input);
+      std::vector<std::vector<float>> vectors =
+          precision == Precision::kInt8 ? int8_encoder_->EncodeBatch(inputs)
+                                        : service_->EncodeInputs(inputs);
+      for (size_t j = 0; j < group.size(); ++j) {
+        Live& item = live[group[j]];
+        item.vector = std::move(vectors[j]);
+        if (options_.enable_cache) cache_.Put(item.key, item.vector);
+      }
     }
+    encode_ms = timer.ElapsedMs();
   }
 
   // Score against the per-op catalogue and fulfil.
@@ -463,12 +522,27 @@ Response ServeEngine::Process(const Request& request) const {
   response.trace_id =
       request.trace_id != 0 ? request.trace_id : obs::NextTraceId();
 
+  const Precision precision = EffectivePrecision(request);
+  if (precision == Precision::kInt8) {
+    metrics.int8_requests.Increment();
+    if (int8_encoder_ == nullptr) {
+      response.status = Status::FailedPrecondition(
+          "precision int8 requested but this model has no quantized "
+          "encoder");
+      response.total_ms = MsSince(started, Clock::now());
+      metrics.RecordRequest(request.op, response.total_ms, /*ok=*/false);
+      RecordWideEvent(request, response);
+      return response;
+    }
+  }
+
   text::EncodedInput input;
   {
     TELEKIT_SPAN("serve/tokenize");
     input = service_->BuildInput(request.text, request.mode);
   }
-  const CacheKey key = EmbeddingCache::HashIds(input.ids, input.length);
+  const CacheKey key = EmbeddingCache::HashIds(
+      input.ids, input.length, precision == Precision::kInt8 ? 1 : 0);
   std::vector<float> vector;
   if (options_.enable_cache && cache_.Get(key, &vector)) {
     response.cache_hit = true;
@@ -476,7 +550,9 @@ Response ServeEngine::Process(const Request& request) const {
     TELEKIT_SPAN("serve/encode");
     obs::ScopedTimer timer(metrics.encode_ms);
     std::vector<const text::EncodedInput*> one{&input};
-    vector = std::move(service_->EncodeInputs(one)[0]);
+    vector = precision == Precision::kInt8
+                 ? std::move(int8_encoder_->EncodeBatch(one)[0])
+                 : std::move(service_->EncodeInputs(one)[0]);
     response.encode_ms = timer.ElapsedMs();
     if (options_.enable_cache) cache_.Put(key, vector);
   }
@@ -490,6 +566,13 @@ Response ServeEngine::Process(const Request& request) const {
   MaybeCaptureSlow(options_.slow_request_ms, request, response);
   RecordWideEvent(request, response);
   return response;
+}
+
+Precision ServeEngine::EffectivePrecision(const Request& request) const {
+  const Precision p = request.precision != Precision::kDefault
+                          ? request.precision
+                          : options_.default_precision;
+  return p == Precision::kDefault ? Precision::kFp32 : p;
 }
 
 void ServeEngine::FinishRequest(const Request& request,

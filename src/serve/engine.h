@@ -29,6 +29,15 @@ enum class TaskOp { kEncode, kRca, kEap, kFct };
 /// Display/protocol name ("encode", "rca", "eap", "fct").
 std::string TaskOpName(TaskOp op);
 
+/// Numeric precision of the encode forward pass. kDefault defers to the
+/// engine's EngineOptions::default_precision; kInt8 routes the request
+/// through the bundle's QuantizedEncoder (int8 GEMMs with fp32 dequant,
+/// DESIGN.md §3) and fails FAILED_PRECONDITION when the engine has none.
+enum class Precision { kDefault, kFp32, kInt8 };
+
+/// Display/protocol name ("default", "fp32", "int8").
+std::string PrecisionName(Precision precision);
+
 /// One inference request.
 struct Request {
   TaskOp op = TaskOp::kEncode;
@@ -58,6 +67,8 @@ struct Request {
   /// in the response JSON. Set by ParseRequest for requests carrying a
   /// "trace" field.
   bool echo_timing = false;
+  /// Encode-path precision for this request ("precision" wire field).
+  Precision precision = Precision::kDefault;
 };
 
 /// One inference response.
@@ -103,6 +114,9 @@ struct EngineOptions {
   /// tensor::SetComputeThreads in the engine ctor; <= 0 leaves the
   /// TELEKIT_COMPUTE_THREADS / hardware default untouched.
   int compute_threads = 0;
+  /// Precision used when a request carries Precision::kDefault
+  /// (telekit_serve --precision). kDefault here means kFp32.
+  Precision default_precision = Precision::kFp32;
 };
 
 /// Point-in-time engine counters for /statusz and /readyz.
@@ -142,8 +156,14 @@ class ServeEngine {
   /// `service` is borrowed. With num_workers == 0 the engine never drains
   /// its queue (useful for deterministic backpressure tests); Stop() then
   /// fails the queued requests as Unavailable.
+  ///
+  /// `int8_encoder` (borrowed, may be null) is the quantized twin of the
+  /// service encoder used for Precision::kInt8 requests; it must encode
+  /// the same inputs to the same dimensionality. Null fails int8 requests
+  /// with FAILED_PRECONDITION.
   ServeEngine(const core::ServiceEncoder* service,
-              const EngineOptions& options);
+              const EngineOptions& options,
+              const core::TextEncoder* int8_encoder = nullptr);
   ~ServeEngine();
 
   ServeEngine(const ServeEngine&) = delete;
@@ -206,7 +226,11 @@ class ServeEngine {
   void FinishRequest(const Request& request, std::vector<float> vector,
                      Response* response) const;
 
+  /// The request's effective precision under this engine's default.
+  Precision EffectivePrecision(const Request& request) const;
+
   const core::ServiceEncoder* service_;
+  const core::TextEncoder* int8_encoder_;
   EngineOptions options_;
   mutable EmbeddingCache cache_;
   MicroBatchQueue<std::unique_ptr<Pending>> queue_;

@@ -5,6 +5,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "tensor/ops.h"
 
 namespace telekit {
 namespace serve {
@@ -72,13 +73,52 @@ StatusOr<std::shared_ptr<ModelBundle>> BuildModelBundle(
     bundle->service = std::make_unique<core::ServiceEncoder>(
         bundle->zoo->MakeServiceEncoder(kind));
   }
-  bundle->engine =
-      std::make_unique<ServeEngine>(bundle->service.get(), options);
   std::vector<std::string> alarm_names;
   alarm_names.reserve(bundle->zoo->world().alarms().size());
   for (const auto& alarm : bundle->zoo->world().alarms()) {
     alarm_names.push_back(alarm.name);
   }
+  // Int8 twin for --precision=int8 requests: snapshot the trained encoder
+  // weights, then calibrate activation ranges over the same catalogue the
+  // engine serves (the bundle's representative corpus).
+  if (kind == core::ModelKind::kTeleBert) {
+    bundle->quantized = std::make_unique<core::QuantizedEncoder>(
+        bundle->zoo->telebert().encoder());
+  } else {
+    const core::KTeleBert* ktb = &bundle->zoo->ktelebert(kind);
+    core::QuantizedEncoder::OverrideHook hook;
+    if (ktb->config().use_anenc) {
+      // ANEnc stays fp32 (it is tiny next to the encoder GEMMs); the hook
+      // reproduces KTeleBert::Hidden's numeric-slot substitution.
+      hook = [ktb](const text::EncodedInput& input) {
+        std::vector<std::pair<int, std::vector<float>>> overrides;
+        tensor::NoGradGuard no_grad;
+        for (const text::NumericSlot& slot : input.numeric_slots) {
+          if (slot.position >= input.length) continue;
+          tensor::Tensor tag = ktb->encoder().MeanTokenEmbedding(slot.tag_ids);
+          overrides.emplace_back(slot.position,
+                                 ktb->anenc().Forward(tag, slot.value).data());
+        }
+        return overrides;
+      };
+    }
+    bundle->quantized = std::make_unique<core::QuantizedEncoder>(
+        ktb->encoder(), std::move(hook));
+  }
+  {
+    std::vector<text::EncodedInput> inputs;
+    inputs.reserve(alarm_names.size());
+    std::vector<const text::EncodedInput*> ptrs;
+    ptrs.reserve(alarm_names.size());
+    for (const std::string& name : alarm_names) {
+      inputs.push_back(bundle->service->BuildInput(
+          name, core::ServiceMode::kEntityNoAttr));
+      ptrs.push_back(&inputs.back());
+    }
+    bundle->quantized->Calibrate(ptrs);
+  }
+  bundle->engine = std::make_unique<ServeEngine>(
+      bundle->service.get(), options, bundle->quantized.get());
   for (TaskOp op : {TaskOp::kRca, TaskOp::kEap, TaskOp::kFct}) {
     TELEKIT_RETURN_IF_ERROR(bundle->engine->LoadCatalog(op, alarm_names));
   }

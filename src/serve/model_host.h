@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "core/model_zoo.h"
+#include "core/qencode.h"
 #include "obs/json.h"
 #include "serve/engine.h"
 
@@ -35,6 +36,10 @@ struct ModelBundle {
   std::shared_ptr<core::ModelZoo> zoo;
   std::unique_ptr<core::TextEncoder> adapter;  // null when zoo-owned
   std::unique_ptr<core::ServiceEncoder> service;
+  /// Int8 twin of the service encoder (--precision=int8 requests),
+  /// calibrated over the task catalogue at build time. Declared before
+  /// the engine so it outlives the workers borrowing it.
+  std::unique_ptr<core::QuantizedEncoder> quantized;
   std::unique_ptr<ServeEngine> engine;
 };
 

@@ -47,6 +47,17 @@ bool ParseTaskOp(const std::string& name, TaskOp* op) {
   return true;
 }
 
+bool ParsePrecision(const std::string& name, Precision* precision) {
+  if (name == "fp32") {
+    *precision = Precision::kFp32;
+  } else if (name == "int8") {
+    *precision = Precision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Status ParseRequest(const obs::JsonValue& json, Request* request) {
   if (!json.is_object()) {
     return Status::InvalidArgument("request must be a JSON object");
@@ -79,6 +90,13 @@ Status ParseRequest(const obs::JsonValue& json, Request* request) {
                                      model->Dump());
     }
     request->model = model->AsString();
+  }
+  if (const obs::JsonValue* precision = json.Find("precision")) {
+    if (!precision->is_string() ||
+        !ParsePrecision(precision->AsString(), &request->precision)) {
+      return Status::InvalidArgument("bad precision (want fp32|int8): " +
+                                     precision->Dump());
+    }
   }
   if (const obs::JsonValue* top_k = json.Find("top_k")) {
     if (!top_k->is_number()) {

@@ -20,7 +20,8 @@ namespace serve {
 /// Fields: `op` ("encode" | "rca" | "eap" | "fct", default "encode"),
 /// `text` (required), `mode` ("name" | "entity" | "entity_attr", default
 /// "entity"), `model` (variant name, e.g. "telebert" | "ktelebert_stl";
-/// "" = server default), `top_k`, `deadline_ms`, a free-form `id` echoed
+/// "" = server default), `precision` ("fp32" | "int8"; omitted = the
+/// server's --precision default), `top_k`, `deadline_ms`, a free-form `id` echoed
 /// back for
 /// client-side correlation, and an optional `trace` field: a 16-hex-digit
 /// string supplies the request's trace id (64-bit ids ride JSON as hex
@@ -62,6 +63,10 @@ bool ParseServiceMode(const std::string& name, core::ServiceMode* mode);
 
 /// Round-trips a TaskOp from its wire name (TaskOpName is the inverse).
 bool ParseTaskOp(const std::string& name, TaskOp* op);
+
+/// Parses a request "precision" field: "fp32" | "int8" ("default" is not
+/// a wire value — omit the field to use the server default).
+bool ParsePrecision(const std::string& name, Precision* precision);
 
 }  // namespace serve
 }  // namespace telekit

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -24,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flag_parse.h"
 #include "common/string_util.h"
 #include "core/model_zoo.h"
 #include "obs/admin.h"
@@ -58,6 +60,7 @@ struct Flags {
   bool batching = true;
   bool cache = true;
   int compute_threads = 0;  // 0 = TELEKIT_COMPUTE_THREADS / hardware default
+  Precision precision = Precision::kFp32;  // default for untagged requests
   int pretrain_steps = 0;
   uint64_t seed = 20230401;
   std::string models = "telebert";  // comma-separated variant list
@@ -98,6 +101,8 @@ void PrintUsage() {
       << "  --compute-threads=N intra-op tensor threads (default: \n"
       << "                      TELEKIT_COMPUTE_THREADS env, else hardware;\n"
       << "                      1 = serial)\n"
+      << "  --precision=P       encode precision for requests without a\n"
+      << "                      'precision' field: fp32|int8 (default fp32)\n"
       << "  --pretrain-steps=N  TeleBERT pre-training steps (default 0)\n"
       << "  --seed=N            world/model seed\n"
       << "  --obs-json=PATH     write metrics/trace report on exit\n"
@@ -115,49 +120,69 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     const std::string arg = argv[i];
     std::string v;
     if (ParseFlag(arg, "port", &v)) {
-      flags->port = std::atoi(v.c_str());
+      flags->port = static_cast<int>(ParseIntFlagOrDie("port", v, 0, 65535));
     } else if (ParseFlag(arg, "admin-port", &v)) {
-      flags->admin_port = std::atoi(v.c_str());
+      flags->admin_port =
+          static_cast<int>(ParseIntFlagOrDie("admin-port", v, -1, 65535));
     } else if (ParseFlag(arg, "models", &v)) {
       flags->models = v;
     } else if (ParseFlag(arg, "slow-request-ms", &v)) {
-      flags->slow_request_ms = std::atof(v.c_str());
+      flags->slow_request_ms =
+          ParseDoubleFlagOrDie("slow-request-ms", v, 0.0, 1e9);
     } else if (ParseFlag(arg, "workers", &v)) {
-      flags->workers = std::atoi(v.c_str());
+      flags->workers =
+          static_cast<int>(ParseIntFlagOrDie("workers", v, 1, 1024));
     } else if (ParseFlag(arg, "max-batch", &v)) {
-      flags->max_batch = std::atoi(v.c_str());
+      flags->max_batch =
+          static_cast<int>(ParseIntFlagOrDie("max-batch", v, 1, 1 << 20));
     } else if (ParseFlag(arg, "max-wait-us", &v)) {
-      flags->max_wait_us = std::atoll(v.c_str());
+      flags->max_wait_us = ParseIntFlagOrDie("max-wait-us", v, 0, int64_t{1}
+                                                                     << 40);
     } else if (ParseFlag(arg, "queue-capacity", &v)) {
-      flags->queue_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+      flags->queue_capacity = static_cast<size_t>(
+          ParseIntFlagOrDie("queue-capacity", v, 1, int64_t{1} << 30));
     } else if (ParseFlag(arg, "cache-capacity", &v)) {
-      flags->cache_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+      flags->cache_capacity = static_cast<size_t>(
+          ParseIntFlagOrDie("cache-capacity", v, 0, int64_t{1} << 30));
     } else if (ParseFlag(arg, "cache-shards", &v)) {
-      flags->cache_shards = std::atoi(v.c_str());
+      flags->cache_shards =
+          static_cast<int>(ParseIntFlagOrDie("cache-shards", v, 1, 4096));
     } else if (arg == "--no-batching") {
       flags->batching = false;
     } else if (arg == "--no-cache") {
       flags->cache = false;
     } else if (ParseFlag(arg, "compute-threads", &v)) {
-      flags->compute_threads = std::atoi(v.c_str());
+      flags->compute_threads =
+          static_cast<int>(ParseIntFlagOrDie("compute-threads", v, 0, 4096));
+    } else if (ParseFlag(arg, "precision", &v)) {
+      if (!ParsePrecision(v, &flags->precision)) {
+        std::cerr << "bad value for --precision: '" << v
+                  << "' (want fp32|int8)\n";
+        std::exit(64);
+      }
     } else if (ParseFlag(arg, "pretrain-steps", &v)) {
-      flags->pretrain_steps = std::atoi(v.c_str());
+      flags->pretrain_steps = static_cast<int>(
+          ParseIntFlagOrDie("pretrain-steps", v, 0, 1000000000));
     } else if (ParseFlag(arg, "seed", &v)) {
-      flags->seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+      flags->seed = static_cast<uint64_t>(
+          ParseIntFlagOrDie("seed", v, 0, std::numeric_limits<int64_t>::max()));
     } else if (ParseFlag(arg, "obs-json", &v)) {
       flags->obs_json = v;
     } else if (ParseFlag(arg, "request-log", &v)) {
       flags->request_log = v;
     } else if (ParseFlag(arg, "ts-interval-s", &v)) {
-      flags->ts_interval_s = std::atof(v.c_str());
+      flags->ts_interval_s =
+          ParseDoubleFlagOrDie("ts-interval-s", v, 0.001, 1e6);
     } else if (ParseFlag(arg, "ts-capacity", &v)) {
-      flags->ts_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+      flags->ts_capacity = static_cast<size_t>(
+          ParseIntFlagOrDie("ts-capacity", v, 1, int64_t{1} << 30));
     } else if (ParseFlag(arg, "slo-latency-ms", &v)) {
-      flags->slo_latency_ms = std::atof(v.c_str());
+      flags->slo_latency_ms =
+          ParseDoubleFlagOrDie("slo-latency-ms", v, 0.0, 1e9);
     } else if (ParseFlag(arg, "slo-fast-s", &v)) {
-      flags->slo_fast_s = std::atof(v.c_str());
+      flags->slo_fast_s = ParseDoubleFlagOrDie("slo-fast-s", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "slo-slow-s", &v)) {
-      flags->slo_slow_s = std::atof(v.c_str());
+      flags->slo_slow_s = ParseDoubleFlagOrDie("slo-slow-s", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "log-level", &v)) {
       obs::Logger::Global().set_level(obs::ParseLogLevel(v));
     } else if (arg == "--help" || arg == "-h") {
@@ -198,6 +223,7 @@ EngineOptions MakeEngineOptions(const Flags& flags) {
   options.enable_cache = flags.cache;
   options.slow_request_ms = flags.slow_request_ms;
   options.compute_threads = flags.compute_threads;
+  options.default_precision = flags.precision;
   return options;
 }
 
@@ -224,7 +250,13 @@ class ReloadManager {
     }
     uint64_t seed = flags_->seed;
     if (auto it = params.find("seed"); it != params.end()) {
-      seed = static_cast<uint64_t>(std::atoll(it->second.c_str()));
+      int64_t parsed = 0;
+      if (!ParseInt64(it->second, 0, std::numeric_limits<int64_t>::max(),
+                      &parsed)) {
+        return obs::HttpResponse::Text(400,
+                                       "bad seed: " + it->second + "\n");
+      }
+      seed = static_cast<uint64_t>(parsed);
     }
     core::ModelKind kind;
     if (!ParseServeModel(model, &kind)) {

@@ -17,11 +17,13 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/flag_parse.h"
 #include "core/model_zoo.h"
 #include "obs/admin.h"
 #include "obs/log.h"
@@ -116,23 +118,25 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     const std::string arg = argv[i];
     std::string v;
     if (ParseFlag(arg, "seed", &v)) {
-      flags->seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+      flags->seed = static_cast<uint64_t>(
+          ParseIntFlagOrDie("seed", v, 0, std::numeric_limits<int64_t>::max()));
     } else if (ParseFlag(arg, "episodes", &v)) {
-      flags->episodes = std::atoi(v.c_str());
+      flags->episodes =
+          static_cast<int>(ParseIntFlagOrDie("episodes", v, 1, 1 << 30));
     } else if (ParseFlag(arg, "mean-gap", &v)) {
-      flags->mean_gap = std::atof(v.c_str());
+      flags->mean_gap = ParseDoubleFlagOrDie("mean-gap", v, 0.0, 1e9);
     } else if (ParseFlag(arg, "jitter", &v)) {
-      flags->jitter = std::atof(v.c_str());
+      flags->jitter = ParseDoubleFlagOrDie("jitter", v, 0.0, 1e9);
     } else if (ParseFlag(arg, "window", &v)) {
-      flags->window = std::atof(v.c_str());
+      flags->window = ParseDoubleFlagOrDie("window", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "watermark", &v)) {
-      flags->watermark = std::atof(v.c_str());
+      flags->watermark = ParseDoubleFlagOrDie("watermark", v, 0.0, 1e9);
     } else if (ParseFlag(arg, "idle-gap", &v)) {
-      flags->idle_gap = std::atof(v.c_str());
+      flags->idle_gap = ParseDoubleFlagOrDie("idle-gap", v, 0.0, 1e9);
     } else if (ParseFlag(arg, "speedup", &v)) {
       flags->speedup = (v == "inf" || v == "0")
                            ? synth::SimClock::kInfiniteSpeedup
-                           : std::atof(v.c_str());
+                           : ParseDoubleFlagOrDie("speedup", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "mode", &v)) {
       if (v != "sync" && v != "async" && v != "auto") {
         std::cerr << "bad --mode: " << v << "\n";
@@ -140,21 +144,28 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       }
       flags->mode = v;
     } else if (ParseFlag(arg, "max-in-flight", &v)) {
-      flags->max_in_flight = static_cast<size_t>(std::atoll(v.c_str()));
+      flags->max_in_flight = static_cast<size_t>(
+          ParseIntFlagOrDie("max-in-flight", v, 1, int64_t{1} << 30));
     } else if (ParseFlag(arg, "submit-block-ms", &v)) {
-      flags->submit_block_ms = std::atof(v.c_str());
+      flags->submit_block_ms =
+          ParseDoubleFlagOrDie("submit-block-ms", v, 0.0, 1e9);
     } else if (ParseFlag(arg, "top-k", &v)) {
-      flags->top_k = std::atoi(v.c_str());
+      flags->top_k = static_cast<int>(ParseIntFlagOrDie("top-k", v, 1, 1000));
     } else if (ParseFlag(arg, "workers", &v)) {
-      flags->workers = std::atoi(v.c_str());
+      flags->workers =
+          static_cast<int>(ParseIntFlagOrDie("workers", v, 1, 1024));
     } else if (ParseFlag(arg, "max-batch", &v)) {
-      flags->max_batch = std::atoi(v.c_str());
+      flags->max_batch =
+          static_cast<int>(ParseIntFlagOrDie("max-batch", v, 1, 1 << 20));
     } else if (ParseFlag(arg, "queue-capacity", &v)) {
-      flags->queue_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+      flags->queue_capacity = static_cast<size_t>(
+          ParseIntFlagOrDie("queue-capacity", v, 1, int64_t{1} << 30));
     } else if (ParseFlag(arg, "compute-threads", &v)) {
-      flags->compute_threads = std::atoi(v.c_str());
+      flags->compute_threads =
+          static_cast<int>(ParseIntFlagOrDie("compute-threads", v, 0, 4096));
     } else if (ParseFlag(arg, "admin-port", &v)) {
-      flags->admin_port = std::atoi(v.c_str());
+      flags->admin_port =
+          static_cast<int>(ParseIntFlagOrDie("admin-port", v, -1, 65535));
     } else if (arg == "--linger") {
       flags->linger = true;
     } else if (ParseFlag(arg, "obs-json", &v)) {
@@ -162,15 +173,18 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (ParseFlag(arg, "request-log", &v)) {
       flags->request_log = v;
     } else if (ParseFlag(arg, "ts-interval-s", &v)) {
-      flags->ts_interval_s = std::atof(v.c_str());
+      flags->ts_interval_s =
+          ParseDoubleFlagOrDie("ts-interval-s", v, 0.001, 1e6);
     } else if (ParseFlag(arg, "ts-capacity", &v)) {
-      flags->ts_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+      flags->ts_capacity = static_cast<size_t>(
+          ParseIntFlagOrDie("ts-capacity", v, 1, int64_t{1} << 30));
     } else if (ParseFlag(arg, "slo-latency-ms", &v)) {
-      flags->slo_latency_ms = std::atof(v.c_str());
+      flags->slo_latency_ms =
+          ParseDoubleFlagOrDie("slo-latency-ms", v, 0.0, 1e9);
     } else if (ParseFlag(arg, "slo-fast-s", &v)) {
-      flags->slo_fast_s = std::atof(v.c_str());
+      flags->slo_fast_s = ParseDoubleFlagOrDie("slo-fast-s", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "slo-slow-s", &v)) {
-      flags->slo_slow_s = std::atof(v.c_str());
+      flags->slo_slow_s = ParseDoubleFlagOrDie("slo-slow-s", v, 0.001, 1e9);
     } else if (ParseFlag(arg, "log-level", &v)) {
       obs::Logger::Global().set_level(obs::ParseLogLevel(v));
     } else if (arg == "--help" || arg == "-h") {

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/flag_parse.h"
 #include "common/check.h"
 #include "obs/metrics.h"
 
@@ -18,8 +19,10 @@ namespace {
 
 int DefaultThreads() {
   if (const char* env = std::getenv("TELEKIT_COMPUTE_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+    // Strict: "abc" or "4x" used to atoi to 0 and silently fall through to
+    // the hardware default; now it exits 64 naming the variable.
+    return static_cast<int>(
+        ParseIntEnvOrDie("TELEKIT_COMPUTE_THREADS", env, 1, 4096));
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 #include "obs/metrics.h"
 #include "tensor/compute_pool.h"
+#include "tensor/simd.h"
 
 namespace telekit {
 namespace tensor {
@@ -83,7 +85,7 @@ void MmRows(const float* a, const float* b, float* c, int i0, int i1, int k,
         for (int p = pb; p < pe; ++p) {
           const float av = arow[p];
           const float* brow = b + static_cast<size_t>(p) * n;
-          for (int j = jb; j < je; ++j) crow[j] += av * brow[j];
+          simd::Axpy(av, brow + jb, crow + jb, je - jb);
         }
       }
     }
@@ -106,9 +108,7 @@ void MmAccNT(const float* a, const float* b, float* c, int m, int n, int k) {
       float* crow = c + static_cast<size_t>(i) * k;
       for (int p = 0; p < k; ++p) {
         const float* brow = b + static_cast<size_t>(p) * n;
-        float acc = 0.0f;
-        for (int j = 0; j < n; ++j) acc += arow[j] * brow[j];
-        crow[p] += acc;
+        crow[p] += simd::Dot(arow, brow, n);
       }
     }
   });
@@ -128,7 +128,7 @@ void MmAccTN(const float* a, const float* b, float* c, int m, int k, int n) {
         for (int i = ib; i < ie; ++i) {
           const float av = a[static_cast<size_t>(i) * k + p];
           const float* brow = b + static_cast<size_t>(i) * n;
-          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+          simd::Axpy(av, brow, crow, n);
         }
       }
     }
@@ -164,14 +164,42 @@ size_t BIndex(Broadcast bc, size_t a_index, int a_cols) {
 
 // Generic binary elementwise op with broadcasting. fwd(x, y) computes the
 // value; dfa/dfb give d(out)/dx and d(out)/dy as functions of (x, y).
-template <typename Fwd, typename Dfa, typename Dfb>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa, Dfb dfb) {
+// `vsame(a, b, out, n)` / `vscalar(a, c, out, n)` are optional simd
+// forward kernels: vsame covers kSame directly and kRow by splitting each
+// chunk at row boundaries; vscalar covers kScalar. Backward is untouched.
+template <typename Fwd, typename Dfa, typename Dfb,
+          typename VSame = std::nullptr_t, typename VScalar = std::nullptr_t>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa, Dfb dfb,
+                VSame vsame = nullptr, VScalar vscalar = nullptr) {
   const Broadcast bc = ClassifyBroadcast(a, b);
   const int a_cols = a.rank() == 2 ? a.dim(1) : static_cast<int>(a.size());
   NodePtr out = NewNode(a.shape(), AnyGrad(a, b));
   const auto& av = a.data();
   const auto& bv = b.data();
   ParallelFor(static_cast<int>(av.size()), kElemGrain, [&](int lo, int hi) {
+    if constexpr (!std::is_same_v<VSame, std::nullptr_t>) {
+      if (bc == Broadcast::kSame) {
+        vsame(av.data() + lo, bv.data() + lo, out->value.data() + lo,
+              hi - lo);
+        return;
+      }
+      if (bc == Broadcast::kRow) {
+        int i = lo;
+        while (i < hi) {
+          const int col0 = static_cast<int>(i % static_cast<size_t>(a_cols));
+          const int len = std::min(hi - i, a_cols - col0);
+          vsame(av.data() + i, bv.data() + col0, out->value.data() + i, len);
+          i += len;
+        }
+        return;
+      }
+    }
+    if constexpr (!std::is_same_v<VScalar, std::nullptr_t>) {
+      if (bc == Broadcast::kScalar) {
+        vscalar(av.data() + lo, bv[0], out->value.data() + lo, hi - lo);
+        return;
+      }
+    }
     for (int i = lo; i < hi; ++i) {
       out->value[i] = fwd(av[i], bv[BIndex(bc, i, a_cols)]);
     }
@@ -208,13 +236,18 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa, Dfb dfb) {
 }
 
 // Generic unary elementwise op. df(x, y) is d(out)/dx given input x and
-// output y (so activations can reuse the forward value).
-template <typename Fwd, typename Df>
-Tensor UnaryOp(const Tensor& a, Fwd fwd, Df df) {
+// output y (so activations can reuse the forward value). `vec(x, out, n)`
+// is an optional simd forward kernel.
+template <typename Fwd, typename Df, typename Vec = std::nullptr_t>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Df df, Vec vec = nullptr) {
   NodePtr out = NewNode(a.shape(), AnyGrad(a));
   const auto& av = a.data();
   ParallelFor(static_cast<int>(av.size()), kElemGrain, [&](int lo, int hi) {
-    for (int i = lo; i < hi; ++i) out->value[i] = fwd(av[i]);
+    if constexpr (!std::is_same_v<Vec, std::nullptr_t>) {
+      vec(av.data() + lo, out->value.data() + lo, hi - lo);
+    } else {
+      for (int i = lo; i < hi; ++i) out->value[i] = fwd(av[i]);
+    }
   });
   if (out->requires_grad) {
     out->parents = {a.node_ptr()};
@@ -560,19 +593,38 @@ Tensor Row(const Tensor& a, int row) {
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x + y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; },
+      [](const float* x, const float* y, float* o, int n) {
+        simd::Add(x, y, o, n);
+      },
+      [](const float* x, float c, float* o, int n) {
+        simd::AddScalarTo(x, c, o, n);
+      });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x - y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; },
+      [](const float* x, const float* y, float* o, int n) {
+        simd::Sub(x, y, o, n);
+      },
+      [](const float* x, float c, float* o, int n) {
+        // x - c and x + (-c) are the same IEEE operation.
+        simd::AddScalarTo(x, -c, o, n);
+      });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       a, b, [](float x, float y) { return x * y; },
-      [](float, float y) { return y; }, [](float x, float) { return x; });
+      [](float, float y) { return y; }, [](float x, float) { return x; },
+      [](const float* x, const float* y, float* o, int n) {
+        simd::Mul(x, y, o, n);
+      },
+      [](const float* x, float c, float* o, int n) {
+        simd::ScaleTo(x, c, o, n);
+      });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
@@ -584,12 +636,14 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 
 Tensor AddScalar(const Tensor& a, float c) {
   return UnaryOp(
-      a, [c](float x) { return x + c; }, [](float, float) { return 1.0f; });
+      a, [c](float x) { return x + c; }, [](float, float) { return 1.0f; },
+      [c](const float* x, float* o, int n) { simd::AddScalarTo(x, c, o, n); });
 }
 
 Tensor MulScalar(const Tensor& a, float c) {
   return UnaryOp(
-      a, [c](float x) { return x * c; }, [c](float, float) { return c; });
+      a, [c](float x) { return x * c; }, [c](float, float) { return c; },
+      [c](const float* x, float* o, int n) { simd::ScaleTo(x, c, o, n); });
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
@@ -599,7 +653,8 @@ Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
       a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; },
+      [](const float* x, float* o, int n) { simd::ReluTo(x, o, n); });
 }
 
 Tensor Gelu(const Tensor& a) {
@@ -760,15 +815,11 @@ Tensor Softmax(const Tensor& a) {
     for (int i = r0; i < r1; ++i) {
       const float* row = a.data().data() + static_cast<size_t>(i) * n;
       float* orow = out->value.data() + static_cast<size_t>(i) * n;
-      float max_v = row[0];
-      for (int j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
-      float denom = 0.0f;
-      for (int j = 0; j < n; ++j) {
-        orow[j] = std::exp(row[j] - max_v);
-        denom += orow[j];
-      }
-      const float inv = 1.0f / denom;
-      for (int j = 0; j < n; ++j) orow[j] *= inv;
+      const float max_v = simd::ReduceMax(row, n);
+      // exp stays scalar (libm); the max/denominator/scale passes vectorize.
+      for (int j = 0; j < n; ++j) orow[j] = std::exp(row[j] - max_v);
+      const float inv = 1.0f / simd::ReduceSum(orow, n);
+      simd::ScaleTo(orow, inv, orow, n);
     }
   });
   if (out->requires_grad) {
@@ -780,8 +831,7 @@ Tensor Softmax(const Tensor& a) {
           const float* y = self->value.data() + static_cast<size_t>(i) * n;
           const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
           float* dx = an->grad.data() + static_cast<size_t>(i) * n;
-          float dot = 0.0f;
-          for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+          const float dot = simd::Dot(dy, y, n);
           for (int j = 0; j < n; ++j) dx[j] += y[j] * (dy[j] - dot);
         }
       });
@@ -810,20 +860,15 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gain, const Tensor& bias,
   ParallelFor(m, grain, [&](int r0, int r1) {
     for (int i = r0; i < r1; ++i) {
       const float* row = a.data().data() + static_cast<size_t>(i) * n;
-      float mean = 0.0f;
-      for (int j = 0; j < n; ++j) mean += row[j];
-      mean /= static_cast<float>(n);
-      float var = 0.0f;
-      for (int j = 0; j < n; ++j) var += (row[j] - mean) * (row[j] - mean);
-      var /= static_cast<float>(n);
+      const float mean = simd::ReduceSum(row, n) / static_cast<float>(n);
+      const float var =
+          simd::ReduceSumSqDiff(row, mean, n) / static_cast<float>(n);
       const float istd = 1.0f / std::sqrt(var + eps);
       (*inv_std)[i] = istd;
-      for (int j = 0; j < n; ++j) {
-        const float xh = (row[j] - mean) * istd;
-        (*xhat)[static_cast<size_t>(i) * n + j] = xh;
-        out->value[static_cast<size_t>(i) * n + j] =
-            xh * gain.data()[j] + bias.data()[j];
-      }
+      simd::NormalizeAffine(row, mean, istd, gain.data().data(),
+                            bias.data().data(),
+                            xhat->data() + static_cast<size_t>(i) * n,
+                            out->value.data() + static_cast<size_t>(i) * n, n);
     }
   });
   if (out->requires_grad) {
@@ -915,13 +960,11 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
   ParallelFor(m, grain, [&](int r0, int r1) {
     for (int i = r0; i < r1; ++i) {
       const float* row = a.data().data() + static_cast<size_t>(i) * n;
-      float sq = 0.0f;
-      for (int j = 0; j < n; ++j) sq += row[j] * row[j];
+      const float sq = simd::ReduceSumSqDiff(row, 0.0f, n);
       const float inv = 1.0f / (std::sqrt(sq) + eps);
       (*inv_norm)[i] = inv;
-      for (int j = 0; j < n; ++j) {
-        out->value[static_cast<size_t>(i) * n + j] = row[j] * inv;
-      }
+      simd::ScaleTo(row, inv, out->value.data() + static_cast<size_t>(i) * n,
+                    n);
     }
   });
   if (out->requires_grad) {
@@ -933,8 +976,7 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
           const float* y = self->value.data() + static_cast<size_t>(i) * n;
           const float* dy = self->grad.data() + static_cast<size_t>(i) * n;
           float* dx = an->grad.data() + static_cast<size_t>(i) * n;
-          float dot = 0.0f;
-          for (int j = 0; j < n; ++j) dot += dy[j] * y[j];
+          const float dot = simd::Dot(dy, y, n);
           const float inv = (*inv_norm)[i];
           for (int j = 0; j < n; ++j) dx[j] += inv * (dy[j] - y[j] * dot);
         }

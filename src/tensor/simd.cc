@@ -1,0 +1,677 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "obs/log.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define TELEKIT_SIMD_X86 1
+#endif
+#if defined(__ARM_NEON) || defined(__aarch64__)
+#include <arm_neon.h>
+#define TELEKIT_SIMD_NEON 1
+#endif
+
+namespace telekit {
+namespace tensor {
+namespace simd {
+
+namespace {
+
+// --- Scalar reference kernels ------------------------------------------------
+//
+// These are byte-for-byte the loops ops.cc ran before the dispatch seam
+// existed: ascending-index accumulation, no FMA contraction. TELEKIT_SIMD=off
+// therefore reproduces the historical numerics exactly.
+
+void AxpyScalar(float alpha, const float* x, float* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+float DotScalar(const float* a, const float* b, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float ReduceMaxScalar(const float* x, int n) {
+  float m = x[0];
+  for (int i = 1; i < n; ++i) m = std::max(m, x[i]);
+  return m;
+}
+
+float ReduceSumScalar(const float* x, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+float ReduceSumSqDiffScalar(const float* x, float mean, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) acc += (x[i] - mean) * (x[i] - mean);
+  return acc;
+}
+
+void AddScalarKernel(const float* a, const float* b, float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void SubScalarKernel(const float* a, const float* b, float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void MulScalarKernel(const float* a, const float* b, float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ScaleToScalar(const float* x, float alpha, float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = x[i] * alpha;
+}
+
+void AddScalarToScalar(const float* x, float c, float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = x[i] + c;
+}
+
+void ReluToScalar(const float* x, float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void NormalizeAffineScalar(const float* x, float mean, float istd,
+                           const float* gain, const float* bias, float* xhat,
+                           float* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    const float xh = (x[i] - mean) * istd;
+    if (xhat != nullptr) xhat[i] = xh;
+    out[i] = xh * gain[i] + bias[i];
+  }
+}
+
+int32_t DotI8Scalar(const int8_t* a, const int8_t* b, int n) {
+  int32_t acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
+// --- AVX2(+FMA) kernels ------------------------------------------------------
+//
+// Compiled with per-function target attributes so the baseline build stays
+// generic x86-64; these bodies only execute after cpuid confirms support.
+
+#if defined(TELEKIT_SIMD_X86)
+
+__attribute__((target("avx2,fma"))) void AxpyAvx2(float alpha, const float* x,
+                                                  float* y, int n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, vx, vy));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2,fma"))) float HSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 1));
+  return _mm_cvtss_f32(sum);
+}
+
+__attribute__((target("avx2,fma"))) float DotAvx2(const float* a,
+                                                  const float* b, int n) {
+  __m256 acc = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  float sum = HSum(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) float ReduceMaxAvx2(const float* x,
+                                                        int n) {
+  if (n < 8) return ReduceMaxScalar(x, n);
+  __m256 acc = _mm256_loadu_ps(x);
+  int i = 8;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_max_ps(acc, _mm256_loadu_ps(x + i));
+  }
+  const __m128 lo = _mm256_castps256_ps128(acc);
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);
+  __m128 m = _mm_max_ps(lo, hi);
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  float best = _mm_cvtss_f32(m);
+  for (; i < n; ++i) best = std::max(best, x[i]);
+  return best;
+}
+
+__attribute__((target("avx2,fma"))) float ReduceSumAvx2(const float* x,
+                                                        int n) {
+  __m256 acc = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + i));
+  float sum = HSum(acc);
+  for (; i < n; ++i) sum += x[i];
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) float ReduceSumSqDiffAvx2(const float* x,
+                                                              float mean,
+                                                              int n) {
+  const __m256 vm = _mm256_set1_ps(mean);
+  __m256 acc = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(x + i), vm);
+    acc = _mm256_fmadd_ps(d, d, acc);
+  }
+  float sum = HSum(acc);
+  for (; i < n; ++i) sum += (x[i] - mean) * (x[i] - mean);
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) void AddAvx2(const float* a,
+                                                 const float* b, float* out,
+                                                 int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+__attribute__((target("avx2,fma"))) void SubAvx2(const float* a,
+                                                 const float* b, float* out,
+                                                 int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+__attribute__((target("avx2,fma"))) void MulAvx2(const float* a,
+                                                 const float* b, float* out,
+                                                 int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+__attribute__((target("avx2,fma"))) void ScaleToAvx2(const float* x,
+                                                     float alpha, float* out,
+                                                     int n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) out[i] = x[i] * alpha;
+}
+
+__attribute__((target("avx2,fma"))) void AddScalarToAvx2(const float* x,
+                                                         float c, float* out,
+                                                         int n) {
+  const __m256 vc = _mm256_set1_ps(c);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(x + i), vc));
+  }
+  for (; i < n; ++i) out[i] = x[i] + c;
+}
+
+__attribute__((target("avx2,fma"))) void ReluToAvx2(const float* x, float* out,
+                                                    int n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+__attribute__((target("avx2,fma"))) void NormalizeAffineAvx2(
+    const float* x, float mean, float istd, const float* gain,
+    const float* bias, float* xhat, float* out, int n) {
+  const __m256 vm = _mm256_set1_ps(mean);
+  const __m256 vs = _mm256_set1_ps(istd);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xh =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), vm), vs);
+    if (xhat != nullptr) _mm256_storeu_ps(xhat + i, xh);
+    _mm256_storeu_ps(out + i, _mm256_fmadd_ps(xh, _mm256_loadu_ps(gain + i),
+                                              _mm256_loadu_ps(bias + i)));
+  }
+  for (; i < n; ++i) {
+    const float xh = (x[i] - mean) * istd;
+    if (xhat != nullptr) xhat[i] = xh;
+    out[i] = xh * gain[i] + bias[i];
+  }
+}
+
+__attribute__((target("avx2"))) int32_t DotI8Avx2(const int8_t* a,
+                                                  const int8_t* b, int n) {
+  __m256i acc = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i a16 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i b16 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a16, b16));
+  }
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  __m128i sum = _mm_add_epi32(lo, hi);
+  sum = _mm_add_epi32(sum, _mm_unpackhi_epi64(sum, sum));
+  sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, 1));
+  int32_t total = _mm_cvtsi128_si32(sum);
+  for (; i < n; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return total;
+}
+
+#endif  // TELEKIT_SIMD_X86
+
+// --- NEON kernels ------------------------------------------------------------
+
+#if defined(TELEKIT_SIMD_NEON)
+
+void AxpyNeon(float alpha, const float* x, float* y, int n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vfmaq_f32(vld1q_f32(y + i), va, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+float DotNeon(const float* a, const float* b, int n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = vfmaq_f32(acc, vld1q_f32(a + i), vld1q_f32(b + i));
+  }
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float ReduceMaxNeon(const float* x, int n) {
+  if (n < 4) return ReduceMaxScalar(x, n);
+  float32x4_t acc = vld1q_f32(x);
+  int i = 4;
+  for (; i + 4 <= n; i += 4) acc = vmaxq_f32(acc, vld1q_f32(x + i));
+  float best = vmaxvq_f32(acc);
+  for (; i < n; ++i) best = std::max(best, x[i]);
+  return best;
+}
+
+float ReduceSumNeon(const float* x, int n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) acc = vaddq_f32(acc, vld1q_f32(x + i));
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += x[i];
+  return sum;
+}
+
+float ReduceSumSqDiffNeon(const float* x, float mean, int n) {
+  const float32x4_t vm = vdupq_n_f32(mean);
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t d = vsubq_f32(vld1q_f32(x + i), vm);
+    acc = vfmaq_f32(acc, d, d);
+  }
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += (x[i] - mean) * (x[i] - mean);
+  return sum;
+}
+
+void AddNeon(const float* a, const float* b, float* out, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void SubNeon(const float* a, const float* b, float* out, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void MulNeon(const float* a, const float* b, float* out, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ScaleToNeon(const float* x, float alpha, float* out, int n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(x + i), va));
+  }
+  for (; i < n; ++i) out[i] = x[i] * alpha;
+}
+
+void AddScalarToNeon(const float* x, float c, float* out, int n) {
+  const float32x4_t vc = vdupq_n_f32(c);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(x + i), vc));
+  }
+  for (; i < n; ++i) out[i] = x[i] + c;
+}
+
+void ReluToNeon(const float* x, float* out, int n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vmaxq_f32(vld1q_f32(x + i), zero));
+  }
+  for (; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void NormalizeAffineNeon(const float* x, float mean, float istd,
+                         const float* gain, const float* bias, float* xhat,
+                         float* out, int n) {
+  const float32x4_t vm = vdupq_n_f32(mean);
+  const float32x4_t vs = vdupq_n_f32(istd);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t xh = vmulq_f32(vsubq_f32(vld1q_f32(x + i), vm), vs);
+    if (xhat != nullptr) vst1q_f32(xhat + i, xh);
+    vst1q_f32(out + i, vfmaq_f32(vld1q_f32(bias + i), xh, vld1q_f32(gain + i)));
+  }
+  for (; i < n; ++i) {
+    const float xh = (x[i] - mean) * istd;
+    if (xhat != nullptr) xhat[i] = xh;
+    out[i] = xh * gain[i] + bias[i];
+  }
+}
+
+int32_t DotI8Neon(const int8_t* a, const int8_t* b, int n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t prod = vmull_s8(vld1_s8(a + i), vld1_s8(b + i));
+    acc = vpadalq_s16(acc, prod);
+  }
+  int32_t total = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return total;
+}
+
+#endif  // TELEKIT_SIMD_NEON
+
+// --- Dispatch ----------------------------------------------------------------
+
+struct VTable {
+  void (*axpy)(float, const float*, float*, int);
+  float (*dot)(const float*, const float*, int);
+  float (*reduce_max)(const float*, int);
+  float (*reduce_sum)(const float*, int);
+  float (*reduce_sum_sq_diff)(const float*, float, int);
+  void (*add)(const float*, const float*, float*, int);
+  void (*sub)(const float*, const float*, float*, int);
+  void (*mul)(const float*, const float*, float*, int);
+  void (*scale_to)(const float*, float, float*, int);
+  void (*add_scalar_to)(const float*, float, float*, int);
+  void (*relu_to)(const float*, float*, int);
+  void (*normalize_affine)(const float*, float, float, const float*,
+                           const float*, float*, float*, int);
+  int32_t (*dot_i8)(const int8_t*, const int8_t*, int);
+};
+
+constexpr VTable kScalarTable = {
+    AxpyScalar,         DotScalar,         ReduceMaxScalar,
+    ReduceSumScalar,    ReduceSumSqDiffScalar,
+    AddScalarKernel,    SubScalarKernel,   MulScalarKernel,
+    ScaleToScalar,      AddScalarToScalar, ReluToScalar,
+    NormalizeAffineScalar, DotI8Scalar,
+};
+
+#if defined(TELEKIT_SIMD_X86)
+constexpr VTable kAvx2Table = {
+    AxpyAvx2,         DotAvx2,         ReduceMaxAvx2,
+    ReduceSumAvx2,    ReduceSumSqDiffAvx2,
+    AddAvx2,          SubAvx2,         MulAvx2,
+    ScaleToAvx2,      AddScalarToAvx2, ReluToAvx2,
+    NormalizeAffineAvx2, DotI8Avx2,
+};
+#endif
+
+#if defined(TELEKIT_SIMD_NEON)
+constexpr VTable kNeonTable = {
+    AxpyNeon,         DotNeon,         ReduceMaxNeon,
+    ReduceSumNeon,    ReduceSumSqDiffNeon,
+    AddNeon,          SubNeon,         MulNeon,
+    ScaleToNeon,      AddScalarToNeon, ReluToNeon,
+    NormalizeAffineNeon, DotI8Neon,
+};
+#endif
+
+std::atomic<const VTable*> g_table{&kScalarTable};
+std::atomic<Backend> g_backend{Backend::kScalar};
+
+const VTable* TableFor(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return &kScalarTable;
+    case Backend::kAvx2:
+#if defined(TELEKIT_SIMD_X86)
+      return &kAvx2Table;
+#else
+      return nullptr;
+#endif
+    case Backend::kNeon:
+#if defined(TELEKIT_SIMD_NEON)
+      return &kNeonTable;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+Backend ResolveStartupBackend() {
+  Backend backend = DetectBackend();
+  const char* env = std::getenv("TELEKIT_SIMD");
+  if (env != nullptr) {
+    Backend requested;
+    TELEKIT_CHECK(ParseSimdEnv(env, &requested))
+        << "bad TELEKIT_SIMD value '" << env
+        << "' (want on|off|auto|1|0|scalar|avx2|neon, and the CPU/build "
+           "must support the named backend)";
+    backend = requested;
+  }
+  return backend;
+}
+
+void Install(Backend backend) {
+  const VTable* table = TableFor(backend);
+  if (table == nullptr) {
+    backend = Backend::kScalar;
+    table = &kScalarTable;
+  }
+  g_table.store(table, std::memory_order_relaxed);
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+struct InitOnce {
+  InitOnce() {
+    const Backend backend = ResolveStartupBackend();
+    Install(backend);
+    TELEKIT_LOG(INFO) << "tensor/simd backend selected"
+                      << obs::F("backend", BackendName(backend));
+  }
+};
+
+const VTable& Active() {
+  static InitOnce init;
+  return *g_table.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Backend DetectBackend() {
+#if defined(TELEKIT_SIMD_X86)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Backend::kAvx2;
+  }
+#endif
+#if defined(TELEKIT_SIMD_NEON)
+  return Backend::kNeon;
+#endif
+  return Backend::kScalar;
+}
+
+Backend ActiveBackend() {
+  Active();
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const char* ActiveBackendName() { return BackendName(ActiveBackend()); }
+
+bool Enabled() { return ActiveBackend() != Backend::kScalar; }
+
+Backend ForceBackend(Backend backend) {
+  Active();  // run env-based init first so it never overwrites a force
+  if (TableFor(backend) == nullptr) backend = Backend::kScalar;
+  Install(backend);
+  return backend;
+}
+
+bool ParseSimdEnv(const char* value, Backend* backend) {
+  const std::string v = value == nullptr ? "" : value;
+  if (v.empty() || v == "on" || v == "1" || v == "auto") {
+    *backend = DetectBackend();
+    return true;
+  }
+  if (v == "off" || v == "0" || v == "scalar") {
+    *backend = Backend::kScalar;
+    return true;
+  }
+  if (v == "avx2") {
+    *backend = Backend::kAvx2;
+    return DetectBackend() == Backend::kAvx2;
+  }
+  if (v == "neon") {
+    *backend = Backend::kNeon;
+    return TableFor(Backend::kNeon) != nullptr;
+  }
+  return false;
+}
+
+void Axpy(float alpha, const float* x, float* y, int n) {
+  Active().axpy(alpha, x, y, n);
+}
+
+float Dot(const float* a, const float* b, int n) {
+  return Active().dot(a, b, n);
+}
+
+float ReduceMax(const float* x, int n) { return Active().reduce_max(x, n); }
+
+float ReduceSum(const float* x, int n) { return Active().reduce_sum(x, n); }
+
+float ReduceSumSqDiff(const float* x, float mean, int n) {
+  return Active().reduce_sum_sq_diff(x, mean, n);
+}
+
+void Add(const float* a, const float* b, float* out, int n) {
+  Active().add(a, b, out, n);
+}
+
+void Sub(const float* a, const float* b, float* out, int n) {
+  Active().sub(a, b, out, n);
+}
+
+void Mul(const float* a, const float* b, float* out, int n) {
+  Active().mul(a, b, out, n);
+}
+
+void ScaleTo(const float* x, float alpha, float* out, int n) {
+  Active().scale_to(x, alpha, out, n);
+}
+
+void AddScalarTo(const float* x, float c, float* out, int n) {
+  Active().add_scalar_to(x, c, out, n);
+}
+
+void ReluTo(const float* x, float* out, int n) {
+  Active().relu_to(x, out, n);
+}
+
+void NormalizeAffine(const float* x, float mean, float istd,
+                     const float* gain, const float* bias, float* xhat,
+                     float* out, int n) {
+  Active().normalize_affine(x, mean, istd, gain, bias, xhat, out, n);
+}
+
+int32_t DotI8(const int8_t* a, const int8_t* b, int n) {
+  return Active().dot_i8(a, b, n);
+}
+
+float QuantizeRow(const float* x, int n, float clip, int8_t* out) {
+  float max_abs = 0.0f;
+  for (int i = 0; i < n; ++i) max_abs = std::max(max_abs, std::fabs(x[i]));
+  if (clip > 0.0f) max_abs = std::min(max_abs, clip);
+  if (max_abs == 0.0f) {
+    for (int i = 0; i < n; ++i) out[i] = 0;
+    return 0.0f;
+  }
+  const float scale = max_abs / 127.0f;
+  const float inv = 127.0f / max_abs;
+  for (int i = 0; i < n; ++i) {
+    const long q = std::lround(x[i] * inv);
+    out[i] = static_cast<int8_t>(std::clamp<long>(q, -127, 127));
+  }
+  return scale;
+}
+
+}  // namespace simd
+}  // namespace tensor
+}  // namespace telekit

@@ -1,0 +1,105 @@
+#ifndef TELEKIT_TENSOR_SIMD_H_
+#define TELEKIT_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace telekit {
+namespace tensor {
+namespace simd {
+
+/// Vector backends for the hot float kernels (DESIGN.md §3). One backend
+/// is chosen per process: AVX2(+FMA) on x86-64 when the CPU reports it,
+/// NEON on AArch64, scalar otherwise. The TELEKIT_SIMD environment
+/// variable overrides detection (see ConfigureFromEnv below); tests and
+/// benches can switch in-process with ForceBackend.
+enum class Backend { kScalar, kAvx2, kNeon };
+
+/// The backend the kernels below currently dispatch to. Resolved once on
+/// first use (cpuid / feature detection + TELEKIT_SIMD); cheap to call.
+Backend ActiveBackend();
+
+/// "scalar" | "avx2" | "neon".
+const char* BackendName(Backend backend);
+const char* ActiveBackendName();
+
+/// True when a vector backend (not scalar) is active.
+bool Enabled();
+
+/// Highest backend this build + CPU supports (ignores TELEKIT_SIMD).
+Backend DetectBackend();
+
+/// Test/bench hook: installs `backend` process-wide, falling back to
+/// scalar when the CPU lacks it. Returns the backend actually installed.
+/// Not thread-safe against concurrent kernel calls; call it only from
+/// single-threaded setup code (tests, bench harnesses).
+Backend ForceBackend(Backend backend);
+
+/// Parses a TELEKIT_SIMD value: "on" | "1" | "auto" | "" -> detect,
+/// "off" | "0" | "scalar" -> scalar, "avx2" / "neon" -> that backend
+/// (false when unsupported by this build + CPU). Any other value returns
+/// false. Used by the startup path; exposed for tests.
+bool ParseSimdEnv(const char* value, Backend* backend);
+
+// --- Float kernels -----------------------------------------------------------
+//
+// Each kernel is a pure function of its operands: for a fixed backend the
+// result depends only on the inputs (never on thread count or call site),
+// which preserves the ComputePool bit-identical-across-threads contract.
+// Per-element ops (Add/Sub/Mul/Scale/AddScalar/Relu, Axpy) are bit-exact
+// across backends except where FMA fuses the multiply-add rounding (Axpy);
+// reductions (Dot, ReduceSum, ReduceSumSqDiff) reassociate the sum into
+// vector lanes and agree with scalar only within float round-off.
+
+/// y[i] += alpha * x[i].
+void Axpy(float alpha, const float* x, float* y, int n);
+
+/// sum_i a[i] * b[i].
+float Dot(const float* a, const float* b, int n);
+
+/// max_i x[i]; n must be >= 1.
+float ReduceMax(const float* x, int n);
+
+/// sum_i x[i].
+float ReduceSum(const float* x, int n);
+
+/// sum_i (x[i] - mean)^2.
+float ReduceSumSqDiff(const float* x, float mean, int n);
+
+/// out[i] = a[i] + b[i] (out may alias a or b).
+void Add(const float* a, const float* b, float* out, int n);
+/// out[i] = a[i] - b[i].
+void Sub(const float* a, const float* b, float* out, int n);
+/// out[i] = a[i] * b[i].
+void Mul(const float* a, const float* b, float* out, int n);
+
+/// out[i] = x[i] * alpha (out may alias x).
+void ScaleTo(const float* x, float alpha, float* out, int n);
+/// out[i] = x[i] + c.
+void AddScalarTo(const float* x, float c, float* out, int n);
+/// out[i] = max(x[i], 0).
+void ReluTo(const float* x, float* out, int n);
+
+/// Layer-norm epilogue: xhat[i] = (x[i] - mean) * istd and
+/// out[i] = xhat[i] * gain[i] + bias[i]. `xhat` may be null when the
+/// normalized activations are not needed (inference).
+void NormalizeAffine(const float* x, float mean, float istd,
+                     const float* gain, const float* bias, float* xhat,
+                     float* out, int n);
+
+// --- Int8 kernels ------------------------------------------------------------
+
+/// sum_i a[i] * b[i] with int32 accumulation. Integer arithmetic: the
+/// result is bit-identical across backends.
+int32_t DotI8(const int8_t* a, const int8_t* b, int n);
+
+/// Symmetric per-row quantization: scale = min(max_i |x[i]|, clip) / 127
+/// (clip <= 0 disables clipping), out[i] = round(x[i] / scale) saturated
+/// to [-127, 127]. Returns the scale (0 when the row is all zero — the
+/// quantized row is then all zero too).
+float QuantizeRow(const float* x, int n, float clip, int8_t* out);
+
+}  // namespace simd
+}  // namespace tensor
+}  // namespace telekit
+
+#endif  // TELEKIT_TENSOR_SIMD_H_

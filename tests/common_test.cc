@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/flag_parse.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -248,6 +249,83 @@ TEST(TablePrinterTest, RendersAlignedTable) {
   EXPECT_NE(out.find("Random"), std::string::npos);
   EXPECT_NE(out.find("64.78"), std::string::npos);
   EXPECT_NE(out.find("| Method"), std::string::npos);
+}
+
+// --- Strict flag/env parsing -------------------------------------------------
+
+TEST(FlagParseTest, ParseInt64AcceptsPlainIntegers) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseInt64("8080", 0, 65535, &v));
+  EXPECT_EQ(v, 8080);
+  EXPECT_TRUE(ParseInt64("0", 0, 65535, &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("-3", -10, 10, &v));
+  EXPECT_EQ(v, -3);
+  EXPECT_TRUE(ParseInt64("+7", 0, 10, &v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(FlagParseTest, ParseInt64RejectsMalformedInput) {
+  int64_t v = 42;
+  // Each rejected form that atoi silently mapped to 0 (or truncated).
+  EXPECT_FALSE(ParseInt64("", 0, 100, &v));
+  EXPECT_FALSE(ParseInt64("abc", 0, 100, &v));
+  EXPECT_FALSE(ParseInt64("12x", 0, 100, &v));      // trailing garbage
+  EXPECT_FALSE(ParseInt64("x12", 0, 100, &v));
+  EXPECT_FALSE(ParseInt64(" 12", 0, 100, &v));      // leading whitespace
+  EXPECT_FALSE(ParseInt64("12 ", 0, 100, &v));      // trailing whitespace
+  EXPECT_FALSE(ParseInt64("1.5", 0, 100, &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999", 0, 100, &v));  // overflow
+  EXPECT_FALSE(ParseInt64("101", 0, 100, &v));      // above range
+  EXPECT_FALSE(ParseInt64("-1", 0, 100, &v));       // below range
+  EXPECT_EQ(v, 42);  // untouched on every failure
+}
+
+TEST(FlagParseTest, ParseDoubleAcceptsNumbers) {
+  double v = -1.0;
+  EXPECT_TRUE(ParseDouble("2.5", 0.0, 10.0, &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(ParseDouble("1e3", 0.0, 1e6, &v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+  EXPECT_TRUE(ParseDouble("0", 0.0, 1.0, &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FlagParseTest, ParseDoubleRejectsMalformedInput) {
+  double v = 42.0;
+  EXPECT_FALSE(ParseDouble("", 0.0, 100.0, &v));
+  EXPECT_FALSE(ParseDouble("abc", 0.0, 100.0, &v));
+  EXPECT_FALSE(ParseDouble("1.5ms", 0.0, 100.0, &v));  // trailing garbage
+  EXPECT_FALSE(ParseDouble(" 1.5", 0.0, 100.0, &v));
+  EXPECT_FALSE(ParseDouble("nan", 0.0, 100.0, &v));
+  EXPECT_FALSE(ParseDouble("inf", 0.0, 100.0, &v));
+  EXPECT_FALSE(ParseDouble("1e999", 0.0, 100.0, &v));  // overflow
+  EXPECT_FALSE(ParseDouble("101", 0.0, 100.0, &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(FlagParseDeathTest, IntFlagExits64NamingTheFlag) {
+  EXPECT_EXIT(ParseIntFlagOrDie("vnodes", "abc", 1, 1 << 20),
+              ::testing::ExitedWithCode(64), "bad value for --vnodes");
+  EXPECT_EXIT(ParseIntFlagOrDie("port", "8080x", 0, 65535),
+              ::testing::ExitedWithCode(64), "bad value for --port");
+  EXPECT_EQ(ParseIntFlagOrDie("port", "8080", 0, 65535), 8080);
+}
+
+TEST(FlagParseDeathTest, DoubleFlagExits64NamingTheFlag) {
+  EXPECT_EXIT(ParseDoubleFlagOrDie("deadline-ms", "fast", 0.0, 1e9),
+              ::testing::ExitedWithCode(64), "bad value for --deadline-ms");
+  EXPECT_DOUBLE_EQ(ParseDoubleFlagOrDie("deadline-ms", "250", 0.0, 1e9),
+                   250.0);
+}
+
+TEST(FlagParseDeathTest, EnvVarExits64NamingTheVariable) {
+  EXPECT_EXIT(ParseIntEnvOrDie("TELEKIT_COMPUTE_THREADS", "abc", 1, 4096),
+              ::testing::ExitedWithCode(64),
+              "bad value for TELEKIT_COMPUTE_THREADS");
+  EXPECT_EXIT(ParseIntEnvOrDie("TELEKIT_COMPUTE_THREADS", nullptr, 1, 4096),
+              ::testing::ExitedWithCode(64), "TELEKIT_COMPUTE_THREADS");
+  EXPECT_EQ(ParseIntEnvOrDie("TELEKIT_COMPUTE_THREADS", "4", 1, 4096), 4);
 }
 
 }  // namespace

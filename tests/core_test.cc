@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "core/anenc.h"
+#include "core/qencode.h"
 #include "core/transformer.h"
 #include "tensor/gradcheck.h"
 #include "tensor/ops.h"
@@ -412,6 +413,116 @@ TEST(NumericContrastiveTest, GradCheck) {
   std::vector<Tensor> leaves = {Tensor::Randn({3, 5}, rng, 1.0f, true)};
   auto result = tensor::CheckGradients(fn, leaves);
   EXPECT_TRUE(result.passed) << result.detail;
+}
+
+// --- QuantizedEncoder --------------------------------------------------------
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  EXPECT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+}
+
+text::EncodedInput MakeInput(std::vector<int> ids) {
+  text::EncodedInput input;
+  input.length = static_cast<int>(ids.size());
+  input.ids = std::move(ids);
+  return input;
+}
+
+TEST(QuantizedLinearTest, MatchesFp32LayerWithinTolerance) {
+  Rng rng(31);
+  LinearLayer layer(16, 8, rng);
+  NamedParams params = layer.Parameters();
+  QuantizedLinear qlayer(params[0].second, params[1].second);
+  EXPECT_EQ(qlayer.in_dim(), 16);
+  EXPECT_EQ(qlayer.out_dim(), 8);
+
+  Tensor x = Tensor::Randn({3, 16}, rng, 1.0f);
+  Tensor y = layer.Forward(x);
+  std::vector<float> qy(3 * 8);
+  qlayer.Forward(x.data().data(), 3, qy.data());
+  // Per-column weight + per-row activation scales: worst-case relative
+  // error on a 16-wide dot is far under 2% of the activation magnitude.
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_NEAR(qy[static_cast<size_t>(r) * 8 + c], y.at(r, c), 0.05f)
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(QuantizedEncoderTest, ClsCosineCloseToFp32) {
+  Rng rng(32);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  QuantizedEncoder quantized(encoder);
+  EXPECT_EQ(quantized.dim(), 16);
+
+  const std::vector<std::vector<int>> sequences = {
+      {2, 20, 21, 3}, {2, 15, 16, 17, 3}, {2, 40, 7, 12, 30, 3}, {2, 5, 3}};
+  Rng eval(0);
+  for (const std::vector<int>& ids : sequences) {
+    Tensor fp32 = encoder.Forward(ids, static_cast<int>(ids.size()), eval,
+                                  /*training=*/false);
+    std::vector<float> cls(fp32.data().begin(), fp32.data().begin() + 16);
+    const std::vector<float> int8 = quantized.Encode(MakeInput(ids));
+    EXPECT_GE(Cosine(cls, int8), 0.98) << "ids[1]=" << ids[1];
+  }
+}
+
+TEST(QuantizedEncoderTest, CalibrationKeepsCorpusParity) {
+  Rng rng(33);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  QuantizedEncoder quantized(encoder);
+
+  std::vector<text::EncodedInput> corpus;
+  for (int i = 0; i < 6; ++i) {
+    corpus.push_back(MakeInput({2, 10 + i, 20 + i, 30 + i, 3}));
+  }
+  std::vector<const text::EncodedInput*> ptrs;
+  std::vector<std::vector<float>> before;
+  for (const auto& input : corpus) {
+    ptrs.push_back(&input);
+    before.push_back(quantized.Encode(input));
+  }
+  quantized.Calibrate(ptrs);
+  // Calibration clips are maxima over this very corpus, so its own
+  // quantization grids — and thus its embeddings — are unchanged.
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(quantized.Encode(corpus[i]), before[i]) << "input " << i;
+  }
+}
+
+TEST(QuantizedEncoderTest, OverrideHookReplacesEmbeddingRows) {
+  Rng rng(34);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  QuantizedEncoder plain(encoder);
+  int hook_calls = 0;
+  QuantizedEncoder hooked(
+      encoder, [&hook_calls](const text::EncodedInput& input) {
+        ++hook_calls;
+        std::vector<std::pair<int, std::vector<float>>> overrides;
+        if (!input.numeric_slots.empty()) {
+          overrides.emplace_back(input.numeric_slots[0].position,
+                                 std::vector<float>(16, 0.5f));
+        }
+        return overrides;
+      });
+
+  text::EncodedInput with_slot = MakeInput({2, 20, 12, 3});
+  with_slot.numeric_slots.push_back({2, "kpi", {20}, 0.7f});
+  const std::vector<float> overridden = hooked.Encode(with_slot);
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_NE(overridden, plain.Encode(with_slot));
+
+  // No numeric slots: the hook returns nothing and the outputs agree.
+  text::EncodedInput no_slot = MakeInput({2, 20, 12, 3});
+  EXPECT_EQ(hooked.Encode(no_slot), plain.Encode(no_slot));
 }
 
 }  // namespace

@@ -325,6 +325,18 @@ TEST(ReplicaSpecTest, ParsesAllForms) {
   EXPECT_FALSE(ParseReplicaSpec("70000", &spec));
 }
 
+TEST(ReplicaSpecTest, RejectsAtoiTruncatedPorts) {
+  // Before the strict parser, "7101x" atoi'd to 7101 and an over-long
+  // digit string was undefined behavior in atoi.
+  ReplicaSpec spec;
+  EXPECT_FALSE(ParseReplicaSpec("7101x", &spec));
+  EXPECT_FALSE(ParseReplicaSpec("host:7101x", &spec));
+  EXPECT_FALSE(ParseReplicaSpec("host:7101:72o1", &spec));
+  EXPECT_FALSE(ParseReplicaSpec("99999999999999999999", &spec));
+  EXPECT_FALSE(ParseReplicaSpec("host:0", &spec));
+  EXPECT_FALSE(ParseReplicaSpec("host:-1", &spec));
+}
+
 // ---------------------------------------------------------------------------
 // Router against scripted fake replicas
 // ---------------------------------------------------------------------------

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/model_zoo.h"
+#include "core/qencode.h"
+#include "obs/metrics.h"
 #include "obs/spanstore.h"
 #include "obs/trace.h"
 #include "serve/batcher.h"
@@ -1013,6 +1015,160 @@ TEST(ModelHostTest, LineHandlerStampsModelAndSurvivesHotSwap) {
       handler(R"({"op":"encode","text":"x"})").get(), &response, &error));
   EXPECT_EQ(static_cast<int>(response.Find("error")->Find("code")->AsNumber()),
             static_cast<int>(StatusCode::kUnavailable));
+}
+
+// ---------------------------------------------------------------------------
+// Precision (--precision=int8 quantized encode path)
+// ---------------------------------------------------------------------------
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+}
+
+TEST(ProtocolTest, ParsesPrecisionField) {
+  Request request;
+  ASSERT_TRUE(
+      ParseRequestLine(R"({"text":"x","precision":"int8"})", &request).ok());
+  EXPECT_EQ(request.precision, Precision::kInt8);
+  ASSERT_TRUE(
+      ParseRequestLine(R"({"text":"x","precision":"fp32"})", &request).ok());
+  EXPECT_EQ(request.precision, Precision::kFp32);
+  // Omitted: kDefault, so the server's --precision flag decides.
+  ASSERT_TRUE(ParseRequestLine(R"({"text":"x"})", &request).ok());
+  EXPECT_EQ(request.precision, Precision::kDefault);
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"text":"x","precision":"fp16"})", &request).ok());
+}
+
+TEST(EmbeddingCacheTest, HashSaltPartitionsKeySpace) {
+  const std::vector<int> ids{5, 6, 7};
+  const CacheKey fp32_key = EmbeddingCache::HashIds(ids, 3, /*salt=*/0);
+  const CacheKey int8_key = EmbeddingCache::HashIds(ids, 3, /*salt=*/1);
+  // Same ids + length under different salts must not collide — otherwise an
+  // int8 request could be answered from the fp32 cache partition.
+  EXPECT_NE(fp32_key, int8_key);
+  // Default salt is 0 (the fp32 partition).
+  EXPECT_EQ(EmbeddingCache::HashIds(ids, 3), fp32_key);
+}
+
+TEST(ServeEngineTest, Int8WithoutQuantizedEncoderFailsPrecondition) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  EngineOptions options;
+  options.num_workers = 1;
+  ServeEngine engine(&service, options);  // no int8 twin
+  Request request;
+  request.op = TaskOp::kEncode;
+  request.text = zoo.world().alarms()[0].name;
+  request.precision = Precision::kInt8;
+  EXPECT_EQ(engine.Submit(request).get().status.code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.Process(request).status.code(),
+            StatusCode::kFailedPrecondition);
+  // fp32 requests on the same engine still work.
+  request.precision = Precision::kFp32;
+  EXPECT_TRUE(engine.Process(request).status.ok());
+}
+
+TEST(ServeEngineTest, Int8RequestsServeFromQuantizedEncoder) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  core::QuantizedEncoder quantized(zoo.telebert().encoder());
+  EngineOptions options;
+  options.num_workers = 2;
+  ServeEngine engine(&service, options, &quantized);
+  obs::Counter& int8_requests = obs::MetricsRegistry::Global().GetCounter(
+      "serve/precision_int8_requests");
+  const uint64_t before = int8_requests.value();
+
+  Request request;
+  request.op = TaskOp::kEncode;
+  request.text = zoo.world().alarms()[1].name;
+  const Response fp32 = engine.Submit(request).get();
+  ASSERT_TRUE(fp32.status.ok()) << fp32.status.ToString();
+
+  request.precision = Precision::kInt8;
+  const Response int8 = engine.Submit(request).get();
+  ASSERT_TRUE(int8.status.ok()) << int8.status.ToString();
+  ASSERT_EQ(static_cast<int>(int8.vector.size()), service.dim());
+  EXPECT_EQ(int8_requests.value(), before + 1);
+
+  // Same text, different precision: the salted cache keys keep the
+  // partitions apart, so the int8 answer is the quantized forward — close
+  // to fp32 in angle but not the cached fp32 bits.
+  EXPECT_NE(int8.vector, fp32.vector);
+  EXPECT_GE(Cosine(int8.vector, fp32.vector), 0.98);
+
+  // A repeat hits the int8 cache partition and returns the same bits.
+  const Response again = engine.Process(request);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.vector, int8.vector);
+}
+
+TEST(ServeEngineTest, DefaultPrecisionOptionAppliesToUnspecifiedRequests) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service =
+      zoo.MakeServiceEncoder(core::ModelKind::kTeleBert);
+  core::QuantizedEncoder quantized(zoo.telebert().encoder());
+  EngineOptions options;
+  options.num_workers = 1;
+  options.default_precision = Precision::kInt8;  // --precision=int8
+  ServeEngine engine(&service, options, &quantized);
+  obs::Counter& int8_requests = obs::MetricsRegistry::Global().GetCounter(
+      "serve/precision_int8_requests");
+  const uint64_t before = int8_requests.value();
+
+  Request request;
+  request.op = TaskOp::kEncode;
+  request.text = zoo.world().alarms()[3].name;  // kDefault precision
+  ASSERT_TRUE(engine.Process(request).status.ok());
+  EXPECT_EQ(int8_requests.value(), before + 1);
+
+  // An explicit fp32 request overrides the server default.
+  request.precision = Precision::kFp32;
+  ASSERT_TRUE(engine.Process(request).status.ok());
+  EXPECT_EQ(int8_requests.value(), before + 1);
+}
+
+TEST(ModelHostTest, BundleServesInt8Requests) {
+  auto built = BuildModelBundle("telebert", SharedZooPtr(),
+                                TinyEngineOptions());
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  std::shared_ptr<ModelBundle> bundle = std::move(built).value();
+  ASSERT_NE(bundle->quantized, nullptr);
+
+  Request request;
+  request.op = TaskOp::kRca;
+  request.text = SharedZoo().world().alarms()[0].name;
+  request.precision = Precision::kInt8;
+  request.top_k = 3;
+  const Response response = bundle->engine->Process(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.results.size(), 3u);
+
+  // KTeleBERT bundles carry a quantized twin too (ANEnc hook included).
+  auto kbuilt = BuildModelBundle("ktelebert_stl", SharedZooPtr(),
+                                 TinyEngineOptions());
+  ASSERT_TRUE(kbuilt.ok()) << kbuilt.status().message();
+  std::shared_ptr<ModelBundle> kbundle = std::move(kbuilt).value();
+  ASSERT_NE(kbundle->quantized, nullptr);
+  Request krequest;
+  krequest.op = TaskOp::kEncode;
+  krequest.text = SharedZoo().world().alarms()[2].name;
+  krequest.precision = Precision::kInt8;
+  const Response kresponse = kbundle->engine->Process(krequest);
+  ASSERT_TRUE(kresponse.status.ok()) << kresponse.status.ToString();
+  EXPECT_EQ(static_cast<int>(kresponse.vector.size()),
+            kbundle->service->dim());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "tensor/compute_pool.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "tensor/serialize.h"
 #include "tensor/tensor.h"
 
@@ -590,6 +591,211 @@ TEST(ComputePoolTest, MatMulKnownValuesUnderThreads) {
   EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
   EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
   EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+  SetComputeThreads(previous);
+}
+
+// --- simd kernels ------------------------------------------------------------
+
+/// Restores the process-wide backend on scope exit so SIMD tests cannot
+/// leak a forced backend into later tests.
+class BackendGuard {
+ public:
+  BackendGuard() : previous_(simd::ActiveBackend()) {}
+  ~BackendGuard() { simd::ForceBackend(previous_); }
+
+ private:
+  simd::Backend previous_;
+};
+
+std::vector<float> RandomVec(int n, Rng& rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  return v;
+}
+
+// Sizes straddling the 8-lane AVX2 / 4-lane NEON width: remainder lanes,
+// single element, exactly one vector, just over/under a vector.
+const int kSimdSizes[] = {1, 3, 7, 8, 9, 16, 31, 100};
+
+TEST(SimdKernelTest, VectorBackendAgreesWithScalarWithinEps) {
+  if (simd::DetectBackend() == simd::Backend::kScalar) {
+    GTEST_SKIP() << "no vector backend on this CPU/build";
+  }
+  BackendGuard guard;
+  Rng rng(11);
+  for (int n : kSimdSizes) {
+    const std::vector<float> a = RandomVec(n, rng);
+    const std::vector<float> b = RandomVec(n, rng);
+
+    simd::ForceBackend(simd::Backend::kScalar);
+    const float dot_s = simd::Dot(a.data(), b.data(), n);
+    const float max_s = simd::ReduceMax(a.data(), n);
+    const float sum_s = simd::ReduceSum(a.data(), n);
+    const float ssq_s = simd::ReduceSumSqDiff(a.data(), 0.25f, n);
+    std::vector<float> add_s(a.size()), axpy_s = b;
+    simd::Add(a.data(), b.data(), add_s.data(), n);
+    simd::Axpy(0.5f, a.data(), axpy_s.data(), n);
+
+    simd::ForceBackend(simd::DetectBackend());
+    const float dot_v = simd::Dot(a.data(), b.data(), n);
+    const float max_v = simd::ReduceMax(a.data(), n);
+    const float sum_v = simd::ReduceSum(a.data(), n);
+    const float ssq_v = simd::ReduceSumSqDiff(a.data(), 0.25f, n);
+    std::vector<float> add_v(a.size()), axpy_v = b;
+    simd::Add(a.data(), b.data(), add_v.data(), n);
+    simd::Axpy(0.5f, a.data(), axpy_v.data(), n);
+
+    // Reductions reassociate into lanes: epsilon-bounded, not bit-equal.
+    const float eps = 1e-4f * static_cast<float>(n);
+    EXPECT_NEAR(dot_v, dot_s, eps) << "n=" << n;
+    EXPECT_NEAR(sum_v, sum_s, eps) << "n=" << n;
+    EXPECT_NEAR(ssq_v, ssq_s, eps) << "n=" << n;
+    // Max is order-independent: bit-equal.
+    EXPECT_EQ(max_v, max_s) << "n=" << n;
+    // Per-element ops are bit-exact across backends...
+    EXPECT_EQ(add_v, add_s) << "n=" << n;
+    // ...except Axpy, where FMA fuses the multiply-add rounding.
+    for (size_t i = 0; i < axpy_s.size(); ++i) {
+      EXPECT_NEAR(axpy_v[i], axpy_s[i], 1e-5f) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernelTest, ElementwiseKernelsBitExactAcrossBackends) {
+  if (simd::DetectBackend() == simd::Backend::kScalar) {
+    GTEST_SKIP() << "no vector backend on this CPU/build";
+  }
+  BackendGuard guard;
+  Rng rng(12);
+  for (int n : kSimdSizes) {
+    const std::vector<float> a = RandomVec(n, rng);
+    const std::vector<float> b = RandomVec(n, rng);
+    std::vector<float> s(a.size()), v(a.size());
+
+    const auto run_both = [&](auto kernel) {
+      simd::ForceBackend(simd::Backend::kScalar);
+      kernel(s.data());
+      simd::ForceBackend(simd::DetectBackend());
+      kernel(v.data());
+      EXPECT_EQ(s, v) << "n=" << n;
+    };
+    run_both([&](float* out) { simd::Sub(a.data(), b.data(), out, n); });
+    run_both([&](float* out) { simd::Mul(a.data(), b.data(), out, n); });
+    run_both([&](float* out) { simd::ScaleTo(a.data(), 1.5f, out, n); });
+    run_both([&](float* out) { simd::AddScalarTo(a.data(), -0.75f, out, n); });
+    run_both([&](float* out) { simd::ReluTo(a.data(), out, n); });
+  }
+}
+
+TEST(SimdKernelTest, EmptyInputsAreSafe) {
+  BackendGuard guard;
+  std::vector<float> out(1, 42.0f);
+  EXPECT_EQ(simd::Dot(out.data(), out.data(), 0), 0.0f);
+  EXPECT_EQ(simd::ReduceSum(out.data(), 0), 0.0f);
+  simd::Add(out.data(), out.data(), out.data(), 0);
+  simd::Axpy(2.0f, out.data(), out.data(), 0);
+  EXPECT_EQ(out[0], 42.0f);
+  EXPECT_EQ(simd::DotI8(nullptr, nullptr, 0), 0);
+}
+
+TEST(SimdKernelTest, NormalizeAffineMatchesScalarLayerNormPath) {
+  if (simd::DetectBackend() == simd::Backend::kScalar) {
+    GTEST_SKIP() << "no vector backend on this CPU/build";
+  }
+  BackendGuard guard;
+  Rng rng(13);
+  for (int n : kSimdSizes) {
+    const std::vector<float> x = RandomVec(n, rng);
+    const std::vector<float> gain = RandomVec(n, rng);
+    const std::vector<float> bias = RandomVec(n, rng);
+    const float mean = simd::ReduceSum(x.data(), n) / static_cast<float>(n);
+    const float istd = 0.8f;
+    std::vector<float> xhat_s(x.size()), out_s(x.size());
+    std::vector<float> xhat_v(x.size()), out_v(x.size());
+    simd::ForceBackend(simd::Backend::kScalar);
+    simd::NormalizeAffine(x.data(), mean, istd, gain.data(), bias.data(),
+                          xhat_s.data(), out_s.data(), n);
+    simd::ForceBackend(simd::DetectBackend());
+    simd::NormalizeAffine(x.data(), mean, istd, gain.data(), bias.data(),
+                          xhat_v.data(), out_v.data(), n);
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(out_v[i], out_s[i], 1e-5f) << "n=" << n << " i=" << i;
+      EXPECT_NEAR(xhat_v[i], xhat_s[i], 1e-6f) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernelTest, DotI8BitIdenticalAcrossBackends) {
+  if (simd::DetectBackend() == simd::Backend::kScalar) {
+    GTEST_SKIP() << "no vector backend on this CPU/build";
+  }
+  BackendGuard guard;
+  Rng rng(14);
+  for (int n : kSimdSizes) {
+    std::vector<int8_t> a(static_cast<size_t>(n)), b(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      a[static_cast<size_t>(i)] =
+          static_cast<int8_t>(rng.UniformInt(255) - 127);
+      b[static_cast<size_t>(i)] =
+          static_cast<int8_t>(rng.UniformInt(255) - 127);
+    }
+    simd::ForceBackend(simd::Backend::kScalar);
+    const int32_t scalar = simd::DotI8(a.data(), b.data(), n);
+    simd::ForceBackend(simd::DetectBackend());
+    // Integer accumulation: exact, so backends agree to the bit.
+    EXPECT_EQ(simd::DotI8(a.data(), b.data(), n), scalar) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, QuantizeRowProperties) {
+  BackendGuard guard;
+  Rng rng(15);
+  // All-zero row quantizes to scale 0 and an all-zero payload.
+  std::vector<int8_t> q(16);
+  std::vector<float> zeros(16, 0.0f);
+  EXPECT_EQ(simd::QuantizeRow(zeros.data(), 16, 0.0f, q.data()), 0.0f);
+  for (int8_t v : q) EXPECT_EQ(v, 0);
+
+  const std::vector<float> x = RandomVec(16, rng);
+  float max_abs = 0.0f;
+  for (float v : x) max_abs = std::max(max_abs, std::fabs(v));
+
+  // Unclipped: scale = maxabs/127 and the round trip stays within scale/2.
+  const float scale = simd::QuantizeRow(x.data(), 16, 0.0f, q.data());
+  EXPECT_FLOAT_EQ(scale, max_abs / 127.0f);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(static_cast<float>(q[i]) * scale, x[i], scale * 0.5f + 1e-7f);
+    EXPECT_GE(q[i], -127);
+    EXPECT_LE(q[i], 127);
+  }
+
+  // A clip below maxabs bounds the scale and saturates the outliers.
+  const float clip = max_abs * 0.5f;
+  const float clipped_scale = simd::QuantizeRow(x.data(), 16, clip, q.data());
+  EXPECT_FLOAT_EQ(clipped_scale, clip / 127.0f);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) >= clip) {
+      EXPECT_EQ(std::abs(static_cast<int>(q[i])), 127) << "i=" << i;
+    }
+  }
+}
+
+// The vectorized MatMul must stay bit-identical across ComputePool thread
+// counts: the chunk grid is fixed per (n, grain) and each chunk's result
+// depends only on its operands.
+TEST(SimdKernelTest, MatMulBitIdenticalAcrossThreadCountsOnSimdPath) {
+  BackendGuard guard;
+  simd::ForceBackend(simd::DetectBackend());
+  Rng rng(16);
+  Tensor a = Tensor::Randn({64, 96}, rng, 1.0f);
+  Tensor b = Tensor::Randn({96, 80}, rng, 1.0f);
+  const int previous = ComputeThreads();
+  SetComputeThreads(1);
+  const std::vector<float> serial = MatMul(a, b).data();
+  for (int threads : {2, 4}) {
+    SetComputeThreads(threads);
+    EXPECT_EQ(MatMul(a, b).data(), serial) << "threads=" << threads;
+  }
   SetComputeThreads(previous);
 }
 
