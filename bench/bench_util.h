@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flag_parse.h"
 #include "common/table_printer.h"
 #include "core/model_zoo.h"
 #include "obs/obs.h"
@@ -46,8 +47,9 @@ class ObsSession {
         obs::Logger::Global().set_level(
             obs::ParseLogLevel(arg.substr(sizeof(kLogLevel) - 1)));
       } else if (arg.rfind(kComputeThreads, 0) == 0) {
-        tensor::SetComputeThreads(
-            std::atoi(arg.c_str() + sizeof(kComputeThreads) - 1));
+        tensor::SetComputeThreads(static_cast<int>(ParseIntFlagOrDie(
+            "compute-threads", arg.substr(sizeof(kComputeThreads) - 1), 0,
+            4096)));
       }
     }
     if (!obs_json_path_.empty()) {

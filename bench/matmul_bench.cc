@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/flag_parse.h"
 #include "core/qencode.h"
 #include "core/transformer.h"
 #include "tensor/compute_pool.h"
@@ -172,7 +173,9 @@ int Main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
-    if (arg.rfind("--iters=", 0) == 0) iters = std::atoi(arg.c_str() + 8);
+    if (arg.rfind("--iters=", 0) == 0)
+      iters = static_cast<int>(
+          ParseIntFlagOrDie("iters", arg.substr(8), 1, 1 << 30));
   }
 
   const int hw = std::max(1u, std::thread::hardware_concurrency());

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/flag_parse.h"
 #include "common/table_printer.h"
 #include "core/model_zoo.h"
 #include "obs/json.h"
@@ -468,13 +469,21 @@ int Main(int argc, char** argv) {
       return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
                                        : nullptr;
     };
-    if (const char* v = value("replicas")) flags.replicas = std::atoi(v);
-    else if (const char* v = value("clients")) flags.clients = std::atoi(v);
-    else if (const char* v = value("passes")) flags.passes = std::atoi(v);
+    if (const char* v = value("replicas"))
+      flags.replicas =
+          static_cast<int>(ParseIntFlagOrDie("replicas", v, 1, 64));
+    else if (const char* v = value("clients"))
+      flags.clients =
+          static_cast<int>(ParseIntFlagOrDie("clients", v, 1, 1024));
+    else if (const char* v = value("passes"))
+      flags.passes =
+          static_cast<int>(ParseIntFlagOrDie("passes", v, 1, 1 << 20));
     else if (const char* v = value("working-set"))
-      flags.working_set = std::atoi(v);
+      flags.working_set =
+          static_cast<int>(ParseIntFlagOrDie("working-set", v, 1, 1 << 20));
     else if (const char* v = value("cache-capacity"))
-      flags.cache_capacity = std::atoi(v);
+      flags.cache_capacity = static_cast<int>(
+          ParseIntFlagOrDie("cache-capacity", v, 0, int64_t{1} << 30));
     else if (const char* v = value("out")) flags.out = v;
   }
 

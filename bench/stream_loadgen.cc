@@ -24,12 +24,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/slo_demo.h"
+#include "common/flag_parse.h"
 #include "common/table_printer.h"
 #include "core/model_zoo.h"
 #include "obs/json.h"
@@ -270,13 +272,21 @@ int Main(int argc, char** argv) {
                                        : nullptr;
     };
     if (const char* v = value("seed"))
-      flags.seed = static_cast<uint64_t>(std::atoll(v));
-    else if (const char* v = value("episodes")) flags.episodes = std::atoi(v);
-    else if (const char* v = value("mean-gap")) flags.mean_gap = std::atof(v);
-    else if (const char* v = value("workers")) flags.workers = std::atoi(v);
-    else if (const char* v = value("max-batch")) flags.max_batch = std::atoi(v);
+      flags.seed = static_cast<uint64_t>(ParseIntFlagOrDie(
+          "seed", v, 0, std::numeric_limits<int64_t>::max()));
+    else if (const char* v = value("episodes"))
+      flags.episodes =
+          static_cast<int>(ParseIntFlagOrDie("episodes", v, 1, 1 << 20));
+    else if (const char* v = value("mean-gap"))
+      flags.mean_gap = ParseDoubleFlagOrDie("mean-gap", v, 0.0, 1e6);
+    else if (const char* v = value("workers"))
+      flags.workers =
+          static_cast<int>(ParseIntFlagOrDie("workers", v, 1, 1024));
+    else if (const char* v = value("max-batch"))
+      flags.max_batch =
+          static_cast<int>(ParseIntFlagOrDie("max-batch", v, 1, 1 << 20));
     else if (const char* v = value("slo-demo"))
-      flags.slo_demo = std::atoi(v) != 0;
+      flags.slo_demo = ParseIntFlagOrDie("slo-demo", v, 0, 1) != 0;
     else if (const char* v = value("out")) flags.out = v;
     else if (const char* v = value("obs-out")) flags.obs_out = v;
   }

@@ -9,8 +9,9 @@
 #   4. rebuild the obs layer (library + its tests) plus the tensor/core/
 #      serve test binaries under -Wall -Wextra -Werror in a separate
 #      tree, so new warnings fail loudly instead of scrolling by.
-#   5. flag validation: daemons must reject malformed numeric flags with
-#      a usage error (exit 64) instead of silently parsing a prefix.
+#   5. flag validation: daemons and bench binaries must reject malformed
+#      numeric flags with a usage error (exit 64) instead of silently
+#      parsing a prefix.
 #   6. admin smoke: start telekit_serve with --admin-port on loopback,
 #      poll /healthz until live, assert /metrics serves a non-empty
 #      Prometheus exposition, then drive one traced request through the
@@ -20,15 +21,26 @@
 #      resolves via /requestz to a wide event with matching total_us, and
 #      the --request-log NDJSON round-trips through telekit_jsonlint.
 #      Also drives one request at "precision": "int8" and asserts it
-#      succeeds and lands on the serve/precision_int8_requests counter.
-#   7. streamd smoke: replay a small seeded stream through telekit_streamd
+#      succeeds and lands on the serve/precision_int8_requests counter,
+#      and asserts the loaded model variant's generation is visible in
+#      both /statusz (models section) and /metrics (serve/model/*/
+#      generation gauge).
+#   7. retrieval smoke: start telekit_serve with --index-path, drive
+#      retrieve (k docs, descending scores, ef_search override) and
+#      troubleshoot (verdict + supporting docs) through the NDJSON
+#      protocol, assert /statusz gained an index section and the traced
+#      troubleshoot request shows index/search + serve/troubleshoot spans
+#      on /spanz, then restart on the same snapshot and assert the warm
+#      start loaded it instead of rebuilding (build_ms near zero).
+#   8. streamd smoke: replay a small seeded stream through telekit_streamd
 #      with --linger, assert /statusz reports a finished run with >0
 #      episodes and 0 late drops, and that the per-op serve counters made
 #      it into the Prometheus exposition.
-#   8. router smoke: start 2 telekit_serve replicas behind telekit_router
+#   9. router smoke: start 2 telekit_serve replicas behind telekit_router
 #      (with --request-log), assert /fleetz shows both routable with probe
 #      telemetry, assert /fleetmetricz sums the replicas' request counters,
-#      drive traced traffic through the routed NDJSON path, SIGKILL one
+#      drive traced traffic (including retrieve + troubleshoot) through
+#      the routed NDJSON path, SIGKILL one
 #      replica and assert a traced request that retried assembles into a
 #      multi-hop trace via /tracezd (failed hop marked, replica serve span
 #      attached, Chrome export works) while traffic keeps succeeding and
@@ -38,8 +50,9 @@
 #
 # Optional: TELEKIT_TSAN=1 scripts/check_tier1.sh additionally builds the
 # concurrency-heavy tests (serve engine, stream pipeline, embedding cache,
-# metrics registry, admin server, tensor ComputePool) under ThreadSanitizer
-# in build_tsan/ and runs them — tensor_test, serve_test and stream_test
+# ANN index, metrics registry, admin server, tensor ComputePool) under
+# ThreadSanitizer in build_tsan/ and runs them — tensor_test, serve_test,
+# stream_test, route_test and index_test
 # with TELEKIT_COMPUTE_THREADS=4 so the intra-op worker pool is actually
 # exercised under TSan. Off by default: the TSan tree roughly doubles check
 # time.
@@ -48,14 +61,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/8] configure + build =="
+echo "== [1/9] configure + build =="
 cmake -B build -S .
 cmake --build build -j
 
-echo "== [2/8] ctest =="
+echo "== [2/9] ctest =="
 ctest --test-dir build --output-on-failure -j
 
-echo "== [3/8] TELEKIT_SIMD=off scalar-backend parity =="
+echo "== [3/9] TELEKIT_SIMD=off scalar-backend parity =="
 # The full suites must stay green with the vector backend disabled; the
 # off-vs-on numeric agreement is asserted in-process by SimdKernelTest
 # (which forces scalar and the detected backend against each other).
@@ -63,19 +76,20 @@ TELEKIT_SIMD=off ./build/tests/tensor_test --gtest_brief=1
 TELEKIT_SIMD=off ./build/tests/core_test --gtest_brief=1
 TELEKIT_SIMD=off ./build/tests/serve_test --gtest_brief=1
 
-echo "== [4/8] -Werror build of the obs + stream + route + tensor/core/serve layers =="
+echo "== [4/9] -Werror build of the obs + stream + route + index + tensor/core/serve layers =="
 cmake -B build_strict -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
 cmake --build build_strict -j --target telekit_obs obs_test obs_admin_test \
   obs_timeseries_test telekit_stream stream_test telekit_route route_test \
-  tensor_test core_test serve_test
+  telekit_index index_test tensor_test core_test serve_test
 ./build_strict/tests/obs_test --gtest_brief=1
 ./build_strict/tests/obs_admin_test --gtest_brief=1
 ./build_strict/tests/obs_timeseries_test --gtest_brief=1
 ./build_strict/tests/stream_test --gtest_brief=1
 ./build_strict/tests/route_test --gtest_brief=1
 ./build_strict/tests/tensor_test --gtest_brief=1
+./build_strict/tests/index_test --gtest_brief=1
 
-echo "== [5/8] strict flag validation (exit 64 on malformed numerics) =="
+echo "== [5/9] strict flag validation (exit 64 on malformed numerics) =="
 expect_exit64() {
   local desc=$1; shift
   local rc=0
@@ -93,9 +107,17 @@ expect_exit64 "telekit_router --vnodes=abc" \
   ./build/src/route/telekit_router --vnodes=abc --replica=18000:18001
 expect_exit64 "telekit_streamd --episodes=abc" \
   ./build/src/stream/telekit_streamd --episodes=abc
+expect_exit64 "route_bench --replicas=abc" \
+  ./build/bench/route_bench --replicas=abc
+expect_exit64 "stream_loadgen --mean-gap=1x2" \
+  ./build/bench/stream_loadgen --mean-gap=1x2
+expect_exit64 "matmul_bench --iters=-3" \
+  ./build/bench/matmul_bench --iters=-3
+expect_exit64 "retrieval_bench --queries=1e3" \
+  ./build/bench/retrieval_bench --queries=1e3
 echo "flag validation: OK"
 
-echo "== [6/8] admin endpoint smoke =="
+echo "== [6/9] admin endpoint smoke =="
 SERVE_PORT=18473
 ADMIN_PORT=18474
 SERVE_LOG=$(mktemp)
@@ -140,6 +162,22 @@ fi
 METRICS=$(curl -sf -m 2 "http://127.0.0.1:${ADMIN_PORT}/metrics")
 if [[ -z "${METRICS}" ]] || ! grep -q "telekit_" <<<"${METRICS}"; then
   echo "admin smoke: /metrics exposition empty or missing telekit_ prefix"
+  exit 1
+fi
+
+# The hosted model variant and its bundle generation must be visible on
+# both surfaces: /statusz lists the variant with a generation field, and
+# /metrics carries the serve/model/<name>/generation gauge.
+if ! grep -q '"model": "telebert"' <<<"${STATUSZ}" \
+    || ! grep -q '"generation"' <<<"${STATUSZ}"; then
+  echo "admin smoke: /statusz missing model variant / generation: ${STATUSZ}"
+  exit 1
+fi
+MODEL_GEN=$(sed -n 's/^telekit_serve_model_telebert_generation \([0-9.]*\).*/\1/p' \
+  <<<"${METRICS}")
+if [[ -z "${MODEL_GEN}" ]] || ! awk -v g="${MODEL_GEN}" \
+    'BEGIN { exit (g >= 1) ? 0 : 1 }'; then
+  echo "admin smoke: serve/model/telebert/generation gauge missing or zero"
   exit 1
 fi
 
@@ -240,7 +278,154 @@ rm -f "${SERVE_LOG}" "${REQUEST_LOG}"
 echo "admin smoke: OK (/healthz + /readyz + /statusz + /timeseriesz + /alertz live," \
   "exemplar -> /requestz loop closed, request log lints)"
 
-echo "== [7/8] streamd replay smoke =="
+echo "== [7/9] retrieval smoke (retrieve + troubleshoot + snapshot warm start) =="
+RETR_PORT=18482
+RETR_ADMIN_PORT=18483
+RETR_LOG=$(mktemp)
+INDEX_SNAPSHOT=$(mktemp -u)
+./build/src/serve/telekit_serve --port="${RETR_PORT}" \
+  --admin-port="${RETR_ADMIN_PORT}" --ef-search=48 \
+  --index-path="${INDEX_SNAPSHOT}" \
+  >"${RETR_LOG}" 2>&1 &
+RETR_PID=$!
+retr_cleanup() {
+  kill "${RETR_PID}" 2>/dev/null || true
+  wait "${RETR_PID}" 2>/dev/null || true
+  rm -f "${RETR_LOG}" "${INDEX_SNAPSHOT}"
+}
+trap retr_cleanup EXIT
+
+wait_retr_ready() {
+  for _ in $(seq 1 60); do
+    if curl -sf -m 2 "http://127.0.0.1:${RETR_ADMIN_PORT}/readyz" \
+        >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "${RETR_PID}" 2>/dev/null; then
+      echo "retrieval smoke: telekit_serve died during startup:"
+      cat "${RETR_LOG}"
+      exit 1
+    fi
+    sleep 1
+  done
+  echo "retrieval smoke: server never became ready"
+  exit 1
+}
+wait_retr_ready
+
+# Cold start: /statusz must carry the index section, built (not loaded)
+# from the corpus, honouring the --ef-search default.
+RETR_STATUSZ=$(curl -sf -m 2 "http://127.0.0.1:${RETR_ADMIN_PORT}/statusz")
+if ! grep -q '"index"' <<<"${RETR_STATUSZ}" \
+    || ! grep -q '"loaded_from_snapshot": false' <<<"${RETR_STATUSZ}" \
+    || ! grep -q '"ef_search": 48' <<<"${RETR_STATUSZ}"; then
+  echo "retrieval smoke: /statusz missing cold-start index section: ${RETR_STATUSZ}"
+  exit 1
+fi
+
+# retrieve: top_k docs with descending scores, ef_search overridable.
+exec 3<>"/dev/tcp/127.0.0.1/${RETR_PORT}"
+printf '{"op": "retrieve", "text": "kpi deviation after alarm storm on core site", "top_k": 5}\n' >&3
+IFS= read -r RETRIEVE_REPLY <&3 || true
+printf '{"op": "retrieve", "text": "signaling anomaly during handover", "top_k": 3, "ef_search": 96}\n' >&3
+IFS= read -r RETRIEVE_EF_REPLY <&3 || true
+TROUBLE_TRACE="00000000beefcafe"
+printf '{"op": "troubleshoot", "text": "customers report degradation after link flap", "top_k": 4, "trace": "%s"}\n' \
+  "${TROUBLE_TRACE}" >&3
+IFS= read -r TROUBLESHOOT_REPLY <&3 || true
+exec 3<&- 3>&-
+if ! grep -Eq '"ok": ?true' <<<"${RETRIEVE_REPLY}"; then
+  echo "retrieval smoke: retrieve failed: ${RETRIEVE_REPLY}"
+  exit 1
+fi
+DOC_COUNT=$(grep -o '"doc_id"' <<<"${RETRIEVE_REPLY}" | wc -l)
+if [[ "${DOC_COUNT}" -ne 5 ]]; then
+  echo "retrieval smoke: retrieve returned ${DOC_COUNT} docs, want 5: ${RETRIEVE_REPLY}"
+  exit 1
+fi
+# Doc scores must come back best-first (non-increasing).
+if ! grep -o '"score": *[0-9.eE+-]*' <<<"${RETRIEVE_REPLY}" | sed 's/.*://' \
+    | awk '{ if (NR > 1 && $1 > prev + 1e-6) exit 1; prev = $1 }'; then
+  echo "retrieval smoke: retrieve scores not descending: ${RETRIEVE_REPLY}"
+  exit 1
+fi
+if ! grep -Eq '"ok": ?true' <<<"${RETRIEVE_EF_REPLY}" \
+    || [[ "$(grep -o '"doc_id"' <<<"${RETRIEVE_EF_REPLY}" | wc -l)" -ne 3 ]]; then
+  echo "retrieval smoke: retrieve with ef_search override failed: ${RETRIEVE_EF_REPLY}"
+  exit 1
+fi
+
+# troubleshoot: RCA verdicts plus the supporting evidence docs.
+if ! grep -Eq '"ok": ?true' <<<"${TROUBLESHOOT_REPLY}" \
+    || ! grep -q '"results"' <<<"${TROUBLESHOOT_REPLY}" \
+    || ! grep -q '"docs"' <<<"${TROUBLESHOOT_REPLY}"; then
+  echo "retrieval smoke: troubleshoot failed: ${TROUBLESHOOT_REPLY}"
+  exit 1
+fi
+if ! grep -q "\"trace\": *\"${TROUBLE_TRACE}\"" <<<"${TROUBLESHOOT_REPLY}"; then
+  echo "retrieval smoke: troubleshoot reply lost its trace id: ${TROUBLESHOOT_REPLY}"
+  exit 1
+fi
+SPANZ=$(curl -sf -m 2 \
+  "http://127.0.0.1:${RETR_ADMIN_PORT}/spanz?trace_id=${TROUBLE_TRACE}")
+if ! grep -q '"index/search"' <<<"${SPANZ}" \
+    || ! grep -q '"serve/troubleshoot"' <<<"${SPANZ}"; then
+  echo "retrieval smoke: span chain missing index/search or serve/troubleshoot: ${SPANZ}"
+  exit 1
+fi
+
+# Per-op latency histograms must land in the Prometheus exposition.
+RETR_METRICS=$(curl -sf -m 2 "http://127.0.0.1:${RETR_ADMIN_PORT}/metrics")
+if ! grep -q '^telekit_serve_retrieve_request_ms_count' <<<"${RETR_METRICS}" \
+    || ! grep -q '^telekit_serve_troubleshoot_request_ms_count' <<<"${RETR_METRICS}" \
+    || ! grep -q '^telekit_index_size' <<<"${RETR_METRICS}"; then
+  echo "retrieval smoke: per-op retrieval metrics missing from /metrics"
+  exit 1
+fi
+
+# Warm restart: the second process must load the snapshot the first one
+# wrote instead of rebuilding (near-zero build time, same answers).
+kill "${RETR_PID}"
+wait "${RETR_PID}" 2>/dev/null || true
+if [[ ! -s "${INDEX_SNAPSHOT}" ]]; then
+  echo "retrieval smoke: --index-path snapshot was never written"
+  exit 1
+fi
+./build/src/serve/telekit_serve --port="${RETR_PORT}" \
+  --admin-port="${RETR_ADMIN_PORT}" --ef-search=48 \
+  --index-path="${INDEX_SNAPSHOT}" \
+  >"${RETR_LOG}" 2>&1 &
+RETR_PID=$!
+wait_retr_ready
+RETR_STATUSZ=$(curl -sf -m 2 "http://127.0.0.1:${RETR_ADMIN_PORT}/statusz")
+if ! grep -q '"loaded_from_snapshot": true' <<<"${RETR_STATUSZ}"; then
+  echo "retrieval smoke: warm start did not load snapshot: ${RETR_STATUSZ}"
+  exit 1
+fi
+WARM_BUILD_MS=$(sed -n 's/.*"build_ms": \([0-9.]*\).*/\1/p' <<<"${RETR_STATUSZ}" | head -1)
+if [[ -z "${WARM_BUILD_MS}" ]] || ! awk -v ms="${WARM_BUILD_MS}" \
+    'BEGIN { exit (ms < 50) ? 0 : 1 }'; then
+  echo "retrieval smoke: warm-start build_ms=${WARM_BUILD_MS}, want near zero"
+  exit 1
+fi
+exec 3<>"/dev/tcp/127.0.0.1/${RETR_PORT}"
+printf '{"op": "retrieve", "text": "kpi deviation after alarm storm on core site", "top_k": 5}\n' >&3
+IFS= read -r WARM_REPLY <&3 || true
+exec 3<&- 3>&-
+if ! grep -Eq '"ok": ?true' <<<"${WARM_REPLY}" \
+    || [[ "$(grep -o '"doc_id"' <<<"${WARM_REPLY}" | wc -l)" -ne 5 ]]; then
+  echo "retrieval smoke: warm-start retrieve failed: ${WARM_REPLY}"
+  exit 1
+fi
+
+kill "${RETR_PID}"
+wait "${RETR_PID}" 2>/dev/null || true
+trap - EXIT
+rm -f "${RETR_LOG}" "${INDEX_SNAPSHOT}"
+echo "retrieval smoke: OK (retrieve + ef_search override + troubleshoot," \
+  "span chain visible, snapshot warm start build_ms=${WARM_BUILD_MS})"
+
+echo "== [8/9] streamd replay smoke =="
 STREAMD_ADMIN_PORT=18475
 STREAMD_LOG=$(mktemp)
 # Unpaced deterministic replay of a small seeded stream; --linger keeps the
@@ -300,7 +485,7 @@ trap - EXIT
 rm -f "${STREAMD_LOG}"
 echo "streamd smoke: OK (${EPISODES} episodes, 0 late drops, per-op serve metrics live)"
 
-echo "== [8/8] router fleet smoke =="
+echo "== [9/9] router fleet smoke =="
 REP1_PORT=18476; REP1_ADMIN=18477
 REP2_PORT=18478; REP2_ADMIN=18479
 ROUTER_PORT=18480; ROUTER_ADMIN=18481
@@ -380,6 +565,30 @@ route_burst() {  # route_burst <count> -> echoes number of ok replies
 OK_BEFORE=$(route_burst 10)
 if [[ "${OK_BEFORE}" -ne 10 ]]; then
   echo "router smoke: pre-kill traffic lost requests (${OK_BEFORE}/10)"
+  exit 1
+fi
+
+# Retrieval ops ride the same routed path: the router keys on the query
+# text, the replica answers from its own index.
+retrieval_burst() {  # echoes number of ok retrieval replies (max 2)
+  local ok=0 reply
+  exec 4<>"/dev/tcp/127.0.0.1/${ROUTER_PORT}"
+  printf '{"op": "retrieve", "text": "kpi deviation on core site", "top_k": 3}\n' >&4
+  IFS= read -r reply <&4 || true
+  if grep -Eq '"ok": ?true' <<<"${reply}" && grep -q '"docs"' <<<"${reply}"; then
+    ok=$((ok + 1))
+  fi
+  printf '{"op": "troubleshoot", "text": "degradation after alarm storm", "top_k": 3}\n' >&4
+  IFS= read -r reply <&4 || true
+  if grep -Eq '"ok": ?true' <<<"${reply}" && grep -q '"results"' <<<"${reply}"; then
+    ok=$((ok + 1))
+  fi
+  exec 4<&- 4>&-
+  echo "${ok}"
+}
+RETRIEVAL_OK=$(retrieval_burst)
+if [[ "${RETRIEVAL_OK}" -ne 2 ]]; then
+  echo "router smoke: routed retrieve/troubleshoot failed (${RETRIEVAL_OK}/2)"
   exit 1
 fi
 
@@ -489,6 +698,11 @@ for _ in $(seq 1 60); do
     echo "router smoke: traffic failed during hot reload (${OK_RELOAD}/5)"
     exit 1
   fi
+  RETRIEVAL_RELOAD=$(retrieval_burst)
+  if [[ "${RETRIEVAL_RELOAD}" -ne 2 ]]; then
+    echo "router smoke: retrieval failed during hot reload (${RETRIEVAL_RELOAD}/2)"
+    exit 1
+  fi
   exec 4<>"/dev/tcp/127.0.0.1/${ROUTER_PORT}"
   printf '{"op": "encode", "text": "post reload probe"}\n' >&4
   IFS= read -r RELOAD_REPLY <&4 || true
@@ -542,13 +756,14 @@ echo "router smoke: OK (fleet healthy + probe telemetry, fleet metrics sum," \
   "hot reload zero-failure, drain clean, request log lints)"
 
 if [[ "${TELEKIT_TSAN:-0}" == "1" ]]; then
-  echo "== [tsan] ThreadSanitizer pass (tensor + serve + stream + route + obs + admin) =="
+  echo "== [tsan] ThreadSanitizer pass (tensor + serve + stream + route + index + obs + admin) =="
   cmake -B build_tsan -S . -DTELEKIT_TSAN=ON
   cmake --build build_tsan -j --target \
-    tensor_test serve_test stream_test route_test obs_test obs_admin_test \
-    obs_timeseries_test
+    tensor_test serve_test stream_test route_test index_test obs_test \
+    obs_admin_test obs_timeseries_test
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/tensor_test --gtest_brief=1
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/serve_test --gtest_brief=1
+  TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/index_test --gtest_brief=1
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/stream_test --gtest_brief=1
   TELEKIT_COMPUTE_THREADS=4 ./build_tsan/tests/route_test --gtest_brief=1
   ./build_tsan/tests/obs_test --gtest_brief=1

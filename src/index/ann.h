@@ -1,0 +1,160 @@
+#ifndef TELEKIT_INDEX_ANN_H_
+#define TELEKIT_INDEX_ANN_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace telekit {
+namespace index {
+
+/// One approximate-nearest-neighbour hit: a document/vector id with its
+/// cosine similarity to the query (vectors are L2-normalized on Add, so
+/// similarity is a plain SIMD dot product).
+struct SearchResult {
+  int id = 0;
+  float score = 0.0f;
+};
+
+/// Exact brute-force index: one SIMD dot product per stored vector. This
+/// is the recall ground truth every approximate structure is scored
+/// against, and the serving fallback for tiny corpora.
+///
+/// Thread-safety: Add is single-threaded (build phase); Search is const
+/// and safe from any number of threads concurrently once building stops.
+class FlatIndex {
+ public:
+  explicit FlatIndex(int dim);
+
+  /// Copies and L2-normalizes `v` (dimension must match); returns the id
+  /// assigned to it (ids are dense, insertion-ordered from 0).
+  int Add(const std::vector<float>& v);
+
+  /// Exact top-k by cosine similarity, ties broken by ascending id.
+  /// `query` need not be normalized. k <= 0 or k > size clamps to size.
+  std::vector<SearchResult> Search(const float* query, int k) const;
+
+  int dim() const { return dim_; }
+  size_t size() const { return count_; }
+  /// The stored (normalized) vector for `id`.
+  const float* vector(int id) const;
+
+ private:
+  int dim_;
+  size_t count_ = 0;
+  std::vector<float> data_;  // count_ x dim_, row-major, L2-normalized
+};
+
+/// HNSW construction/search knobs (Malkov & Yashunin 2016).
+struct HnswOptions {
+  /// Max bidirectional links per node above level 0 (level 0 keeps 2M).
+  int M = 16;
+  /// Beam width during construction.
+  int ef_construction = 100;
+  /// Default beam width during search; Search() can override per call.
+  int ef_search = 32;
+  /// Seed for the geometric level assignment. Identical seed + insertion
+  /// order -> bit-identical graph (construction is single-threaded and all
+  /// tie-breaks are (score desc, id asc) stable).
+  uint64_t seed = 20230401;
+};
+
+/// Hierarchical navigable-small-world graph over L2-normalized vectors,
+/// maximizing cosine similarity. Deterministic by construction: level
+/// draws come from a seeded Rng keyed only by insertion index, neighbour
+/// selection is a stable sort, and search visits candidates in a total
+/// order — so two builds from the same seed and corpus produce
+/// bit-identical graphs and identical top-k ids (asserted in index_test).
+///
+/// Thread-safety: Add is single-threaded (build phase); Search is const,
+/// allocates its own visited/beam state per call, and is safe from any
+/// number of threads concurrently with other Search calls (exercised
+/// under TSan against the serving worker pool).
+class HnswIndex {
+ public:
+  HnswIndex(int dim, const HnswOptions& options);
+
+  /// Inserts a vector (copied, L2-normalized); returns its dense id.
+  int Add(const std::vector<float>& v);
+
+  /// Approximate top-k by cosine similarity. `ef_search` <= 0 uses the
+  /// constructed default; the effective beam is max(ef, k).
+  std::vector<SearchResult> Search(const float* query, int k,
+                                   int ef_search = 0) const;
+
+  int dim() const { return dim_; }
+  size_t size() const { return count_; }
+  const HnswOptions& options() const { return options_; }
+  /// Highest layer currently in the graph (-1 when empty).
+  int max_level() const { return max_level_; }
+  /// The stored (normalized) vector for `id`.
+  const float* vector(int id) const;
+
+  /// FNV-1a digest over levels + adjacency of the whole graph. Two builds
+  /// are bit-identical iff their digests match (used by determinism tests
+  /// and the snapshot round-trip check).
+  uint64_t GraphDigest() const;
+
+  /// Serializes the graph + vectors to `out` (format v1: magic, version,
+  /// dims/options, caller fingerprint, levels, adjacency, vectors,
+  /// trailing FNV-1a checksum). `fingerprint` identifies the corpus +
+  /// model the index was built from; Load rejects a mismatch so a stale
+  /// snapshot can never serve a different corpus.
+  Status Save(std::ostream& out, uint64_t fingerprint) const;
+
+  /// Deserializes a snapshot written by Save. Fails InvalidArgument on a
+  /// bad magic/version, FailedPrecondition on a fingerprint mismatch, and
+  /// InvalidArgument("truncated...") / ("checksum...") on short or
+  /// corrupted payloads — callers fall back to a rebuild.
+  static StatusOr<std::unique_ptr<HnswIndex>> Load(std::istream& in,
+                                                   uint64_t fingerprint);
+
+ private:
+  /// Neighbour ids of `id` at `level`.
+  std::vector<std::vector<int>>& LinksFor(int id);
+  const std::vector<int>& Links(int id, int level) const;
+
+  /// Greedy beam search at one layer: returns up to `ef` candidates as
+  /// (score, id), best-first, deterministic.
+  std::vector<SearchResult> SearchLayer(const float* query, int entry,
+                                        int ef, int level) const;
+
+  /// Select-neighbours heuristic (Malkov & Yashunin, Alg. 4): scanning
+  /// `cands` best-first (scores are similarities to the base vector the
+  /// candidates were scored against), keep a candidate only while it is
+  /// closer to that base than to every neighbour already kept — this
+  /// preserves links across clusters instead of letting each cluster
+  /// collapse into a clique. Spillover fills from the discards, so up to
+  /// `max_links` ids come back. Deterministic.
+  std::vector<int> SelectNeighbors(const std::vector<SearchResult>& cands,
+                                   int max_links) const;
+
+  const float* Vector(int id) const { return data_.data() + id * dim_; }
+  float Score(const float* query, int id) const;
+  int RandomLevel();
+
+  int dim_;
+  HnswOptions options_;
+  int max_links0_;  // 2 * M at level 0
+  double level_mult_;
+  Rng level_rng_;
+  size_t count_ = 0;
+  int max_level_ = -1;
+  int entry_ = -1;
+  std::vector<float> data_;      // count_ x dim_, L2-normalized
+  std::vector<int> levels_;      // top level per node
+  std::vector<std::vector<std::vector<int>>> links_;  // [node][level] -> ids
+};
+
+/// L2-normalizes `v` in place (no-op on the zero vector).
+void NormalizeVector(float* v, int dim);
+
+}  // namespace index
+}  // namespace telekit
+
+#endif  // TELEKIT_INDEX_ANN_H_

@@ -1,0 +1,96 @@
+#ifndef TELEKIT_INDEX_CORPUS_INDEX_H_
+#define TELEKIT_INDEX_CORPUS_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/ann.h"
+#include "synth/tickets.h"
+
+namespace telekit {
+namespace index {
+
+/// One retrieval hit resolved back to its document.
+struct ScoredDoc {
+  int doc_id = 0;
+  float score = 0.0f;
+};
+
+/// Point-in-time facts about a built corpus index, exported on /statusz
+/// ("index" section) and as index/* gauges.
+struct CorpusIndexStats {
+  size_t size = 0;
+  int dim = 0;
+  /// Wall time of the build (encode + graph construction), or of the
+  /// snapshot load when loaded_from_snapshot is true — near zero on a warm
+  /// start, which is how the smoke test asserts the rebuild was skipped.
+  double build_ms = 0.0;
+  bool loaded_from_snapshot = false;
+  int M = 0;
+  int ef_construction = 0;
+  int ef_search_default = 0;
+  uint64_t fingerprint = 0;
+  std::string snapshot_path;
+};
+
+/// The serving-side retrieval index: the document corpus, its embeddings
+/// in an HnswIndex (approximate, the serving path) and a FlatIndex (exact,
+/// the ground truth for tests/benches), plus snapshot persistence.
+///
+/// Thread-safety: immutable after BuildOrLoad; Search/SearchExact/doc are
+/// const and safe from any number of threads concurrently (the serving
+/// worker pool calls Search with no extra locking).
+class CorpusIndex {
+ public:
+  /// Batch text embedder (the serve layer passes ServiceEncoder::EncodeBatch;
+  /// tests pass synthetic embeddings). Called once with every doc text, only
+  /// on a cold build — a successful snapshot load skips encoding entirely.
+  using EncodeFn = std::function<std::vector<std::vector<float>>(
+      const std::vector<std::string>&)>;
+
+  /// Builds the index over `docs`, or loads it from `snapshot_path` when
+  /// the file exists and its fingerprint matches (same docs, dim,
+  /// `model_tag`, and HNSW options). A missing, stale, truncated, or
+  /// corrupted snapshot logs a WARN and falls back to a cold rebuild; a
+  /// cold build with a non-empty `snapshot_path` writes the snapshot
+  /// (best-effort: a write failure warns but does not fail the build).
+  static StatusOr<std::unique_ptr<CorpusIndex>> BuildOrLoad(
+      std::vector<synth::RetrievalDoc> docs, int dim,
+      const std::string& model_tag, const EncodeFn& encode,
+      const HnswOptions& options, const std::string& snapshot_path);
+
+  /// ANN top-k (HNSW); `ef_search` <= 0 uses the constructed default.
+  std::vector<ScoredDoc> Search(const float* query, int k,
+                                int ef_search = 0) const;
+
+  /// Exact top-k (flat scan) — the recall ground truth.
+  std::vector<ScoredDoc> SearchExact(const float* query, int k) const;
+
+  const synth::RetrievalDoc& doc(int id) const;
+  size_t size() const { return docs_.size(); }
+  int dim() const { return hnsw_->dim(); }
+  const CorpusIndexStats& stats() const { return stats_; }
+  const HnswIndex& hnsw() const { return *hnsw_; }
+
+  /// The identity a snapshot is keyed on: FNV-1a over dim, model tag, HNSW
+  /// options, and every doc text. Exposed for tests.
+  static uint64_t ComputeFingerprint(const std::vector<synth::RetrievalDoc>& docs,
+                                     int dim, const std::string& model_tag,
+                                     const HnswOptions& options);
+
+ private:
+  CorpusIndex() = default;
+
+  std::vector<synth::RetrievalDoc> docs_;
+  std::unique_ptr<HnswIndex> hnsw_;
+  std::unique_ptr<FlatIndex> flat_;
+  CorpusIndexStats stats_;
+};
+
+}  // namespace index
+}  // namespace telekit
+
+#endif  // TELEKIT_INDEX_CORPUS_INDEX_H_

@@ -35,9 +35,9 @@ struct ServeMetrics {
   // Per-TaskOp split (serve/<op>/...) so mixed traffic — e.g. the stream
   // pipeline's rca/eap/fct fan-out — stays attributable per task in the
   // Prometheus exposition. Indexed by static_cast<int>(TaskOp).
-  obs::Counter* op_requests[4];
-  obs::Counter* op_errors[4];
-  obs::LatencyHistogram* op_request_ms[4];
+  obs::Counter* op_requests[kNumTaskOps];
+  obs::Counter* op_errors[kNumTaskOps];
+  obs::LatencyHistogram* op_request_ms[kNumTaskOps];
 
   void RecordRequest(TaskOp op, double total_ms, bool ok) {
     requests.Increment();
@@ -72,7 +72,8 @@ struct ServeMetrics {
           {},
       };
       for (TaskOp op :
-           {TaskOp::kEncode, TaskOp::kRca, TaskOp::kEap, TaskOp::kFct}) {
+           {TaskOp::kEncode, TaskOp::kRca, TaskOp::kEap, TaskOp::kFct,
+            TaskOp::kRetrieve, TaskOp::kTroubleshoot}) {
         const int i = static_cast<int>(op);
         metrics.op_requests[i] =
             &reg.GetCounter("serve/" + TaskOpName(op) + "/requests");
@@ -159,18 +160,34 @@ void RecordServeSpans(const Request& request, const Response& response) {
   const uint64_t queue_us = MsToUs(response.queue_ms);
   const uint64_t encode_us = MsToUs(response.encode_ms);
   const uint64_t score_us = MsToUs(response.score_ms);
+  const uint64_t search_us = std::min(MsToUs(response.search_ms), score_us);
+  const double score_start =
+      start_unix_us + static_cast<double>(total_us - score_us);
   struct Stage {
     const char* name;
     double start;
     uint64_t dur;
   };
-  const Stage stages[] = {
+  std::vector<Stage> stages = {
       {"serve/queue", start_unix_us, queue_us},
       {"serve/encode", start_unix_us + static_cast<double>(queue_us),
        encode_us},
-      {"serve/score",
-       start_unix_us + static_cast<double>(total_us - score_us), score_us},
   };
+  // The score window splits per op: the index-backed ops lead with the ANN
+  // search ("index/search"), and troubleshoot spends the remainder in the
+  // RCA-over-evidence chain ("serve/troubleshoot") — both parented under
+  // serve/request so /tracezd shows the retrieve -> diagnose chain.
+  if (request.op == TaskOp::kRetrieve ||
+      request.op == TaskOp::kTroubleshoot) {
+    stages.push_back({"index/search", score_start, search_us});
+    if (request.op == TaskOp::kTroubleshoot) {
+      stages.push_back({"serve/troubleshoot",
+                        score_start + static_cast<double>(search_us),
+                        score_us - search_us});
+    }
+  } else {
+    stages.push_back({"serve/score", score_start, score_us});
+  }
   for (const Stage& stage : stages) {
     if (stage.dur == 0) continue;
     obs::SpanRecord child;
@@ -239,15 +256,21 @@ std::string TaskOpName(TaskOp op) {
       return "eap";
     case TaskOp::kFct:
       return "fct";
+    case TaskOp::kRetrieve:
+      return "retrieve";
+    case TaskOp::kTroubleshoot:
+      return "troubleshoot";
   }
   return "unknown";
 }
 
 ServeEngine::ServeEngine(const core::ServiceEncoder* service,
                          const EngineOptions& options,
-                         const core::TextEncoder* int8_encoder)
+                         const core::TextEncoder* int8_encoder,
+                         const index::CorpusIndex* corpus_index)
     : service_(service),
       int8_encoder_(int8_encoder),
+      corpus_index_(corpus_index),
       options_(options),
       cache_(std::max<size_t>(options.cache_capacity, 1),
              std::max(options.cache_shards, 1)),
@@ -269,8 +292,9 @@ ServeEngine::~ServeEngine() { Stop(); }
 
 Status ServeEngine::LoadCatalog(TaskOp op,
                                 const std::vector<std::string>& names) {
-  if (op == TaskOp::kEncode) {
-    return Status::InvalidArgument("encode takes no catalogue");
+  if (op == TaskOp::kEncode || op == TaskOp::kRetrieve ||
+      op == TaskOp::kTroubleshoot) {
+    return Status::InvalidArgument(TaskOpName(op) + " takes no catalogue");
   }
   if (names.empty()) {
     return Status::InvalidArgument("empty catalogue for op " + TaskOpName(op));
@@ -290,6 +314,9 @@ Status ServeEngine::LoadCatalog(TaskOp op,
     ptrs.push_back(&inputs.back());
   }
   catalog.embeddings = service_->EncodeInputs(ptrs);
+  for (size_t i = 0; i < catalog.names.size(); ++i) {
+    catalog.by_name[catalog.names[i]] = i;
+  }
   if (options_.enable_cache) {
     for (size_t i = 0; i < inputs.size(); ++i) {
       cache_.Put(EmbeddingCache::HashIds(inputs[i].ids, inputs[i].length),
@@ -580,6 +607,61 @@ void ServeEngine::FinishRequest(const Request& request,
                                 Response* response) const {
   if (request.op == TaskOp::kEncode) {
     response->vector = std::move(vector);
+    response->status = Status::Ok();
+    return;
+  }
+  if (request.op == TaskOp::kRetrieve ||
+      request.op == TaskOp::kTroubleshoot) {
+    if (corpus_index_ == nullptr) {
+      response->status = Status::FailedPrecondition(
+          "no retrieval index loaded for op " + TaskOpName(request.op));
+      return;
+    }
+    const int k = request.top_k > 0 ? request.top_k : 5;
+    const Clock::time_point search_start = Clock::now();
+    std::vector<index::ScoredDoc> hits =
+        corpus_index_->Search(vector.data(), k, request.ef_search);
+    response->search_ms = MsSince(search_start, Clock::now());
+    response->docs.reserve(hits.size());
+    for (const index::ScoredDoc& hit : hits) {
+      const synth::RetrievalDoc& doc = corpus_index_->doc(hit.doc_id);
+      response->docs.push_back({hit.doc_id, doc.title, doc.kind, hit.score});
+    }
+    if (request.op == TaskOp::kRetrieve) {
+      response->status = Status::Ok();
+      return;
+    }
+    // Troubleshoot: rank root-cause candidates over the union of the
+    // retrieved docs' evidence alarms (the TeleDoCTR retrieve-then-diagnose
+    // chain). Falls back to the whole RCA catalogue when the retrieved
+    // evidence resolves to nothing.
+    std::shared_lock<std::shared_mutex> lock(catalogs_mutex_);
+    auto rca = catalogs_.find(TaskOp::kRca);
+    if (rca == catalogs_.end()) {
+      response->status = Status::FailedPrecondition(
+          "troubleshoot requires the rca catalogue");
+      return;
+    }
+    const Catalog& catalog = rca->second;
+    std::vector<std::string> names;
+    std::vector<std::vector<float>> embeddings;
+    for (const index::ScoredDoc& hit : hits) {
+      for (const std::string& alarm :
+           corpus_index_->doc(hit.doc_id).evidence_alarms) {
+        auto entry = catalog.by_name.find(alarm);
+        if (entry == catalog.by_name.end()) continue;
+        if (std::find(names.begin(), names.end(), alarm) != names.end()) {
+          continue;
+        }
+        names.push_back(alarm);
+        embeddings.push_back(catalog.embeddings[entry->second]);
+      }
+    }
+    response->results =
+        names.empty()
+            ? tasks::TopKByCosine(vector, catalog.names, catalog.embeddings,
+                                  request.top_k)
+            : tasks::TopKByCosine(vector, names, embeddings, request.top_k);
     response->status = Status::Ok();
     return;
   }

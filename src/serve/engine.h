@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "core/service.h"
+#include "index/corpus_index.h"
 #include "serve/batcher.h"
 #include "serve/embedding_cache.h"
 #include "tasks/scoring.h"
@@ -20,13 +21,21 @@
 namespace telekit {
 namespace serve {
 
-/// The four online fault-analysis operations of the paper's deployment
-/// (Sec. V): raw service-vector encoding plus nearest-neighbour retrieval
+/// The online fault-analysis operations of the paper's deployment
+/// (Sec. V): raw service-vector encoding, nearest-neighbour retrieval
 /// against per-task catalogues for root-cause analysis, alarm/event
-/// association prediction, and fault-chain tracing.
-enum class TaskOp { kEncode, kRca, kEap, kFct };
+/// association prediction, and fault-chain tracing — plus the two
+/// index-backed retrieval workloads (DESIGN.md §12): ANN document
+/// retrieval over the synthetic corpus and the TeleDoCTR-style
+/// troubleshoot chain (retrieve context docs, then RCA over the union of
+/// their evidence).
+enum class TaskOp { kEncode, kRca, kEap, kFct, kRetrieve, kTroubleshoot };
 
-/// Display/protocol name ("encode", "rca", "eap", "fct").
+/// Number of TaskOp values (metrics arrays are indexed by the op).
+inline constexpr int kNumTaskOps = 6;
+
+/// Display/protocol name ("encode", "rca", "eap", "fct", "retrieve",
+/// "troubleshoot").
 std::string TaskOpName(TaskOp op);
 
 /// Numeric precision of the encode forward pass. kDefault defers to the
@@ -69,6 +78,18 @@ struct Request {
   bool echo_timing = false;
   /// Encode-path precision for this request ("precision" wire field).
   Precision precision = Precision::kDefault;
+  /// ANN beam width for retrieve/troubleshoot ("ef_search" wire field);
+  /// <= 0 uses the index's constructed default. Ignored by other ops.
+  int ef_search = 0;
+};
+
+/// One retrieved document in a retrieve/troubleshoot response, resolved to
+/// its display handle so the wire layer needs no index access.
+struct RetrievedDoc {
+  int doc_id = 0;
+  std::string title;
+  std::string kind;
+  float score = 0.0f;
 };
 
 /// One inference response.
@@ -76,8 +97,11 @@ struct Response {
   Status status;
   /// kEncode: the service vector.
   std::vector<float> vector;
-  /// Task ops: ranked catalogue candidates.
+  /// Task ops (rca/eap/fct, and the troubleshoot verdict): ranked
+  /// catalogue candidates.
   std::vector<tasks::ScoredCandidate> results;
+  /// retrieve/troubleshoot: ANN hits in descending-score order.
+  std::vector<RetrievedDoc> docs;
   /// True when the service vector came from the EmbeddingCache.
   bool cache_hit = false;
   /// Size of the micro-batch this request rode in (1 = unbatched).
@@ -89,8 +113,11 @@ struct Response {
   /// fulfilment); 0 for the synchronous Process path.
   double batch_ms = 0.0;
   double encode_ms = 0.0;
-  /// Catalogue-scoring time for this request.
+  /// Catalogue-scoring time for this request (includes search_ms for the
+  /// index-backed ops).
   double score_ms = 0.0;
+  /// ANN index search time (retrieve/troubleshoot only).
+  double search_ms = 0.0;
   double total_ms = 0.0;
 };
 
@@ -161,9 +188,15 @@ class ServeEngine {
   /// service encoder used for Precision::kInt8 requests; it must encode
   /// the same inputs to the same dimensionality. Null fails int8 requests
   /// with FAILED_PRECONDITION.
+  ///
+  /// `corpus_index` (borrowed, may be null) backs the retrieve and
+  /// troubleshoot ops; null fails those ops with FAILED_PRECONDITION. It
+  /// must be immutable for the engine's lifetime (hot reload swaps the
+  /// whole bundle — engine and index together — rather than mutating it).
   ServeEngine(const core::ServiceEncoder* service,
               const EngineOptions& options,
-              const core::TextEncoder* int8_encoder = nullptr);
+              const core::TextEncoder* int8_encoder = nullptr,
+              const index::CorpusIndex* corpus_index = nullptr);
   ~ServeEngine();
 
   ServeEngine(const ServeEngine&) = delete;
@@ -218,6 +251,9 @@ class ServeEngine {
   struct Catalog {
     std::vector<std::string> names;
     std::vector<std::vector<float>> embeddings;
+    /// name -> index into names/embeddings; troubleshoot restricts RCA
+    /// scoring to the retrieved docs' evidence via this map.
+    std::map<std::string, size_t> by_name;
   };
 
   void WorkerLoop();
@@ -231,6 +267,7 @@ class ServeEngine {
 
   const core::ServiceEncoder* service_;
   const core::TextEncoder* int8_encoder_;
+  const index::CorpusIndex* corpus_index_;
   EngineOptions options_;
   mutable EmbeddingCache cache_;
   MicroBatchQueue<std::unique_ptr<Pending>> queue_;

@@ -43,6 +43,13 @@ std::string ServeModelName(core::ModelKind kind) {
 StatusOr<std::shared_ptr<ModelBundle>> BuildModelBundle(
     const std::string& model, std::shared_ptr<core::ModelZoo> zoo,
     const EngineOptions& options) {
+  return BuildModelBundle(model, std::move(zoo), options,
+                          BundleIndexOptions{});
+}
+
+StatusOr<std::shared_ptr<ModelBundle>> BuildModelBundle(
+    const std::string& model, std::shared_ptr<core::ModelZoo> zoo,
+    const EngineOptions& options, const BundleIndexOptions& index_options) {
   core::ModelKind kind;
   if (!ParseServeModel(model, &kind)) {
     return Status::InvalidArgument(
@@ -117,8 +124,34 @@ StatusOr<std::shared_ptr<ModelBundle>> BuildModelBundle(
     }
     bundle->quantized->Calibrate(ptrs);
   }
+  if (index_options.enable) {
+    synth::TicketConfig tickets;
+    tickets.num_tickets = index_options.num_tickets;
+    tickets.seed = bundle->seed;
+    std::vector<synth::RetrievalDoc> docs =
+        synth::BuildRetrievalCorpus(bundle->zoo->world(), tickets);
+    const core::ServiceEncoder* service = bundle->service.get();
+    auto built = index::CorpusIndex::BuildOrLoad(
+        std::move(docs), service->dim(), bundle->model,
+        [service](const std::vector<std::string>& texts) {
+          std::vector<text::EncodedInput> inputs;
+          inputs.reserve(texts.size());
+          std::vector<const text::EncodedInput*> ptrs;
+          ptrs.reserve(texts.size());
+          for (const std::string& t : texts) {
+            inputs.push_back(
+                service->BuildInput(t, core::ServiceMode::kEntityNoAttr));
+            ptrs.push_back(&inputs.back());
+          }
+          return service->EncodeInputs(ptrs);
+        },
+        index_options.hnsw, index_options.snapshot_path);
+    if (!built.ok()) return built.status();
+    bundle->index = std::move(*built);
+  }
   bundle->engine = std::make_unique<ServeEngine>(
-      bundle->service.get(), options, bundle->quantized.get());
+      bundle->service.get(), options, bundle->quantized.get(),
+      bundle->index.get());
   for (TaskOp op : {TaskOp::kRca, TaskOp::kEap, TaskOp::kFct}) {
     TELEKIT_RETURN_IF_ERROR(bundle->engine->LoadCatalog(op, alarm_names));
   }
@@ -143,6 +176,12 @@ void ModelHost::Install(std::shared_ptr<ModelBundle> bundle) {
   }
   obs::MetricsRegistry::Global().GetCounter("serve/model_installs")
       .Increment();
+  // Per-variant generation gauge: lets /metrics (and the router's
+  // /fleetmetricz) show which bundle generation each replica serves
+  // without hitting /statusz.
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve/model/" + bundle->model + "/generation")
+      .Set(static_cast<double>(bundle->generation));
   TELEKIT_LOG(INFO) << "serve: installed model"
                     << obs::F("model", bundle->model)
                     << obs::F("generation", bundle->generation)
@@ -198,6 +237,19 @@ obs::JsonValue ModelHost::StatusJson() const {
     engine.Set("cache_hit_rate", obs::JsonValue(stats.cache_hit_rate));
     engine.Set("saturated", obs::JsonValue(stats.saturated));
     item.Set("engine", std::move(engine));
+    if (bundle->index != nullptr) {
+      const index::CorpusIndexStats& istats = bundle->index->stats();
+      obs::JsonValue idx = obs::JsonValue::Object();
+      idx.Set("size", obs::JsonValue(istats.size));
+      idx.Set("dim", obs::JsonValue(istats.dim));
+      idx.Set("build_ms", obs::JsonValue(istats.build_ms));
+      idx.Set("loaded_from_snapshot",
+              obs::JsonValue(istats.loaded_from_snapshot));
+      idx.Set("M", obs::JsonValue(istats.M));
+      idx.Set("ef_construction", obs::JsonValue(istats.ef_construction));
+      idx.Set("ef_search", obs::JsonValue(istats.ef_search_default));
+      item.Set("index", std::move(idx));
+    }
     models.Append(std::move(item));
   }
   out.Set("models", std::move(models));

@@ -11,8 +11,10 @@
 #include "common/status.h"
 #include "core/model_zoo.h"
 #include "core/qencode.h"
+#include "index/corpus_index.h"
 #include "obs/json.h"
 #include "serve/engine.h"
+#include "synth/tickets.h"
 
 namespace telekit {
 namespace serve {
@@ -40,7 +42,25 @@ struct ModelBundle {
   /// calibrated over the task catalogue at build time. Declared before
   /// the engine so it outlives the workers borrowing it.
   std::unique_ptr<core::QuantizedEncoder> quantized;
+  /// ANN retrieval index over the synthetic corpus (retrieve/troubleshoot
+  /// ops); null when the bundle was built without one. Declared before
+  /// the engine so it outlives the workers searching it — hot reload
+  /// rebuilds index and engine together, so a generation swap can never
+  /// serve a stale index.
+  std::unique_ptr<index::CorpusIndex> index;
   std::unique_ptr<ServeEngine> engine;
+};
+
+/// Retrieval-index build knobs for BuildModelBundle.
+struct BundleIndexOptions {
+  /// Build (or snapshot-load) a CorpusIndex into the bundle.
+  bool enable = false;
+  index::HnswOptions hnsw;
+  /// Synthesized trouble tickets appended to the catalogue docs.
+  int num_tickets = 64;
+  /// Snapshot file ("" = no persistence). A valid snapshot with a matching
+  /// fingerprint skips the encode + graph build entirely.
+  std::string snapshot_path;
 };
 
 /// Wire-name round trip for the servable variants (the paper's table
@@ -58,6 +78,14 @@ std::string ServeModelName(core::ModelKind kind);
 StatusOr<std::shared_ptr<ModelBundle>> BuildModelBundle(
     const std::string& model, std::shared_ptr<core::ModelZoo> zoo,
     const EngineOptions& options);
+
+/// As above, plus a retrieval index over the world's document corpus when
+/// `index_options.enable` is set (built from this bundle's embeddings, or
+/// loaded from `index_options.snapshot_path` when the fingerprint
+/// matches).
+StatusOr<std::shared_ptr<ModelBundle>> BuildModelBundle(
+    const std::string& model, std::shared_ptr<core::ModelZoo> zoo,
+    const EngineOptions& options, const BundleIndexOptions& index_options);
 
 /// The per-request model table behind `telekit_serve`: maps the request's
 /// `model` field to a live ModelBundle. This generalizes the engine's

@@ -41,6 +41,10 @@ bool ParseTaskOp(const std::string& name, TaskOp* op) {
     *op = TaskOp::kEap;
   } else if (name == "fct") {
     *op = TaskOp::kFct;
+  } else if (name == "retrieve") {
+    *op = TaskOp::kRetrieve;
+  } else if (name == "troubleshoot") {
+    *op = TaskOp::kTroubleshoot;
   } else {
     return false;
   }
@@ -66,7 +70,8 @@ Status ParseRequest(const obs::JsonValue& json, Request* request) {
   if (const obs::JsonValue* op = json.Find("op")) {
     if (!op->is_string() || !ParseTaskOp(op->AsString(), &request->op)) {
       return Status::InvalidArgument(
-          "bad op (want encode|rca|eap|fct): " + op->Dump());
+          "bad op (want encode|rca|eap|fct|retrieve|troubleshoot): " +
+          op->Dump());
     }
   }
   const obs::JsonValue* text = json.Find("text");
@@ -103,6 +108,12 @@ Status ParseRequest(const obs::JsonValue& json, Request* request) {
       return Status::InvalidArgument("'top_k' must be a number");
     }
     request->top_k = static_cast<int>(top_k->AsNumber());
+  }
+  if (const obs::JsonValue* ef = json.Find("ef_search")) {
+    if (!ef->is_number() || ef->AsNumber() < 0.0) {
+      return Status::InvalidArgument("'ef_search' must be a number >= 0");
+    }
+    request->ef_search = static_cast<int>(ef->AsNumber());
   }
   if (const obs::JsonValue* deadline = json.Find("deadline_ms")) {
     if (!deadline->is_number() || deadline->AsNumber() < 0.0) {
@@ -189,14 +200,33 @@ obs::JsonValue ResponseToJson(const Request& request, const Response& response,
     }
     out.Set("vector", std::move(vec));
   } else {
-    obs::JsonValue results = obs::JsonValue::Array();
-    for (const tasks::ScoredCandidate& candidate : response.results) {
-      obs::JsonValue item = obs::JsonValue::Object();
-      item.Set("name", obs::JsonValue(candidate.name));
-      item.Set("score", obs::JsonValue(static_cast<double>(candidate.score)));
-      results.Append(std::move(item));
+    // retrieve answers with docs only; troubleshoot with docs (the
+    // retrieved context) plus results (the RCA verdict over their
+    // evidence); rca/eap/fct with results only.
+    if (request.op == TaskOp::kRetrieve ||
+        request.op == TaskOp::kTroubleshoot) {
+      obs::JsonValue docs = obs::JsonValue::Array();
+      for (const RetrievedDoc& doc : response.docs) {
+        obs::JsonValue item = obs::JsonValue::Object();
+        item.Set("doc_id", obs::JsonValue(doc.doc_id));
+        item.Set("title", obs::JsonValue(doc.title));
+        item.Set("kind", obs::JsonValue(doc.kind));
+        item.Set("score", obs::JsonValue(static_cast<double>(doc.score)));
+        docs.Append(std::move(item));
+      }
+      out.Set("docs", std::move(docs));
     }
-    out.Set("results", std::move(results));
+    if (request.op != TaskOp::kRetrieve) {
+      obs::JsonValue results = obs::JsonValue::Array();
+      for (const tasks::ScoredCandidate& candidate : response.results) {
+        obs::JsonValue item = obs::JsonValue::Object();
+        item.Set("name", obs::JsonValue(candidate.name));
+        item.Set("score",
+                 obs::JsonValue(static_cast<double>(candidate.score)));
+        results.Append(std::move(item));
+      }
+      out.Set("results", std::move(results));
+    }
   }
   out.Set("cache_hit", obs::JsonValue(response.cache_hit));
   out.Set("batch_size", obs::JsonValue(response.batch_size));
@@ -212,6 +242,11 @@ obs::JsonValue ResponseToJson(const Request& request, const Response& response,
                obs::JsonValue(static_cast<double>(response.encode_ms * 1e3)));
     timing.Set("score_us",
                obs::JsonValue(static_cast<double>(response.score_ms * 1e3)));
+    if (request.op == TaskOp::kRetrieve ||
+        request.op == TaskOp::kTroubleshoot) {
+      timing.Set("search_us",
+                 obs::JsonValue(static_cast<double>(response.search_ms * 1e3)));
+    }
     timing.Set("total_us",
                obs::JsonValue(static_cast<double>(response.total_ms * 1e3)));
     out.Set("timing", std::move(timing));

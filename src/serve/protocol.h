@@ -17,12 +17,13 @@ namespace serve {
 ///   -> {"id": null, "ok": true, "op": "rca", "results": [
 ///        {"name": "...", "score": 0.93}, ...], "cache_hit": false, ...}
 ///
-/// Fields: `op` ("encode" | "rca" | "eap" | "fct", default "encode"),
-/// `text` (required), `mode` ("name" | "entity" | "entity_attr", default
-/// "entity"), `model` (variant name, e.g. "telebert" | "ktelebert_stl";
-/// "" = server default), `precision` ("fp32" | "int8"; omitted = the
-/// server's --precision default), `top_k`, `deadline_ms`, a free-form `id` echoed
-/// back for
+/// Fields: `op` ("encode" | "rca" | "eap" | "fct" | "retrieve" |
+/// "troubleshoot", default "encode"), `text` (required), `mode` ("name" |
+/// "entity" | "entity_attr", default "entity"), `model` (variant name,
+/// e.g. "telebert" | "ktelebert_stl"; "" = server default), `precision`
+/// ("fp32" | "int8"; omitted = the server's --precision default), `top_k`,
+/// `deadline_ms`, `ef_search` (retrieve/troubleshoot: per-request ANN beam
+/// width, 0/omitted = the index default), a free-form `id` echoed back for
 /// client-side correlation, and an optional `trace` field: a 16-hex-digit
 /// string supplies the request's trace id (64-bit ids ride JSON as hex
 /// strings — JSON numbers are doubles), `true` asks the server to assign
@@ -35,6 +36,11 @@ namespace serve {
 /// router stamps a distinct parent_span per forwarding attempt so the
 /// replica's serve spans attach to the right retry/hedge leg in the
 /// assembled cross-process trace.
+///
+/// The index-backed ops (DESIGN.md §12) answer with a `docs` array
+/// ({"doc_id", "title", "kind", "score"}, descending score): retrieve
+/// returns docs only; troubleshoot returns docs plus `results` — the RCA
+/// verdict ranked over the union of the retrieved docs' evidence alarms.
 
 /// Parses one request line. On error the returned Status describes the
 /// problem and `request` is unspecified.

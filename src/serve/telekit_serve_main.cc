@@ -61,6 +61,10 @@ struct Flags {
   bool cache = true;
   int compute_threads = 0;  // 0 = TELEKIT_COMPUTE_THREADS / hardware default
   Precision precision = Precision::kFp32;  // default for untagged requests
+  bool index_enabled = true;   // build the retrieval index at startup
+  std::string index_path;      // index snapshot file ("" = rebuild always)
+  int ef_search = 32;          // default ANN beam width
+  int index_tickets = 64;      // synthesized trouble tickets in the corpus
   int pretrain_steps = 0;
   uint64_t seed = 20230401;
   std::string models = "telebert";  // comma-separated variant list
@@ -103,6 +107,16 @@ void PrintUsage() {
       << "                      1 = serial)\n"
       << "  --precision=P       encode precision for requests without a\n"
       << "                      'precision' field: fp32|int8 (default fp32)\n"
+      << "  --index-path=PATH   retrieval-index snapshot: loaded when valid\n"
+      << "                      (skipping the rebuild), written after a\n"
+      << "                      cold build (default: rebuild every start)\n"
+      << "  --ef-search=N       default ANN beam width for retrieve/\n"
+      << "                      troubleshoot (default 32; requests override\n"
+      << "                      via 'ef_search')\n"
+      << "  --index-tickets=N   synthesized trouble tickets in the corpus\n"
+      << "                      (default 64)\n"
+      << "  --no-index          skip the retrieval index (retrieve/\n"
+      << "                      troubleshoot fail FAILED_PRECONDITION)\n"
       << "  --pretrain-steps=N  TeleBERT pre-training steps (default 0)\n"
       << "  --seed=N            world/model seed\n"
       << "  --obs-json=PATH     write metrics/trace report on exit\n"
@@ -160,6 +174,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
                   << "' (want fp32|int8)\n";
         std::exit(64);
       }
+    } else if (ParseFlag(arg, "index-path", &v)) {
+      flags->index_path = v;
+    } else if (ParseFlag(arg, "ef-search", &v)) {
+      flags->ef_search =
+          static_cast<int>(ParseIntFlagOrDie("ef-search", v, 1, 1 << 20));
+    } else if (ParseFlag(arg, "index-tickets", &v)) {
+      flags->index_tickets = static_cast<int>(
+          ParseIntFlagOrDie("index-tickets", v, 0, 1 << 20));
+    } else if (arg == "--no-index") {
+      flags->index_enabled = false;
     } else if (ParseFlag(arg, "pretrain-steps", &v)) {
       flags->pretrain_steps = static_cast<int>(
           ParseIntFlagOrDie("pretrain-steps", v, 0, 1000000000));
@@ -209,6 +233,24 @@ core::ZooConfig ServeZooConfig(const Flags& flags, uint64_t seed) {
   config.pretrain.steps = flags.pretrain_steps;
   config.cache_dir = "";  // TELEKIT_CACHE env still overrides
   return config;
+}
+
+/// Retrieval-index build options for one hosted variant. With multiple
+/// hosted variants the snapshot path gains a per-model suffix so the
+/// bundles do not overwrite each other's snapshots (the fingerprint is
+/// model-tagged, so a shared file would rebuild on every start anyway).
+BundleIndexOptions MakeIndexOptions(const Flags& flags,
+                                    const std::string& model) {
+  BundleIndexOptions options;
+  options.enable = flags.index_enabled;
+  options.hnsw.ef_search = flags.ef_search;
+  options.num_tickets = flags.index_tickets;
+  if (!flags.index_path.empty()) {
+    options.snapshot_path = SplitString(flags.models, ',').size() > 1
+                                ? flags.index_path + "." + model
+                                : flags.index_path;
+  }
+  return options;
 }
 
 EngineOptions MakeEngineOptions(const Flags& flags) {
@@ -290,7 +332,8 @@ class ReloadManager {
     auto zoo =
         std::make_shared<core::ModelZoo>(ServeZooConfig(*flags_, seed));
     auto built = BuildModelBundle(model, std::move(zoo),
-                                  MakeEngineOptions(*flags_));
+                                  MakeEngineOptions(*flags_),
+                                  MakeIndexOptions(*flags_, model));
     std::string outcome;
     if (built.ok()) {
       host_->Install(std::move(built.value()));
@@ -444,6 +487,29 @@ int Main(int argc, char** argv) {
       cache.Set("size", obs::JsonValue(stats.cache_size));
       e.Set("cache", std::move(cache));
       out.Set("engine", std::move(e));
+      if (bundle->index != nullptr) {
+        const index::CorpusIndexStats& istats = bundle->index->stats();
+        obs::JsonValue idx = obs::JsonValue::Object();
+        idx.Set("size", obs::JsonValue(istats.size));
+        idx.Set("dim", obs::JsonValue(istats.dim));
+        idx.Set("build_ms", obs::JsonValue(istats.build_ms));
+        idx.Set("loaded_from_snapshot",
+                obs::JsonValue(istats.loaded_from_snapshot));
+        idx.Set("M", obs::JsonValue(istats.M));
+        idx.Set("ef_construction", obs::JsonValue(istats.ef_construction));
+        idx.Set("ef_search", obs::JsonValue(istats.ef_search_default));
+        if (const obs::LatencyHistogram* h =
+                obs::MetricsRegistry::Global().FindLatencyHistogram(
+                    "serve/retrieve/request_ms")) {
+          idx.Set("retrieve_latency", obs::LatencySummaryJson(*h));
+        }
+        if (const obs::LatencyHistogram* h =
+                obs::MetricsRegistry::Global().FindLatencyHistogram(
+                    "serve/troubleshoot/request_ms")) {
+          idx.Set("troubleshoot_latency", obs::LatencySummaryJson(*h));
+        }
+        out.Set("index", std::move(idx));
+      }
     }
     out.Set("models", host.StatusJson());
     out.Set("reload", reloader.StatusJson());
@@ -492,7 +558,8 @@ int Main(int argc, char** argv) {
   auto zoo = std::make_shared<core::ModelZoo>(
       ServeZooConfig(flags, flags.seed));
   for (const std::string& model : model_names) {
-    auto built = BuildModelBundle(model, zoo, MakeEngineOptions(flags));
+    auto built = BuildModelBundle(model, zoo, MakeEngineOptions(flags),
+                                  MakeIndexOptions(flags, model));
     if (!built.ok()) {
       std::cerr << "BuildModelBundle(" << model
                 << "): " << built.status().ToString() << "\n";

@@ -1,0 +1,127 @@
+#include "synth/tickets.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace telekit {
+namespace synth {
+namespace {
+
+std::string TicketTitle(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "TKT-%04d", i);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<RetrievalDoc> SynthesizeTickets(const WorldModel& world,
+                                            const TicketConfig& config) {
+  std::vector<RetrievalDoc> docs;
+  std::vector<int> roots = world.RootAlarms();
+  if (roots.empty() || config.num_tickets <= 0) return docs;
+  Rng rng(config.seed);
+  const auto& alarms = world.alarms();
+  const auto& kpis = world.kpis();
+  const auto& services = world.services();
+  docs.reserve(config.num_tickets);
+  for (int i = 0; i < config.num_tickets; ++i) {
+    int root = roots[rng.UniformInt(static_cast<int64_t>(roots.size()))];
+    const AlarmType& root_alarm = alarms[root];
+    RetrievalDoc doc;
+    doc.kind = "ticket";
+    doc.title = TicketTitle(i);
+    doc.evidence_alarms.push_back(root_alarm.name);
+    const std::string& service = services[root_alarm.service];
+    std::string text = doc.title + " trouble ticket | customers report " +
+                       service + " degradation | observed alarm " +
+                       root_alarm.code + " " + root_alarm.name;
+    // Walk up to two hops of the trigger chain for secondary symptoms.
+    std::vector<std::pair<int, float>> triggered =
+        world.TriggeredAlarms(root);
+    int hops = static_cast<int>(
+        std::min<size_t>(triggered.size(), 1 + rng.UniformInt(2)));
+    for (int h = 0; h < hops; ++h) {
+      int downstream =
+          triggered[rng.UniformInt(static_cast<int64_t>(triggered.size()))]
+              .first;
+      const AlarmType& a = alarms[downstream];
+      text += " | followed by " + a.code + " " + a.name;
+      if (std::find(doc.evidence_alarms.begin(), doc.evidence_alarms.end(),
+                    a.name) == doc.evidence_alarms.end()) {
+        doc.evidence_alarms.push_back(a.name);
+      }
+    }
+    std::vector<std::pair<int, float>> affected = world.AffectedKpis(root);
+    if (!affected.empty()) {
+      const KpiType& kpi =
+          kpis[affected[rng.UniformInt(static_cast<int64_t>(affected.size()))]
+                   .first];
+      text += " | kpi deviation " + kpi.name;
+    }
+    text += " | suspected root cause " + root_alarm.name;
+    doc.text = std::move(text);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::vector<RetrievalDoc> BuildRetrievalCorpus(const WorldModel& world,
+                                               const TicketConfig& config) {
+  std::vector<RetrievalDoc> docs;
+  const auto& alarms = world.alarms();
+  const auto& kpis = world.kpis();
+  const auto& services = world.services();
+  const auto& ne_types = world.ne_types();
+  docs.reserve(alarms.size() + kpis.size() + services.size() +
+               static_cast<size_t>(std::max(config.num_tickets, 0)));
+  for (const AlarmType& a : alarms) {
+    RetrievalDoc doc;
+    doc.kind = "alarm";
+    doc.title = a.code;
+    doc.text = "alarm " + a.code + " " + a.name + " | severity " + a.severity +
+               " | raised by " + ne_types[a.home_ne_type].name +
+               " | service " + services[a.service];
+    doc.evidence_alarms.push_back(a.name);
+    docs.push_back(std::move(doc));
+  }
+  for (const KpiType& k : kpis) {
+    RetrievalDoc doc;
+    doc.kind = "kpi";
+    doc.title = k.code;
+    doc.text = "kpi " + k.code + " " + k.name + " | service " +
+               services[k.service] + (k.increases_on_fault
+                                          ? " | rises under fault"
+                                          : " | drops under fault");
+    // Evidence: every alarm whose causal edges numerically impact this KPI.
+    for (const CausalEdge& e : world.causal_edges()) {
+      if (e.kind == CausalEdge::Kind::kAlarmAffectsKpi && e.dst == k.id) {
+        doc.evidence_alarms.push_back(alarms[e.src_alarm].name);
+      }
+    }
+    docs.push_back(std::move(doc));
+  }
+  for (size_t s = 0; s < services.size(); ++s) {
+    RetrievalDoc doc;
+    doc.kind = "signaling";
+    doc.title = "SIG-" + std::to_string(s);
+    doc.text = "signaling procedure | " + services[s] +
+               " session establishment request and response | rejects "
+               "spike when carrier elements fault";
+    for (const AlarmType& a : alarms) {
+      if (a.service == static_cast<int>(s)) {
+        doc.evidence_alarms.push_back(a.name);
+      }
+    }
+    docs.push_back(std::move(doc));
+  }
+  std::vector<RetrievalDoc> tickets = SynthesizeTickets(world, config);
+  for (RetrievalDoc& t : tickets) docs.push_back(std::move(t));
+  for (size_t i = 0; i < docs.size(); ++i) docs[i].id = static_cast<int>(i);
+  return docs;
+}
+
+}  // namespace synth
+}  // namespace telekit

@@ -1,0 +1,54 @@
+#ifndef TELEKIT_SYNTH_TICKETS_H_
+#define TELEKIT_SYNTH_TICKETS_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/world.h"
+
+namespace telekit {
+namespace synth {
+
+/// One retrievable document of the serving corpus (DESIGN.md §12). The
+/// `text` surface is what gets embedded into the ANN index; ids are dense
+/// and insertion-ordered, so they double as ANN vector ids.
+struct RetrievalDoc {
+  int id = 0;
+  /// "alarm" | "kpi" | "signaling" | "ticket".
+  std::string kind;
+  /// Short display handle, e.g. "ALM-100072" or "TKT-0007".
+  std::string title;
+  /// The natural-language surface that gets embedded.
+  std::string text;
+  /// Alarm surfaces (world alarm names, the RCA catalogue's keys) this
+  /// document is evidence for. The troubleshoot op chains retrieval into
+  /// RCA over the union of these across the retrieved docs (the
+  /// TeleDoCTR-style retrieve-then-diagnose pipeline).
+  std::vector<std::string> evidence_alarms;
+};
+
+/// Trouble-ticket synthesis knobs.
+struct TicketConfig {
+  /// Number of synthesized trouble tickets appended to the catalogue docs.
+  int num_tickets = 64;
+  /// Seed for ticket sampling; fixed seed + world -> identical corpus.
+  uint64_t seed = 7;
+};
+
+/// Synthesizes operator-style trouble tickets: each picks a root-cause
+/// alarm, walks its trigger chain and KPI impacts in the world's causal
+/// DAG, and narrates the incident. Deterministic for fixed world + config.
+std::vector<RetrievalDoc> SynthesizeTickets(const WorldModel& world,
+                                            const TicketConfig& config);
+
+/// The full retrieval corpus: one document per alarm-catalogue entry, per
+/// KPI-catalogue entry, and per signaling procedure (service), plus
+/// `config.num_tickets` synthesized trouble tickets. Ids are dense from 0
+/// in that order. Deterministic for fixed world + config.
+std::vector<RetrievalDoc> BuildRetrievalCorpus(const WorldModel& world,
+                                               const TicketConfig& config);
+
+}  // namespace synth
+}  // namespace telekit
+
+#endif  // TELEKIT_SYNTH_TICKETS_H_

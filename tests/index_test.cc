@@ -1,0 +1,468 @@
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "index/ann.h"
+#include "index/corpus_index.h"
+#include "synth/tickets.h"
+#include "synth/world.h"
+
+namespace telekit {
+namespace index {
+namespace {
+
+/// Clustered random vectors — the shape of a real embedding corpus (alarm
+/// families, KPI groups), and the regime the select-neighbours heuristic
+/// is tested against.
+std::vector<std::vector<float>> ClusteredVectors(int n, int dim,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  const int num_clusters = std::max(1, n / 32);
+  std::vector<std::vector<float>> centers(num_clusters,
+                                          std::vector<float>(dim));
+  for (auto& c : centers) {
+    for (float& x : c) x = static_cast<float>(rng.Normal());
+  }
+  std::vector<std::vector<float>> out(n, std::vector<float>(dim));
+  for (int i = 0; i < n; ++i) {
+    const std::vector<float>& c = centers[i % num_clusters];
+    for (int d = 0; d < dim; ++d) {
+      out[i][d] = c[d] + 0.3f * static_cast<float>(rng.Normal());
+    }
+  }
+  return out;
+}
+
+std::vector<int> Ids(const std::vector<SearchResult>& results) {
+  std::vector<int> ids;
+  ids.reserve(results.size());
+  for (const SearchResult& r : results) ids.push_back(r.id);
+  return ids;
+}
+
+TEST(FlatIndexTest, ExactTopKByCosineWithIdTieBreak) {
+  FlatIndex flat(2);
+  flat.Add({1.0f, 0.0f});   // id 0
+  flat.Add({0.0f, 1.0f});   // id 1
+  flat.Add({1.0f, 1.0f});   // id 2
+  flat.Add({2.0f, 0.0f});   // id 3: same direction as 0 after normalize
+
+  const float query[2] = {1.0f, 0.0f};
+  std::vector<SearchResult> hits = flat.Search(query, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  // ids 0 and 3 tie at score 1; ascending id breaks the tie.
+  EXPECT_EQ(hits[0].id, 0);
+  EXPECT_EQ(hits[1].id, 3);
+  EXPECT_EQ(hits[2].id, 2);
+  EXPECT_NEAR(hits[0].score, 1.0f, 1e-6);
+  EXPECT_NEAR(hits[2].score, 0.7071f, 1e-3);
+
+  // k <= 0 and k > size clamp to size.
+  EXPECT_EQ(flat.Search(query, 0).size(), 4u);
+  EXPECT_EQ(flat.Search(query, 99).size(), 4u);
+}
+
+TEST(FlatIndexTest, ScoresDescendMonotonically) {
+  std::vector<std::vector<float>> vectors = ClusteredVectors(200, 16, 11);
+  FlatIndex flat(16);
+  for (const auto& v : vectors) flat.Add(v);
+  std::vector<SearchResult> hits = flat.Search(vectors[7].data(), 20);
+  ASSERT_EQ(hits.size(), 20u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].score, hits[i - 1].score);
+  }
+  EXPECT_EQ(hits[0].id, 7);  // self is its own nearest neighbour
+}
+
+TEST(HnswIndexTest, IdenticalSeedAndCorpusGiveBitIdenticalGraphs) {
+  std::vector<std::vector<float>> vectors = ClusteredVectors(400, 24, 33);
+  HnswOptions options;
+  HnswIndex a(24, options);
+  HnswIndex b(24, options);
+  for (const auto& v : vectors) {
+    a.Add(v);
+    b.Add(v);
+  }
+  EXPECT_EQ(a.GraphDigest(), b.GraphDigest());
+  EXPECT_EQ(a.max_level(), b.max_level());
+  for (int q = 0; q < 20; ++q) {
+    EXPECT_EQ(Ids(a.Search(vectors[q * 7].data(), 10)),
+              Ids(b.Search(vectors[q * 7].data(), 10)));
+  }
+}
+
+TEST(HnswIndexTest, DifferentSeedGivesDifferentGraph) {
+  std::vector<std::vector<float>> vectors = ClusteredVectors(400, 24, 33);
+  HnswOptions options;
+  HnswIndex a(24, options);
+  options.seed = options.seed + 1;
+  HnswIndex b(24, options);
+  for (const auto& v : vectors) {
+    a.Add(v);
+    b.Add(v);
+  }
+  EXPECT_NE(a.GraphDigest(), b.GraphDigest());
+}
+
+TEST(HnswIndexTest, RecallAgainstFlatGroundTruth) {
+  const int n = 1000, dim = 32, k = 10;
+  std::vector<std::vector<float>> vectors = ClusteredVectors(n, dim, 77);
+  FlatIndex flat(dim);
+  HnswOptions options;
+  HnswIndex hnsw(dim, options);
+  for (const auto& v : vectors) {
+    flat.Add(v);
+    hnsw.Add(v);
+  }
+  Rng rng(99);
+  double recall = 0.0;
+  const int num_queries = 50;
+  for (int q = 0; q < num_queries; ++q) {
+    std::vector<float> query = vectors[rng.UniformInt(n)];
+    for (float& x : query) x += 0.2f * static_cast<float>(rng.Normal());
+    const std::vector<int> truth = Ids(flat.Search(query.data(), k));
+    const std::vector<int> got = Ids(hnsw.Search(query.data(), k, 64));
+    for (int id : truth) {
+      recall += std::count(got.begin(), got.end(), id) > 0 ? 1.0 : 0.0;
+    }
+  }
+  recall /= num_queries * k;
+  EXPECT_GE(recall, 0.9) << "HNSW recall@10 collapsed vs the exact scan";
+}
+
+TEST(HnswIndexTest, EfSearchTrumpsDefaultAndClampsToK) {
+  std::vector<std::vector<float>> vectors = ClusteredVectors(300, 16, 5);
+  HnswOptions options;
+  options.ef_search = 8;
+  HnswIndex hnsw(16, options);
+  for (const auto& v : vectors) hnsw.Add(v);
+  // k > ef: the effective beam must widen to k, so k results come back.
+  EXPECT_EQ(hnsw.Search(vectors[0].data(), 20).size(), 20u);
+  EXPECT_EQ(hnsw.Search(vectors[0].data(), 20, 4).size(), 20u);
+  EXPECT_EQ(hnsw.Search(vectors[0].data(), 5, 64).size(), 5u);
+}
+
+TEST(HnswIndexTest, SaveLoadRoundTripIsBitIdentical) {
+  std::vector<std::vector<float>> vectors = ClusteredVectors(300, 24, 13);
+  HnswOptions options;
+  HnswIndex built(24, options);
+  for (const auto& v : vectors) built.Add(v);
+
+  constexpr uint64_t kFingerprint = 0xfeedfacecafef00dULL;
+  std::stringstream buffer;
+  ASSERT_TRUE(built.Save(buffer, kFingerprint).ok());
+  auto loaded = HnswIndex::Load(buffer, kFingerprint);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  EXPECT_EQ((*loaded)->GraphDigest(), built.GraphDigest());
+  EXPECT_EQ((*loaded)->size(), built.size());
+  EXPECT_EQ((*loaded)->max_level(), built.max_level());
+  EXPECT_EQ((*loaded)->options().M, options.M);
+  for (int q = 0; q < 10; ++q) {
+    EXPECT_EQ(Ids((*loaded)->Search(vectors[q * 13].data(), 10)),
+              Ids(built.Search(vectors[q * 13].data(), 10)));
+  }
+}
+
+TEST(HnswIndexTest, LoadRejectsFingerprintMismatch) {
+  HnswOptions options;
+  HnswIndex built(8, options);
+  built.Add({1, 2, 3, 4, 5, 6, 7, 8});
+  std::stringstream buffer;
+  ASSERT_TRUE(built.Save(buffer, 111).ok());
+  auto loaded = HnswIndex::Load(buffer, 222);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HnswIndexTest, LoadRejectsTruncatedAndCorruptedSnapshots) {
+  std::vector<std::vector<float>> vectors = ClusteredVectors(100, 16, 3);
+  HnswOptions options;
+  HnswIndex built(16, options);
+  for (const auto& v : vectors) built.Add(v);
+  std::stringstream buffer;
+  ASSERT_TRUE(built.Save(buffer, 7).ok());
+  const std::string snapshot = buffer.str();
+
+  {  // bad magic
+    std::stringstream in(std::string("NOTANIDX") + snapshot.substr(8));
+    auto loaded = HnswIndex::Load(in, 7);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+  }
+  {  // truncated: drop the tail (checksum can no longer match)
+    std::stringstream in(snapshot.substr(0, snapshot.size() / 2));
+    auto loaded = HnswIndex::Load(in, 7);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+  {  // corrupted: flip one payload byte
+    std::string bad = snapshot;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x5a);
+    std::stringstream in(bad);
+    auto loaded = HnswIndex::Load(in, 7);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+  }
+}
+
+TEST(HnswIndexTest, ConcurrentSearchMatchesSerial) {
+  const int n = 600, dim = 24, k = 5;
+  std::vector<std::vector<float>> vectors = ClusteredVectors(n, dim, 21);
+  HnswOptions options;
+  HnswIndex hnsw(dim, options);
+  for (const auto& v : vectors) hnsw.Add(v);
+
+  const int num_queries = 64;
+  std::vector<std::vector<int>> serial(num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    serial[q] = Ids(hnsw.Search(vectors[q * 3].data(), k));
+  }
+  std::vector<std::vector<int>> parallel(num_queries);
+  std::vector<std::thread> threads;
+  const int num_threads = 4;
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = t; q < num_queries; q += num_threads) {
+        parallel[q] = Ids(hnsw.Search(vectors[q * 3].data(), k));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(parallel, serial);
+}
+
+// --- synthetic corpus -------------------------------------------------------
+
+synth::WorldConfig TinyWorldConfig() {
+  synth::WorldConfig config;
+  config.seed = 20230401;
+  config.num_alarm_types = 24;
+  config.num_kpi_types = 12;
+  return config;
+}
+
+TEST(TicketsTest, CorpusIsDeterministicAndDense) {
+  synth::WorldModel world(TinyWorldConfig());
+  synth::TicketConfig config;
+  config.num_tickets = 16;
+  const std::vector<synth::RetrievalDoc> a =
+      synth::BuildRetrievalCorpus(world, config);
+  const std::vector<synth::RetrievalDoc> b =
+      synth::BuildRetrievalCorpus(world, config);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 24u + 12u);  // alarms + kpis + signaling + tickets
+  int tickets = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<int>(i));  // dense, insertion-ordered
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].evidence_alarms, b[i].evidence_alarms);
+    EXPECT_FALSE(a[i].text.empty());
+    if (a[i].kind == "ticket") {
+      ++tickets;
+      // Every ticket narrates at least its root-cause alarm.
+      EXPECT_FALSE(a[i].evidence_alarms.empty()) << a[i].text;
+    }
+  }
+  EXPECT_EQ(tickets, 16);
+}
+
+TEST(TicketsTest, EvidenceNamesComeFromTheWorldCatalogue) {
+  synth::WorldModel world(TinyWorldConfig());
+  synth::TicketConfig config;
+  config.num_tickets = 8;
+  std::vector<std::string> catalogue;
+  for (const auto& alarm : world.alarms()) catalogue.push_back(alarm.name);
+  for (const synth::RetrievalDoc& doc :
+       synth::BuildRetrievalCorpus(world, config)) {
+    for (const std::string& name : doc.evidence_alarms) {
+      EXPECT_NE(std::find(catalogue.begin(), catalogue.end(), name),
+                catalogue.end())
+          << doc.kind << " doc cites unknown alarm: " << name;
+    }
+  }
+}
+
+// --- CorpusIndex ------------------------------------------------------------
+
+/// Deterministic synthetic embedder: hash each text into a direction.
+/// Stands in for the ServiceEncoder so corpus-index behaviour is testable
+/// without building a model zoo.
+std::vector<std::vector<float>> HashEmbed(
+    const std::vector<std::string>& texts, int dim) {
+  std::vector<std::vector<float>> out;
+  out.reserve(texts.size());
+  for (const std::string& text : texts) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : text) {
+      h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    }
+    Rng rng(h);
+    std::vector<float> v(dim);
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<synth::RetrievalDoc> TestDocs() {
+  synth::WorldModel world(TinyWorldConfig());
+  synth::TicketConfig config;
+  config.num_tickets = 12;
+  return synth::BuildRetrievalCorpus(world, config);
+}
+
+constexpr int kDim = 24;
+
+CorpusIndex::EncodeFn TestEncoder() {
+  return [](const std::vector<std::string>& texts) {
+    return HashEmbed(texts, kDim);
+  };
+}
+
+std::string TempSnapshotPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CorpusIndexTest, BuildSearchAndResolveDocs) {
+  auto built = CorpusIndex::BuildOrLoad(TestDocs(), kDim, "test-model",
+                                        TestEncoder(), HnswOptions{}, "");
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  const CorpusIndex& index = **built;
+  EXPECT_GT(index.size(), 0u);
+  EXPECT_FALSE(index.stats().loaded_from_snapshot);
+
+  const std::vector<std::vector<float>> query =
+      HashEmbed({index.doc(3).text}, kDim);
+  const std::vector<ScoredDoc> hits = index.Search(query[0].data(), 5);
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].doc_id, 3);  // self-retrieval: exact same direction
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].score, hits[i - 1].score);
+  }
+  const std::vector<ScoredDoc> exact = index.SearchExact(query[0].data(), 5);
+  EXPECT_EQ(exact[0].doc_id, 3);
+  EXPECT_EQ(index.doc(3).id, 3);
+}
+
+TEST(CorpusIndexTest, EncoderSizeMismatchIsAnError) {
+  auto truncated = [](const std::vector<std::string>& texts) {
+    std::vector<std::vector<float>> out = HashEmbed(texts, kDim);
+    out.pop_back();
+    return out;
+  };
+  auto built = CorpusIndex::BuildOrLoad(TestDocs(), kDim, "test-model",
+                                        truncated, HnswOptions{}, "");
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInternal);
+}
+
+TEST(CorpusIndexTest, SnapshotWarmLoadSkipsRebuildAndMatchesColdBuild) {
+  const std::string path = TempSnapshotPath("corpus_warm.idx");
+  std::remove(path.c_str());
+
+  int encode_calls = 0;
+  CorpusIndex::EncodeFn counting =
+      [&encode_calls](const std::vector<std::string>& texts) {
+        ++encode_calls;
+        return HashEmbed(texts, kDim);
+      };
+  auto cold = CorpusIndex::BuildOrLoad(TestDocs(), kDim, "test-model",
+                                       counting, HnswOptions{}, path);
+  ASSERT_TRUE(cold.ok()) << cold.status().message();
+  EXPECT_FALSE((*cold)->stats().loaded_from_snapshot);
+  EXPECT_EQ(encode_calls, 1);
+
+  auto warm = CorpusIndex::BuildOrLoad(TestDocs(), kDim, "test-model",
+                                       counting, HnswOptions{}, path);
+  ASSERT_TRUE(warm.ok()) << warm.status().message();
+  EXPECT_TRUE((*warm)->stats().loaded_from_snapshot);
+  EXPECT_EQ(encode_calls, 1);  // warm start never re-encoded
+  EXPECT_EQ((*warm)->hnsw().GraphDigest(), (*cold)->hnsw().GraphDigest());
+
+  const std::vector<std::vector<float>> query =
+      HashEmbed({(*cold)->doc(1).text}, kDim);
+  const std::vector<ScoredDoc> a = (*cold)->Search(query[0].data(), 8);
+  const std::vector<ScoredDoc> b = (*warm)->Search(query[0].data(), 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].doc_id, b[i].doc_id);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIndexTest, StaleFingerprintFallsBackToRebuild) {
+  const std::string path = TempSnapshotPath("corpus_stale.idx");
+  std::remove(path.c_str());
+  auto first = CorpusIndex::BuildOrLoad(TestDocs(), kDim, "model-a",
+                                        TestEncoder(), HnswOptions{}, path);
+  ASSERT_TRUE(first.ok());
+  // Same file, different model tag: fingerprint mismatch -> rebuild, not
+  // a stale-index serve.
+  auto second = CorpusIndex::BuildOrLoad(TestDocs(), kDim, "model-b",
+                                         TestEncoder(), HnswOptions{}, path);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_FALSE((*second)->stats().loaded_from_snapshot);
+  // ...and the rebuild rewrote the snapshot for the new identity.
+  auto third = CorpusIndex::BuildOrLoad(TestDocs(), kDim, "model-b",
+                                        TestEncoder(), HnswOptions{}, path);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE((*third)->stats().loaded_from_snapshot);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIndexTest, CorruptedSnapshotFallsBackToRebuild) {
+  const std::string path = TempSnapshotPath("corpus_corrupt.idx");
+  std::remove(path.c_str());
+  auto first = CorpusIndex::BuildOrLoad(TestDocs(), kDim, "test-model",
+                                        TestEncoder(), HnswOptions{}, path);
+  ASSERT_TRUE(first.ok());
+
+  // Truncate the snapshot to half its size.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto recovered = CorpusIndex::BuildOrLoad(TestDocs(), kDim, "test-model",
+                                            TestEncoder(), HnswOptions{},
+                                            path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_FALSE((*recovered)->stats().loaded_from_snapshot);
+  EXPECT_EQ((*recovered)->hnsw().GraphDigest(),
+            (*first)->hnsw().GraphDigest());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIndexTest, FingerprintCoversDocsModelAndOptions) {
+  const std::vector<synth::RetrievalDoc> docs = TestDocs();
+  HnswOptions options;
+  const uint64_t base =
+      CorpusIndex::ComputeFingerprint(docs, kDim, "m", options);
+  EXPECT_EQ(CorpusIndex::ComputeFingerprint(docs, kDim, "m", options), base);
+  EXPECT_NE(CorpusIndex::ComputeFingerprint(docs, kDim, "m2", options), base);
+  EXPECT_NE(CorpusIndex::ComputeFingerprint(docs, kDim + 1, "m", options),
+            base);
+  HnswOptions other = options;
+  other.M = options.M * 2;
+  EXPECT_NE(CorpusIndex::ComputeFingerprint(docs, kDim, "m", other), base);
+  std::vector<synth::RetrievalDoc> edited = docs;
+  edited[0].text += " tampered";
+  EXPECT_NE(CorpusIndex::ComputeFingerprint(edited, kDim, "m", options),
+            base);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace telekit

@@ -1171,6 +1171,132 @@ TEST(ModelHostTest, BundleServesInt8Requests) {
             kbundle->service->dim());
 }
 
+TEST(ProtocolTest, ParsesRetrievalOpsAndEfSearch) {
+  obs::JsonValue json;
+  std::string error;
+  Request request;
+  ASSERT_TRUE(obs::JsonValue::Parse(
+      R"({"op":"retrieve","text":"x","top_k":4,"ef_search":64})", &json,
+      &error));
+  ASSERT_TRUE(ParseRequest(json, &request).ok());
+  EXPECT_EQ(request.op, TaskOp::kRetrieve);
+  EXPECT_EQ(request.top_k, 4);
+  EXPECT_EQ(request.ef_search, 64);
+
+  ASSERT_TRUE(obs::JsonValue::Parse(R"({"op":"troubleshoot","text":"x"})",
+                                    &json, &error));
+  ASSERT_TRUE(ParseRequest(json, &request).ok());
+  EXPECT_EQ(request.op, TaskOp::kTroubleshoot);
+  EXPECT_EQ(request.ef_search, 0);  // omitted -> the index default
+
+  ASSERT_TRUE(obs::JsonValue::Parse(R"({"text":"x","ef_search":-1})", &json,
+                                    &error));
+  EXPECT_EQ(ParseRequest(json, &request).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(obs::JsonValue::Parse(R"({"text":"x","ef_search":"wide"})",
+                                    &json, &error));
+  EXPECT_EQ(ParseRequest(json, &request).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, ResponseCarriesDocsForRetrievalOps) {
+  Request request;
+  request.op = TaskOp::kRetrieve;
+  request.text = "q";
+  Response response;
+  response.status = Status::Ok();
+  response.docs.push_back({7, "ALM-7", "alarm", 0.9f});
+  response.docs.push_back({3, "TKT-3", "ticket", 0.8f});
+  const obs::JsonValue out = ResponseToJson(request, response, nullptr);
+  ASSERT_NE(out.Find("docs"), nullptr);
+  EXPECT_EQ(out.Find("docs")->size(), 2u);
+  EXPECT_EQ(out.Find("docs")->at(0).Find("doc_id")->AsNumber(), 7);
+  EXPECT_EQ(out.Find("docs")->at(0).Find("kind")->AsString(), "alarm");
+  // retrieve answers with docs only; results is the RCA-style field.
+  EXPECT_EQ(out.Find("results"), nullptr);
+
+  request.op = TaskOp::kTroubleshoot;
+  response.results.push_back({"root cause", 0.95f});
+  const obs::JsonValue both = ResponseToJson(request, response, nullptr);
+  ASSERT_NE(both.Find("docs"), nullptr);
+  ASSERT_NE(both.Find("results"), nullptr);
+  EXPECT_EQ(both.Find("results")->at(0).Find("name")->AsString(),
+            "root cause");
+}
+
+TEST(ServeEngineTest, RetrievalOpsWithoutIndexFailPrecondition) {
+  const core::ModelZoo& zoo = SharedZoo();
+  core::ServiceEncoder service = zoo.MakeServiceEncoder(
+      core::ModelKind::kKTeleBertStl);
+  ServeEngine engine(&service, TinyEngineOptions());
+
+  Request request;
+  request.op = TaskOp::kRetrieve;
+  request.text = "any query";
+  EXPECT_EQ(engine.Process(request).status.code(),
+            StatusCode::kFailedPrecondition);
+  request.op = TaskOp::kTroubleshoot;
+  EXPECT_EQ(engine.Process(request).status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+BundleIndexOptions TinyIndexOptions() {
+  BundleIndexOptions options;
+  options.enable = true;
+  options.num_tickets = 8;
+  return options;
+}
+
+TEST(ModelHostTest, BundleServesRetrieveAndTroubleshoot) {
+  auto built = BuildModelBundle("telebert", SharedZooPtr(),
+                                TinyEngineOptions(), TinyIndexOptions());
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  std::shared_ptr<ModelBundle> bundle = std::move(built).value();
+  ASSERT_NE(bundle->index, nullptr);
+  EXPECT_GT(bundle->index->size(), 0u);
+
+  Request request;
+  request.op = TaskOp::kRetrieve;
+  request.text = "customers report service degradation";
+  request.top_k = 5;
+  const Response response = bundle->engine->Process(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_EQ(response.docs.size(), 5u);
+  for (size_t i = 0; i < response.docs.size(); ++i) {
+    EXPECT_FALSE(response.docs[i].title.empty());
+    EXPECT_FALSE(response.docs[i].kind.empty());
+    if (i > 0) {
+      EXPECT_LE(response.docs[i].score, response.docs[i - 1].score);
+    }
+  }
+  EXPECT_GE(response.search_ms, 0.0);
+
+  // Per-request ef_search override still answers with k docs.
+  request.ef_search = 128;
+  EXPECT_EQ(bundle->engine->Process(request).docs.size(), 5u);
+
+  // troubleshoot: retrieved context plus an RCA verdict over the union of
+  // the docs' evidence alarms.
+  Request diagnose;
+  diagnose.op = TaskOp::kTroubleshoot;
+  diagnose.text = "trouble ticket: repeated alarms and kpi deviation";
+  diagnose.top_k = 3;
+  const Response verdict = bundle->engine->Process(diagnose);
+  ASSERT_TRUE(verdict.status.ok()) << verdict.status.ToString();
+  EXPECT_EQ(verdict.docs.size(), 3u);
+  ASSERT_FALSE(verdict.results.empty());
+  // The verdict names come from the world's alarm catalogue.
+  std::vector<std::string> catalogue;
+  for (const auto& alarm : SharedZoo().world().alarms()) {
+    catalogue.push_back(alarm.name);
+  }
+  for (const auto& candidate : verdict.results) {
+    EXPECT_NE(std::find(catalogue.begin(), catalogue.end(), candidate.name),
+              catalogue.end())
+        << "verdict cites unknown alarm: " << candidate.name;
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace telekit
